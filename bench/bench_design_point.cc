@@ -1,0 +1,74 @@
+/**
+ * Paper §3.2: the proposed generalized loop accelerator -- its resources,
+ * die-area breakdown (~3.8 mm^2 at 90 nm), the fraction of
+ * infinite-resource speedup it attains (~83%), and the CPU comparison
+ * points.
+ */
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "veal/arch/area.h"
+#include "veal/support/table.h"
+
+int
+main()
+{
+    using namespace veal;
+    const LaConfig la = LaConfig::proposed();
+    const AreaModel area;
+
+    std::printf("VEAL reproduction: the proposed loop accelerator "
+                "(paper section 3.2)\n\n");
+
+    TextTable resources({"resource", "count"});
+    resources.addRow({"CCA", std::to_string(la.num_cca_units)});
+    resources.addRow({"integer units", std::to_string(la.num_int_units)});
+    resources.addRow({"double-precision FP units",
+                      std::to_string(la.num_fp_units)});
+    resources.addRow({"integer registers",
+                      std::to_string(la.num_int_registers)});
+    resources.addRow({"fp registers",
+                      std::to_string(la.num_fp_registers)});
+    resources.addRow({"load streams",
+                      std::to_string(la.num_load_streams)});
+    resources.addRow({"store streams",
+                      std::to_string(la.num_store_streams)});
+    resources.addRow({"load address generators",
+                      std::to_string(la.num_load_addr_gens)});
+    resources.addRow({"store address generators",
+                      std::to_string(la.num_store_addr_gens)});
+    resources.addRow({"maximum II", std::to_string(la.max_ii)});
+    std::printf("%s\n", resources.render().c_str());
+
+    TextTable breakdown({"component", "mm^2 (90 nm)"});
+    for (const auto& item : area.breakdown(la))
+        breakdown.addRow({item.component,
+                          TextTable::formatDouble(item.mm2, 3)});
+    breakdown.addRow({"TOTAL",
+                      TextTable::formatDouble(area.totalArea(la), 2)});
+    std::printf("%s\n", breakdown.render().c_str());
+
+    const auto suite = mediaFpSuite();
+    const double fraction = bench::fractionOfInfinite(suite, la);
+    std::printf("Fraction of infinite-resource speedup attained: %.1f%% "
+                "(paper: 83%%)\n\n",
+                100.0 * fraction);
+
+    TextTable cpus({"design", "mm^2"});
+    cpus.addRow({"proposed LA",
+                 TextTable::formatDouble(area.totalArea(la), 2)});
+    cpus.addRow({"ARM11-like 1-issue (baseline)",
+                 TextTable::formatDouble(AreaModel::kArm11Mm2, 2)});
+    cpus.addRow({"ARM11 + LA",
+                 TextTable::formatDouble(
+                     AreaModel::kArm11Mm2 + area.totalArea(la), 2)});
+    cpus.addRow({"Cortex-A8-like 2-issue",
+                 TextTable::formatDouble(AreaModel::kCortexA8Mm2, 2)});
+    cpus.addRow({"hypothetical 4-issue",
+                 TextTable::formatDouble(AreaModel::kQuadIssueMm2, 2)});
+    std::printf("%s", cpus.render().c_str());
+    std::printf("\nThe LA costs less than a second simple core (paper's "
+                "cost argument).\n");
+    return 0;
+}

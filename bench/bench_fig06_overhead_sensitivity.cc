@@ -1,0 +1,48 @@
+/**
+ * Figure 6: mean speedup as a function of the per-loop translation
+ * overhead, for several re-translation frequencies (translate once, and
+ * 0.1% / 1% / 10% of invocations re-translate after code-cache misses).
+ */
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "veal/support/table.h"
+
+int
+main()
+{
+    using namespace veal;
+    const auto suite = mediaFpSuite();
+    const LaConfig la = LaConfig::proposed();
+
+    std::printf("VEAL reproduction: Figure 6 -- speedup vs per-loop "
+                "translation overhead\n\n");
+
+    TextTable table({"overhead (cycles)", "translate once", "0.1% miss",
+                     "1% miss", "10% miss"});
+    for (const double penalty :
+         {0.0, 10000.0, 20000.0, 50000.0, 100000.0, 150000.0, 200000.0,
+          300000.0}) {
+        std::vector<std::string> row{
+            std::to_string(static_cast<long>(penalty))};
+        for (const double rate : {0.0, 0.001, 0.01, 0.1}) {
+            VmOptions options;
+            options.penalty_override = penalty;
+            options.retranslation_rate = rate;
+            row.push_back(TextTable::formatDouble(
+                bench::meanSpeedup(suite, la,
+                                   TranslationMode::kFullyDynamic,
+                                   &options),
+                2));
+        }
+        table.addRow(std::move(row));
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "Paper shape: with a 1%% miss rate, cutting the overhead from\n"
+        "100k to 20k cycles recovers a large share of the speedup\n"
+        "(paper: 1.47 -> 1.92); the translate-once line stays flat far\n"
+        "longer.\n");
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * Figure 7: percentage of the accelerator speedup attained by plain
+ * binaries (no aggressive inlining / fission / tuned unrolling) relative
+ * to statically transformed binaries.
+ */
+
+#include <cstdio>
+
+#include "veal/arch/cpu_config.h"
+#include "veal/support/table.h"
+#include "veal/vm/vm.h"
+#include "veal/workloads/suite.h"
+
+int
+main()
+{
+    using namespace veal;
+    const auto suite = mediaFpSuite();
+    const LaConfig la = LaConfig::proposed();
+    VmOptions options;
+    options.mode = TranslationMode::kHybridStaticCcaPriority;
+
+    std::printf("VEAL reproduction: Figure 7 -- speedup attained without "
+                "static loop transformations\n\n");
+
+    TextTable table({"benchmark", "transformed", "plain",
+                     "% of speedup attained"});
+    double fraction_sum = 0.0;
+    int counted = 0;
+    for (const auto& benchmark : suite) {
+        VirtualMachine vm(la, CpuConfig::arm11(), options);
+        const double transformed = vm.run(benchmark.transformed).speedup;
+        const double plain = vm.run(benchmark.untransformed).speedup;
+        double fraction = 0.0;
+        if (transformed > 1.0) {
+            fraction = std::max(0.0, plain - 1.0) / (transformed - 1.0);
+            fraction_sum += fraction;
+            ++counted;
+        }
+        table.addRow({benchmark.name,
+                      TextTable::formatDouble(transformed, 2),
+                      TextTable::formatDouble(plain, 2),
+                      TextTable::formatDouble(100.0 * fraction, 1)});
+    }
+    table.addRow({"AVERAGE", "-", "-",
+                  TextTable::formatDouble(
+                      100.0 * fraction_sum / counted, 1)});
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "Paper shape: many benchmarks attain 0%% without the transforms\n"
+        "(their key loops keep calls or exceed stream limits), and the\n"
+        "average loss is large (paper: 75%% of the speedup lost).\n");
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * Figure 8: the measured translation penalty per loop, broken into
+ * modulo-scheduling phases, for the fully dynamic translator.
+ */
+
+#include <cstdio>
+
+#include "veal/arch/cpu_config.h"
+#include "veal/support/table.h"
+#include "veal/vm/translator.h"
+#include "veal/workloads/suite.h"
+
+int
+main()
+{
+    using namespace veal;
+    const auto suite = mediaFpSuite();
+    const LaConfig la = LaConfig::proposed();
+
+    std::printf("VEAL reproduction: Figure 8 -- translation instructions "
+                "per loop, by phase (fully dynamic, swing priority)\n\n");
+
+    TextTable table({"benchmark", "loops", "analysis", "cca", "mii",
+                     "priority", "sched", "regalloc", "total/loop"});
+
+    CostMeter suite_total;
+    int suite_loops = 0;
+    for (const auto& benchmark : suite) {
+        CostMeter per_benchmark;
+        int loops = 0;
+        for (const auto& site : benchmark.transformed.sites) {
+            std::vector<const Loop*> pieces;
+            if (site.fissioned.empty()) {
+                pieces.push_back(&site.loop);
+            } else {
+                for (const auto& piece : site.fissioned)
+                    pieces.push_back(&piece);
+            }
+            for (const Loop* loop : pieces) {
+                const auto result = translateLoop(
+                    *loop, la, TranslationMode::kFullyDynamic);
+                if (!result.ok)
+                    continue;  // Rejected loops never reach scheduling.
+                per_benchmark.add(result.meter);
+                ++loops;
+            }
+        }
+        if (loops == 0)
+            continue;
+        suite_total.add(per_benchmark);
+        suite_loops += loops;
+        auto phase = [&](TranslationPhase p) {
+            return TextTable::formatDouble(
+                per_benchmark.instructions(p) / loops, 0);
+        };
+        table.addRow({benchmark.name, std::to_string(loops),
+                      phase(TranslationPhase::kLoopAnalysis),
+                      phase(TranslationPhase::kCcaMapping),
+                      phase(TranslationPhase::kMiiComputation),
+                      phase(TranslationPhase::kPriority),
+                      phase(TranslationPhase::kScheduling),
+                      phase(TranslationPhase::kRegisterAssignment),
+                      TextTable::formatDouble(
+                          per_benchmark.totalInstructions() / loops, 0)});
+    }
+
+    const double total = suite_total.totalInstructions() / suite_loops;
+    auto percent = [&](TranslationPhase p) {
+        return 100.0 * suite_total.instructions(p) /
+               suite_total.totalInstructions();
+    };
+    table.addRow(
+        {"AVERAGE", std::to_string(suite_loops),
+         TextTable::formatDouble(
+             suite_total.instructions(TranslationPhase::kLoopAnalysis) /
+                 suite_loops, 0),
+         TextTable::formatDouble(
+             suite_total.instructions(TranslationPhase::kCcaMapping) /
+                 suite_loops, 0),
+         TextTable::formatDouble(
+             suite_total.instructions(
+                 TranslationPhase::kMiiComputation) / suite_loops, 0),
+         TextTable::formatDouble(
+             suite_total.instructions(TranslationPhase::kPriority) /
+                 suite_loops, 0),
+         TextTable::formatDouble(
+             suite_total.instructions(TranslationPhase::kScheduling) /
+                 suite_loops, 0),
+         TextTable::formatDouble(
+             suite_total.instructions(
+                 TranslationPhase::kRegisterAssignment) / suite_loops, 0),
+         TextTable::formatDouble(total, 0)});
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("Suite average: %.0f instructions/loop "
+                "(paper: ~99,716)\n", total);
+    std::printf("Phase split: priority %.0f%%  (paper 69%%),  "
+                "CCA %.0f%% (paper 20%%),  MII %.1f%%,  "
+                "scheduling %.1f%% (paper <3%%),  "
+                "register assignment %.1f%%\n",
+                percent(TranslationPhase::kPriority),
+                percent(TranslationPhase::kCcaMapping),
+                percent(TranslationPhase::kMiiComputation),
+                percent(TranslationPhase::kScheduling),
+                percent(TranslationPhase::kRegisterAssignment));
+    return 0;
+}

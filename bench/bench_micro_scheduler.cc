@@ -1,0 +1,132 @@
+/**
+ * Micro-benchmarks (google-benchmark): host-side throughput of the
+ * translator's phases on representative loops.  These complement the
+ * Figure 8 instruction metering with real wall-clock numbers for this
+ * implementation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "veal/ir/random_loop.h"
+#include "veal/sched/mii.h"
+#include "veal/sched/priority.h"
+#include "veal/sched/scheduler.h"
+#include "veal/vm/translator.h"
+#include "veal/workloads/kernels.h"
+
+namespace veal {
+namespace {
+
+Loop
+benchLoop(int size_class)
+{
+    RandomLoopParams params;
+    params.min_compute_ops = size_class;
+    params.max_compute_ops = size_class;
+    return makeRandomLoop(params, 42, "bench");
+}
+
+void
+BM_FullTranslation_Swing(benchmark::State& state)
+{
+    const Loop loop = benchLoop(static_cast<int>(state.range(0)));
+    const LaConfig la = LaConfig::proposed();
+    for (auto _ : state) {
+        auto result =
+            translateLoop(loop, la, TranslationMode::kFullyDynamic);
+        benchmark::DoNotOptimize(result.ok);
+    }
+}
+BENCHMARK(BM_FullTranslation_Swing)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_FullTranslation_Height(benchmark::State& state)
+{
+    const Loop loop = benchLoop(static_cast<int>(state.range(0)));
+    const LaConfig la = LaConfig::proposed();
+    for (auto _ : state) {
+        auto result = translateLoop(loop, la,
+                                    TranslationMode::kFullyDynamicHeight);
+        benchmark::DoNotOptimize(result.ok);
+    }
+}
+BENCHMARK(BM_FullTranslation_Height)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_FullTranslation_Hybrid(benchmark::State& state)
+{
+    const Loop loop = benchLoop(static_cast<int>(state.range(0)));
+    const LaConfig la = LaConfig::proposed();
+    const auto annotations = precompileAnnotations(loop, la);
+    for (auto _ : state) {
+        auto result = translateLoop(
+            loop, la, TranslationMode::kHybridStaticCcaPriority,
+            &annotations);
+        benchmark::DoNotOptimize(result.ok);
+    }
+}
+BENCHMARK(BM_FullTranslation_Hybrid)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_RecMii(benchmark::State& state)
+{
+    const Loop loop = makeShaMixLoop("sha", 3);
+    const LaConfig la = LaConfig::proposed();
+    const auto analysis = analyzeLoop(loop);
+    const auto mapping = emptyCcaMapping(loop);
+    const SchedGraph graph(loop, analysis, mapping, la);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(recMii(graph));
+    }
+}
+BENCHMARK(BM_RecMii);
+
+void
+BM_SwingOrder(benchmark::State& state)
+{
+    const Loop loop = makeShaMixLoop("sha", 3);
+    const LaConfig la = LaConfig::proposed();
+    const auto analysis = analyzeLoop(loop);
+    const auto mapping = emptyCcaMapping(loop);
+    const SchedGraph graph(loop, analysis, mapping, la);
+    const int mii = std::max(resMii(graph, la), recMii(graph));
+    for (auto _ : state) {
+        auto order = computeSwingOrder(graph, mii);
+        benchmark::DoNotOptimize(order.sequence.data());
+    }
+}
+BENCHMARK(BM_SwingOrder);
+
+void
+BM_HeightOrder(benchmark::State& state)
+{
+    const Loop loop = makeShaMixLoop("sha", 3);
+    const LaConfig la = LaConfig::proposed();
+    const auto analysis = analyzeLoop(loop);
+    const auto mapping = emptyCcaMapping(loop);
+    const SchedGraph graph(loop, analysis, mapping, la);
+    const int mii = std::max(resMii(graph, la), recMii(graph));
+    for (auto _ : state) {
+        auto order = computeHeightOrder(graph, mii);
+        benchmark::DoNotOptimize(order.sequence.data());
+    }
+}
+BENCHMARK(BM_HeightOrder);
+
+void
+BM_CcaMapping(benchmark::State& state)
+{
+    const Loop loop = makeDct8Loop("dct", 1);
+    const LaConfig la = LaConfig::proposed();
+    const auto analysis = analyzeLoop(loop);
+    for (auto _ : state) {
+        auto mapping = mapToCca(loop, analysis, *la.cca, la.latencies);
+        benchmark::DoNotOptimize(mapping.groups.data());
+    }
+}
+BENCHMARK(BM_CcaMapping);
+
+}  // namespace
+}  // namespace veal
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+#include "bench/common.h"
+
+#include <algorithm>
+
+#include "veal/arch/cpu_config.h"
+
+namespace veal::bench {
+
+double
+appSpeedup(const Benchmark& benchmark, const LaConfig& la,
+           TranslationMode mode, const VmOptions* extra_options)
+{
+    VmOptions options;
+    if (extra_options != nullptr)
+        options = *extra_options;
+    options.mode = mode;
+    VirtualMachine vm(la, CpuConfig::arm11(), options);
+    return vm.run(benchmark.transformed).speedup;
+}
+
+double
+meanSpeedup(const std::vector<Benchmark>& suite, const LaConfig& la,
+            TranslationMode mode, const VmOptions* extra_options)
+{
+    double sum = 0.0;
+    for (const auto& benchmark : suite)
+        sum += appSpeedup(benchmark, la, mode, extra_options);
+    return sum / static_cast<double>(suite.size());
+}
+
+LaConfig
+infiniteLike(const LaConfig& la)
+{
+    return la.hasCca() ? LaConfig::infiniteWithCca() : LaConfig::infinite();
+}
+
+double
+fractionOfInfinite(const std::vector<Benchmark>& suite, const LaConfig& la)
+{
+    const LaConfig infinite = infiniteLike(la);
+    double sum = 0.0;
+    for (const auto& benchmark : suite) {
+        const double finite =
+            appSpeedup(benchmark, la, TranslationMode::kStatic);
+        const double unlimited =
+            appSpeedup(benchmark, infinite, TranslationMode::kStatic);
+        sum += unlimited > 0.0 ? finite / unlimited : 1.0;
+    }
+    return sum / static_cast<double>(suite.size());
+}
+
+}  // namespace veal::bench

@@ -1,0 +1,41 @@
+#ifndef VEAL_BENCH_COMMON_H_
+#define VEAL_BENCH_COMMON_H_
+
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benchmark harness.
+ */
+
+#include <string>
+#include <vector>
+
+#include "veal/arch/la_config.h"
+#include "veal/vm/vm.h"
+#include "veal/workloads/suite.h"
+
+namespace veal::bench {
+
+/** Whole-application speedup of @p benchmark on (la, arm11) in @p mode. */
+double appSpeedup(const Benchmark& benchmark, const LaConfig& la,
+                  TranslationMode mode,
+                  const VmOptions* extra_options = nullptr);
+
+/** Mean speedup across @p suite. */
+double meanSpeedup(const std::vector<Benchmark>& suite, const LaConfig& la,
+                   TranslationMode mode,
+                   const VmOptions* extra_options = nullptr);
+
+/**
+ * The design-space-exploration metric of paper §3.1: the mean over the
+ * suite of (speedup on @p la) / (speedup on the infinite-resource LA),
+ * both measured with zero translation overhead.
+ */
+double fractionOfInfinite(const std::vector<Benchmark>& suite,
+                          const LaConfig& la);
+
+/** Infinite machine matching @p la's CCA presence (sweep baseline). */
+LaConfig infiniteLike(const LaConfig& la);
+
+}  // namespace veal::bench
+
+#endif  // VEAL_BENCH_COMMON_H_

@@ -1,0 +1,94 @@
+/**
+ * End-to-end VM demo on a realistic workload: the rawcaudio-style ADPCM
+ * application runs under the co-designed VM in all four translation
+ * modes, showing per-loop outcomes, code-cache behaviour, and the
+ * resulting whole-application speedups.
+ *
+ * Run: build/examples/adpcm_pipeline
+ */
+
+#include <cstdio>
+
+#include "veal/veal.h"
+
+using namespace veal;
+
+int
+main()
+{
+    // The application: the ADPCM coder's hot loop (compiled two ways)
+    // plus a quantiser and a non-inlinable I/O helper loop.
+    const CalleeLibrary library = standardCalleeLibrary();
+
+    Loop plain_adpcm = makeAdpcmStepLoop("adpcm_coder", true);
+    Loop tuned_adpcm = inlineCalls(plain_adpcm, library);
+
+    Application app;
+    app.name = "rawcaudio-demo";
+    app.sites.push_back(LoopSite{.loop = tuned_adpcm,
+                                 .fissioned = {},
+                                 .invocations = 400,
+                                 .iterations = 1024});
+    app.sites.push_back(
+        LoopSite{.loop = inlineCalls(makeQuantLoop("requant", true),
+                                     library),
+                 .fissioned = {},
+                 .invocations = 120,
+                 .iterations = 512});
+    app.sites.push_back(LoopSite{.loop = makeMathCallLoop("write_audio"),
+                                 .fissioned = {},
+                                 .invocations = 30,
+                                 .iterations = 128});
+    app.acyclic_cycles = 200000;
+
+    const LaConfig la = LaConfig::proposed();
+    const CpuConfig cpu = CpuConfig::arm11();
+
+    std::printf("ADPCM pipeline on the proposed LA (%s baseline)\n\n",
+                cpu.name.c_str());
+
+    for (const auto mode : {TranslationMode::kStatic,
+                            TranslationMode::kFullyDynamic,
+                            TranslationMode::kFullyDynamicHeight,
+                            TranslationMode::kHybridStaticCcaPriority}) {
+        VmOptions options;
+        options.mode = mode;
+        VirtualMachine vm(la, cpu, options);
+        const AppRunResult run = vm.run(app);
+
+        std::printf("--- mode: %s ---\n", toString(mode));
+        for (const auto& site : run.sites) {
+            if (site.accelerated) {
+                std::printf(
+                    "  %-14s accelerated: II=%d (MII %d), SC=%d, "
+                    "%lld translations @ %.0f instr\n",
+                    site.loop_name.c_str(), site.ii, site.mii,
+                    site.stage_count,
+                    static_cast<long long>(site.translations),
+                    site.instructions_per_translation);
+            } else {
+                std::printf("  %-14s on CPU (%s)\n",
+                            site.loop_name.c_str(),
+                            toString(site.reject));
+            }
+        }
+        std::printf("  cache: %lld hits / %lld misses;  translation "
+                    "overhead: %lld cycles\n",
+                    static_cast<long long>(run.cache_hits),
+                    static_cast<long long>(run.cache_misses),
+                    static_cast<long long>(run.translation_cycles));
+        std::printf("  speedup over baseline: %.2fx\n\n", run.speedup);
+    }
+
+    // What would the plain (untransformed) binary achieve?
+    Application plain = app;
+    plain.sites[0].loop = plain_adpcm;
+    VmOptions options;
+    options.mode = TranslationMode::kHybridStaticCcaPriority;
+    VirtualMachine vm(la, cpu, options);
+    std::printf("Untransformed binary (clip() left as a call): "
+                "speedup %.2fx -- the static compiler's inlining is what "
+                "unlocks the accelerator.\n",
+                vm.run(plain).speedup);
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * Design-space exploration with the public API: evaluate custom loop
+ * accelerator configurations against the benchmark suite, reporting die
+ * area and mean speedup -- the workflow behind the paper's Section 3.
+ *
+ * Run: build/examples/design_explorer [int_units fp_units load_streams]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "veal/support/table.h"
+#include "veal/veal.h"
+
+using namespace veal;
+
+namespace {
+
+struct Evaluation {
+    double area_mm2 = 0.0;
+    double mean_speedup = 0.0;
+    double speedup_per_mm2 = 0.0;
+};
+
+Evaluation
+evaluate(const LaConfig& la, const std::vector<Benchmark>& suite)
+{
+    Evaluation eval;
+    eval.area_mm2 = AreaModel().totalArea(la);
+    VmOptions options;
+    options.mode = TranslationMode::kHybridStaticCcaPriority;
+    double sum = 0.0;
+    for (const auto& benchmark : suite) {
+        VirtualMachine vm(la, CpuConfig::arm11(), options);
+        sum += vm.run(benchmark.transformed).speedup;
+    }
+    eval.mean_speedup = sum / static_cast<double>(suite.size());
+    eval.speedup_per_mm2 = (eval.mean_speedup - 1.0) / eval.area_mm2;
+    return eval;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    const auto suite = mediaFpSuite();
+
+    if (argc == 4) {
+        // Evaluate one user-specified design point.
+        LaConfig la = LaConfig::proposed();
+        la.name = "custom";
+        la.num_int_units = std::atoi(argv[1]);
+        la.num_fp_units = std::atoi(argv[2]);
+        la.num_load_streams = std::atoi(argv[3]);
+        const Evaluation eval = evaluate(la, suite);
+        std::printf("custom LA (%d int, %d fp, %d load streams): "
+                    "%.2f mm^2, mean speedup %.2fx, %.3f speedup/mm^2\n",
+                    la.num_int_units, la.num_fp_units,
+                    la.num_load_streams, eval.area_mm2,
+                    eval.mean_speedup, eval.speedup_per_mm2);
+        return 0;
+    }
+
+    std::printf("Loop accelerator design exploration "
+                "(hybrid static/dynamic translation)\n\n");
+    TextTable table({"design", "area mm^2", "mean speedup",
+                     "(speedup-1)/mm^2"});
+
+    auto add = [&](const char* name, const LaConfig& la) {
+        const Evaluation eval = evaluate(la, suite);
+        table.addRow({name, TextTable::formatDouble(eval.area_mm2, 2),
+                      TextTable::formatDouble(eval.mean_speedup, 2),
+                      TextTable::formatDouble(eval.speedup_per_mm2, 3)});
+    };
+
+    add("proposed (paper 3.2)", LaConfig::proposed());
+
+    LaConfig no_cca = LaConfig::proposed();
+    no_cca.name = "no-cca";
+    no_cca.num_cca_units = 0;
+    no_cca.cca.reset();
+    no_cca.num_int_units = 4;  // Spend the CCA area on 2 more ALUs.
+    add("no CCA, 4 int units", no_cca);
+
+    LaConfig single_fpu = LaConfig::proposed();
+    single_fpu.name = "1-fpu";
+    single_fpu.num_fp_units = 1;
+    add("single FPU (cheap)", single_fpu);
+
+    LaConfig narrow = LaConfig::proposed();
+    narrow.name = "narrow";
+    narrow.num_load_streams = 4;
+    narrow.num_store_streams = 2;
+    add("4 load / 2 store streams", narrow);
+
+    LaConfig deep = LaConfig::proposed();
+    deep.name = "deep";
+    deep.max_ii = 32;
+    add("max II 32 (bigger control)", deep);
+
+    LaConfig big_regs = LaConfig::proposed();
+    big_regs.name = "big-regs";
+    big_regs.num_int_registers = 32;
+    big_regs.num_fp_registers = 32;
+    add("32 + 32 registers", big_regs);
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Try a custom point: design_explorer <int_units> "
+                "<fp_units> <load_streams>\n");
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * File-driven translation: read a loop kernel in the textual DSL (see
+ * veal/ir/loop_parser.h), translate it for the proposed LA, and report
+ * everything the VM would produce.  This is how you experiment with new
+ * kernels without writing C++.
+ *
+ * Run: build/examples/run_kernel examples/kernels/complex_mult.loop
+ *      build/examples/run_kernel --mode=height my_kernel.loop
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "veal/veal.h"
+
+using namespace veal;
+
+int
+main(int argc, char** argv)
+{
+    TranslationMode mode = TranslationMode::kFullyDynamic;
+    const char* path = nullptr;
+    for (int arg = 1; arg < argc; ++arg) {
+        if (std::strcmp(argv[arg], "--mode=height") == 0)
+            mode = TranslationMode::kFullyDynamicHeight;
+        else if (std::strcmp(argv[arg], "--mode=hybrid") == 0)
+            mode = TranslationMode::kHybridStaticCcaPriority;
+        else if (std::strcmp(argv[arg], "--mode=swing") == 0)
+            mode = TranslationMode::kFullyDynamic;
+        else
+            path = argv[arg];
+    }
+    if (path == nullptr) {
+        std::fprintf(stderr,
+                     "usage: run_kernel [--mode=swing|height|hybrid] "
+                     "<kernel.loop>\n");
+        return 2;
+    }
+
+    std::ifstream file(path);
+    if (!file) {
+        std::fprintf(stderr, "cannot open %s\n", path);
+        return 2;
+    }
+    std::ostringstream text;
+    text << file.rdbuf();
+
+    const auto parsed = parseLoop(text.str());
+    if (std::holds_alternative<ParseError>(parsed)) {
+        const auto& error = std::get<ParseError>(parsed);
+        std::fprintf(stderr, "%s:%d: %s\n", path, error.line,
+                     error.message.c_str());
+        return 1;
+    }
+    const Loop& loop = std::get<Loop>(parsed);
+    std::printf("parsed '%s': %d ops, trip count %lld\n",
+                loop.name().c_str(), loop.size(),
+                static_cast<long long>(loop.tripCount()));
+
+    const LaConfig la = LaConfig::proposed();
+    StaticAnnotations annotations;
+    const StaticAnnotations* annotations_ptr = nullptr;
+    if (mode == TranslationMode::kHybridStaticCcaPriority) {
+        annotations = precompileAnnotations(loop, la);
+        annotations_ptr = &annotations;
+    }
+    const auto tr = translateLoop(loop, la, mode, annotations_ptr);
+    if (!tr.ok) {
+        std::printf("translation rejected: %s (%s) -- the loop runs on "
+                    "the baseline CPU\n",
+                    toString(tr.reject), tr.reject_detail.c_str());
+        return 0;
+    }
+
+    std::printf("streams: %zu load / %zu store; CCA groups: %zu\n",
+                tr.analysis.load_streams.size(),
+                tr.analysis.store_streams.size(),
+                tr.mapping.groups.size());
+    std::printf("MII %d -> II %d, %d stages; registers %d int / %d fp\n",
+                tr.mii, tr.schedule.ii, tr.schedule.stage_count,
+                tr.registers.int_regs_used, tr.registers.fp_regs_used);
+    std::printf("translation cost: %.0f instructions (%s)\n\n",
+                tr.meter.totalInstructions(), toString(mode));
+    std::printf("%s\n",
+                renderReservationTable(*tr.graph, loop, tr.schedule)
+                    .c_str());
+
+    const auto image = ControlImage::encode(loop, tr);
+    std::printf("control image: %zu bytes\n", image.byteSize());
+
+    const auto cpu =
+        simulateLoopOnCpu(loop, CpuConfig::arm11(), loop.tripCount());
+    const auto accel = acceleratorLoopCost(tr.schedule, *tr.graph,
+                                           tr.analysis, tr.registers, la,
+                                           loop.tripCount());
+    std::printf("speedup over the 1-issue baseline: %.2fx "
+                "(%lld -> %lld cycles)\n",
+                static_cast<double>(cpu.total_cycles) /
+                    static_cast<double>(accel.total()),
+                static_cast<long long>(cpu.total_cycles),
+                static_cast<long long>(accel.total()));
+    return 0;
+}

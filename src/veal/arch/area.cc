@@ -1,0 +1,41 @@
+#include "veal/arch/area.h"
+
+namespace veal {
+
+std::vector<AreaItem>
+AreaModel::breakdown(const LaConfig& config) const
+{
+    const auto& c = coefficients_;
+    std::vector<AreaItem> items;
+    items.push_back({"integer units",
+                     c.per_int_unit * config.num_int_units});
+    items.push_back({"fp units", c.per_fp_unit * config.num_fp_units});
+    if (config.hasCca())
+        items.push_back({"cca", c.per_cca * config.num_cca_units});
+    items.push_back({"registers",
+                     c.per_register * (config.num_int_registers +
+                                       config.num_fp_registers)});
+    items.push_back({"address generators",
+                     c.per_addr_gen * (config.num_load_addr_gens +
+                                       config.num_store_addr_gens)});
+    items.push_back({"stream contexts",
+                     c.per_stream_context * (config.num_load_streams +
+                                             config.num_store_streams)});
+    const int num_fus = config.num_int_units + config.num_fp_units +
+                        (config.hasCca() ? config.num_cca_units : 0);
+    items.push_back({"control store",
+                     c.per_control_entry * config.max_ii * num_fus});
+    items.push_back({"bus interface", c.bus_interface});
+    return items;
+}
+
+double
+AreaModel::totalArea(const LaConfig& config) const
+{
+    double total = 0.0;
+    for (const auto& item : breakdown(config))
+        total += item.mm2;
+    return total;
+}
+
+}  // namespace veal

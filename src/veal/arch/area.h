@@ -1,0 +1,65 @@
+#ifndef VEAL_ARCH_AREA_H_
+#define VEAL_ARCH_AREA_H_
+
+/**
+ * @file
+ * Die-area estimation for loop accelerator configurations.
+ *
+ * The paper collected component estimates with Cadence tools and an IBM
+ * 90 nm standard-cell library (§3.2): the proposed LA occupies ~3.8 mm^2,
+ * of which the two double-precision FPUs consume 2.38 mm^2.  We back out
+ * per-component constants consistent with those totals so that arbitrary
+ * configurations can be costed in the design-space exploration.
+ */
+
+#include <string>
+#include <vector>
+
+#include "veal/arch/la_config.h"
+
+namespace veal {
+
+/** Per-component areas at 90 nm, in mm^2. */
+struct AreaCoefficients {
+    double per_int_unit = 0.10;
+    double per_fp_unit = 1.19;       ///< 2 FPUs = 2.38 mm^2 (paper §3.2).
+    double per_cca = 0.35;
+    double per_register = 0.008;     ///< Register file bit-cells + ports.
+    double per_addr_gen = 0.05;
+    double per_stream_context = 0.004;  ///< Base/stride/count storage.
+    double per_control_entry = 0.0025;  ///< Control store: max_ii x FU.
+    double bus_interface = 0.02;
+};
+
+/** One line of an area report. */
+struct AreaItem {
+    std::string component;
+    double mm2 = 0.0;
+};
+
+/** Estimates LA die area from component coefficients. */
+class AreaModel {
+  public:
+    AreaModel() = default;
+    explicit AreaModel(const AreaCoefficients& coefficients)
+        : coefficients_(coefficients)
+    {}
+
+    /** Total area of @p config in mm^2. */
+    double totalArea(const LaConfig& config) const;
+
+    /** Itemised breakdown (sums to totalArea()). */
+    std::vector<AreaItem> breakdown(const LaConfig& config) const;
+
+    /** Reference CPU areas from the paper, for the §4.3 comparison. */
+    static constexpr double kArm11Mm2 = 4.34;
+    static constexpr double kCortexA8Mm2 = 10.2;
+    static constexpr double kQuadIssueMm2 = 14.0;
+
+  private:
+    AreaCoefficients coefficients_;
+};
+
+}  // namespace veal
+
+#endif  // VEAL_ARCH_AREA_H_

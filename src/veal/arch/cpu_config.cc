@@ -1,0 +1,44 @@
+#include "veal/arch/cpu_config.h"
+
+namespace veal {
+
+CpuConfig
+CpuConfig::arm11()
+{
+    CpuConfig config;
+    config.name = "arm11-1issue";
+    config.issue_width = 1;
+    config.branch_penalty = 3;
+    config.load_latency = 2;
+    config.area_mm2 = 4.34;
+    return config;
+}
+
+CpuConfig
+CpuConfig::cortexA8()
+{
+    CpuConfig config;
+    config.name = "cortexa8-2issue";
+    config.issue_width = 2;
+    config.branch_penalty = 3;
+    config.load_latency = 2;
+    config.area_mm2 = 10.2;
+    config.acyclic_speedup = 1.35;
+    return config;
+}
+
+CpuConfig
+CpuConfig::quadIssue()
+{
+    CpuConfig config;
+    config.name = "hypothetical-4issue";
+    config.issue_width = 4;
+    config.branch_penalty = 3;
+    // Larger L2 folds into a slightly better average load latency.
+    config.load_latency = 2;
+    config.area_mm2 = 14.0;
+    config.acyclic_speedup = 1.6;
+    return config;
+}
+
+}  // namespace veal

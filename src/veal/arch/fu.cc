@@ -1,0 +1,31 @@
+#include "veal/arch/fu.h"
+
+namespace veal {
+
+const char*
+toString(FuClass fu_class)
+{
+    switch (fu_class) {
+      case FuClass::kInt: return "int";
+      case FuClass::kFp: return "fp";
+      case FuClass::kCca: return "cca";
+      case FuClass::kNone: return "none";
+      case FuClass::kCount: break;
+    }
+    return "unknown";
+}
+
+FuClass
+fuClassFor(Opcode opcode)
+{
+    if (opcode == Opcode::kCca)
+        return FuClass::kCca;
+    const OpcodeInfo& info = opcodeInfo(opcode);
+    if (info.is_float)
+        return FuClass::kFp;
+    if (info.is_integer)
+        return FuClass::kInt;
+    return FuClass::kNone;
+}
+
+}  // namespace veal

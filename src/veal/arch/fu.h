@@ -1,0 +1,39 @@
+#ifndef VEAL_ARCH_FU_H_
+#define VEAL_ARCH_FU_H_
+
+/**
+ * @file
+ * Function-unit classes of the loop accelerator datapath.
+ *
+ * The LA template (paper Figure 1) has three FU classes that appear as
+ * modulo-reservation-table columns: integer units (which also execute
+ * shifts and multiplies, §3.1), double-precision FP units, and the CCA.
+ * Memory, control, and address operations never occupy an FU: they are
+ * folded into the address generators and loop-control hardware.
+ */
+
+#include "veal/ir/opcode.h"
+
+namespace veal {
+
+/** Accelerator FU classes (MRT column kinds). */
+enum class FuClass : int {
+    kInt = 0,  ///< Integer ALU (including shift/multiply/divide).
+    kFp,       ///< Double-precision floating-point unit.
+    kCca,      ///< Configurable compute accelerator.
+    kNone,     ///< No FU needed (memory/control/address/value sources).
+    kCount,
+};
+
+/** Number of real FU classes (excludes kNone). */
+inline constexpr int kNumFuClasses = 3;
+
+/** Class name, e.g. "int". */
+const char* toString(FuClass fu_class);
+
+/** The FU class that executes @p opcode (kCca only for collapsed ops). */
+FuClass fuClassFor(Opcode opcode);
+
+}  // namespace veal
+
+#endif  // VEAL_ARCH_FU_H_

@@ -1,0 +1,57 @@
+#include "veal/arch/la_config.h"
+
+namespace veal {
+
+LaConfig
+LaConfig::proposed()
+{
+    LaConfig config;
+    config.name = "veal-proposed";
+    // Paper §3.2: 1 CCA, 2 integer units, 2 double-precision FP units,
+    // 16 FP and integer registers, 16 load streams (4 address generators),
+    // 8 store streams (2 address generators), maximum II of 16.
+    config.num_int_units = 2;
+    config.num_fp_units = 2;
+    config.num_cca_units = 1;
+    config.cca = CcaSpec::classic();
+    config.num_int_registers = 16;
+    config.num_fp_registers = 16;
+    config.num_load_streams = 16;
+    config.num_store_streams = 8;
+    config.num_load_addr_gens = 4;
+    config.num_store_addr_gens = 2;
+    config.max_ii = 16;
+    return config;
+}
+
+LaConfig
+LaConfig::infinite()
+{
+    LaConfig config;
+    config.name = "infinite";
+    config.num_int_units = kUnlimited;
+    config.num_fp_units = kUnlimited;
+    config.num_cca_units = 0;
+    config.cca = std::nullopt;
+    config.num_int_registers = kUnlimited;
+    config.num_fp_registers = kUnlimited;
+    config.num_load_streams = kUnlimited;
+    config.num_store_streams = kUnlimited;
+    config.num_load_addr_gens = kUnlimited;
+    config.num_store_addr_gens = kUnlimited;
+    config.num_memory_ports = kUnlimited;
+    config.max_ii = kUnlimited;
+    return config;
+}
+
+LaConfig
+LaConfig::infiniteWithCca()
+{
+    LaConfig config = infinite();
+    config.name = "infinite+cca";
+    config.num_cca_units = 1;
+    config.cca = CcaSpec::classic();
+    return config;
+}
+
+}  // namespace veal

@@ -1,0 +1,91 @@
+#ifndef VEAL_ARCH_LA_CONFIG_H_
+#define VEAL_ARCH_LA_CONFIG_H_
+
+/**
+ * @file
+ * Loop accelerator configuration: the knobs explored in paper §3.
+ */
+
+#include <optional>
+#include <string>
+
+#include "veal/arch/cca_spec.h"
+#include "veal/arch/fu.h"
+#include "veal/arch/latency.h"
+
+namespace veal {
+
+/**
+ * One loop accelerator design point.
+ *
+ * "Infinite" resources are modelled with a large sentinel (kUnlimited);
+ * the design-space exploration sweeps individual fields while holding the
+ * rest unlimited, exactly as in §3.1.
+ */
+struct LaConfig {
+    /** Effectively-infinite resource count for exploration baselines. */
+    static constexpr int kUnlimited = 1 << 20;
+
+    std::string name = "la";
+
+    // Function units ----------------------------------------------------
+    int num_int_units = 2;
+    int num_fp_units = 2;
+    int num_cca_units = 1;
+    std::optional<CcaSpec> cca = CcaSpec::classic();
+
+    // Registers (paper Figure 3(b): separate integer / FP files) --------
+    int num_int_registers = 16;
+    int num_fp_registers = 16;
+
+    // Memory streams (paper Figure 4(a)) ---------------------------------
+    int num_load_streams = 16;
+    int num_store_streams = 8;
+    int num_load_addr_gens = 4;   ///< Time-multiplexed across load streams.
+    int num_store_addr_gens = 2;  ///< Time-multiplexed across store streams.
+
+    /**
+     * Memory ports shared by all address generators (paper §2.1: streams
+     * time-multiplex a small number of ports).  Bounds the aggregate
+     * load+store rate to num_memory_ports accesses per cycle, which the
+     * scheduler sees as a ResMII component.
+     */
+    int num_memory_ports = 1;
+
+    // Control -------------------------------------------------------------
+    int max_ii = 16;  ///< Control-store depth: each FU holds II instructions.
+
+    /** Execution latencies inside the accelerator. */
+    LatencyModel latencies = LatencyModel::accelerator();
+
+    /** Cycles to cross the system bus to/from the host CPU (paper: 10). */
+    int bus_latency = 10;
+
+    /** True when a CCA FU exists. */
+    bool hasCca() const { return num_cca_units > 0 && cca.has_value(); }
+
+    /** Number of FU instances in @p fu_class. */
+    int
+    fuCount(FuClass fu_class) const
+    {
+        switch (fu_class) {
+          case FuClass::kInt: return num_int_units;
+          case FuClass::kFp: return num_fp_units;
+          case FuClass::kCca: return hasCca() ? num_cca_units : 0;
+          default: return 0;
+        }
+    }
+
+    /** The design point proposed in paper §3.2. */
+    static LaConfig proposed();
+
+    /** The infinite-resource exploration baseline (no CCA by default). */
+    static LaConfig infinite();
+
+    /** Infinite resources plus one classic CCA. */
+    static LaConfig infiniteWithCca();
+};
+
+}  // namespace veal
+
+#endif  // VEAL_ARCH_LA_CONFIG_H_

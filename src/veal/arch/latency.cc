@@ -1,0 +1,60 @@
+#include "veal/arch/latency.h"
+
+#include "veal/support/assert.h"
+
+namespace veal {
+
+LatencyModel::LatencyModel()
+{
+    cycles_.fill(1);
+}
+
+int
+LatencyModel::latency(Opcode opcode) const
+{
+    const int index = static_cast<int>(opcode);
+    VEAL_ASSERT(index >= 0 && index < kNumOpcodes);
+    return cycles_[static_cast<std::size_t>(index)];
+}
+
+void
+LatencyModel::set(Opcode opcode, int cycles)
+{
+    VEAL_ASSERT(cycles >= 0);
+    cycles_[static_cast<std::size_t>(static_cast<int>(opcode))] = cycles;
+}
+
+LatencyModel
+LatencyModel::accelerator()
+{
+    LatencyModel m;
+    m.set(Opcode::kMul, 3);
+    m.set(Opcode::kDiv, 8);
+    m.set(Opcode::kCca, 2);
+    // Loads read FIFOs filled by decoupled address generators; the value is
+    // available one cycle after issue.
+    m.set(Opcode::kLoad, 1);
+    // Double-precision FP, fully pipelined (paper §3.1 assumption).
+    m.set(Opcode::kFAdd, 4);
+    m.set(Opcode::kFSub, 4);
+    m.set(Opcode::kFMul, 4);
+    m.set(Opcode::kFDiv, 12);
+    m.set(Opcode::kFSqrt, 16);
+    m.set(Opcode::kFCmp, 2);
+    m.set(Opcode::kFAbs, 1);
+    m.set(Opcode::kItoF, 2);
+    m.set(Opcode::kFtoI, 2);
+    return m;
+}
+
+LatencyModel
+LatencyModel::cpu()
+{
+    LatencyModel m = accelerator();
+    // The CPU pays an L1 hit on every load instead of reading a FIFO.
+    m.set(Opcode::kLoad, 2);
+    m.set(Opcode::kCca, 2);  // Never used on the CPU; kept for symmetry.
+    return m;
+}
+
+}  // namespace veal

@@ -1,0 +1,132 @@
+#ifndef VEAL_IR_LOOP_H_
+#define VEAL_IR_LOOP_H_
+
+/**
+ * @file
+ * The loop-body dataflow graph: VEAL's unit of translation.
+ *
+ * A Loop models one innermost, counted loop expressed in the baseline ISA.
+ * The translator (veal/vm) analyses it, maps subgraphs to the CCA
+ * (veal/cca), modulo-schedules it (veal/sched), and either produces loop
+ * accelerator control or rejects it back to the CPU.
+ */
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "veal/ir/operation.h"
+
+namespace veal {
+
+/** One dependence edge of the loop body, with iteration distance. */
+struct DepEdge {
+    OpId from = kNoOp;
+    OpId to = kNoOp;
+    int distance = 0;
+    bool is_memory = false;  ///< Memory-ordering edge, not a value flow.
+
+    friend bool operator==(const DepEdge&, const DepEdge&) = default;
+};
+
+/** Why a loop cannot execute on a loop accelerator at all. */
+enum class LoopFeature : int {
+    kModuloSchedulable,   ///< Counted DO-loop; the LA can run it.
+    kNeedsSpeculation,    ///< While-loop or side exit (paper: unsupported).
+    kHasSubroutineCall,   ///< Non-inlinable call in the body.
+};
+
+/** Feature name, e.g. "modulo-schedulable". */
+const char* toString(LoopFeature feature);
+
+/**
+ * A loop body as a dataflow graph plus the execution profile the VM needs.
+ */
+class Loop {
+  public:
+    explicit Loop(std::string name);
+
+    /** Loop name, unique within a benchmark. */
+    const std::string& name() const { return name_; }
+
+    /** Append an operation; its id must equal the current op count. */
+    OpId addOperation(Operation op);
+
+    /** All operations, indexed by OpId. */
+    const std::vector<Operation>& operations() const { return ops_; }
+
+    /** The operation with id @p id. */
+    const Operation& op(OpId id) const;
+
+    /** Mutable access (used by transforms and the CCA rewrite). */
+    Operation& mutableOp(OpId id);
+
+    /** Number of operations. */
+    int size() const { return static_cast<int>(ops_.size()); }
+
+    /** Add an explicit memory-ordering edge (store -> load, etc.). */
+    void addMemoryEdge(OpId from, OpId to, int distance);
+
+    /** Explicit memory-ordering edges. */
+    const std::vector<DepEdge>& memoryEdges() const { return memory_edges_; }
+
+    /** All dependence edges: data edges from operands + memory edges. */
+    std::vector<DepEdge> allEdges() const;
+
+    /** Consumers of each op's value (distance-annotated), by producer id. */
+    std::vector<std::vector<Operand>> useLists() const;
+
+    /** Typical trip count used by the timing model. */
+    void setTripCount(std::int64_t trips) { trip_count_ = trips; }
+    std::int64_t tripCount() const { return trip_count_; }
+
+    /** Hardware feature class of the loop (paper Figure 2 categories). */
+    void setFeature(LoopFeature feature) { feature_ = feature; }
+    LoopFeature feature() const { return feature_; }
+
+    /**
+     * Topological order over intra-iteration (distance-0) edges.
+     * @pre verify() passed: the distance-0 subgraph is acyclic.
+     */
+    std::vector<OpId> topologicalOrder() const;
+
+    /**
+     * Validate structural invariants.  Returns std::nullopt when the loop is
+     * well formed, otherwise a human-readable description of the first
+     * violation found.  Checked invariants:
+     *  - operand producers are valid ids, distances are >= 0,
+     *  - the distance-0 dependence subgraph is acyclic,
+     *  - value sources (const/live-in) have no inputs,
+     *  - stores have exactly two inputs (address, value); loads exactly one,
+     *  - at most one loop-back branch,
+     *  - memory edges connect memory operations.
+     */
+    std::optional<std::string> verify() const;
+
+    /** GraphViz dump for debugging and documentation. */
+    std::string toDot() const;
+
+    /** Count of ops for which @p pred returns true. */
+    template <typename Pred>
+    int
+    countOps(Pred pred) const
+    {
+        int count = 0;
+        for (const auto& operation : ops_) {
+            if (pred(operation))
+                ++count;
+        }
+        return count;
+    }
+
+  private:
+    std::string name_;
+    std::vector<Operation> ops_;
+    std::vector<DepEdge> memory_edges_;
+    std::int64_t trip_count_ = 100;
+    LoopFeature feature_ = LoopFeature::kModuloSchedulable;
+};
+
+}  // namespace veal
+
+#endif  // VEAL_IR_LOOP_H_

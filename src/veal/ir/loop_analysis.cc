@@ -1,0 +1,378 @@
+#include "veal/ir/loop_analysis.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "veal/support/assert.h"
+
+namespace veal {
+
+const char*
+toString(AnalysisReject reject)
+{
+    switch (reject) {
+      case AnalysisReject::kNone: return "none";
+      case AnalysisReject::kSubroutineCall: return "subroutine-call";
+      case AnalysisReject::kNeedsSpeculation: return "needs-speculation";
+      case AnalysisReject::kNonAffineAddress: return "non-affine-address";
+      case AnalysisReject::kComplexControl: return "complex-control";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/**
+ * A value expressed as an affine function of the iteration number n:
+ *   value(n) = constant + stride * n + sum(symbolic loop-invariant terms).
+ * Symbolic terms are live-ins and induction-variable start values, which
+ * fold into an address generator's base address.
+ */
+struct Affine {
+    bool valid = false;
+    std::int64_t constant = 0;
+    std::int64_t stride = 0;
+    /// (op id of the symbol, coefficient); sorted, coefficients non-zero.
+    std::vector<std::pair<OpId, std::int64_t>> symbols;
+};
+
+void
+addSymbol(Affine* a, OpId symbol, std::int64_t coeff)
+{
+    for (auto& term : a->symbols) {
+        if (term.first == symbol) {
+            term.second += coeff;
+            if (term.second == 0) {
+                std::erase_if(a->symbols,
+                              [&](const auto& t) { return t.second == 0; });
+            }
+            return;
+        }
+    }
+    if (coeff != 0) {
+        a->symbols.emplace_back(symbol, coeff);
+        std::sort(a->symbols.begin(), a->symbols.end());
+    }
+}
+
+Affine
+combine(const Affine& a, const Affine& b, std::int64_t sign)
+{
+    Affine out;
+    out.valid = true;
+    out.constant = a.constant + sign * b.constant;
+    out.stride = a.stride + sign * b.stride;
+    out.symbols = a.symbols;
+    for (const auto& [symbol, coeff] : b.symbols)
+        addSymbol(&out, symbol, sign * coeff);
+    return out;
+}
+
+Affine
+scale(const Affine& a, std::int64_t factor)
+{
+    Affine out;
+    out.valid = true;
+    out.constant = a.constant * factor;
+    out.stride = a.stride * factor;
+    for (const auto& [symbol, coeff] : a.symbols)
+        addSymbol(&out, symbol, coeff * factor);
+    return out;
+}
+
+/** Evaluates affine forms of loop values with memoization. */
+class AffineEvaluator {
+  public:
+    AffineEvaluator(const Loop& loop, CostMeter* meter)
+        : loop_(loop), meter_(meter),
+          cache_(static_cast<std::size_t>(loop.size()))
+    {}
+
+    /** Affine form of @p operand (value produced `distance` iters ago). */
+    Affine
+    evaluate(const Operand& operand)
+    {
+        Affine base = evaluateOp(operand.producer);
+        if (!base.valid || operand.distance == 0)
+            return base;
+        // value(n - d) = value(n) - d * stride.
+        Affine shifted = base;
+        shifted.constant -= operand.distance * base.stride;
+        return shifted;
+    }
+
+  private:
+    Affine
+    evaluateOp(OpId id)
+    {
+        auto& slot = cache_[static_cast<std::size_t>(id)];
+        if (slot.has_value())
+            return *slot;
+        if (meter_ != nullptr)
+            meter_->charge(TranslationPhase::kLoopAnalysis, 1);
+
+        // Seed the cache with invalid to terminate unexpected cycles.
+        slot = Affine{};
+        const Operation& op = loop_.op(id);
+        Affine result;
+        switch (op.opcode) {
+          case Opcode::kConst:
+            result.valid = true;
+            result.constant = op.immediate;
+            break;
+          case Opcode::kLiveIn:
+            result.valid = true;
+            addSymbol(&result, id, 1);
+            break;
+          case Opcode::kAdd:
+            if (op.is_induction) {
+                // i(n) = i0 + step * n; step is inputs[1] (a constant).
+                const Operation& step_op = loop_.op(op.inputs[1].producer);
+                if (step_op.opcode == Opcode::kConst) {
+                    result.valid = true;
+                    result.stride = step_op.immediate;
+                    addSymbol(&result, id, 1);  // symbolic start value
+                }
+            } else {
+                const Affine a = evaluate(op.inputs[0]);
+                const Affine b = evaluate(op.inputs[1]);
+                if (a.valid && b.valid)
+                    result = combine(a, b, +1);
+            }
+            break;
+          case Opcode::kSub: {
+            const Affine a = evaluate(op.inputs[0]);
+            const Affine b = evaluate(op.inputs[1]);
+            if (a.valid && b.valid)
+                result = combine(a, b, -1);
+            break;
+          }
+          case Opcode::kShl: {
+            const Affine a = evaluate(op.inputs[0]);
+            const Operation& amount = loop_.op(op.inputs[1].producer);
+            if (a.valid && amount.opcode == Opcode::kConst &&
+                amount.immediate >= 0 && amount.immediate < 32) {
+                result = scale(a, std::int64_t{1} << amount.immediate);
+            }
+            break;
+          }
+          case Opcode::kMul: {
+            const Affine a = evaluate(op.inputs[0]);
+            const Affine b = evaluate(op.inputs[1]);
+            if (a.valid && b.valid) {
+                const bool a_const = a.stride == 0 && a.symbols.empty();
+                const bool b_const = b.stride == 0 && b.symbols.empty();
+                if (b_const)
+                    result = scale(a, b.constant);
+                else if (a_const)
+                    result = scale(b, a.constant);
+            }
+            break;
+          }
+          default:
+            break;  // Not affine.
+        }
+        slot = result;
+        return result;
+    }
+
+    const Loop& loop_;
+    CostMeter* meter_;
+    std::vector<std::optional<Affine>> cache_;
+};
+
+/** Render the loop-invariant symbolic part of an address as a base label. */
+std::string
+symbolicBase(const std::string& array,
+             const std::vector<std::pair<OpId, std::int64_t>>& symbols)
+{
+    std::ostringstream os;
+    os << array;
+    for (const auto& [symbol, coeff] : symbols)
+        os << "+" << coeff << "*v" << symbol;
+    return os.str();
+}
+
+}  // namespace
+
+LoopAnalysis
+analyzeLoop(const Loop& loop, CostMeter* meter)
+{
+    LoopAnalysis result;
+    const int n = loop.size();
+    result.roles.assign(static_cast<std::size_t>(n), OpRole::kCompute);
+    result.stream_of_op.assign(static_cast<std::size_t>(n), -1);
+
+    auto reject = [&](AnalysisReject why, std::string detail) {
+        result.reject = why;
+        result.reject_detail = std::move(detail);
+        return result;
+    };
+
+    // Feature gates first: calls and speculative loops never map (paper
+    // §2.2); these run on the baseline CPU.
+    if (loop.feature() == LoopFeature::kHasSubroutineCall)
+        return reject(AnalysisReject::kSubroutineCall, loop.name());
+    if (loop.feature() == LoopFeature::kNeedsSpeculation)
+        return reject(AnalysisReject::kNeedsSpeculation, loop.name());
+    for (const auto& op : loop.operations()) {
+        if (op.opcode == Opcode::kCall)
+            return reject(AnalysisReject::kSubroutineCall, loop.name());
+    }
+
+    AffineEvaluator affine(loop, meter);
+    const auto uses = loop.useLists();
+
+    // --- Control separation: branch, its comparison, induction updates.
+    for (const auto& op : loop.operations()) {
+        if (op.opcode == Opcode::kBranch) {
+            result.roles[static_cast<std::size_t>(op.id)] = OpRole::kControl;
+            if (op.inputs.size() != 1)
+                return reject(AnalysisReject::kComplexControl, loop.name());
+            const Operation& cond = loop.op(op.inputs[0].producer);
+            if (cond.opcode != Opcode::kCmp)
+                return reject(AnalysisReject::kComplexControl, loop.name());
+            // Both comparison inputs must be affine in the iteration
+            // number, i.e. the loop is a simple counted loop.
+            for (const auto& input : cond.inputs) {
+                if (!affine.evaluate(input).valid) {
+                    return reject(AnalysisReject::kComplexControl,
+                                  "branch condition of " + loop.name());
+                }
+            }
+            result.roles[static_cast<std::size_t>(cond.id)] =
+                OpRole::kControl;
+        }
+        if (op.is_induction)
+            result.roles[static_cast<std::size_t>(op.id)] = OpRole::kControl;
+    }
+
+    // --- Memory stream separation.
+    auto intern_stream = [](std::vector<StreamDescriptor>* streams,
+                            StreamDescriptor candidate, OpId op) {
+        for (std::size_t i = 0; i < streams->size(); ++i) {
+            if ((*streams)[i] == candidate) {
+                (*streams)[i].memory_ops.push_back(op);
+                return static_cast<int>(i);
+            }
+        }
+        candidate.memory_ops.push_back(op);
+        streams->push_back(std::move(candidate));
+        return static_cast<int>(streams->size() - 1);
+    };
+
+    for (const auto& op : loop.operations()) {
+        if (!op.isMemory())
+            continue;
+        result.roles[static_cast<std::size_t>(op.id)] = OpRole::kMemory;
+        const Affine address = affine.evaluate(op.inputs[0]);
+        if (!address.valid) {
+            return reject(AnalysisReject::kNonAffineAddress,
+                          "op " + std::to_string(op.id) + " of " +
+                              loop.name());
+        }
+        StreamDescriptor stream;
+        stream.base = symbolicBase(op.symbol, address.symbols);
+        stream.array = op.symbol;
+        stream.base_terms = address.symbols;
+        stream.offset = address.constant;
+        stream.stride = address.stride;
+        stream.is_store = op.opcode == Opcode::kStore;
+        const int index =
+            stream.is_store
+                ? intern_stream(&result.store_streams, stream, op.id)
+                : intern_stream(&result.load_streams, stream, op.id);
+        result.stream_of_op[static_cast<std::size_t>(op.id)] = index;
+        if (meter != nullptr)
+            meter->charge(TranslationPhase::kLoopAnalysis, 2);
+    }
+
+    // --- Fold pure address/control computation out of the FU workload.
+    // Candidates: integer/value-source ops in the backward slice of some
+    // address or control operand.  A candidate keeps the address role only
+    // while *every* use feeds an address, the control slice, or a memory
+    // op's address operand; otherwise it must execute on a function unit.
+    std::vector<bool> candidate(static_cast<std::size_t>(n), false);
+    std::vector<OpId> worklist;
+    auto add_slice_root = [&](const Operand& operand) {
+        worklist.push_back(operand.producer);
+    };
+    for (const auto& op : loop.operations()) {
+        if (op.isMemory())
+            add_slice_root(op.inputs[0]);
+        if (result.roles[static_cast<std::size_t>(op.id)] ==
+            OpRole::kControl) {
+            for (const auto& input : op.inputs)
+                add_slice_root(input);
+        }
+    }
+    while (!worklist.empty()) {
+        const OpId id = worklist.back();
+        worklist.pop_back();
+        if (candidate[static_cast<std::size_t>(id)])
+            continue;
+        const Operation& op = loop.op(id);
+        if (result.roles[static_cast<std::size_t>(id)] != OpRole::kCompute)
+            continue;  // Already control or memory.
+        candidate[static_cast<std::size_t>(id)] = true;
+        if (meter != nullptr)
+            meter->charge(TranslationPhase::kLoopAnalysis, 1);
+        for (const auto& input : op.inputs)
+            worklist.push_back(input.producer);
+    }
+
+    // Fixed point: demote candidates with a compute-side use.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (OpId id = 0; id < n; ++id) {
+            if (!candidate[static_cast<std::size_t>(id)])
+                continue;
+            if (meter != nullptr)
+                meter->charge(TranslationPhase::kLoopAnalysis, 1);
+            bool pure = !loop.op(id).is_live_out;
+            for (const auto& use : uses[static_cast<std::size_t>(id)]) {
+                const Operation& user = loop.op(use.producer);
+                const auto user_role =
+                    result.roles[static_cast<std::size_t>(user.id)];
+                if (user_role == OpRole::kControl)
+                    continue;
+                if (user.isMemory()) {
+                    // Only the *address* operand keeps us pure; feeding a
+                    // store's value operand is computation.
+                    if (user.opcode == Opcode::kStore &&
+                        user.inputs[1].producer == id) {
+                        pure = false;
+                        break;
+                    }
+                    continue;
+                }
+                if (!candidate[static_cast<std::size_t>(user.id)]) {
+                    pure = false;
+                    break;
+                }
+            }
+            if (!pure) {
+                candidate[static_cast<std::size_t>(id)] = false;
+                changed = true;
+            }
+        }
+    }
+    for (OpId id = 0; id < n; ++id) {
+        if (candidate[static_cast<std::size_t>(id)])
+            result.roles[static_cast<std::size_t>(id)] = OpRole::kAddress;
+    }
+
+    for (const auto& op : loop.operations()) {
+        if (!op.isValueSource() &&
+            result.roles[static_cast<std::size_t>(op.id)] ==
+                OpRole::kCompute) {
+            ++result.num_compute_ops;
+        }
+    }
+
+    return result;
+}
+
+}  // namespace veal

@@ -1,0 +1,113 @@
+#ifndef VEAL_IR_LOOP_ANALYSIS_H_
+#define VEAL_IR_LOOP_ANALYSIS_H_
+
+/**
+ * @file
+ * "Separating Control and Memory Streams" (paper §4.1).
+ *
+ * The first real translation step: follow the backward slice of the
+ * loop-back branch to identify the control pattern, and the backward slices
+ * of memory-op addresses to identify affine access patterns that the LA's
+ * address generators can produce.  Ops used only by those slices are folded
+ * into the loop-control / address-generation hardware; everything else is
+ * computation that must be modulo scheduled onto function units.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "veal/ir/loop.h"
+#include "veal/support/cost_meter.h"
+
+namespace veal {
+
+/**
+ * One memory stream: a unique reference pattern, i.e. a base address plus a
+ * linear per-iteration update (paper §3.1's definition).
+ */
+struct StreamDescriptor {
+    std::string base;        ///< Base array symbol (plus symbolic terms).
+    std::int64_t offset = 0; ///< Constant element offset from the base.
+    std::int64_t stride = 0; ///< Elements advanced per loop iteration.
+    bool is_store = false;   ///< Direction of the stream.
+
+    /**
+     * Loop-invariant symbolic address terms: (live-in or induction-start
+     * op, coefficient).  The address generator adds their runtime values
+     * into the base address; the functional LA executor needs them to
+     * compute concrete element indices.
+     */
+    std::vector<std::pair<OpId, std::int64_t>> base_terms;
+
+    /** The plain array symbol (without the symbolic-term suffix). */
+    std::string array;
+
+    /** Memory ops sharing this reference pattern. */
+    std::vector<OpId> memory_ops;
+
+    friend bool
+    operator==(const StreamDescriptor& a, const StreamDescriptor& b)
+    {
+        return a.base == b.base && a.offset == b.offset &&
+               a.stride == b.stride && a.is_store == b.is_store;
+    }
+};
+
+/** Why analysis rejected a loop outright (before any resource checks). */
+enum class AnalysisReject : int {
+    kNone,
+    kSubroutineCall,     ///< kCall present / non-inlinable call.
+    kNeedsSpeculation,   ///< While-loop or side exit.
+    kNonAffineAddress,   ///< Address slice is not base + stride * iv.
+    kComplexControl,     ///< Loop-back condition not a simple counted test.
+};
+
+/** Rejection name, e.g. "non-affine-address". */
+const char* toString(AnalysisReject reject);
+
+/** Result of separating control and memory streams from computation. */
+struct LoopAnalysis {
+    /** Per-op role, indexed by OpId. */
+    std::vector<OpRole> roles;
+
+    /** Unique load reference patterns. */
+    std::vector<StreamDescriptor> load_streams;
+
+    /** Unique store reference patterns. */
+    std::vector<StreamDescriptor> store_streams;
+
+    /** Per-memory-op stream index (into the respective stream list). */
+    std::vector<int> stream_of_op;
+
+    /** Why the loop cannot target any LA, or kNone. */
+    AnalysisReject reject = AnalysisReject::kNone;
+
+    /** Diagnostic detail for the rejection. */
+    std::string reject_detail;
+
+    /** True when the loop survived analysis. */
+    bool ok() const { return reject == AnalysisReject::kNone; }
+
+    /**
+     * Number of compute-role ops excluding register-resident value
+     * sources: the portion that occupies function units.
+     */
+    int numComputeOps() const { return num_compute_ops; }
+
+    /** Filled by analyzeLoop(). */
+    int num_compute_ops = 0;
+};
+
+/**
+ * Run control/stream separation on @p loop.
+ *
+ * @param loop  a verified loop body.
+ * @param meter optional cost meter charged under kLoopAnalysis.
+ */
+LoopAnalysis analyzeLoop(const Loop& loop, CostMeter* meter = nullptr);
+
+}  // namespace veal
+
+#endif  // VEAL_IR_LOOP_ANALYSIS_H_

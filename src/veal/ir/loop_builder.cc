@@ -1,0 +1,125 @@
+#include "veal/ir/loop_builder.h"
+
+#include "veal/support/assert.h"
+#include "veal/support/logging.h"
+
+namespace veal {
+
+OpId
+LoopBuilder::constant(std::int64_t value)
+{
+    Operation op;
+    op.opcode = Opcode::kConst;
+    op.immediate = value;
+    return loop_.addOperation(std::move(op));
+}
+
+OpId
+LoopBuilder::liveIn(std::string name)
+{
+    Operation op;
+    op.opcode = Opcode::kLiveIn;
+    op.symbol = std::move(name);
+    return loop_.addOperation(std::move(op));
+}
+
+OpId
+LoopBuilder::induction(std::int64_t step)
+{
+    const OpId step_const = constant(step);
+    Operation op;
+    op.opcode = Opcode::kAdd;
+    op.is_induction = true;
+    const OpId id = loop_.addOperation(std::move(op));
+    // Patch in the self-referential carried input now that the id is known.
+    loop_.mutableOp(id).inputs = {Operand{id, 1}, Operand{step_const, 0}};
+    return id;
+}
+
+OpId
+LoopBuilder::unary(Opcode opcode, Operand a)
+{
+    Operation op;
+    op.opcode = opcode;
+    op.inputs = {a};
+    return loop_.addOperation(std::move(op));
+}
+
+OpId
+LoopBuilder::binary(Opcode opcode, Operand a, Operand b)
+{
+    Operation op;
+    op.opcode = opcode;
+    op.inputs = {a, b};
+    return loop_.addOperation(std::move(op));
+}
+
+OpId
+LoopBuilder::select(Operand pred, Operand if_true, Operand if_false)
+{
+    Operation op;
+    op.opcode = Opcode::kSelect;
+    op.inputs = {pred, if_true, if_false};
+    return loop_.addOperation(std::move(op));
+}
+
+OpId
+LoopBuilder::load(std::string array, Operand address)
+{
+    Operation op;
+    op.opcode = Opcode::kLoad;
+    op.symbol = std::move(array);
+    op.inputs = {address};
+    return loop_.addOperation(std::move(op));
+}
+
+OpId
+LoopBuilder::store(std::string array, Operand address, Operand value)
+{
+    Operation op;
+    op.opcode = Opcode::kStore;
+    op.symbol = std::move(array);
+    op.inputs = {address, value};
+    return loop_.addOperation(std::move(op));
+}
+
+OpId
+LoopBuilder::loopBack(Operand induction_var, Operand bound)
+{
+    VEAL_ASSERT(!has_loop_back_, "loop ", loop_.name(),
+                " already has a loop-back branch");
+    has_loop_back_ = true;
+    const OpId condition = cmp(induction_var, bound);
+    Operation op;
+    op.opcode = Opcode::kBranch;
+    op.inputs = {Operand{condition, 0}};
+    return loop_.addOperation(std::move(op));
+}
+
+OpId
+LoopBuilder::call(std::string callee, std::vector<Operand> args)
+{
+    Operation op;
+    op.opcode = Opcode::kCall;
+    op.symbol = std::move(callee);
+    op.inputs = std::move(args);
+    const OpId id = loop_.addOperation(std::move(op));
+    loop_.setFeature(LoopFeature::kHasSubroutineCall);
+    return id;
+}
+
+void
+LoopBuilder::markLiveOut(OpId id)
+{
+    loop_.mutableOp(id).is_live_out = true;
+}
+
+Loop
+LoopBuilder::build()
+{
+    if (auto error = loop_.verify())
+        panic("malformed loop ", loop_.name(), ": ", *error);
+    return std::move(loop_);
+}
+
+}  // namespace veal

@@ -1,0 +1,141 @@
+#ifndef VEAL_IR_LOOP_BUILDER_H_
+#define VEAL_IR_LOOP_BUILDER_H_
+
+/**
+ * @file
+ * Fluent construction API for loop-body dataflow graphs.
+ *
+ * Example (the paper's Figure 5 loop):
+ * @code
+ *   LoopBuilder b("figure5");
+ *   auto i   = b.induction(1);
+ *   auto a1  = b.add(i, b.constant(16));          // op feeding the load
+ *   auto x   = b.load("in", a1);
+ *   auto t3  = b.shl(x, b.constant(2));
+ *   ...
+ *   b.store("out", a2, result);
+ *   b.loopBack(i, b.constant(1024));
+ *   Loop loop = b.build();
+ * @endcode
+ */
+
+#include <string>
+#include <utility>
+
+#include "veal/ir/loop.h"
+
+namespace veal {
+
+/**
+ * Builds a Loop one operation at a time and verifies it on build().
+ *
+ * Each creator method returns the OpId of the new operation.  Loop-carried
+ * uses are expressed with carried(id, distance).
+ */
+class LoopBuilder {
+  public:
+    explicit LoopBuilder(std::string name) : loop_(std::move(name)) {}
+
+    /** A use of @p id's value from @p distance iterations ago. */
+    static Operand
+    carried(OpId id, int distance)
+    {
+        return Operand{id, distance};
+    }
+
+    /** Literal constant. */
+    OpId constant(std::int64_t value);
+
+    /** Scalar live-in initialised before the loop is invoked. */
+    OpId liveIn(std::string name = {});
+
+    /**
+     * Base induction variable: i = i(prev) + step.  Creates the step
+     * constant and the self-referential add (distance-1 self edge).
+     */
+    OpId induction(std::int64_t step);
+
+    // Integer compute -------------------------------------------------
+    OpId add(Operand a, Operand b) { return binary(Opcode::kAdd, a, b); }
+    OpId sub(Operand a, Operand b) { return binary(Opcode::kSub, a, b); }
+    OpId mul(Operand a, Operand b) { return binary(Opcode::kMul, a, b); }
+    OpId div(Operand a, Operand b) { return binary(Opcode::kDiv, a, b); }
+    OpId shl(Operand a, Operand b) { return binary(Opcode::kShl, a, b); }
+    OpId shr(Operand a, Operand b) { return binary(Opcode::kShr, a, b); }
+    OpId andOp(Operand a, Operand b) { return binary(Opcode::kAnd, a, b); }
+    OpId orOp(Operand a, Operand b) { return binary(Opcode::kOr, a, b); }
+    OpId xorOp(Operand a, Operand b) { return binary(Opcode::kXor, a, b); }
+    OpId notOp(Operand a) { return unary(Opcode::kNot, a); }
+    OpId cmp(Operand a, Operand b) { return binary(Opcode::kCmp, a, b); }
+    OpId minOp(Operand a, Operand b) { return binary(Opcode::kMin, a, b); }
+    OpId maxOp(Operand a, Operand b) { return binary(Opcode::kMax, a, b); }
+    OpId absOp(Operand a) { return unary(Opcode::kAbs, a); }
+
+    /** Predicated select: pred ? if_true : if_false. */
+    OpId select(Operand pred, Operand if_true, Operand if_false);
+
+    // Floating point ---------------------------------------------------
+    OpId fadd(Operand a, Operand b) { return binary(Opcode::kFAdd, a, b); }
+    OpId fsub(Operand a, Operand b) { return binary(Opcode::kFSub, a, b); }
+    OpId fmul(Operand a, Operand b) { return binary(Opcode::kFMul, a, b); }
+    OpId fdiv(Operand a, Operand b) { return binary(Opcode::kFDiv, a, b); }
+    OpId fsqrt(Operand a) { return unary(Opcode::kFSqrt, a); }
+    OpId fcmp(Operand a, Operand b) { return binary(Opcode::kFCmp, a, b); }
+    OpId fabsOp(Operand a) { return unary(Opcode::kFAbs, a); }
+    OpId itof(Operand a) { return unary(Opcode::kItoF, a); }
+    OpId ftoi(Operand a) { return unary(Opcode::kFtoI, a); }
+
+    // Memory -----------------------------------------------------------
+    /** Load from @p array at @p address. */
+    OpId load(std::string array, Operand address);
+
+    /** Store @p value to @p array at @p address. */
+    OpId store(std::string array, Operand address, Operand value);
+
+    /** Memory-ordering edge between two memory ops. */
+    void
+    memoryEdge(OpId from, OpId to, int distance)
+    {
+        loop_.addMemoryEdge(from, to, distance);
+    }
+
+    // Control ----------------------------------------------------------
+    /** Loop-back: cmp(iv, bound) feeding the back branch. */
+    OpId loopBack(Operand induction_var, Operand bound);
+
+    /** Subroutine call (marks the loop non-modulo-schedulable). */
+    OpId call(std::string callee, std::vector<Operand> args);
+
+    /** Publish @p id's final value as a scalar loop output. */
+    void markLiveOut(OpId id);
+
+    /** Typical trip count for the timing model (default 100). */
+    void setTripCount(std::int64_t trips) { loop_.setTripCount(trips); }
+
+    /** Mark the loop as requiring speculation support (while loop). */
+    void
+    markNeedsSpeculation()
+    {
+        loop_.setFeature(LoopFeature::kNeedsSpeculation);
+    }
+
+    /** Direct access for rarely-used knobs. */
+    Loop& loop() { return loop_; }
+
+    /**
+     * Finish construction.  Calls Loop::verify() and panics on a malformed
+     * graph: builder misuse is a VEAL bug, not a user input error.
+     */
+    Loop build();
+
+  private:
+    OpId unary(Opcode opcode, Operand a);
+    OpId binary(Opcode opcode, Operand a, Operand b);
+
+    Loop loop_;
+    bool has_loop_back_ = false;
+};
+
+}  // namespace veal
+
+#endif  // VEAL_IR_LOOP_BUILDER_H_

@@ -1,0 +1,483 @@
+#include "veal/ir/loop_parser.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "veal/support/assert.h"
+
+namespace veal {
+
+namespace {
+
+/** Opcode mnemonics accepted for plain compute statements. */
+const std::map<std::string, Opcode>&
+opcodeByName()
+{
+    static const std::map<std::string, Opcode> table = {
+        {"add", Opcode::kAdd},     {"sub", Opcode::kSub},
+        {"mul", Opcode::kMul},     {"mpy", Opcode::kMul},
+        {"div", Opcode::kDiv},     {"shl", Opcode::kShl},
+        {"shr", Opcode::kShr},     {"and", Opcode::kAnd},
+        {"or", Opcode::kOr},       {"xor", Opcode::kXor},
+        {"not", Opcode::kNot},     {"cmp", Opcode::kCmp},
+        {"select", Opcode::kSelect}, {"min", Opcode::kMin},
+        {"max", Opcode::kMax},     {"abs", Opcode::kAbs},
+        {"fadd", Opcode::kFAdd},   {"fsub", Opcode::kFSub},
+        {"fmul", Opcode::kFMul},   {"fdiv", Opcode::kFDiv},
+        {"fsqrt", Opcode::kFSqrt}, {"fcmp", Opcode::kFCmp},
+        {"fabs", Opcode::kFAbs},   {"itof", Opcode::kItoF},
+        {"ftoi", Opcode::kFtoI},
+    };
+    return table;
+}
+
+/** A raw operand token: name plus optional @distance. */
+struct OperandRef {
+    std::string name;
+    int distance = 0;
+    int line = 0;
+};
+
+struct PendingOp {
+    OpId id = kNoOp;
+    std::vector<OperandRef> refs;  ///< Resolved into inputs in pass 2.
+};
+
+std::vector<std::string>
+tokenize(const std::string& line)
+{
+    std::vector<std::string> tokens;
+    std::istringstream stream(line);
+    std::string token;
+    while (stream >> token) {
+        if (token[0] == '#')
+            break;
+        tokens.push_back(token);
+    }
+    return tokens;
+}
+
+bool
+parseInteger(const std::string& text, std::int64_t* out)
+{
+    try {
+        std::size_t consumed = 0;
+        *out = std::stoll(text, &consumed, 0);
+        return consumed == text.size();
+    } catch (...) {
+        return false;
+    }
+}
+
+OperandRef
+parseOperandRef(const std::string& token, int line)
+{
+    OperandRef ref;
+    ref.line = line;
+    const auto at = token.find('@');
+    if (at == std::string::npos) {
+        ref.name = token;
+    } else {
+        ref.name = token.substr(0, at);
+        std::int64_t distance = 0;
+        if (!parseInteger(token.substr(at + 1), &distance) || distance < 0)
+            ref.distance = -1;  // Flagged as invalid during resolution.
+        else
+            ref.distance = static_cast<int>(distance);
+    }
+    return ref;
+}
+
+}  // namespace
+
+ParseResult
+parseLoop(const std::string& text)
+{
+    std::istringstream stream(text);
+    std::string line;
+    int line_number = 0;
+
+    std::string loop_name;
+    std::int64_t trip_count = 100;
+    bool speculative = false;
+    bool saw_loopback = false;
+
+    std::vector<Operation> ops;
+    std::vector<PendingOp> pending;
+    std::map<std::string, OpId> names;
+    std::vector<std::string> live_outs;
+    struct MemEdge {
+        OperandRef from, to;
+        int distance;
+    };
+    std::vector<MemEdge> memory_edges;
+    struct LoopBack {
+        OperandRef iv, bound;
+        int line;
+    };
+    std::vector<LoopBack> loopbacks;
+
+    auto fail = [&](const std::string& message) {
+        return ParseResult(ParseError{line_number, message});
+    };
+    auto new_op = [&](Opcode opcode) {
+        Operation op;
+        op.opcode = opcode;
+        op.id = static_cast<OpId>(ops.size());
+        ops.push_back(op);
+        return op.id;
+    };
+    auto define = [&](const std::string& name, OpId id) {
+        if (names.contains(name))
+            return false;
+        names[name] = id;
+        return true;
+    };
+
+    // ---- Pass 1: build ops, queue operand references.
+    while (std::getline(stream, line)) {
+        ++line_number;
+        const auto tokens = tokenize(line);
+        if (tokens.empty())
+            continue;
+        const std::string& head = tokens[0];
+
+        if (head == "loop") {
+            if (tokens.size() != 2)
+                return fail("loop directive needs a name");
+            loop_name = tokens[1];
+            continue;
+        }
+        if (loop_name.empty())
+            return fail("first statement must be 'loop <name>'");
+        if (head == "trip") {
+            if (tokens.size() != 2 ||
+                !parseInteger(tokens[1], &trip_count) || trip_count < 1)
+                return fail("trip needs a positive integer");
+            continue;
+        }
+        if (head == "speculative") {
+            speculative = true;
+            continue;
+        }
+        if (head == "liveout") {
+            if (tokens.size() != 2)
+                return fail("liveout needs a value name");
+            live_outs.push_back(tokens[1]);
+            continue;
+        }
+        if (head == "memedge") {
+            std::int64_t distance = 0;
+            if (tokens.size() != 4 ||
+                !parseInteger(tokens[3], &distance) || distance < 0)
+                return fail("memedge needs <from> <to> <distance>");
+            memory_edges.push_back(
+                MemEdge{parseOperandRef(tokens[1], line_number),
+                        parseOperandRef(tokens[2], line_number),
+                        static_cast<int>(distance)});
+            continue;
+        }
+        if (head == "loopback") {
+            if (tokens.size() != 3)
+                return fail("loopback needs <iv> <bound>");
+            if (saw_loopback)
+                return fail("duplicate loopback");
+            saw_loopback = true;
+            loopbacks.push_back(
+                LoopBack{parseOperandRef(tokens[1], line_number),
+                         parseOperandRef(tokens[2], line_number),
+                         line_number});
+            continue;
+        }
+        if (head == "store") {
+            if (tokens.size() != 4)
+                return fail("store needs <array> <addr> <value>");
+            const OpId id = new_op(Opcode::kStore);
+            ops[static_cast<std::size_t>(id)].symbol = tokens[1];
+            pending.push_back(PendingOp{
+                id,
+                {parseOperandRef(tokens[2], line_number),
+                 parseOperandRef(tokens[3], line_number)}});
+            continue;
+        }
+
+        // Value definition: <name> = <op> ...
+        if (tokens.size() < 3 || tokens[1] != "=")
+            return fail("expected '<name> = <op> ...'");
+        const std::string& name = tokens[0];
+        const std::string& mnemonic = tokens[2];
+
+        if (mnemonic == "induction") {
+            std::int64_t step = 0;
+            if (tokens.size() != 4 || !parseInteger(tokens[3], &step))
+                return fail("induction needs a literal step");
+            const OpId step_const = new_op(Opcode::kConst);
+            ops[static_cast<std::size_t>(step_const)].immediate = step;
+            const OpId id = new_op(Opcode::kAdd);
+            ops[static_cast<std::size_t>(id)].is_induction = true;
+            ops[static_cast<std::size_t>(id)].inputs = {
+                Operand{id, 1}, Operand{step_const, 0}};
+            if (!define(name, id))
+                return fail("redefinition of '" + name + "'");
+            continue;
+        }
+        if (mnemonic == "const") {
+            std::int64_t value = 0;
+            if (tokens.size() != 4 || !parseInteger(tokens[3], &value))
+                return fail("const needs a literal value");
+            const OpId id = new_op(Opcode::kConst);
+            ops[static_cast<std::size_t>(id)].immediate = value;
+            if (!define(name, id))
+                return fail("redefinition of '" + name + "'");
+            continue;
+        }
+        if (mnemonic == "livein") {
+            if (tokens.size() > 4)
+                return fail("livein takes at most a label");
+            const OpId id = new_op(Opcode::kLiveIn);
+            if (tokens.size() == 4)
+                ops[static_cast<std::size_t>(id)].symbol = tokens[3];
+            if (!define(name, id))
+                return fail("redefinition of '" + name + "'");
+            continue;
+        }
+        if (mnemonic == "load") {
+            if (tokens.size() != 5)
+                return fail("load needs <array> <addr>");
+            const OpId id = new_op(Opcode::kLoad);
+            ops[static_cast<std::size_t>(id)].symbol = tokens[3];
+            pending.push_back(PendingOp{
+                id, {parseOperandRef(tokens[4], line_number)}});
+            if (!define(name, id))
+                return fail("redefinition of '" + name + "'");
+            continue;
+        }
+        if (mnemonic == "call") {
+            if (tokens.size() < 4)
+                return fail("call needs a callee");
+            const OpId id = new_op(Opcode::kCall);
+            ops[static_cast<std::size_t>(id)].symbol = tokens[3];
+            PendingOp entry{id, {}};
+            for (std::size_t t = 4; t < tokens.size(); ++t)
+                entry.refs.push_back(
+                    parseOperandRef(tokens[t], line_number));
+            pending.push_back(std::move(entry));
+            if (!define(name, id))
+                return fail("redefinition of '" + name + "'");
+            continue;
+        }
+
+        const auto it = opcodeByName().find(mnemonic);
+        if (it == opcodeByName().end())
+            return fail("unknown opcode '" + mnemonic + "'");
+        const OpId id = new_op(it->second);
+        PendingOp entry{id, {}};
+        for (std::size_t t = 3; t < tokens.size(); ++t)
+            entry.refs.push_back(parseOperandRef(tokens[t], line_number));
+        pending.push_back(std::move(entry));
+        if (!define(name, id))
+            return fail("redefinition of '" + name + "'");
+    }
+    line_number = 0;  // Errors below are not tied to one line.
+
+    if (loop_name.empty())
+        return ParseResult(ParseError{1, "missing 'loop <name>' header"});
+
+    // ---- Pass 2: resolve references.
+    auto resolve = [&](const OperandRef& ref,
+                       Operand* out) -> std::optional<ParseError> {
+        if (ref.distance < 0)
+            return ParseError{ref.line, "bad carried distance on '" +
+                                            ref.name + "'"};
+        const auto it = names.find(ref.name);
+        if (it == names.end())
+            return ParseError{ref.line,
+                              "undefined value '" + ref.name + "'"};
+        *out = Operand{it->second, ref.distance};
+        return std::nullopt;
+    };
+
+    Loop loop(loop_name);
+    for (const auto& entry : pending) {
+        for (const auto& ref : entry.refs) {
+            Operand operand;
+            if (auto error = resolve(ref, &operand))
+                return ParseResult(*error);
+            ops[static_cast<std::size_t>(entry.id)].inputs.push_back(
+                operand);
+        }
+    }
+    for (const auto& back : loopbacks) {
+        Operand iv;
+        Operand bound;
+        if (auto error = resolve(back.iv, &iv))
+            return ParseResult(*error);
+        if (auto error = resolve(back.bound, &bound))
+            return ParseResult(*error);
+        Operation cmp;
+        cmp.opcode = Opcode::kCmp;
+        cmp.id = static_cast<OpId>(ops.size());
+        cmp.inputs = {iv, bound};
+        ops.push_back(cmp);
+        Operation branch;
+        branch.opcode = Opcode::kBranch;
+        branch.id = static_cast<OpId>(ops.size());
+        branch.inputs = {Operand{cmp.id, 0}};
+        ops.push_back(branch);
+    }
+
+    for (auto& op : ops) {
+        const OpId id = op.id;
+        op.id = kNoOp;
+        const OpId assigned = loop.addOperation(std::move(op));
+        VEAL_ASSERT(assigned == id);
+    }
+    for (const auto& name : live_outs) {
+        const auto it = names.find(name);
+        if (it == names.end()) {
+            return ParseResult(
+                ParseError{0, "liveout of undefined value '" + name +
+                                  "'"});
+        }
+        loop.mutableOp(it->second).is_live_out = true;
+    }
+    for (const auto& edge : memory_edges) {
+        Operand from;
+        Operand to;
+        if (auto error = resolve(edge.from, &from))
+            return ParseResult(*error);
+        if (auto error = resolve(edge.to, &to))
+            return ParseResult(*error);
+        if (!loop.op(from.producer).isMemory() ||
+            !loop.op(to.producer).isMemory()) {
+            return ParseResult(ParseError{
+                edge.from.line, "memedge endpoints must be memory ops"});
+        }
+        loop.addMemoryEdge(from.producer, to.producer, edge.distance);
+    }
+
+    loop.setTripCount(trip_count);
+    bool has_call = false;
+    for (const auto& op : loop.operations())
+        has_call |= op.opcode == Opcode::kCall;
+    if (has_call)
+        loop.setFeature(LoopFeature::kHasSubroutineCall);
+    else if (speculative)
+        loop.setFeature(LoopFeature::kNeedsSpeculation);
+
+    if (auto error = loop.verify())
+        return ParseResult(ParseError{0, "malformed loop: " + *error});
+    return ParseResult(std::move(loop));
+}
+
+std::string
+printLoop(const Loop& loop)
+{
+    std::ostringstream os;
+    os << "loop " << loop.name() << "\n";
+    os << "trip " << loop.tripCount() << "\n";
+    if (loop.feature() == LoopFeature::kNeedsSpeculation)
+        os << "speculative\n";
+
+    auto value_name = [](OpId id) { return "v" + std::to_string(id); };
+    auto operand_text = [&](const Operand& operand) {
+        std::string text = value_name(operand.producer);
+        if (operand.distance != 0)
+            text += "@" + std::to_string(operand.distance);
+        return text;
+    };
+
+    // Step constants of inductions are folded into the induction line.
+    std::vector<bool> hidden(static_cast<std::size_t>(loop.size()), false);
+    for (const auto& op : loop.operations()) {
+        if (op.is_induction) {
+            const Operation& step = loop.op(op.inputs[1].producer);
+            bool only_step_use = true;
+            for (const auto& other : loop.operations()) {
+                for (const auto& input : other.inputs) {
+                    if (input.producer == step.id && other.id != op.id)
+                        only_step_use = false;
+                }
+            }
+            if (only_step_use)
+                hidden[static_cast<std::size_t>(step.id)] = true;
+        }
+    }
+
+    for (const auto& op : loop.operations()) {
+        if (hidden[static_cast<std::size_t>(op.id)])
+            continue;
+        switch (op.opcode) {
+          case Opcode::kConst:
+            os << value_name(op.id) << " = const " << op.immediate
+               << "\n";
+            break;
+          case Opcode::kLiveIn:
+            os << value_name(op.id) << " = livein";
+            if (!op.symbol.empty())
+                os << " " << op.symbol;
+            os << "\n";
+            break;
+          case Opcode::kLoad:
+            os << value_name(op.id) << " = load " << op.symbol << " "
+               << operand_text(op.inputs[0]) << "\n";
+            break;
+          case Opcode::kStore:
+            os << "store " << op.symbol << " "
+               << operand_text(op.inputs[0]) << " "
+               << operand_text(op.inputs[1]) << "\n";
+            break;
+          case Opcode::kBranch:
+            // Rendered (with its comparison) as a loopback directive.
+            break;
+          case Opcode::kCmp: {
+            bool feeds_branch = false;
+            for (const auto& other : loop.operations()) {
+                if (other.opcode == Opcode::kBranch &&
+                    other.inputs[0].producer == op.id)
+                    feeds_branch = true;
+            }
+            if (feeds_branch) {
+                os << "loopback " << operand_text(op.inputs[0]) << " "
+                   << operand_text(op.inputs[1]) << "\n";
+            } else {
+                os << value_name(op.id) << " = cmp "
+                   << operand_text(op.inputs[0]) << " "
+                   << operand_text(op.inputs[1]) << "\n";
+            }
+            break;
+          }
+          case Opcode::kCall: {
+            os << value_name(op.id) << " = call " << op.symbol;
+            for (const auto& input : op.inputs)
+                os << " " << operand_text(input);
+            os << "\n";
+            break;
+          }
+          default: {
+            if (op.is_induction) {
+                os << value_name(op.id) << " = induction "
+                   << loop.op(op.inputs[1].producer).immediate << "\n";
+                break;
+            }
+            os << value_name(op.id) << " = " << toString(op.opcode);
+            for (const auto& input : op.inputs)
+                os << " " << operand_text(input);
+            os << "\n";
+            break;
+          }
+        }
+    }
+    for (const auto& op : loop.operations()) {
+        if (op.is_live_out && !hidden[static_cast<std::size_t>(op.id)])
+            os << "liveout " << value_name(op.id) << "\n";
+    }
+    for (const auto& edge : loop.memoryEdges()) {
+        os << "memedge " << value_name(edge.from) << " "
+           << value_name(edge.to) << " " << edge.distance << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace veal

@@ -1,0 +1,60 @@
+#ifndef VEAL_IR_LOOP_PARSER_H_
+#define VEAL_IR_LOOP_PARSER_H_
+
+/**
+ * @file
+ * A small textual format for loop bodies, so kernels can be written and
+ * experimented with without touching C++ (think of it as the Trimaran
+ * dump the paper's toolchain would emit).
+ *
+ * Grammar (one statement per line; `#` starts a comment):
+ *
+ *   loop <name>                  -- header (required, first)
+ *   trip <N>                     -- typical trip count
+ *   speculative                  -- marks a while-style loop
+ *   <v> = induction <step>
+ *   <v> = const <imm>
+ *   <v> = livein [<label>]
+ *   <v> = load <array> <addr>
+ *   <v> = call <callee> <args...>
+ *   <v> = <op> <operands...>     -- add/sub/mul/div/shl/shr/and/or/xor/
+ *                                   not/cmp/select/min/max/abs/fadd/fsub/
+ *                                   fmul/fdiv/fsqrt/fcmp/fabs/itof/ftoi
+ *   store <array> <addr> <value>
+ *   liveout <v>
+ *   memedge <from> <to> <distance>
+ *   loopback <iv> <bound>
+ *
+ * Operands reference earlier or later values by name; `name@d` reads the
+ * value produced d iterations ago (loop-carried).  Forward references
+ * are only legal with a distance >= 1.
+ */
+
+#include <string>
+#include <variant>
+
+#include "veal/ir/loop.h"
+
+namespace veal {
+
+/** A parse failure with its 1-based line number. */
+struct ParseError {
+    int line = 0;
+    std::string message;
+};
+
+/** Either the parsed loop or the first error encountered. */
+using ParseResult = std::variant<Loop, ParseError>;
+
+/** Parse @p text in the loop DSL. */
+ParseResult parseLoop(const std::string& text);
+
+/**
+ * Render @p loop back into the DSL (round-trips through parseLoop up to
+ * value names).  Useful for dumping generated/fissioned loops.
+ */
+std::string printLoop(const Loop& loop);
+
+}  // namespace veal
+
+#endif  // VEAL_IR_LOOP_PARSER_H_

@@ -1,0 +1,87 @@
+#include "veal/ir/opcode.h"
+
+#include <array>
+
+#include "veal/support/assert.h"
+
+namespace veal {
+
+namespace {
+
+constexpr std::array<OpcodeInfo, kNumOpcodes> kOpcodeTable = {{
+    //                 name     int    float  mem    ctrl   src    cca
+    /* kConst   */ {"const",   false, false, false, false, true,
+                    CcaOpClass::kNone},
+    /* kLiveIn  */ {"livein",  false, false, false, false, true,
+                    CcaOpClass::kNone},
+    /* kAdd     */ {"add",     true,  false, false, false, false,
+                    CcaOpClass::kArith},
+    /* kSub     */ {"sub",     true,  false, false, false, false,
+                    CcaOpClass::kArith},
+    /* kMul     */ {"mpy",     true,  false, false, false, false,
+                    CcaOpClass::kNone},
+    /* kDiv     */ {"div",     true,  false, false, false, false,
+                    CcaOpClass::kNone},
+    /* kShl     */ {"shl",     true,  false, false, false, false,
+                    CcaOpClass::kNone},
+    /* kShr     */ {"shr",     true,  false, false, false, false,
+                    CcaOpClass::kNone},
+    /* kAnd     */ {"and",     true,  false, false, false, false,
+                    CcaOpClass::kLogic},
+    /* kOr      */ {"or",      true,  false, false, false, false,
+                    CcaOpClass::kLogic},
+    /* kXor     */ {"xor",     true,  false, false, false, false,
+                    CcaOpClass::kLogic},
+    /* kNot     */ {"not",     true,  false, false, false, false,
+                    CcaOpClass::kLogic},
+    /* kCmp     */ {"cmp",     true,  false, false, false, false,
+                    CcaOpClass::kArith},
+    /* kSelect  */ {"select",  true,  false, false, false, false,
+                    CcaOpClass::kNone},
+    /* kMin     */ {"min",     true,  false, false, false, false,
+                    CcaOpClass::kNone},
+    /* kMax     */ {"max",     true,  false, false, false, false,
+                    CcaOpClass::kNone},
+    /* kAbs     */ {"abs",     true,  false, false, false, false,
+                    CcaOpClass::kNone},
+    /* kLoad    */ {"ld",      false, false, true,  false, false,
+                    CcaOpClass::kNone},
+    /* kStore   */ {"st",      false, false, true,  false, false,
+                    CcaOpClass::kNone},
+    /* kBranch  */ {"br",      false, false, false, true,  false,
+                    CcaOpClass::kNone},
+    /* kCall    */ {"call",    false, false, false, true,  false,
+                    CcaOpClass::kNone},
+    /* kFAdd    */ {"fadd",    false, true,  false, false, false,
+                    CcaOpClass::kNone},
+    /* kFSub    */ {"fsub",    false, true,  false, false, false,
+                    CcaOpClass::kNone},
+    /* kFMul    */ {"fmul",    false, true,  false, false, false,
+                    CcaOpClass::kNone},
+    /* kFDiv    */ {"fdiv",    false, true,  false, false, false,
+                    CcaOpClass::kNone},
+    /* kFSqrt   */ {"fsqrt",   false, true,  false, false, false,
+                    CcaOpClass::kNone},
+    /* kFCmp    */ {"fcmp",    false, true,  false, false, false,
+                    CcaOpClass::kNone},
+    /* kFAbs    */ {"fabs",    false, true,  false, false, false,
+                    CcaOpClass::kNone},
+    /* kItoF    */ {"itof",    false, true,  false, false, false,
+                    CcaOpClass::kNone},
+    /* kFtoI    */ {"ftoi",    false, true,  false, false, false,
+                    CcaOpClass::kNone},
+    /* kCca     */ {"cca",     true,  false, false, false, false,
+                    CcaOpClass::kNone},
+}};
+
+}  // namespace
+
+const OpcodeInfo&
+opcodeInfo(Opcode opcode)
+{
+    const int index = static_cast<int>(opcode);
+    VEAL_ASSERT(index >= 0 && index < kNumOpcodes, "bad opcode ", index);
+    return kOpcodeTable[static_cast<std::size_t>(index)];
+}
+
+}  // namespace veal

@@ -1,0 +1,96 @@
+#ifndef VEAL_IR_OPCODE_H_
+#define VEAL_IR_OPCODE_H_
+
+/**
+ * @file
+ * The RISC-equivalent operation set of the baseline ISA.
+ *
+ * VEAL expresses loops in the baseline instruction set of a general purpose
+ * processor (paper §2.3); this enum is that instruction set at the
+ * granularity the translator cares about.  Architecture-specific questions
+ * (latency, which function unit executes an opcode, whether the CCA supports
+ * it) live in veal/arch.
+ */
+
+#include <string>
+
+namespace veal {
+
+/** Operations of the baseline ISA plus the collapsed-CCA pseudo opcode. */
+enum class Opcode : int {
+    // Value sources.
+    kConst,   ///< Literal constant (register-file resident, no FU).
+    kLiveIn,  ///< Scalar loop input written before invocation (no FU).
+
+    // Integer compute.
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+    kShl,
+    kShr,
+    kAnd,
+    kOr,
+    kXor,
+    kNot,
+    kCmp,     ///< Comparison producing a predicate/flag value.
+    kSelect,  ///< Predicated select (full predication, paper §2.1).
+    kMin,
+    kMax,
+    kAbs,
+
+    // Memory.
+    kLoad,
+    kStore,
+
+    // Control.
+    kBranch,  ///< Loop-back branch.
+    kCall,    ///< Subroutine call; makes a loop non-modulo-schedulable.
+
+    // Double-precision floating point.
+    kFAdd,
+    kFSub,
+    kFMul,
+    kFDiv,
+    kFSqrt,
+    kFCmp,
+    kFAbs,
+    kItoF,
+    kFtoI,
+
+    // Pseudo opcode for a collapsed CCA subgraph (paper Figure 5, op 16).
+    kCca,
+
+    kNumOpcodes,
+};
+
+/** How a CCA row can execute this opcode (paper §3.1: CCA structure). */
+enum class CcaOpClass : int {
+    kNone,   ///< Not executable on a CCA (shift, multiply, FP, memory, ...).
+    kArith,  ///< Simple arithmetic: only rows 1 and 3 of the CCA.
+    kLogic,  ///< Bitwise logic: any CCA row.
+};
+
+/** Static properties of an opcode, independent of any machine. */
+struct OpcodeInfo {
+    const char* name;       ///< Mnemonic, e.g. "add".
+    bool is_integer;        ///< Executes on an integer unit.
+    bool is_float;          ///< Executes on a floating-point unit.
+    bool is_memory;         ///< Load or store.
+    bool is_control;        ///< Branch or call.
+    bool is_value_source;   ///< Const / live-in: no FU, register resident.
+    CcaOpClass cca_class;   ///< CCA row capability required, if any.
+};
+
+/** Lookup table entry for @p opcode. */
+const OpcodeInfo& opcodeInfo(Opcode opcode);
+
+/** Mnemonic for @p opcode. */
+inline const char* toString(Opcode opcode) { return opcodeInfo(opcode).name; }
+
+/** Total number of opcodes. */
+inline constexpr int kNumOpcodes = static_cast<int>(Opcode::kNumOpcodes);
+
+}  // namespace veal
+
+#endif  // VEAL_IR_OPCODE_H_

@@ -1,0 +1,17 @@
+#include "veal/ir/operation.h"
+
+namespace veal {
+
+const char*
+toString(OpRole role)
+{
+    switch (role) {
+      case OpRole::kCompute: return "compute";
+      case OpRole::kAddress: return "address";
+      case OpRole::kControl: return "control";
+      case OpRole::kMemory: return "memory";
+    }
+    return "unknown";
+}
+
+}  // namespace veal

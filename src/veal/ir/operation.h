@@ -1,0 +1,99 @@
+#ifndef VEAL_IR_OPERATION_H_
+#define VEAL_IR_OPERATION_H_
+
+/**
+ * @file
+ * A single operation in a loop-body dataflow graph.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "veal/ir/opcode.h"
+
+namespace veal {
+
+/** Index of an operation within its Loop.  Dense, starting at 0. */
+using OpId = int;
+
+/** Sentinel for "no operation". */
+inline constexpr OpId kNoOp = -1;
+
+/**
+ * A use of a value.  @p distance is the number of loop iterations ago the
+ * value was produced: 0 for an intra-iteration use, >= 1 for a loop-carried
+ * use (e.g. an accumulator reads its own value with distance 1).
+ */
+struct Operand {
+    Operand() = default;
+
+    /** Implicit: an OpId used as an operand means "this iteration". */
+    Operand(OpId producer_id, int iteration_distance = 0)
+        : producer(producer_id), distance(iteration_distance)
+    {}
+
+    OpId producer = kNoOp;
+    int distance = 0;
+
+    friend bool operator==(const Operand&, const Operand&) = default;
+};
+
+/**
+ * The role the translator assigns to an operation when it separates control
+ * and memory streams from the computation (paper §4.1).  Roles are computed
+ * by LoopAnalysis, not set by the builder.
+ */
+enum class OpRole : int {
+    kCompute,  ///< Scheduled onto an accelerator function unit.
+    kAddress,  ///< Folded into an address generator's access pattern.
+    kControl,  ///< Folded into the loop-control hardware.
+    kMemory,   ///< Load/store issued by a stream (address generator).
+};
+
+/** Role name, e.g. "compute". */
+const char* toString(OpRole role);
+
+/**
+ * One operation of a loop body.
+ *
+ * Operations are value-producing nodes of a dataflow graph: each input names
+ * the producer of the consumed value together with its iteration distance.
+ * There are no named registers at this level; register assignment happens
+ * during translation.
+ */
+struct Operation {
+    OpId id = kNoOp;
+    Opcode opcode = Opcode::kConst;
+    std::vector<Operand> inputs;
+
+    /** Literal value for kConst; shift amounts etc. appear as kConst. */
+    std::int64_t immediate = 0;
+
+    /** Marked by LoopBuilder::induction(): base induction variable. */
+    bool is_induction = false;
+
+    /** The loop publishes this op's final value as a scalar result. */
+    bool is_live_out = false;
+
+    /**
+     * Symbolic label: the base array for memory ops, the callee for kCall,
+     * and an optional scalar name for kLiveIn.  Purely descriptive except
+     * for memory ops, where stream analysis uses it as the stream's base
+     * symbol.
+     */
+    std::string symbol;
+
+    /** True when the opcode reads or writes memory. */
+    bool isMemory() const { return opcodeInfo(opcode).is_memory; }
+
+    /** True for kConst/kLiveIn, which occupy registers but no FU. */
+    bool isValueSource() const { return opcodeInfo(opcode).is_value_source; }
+
+    /** True for branches and calls. */
+    bool isControl() const { return opcodeInfo(opcode).is_control; }
+};
+
+}  // namespace veal
+
+#endif  // VEAL_IR_OPERATION_H_

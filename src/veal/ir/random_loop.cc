@@ -1,0 +1,145 @@
+#include "veal/ir/random_loop.h"
+
+#include <vector>
+
+#include "veal/ir/loop_builder.h"
+#include "veal/support/assert.h"
+#include "veal/support/logging.h"
+
+namespace veal {
+
+namespace {
+
+Opcode
+pickIntOpcode(Rng& rng)
+{
+    static constexpr Opcode kChoices[] = {
+        Opcode::kAdd, Opcode::kSub, Opcode::kMul, Opcode::kShl,
+        Opcode::kShr, Opcode::kAnd, Opcode::kOr,  Opcode::kXor,
+        Opcode::kMin, Opcode::kMax,
+    };
+    return kChoices[rng.nextBelow(std::size(kChoices))];
+}
+
+Opcode
+pickFpOpcode(Rng& rng)
+{
+    static constexpr Opcode kChoices[] = {
+        Opcode::kFAdd, Opcode::kFSub, Opcode::kFMul, Opcode::kFDiv,
+    };
+    return kChoices[rng.nextBelow(std::size(kChoices))];
+}
+
+OpId
+emitBinary(LoopBuilder& b, Opcode opcode, Operand x, Operand y)
+{
+    switch (opcode) {
+      case Opcode::kAdd: return b.add(x, y);
+      case Opcode::kSub: return b.sub(x, y);
+      case Opcode::kMul: return b.mul(x, y);
+      case Opcode::kShl: return b.shl(x, y);
+      case Opcode::kShr: return b.shr(x, y);
+      case Opcode::kAnd: return b.andOp(x, y);
+      case Opcode::kOr: return b.orOp(x, y);
+      case Opcode::kXor: return b.xorOp(x, y);
+      case Opcode::kMin: return b.minOp(x, y);
+      case Opcode::kMax: return b.maxOp(x, y);
+      case Opcode::kFAdd: return b.fadd(x, y);
+      case Opcode::kFSub: return b.fsub(x, y);
+      case Opcode::kFMul: return b.fmul(x, y);
+      case Opcode::kFDiv: return b.fdiv(x, y);
+      default:
+        panic("emitBinary: unsupported opcode ", toString(opcode));
+    }
+}
+
+}  // namespace
+
+Loop
+makeRandomLoop(const RandomLoopParams& params, std::uint64_t seed,
+               const std::string& name)
+{
+    Rng rng(seed);
+    LoopBuilder b(name + "." + std::to_string(seed));
+    b.setTripCount(params.trip_count);
+
+    const OpId iv = b.induction(1 + rng.nextInRange(0, 3));
+
+    // Loads with affine addresses derived from the induction variable.
+    const int num_loads =
+        static_cast<int>(rng.nextInRange(1, params.max_loads));
+    std::vector<OpId> int_values;   // integer-typed values usable as inputs
+    std::vector<OpId> fp_values;
+    for (int i = 0; i < num_loads; ++i) {
+        Operand address{iv, 0};
+        if (rng.nextBool(0.5)) {
+            const OpId scale = b.constant(rng.nextInRange(1, 3));
+            address = Operand{b.shl(address, scale), 0};
+        }
+        if (rng.nextBool(0.5)) {
+            const OpId offset = b.constant(rng.nextInRange(-8, 8));
+            address = Operand{b.add(address, offset), 0};
+        }
+        const OpId value =
+            b.load("arr" + std::to_string(i % 4), address);
+        if (rng.nextBool(params.fp_fraction))
+            fp_values.push_back(b.itof(value));
+        else
+            int_values.push_back(value);
+    }
+    if (rng.nextBool(0.3))
+        int_values.push_back(b.liveIn("scale"));
+    if (int_values.empty())
+        int_values.push_back(b.constant(rng.nextInRange(1, 100)));
+
+    // Compute ops consuming previously created values (distance-0 DAG).
+    const int num_compute = static_cast<int>(rng.nextInRange(
+        params.min_compute_ops, params.max_compute_ops));
+    std::vector<OpId> patchable;  // binary integer ops safe to re-wire
+    for (int i = 0; i < num_compute; ++i) {
+        const bool use_fp =
+            !fp_values.empty() && rng.nextBool(params.fp_fraction);
+        if (use_fp) {
+            const OpId a = fp_values[rng.nextBelow(fp_values.size())];
+            const OpId c = fp_values[rng.nextBelow(fp_values.size())];
+            const OpId value = emitBinary(b, pickFpOpcode(rng), a, c);
+            fp_values.push_back(value);
+        } else {
+            const OpId a = int_values[rng.nextBelow(int_values.size())];
+            const OpId c = int_values[rng.nextBelow(int_values.size())];
+            const OpId value = emitBinary(b, pickIntOpcode(rng), a, c);
+            int_values.push_back(value);
+            patchable.push_back(value);
+        }
+    }
+
+    // Introduce recurrences: re-wire some binary ops' second input to a
+    // carried use of a *later* value, which is legal for distance >= 1 and
+    // creates dependence cycles for RecMII to find.
+    for (const OpId id : patchable) {
+        if (!rng.nextBool(params.recurrence_prob))
+            continue;
+        const OpId target =
+            int_values[rng.nextBelow(int_values.size())];
+        const int distance = static_cast<int>(
+            rng.nextInRange(1, params.max_carried_distance));
+        b.loop().mutableOp(id).inputs[1] = Operand{target, distance};
+    }
+
+    // Stores of computed values.
+    const int num_stores =
+        static_cast<int>(rng.nextInRange(1, params.max_stores));
+    for (int i = 0; i < num_stores; ++i) {
+        const OpId scale = b.constant(2);
+        const OpId address = b.shl(Operand{iv, 0}, scale);
+        OpId value = int_values[rng.nextBelow(int_values.size())];
+        if (!fp_values.empty() && rng.nextBool(params.fp_fraction))
+            value = b.ftoi(fp_values[rng.nextBelow(fp_values.size())]);
+        b.store("out" + std::to_string(i), address, value);
+    }
+
+    b.loopBack(Operand{iv, 0}, b.constant(params.trip_count));
+    return b.build();
+}
+
+}  // namespace veal

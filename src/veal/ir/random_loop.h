@@ -1,0 +1,40 @@
+#ifndef VEAL_IR_RANDOM_LOOP_H_
+#define VEAL_IR_RANDOM_LOOP_H_
+
+/**
+ * @file
+ * Random-but-valid loop generation for property-based testing and
+ * translator stress benchmarks.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "veal/ir/loop.h"
+#include "veal/support/rng.h"
+
+namespace veal {
+
+/** Shape parameters for random loop generation. */
+struct RandomLoopParams {
+    int min_compute_ops = 4;
+    int max_compute_ops = 40;
+    int max_loads = 6;
+    int max_stores = 3;
+    double fp_fraction = 0.25;      ///< Probability an op is floating point.
+    double recurrence_prob = 0.35;  ///< Probability of adding carried edges.
+    int max_carried_distance = 2;
+    std::int64_t trip_count = 256;
+};
+
+/**
+ * Generate a random loop that always passes Loop::verify() and is a valid
+ * counted loop (induction + compare + back branch + affine addresses).
+ * Identical (params, seed) pairs generate identical loops.
+ */
+Loop makeRandomLoop(const RandomLoopParams& params, std::uint64_t seed,
+                    const std::string& name = "random");
+
+}  // namespace veal
+
+#endif  // VEAL_IR_RANDOM_LOOP_H_

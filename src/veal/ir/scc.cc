@@ -1,0 +1,90 @@
+#include "veal/ir/scc.h"
+
+#include <algorithm>
+
+#include "veal/support/assert.h"
+
+namespace veal {
+
+std::vector<std::vector<int>>
+stronglyConnectedComponents(int num_nodes,
+                            const std::vector<std::pair<int, int>>& edges)
+{
+    std::vector<std::vector<int>> succs(static_cast<std::size_t>(num_nodes));
+    for (const auto& [from, to] : edges) {
+        VEAL_ASSERT(from >= 0 && from < num_nodes && to >= 0 &&
+                    to < num_nodes, "edge out of range");
+        succs[static_cast<std::size_t>(from)].push_back(to);
+    }
+
+    constexpr int kUnvisited = -1;
+    std::vector<int> index(static_cast<std::size_t>(num_nodes), kUnvisited);
+    std::vector<int> lowlink(static_cast<std::size_t>(num_nodes), 0);
+    std::vector<bool> on_stack(static_cast<std::size_t>(num_nodes), false);
+    std::vector<int> stack;
+    std::vector<std::vector<int>> components;
+    int next_index = 0;
+
+    // Iterative Tarjan: frames of (node, next successor position).
+    struct Frame {
+        int node;
+        std::size_t next;
+    };
+    std::vector<Frame> frames;
+
+    for (int root = 0; root < num_nodes; ++root) {
+        if (index[static_cast<std::size_t>(root)] != kUnvisited)
+            continue;
+        frames.push_back(Frame{root, 0});
+        index[static_cast<std::size_t>(root)] = next_index;
+        lowlink[static_cast<std::size_t>(root)] = next_index;
+        ++next_index;
+        stack.push_back(root);
+        on_stack[static_cast<std::size_t>(root)] = true;
+
+        while (!frames.empty()) {
+            Frame& frame = frames.back();
+            const auto node = static_cast<std::size_t>(frame.node);
+            if (frame.next < succs[node].size()) {
+                const int succ = succs[node][frame.next++];
+                const auto s = static_cast<std::size_t>(succ);
+                if (index[s] == kUnvisited) {
+                    index[s] = next_index;
+                    lowlink[s] = next_index;
+                    ++next_index;
+                    stack.push_back(succ);
+                    on_stack[s] = true;
+                    frames.push_back(Frame{succ, 0});
+                } else if (on_stack[s]) {
+                    lowlink[node] = std::min(lowlink[node], index[s]);
+                }
+            } else {
+                if (lowlink[node] == index[node]) {
+                    std::vector<int> component;
+                    while (true) {
+                        const int member = stack.back();
+                        stack.pop_back();
+                        on_stack[static_cast<std::size_t>(member)] = false;
+                        component.push_back(member);
+                        if (member == frame.node)
+                            break;
+                    }
+                    std::sort(component.begin(), component.end());
+                    components.push_back(std::move(component));
+                }
+                const int finished = frame.node;
+                frames.pop_back();
+                if (!frames.empty()) {
+                    const auto parent =
+                        static_cast<std::size_t>(frames.back().node);
+                    lowlink[parent] =
+                        std::min(lowlink[parent],
+                                 lowlink[static_cast<std::size_t>(finished)]);
+                }
+            }
+        }
+    }
+    return components;
+}
+
+}  // namespace veal

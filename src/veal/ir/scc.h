@@ -1,0 +1,30 @@
+#ifndef VEAL_IR_SCC_H_
+#define VEAL_IR_SCC_H_
+
+/**
+ * @file
+ * Strongly connected components (Tarjan), used for loop recurrence
+ * detection (veal/sched) and fission partitioning (veal/ir transforms).
+ */
+
+#include <utility>
+#include <vector>
+
+namespace veal {
+
+/**
+ * Tarjan's SCC algorithm (iterative).
+ *
+ * @param num_nodes number of nodes, labelled 0..num_nodes-1.
+ * @param edges     directed (from, to) pairs; duplicates and self loops OK.
+ * @return components in *reverse topological order* of the condensation
+ *         (a component appears before every component it depends on).
+ *         Node ids within a component are sorted ascending.
+ */
+std::vector<std::vector<int>>
+stronglyConnectedComponents(int num_nodes,
+                            const std::vector<std::pair<int, int>>& edges);
+
+}  // namespace veal
+
+#endif  // VEAL_IR_SCC_H_

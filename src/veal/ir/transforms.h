@@ -1,0 +1,100 @@
+#ifndef VEAL_IR_TRANSFORMS_H_
+#define VEAL_IR_TRANSFORMS_H_
+
+/**
+ * @file
+ * Static loop transformations (paper §4.2, "Loop Identification and
+ * Transformation").
+ *
+ * The paper's key point: transformations like aggressive function inlining
+ * and loop fission are far too expensive to run inside the dynamic
+ * translator, so they are performed *statically* by the compiler and the
+ * result is expressed in the plain baseline ISA.  Binaries compiled without
+ * them lose ~75% of the accelerator's benefit (Figure 7).  These functions
+ * are that static compiler stage.
+ */
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "veal/ir/loop.h"
+#include "veal/support/cost_meter.h"
+
+namespace veal {
+
+/** Append a raw operation to @p loop; convenience for callee emitters. */
+OpId appendOp(Loop& loop, Opcode opcode, std::vector<Operand> inputs,
+              std::int64_t immediate = 0);
+
+/**
+ * A function body the static compiler knows how to inline: given the
+ * remapped argument operands, append the callee's dataflow to @p loop and
+ * return the op producing the return value.
+ */
+using CalleeEmitter =
+    std::function<OpId(Loop& loop, const std::vector<Operand>& args)>;
+
+/** Library of inlinable functions, keyed by callee name. */
+using CalleeLibrary = std::map<std::string, CalleeEmitter>;
+
+/**
+ * Aggressive function inlining: replace every kCall whose callee is in
+ * @p library with the callee's body.  Calls to unknown functions are kept
+ * (and keep the loop off the accelerator).  Returns the transformed loop.
+ */
+Loop inlineCalls(const Loop& loop, const CalleeLibrary& library);
+
+/**
+ * Per-piece resource budget for fission.  Stream budgets come from the
+ * LA's stream contexts; the op budgets bound each piece's ResMII by the
+ * control-store depth (paper §3.1: "if a particular loop is too large to
+ * be supported by an II, often times proactive loop fissioning enables
+ * the loop to utilize an accelerator") -- pass
+ * num_<class>_units * max_ii.
+ */
+struct FissionBudget {
+    int max_load_streams = 1 << 20;
+    int max_store_streams = 1 << 20;
+    int max_int_ops = 1 << 20;
+    int max_fp_ops = 1 << 20;
+};
+
+/** Result of splitting one loop into a pipeline of smaller loops. */
+struct FissionResult {
+    /** The fissioned loops, in execution order. */
+    std::vector<Loop> loops;
+
+    /** Number of memory streams added for cross-loop communication. */
+    int comm_streams = 0;
+};
+
+/**
+ * Loop fission: split @p loop into a sequence of loops so that each piece
+ * needs at most @p max_load_streams / @p max_store_streams memory streams
+ * (paper §3.1: "break the large loops up into smaller loops ... this would
+ * reduce the required number of streams for each individual loop but
+ * increase memory traffic").
+ *
+ * Dependence cycles (recurrences) are never split: partitioning works on
+ * strongly connected components of the full dependence graph, in
+ * topological order.  Values flowing between partitions are materialised
+ * through unit-stride communication arrays (a store stream in the producer
+ * loop, a load stream in each consumer loop).
+ *
+ * Returns std::nullopt when the loop already fits, cannot be split (a
+ * single SCC exceeds the budget), or the communication streams themselves
+ * blow the budget.
+ */
+std::optional<FissionResult>
+fissionLoop(const Loop& loop, int max_load_streams, int max_store_streams);
+
+/** Fission against a full resource budget (streams + FU op counts). */
+std::optional<FissionResult>
+fissionLoop(const Loop& loop, const FissionBudget& budget);
+
+}  // namespace veal
+
+#endif  // VEAL_IR_TRANSFORMS_H_

@@ -1,0 +1,133 @@
+#include "veal/sched/mii.h"
+
+#include <algorithm>
+
+#include "veal/support/assert.h"
+
+namespace veal {
+
+namespace {
+
+/**
+ * Longest-path Bellman-Ford positive-cycle test restricted to units where
+ * @p member is true (empty @p member means "all units").
+ */
+bool
+positiveCycle(const SchedGraph& graph, int ii,
+              const std::vector<bool>& member, CostMeter* meter,
+              TranslationPhase phase)
+{
+    const int n = graph.numUnits();
+    auto in = [&](int unit) {
+        return member.empty() || member[static_cast<std::size_t>(unit)];
+    };
+    std::vector<std::int64_t> dist(static_cast<std::size_t>(n), 0);
+    std::uint64_t work = 0;
+    for (int round = 0; round <= n; ++round) {
+        bool relaxed = false;
+        for (const auto& edge : graph.edges()) {
+            if (!in(edge.from) || !in(edge.to))
+                continue;
+            ++work;
+            const std::int64_t weight =
+                edge.delay - static_cast<std::int64_t>(ii) * edge.distance;
+            if (dist[static_cast<std::size_t>(edge.from)] + weight >
+                dist[static_cast<std::size_t>(edge.to)]) {
+                dist[static_cast<std::size_t>(edge.to)] =
+                    dist[static_cast<std::size_t>(edge.from)] + weight;
+                relaxed = true;
+            }
+        }
+        if (!relaxed) {
+            if (meter != nullptr)
+                meter->charge(phase, work);
+            return false;
+        }
+    }
+    if (meter != nullptr)
+        meter->charge(phase, work);
+    return true;
+}
+
+int
+minFeasibleIi(const SchedGraph& graph, const std::vector<bool>& member,
+              CostMeter* meter, TranslationPhase phase)
+{
+    // Upper bound: one cycle of total delay always fits in II = sum(delay).
+    std::int64_t upper = 1;
+    for (const auto& edge : graph.edges())
+        upper += edge.delay;
+    int lo = 1;
+    int hi = static_cast<int>(std::min<std::int64_t>(upper, 1 << 20));
+    if (!positiveCycle(graph, lo, member, meter, phase))
+        return 1;
+    while (lo < hi) {
+        const int mid = lo + (hi - lo) / 2;
+        if (positiveCycle(graph, mid, member, meter, phase))
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+}  // namespace
+
+int
+resMii(const SchedGraph& graph, const LaConfig& config, CostMeter* meter)
+{
+    // Slot demand per FU class; a non-pipelined unit (CCA) consumes
+    // init_interval consecutive slots per issue.
+    int demand[kNumFuClasses] = {0, 0, 0};
+    int memory_accesses = 0;
+    for (const auto& unit : graph.units()) {
+        if (meter != nullptr)
+            meter->charge(TranslationPhase::kMiiComputation, 1);
+        if (unit.fu == FuClass::kNone) {
+            memory_accesses += unit.kind == UnitKind::kMemory ? 1 : 0;
+            continue;
+        }
+        demand[static_cast<int>(unit.fu)] += unit.init_interval;
+    }
+    int result = 1;
+    if (memory_accesses > 0) {
+        if (config.num_memory_ports <= 0)
+            return LaConfig::kUnlimited;
+        result = std::max(result,
+                          (memory_accesses + config.num_memory_ports - 1) /
+                              config.num_memory_ports);
+    }
+    for (int c = 0; c < kNumFuClasses; ++c) {
+        if (demand[c] == 0)
+            continue;
+        const int count = config.fuCount(static_cast<FuClass>(c));
+        if (count <= 0)
+            return LaConfig::kUnlimited;  // Required FU class missing.
+        result = std::max(result, (demand[c] + count - 1) / count);
+    }
+    return result;
+}
+
+int
+recMii(const SchedGraph& graph, CostMeter* meter)
+{
+    return minFeasibleIi(graph, {}, meter,
+                         TranslationPhase::kMiiComputation);
+}
+
+int
+recMiiOfSubset(const SchedGraph& graph, const std::vector<bool>& member,
+               CostMeter* meter, TranslationPhase phase)
+{
+    VEAL_ASSERT(static_cast<int>(member.size()) == graph.numUnits());
+    return minFeasibleIi(graph, member, meter, phase);
+}
+
+bool
+iiFeasible(const SchedGraph& graph, int ii, CostMeter* meter,
+           TranslationPhase phase)
+{
+    return !positiveCycle(graph, ii, {}, meter, phase);
+}
+
+}  // namespace veal

@@ -1,0 +1,52 @@
+#ifndef VEAL_SCHED_MII_H_
+#define VEAL_SCHED_MII_H_
+
+/**
+ * @file
+ * Minimum initiation interval computation (paper §4.1).
+ *
+ * MII = max(ResMII, RecMII).  ResMII counts FU slots; RecMII is the
+ * maximum over dependence cycles of ceil(total delay / total distance),
+ * found by binary-searching II and testing for positive cycles of weight
+ * (delay - II * distance) with a Bellman-Ford longest-path pass.
+ */
+
+#include <vector>
+
+#include "veal/arch/la_config.h"
+#include "veal/sched/sched_graph.h"
+#include "veal/support/cost_meter.h"
+
+namespace veal {
+
+/** ResMII: FU-slot pressure per class, maximised over classes. */
+int resMii(const SchedGraph& graph, const LaConfig& config,
+           CostMeter* meter = nullptr);
+
+/**
+ * RecMII over the whole graph: the smallest II at which every dependence
+ * cycle satisfies delay <= II * distance.  Returns 1 for acyclic graphs.
+ */
+int recMii(const SchedGraph& graph, CostMeter* meter = nullptr);
+
+/**
+ * RecMII restricted to the units in @p member (a recurrence SCC); used by
+ * the swing priority function to rank recurrences by criticality.
+ * @param member per-unit membership flags.
+ */
+int recMiiOfSubset(const SchedGraph& graph,
+                   const std::vector<bool>& member,
+                   CostMeter* meter = nullptr,
+                   TranslationPhase phase = TranslationPhase::kPriority);
+
+/**
+ * True when the dependence constraints admit *some* schedule at @p ii,
+ * i.e. no cycle has positive weight (delay - ii * distance).
+ */
+bool iiFeasible(const SchedGraph& graph, int ii,
+                CostMeter* meter = nullptr,
+                TranslationPhase phase = TranslationPhase::kMiiComputation);
+
+}  // namespace veal
+
+#endif  // VEAL_SCHED_MII_H_

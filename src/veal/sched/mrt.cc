@@ -1,0 +1,102 @@
+#include "veal/sched/mrt.h"
+
+#include <algorithm>
+
+#include "veal/support/assert.h"
+
+namespace veal {
+
+namespace {
+
+/**
+ * Unlimited configs never conflict, but allocating 2^20 columns would be
+ * absurd; one column per possible simultaneous op is enough.
+ */
+int
+practicalCount(int configured, int ii)
+{
+    return std::min(configured, std::max(ii * 4, 64));
+}
+
+}  // namespace
+
+ModuloReservationTable::ModuloReservationTable(const LaConfig& config,
+                                               int ii)
+    : ii_(ii)
+{
+    VEAL_ASSERT(ii >= 1, "MRT with II ", ii);
+    occupancy_.resize(kNumFuClasses);
+    for (int c = 0; c < kNumFuClasses; ++c) {
+        const int count =
+            practicalCount(config.fuCount(static_cast<FuClass>(c)), ii);
+        occupancy_[static_cast<std::size_t>(c)].assign(
+            static_cast<std::size_t>(count),
+            std::vector<bool>(static_cast<std::size_t>(ii), false));
+    }
+}
+
+int
+ModuloReservationTable::slotOf(int time) const
+{
+    const int m = time % ii_;
+    return m < 0 ? m + ii_ : m;
+}
+
+int
+ModuloReservationTable::reserve(FuClass fu_class, int time,
+                                int init_interval, std::uint64_t* probes)
+{
+    VEAL_ASSERT(fu_class != FuClass::kNone && fu_class != FuClass::kCount);
+    VEAL_ASSERT(init_interval >= 1);
+    if (init_interval > ii_)
+        return -1;  // A non-pipelined unit cannot repeat faster than this.
+    auto& instances = occupancy_[static_cast<int>(fu_class)];
+    for (std::size_t instance = 0; instance < instances.size();
+         ++instance) {
+        bool free = true;
+        for (int k = 0; k < init_interval; ++k) {
+            if (probes != nullptr)
+                ++*probes;
+            if (instances[instance][static_cast<std::size_t>(
+                    slotOf(time + k))]) {
+                free = false;
+                break;
+            }
+        }
+        if (free) {
+            for (int k = 0; k < init_interval; ++k) {
+                instances[instance][static_cast<std::size_t>(
+                    slotOf(time + k))] = true;
+            }
+            return static_cast<int>(instance);
+        }
+    }
+    return -1;
+}
+
+int
+ModuloReservationTable::instanceCount(FuClass fu_class) const
+{
+    return static_cast<int>(
+        occupancy_[static_cast<int>(fu_class)].size());
+}
+
+bool
+ModuloReservationTable::occupied(FuClass fu_class, int instance,
+                                 int slot) const
+{
+    return occupancy_[static_cast<int>(fu_class)]
+                     [static_cast<std::size_t>(instance)]
+                     [static_cast<std::size_t>(slot)];
+}
+
+void
+ModuloReservationTable::clear()
+{
+    for (auto& instances : occupancy_) {
+        for (auto& slots : instances)
+            std::fill(slots.begin(), slots.end(), false);
+    }
+}
+
+}  // namespace veal

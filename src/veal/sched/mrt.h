@@ -1,0 +1,58 @@
+#ifndef VEAL_SCHED_MRT_H_
+#define VEAL_SCHED_MRT_H_
+
+/**
+ * @file
+ * Modulo reservation table: II rows, one column per FU instance
+ * (paper Figure 5, right).
+ */
+
+#include <vector>
+
+#include "veal/arch/fu.h"
+#include "veal/arch/la_config.h"
+
+namespace veal {
+
+/** Reservation table for one candidate II. */
+class ModuloReservationTable {
+  public:
+    /**
+     * @param config FU instance counts (clamped to the table's practical
+     *               width for unlimited configs).
+     * @param ii     candidate initiation interval (>= 1).
+     */
+    ModuloReservationTable(const LaConfig& config, int ii);
+
+    /**
+     * Try to reserve @p init_interval consecutive modulo slots for a unit
+     * of @p fu_class issuing at absolute @p time.  Returns the instance
+     * index used, or -1 when every instance conflicts.  Probe work can be
+     * tracked via @p probes.
+     */
+    int reserve(FuClass fu_class, int time, int init_interval,
+                std::uint64_t* probes = nullptr);
+
+    /** The initiation interval this table was sized for. */
+    int ii() const { return ii_; }
+
+    /** Number of instances allocated for @p fu_class. */
+    int instanceCount(FuClass fu_class) const;
+
+    /** Occupancy of (fu_class, instance) at modulo @p slot. */
+    bool occupied(FuClass fu_class, int instance, int slot) const;
+
+    /** Drop all reservations (for an II retry). */
+    void clear();
+
+  private:
+    int slotOf(int time) const;
+
+    int ii_ = 1;
+    // occupancy_[class][instance][slot]
+    std::vector<std::vector<std::vector<bool>>> occupancy_;
+};
+
+}  // namespace veal
+
+#endif  // VEAL_SCHED_MRT_H_

@@ -1,0 +1,411 @@
+#include "veal/sched/priority.h"
+
+#include <algorithm>
+#include <set>
+
+#include "veal/ir/scc.h"
+#include "veal/sched/mii.h"
+#include "veal/support/assert.h"
+
+namespace veal {
+
+const char*
+toString(PriorityKind kind)
+{
+    switch (kind) {
+      case PriorityKind::kSwing: return "swing";
+      case PriorityKind::kHeight: return "height";
+    }
+    return "unknown";
+}
+
+SchedBounds
+computeBounds(const SchedGraph& graph, int ii, CostMeter* meter,
+              TranslationPhase phase)
+{
+    const int n = graph.numUnits();
+    SchedBounds bounds;
+    bounds.earliest.assign(static_cast<std::size_t>(n), 0);
+    std::uint64_t work = 0;
+
+    // Forward longest path: E[to] >= E[from] + delay - ii * distance.
+    for (int round = 0; round <= n; ++round) {
+        bool relaxed = false;
+        for (const auto& edge : graph.edges()) {
+            ++work;
+            const int bound = bounds.earliest[static_cast<std::size_t>(
+                                  edge.from)] +
+                              edge.delay - ii * edge.distance;
+            auto& e = bounds.earliest[static_cast<std::size_t>(edge.to)];
+            if (bound > e) {
+                e = bound;
+                relaxed = true;
+            }
+        }
+        if (!relaxed)
+            break;
+        VEAL_ASSERT(round < n, "computeBounds called at infeasible II ", ii);
+    }
+
+    int horizon = 0;
+    for (int u = 0; u < n; ++u) {
+        horizon = std::max(horizon,
+                           bounds.earliest[static_cast<std::size_t>(u)] +
+                               graph.units()[static_cast<std::size_t>(u)]
+                                   .latency);
+    }
+
+    // Backward pass: L[from] <= L[to] - delay + ii * distance.
+    bounds.latest.assign(static_cast<std::size_t>(n), horizon);
+    for (int round = 0; round <= n; ++round) {
+        bool relaxed = false;
+        for (const auto& edge : graph.edges()) {
+            ++work;
+            const int bound = bounds.latest[static_cast<std::size_t>(
+                                  edge.to)] -
+                              edge.delay + ii * edge.distance;
+            auto& l = bounds.latest[static_cast<std::size_t>(edge.from)];
+            if (bound < l) {
+                l = bound;
+                relaxed = true;
+            }
+        }
+        if (!relaxed)
+            break;
+        VEAL_ASSERT(round < n, "computeBounds called at infeasible II ", ii);
+    }
+    if (meter != nullptr)
+        meter->charge(phase, work);
+    return bounds;
+}
+
+namespace {
+
+/** Reachability over all edges from a seed set (forward or backward). */
+std::vector<bool>
+reachable(const SchedGraph& graph, const std::vector<bool>& seeds,
+          bool forward, std::uint64_t* work)
+{
+    const int n = graph.numUnits();
+    std::vector<bool> seen = seeds;
+    std::vector<int> worklist;
+    for (int u = 0; u < n; ++u) {
+        if (seeds[static_cast<std::size_t>(u)])
+            worklist.push_back(u);
+    }
+    const auto& hop_edges =
+        forward ? graph.succEdges() : graph.predEdges();
+    while (!worklist.empty()) {
+        const int u = worklist.back();
+        worklist.pop_back();
+        for (const int e : hop_edges[static_cast<std::size_t>(u)]) {
+            ++*work;
+            const auto& edge = graph.edges()[static_cast<std::size_t>(e)];
+            const int next = forward ? edge.to : edge.from;
+            if (!seen[static_cast<std::size_t>(next)]) {
+                seen[static_cast<std::size_t>(next)] = true;
+                worklist.push_back(next);
+            }
+        }
+    }
+    return seen;
+}
+
+/**
+ * Orders the nodes of one set in swing fashion: alternating top-down /
+ * bottom-up sweeps that always extend from an already-ordered neighbour.
+ */
+class SwingSetOrderer {
+  public:
+    SwingSetOrderer(const SchedGraph& graph, const SchedBounds& bounds,
+                    std::vector<int>* sequence, std::vector<bool>* ordered,
+                    std::vector<bool>* place_late, std::uint64_t* work)
+        : graph_(graph), bounds_(bounds), sequence_(sequence),
+          ordered_(ordered), place_late_(place_late), work_(work)
+    {}
+
+    void
+    orderSet(const std::vector<bool>& in_set)
+    {
+        while (true) {
+            // Seed the sweep from neighbours of already-ordered nodes.
+            std::set<int> frontier;
+            bool top_down = true;
+            collect(in_set, /*from_preds=*/true, &frontier);
+            if (!frontier.empty()) {
+                top_down = true;
+            } else {
+                collect(in_set, /*from_preds=*/false, &frontier);
+                if (!frontier.empty()) {
+                    top_down = false;
+                } else {
+                    // Fresh component: start from its most critical node
+                    // (minimum slack, then minimum earliest start).
+                    int best = -1;
+                    for (int u = 0; u < graph_.numUnits(); ++u) {
+                        ++*work_;
+                        if (!in_set[static_cast<std::size_t>(u)] ||
+                            (*ordered_)[static_cast<std::size_t>(u)]) {
+                            continue;
+                        }
+                        if (best == -1 || slack(u) < slack(best) ||
+                            (slack(u) == slack(best) &&
+                             earliest(u) < earliest(best))) {
+                            best = u;
+                        }
+                    }
+                    if (best == -1)
+                        return;  // Set fully ordered.
+                    frontier.insert(best);
+                    top_down = true;
+                }
+            }
+
+            // One directional sweep: consume the frontier, extending it
+            // with same-set successors (top-down) or predecessors.
+            while (!frontier.empty()) {
+                int best = -1;
+                for (const int u : frontier) {
+                    ++*work_;
+                    if (best == -1)
+                        best = u;
+                    else if (top_down
+                                 ? betterTopDown(u, best)
+                                 : betterBottomUp(u, best))
+                        best = u;
+                }
+                frontier.erase(best);
+                append(best, /*late=*/!top_down);
+                const auto& hop_edges = top_down
+                                            ? graph_.succEdges()
+                                            : graph_.predEdges();
+                for (const int e :
+                     hop_edges[static_cast<std::size_t>(best)]) {
+                    const auto& edge =
+                        graph_.edges()[static_cast<std::size_t>(e)];
+                    const int next = top_down ? edge.to : edge.from;
+                    if (in_set[static_cast<std::size_t>(next)] &&
+                        !(*ordered_)[static_cast<std::size_t>(next)]) {
+                        frontier.insert(next);
+                    }
+                }
+            }
+        }
+    }
+
+  private:
+    int
+    earliest(int u) const
+    {
+        return bounds_.earliest[static_cast<std::size_t>(u)];
+    }
+
+    int
+    latest(int u) const
+    {
+        return bounds_.latest[static_cast<std::size_t>(u)];
+    }
+
+    int slack(int u) const { return latest(u) - earliest(u); }
+
+    /** Top-down: prefer smaller latest start (more critical), then id. */
+    bool
+    betterTopDown(int a, int b) const
+    {
+        if (latest(a) != latest(b))
+            return latest(a) < latest(b);
+        return a < b;
+    }
+
+    /** Bottom-up: prefer larger earliest start (deepest), then id. */
+    bool
+    betterBottomUp(int a, int b) const
+    {
+        if (earliest(a) != earliest(b))
+            return earliest(a) > earliest(b);
+        return a < b;
+    }
+
+    void
+    collect(const std::vector<bool>& in_set, bool from_preds,
+            std::set<int>* frontier) const
+    {
+        for (std::size_t e = 0; e < graph_.edges().size(); ++e) {
+            ++*work_;
+            const auto& edge = graph_.edges()[e];
+            const int placed = from_preds ? edge.from : edge.to;
+            const int candidate = from_preds ? edge.to : edge.from;
+            if ((*ordered_)[static_cast<std::size_t>(placed)] &&
+                in_set[static_cast<std::size_t>(candidate)] &&
+                !(*ordered_)[static_cast<std::size_t>(candidate)]) {
+                frontier->insert(candidate);
+            }
+        }
+    }
+
+    void
+    append(int u, bool late)
+    {
+        sequence_->push_back(u);
+        (*ordered_)[static_cast<std::size_t>(u)] = true;
+        (*place_late_)[static_cast<std::size_t>(u)] = late;
+    }
+
+    const SchedGraph& graph_;
+    const SchedBounds& bounds_;
+    std::vector<int>* sequence_;
+    std::vector<bool>* ordered_;
+    std::vector<bool>* place_late_;
+    std::uint64_t* work_;
+};
+
+}  // namespace
+
+NodeOrder
+computeSwingOrder(const SchedGraph& graph, int ii, CostMeter* meter)
+{
+    const int n = graph.numUnits();
+    NodeOrder order;
+    order.kind = PriorityKind::kSwing;
+    std::uint64_t work = 0;
+
+    const SchedBounds bounds =
+        computeBounds(graph, ii, meter, TranslationPhase::kPriority);
+
+    // Identify recurrences and rank them by criticality (their RecMII).
+    std::vector<std::pair<int, int>> raw_edges;
+    for (const auto& edge : graph.edges())
+        raw_edges.emplace_back(edge.from, edge.to);
+    const auto sccs = stronglyConnectedComponents(n, raw_edges);
+
+    struct Recurrence {
+        std::vector<bool> member;
+        int rec_mii = 0;
+    };
+    std::vector<Recurrence> recurrences;
+    for (const auto& scc : sccs) {
+        bool cyclic = scc.size() > 1;
+        if (!cyclic) {
+            for (const auto& edge : graph.edges())
+                cyclic |= edge.from == scc[0] && edge.to == scc[0];
+        }
+        if (!cyclic)
+            continue;
+        Recurrence rec;
+        rec.member.assign(static_cast<std::size_t>(n), false);
+        for (const int u : scc)
+            rec.member[static_cast<std::size_t>(u)] = true;
+        // Criticality computation is the expensive part of the swing
+        // priority; the paper observes translation time grows sharply with
+        // the number of recurrences.  Charged to the priority phase.
+        rec.rec_mii = recMiiOfSubset(graph, rec.member, meter,
+                                     TranslationPhase::kPriority);
+        recurrences.push_back(std::move(rec));
+    }
+    std::sort(recurrences.begin(), recurrences.end(),
+              [](const Recurrence& a, const Recurrence& b) {
+                  return a.rec_mii > b.rec_mii;
+              });
+
+    std::vector<bool> ordered(static_cast<std::size_t>(n), false);
+    order.place_late.assign(static_cast<std::size_t>(n), false);
+    SwingSetOrderer orderer(graph, bounds, &order.sequence, &ordered,
+                            &order.place_late, &work);
+
+    for (const auto& rec : recurrences) {
+        // The set to order: the recurrence plus any not-yet-ordered nodes
+        // on paths between already-ordered nodes and this recurrence.
+        std::vector<bool> set = rec.member;
+        if (std::any_of(ordered.begin(), ordered.end(),
+                        [](bool b) { return b; })) {
+            const auto fwd = reachable(graph, ordered, true, &work);
+            const auto back_to_rec =
+                reachable(graph, rec.member, false, &work);
+            const auto rec_fwd = reachable(graph, rec.member, true, &work);
+            const auto back_to_ordered =
+                reachable(graph, ordered, false, &work);
+            for (int u = 0; u < n; ++u) {
+                const auto s = static_cast<std::size_t>(u);
+                const bool on_path = (fwd[s] && back_to_rec[s]) ||
+                                     (rec_fwd[s] && back_to_ordered[s]);
+                if (on_path && !ordered[s])
+                    set[s] = true;
+            }
+        }
+        orderer.orderSet(set);
+    }
+
+    // Final set: everything else (acyclic code).
+    std::vector<bool> rest(static_cast<std::size_t>(n), false);
+    for (int u = 0; u < n; ++u)
+        rest[static_cast<std::size_t>(u)] =
+            !ordered[static_cast<std::size_t>(u)];
+    orderer.orderSet(rest);
+
+    VEAL_ASSERT(static_cast<int>(order.sequence.size()) == n,
+                "swing ordering dropped units");
+    order.rank.assign(static_cast<std::size_t>(n), 0);
+    for (int position = 0;
+         position < static_cast<int>(order.sequence.size()); ++position) {
+        order.rank[static_cast<std::size_t>(
+            order.sequence[static_cast<std::size_t>(position)])] = position;
+    }
+    if (meter != nullptr)
+        meter->charge(TranslationPhase::kPriority, work);
+    return order;
+}
+
+NodeOrder
+computeHeightOrder(const SchedGraph& graph, int ii, CostMeter* meter)
+{
+    const int n = graph.numUnits();
+    NodeOrder order;
+    order.kind = PriorityKind::kHeight;
+    std::uint64_t work = 0;
+
+    // Height: longest path from the node to any sink at this II.
+    std::vector<int> height(static_cast<std::size_t>(n), 0);
+    for (int round = 0; round <= n; ++round) {
+        bool relaxed = false;
+        for (const auto& edge : graph.edges()) {
+            ++work;
+            const int bound = height[static_cast<std::size_t>(edge.to)] +
+                              edge.delay - ii * edge.distance;
+            auto& h = height[static_cast<std::size_t>(edge.from)];
+            if (bound > h) {
+                h = bound;
+                relaxed = true;
+            }
+        }
+        if (!relaxed)
+            break;
+        VEAL_ASSERT(round < n,
+                    "computeHeightOrder called at infeasible II ", ii);
+    }
+
+    order.place_late.assign(static_cast<std::size_t>(n), false);
+    order.sequence.resize(static_cast<std::size_t>(n));
+    for (int u = 0; u < n; ++u)
+        order.sequence[static_cast<std::size_t>(u)] = u;
+    std::sort(order.sequence.begin(), order.sequence.end(),
+              [&](int a, int b) {
+                  if (height[static_cast<std::size_t>(a)] !=
+                      height[static_cast<std::size_t>(b)]) {
+                      return height[static_cast<std::size_t>(a)] >
+                             height[static_cast<std::size_t>(b)];
+                  }
+                  return a < b;
+              });
+    work += static_cast<std::uint64_t>(n);
+
+    order.rank.assign(static_cast<std::size_t>(n), 0);
+    for (int position = 0; position < n; ++position) {
+        order.rank[static_cast<std::size_t>(
+            order.sequence[static_cast<std::size_t>(position)])] = position;
+    }
+    if (meter != nullptr)
+        meter->charge(TranslationPhase::kPriority, work);
+    return order;
+}
+
+}  // namespace veal

@@ -1,0 +1,84 @@
+#ifndef VEAL_SCHED_PRIORITY_H_
+#define VEAL_SCHED_PRIORITY_H_
+
+/**
+ * @file
+ * Scheduling-order (priority) computation.
+ *
+ * Two alternatives from the paper's §4.2/§4.3 trade-off study:
+ *  - Swing ordering (Llosa et al.): schedules the most critical recurrence
+ *    first and keeps every node adjacent to an already-ordered neighbour by
+ *    alternating top-down/bottom-up sweeps.  Produces the best schedules
+ *    but dominates translation time (69% of instructions, Figure 8) -- the
+ *    paper's motivation for encoding it statically (Figure 9(c)).
+ *  - Height-based priority (Rau's IMS): one backward longest-path pass.
+ *    Much cheaper to compute dynamically, but with the single-pass list
+ *    scheduler it often yields higher IIs (the "Fully Dynamic Height
+ *    Priority" bars of Figure 10).
+ */
+
+#include <vector>
+
+#include "veal/sched/sched_graph.h"
+#include "veal/support/cost_meter.h"
+
+namespace veal {
+
+/** Which priority function ordered the nodes. */
+enum class PriorityKind : int {
+    kSwing,
+    kHeight,
+};
+
+/** Name, e.g. "swing". */
+const char* toString(PriorityKind kind);
+
+/** A scheduling order over units, plus the numeric per-unit priority. */
+struct NodeOrder {
+    PriorityKind kind = PriorityKind::kSwing;
+
+    /** Unit ids in the order the scheduler should place them. */
+    std::vector<int> sequence;
+
+    /**
+     * Per-unit rank (position in @p sequence).  This is the single number
+     * per operation that Figure 9(c) encodes in the binary's data section
+     * (the placement direction rides in its low bit).
+     */
+    std::vector<int> rank;
+
+    /**
+     * Per-unit placement direction: true when the unit was ordered in a
+     * bottom-up sweep and should therefore be placed as *late* as its
+     * window allows (hugging its successors).  This is the "swing" that
+     * makes SMS lifetime-sensitive.  Empty = always place early.
+     */
+    std::vector<bool> place_late;
+};
+
+/** Earliest/latest start bounds at a candidate II. */
+struct SchedBounds {
+    std::vector<int> earliest;
+    std::vector<int> latest;
+};
+
+/**
+ * Longest-path earliest starts and the matching latest starts at @p ii.
+ * @pre iiFeasible(graph, ii).
+ */
+SchedBounds computeBounds(const SchedGraph& graph, int ii,
+                          CostMeter* meter = nullptr,
+                          TranslationPhase phase =
+                              TranslationPhase::kScheduling);
+
+/** The swing (SMS) ordering, computed at @p ii (normally MII). */
+NodeOrder computeSwingOrder(const SchedGraph& graph, int ii,
+                            CostMeter* meter = nullptr);
+
+/** Height-based ordering, computed at @p ii. */
+NodeOrder computeHeightOrder(const SchedGraph& graph, int ii,
+                             CostMeter* meter = nullptr);
+
+}  // namespace veal
+
+#endif  // VEAL_SCHED_PRIORITY_H_

@@ -1,0 +1,117 @@
+#include "veal/sched/sched_graph.h"
+
+#include <map>
+
+#include "veal/ir/scc.h"
+
+#include "veal/support/assert.h"
+
+namespace veal {
+
+SchedGraph::SchedGraph(const Loop& loop, const LoopAnalysis& analysis,
+                       const CcaMapping& mapping, const LaConfig& config)
+{
+    VEAL_ASSERT(analysis.ok(), "building SchedGraph for rejected loop ",
+                loop.name());
+    const int n = loop.size();
+    unit_of_op_.assign(static_cast<std::size_t>(n), -1);
+
+    // One unit per CCA group.
+    std::vector<int> unit_of_group(mapping.groups.size(), -1);
+    for (std::size_t g = 0; g < mapping.groups.size(); ++g) {
+        VEAL_ASSERT(config.hasCca(),
+                    "CCA mapping supplied for a machine without a CCA");
+        SchedUnit unit;
+        unit.id = static_cast<int>(units_.size());
+        unit.kind = UnitKind::kCcaGroup;
+        unit.ops = mapping.groups[g].members;
+        unit.fu = FuClass::kCca;
+        unit.latency = config.cca->latency;
+        unit.init_interval = config.cca->initiation_interval;
+        for (const OpId member : unit.ops) {
+            unit_of_op_[static_cast<std::size_t>(member)] = unit.id;
+            unit.is_live_out |= loop.op(member).is_live_out;
+        }
+        unit_of_group[g] = unit.id;
+        units_.push_back(std::move(unit));
+    }
+
+    // One unit per remaining compute op and per memory op.
+    for (const auto& op : loop.operations()) {
+        const auto role = analysis.roles[static_cast<std::size_t>(op.id)];
+        const bool grouped =
+            mapping.group_of_op[static_cast<std::size_t>(op.id)] != -1;
+        if (grouped)
+            continue;
+        if (role != OpRole::kCompute && role != OpRole::kMemory)
+            continue;
+        if (op.isValueSource())
+            continue;  // Register resident; never scheduled.
+        SchedUnit unit;
+        unit.id = static_cast<int>(units_.size());
+        unit.ops = {op.id};
+        unit.is_live_out = op.is_live_out;
+        if (role == OpRole::kMemory) {
+            unit.kind = UnitKind::kMemory;
+            unit.fu = FuClass::kNone;
+            unit.latency = config.latencies.latency(op.opcode);
+        } else {
+            unit.kind = UnitKind::kOp;
+            unit.fu = fuClassFor(op.opcode);
+            VEAL_ASSERT(unit.fu != FuClass::kNone,
+                        "compute op with no FU class: ",
+                        toString(op.opcode));
+            unit.latency = config.latencies.latency(op.opcode);
+        }
+        unit_of_op_[static_cast<std::size_t>(op.id)] = unit.id;
+        units_.push_back(std::move(unit));
+    }
+
+    // Dependence edges between distinct units; dedupe keeping the tightest
+    // (max delay per distance) constraint.
+    std::map<std::tuple<int, int, int>, int> strongest;
+    for (const auto& edge : loop.allEdges()) {
+        const int uf = unit_of_op_[static_cast<std::size_t>(edge.from)];
+        const int ut = unit_of_op_[static_cast<std::size_t>(edge.to)];
+        if (uf == -1 || ut == -1 || uf == ut)
+            continue;
+        const int delay = units_[static_cast<std::size_t>(uf)].latency;
+        auto [it, inserted] = strongest.try_emplace(
+            std::make_tuple(uf, ut, edge.distance), delay);
+        if (!inserted)
+            it->second = std::max(it->second, delay);
+    }
+    for (const auto& [key, delay] : strongest) {
+        const auto& [from, to, distance] = key;
+        edges_.push_back(SchedEdge{from, to, delay, distance});
+    }
+
+    succ_edges_.assign(units_.size(), {});
+    pred_edges_.assign(units_.size(), {});
+    for (std::size_t e = 0; e < edges_.size(); ++e) {
+        succ_edges_[static_cast<std::size_t>(edges_[e].from)].push_back(
+            static_cast<int>(e));
+        pred_edges_[static_cast<std::size_t>(edges_[e].to)].push_back(
+            static_cast<int>(e));
+    }
+
+    // A zero-distance cycle between units would make every II infeasible;
+    // the verifier forbids them at op level and the CCA mapper's cluster
+    // check must preserve that after collapsing groups.
+    {
+        std::vector<std::pair<int, int>> zero_edges;
+        for (const auto& edge : edges_) {
+            if (edge.distance == 0)
+                zero_edges.emplace_back(edge.from, edge.to);
+        }
+        const auto sccs = stronglyConnectedComponents(
+            static_cast<int>(units_.size()), zero_edges);
+        for (const auto& scc : sccs) {
+            VEAL_ASSERT(scc.size() == 1,
+                        "zero-distance cycle between scheduling units in ",
+                        loop.name());
+        }
+    }
+}
+
+}  // namespace veal

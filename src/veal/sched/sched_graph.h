@@ -1,0 +1,103 @@
+#ifndef VEAL_SCHED_SCHED_GRAPH_H_
+#define VEAL_SCHED_SCHED_GRAPH_H_
+
+/**
+ * @file
+ * The scheduling view of a loop: *units* (single ops or collapsed CCA
+ * subgraphs) connected by dependence edges with (delay, distance) weights.
+ *
+ * Address, control, and value-source ops vanish here: they were folded
+ * into address generators and loop-control hardware by LoopAnalysis.
+ * Memory ops remain as units (so recurrences through memory constrain the
+ * schedule) but occupy no function unit: their bandwidth is provided by
+ * the decoupled address generators.
+ */
+
+#include <vector>
+
+#include "veal/arch/fu.h"
+#include "veal/arch/la_config.h"
+#include "veal/cca/cca_mapper.h"
+#include "veal/ir/loop.h"
+#include "veal/ir/loop_analysis.h"
+
+namespace veal {
+
+/** What a scheduling unit stands for. */
+enum class UnitKind : int {
+    kOp,        ///< One compute op on an integer or FP unit.
+    kCcaGroup,  ///< A collapsed subgraph executing on the CCA.
+    kMemory,    ///< A load/store issued by a stream (no FU occupancy).
+};
+
+/** One schedulable unit. */
+struct SchedUnit {
+    int id = -1;
+    UnitKind kind = UnitKind::kOp;
+    std::vector<OpId> ops;  ///< Member op(s); singleton unless kCcaGroup.
+    FuClass fu = FuClass::kNone;
+    int latency = 1;
+    int init_interval = 1;  ///< MRT slots consumed back-to-back.
+    bool is_live_out = false;
+};
+
+/** A dependence between units: to >= from + delay - II * distance. */
+struct SchedEdge {
+    int from = -1;
+    int to = -1;
+    int delay = 0;
+    int distance = 0;
+};
+
+/** The complete scheduling problem for one loop on one LA. */
+class SchedGraph {
+  public:
+    /**
+     * Build the scheduling graph.
+     * @pre analysis.ok().
+     */
+    SchedGraph(const Loop& loop, const LoopAnalysis& analysis,
+               const CcaMapping& mapping, const LaConfig& config);
+
+    const std::vector<SchedUnit>& units() const { return units_; }
+    const std::vector<SchedEdge>& edges() const { return edges_; }
+
+    /** Unit containing @p op, or -1 when the op needs no scheduling. */
+    int unitOf(OpId op) const { return unit_of_op_[
+        static_cast<std::size_t>(op)]; }
+
+    int numUnits() const { return static_cast<int>(units_.size()); }
+
+    /** Units that occupy real FUs (excludes memory units). */
+    int
+    numFuUnits() const
+    {
+        int count = 0;
+        for (const auto& unit : units_)
+            count += unit.fu != FuClass::kNone ? 1 : 0;
+        return count;
+    }
+
+    /** Successor edge indices per unit. */
+    const std::vector<std::vector<int>>& succEdges() const
+    {
+        return succ_edges_;
+    }
+
+    /** Predecessor edge indices per unit. */
+    const std::vector<std::vector<int>>& predEdges() const
+    {
+        return pred_edges_;
+    }
+
+  private:
+    std::vector<SchedUnit> units_;
+    std::vector<SchedEdge> edges_;
+    std::vector<int> unit_of_op_;
+    std::vector<std::vector<int>> succ_edges_;
+    std::vector<std::vector<int>> pred_edges_;
+};
+
+}  // namespace veal
+
+#endif  // VEAL_SCHED_SCHED_GRAPH_H_

@@ -1,0 +1,174 @@
+#include "veal/sched/schedule.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "veal/support/assert.h"
+
+namespace veal {
+
+std::optional<std::string>
+validateSchedule(const SchedGraph& graph, const LaConfig& config,
+                 const Schedule& schedule)
+{
+    const int n = graph.numUnits();
+    if (schedule.ii < 1)
+        return "II below 1";
+    if (schedule.ii > config.max_ii)
+        return "II " + std::to_string(schedule.ii) +
+               " exceeds max supported II " + std::to_string(config.max_ii);
+    if (static_cast<int>(schedule.time.size()) != n)
+        return "time vector size mismatch";
+    if (static_cast<int>(schedule.fu_instance.size()) != n)
+        return "fu_instance vector size mismatch";
+
+    int min_time = n == 0 ? 0 : *std::min_element(schedule.time.begin(),
+                                                  schedule.time.end());
+    if (n > 0 && min_time != 0)
+        return "times are not normalised to start at 0";
+
+    for (const auto& edge : graph.edges()) {
+        const int from_time =
+            schedule.time[static_cast<std::size_t>(edge.from)];
+        const int to_time = schedule.time[static_cast<std::size_t>(edge.to)];
+        if (to_time < from_time + edge.delay -
+                          schedule.ii * edge.distance) {
+            return "dependence violated: unit " + std::to_string(edge.to) +
+                   " at " + std::to_string(to_time) + " needs unit " +
+                   std::to_string(edge.from) + "@" +
+                   std::to_string(from_time) + " +" +
+                   std::to_string(edge.delay) + " -II*" +
+                   std::to_string(edge.distance);
+        }
+    }
+
+    // Resource conflicts: (class, instance, modulo slot) uniqueness.
+    std::map<std::tuple<int, int, int>, int> slot_owner;
+    for (const auto& unit : graph.units()) {
+        const auto u = static_cast<std::size_t>(unit.id);
+        if (unit.fu == FuClass::kNone) {
+            if (schedule.fu_instance[u] != -1)
+                return "memory unit with an FU instance";
+            continue;
+        }
+        const int instance = schedule.fu_instance[u];
+        if (instance < 0 || instance >= config.fuCount(unit.fu)) {
+            return "unit " + std::to_string(unit.id) +
+                   " uses out-of-range " + std::string(toString(unit.fu)) +
+                   " instance " + std::to_string(instance);
+        }
+        for (int k = 0; k < unit.init_interval; ++k) {
+            const int slot =
+                (schedule.time[u] + k) % schedule.ii;
+            const auto key = std::make_tuple(static_cast<int>(unit.fu),
+                                             instance, slot);
+            const auto [it, inserted] = slot_owner.emplace(key, unit.id);
+            if (!inserted) {
+                return "resource conflict on " +
+                       std::string(toString(unit.fu)) + " " +
+                       std::to_string(instance) + " slot " +
+                       std::to_string(slot) + " between units " +
+                       std::to_string(it->second) + " and " +
+                       std::to_string(unit.id);
+            }
+        }
+    }
+
+    int length = 0;
+    int max_stage = 0;
+    for (const auto& unit : graph.units()) {
+        const auto u = static_cast<std::size_t>(unit.id);
+        length = std::max(length, schedule.time[u] + unit.latency);
+        max_stage = std::max(max_stage, schedule.time[u] / schedule.ii);
+    }
+    if (schedule.length != length)
+        return "length field inconsistent";
+    if (schedule.stage_count != max_stage + 1)
+        return "stage_count field inconsistent";
+    return std::nullopt;
+}
+
+std::string
+renderReservationTable(const SchedGraph& graph, const Loop& loop,
+                       const Schedule& schedule)
+{
+    std::ostringstream os;
+    os << "II = " << schedule.ii << ", SC = " << schedule.stage_count
+       << "\n";
+
+    struct Column {
+        FuClass fu;
+        int instance;
+        std::string header;
+    };
+    std::vector<Column> columns;
+    std::map<std::pair<int, int>, std::size_t> column_of;
+    for (const auto& unit : graph.units()) {
+        if (unit.fu == FuClass::kNone)
+            continue;
+        const auto key = std::make_pair(
+            static_cast<int>(unit.fu),
+            schedule.fu_instance[static_cast<std::size_t>(unit.id)]);
+        if (!column_of.contains(key)) {
+            column_of[key] = columns.size();
+            columns.push_back(Column{
+                unit.fu, key.second,
+                std::string(toString(unit.fu)) + " " +
+                    std::to_string(key.second)});
+        }
+    }
+    std::sort(columns.begin(), columns.end(),
+              [](const Column& a, const Column& b) {
+                  if (a.fu != b.fu)
+                      return static_cast<int>(a.fu) < static_cast<int>(b.fu);
+                  return a.instance < b.instance;
+              });
+    column_of.clear();
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+        column_of[{static_cast<int>(columns[c].fu),
+                   columns[c].instance}] = c;
+    }
+
+    std::vector<std::vector<std::string>> cells(
+        static_cast<std::size_t>(schedule.ii),
+        std::vector<std::string>(columns.size()));
+    for (const auto& unit : graph.units()) {
+        if (unit.fu == FuClass::kNone)
+            continue;
+        const auto u = static_cast<std::size_t>(unit.id);
+        const auto column = column_of.at(
+            {static_cast<int>(unit.fu), schedule.fu_instance[u]});
+        std::string label;
+        for (const OpId op : unit.ops) {
+            if (!label.empty())
+                label += "+";
+            label += std::to_string(op) + ":" +
+                     toString(loop.op(op).opcode);
+        }
+        if (schedule.stageOf(unit.id) > 0)
+            label += " (s" + std::to_string(schedule.stageOf(unit.id)) + ")";
+        for (int k = 0; k < unit.init_interval; ++k) {
+            auto& cell = cells[static_cast<std::size_t>(
+                (schedule.time[u] + k) % schedule.ii)][column];
+            cell = k == 0 ? label : "|";
+        }
+    }
+
+    os << "cycle";
+    for (const auto& column : columns)
+        os << "  [" << column.header << "]";
+    os << "\n";
+    for (int row = 0; row < schedule.ii; ++row) {
+        os << row << ":";
+        for (std::size_t c = 0; c < columns.size(); ++c) {
+            const auto& cell =
+                cells[static_cast<std::size_t>(row)][c];
+            os << "  " << (cell.empty() ? "-" : cell);
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace veal

@@ -1,0 +1,74 @@
+#ifndef VEAL_SCHED_SCHEDULE_H_
+#define VEAL_SCHED_SCHEDULE_H_
+
+/**
+ * @file
+ * The result of modulo scheduling one loop, plus its validator.
+ */
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "veal/arch/la_config.h"
+#include "veal/sched/sched_graph.h"
+
+namespace veal {
+
+/** A valid modulo schedule: all the control the LA needs for its datapath. */
+struct Schedule {
+    /** Achieved initiation interval. */
+    int ii = 0;
+
+    /** Per-unit absolute issue time (normalised so the minimum is 0). */
+    std::vector<int> time;
+
+    /** Per-unit FU instance, or -1 for memory units. */
+    std::vector<int> fu_instance;
+
+    /** Number of pipeline stages (SC): iteration latency = SC * II. */
+    int stage_count = 1;
+
+    /** Schedule length of one iteration: max(time + latency). */
+    int length = 0;
+
+    /** Modulo slot of @p unit. */
+    int
+    cycleOf(int unit) const
+    {
+        return time[static_cast<std::size_t>(unit)] % ii;
+    }
+
+    /** Stage of @p unit. */
+    int
+    stageOf(int unit) const
+    {
+        return time[static_cast<std::size_t>(unit)] / ii;
+    }
+};
+
+/**
+ * Check every modulo-scheduling invariant of @p schedule against
+ * @p graph / @p config:
+ *  - every unit has a time; times are non-negative and min time is 0,
+ *  - every dependence edge satisfies t_to >= t_from + delay - II*distance,
+ *  - no FU instance is claimed twice in the same modulo slot (counting
+ *    init_interval consecutive slots for non-pipelined units),
+ *  - FU instance indices are within the configured counts,
+ *  - II is within [1, config.max_ii],
+ *  - stage_count and length are consistent with the times.
+ *
+ * Returns std::nullopt when valid, else a description of the violation.
+ */
+std::optional<std::string> validateSchedule(const SchedGraph& graph,
+                                            const LaConfig& config,
+                                            const Schedule& schedule);
+
+/** Render the modulo reservation table as text (paper Figure 5 style). */
+std::string renderReservationTable(const SchedGraph& graph,
+                                   const Loop& loop,
+                                   const Schedule& schedule);
+
+}  // namespace veal
+
+#endif  // VEAL_SCHED_SCHEDULE_H_

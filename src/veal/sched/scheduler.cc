@@ -1,0 +1,243 @@
+#include "veal/sched/scheduler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "veal/sched/mii.h"
+#include "veal/support/assert.h"
+
+namespace veal {
+
+namespace {
+
+/** Attempt to place every unit at one candidate II.  */
+std::optional<Schedule>
+tryIi(const SchedGraph& graph, const LaConfig& config,
+      const NodeOrder& order, int ii, CostMeter* meter)
+{
+    const int n = graph.numUnits();
+    if (!iiFeasible(graph, ii, meter, TranslationPhase::kScheduling))
+        return std::nullopt;
+
+    const SchedBounds bounds =
+        computeBounds(graph, ii, meter, TranslationPhase::kScheduling);
+    ModuloReservationTable mrt(config, ii);
+    std::vector<bool> placed(static_cast<std::size_t>(n), false);
+    std::vector<int> time(static_cast<std::size_t>(n), 0);
+    std::vector<int> fu_instance(static_cast<std::size_t>(n), -1);
+    std::uint64_t probes = 0;
+
+    constexpr int kNegInf = -(1 << 28);
+    constexpr int kPosInf = 1 << 28;
+
+    for (const int u : order.sequence) {
+        const auto& unit = graph.units()[static_cast<std::size_t>(u)];
+        int earliest = kNegInf;
+        int latest = kPosInf;
+        bool has_pred = false;
+        bool has_succ = false;
+        for (const int e : graph.predEdges()[static_cast<std::size_t>(u)]) {
+            const auto& edge = graph.edges()[static_cast<std::size_t>(e)];
+            if (edge.from == u ||
+                !placed[static_cast<std::size_t>(edge.from)]) {
+                continue;
+            }
+            ++probes;
+            earliest = std::max(
+                earliest, time[static_cast<std::size_t>(edge.from)] +
+                              edge.delay - ii * edge.distance);
+            has_pred = true;
+        }
+        for (const int e : graph.succEdges()[static_cast<std::size_t>(u)]) {
+            const auto& edge = graph.edges()[static_cast<std::size_t>(e)];
+            if (edge.to == u || !placed[static_cast<std::size_t>(edge.to)])
+                continue;
+            ++probes;
+            latest = std::min(latest,
+                              time[static_cast<std::size_t>(edge.to)] -
+                                  edge.delay + ii * edge.distance);
+            has_succ = true;
+        }
+
+        // Swing window: scan forward from the earliest start when preds
+        // anchor the unit, backward from the latest start when succs do.
+        // Units ordered in a bottom-up sweep are placed as late as their
+        // window allows (hugging their successors) -- the "swing".
+        const bool late =
+            !order.place_late.empty() &&
+            order.place_late[static_cast<std::size_t>(u)];
+        int start;
+        int step;
+        int count;
+        if (has_pred && has_succ) {
+            if (earliest > latest) {
+                if (std::getenv("VEAL_SCHED_DEBUG") != nullptr) {
+                    std::fprintf(stderr,
+                                 "sched: ii=%d unit=%d empty window "
+                                 "[%d, %d]\n",
+                                 ii, u, earliest, latest);
+                    for (const int e :
+                         graph.predEdges()[static_cast<std::size_t>(u)]) {
+                        const auto& edge =
+                            graph.edges()[static_cast<std::size_t>(e)];
+                        if (placed[static_cast<std::size_t>(edge.from)]) {
+                            std::fprintf(
+                                stderr, "  pred %d@%d d=%d dist=%d\n",
+                                edge.from,
+                                time[static_cast<std::size_t>(edge.from)],
+                                edge.delay, edge.distance);
+                        }
+                    }
+                    for (const int e :
+                         graph.succEdges()[static_cast<std::size_t>(u)]) {
+                        const auto& edge =
+                            graph.edges()[static_cast<std::size_t>(e)];
+                        if (placed[static_cast<std::size_t>(edge.to)]) {
+                            std::fprintf(
+                                stderr, "  succ %d@%d d=%d dist=%d\n",
+                                edge.to,
+                                time[static_cast<std::size_t>(edge.to)],
+                                edge.delay, edge.distance);
+                        }
+                    }
+                }
+                if (meter != nullptr)
+                    meter->charge(TranslationPhase::kScheduling, probes);
+                return std::nullopt;
+            }
+            count = std::min(latest - earliest + 1, ii);
+            if (late) {
+                start = latest;
+                step = -1;
+            } else {
+                start = earliest;
+                step = 1;
+            }
+        } else if (has_pred) {
+            start = earliest;
+            step = 1;
+            count = ii;
+        } else if (has_succ) {
+            start = latest;
+            step = -1;
+            count = ii;
+        } else {
+            // No placed neighbour: anchor at the ASAP bound.  (Anchoring
+            // bottom-up nodes at ALAP instead strands their consumers
+            // between a late producer and early consumers.)
+            start = bounds.earliest[static_cast<std::size_t>(u)];
+            step = 1;
+            count = ii;
+        }
+
+        bool done = false;
+        for (int k = 0; k < count && !done; ++k) {
+            const int t = start + step * k;
+            ++probes;
+            if (unit.fu == FuClass::kNone) {
+                // Memory units use stream bandwidth, not an FU slot.
+                time[static_cast<std::size_t>(u)] = t;
+                done = true;
+                break;
+            }
+            const int instance =
+                mrt.reserve(unit.fu, t, unit.init_interval, &probes);
+            if (instance >= 0) {
+                time[static_cast<std::size_t>(u)] = t;
+                fu_instance[static_cast<std::size_t>(u)] = instance;
+                done = true;
+            }
+        }
+        if (!done) {
+            if (std::getenv("VEAL_SCHED_DEBUG") != nullptr) {
+                std::fprintf(stderr,
+                             "sched: ii=%d unit=%d fu=%d window start=%d "
+                             "step=%d count=%d pred=%d succ=%d e=%d l=%d\n",
+                             ii, u, static_cast<int>(unit.fu), start, step,
+                             count, has_pred ? 1 : 0, has_succ ? 1 : 0,
+                             earliest, latest);
+            }
+            if (meter != nullptr)
+                meter->charge(TranslationPhase::kScheduling, probes);
+            return std::nullopt;
+        }
+        placed[static_cast<std::size_t>(u)] = true;
+    }
+
+    // Windows skip self edges and cannot see everything at once; verify
+    // the full constraint system before accepting this II.
+    for (const auto& edge : graph.edges()) {
+        ++probes;
+        if (time[static_cast<std::size_t>(edge.to)] <
+            time[static_cast<std::size_t>(edge.from)] + edge.delay -
+                ii * edge.distance) {
+            if (std::getenv("VEAL_SCHED_DEBUG") != nullptr) {
+                std::fprintf(stderr,
+                             "sched: ii=%d edge %d@%d -> %d@%d delay=%d "
+                             "dist=%d violated\n",
+                             ii, edge.from,
+                             time[static_cast<std::size_t>(edge.from)],
+                             edge.to,
+                             time[static_cast<std::size_t>(edge.to)],
+                             edge.delay, edge.distance);
+            }
+            if (meter != nullptr)
+                meter->charge(TranslationPhase::kScheduling, probes);
+            return std::nullopt;
+        }
+    }
+    if (meter != nullptr)
+        meter->charge(TranslationPhase::kScheduling, probes);
+
+    // Normalise: shifting every time by the same amount rotates the MRT
+    // uniformly, so no conflict or dependence can appear.
+    Schedule schedule;
+    schedule.ii = ii;
+    const int min_time =
+        n == 0 ? 0 : *std::min_element(time.begin(), time.end());
+    for (int u = 0; u < n; ++u)
+        time[static_cast<std::size_t>(u)] -= min_time;
+    schedule.time = std::move(time);
+    schedule.fu_instance = std::move(fu_instance);
+    schedule.length = 0;
+    int max_stage = 0;
+    for (const auto& unit : graph.units()) {
+        const auto u = static_cast<std::size_t>(unit.id);
+        schedule.length = std::max(schedule.length,
+                                   schedule.time[u] + unit.latency);
+        max_stage = std::max(max_stage, schedule.time[u] / ii);
+    }
+    schedule.stage_count = max_stage + 1;
+    return schedule;
+}
+
+}  // namespace
+
+std::optional<Schedule>
+scheduleLoop(const SchedGraph& graph, const LaConfig& config,
+             const NodeOrder& order, int min_ii, CostMeter* meter)
+{
+    VEAL_ASSERT(static_cast<int>(order.sequence.size()) ==
+                graph.numUnits(), "order does not cover the graph");
+
+    int start_ii = std::max(min_ii, 1);
+    for (const auto& unit : graph.units()) {
+        if (unit.fu != FuClass::kNone)
+            start_ii = std::max(start_ii, unit.init_interval);
+    }
+    if (start_ii > config.max_ii)
+        return std::nullopt;
+
+    // A finite retry budget: SMS converges within a few IIs of MII; an
+    // unschedulable loop should fail fast rather than walk a 2^20 max II.
+    const int limit =
+        std::min(config.max_ii, std::min(start_ii + 64, 1 << 12));
+    for (int ii = start_ii; ii <= limit; ++ii) {
+        if (auto schedule = tryIi(graph, config, order, ii, meter))
+            return schedule;
+    }
+    return std::nullopt;
+}
+
+}  // namespace veal

@@ -1,0 +1,129 @@
+#include "veal/sim/cpu_sim.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "veal/support/assert.h"
+
+namespace veal {
+
+namespace {
+
+/** Number of iterations simulated before extrapolating. */
+constexpr int kWarmIterations = 96;
+/** Steady-state delta is averaged over this many trailing iterations. */
+constexpr int kMeasureWindow = 32;
+
+int
+opLatency(const Operation& op, const CpuConfig& config)
+{
+    if (op.opcode == Opcode::kLoad)
+        return config.load_latency;
+    if (op.opcode == Opcode::kCall) {
+        // A non-inlined call: prologue/epilogue plus the callee body.
+        return 20;
+    }
+    return config.latencies.latency(op.opcode);
+}
+
+}  // namespace
+
+CpuLoopTiming
+simulateLoopOnCpu(const Loop& loop, const CpuConfig& config,
+                  std::int64_t iterations)
+{
+    VEAL_ASSERT(iterations >= 1, "loop must run at least one iteration");
+    const int n = loop.size();
+    const auto sim_iters = static_cast<int>(
+        std::min<std::int64_t>(iterations, kWarmIterations));
+
+    // finish[iter % window][op]: completion cycle of op in that iteration.
+    int max_distance = 1;
+    for (const auto& edge : loop.allEdges())
+        max_distance = std::max(max_distance, edge.distance);
+    const int window = max_distance + 1;
+    std::vector<std::vector<std::int64_t>> finish(
+        static_cast<std::size_t>(window),
+        std::vector<std::int64_t>(static_cast<std::size_t>(n), 0));
+
+    std::int64_t issue_cycle = 0;  // Cycle the next instruction may issue.
+    int issued_this_cycle = 0;
+    std::int64_t end_of_iteration = 0;
+    std::vector<std::int64_t> iteration_end(
+        static_cast<std::size_t>(sim_iters), 0);
+
+    for (int iter = 0; iter < sim_iters; ++iter) {
+        const auto ring = static_cast<std::size_t>(iter % window);
+        for (const auto& op : loop.operations()) {
+            if (op.isValueSource())
+                continue;  // Constants/live-ins live in registers.
+
+            std::int64_t ready = issue_cycle;
+            for (const auto& input : op.inputs) {
+                if (loop.op(input.producer).isValueSource())
+                    continue;
+                const int source_iter = iter - input.distance;
+                if (source_iter < 0)
+                    continue;  // Value from before the loop: ready.
+                const auto src_ring =
+                    static_cast<std::size_t>(source_iter % window);
+                ready = std::max(
+                    ready,
+                    finish[src_ring][static_cast<std::size_t>(
+                        input.producer)]);
+            }
+
+            // In-order issue: advance to the operand-ready cycle, then
+            // take the next free slot.
+            if (ready > issue_cycle) {
+                issue_cycle = ready;
+                issued_this_cycle = 0;
+            }
+            if (issued_this_cycle >= config.issue_width) {
+                ++issue_cycle;
+                issued_this_cycle = 0;
+            }
+            ++issued_this_cycle;
+
+            const std::int64_t done =
+                issue_cycle + opLatency(op, config);
+            finish[ring][static_cast<std::size_t>(op.id)] = done;
+            if (op.opcode == Opcode::kBranch) {
+                // Taken loop-back branch: redirect bubble.
+                issue_cycle += 1 + config.branch_penalty;
+                issued_this_cycle = 0;
+            }
+            end_of_iteration = std::max(end_of_iteration, done);
+        }
+        iteration_end[static_cast<std::size_t>(iter)] = issue_cycle;
+    }
+
+    CpuLoopTiming timing;
+    if (sim_iters >= kMeasureWindow * 2) {
+        const std::int64_t tail =
+            iteration_end[static_cast<std::size_t>(sim_iters - 1)] -
+            iteration_end[static_cast<std::size_t>(
+                sim_iters - 1 - kMeasureWindow)];
+        timing.cycles_per_iteration =
+            static_cast<double>(tail) / kMeasureWindow;
+    } else {
+        timing.cycles_per_iteration =
+            static_cast<double>(
+                iteration_end[static_cast<std::size_t>(sim_iters - 1)]) /
+            sim_iters;
+    }
+
+    if (iterations <= sim_iters) {
+        timing.total_cycles = std::max<std::int64_t>(end_of_iteration, 1);
+    } else {
+        const double extra =
+            timing.cycles_per_iteration *
+            static_cast<double>(iterations - sim_iters);
+        timing.total_cycles =
+            std::max<std::int64_t>(end_of_iteration, 1) +
+            static_cast<std::int64_t>(extra);
+    }
+    return timing;
+}
+
+}  // namespace veal

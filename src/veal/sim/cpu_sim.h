@@ -1,0 +1,44 @@
+#ifndef VEAL_SIM_CPU_SIM_H_
+#define VEAL_SIM_CPU_SIM_H_
+
+/**
+ * @file
+ * Cycle-level in-order CPU model for the baseline processor.
+ *
+ * Models a scoreboarded in-order pipeline: instructions issue strictly in
+ * program order, up to issue_width per cycle, stalling on RAW hazards
+ * (including loop-carried ones) until source values are ready.  The
+ * loop-back branch costs a redirect bubble each iteration.  This is the
+ * machine the paper's speedups are measured against (ARM11-like at one
+ * issue; the 2-/4-issue comparison bars use the same model, wider).
+ */
+
+#include <cstdint>
+
+#include "veal/arch/cpu_config.h"
+#include "veal/ir/loop.h"
+
+namespace veal {
+
+/** Timing of one loop executed on the in-order CPU. */
+struct CpuLoopTiming {
+    /** Total cycles for the full trip count. */
+    std::int64_t total_cycles = 0;
+
+    /** Steady-state cycles per iteration. */
+    double cycles_per_iteration = 0.0;
+};
+
+/**
+ * Simulate @p iterations of @p loop on @p config.
+ *
+ * The pipeline is simulated cycle-accurately for enough iterations to
+ * reach steady state, then extrapolated (loops are by construction
+ * periodic, so the extrapolation is exact once the schedule repeats).
+ */
+CpuLoopTiming simulateLoopOnCpu(const Loop& loop, const CpuConfig& config,
+                                std::int64_t iterations);
+
+}  // namespace veal
+
+#endif  // VEAL_SIM_CPU_SIM_H_

@@ -1,0 +1,191 @@
+#include "veal/sim/interpreter.h"
+
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "veal/support/assert.h"
+
+namespace veal {
+
+namespace {
+
+double
+asDouble(std::int64_t bits)
+{
+    return std::bit_cast<double>(bits);
+}
+
+std::int64_t
+asBits(double value)
+{
+    return std::bit_cast<std::int64_t>(value);
+}
+
+std::int64_t
+shiftAmount(std::int64_t raw)
+{
+    return raw & 63;
+}
+
+}  // namespace
+
+std::int64_t
+evaluateOp(Opcode opcode, const std::vector<std::int64_t>& in,
+           std::int64_t immediate)
+{
+    auto arg = [&](std::size_t index) {
+        return index < in.size() ? in[index] : 0;
+    };
+    switch (opcode) {
+      case Opcode::kConst: return immediate;
+      case Opcode::kLiveIn: return arg(0);  // Bound by the caller.
+      case Opcode::kAdd: return arg(0) + arg(1);
+      case Opcode::kSub: return arg(0) - arg(1);
+      case Opcode::kMul: return arg(0) * arg(1);
+      case Opcode::kDiv: return arg(1) == 0 ? 0 : arg(0) / arg(1);
+      case Opcode::kShl:
+        return static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(arg(0)) << shiftAmount(arg(1)));
+      case Opcode::kShr:
+        return static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(arg(0)) >> shiftAmount(arg(1)));
+      case Opcode::kAnd: return arg(0) & arg(1);
+      case Opcode::kOr: return arg(0) | arg(1);
+      case Opcode::kXor: return arg(0) ^ arg(1);
+      case Opcode::kNot: return ~arg(0);
+      case Opcode::kCmp: return arg(0) < arg(1) ? 1 : 0;
+      case Opcode::kSelect: return arg(0) != 0 ? arg(1) : arg(2);
+      case Opcode::kMin: return arg(0) < arg(1) ? arg(0) : arg(1);
+      case Opcode::kMax: return arg(0) > arg(1) ? arg(0) : arg(1);
+      case Opcode::kAbs: return arg(0) < 0 ? -arg(0) : arg(0);
+      case Opcode::kFAdd: return asBits(asDouble(arg(0)) +
+                                        asDouble(arg(1)));
+      case Opcode::kFSub: return asBits(asDouble(arg(0)) -
+                                        asDouble(arg(1)));
+      case Opcode::kFMul: return asBits(asDouble(arg(0)) *
+                                        asDouble(arg(1)));
+      case Opcode::kFDiv:
+        return asBits(asDouble(arg(1)) == 0.0
+                          ? 0.0
+                          : asDouble(arg(0)) / asDouble(arg(1)));
+      case Opcode::kFSqrt:
+        return asBits(asDouble(arg(0)) < 0.0
+                          ? 0.0
+                          : std::sqrt(asDouble(arg(0))));
+      case Opcode::kFCmp: return asDouble(arg(0)) < asDouble(arg(1)) ? 1
+                                                                     : 0;
+      case Opcode::kFAbs: return asBits(std::fabs(asDouble(arg(0))));
+      case Opcode::kItoF: return asBits(static_cast<double>(arg(0)));
+      case Opcode::kFtoI: {
+        const double value = asDouble(arg(0));
+        if (!std::isfinite(value))
+            return 0;
+        return static_cast<std::int64_t>(value);
+      }
+      case Opcode::kLoad:
+      case Opcode::kStore:
+      case Opcode::kBranch:
+      case Opcode::kCall:
+      case Opcode::kCca:
+      case Opcode::kNumOpcodes:
+        break;
+    }
+    panic("evaluateOp: opcode ", toString(opcode),
+          " has no scalar semantics");
+}
+
+ExecutionResult
+interpretLoop(const Loop& loop, const ExecutionInput& input)
+{
+    VEAL_ASSERT(!loop.verify().has_value(), "malformed loop ",
+                loop.name());
+    const int n = loop.size();
+    const auto order = loop.topologicalOrder();
+
+    ExecutionResult result;
+    result.memory = input.memory;
+
+    // Value history: values[op][iteration]; iteration < 0 reads initial.
+    int max_distance = 0;
+    for (const auto& edge : loop.allEdges())
+        max_distance = std::max(max_distance, edge.distance);
+    std::vector<std::vector<std::int64_t>> history(
+        static_cast<std::size_t>(n));
+
+    auto value_at = [&](OpId id, std::int64_t iteration) -> std::int64_t {
+        const Operation& producer = loop.op(id);
+        if (producer.opcode == Opcode::kConst)
+            return producer.immediate;
+        if (producer.opcode == Opcode::kLiveIn) {
+            // Loop-invariant: the value "d iterations ago" is the value.
+            const auto it = input.live_ins.find(id);
+            return it != input.live_ins.end() ? it->second : 0;
+        }
+        if (iteration < 0) {
+            const auto it = input.initial.find(id);
+            return it != input.initial.end() ? it->second : 0;
+        }
+        return history[static_cast<std::size_t>(id)]
+                      [static_cast<std::size_t>(iteration)];
+    };
+
+    for (std::int64_t iteration = 0; iteration < input.iterations;
+         ++iteration) {
+        for (const OpId id : order) {
+            const Operation& op = loop.op(id);
+            std::int64_t value = 0;
+            switch (op.opcode) {
+              case Opcode::kLiveIn: {
+                const auto it = input.live_ins.find(id);
+                value = it != input.live_ins.end() ? it->second : 0;
+                break;
+              }
+              case Opcode::kLoad: {
+                const std::int64_t address =
+                    value_at(op.inputs[0].producer,
+                             iteration - op.inputs[0].distance);
+                const auto& array = result.memory[op.symbol];
+                const auto it = array.find(address);
+                value = it != array.end() ? it->second : 0;
+                break;
+              }
+              case Opcode::kStore: {
+                const std::int64_t address =
+                    value_at(op.inputs[0].producer,
+                             iteration - op.inputs[0].distance);
+                result.memory[op.symbol][address] =
+                    value_at(op.inputs[1].producer,
+                             iteration - op.inputs[1].distance);
+                break;
+              }
+              case Opcode::kBranch:
+                break;  // Loop control is the trip count here.
+              case Opcode::kCall:
+                panic("interpretLoop: cannot execute call in ",
+                      loop.name());
+              default: {
+                std::vector<std::int64_t> inputs;
+                inputs.reserve(op.inputs.size());
+                for (const auto& operand : op.inputs) {
+                    inputs.push_back(value_at(
+                        operand.producer, iteration - operand.distance));
+                }
+                value = evaluateOp(op.opcode, inputs, op.immediate);
+                break;
+              }
+            }
+            history[static_cast<std::size_t>(id)].push_back(value);
+        }
+    }
+
+    for (const auto& op : loop.operations()) {
+        if (op.is_live_out) {
+            result.live_outs[op.id] =
+                value_at(op.id, input.iterations - 1);
+        }
+    }
+    return result;
+}
+
+}  // namespace veal

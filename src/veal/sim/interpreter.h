@@ -1,0 +1,70 @@
+#ifndef VEAL_SIM_INTERPRETER_H_
+#define VEAL_SIM_INTERPRETER_H_
+
+/**
+ * @file
+ * Reference functional semantics for the loop IR.
+ *
+ * The interpreter executes a loop exactly as the baseline processor
+ * would: iterations in order, ops in dependence order, memory through a
+ * sparse per-array image.  It is the golden model the functional LA
+ * executor (veal/sim/la_executor.h) is checked against: a valid modulo
+ * schedule must compute byte-identical memory and scalar results.
+ *
+ * Values are 64-bit integers; floating-point opcodes operate on doubles
+ * carried in the same 64 bits via bit casts, so both engines are exactly
+ * deterministic.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "veal/ir/loop.h"
+
+namespace veal {
+
+/** Sparse memory: element index -> value, per named array. */
+using MemoryImage =
+    std::map<std::string, std::map<std::int64_t, std::int64_t>>;
+
+/** Everything a loop execution needs. */
+struct ExecutionInput {
+    MemoryImage memory;
+
+    /** Value of each kLiveIn op (missing entries read as 0). */
+    std::map<OpId, std::int64_t> live_ins;
+
+    /**
+     * Initial values of loop-carried state: the value op @p id "produced"
+     * before the first iteration (iteration -1, -2, ...).  Missing
+     * entries read as 0.  Induction variables start at their entry here
+     * too (value at iteration -1; the first body iteration sees
+     * initial + step).
+     */
+    std::map<OpId, std::int64_t> initial;
+
+    std::int64_t iterations = 1;
+};
+
+/** What a loop execution produced. */
+struct ExecutionResult {
+    MemoryImage memory;
+
+    /** Final value of every op marked live-out. */
+    std::map<OpId, std::int64_t> live_outs;
+};
+
+/**
+ * Execute @p loop on the reference interpreter.
+ * @pre the loop verifies and contains no kCall ops.
+ */
+ExecutionResult interpretLoop(const Loop& loop, const ExecutionInput& input);
+
+/** Shared scalar semantics of a single operation (used by both engines). */
+std::int64_t evaluateOp(Opcode opcode, const std::vector<std::int64_t>&
+                        inputs, std::int64_t immediate);
+
+}  // namespace veal
+
+#endif  // VEAL_SIM_INTERPRETER_H_

@@ -1,0 +1,36 @@
+#ifndef VEAL_SIM_LA_EXECUTOR_H_
+#define VEAL_SIM_LA_EXECUTOR_H_
+
+/**
+ * @file
+ * Functional execution of a translated loop on the accelerator model.
+ *
+ * The executor walks the modulo schedule cycle by cycle: every unit
+ * issues iteration k at cycle time[u] + k * II, reads its operands from
+ * producer units (enforcing that each value has actually completed by
+ * then -- a semantic check of the schedule, not just a structural one),
+ * streams loads/stores through the address generators' affine patterns,
+ * and retires scalar live-outs at the end.
+ *
+ * Together with veal/sim/interpreter.h this forms a co-simulation rig:
+ * for any valid translation, the LA must produce byte-identical memory
+ * and live-out results to the reference interpreter.
+ */
+
+#include "veal/sim/interpreter.h"
+#include "veal/vm/translator.h"
+
+namespace veal {
+
+/**
+ * Execute @p translation (which must be ok) for @p input.iterations
+ * iterations.  Panics if the schedule ever reads a value that has not
+ * completed -- that would be a modulo-scheduling bug.
+ */
+ExecutionResult executeOnAccelerator(const Loop& loop,
+                                     const TranslationResult& translation,
+                                     const ExecutionInput& input);
+
+}  // namespace veal
+
+#endif  // VEAL_SIM_LA_EXECUTOR_H_

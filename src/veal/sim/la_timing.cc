@@ -1,0 +1,49 @@
+#include "veal/sim/la_timing.h"
+
+#include <algorithm>
+
+#include "veal/support/assert.h"
+
+namespace veal {
+
+LaInvocationCost
+acceleratorLoopCost(const Schedule& schedule, const SchedGraph& graph,
+                    const LoopAnalysis& analysis,
+                    const RegisterAssignment& registers,
+                    const LaConfig& config, std::int64_t iterations,
+                    bool first_invocation)
+{
+    VEAL_ASSERT(iterations >= 1);
+    LaInvocationCost cost;
+
+    // --- Setup: bus handshake, then memory-mapped configuration writes.
+    cost.setup_cycles = config.bus_latency;
+    if (first_invocation) {
+        // One control word per scheduled FU unit, one per stream context.
+        const auto num_streams =
+            static_cast<std::int64_t>(analysis.load_streams.size() +
+                                      analysis.store_streams.size());
+        cost.setup_cycles += graph.numFuUnits() + 2 * num_streams;
+    }
+    // Scalar live-ins/constants are written into the register file before
+    // every invocation (their values may change between invocations).
+    std::int64_t live_in_regs = 0;
+    for (const int reg : registers.reg_of_source_op)
+        live_in_regs += reg >= 0 ? 1 : 0;
+    cost.setup_cycles += 2 * live_in_regs;
+
+    // --- Software-pipelined execution.
+    cost.pipeline_cycles =
+        (iterations - 1) * static_cast<std::int64_t>(schedule.ii) +
+        schedule.length;
+
+    // --- Drain: scalar results cross back over the bus.
+    std::int64_t live_outs = 0;
+    for (const auto& unit : graph.units())
+        live_outs += unit.is_live_out ? 1 : 0;
+    cost.drain_cycles = config.bus_latency + 2 * live_outs;
+
+    return cost;
+}
+
+}  // namespace veal

@@ -1,0 +1,28 @@
+#ifndef VEAL_SUPPORT_ASSERT_H_
+#define VEAL_SUPPORT_ASSERT_H_
+
+/**
+ * @file
+ * Internal-invariant assertion macro.  Unlike <cassert>, VEAL_ASSERT is
+ * active in all build types: a violated invariant in a simulator silently
+ * corrupts every downstream statistic, so we always want the abort.
+ */
+
+#include "veal/support/logging.h"
+
+/**
+ * Abort (via panic) when @p condition is false.  Extra stream arguments are
+ * appended to the diagnostic, e.g.:
+ *
+ *   VEAL_ASSERT(ii >= 1, "bad II ", ii, " for loop ", loop.name());
+ */
+#define VEAL_ASSERT(condition, ...)                                        \
+    do {                                                                   \
+        if (!(condition)) {                                                \
+            ::veal::panic("assertion failed: " #condition " at ",          \
+                          __FILE__, ":", __LINE__, " ",                    \
+                          ::veal::detail::composeMessage(__VA_ARGS__));    \
+        }                                                                  \
+    } while (false)
+
+#endif  // VEAL_SUPPORT_ASSERT_H_

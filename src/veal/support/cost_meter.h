@@ -1,0 +1,91 @@
+#ifndef VEAL_SUPPORT_COST_METER_H_
+#define VEAL_SUPPORT_COST_METER_H_
+
+/**
+ * @file
+ * Translation-cost accounting.
+ *
+ * The paper measures the dynamic instruction count of each modulo-scheduling
+ * phase with OProfile (Figure 8).  We cannot run the authors' x86 translator,
+ * so every phase of our translator charges *work units* (nodes visited,
+ * edges relaxed, reservation-table probes, ...) to a CostMeter, and a
+ * calibrated per-unit weight converts work units into equivalent baseline
+ * instructions.  See DESIGN.md §2 for the substitution argument.
+ */
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace veal {
+
+/** The translation phases the paper times individually (Figure 8). */
+enum class TranslationPhase : int {
+    kLoopAnalysis = 0,   ///< Loop identification / stream separation.
+    kCcaMapping,         ///< Greedy CCA subgraph identification.
+    kMiiComputation,     ///< ResMII + RecMII.
+    kPriority,           ///< Swing ordering / height priority computation.
+    kScheduling,         ///< Modulo reservation table list scheduling.
+    kRegisterAssignment, ///< Operand mapping post-pass.
+    kCount,
+};
+
+/** Human-readable phase name, e.g. "priority". */
+const char* toString(TranslationPhase phase);
+
+/** Number of distinct phases. */
+inline constexpr int kNumTranslationPhases =
+    static_cast<int>(TranslationPhase::kCount);
+
+/**
+ * Accumulates per-phase work units and converts them to equivalent
+ * dynamic instruction counts using calibrated weights.
+ */
+class CostMeter {
+  public:
+    /**
+     * Per-phase instruction weights.  Calibrated once (see
+     * calibratedWeights()) so that the fully dynamic translator averages
+     * ~100k instructions/loop with the paper's phase distribution.
+     */
+    struct Weights {
+        std::array<double, kNumTranslationPhases> instructions_per_unit;
+    };
+
+    CostMeter();
+    explicit CostMeter(const Weights& weights);
+
+    /** Charge @p units work units to @p phase. */
+    void charge(TranslationPhase phase, std::uint64_t units);
+
+    /** Raw work units accumulated for @p phase. */
+    std::uint64_t units(TranslationPhase phase) const;
+
+    /** Weighted instruction estimate for @p phase. */
+    double instructions(TranslationPhase phase) const;
+
+    /** Weighted instruction estimate summed over all phases. */
+    double totalInstructions() const;
+
+    /** Reset all counters to zero (weights are kept). */
+    void clear();
+
+    /** Add another meter's counters into this one. */
+    void add(const CostMeter& other);
+
+    /**
+     * The default calibration: weights chosen so the benchmark-suite
+     * average per-loop translation cost reproduces Figure 8's averages
+     * (~100k instructions; 69% priority, 20% CCA, ~1.25k MII,
+     * ~9.65k scheduling+register assignment).
+     */
+    static const Weights& calibratedWeights();
+
+  private:
+    Weights weights_;
+    std::array<std::uint64_t, kNumTranslationPhases> units_;
+};
+
+}  // namespace veal
+
+#endif  // VEAL_SUPPORT_COST_METER_H_

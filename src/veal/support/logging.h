@@ -1,0 +1,105 @@
+#ifndef VEAL_SUPPORT_LOGGING_H_
+#define VEAL_SUPPORT_LOGGING_H_
+
+/**
+ * @file
+ * Status-message and error-termination helpers in the gem5 style.
+ *
+ * - inform(): normal operating status, no connotation of a problem.
+ * - warn():   something may be off but execution can continue.
+ * - fatal():  the *user's* input/configuration makes continuing impossible;
+ *             exits with status 1.
+ * - panic():  an internal invariant of VEAL itself is broken; aborts.
+ */
+
+#include <sstream>
+#include <string>
+
+namespace veal {
+
+/** Severity for log messages delivered to the global sink. */
+enum class LogLevel {
+    kInfo,
+    kWarn,
+    kFatal,
+    kPanic,
+};
+
+/**
+ * Redirectable sink for log output.  Tests install a capturing sink;
+ * the default prints to stderr.
+ */
+class LogSink {
+  public:
+    virtual ~LogSink() = default;
+
+    /** Deliver one fully formatted message at @p level. */
+    virtual void write(LogLevel level, const std::string& message) = 0;
+};
+
+/** Replace the process-wide sink; returns the previous one (never null). */
+LogSink* setLogSink(LogSink* sink);
+
+/** The currently installed sink. */
+LogSink* logSink();
+
+namespace detail {
+
+void logMessage(LogLevel level, const std::string& message);
+
+[[noreturn]] void fatalExit(const std::string& message);
+[[noreturn]] void panicAbort(const std::string& message);
+
+/** Stream-compose a message out of a variadic pack. */
+template <typename... Args>
+std::string
+composeMessage(Args&&... args)
+{
+    if constexpr (sizeof...(Args) == 0) {
+        return std::string();
+    } else {
+        std::ostringstream os;
+        (os << ... << std::forward<Args>(args));
+        return os.str();
+    }
+}
+
+}  // namespace detail
+
+/** Emit an informational message. */
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    detail::logMessage(LogLevel::kInfo,
+                       detail::composeMessage(std::forward<Args>(args)...));
+}
+
+/** Emit a warning message. */
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    detail::logMessage(LogLevel::kWarn,
+                       detail::composeMessage(std::forward<Args>(args)...));
+}
+
+/** Terminate because of a user-level error (bad config, bad input). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args&&... args)
+{
+    detail::fatalExit(detail::composeMessage(std::forward<Args>(args)...));
+}
+
+/** Terminate because of an internal VEAL bug. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args&&... args)
+{
+    detail::panicAbort(detail::composeMessage(std::forward<Args>(args)...));
+}
+
+}  // namespace veal
+
+#endif  // VEAL_SUPPORT_LOGGING_H_

@@ -1,0 +1,73 @@
+#ifndef VEAL_SUPPORT_RNG_H_
+#define VEAL_SUPPORT_RNG_H_
+
+/**
+ * @file
+ * Deterministic pseudo-random number generation (SplitMix64).
+ *
+ * VEAL uses its own tiny generator instead of <random> engines so that
+ * workload generation and property tests produce identical sequences on
+ * every platform and standard-library implementation.
+ */
+
+#include <cstdint>
+
+#include "veal/support/assert.h"
+
+namespace veal {
+
+/** SplitMix64: fast, high-quality 64-bit generator with a 64-bit state. */
+class Rng {
+  public:
+    /** Seed the generator; the same seed always yields the same stream. */
+    explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        VEAL_ASSERT(bound > 0);
+        // Rejection sampling to avoid modulo bias.
+        const std::uint64_t limit = ~0ull - (~0ull % bound) - 1;
+        std::uint64_t value = next();
+        while (value > limit)
+            value = next();
+        return value % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi. */
+    std::int64_t
+    nextInRange(std::int64_t lo, std::int64_t hi)
+    {
+        VEAL_ASSERT(lo <= hi);
+        const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+        return lo + static_cast<std::int64_t>(nextBelow(span));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p of returning true. */
+    bool nextBool(double p) { return nextDouble() < p; }
+
+  private:
+    std::uint64_t state_;
+};
+
+}  // namespace veal
+
+#endif  // VEAL_SUPPORT_RNG_H_

@@ -1,0 +1,73 @@
+#include "veal/support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "veal/support/assert.h"
+
+namespace veal {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    VEAL_ASSERT(!headers_.empty());
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    VEAL_ASSERT(cells.size() == headers_.size(),
+                "row has ", cells.size(), " cells, expected ",
+                headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::formatDouble(double value, int precision)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+    return buffer;
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c]
+               << std::string(widths[c] - cells[c].size(), ' ');
+            if (c + 1 < cells.size())
+                os << "  ";
+        }
+        os << '\n';
+    };
+
+    emit_row(headers_);
+    std::size_t rule_width = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        rule_width += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(rule_width, '-') << '\n';
+    for (const auto& row : rows_)
+        emit_row(row);
+    return os.str();
+}
+
+std::ostream&
+operator<<(std::ostream& os, const TextTable& table)
+{
+    return os << table.render();
+}
+
+}  // namespace veal

@@ -1,0 +1,51 @@
+#ifndef VEAL_VEAL_H_
+#define VEAL_VEAL_H_
+
+/**
+ * @file
+ * Umbrella header: the complete public API of the VEAL library.
+ *
+ * Layering (bottom to top):
+ *  - veal/support: logging, assertions, RNG, cost metering, tables.
+ *  - veal/ir: the loop dataflow IR, analysis, and static transforms.
+ *  - veal/arch: loop-accelerator and baseline-CPU configurations.
+ *  - veal/cca: greedy CCA subgraph identification.
+ *  - veal/sched: MII, priorities, modulo scheduling, register assignment.
+ *  - veal/sim: cycle-level CPU model and LA timing model.
+ *  - veal/vm: the co-designed virtual machine (translation + code cache).
+ *  - veal/workloads: the synthetic MediaBench/SPECfp-like suite.
+ */
+
+#include "veal/arch/area.h"
+#include "veal/arch/cca_spec.h"
+#include "veal/arch/cpu_config.h"
+#include "veal/arch/fu.h"
+#include "veal/arch/la_config.h"
+#include "veal/arch/latency.h"
+#include "veal/cca/cca_mapper.h"
+#include "veal/ir/loop.h"
+#include "veal/ir/loop_analysis.h"
+#include "veal/ir/loop_builder.h"
+#include "veal/ir/loop_parser.h"
+#include "veal/ir/random_loop.h"
+#include "veal/ir/transforms.h"
+#include "veal/sched/mii.h"
+#include "veal/sched/priority.h"
+#include "veal/sched/register_alloc.h"
+#include "veal/sched/schedule.h"
+#include "veal/sched/scheduler.h"
+#include "veal/sim/cpu_sim.h"
+#include "veal/sim/interpreter.h"
+#include "veal/sim/la_executor.h"
+#include "veal/sim/la_timing.h"
+#include "veal/support/logging.h"
+#include "veal/support/table.h"
+#include "veal/vm/application.h"
+#include "veal/vm/code_cache.h"
+#include "veal/vm/control_image.h"
+#include "veal/vm/translator.h"
+#include "veal/vm/vm.h"
+#include "veal/workloads/kernels.h"
+#include "veal/workloads/suite.h"
+
+#endif  // VEAL_VEAL_H_

@@ -1,0 +1,51 @@
+#ifndef VEAL_VM_APPLICATION_H_
+#define VEAL_VM_APPLICATION_H_
+
+/**
+ * @file
+ * The VM's view of an application: its loop sites with execution profile,
+ * plus the acyclic remainder.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "veal/ir/loop.h"
+
+namespace veal {
+
+/** One static loop in an application binary. */
+struct LoopSite {
+    /** The loop as the (transformed or plain) binary expresses it. */
+    Loop loop;
+
+    /**
+     * Non-empty when the static compiler fissioned the loop to fit stream
+     * limits: the LA executes (and the transformed binary contains) these
+     * pieces in sequence instead of @p loop.
+     */
+    std::vector<Loop> fissioned;
+
+    /** Times this site is entered over the whole run. */
+    std::int64_t invocations = 1;
+
+    /** Trip count per invocation. */
+    std::int64_t iterations = 100;
+};
+
+/** A whole program, profiled at the loop level. */
+struct Application {
+    std::string name;
+    std::vector<LoopSite> sites;
+
+    /**
+     * Baseline (1-issue) cycles spent outside any loop.  Wider CPUs scale
+     * this by CpuConfig::acyclic_speedup; the LA never touches it.
+     */
+    std::int64_t acyclic_cycles = 0;
+};
+
+}  // namespace veal
+
+#endif  // VEAL_VM_APPLICATION_H_

@@ -1,0 +1,50 @@
+#include "veal/vm/code_cache.h"
+
+#include "veal/support/assert.h"
+
+namespace veal {
+
+CodeCache::CodeCache(int capacity) : capacity_(capacity)
+{
+    VEAL_ASSERT(capacity >= 1, "code cache needs at least one entry");
+}
+
+bool
+CodeCache::lookup(const std::string& key)
+{
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        ++misses_;
+        return false;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+}
+
+void
+CodeCache::insert(const std::string& key)
+{
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    if (static_cast<int>(entries_.size()) >= capacity_) {
+        entries_.erase(lru_.back());
+        lru_.pop_back();
+    }
+    lru_.push_front(key);
+    entries_[key] = lru_.begin();
+}
+
+void
+CodeCache::clear()
+{
+    lru_.clear();
+    entries_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+}  // namespace veal

@@ -1,0 +1,54 @@
+#ifndef VEAL_VM_CODE_CACHE_H_
+#define VEAL_VM_CODE_CACHE_H_
+
+/**
+ * @file
+ * The software-managed code cache holding translated loop control
+ * (paper §4.2/§4.3: 16 entries, LRU, ~48 KB for the proposed LA).
+ */
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+namespace veal {
+
+/** LRU cache of translated-loop identities. */
+class CodeCache {
+  public:
+    /** @param capacity maximum number of resident translations (>= 1). */
+    explicit CodeCache(int capacity);
+
+    /**
+     * Look up @p key; a hit refreshes its recency.  A miss does *not*
+     * insert -- call insert() once the translation completes.
+     */
+    bool lookup(const std::string& key);
+
+    /** Insert @p key, evicting the least recently used entry if full. */
+    void insert(const std::string& key);
+
+    /** Number of resident entries. */
+    int size() const { return static_cast<int>(entries_.size()); }
+
+    int capacity() const { return capacity_; }
+
+    std::int64_t hits() const { return hits_; }
+    std::int64_t misses() const { return misses_; }
+
+    /** Drop everything and reset statistics. */
+    void clear();
+
+  private:
+    int capacity_;
+    std::list<std::string> lru_;  ///< Front = most recent.
+    std::unordered_map<std::string, std::list<std::string>::iterator>
+        entries_;
+    std::int64_t hits_ = 0;
+    std::int64_t misses_ = 0;
+};
+
+}  // namespace veal
+
+#endif  // VEAL_VM_CODE_CACHE_H_

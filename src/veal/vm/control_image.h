@@ -1,0 +1,77 @@
+#ifndef VEAL_VM_CONTROL_IMAGE_H_
+#define VEAL_VM_CONTROL_IMAGE_H_
+
+/**
+ * @file
+ * The binary control image of a translated loop.
+ *
+ * Paper §4.1: "Once all the ops are placed, they represent all the control
+ * signals needed to configure the LA's datapath ...  Control data
+ * representing the loop schedule is transferred to the loop accelerator
+ * through a memory mapped interface", and §4.3 sizes the 16-entry code
+ * cache at ~48 KB.  This encoder serialises a TranslationResult into that
+ * image: a header, the per-FU control store (one entry per occupied
+ * modulo slot, with operand routing), the address-generator stream
+ * configurations, and the register-file initialisation map.  A decoder
+ * recovers the structural fields so round-trips can be verified.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "veal/vm/translator.h"
+
+namespace veal {
+
+/** Where an operand's value comes from in the datapath. */
+enum class OperandSource : std::uint8_t {
+    kRegister = 0,  ///< Register-file read (index).
+    kBypass,        ///< Interconnect bypass from a producing FU (unit id).
+    kFifo,          ///< Load-stream FIFO (stream index).
+    kLiteral,       ///< Literal pool entry (index).
+};
+
+/** One entry of the decoded control store. */
+struct ControlEntry {
+    std::uint8_t fu_class = 0;
+    std::uint8_t fu_instance = 0;
+    std::uint8_t slot = 0;      ///< Modulo cycle within the II.
+    std::uint8_t stage = 0;
+    std::uint8_t num_ops = 0;   ///< 1, or the CCA group size.
+    std::uint8_t dest_register = 0xff;  ///< 0xff = no register write.
+};
+
+/** Decoded structural view of an image (for verification/debugging). */
+struct DecodedControlImage {
+    int ii = 0;
+    int stage_count = 0;
+    int num_load_streams = 0;
+    int num_store_streams = 0;
+    int num_register_inits = 0;
+    int num_literals = 0;
+    std::vector<ControlEntry> entries;
+};
+
+/** A serialised loop translation, as the code cache stores it. */
+class ControlImage {
+  public:
+    /** Serialise @p translation (must be ok) for @p loop. */
+    static ControlImage encode(const Loop& loop,
+                               const TranslationResult& translation);
+
+    /** Parse the structural fields back out (panics on a bad image). */
+    DecodedControlImage decode() const;
+
+    /** Raw image words. */
+    const std::vector<std::uint32_t>& words() const { return words_; }
+
+    /** Image size in bytes (what the code cache accounts). */
+    std::size_t byteSize() const { return words_.size() * 4; }
+
+  private:
+    std::vector<std::uint32_t> words_;
+};
+
+}  // namespace veal
+
+#endif  // VEAL_VM_CONTROL_IMAGE_H_

@@ -1,0 +1,273 @@
+#include "veal/vm/translator.h"
+
+#include <algorithm>
+
+#include "veal/sched/mii.h"
+#include "veal/sched/scheduler.h"
+#include "veal/support/assert.h"
+#include "veal/support/logging.h"
+
+namespace veal {
+
+const char*
+toString(TranslationMode mode)
+{
+    switch (mode) {
+      case TranslationMode::kStatic: return "static";
+      case TranslationMode::kFullyDynamic: return "fully-dynamic";
+      case TranslationMode::kFullyDynamicHeight:
+        return "fully-dynamic-height";
+      case TranslationMode::kHybridStaticCcaPriority:
+        return "static-cca-priority";
+    }
+    return "unknown";
+}
+
+const char*
+toString(TranslationReject reject)
+{
+    switch (reject) {
+      case TranslationReject::kNone: return "none";
+      case TranslationReject::kAnalysis: return "analysis";
+      case TranslationReject::kTooManyLoadStreams:
+        return "too-many-load-streams";
+      case TranslationReject::kTooManyStoreStreams:
+        return "too-many-store-streams";
+      case TranslationReject::kNoFuForOpcode: return "no-fu-for-opcode";
+      case TranslationReject::kScheduleFailed: return "schedule-failed";
+      case TranslationReject::kTooFewRegisters: return "too-few-registers";
+    }
+    return "unknown";
+}
+
+double
+TranslationResult::penaltyCycles() const
+{
+    return mode == TranslationMode::kStatic ? 0.0
+                                            : meter.totalInstructions();
+}
+
+namespace {
+
+/** Rebuild the unit order from Figure 9(c)'s per-op rank numbers. */
+NodeOrder
+orderFromStaticRanks(const SchedGraph& graph,
+                     const std::vector<int>& op_priority, CostMeter* meter)
+{
+    NodeOrder order;
+    order.kind = PriorityKind::kSwing;
+    const int n = graph.numUnits();
+    // The encoded number is rank * 2 + place_late_bit (still one number
+    // per op, as in Figure 9(c)).
+    std::vector<int> unit_rank(static_cast<std::size_t>(n), 1 << 30);
+    order.place_late.assign(static_cast<std::size_t>(n), false);
+    for (const auto& unit : graph.units()) {
+        for (const OpId op : unit.ops) {
+            // A single pass over the loop recovers every priority:
+            // paper Figure 9(c)'s "two loads per op" decode cost.
+            if (meter != nullptr)
+                meter->charge(TranslationPhase::kPriority, 2);
+            if (op < static_cast<int>(op_priority.size()) &&
+                op_priority[static_cast<std::size_t>(op)] >= 0) {
+                const int encoded =
+                    op_priority[static_cast<std::size_t>(op)];
+                auto& rank =
+                    unit_rank[static_cast<std::size_t>(unit.id)];
+                if (encoded / 2 < rank / 2 || rank == (1 << 30)) {
+                    rank = encoded;
+                    order.place_late[static_cast<std::size_t>(unit.id)] =
+                        (encoded & 1) != 0;
+                }
+            }
+        }
+    }
+    order.sequence.resize(static_cast<std::size_t>(n));
+    for (int u = 0; u < n; ++u)
+        order.sequence[static_cast<std::size_t>(u)] = u;
+    std::sort(order.sequence.begin(), order.sequence.end(),
+              [&](int a, int b) {
+                  if (unit_rank[static_cast<std::size_t>(a)] !=
+                      unit_rank[static_cast<std::size_t>(b)]) {
+                      return unit_rank[static_cast<std::size_t>(a)] <
+                             unit_rank[static_cast<std::size_t>(b)];
+                  }
+                  return a < b;
+              });
+    order.rank.assign(static_cast<std::size_t>(n), 0);
+    for (int position = 0; position < n; ++position) {
+        order.rank[static_cast<std::size_t>(
+            order.sequence[static_cast<std::size_t>(position)])] = position;
+    }
+    return order;
+}
+
+}  // namespace
+
+TranslationResult
+translateLoop(const Loop& loop, const LaConfig& config,
+              TranslationMode mode, const StaticAnnotations* annotations)
+{
+    TranslationResult result;
+    result.mode = mode;
+    CostMeter& meter = result.meter;
+
+    auto reject = [&](TranslationReject why, std::string detail) {
+        result.reject = why;
+        result.reject_detail = std::move(detail);
+        return result;
+    };
+
+    // --- Loop analysis (always dynamic: loop detection is cheap).
+    result.analysis = analyzeLoop(loop, &meter);
+    if (!result.analysis.ok()) {
+        return reject(TranslationReject::kAnalysis,
+                      std::string(toString(result.analysis.reject)) + ": " +
+                          result.analysis.reject_detail);
+    }
+
+    // --- Feature checks against this LA.
+    if (static_cast<int>(result.analysis.load_streams.size()) >
+        config.num_load_streams) {
+        return reject(TranslationReject::kTooManyLoadStreams,
+                      std::to_string(result.analysis.load_streams.size()) +
+                          " > " + std::to_string(config.num_load_streams));
+    }
+    if (static_cast<int>(result.analysis.store_streams.size()) >
+        config.num_store_streams) {
+        return reject(TranslationReject::kTooManyStoreStreams,
+                      std::to_string(result.analysis.store_streams.size()) +
+                          " > " + std::to_string(config.num_store_streams));
+    }
+
+    // --- CCA mapping: static (Figure 9(b)) or dynamic greedy.
+    const bool hybrid = mode == TranslationMode::kHybridStaticCcaPriority;
+    if (!config.hasCca()) {
+        // With no CCA, statically abstracted subgraphs simply execute as
+        // individual ops (the encoding is plain branch-and-link code).
+        result.mapping = emptyCcaMapping(loop);
+    } else if (hybrid && annotations != nullptr &&
+               annotations->cca_mapping.has_value()) {
+        result.mapping = *annotations->cca_mapping;
+        // Decode cost: recognise the Brl-CCA calls in one pass.
+        meter.charge(TranslationPhase::kCcaMapping,
+                     static_cast<std::uint64_t>(loop.size()));
+    } else {
+        if (hybrid && annotations == nullptr) {
+            warn("hybrid translation of ", loop.name(),
+                 " without annotations; computing dynamically");
+        }
+        result.mapping = mapToCca(loop, result.analysis, *config.cca,
+                                  config.latencies, &meter);
+    }
+
+    // --- Build the scheduling problem and compute MII.
+    result.graph.emplace(loop, result.analysis, result.mapping, config);
+    const SchedGraph& graph = *result.graph;
+
+    const int res_mii = resMii(graph, config, &meter);
+    if (res_mii >= LaConfig::kUnlimited) {
+        return reject(TranslationReject::kNoFuForOpcode, loop.name());
+    }
+    const int rec_mii = recMii(graph, &meter);
+    result.mii = std::max(res_mii, rec_mii);
+
+    // --- Priority: static ranks, cheap height, or full swing.
+    NodeOrder order;
+    if (hybrid && annotations != nullptr &&
+        annotations->op_priority.has_value()) {
+        order = orderFromStaticRanks(graph, *annotations->op_priority,
+                                     &meter);
+    } else if (mode == TranslationMode::kFullyDynamicHeight) {
+        order = computeHeightOrder(graph, result.mii, &meter);
+    } else {
+        order = computeSwingOrder(graph, result.mii, &meter);
+    }
+
+    // --- List scheduling against the modulo reservation table, with a
+    // register-assignment post-pass.  When the operand mapping does not
+    // fit the register files, retry at a larger II: a less congested
+    // reservation table lets consumers sit next to their producers, which
+    // shortens lifetimes (and is cheap for the translator to attempt).
+    auto schedule_with_registers = [&](const NodeOrder& node_order,
+                                       bool* placement_failed) {
+        int floor_ii = result.mii;
+        *placement_failed = false;
+        for (int attempt = 0; attempt < 3; ++attempt) {
+            auto schedule =
+                scheduleLoop(graph, config, node_order, floor_ii, &meter);
+            if (!schedule.has_value()) {
+                *placement_failed = true;
+                return false;
+            }
+            result.schedule = std::move(*schedule);
+            result.registers = assignRegisters(loop, result.analysis,
+                                               graph, result.schedule,
+                                               config, &meter);
+            if (result.registers.ok)
+                return true;
+            floor_ii = result.schedule.ii + 1;
+            if (floor_ii > config.max_ii)
+                return false;
+        }
+        return false;
+    };
+
+    bool placement_failed = false;
+    bool scheduled = schedule_with_registers(order, &placement_failed);
+    if (!scheduled && placement_failed &&
+        order.kind != PriorityKind::kHeight) {
+        // The swing order occasionally wedges a node between neighbours
+        // placed in opposite sweep directions at every II.  Fall back to
+        // the forward-only height order before giving up (the extra
+        // priority pass is charged like any other translation work).
+        const NodeOrder fallback =
+            computeHeightOrder(graph, result.mii, &meter);
+        scheduled = schedule_with_registers(fallback, &placement_failed);
+    }
+    if (!scheduled) {
+        if (placement_failed) {
+            return reject(TranslationReject::kScheduleFailed,
+                          "MII " + std::to_string(result.mii) +
+                              ", max II " + std::to_string(config.max_ii));
+        }
+        return reject(TranslationReject::kTooFewRegisters,
+                      result.registers.fail_reason);
+    }
+
+    result.ok = true;
+    return result;
+}
+
+StaticAnnotations
+precompileAnnotations(const Loop& loop, const LaConfig& config)
+{
+    StaticAnnotations annotations;
+    const LoopAnalysis analysis = analyzeLoop(loop);
+    if (!analysis.ok())
+        return annotations;
+
+    CcaMapping mapping = config.hasCca()
+                             ? mapToCca(loop, analysis, *config.cca,
+                                        config.latencies)
+                             : emptyCcaMapping(loop);
+
+    const SchedGraph graph(loop, analysis, mapping, config);
+    const int res = resMii(graph, config);
+    const int rec = recMii(graph);
+    const int ii = res >= LaConfig::kUnlimited ? rec : std::max(res, rec);
+    const NodeOrder order = computeSwingOrder(graph, ii);
+
+    std::vector<int> op_priority(static_cast<std::size_t>(loop.size()), -1);
+    for (const auto& unit : graph.units()) {
+        const int encoded =
+            order.rank[static_cast<std::size_t>(unit.id)] * 2 +
+            (order.place_late[static_cast<std::size_t>(unit.id)] ? 1 : 0);
+        for (const OpId op : unit.ops)
+            op_priority[static_cast<std::size_t>(op)] = encoded;
+    }
+    annotations.cca_mapping = std::move(mapping);
+    annotations.op_priority = std::move(op_priority);
+    return annotations;
+}
+
+}  // namespace veal

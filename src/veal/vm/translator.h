@@ -1,0 +1,128 @@
+#ifndef VEAL_VM_TRANSLATOR_H_
+#define VEAL_VM_TRANSLATOR_H_
+
+/**
+ * @file
+ * The loop-accelerator translation pipeline (paper §4.1) under the four
+ * static/dynamic splits evaluated in §4.3:
+ *
+ *  - kStatic: the whole pipeline ran offline; zero runtime penalty (the
+ *    "No Translation Overhead" bars of Figure 10).
+ *  - kFullyDynamic: everything at runtime with the swing priority.
+ *  - kFullyDynamicHeight: everything at runtime with the cheap
+ *    height-based priority.
+ *  - kHybridStaticCcaPriority: CCA subgraphs (Figure 9(b) procedural
+ *    abstraction) and scheduling priority (Figure 9(c) data-section
+ *    numbers) are read from static annotations; MII, scheduling, and
+ *    register assignment stay dynamic.
+ */
+
+#include <optional>
+#include <string>
+
+#include "veal/arch/la_config.h"
+#include "veal/cca/cca_mapper.h"
+#include "veal/ir/loop.h"
+#include "veal/ir/loop_analysis.h"
+#include "veal/sched/priority.h"
+#include "veal/sched/register_alloc.h"
+#include "veal/sched/sched_graph.h"
+#include "veal/sched/schedule.h"
+#include "veal/support/cost_meter.h"
+
+namespace veal {
+
+/** Static/dynamic split of the translation pipeline. */
+enum class TranslationMode : int {
+    kStatic,
+    kFullyDynamic,
+    kFullyDynamicHeight,
+    kHybridStaticCcaPriority,
+};
+
+/** Mode name, e.g. "fully-dynamic". */
+const char* toString(TranslationMode mode);
+
+/**
+ * What the static compiler embedded in the binary, in a
+ * backward-compatible encoding (paper Figure 9).
+ */
+struct StaticAnnotations {
+    /**
+     * CCA subgraphs as procedural abstraction (Figure 9(b)).  Encoded as
+     * plain branch-and-link functions, so a machine without a CCA simply
+     * executes the ops individually.
+     */
+    std::optional<CcaMapping> cca_mapping;
+
+    /**
+     * Per-op scheduling rank (Figure 9(c)): one number per operation in a
+     * data section preceding the loop.  Lower = schedule earlier.
+     */
+    std::optional<std::vector<int>> op_priority;
+};
+
+/** Why translation gave up (the loop then runs on the baseline CPU). */
+enum class TranslationReject : int {
+    kNone,
+    kAnalysis,          ///< Calls / speculation / non-affine patterns.
+    kTooManyLoadStreams,
+    kTooManyStoreStreams,
+    kNoFuForOpcode,     ///< Required FU class absent (e.g. FP on int-only LA).
+    kScheduleFailed,    ///< No II <= max_ii admits a schedule.
+    kTooFewRegisters,
+};
+
+/** Reject name, e.g. "too-many-load-streams". */
+const char* toString(TranslationReject reject);
+
+/** Everything the VM learns from translating one loop. */
+struct TranslationResult {
+    bool ok = false;
+    TranslationReject reject = TranslationReject::kNone;
+    std::string reject_detail;
+
+    LoopAnalysis analysis;
+    CcaMapping mapping;
+    std::optional<SchedGraph> graph;
+    Schedule schedule;
+    RegisterAssignment registers;
+    int mii = 0;
+
+    /** Per-phase work; instructions() gives the Figure 8 breakdown. */
+    CostMeter meter;
+
+    /**
+     * Dynamic translation penalty in baseline-CPU cycles.  Zero for
+     * kStatic; otherwise the metered instruction count (the VM translator
+     * is modelled at 1 IPC on the host, as in the paper's OProfile
+     * methodology).
+     */
+    double penaltyCycles() const;
+
+    TranslationMode mode = TranslationMode::kFullyDynamic;
+};
+
+/**
+ * Run the translation pipeline for @p loop targeting @p config.
+ *
+ * @param annotations required for kHybridStaticCcaPriority (falls back to
+ *        dynamic computation with a warning when absent); ignored for the
+ *        fully dynamic modes.
+ */
+TranslationResult translateLoop(const Loop& loop, const LaConfig& config,
+                                TranslationMode mode,
+                                const StaticAnnotations* annotations =
+                                    nullptr);
+
+/**
+ * The static compiler stage that produces Figure 9's annotations for a
+ * binary: CCA subgraphs and swing scheduling ranks.  Returns empty
+ * annotations for loops that fail analysis.
+ */
+StaticAnnotations precompileAnnotations(const Loop& loop,
+                                        const LaConfig& config);
+
+}  // namespace veal
+
+#endif  // VEAL_VM_TRANSLATOR_H_

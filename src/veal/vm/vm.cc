@@ -1,0 +1,195 @@
+#include "veal/vm/vm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "veal/sim/cpu_sim.h"
+#include "veal/sim/la_timing.h"
+#include "veal/support/assert.h"
+
+namespace veal {
+
+VirtualMachine::VirtualMachine(LaConfig la, CpuConfig baseline,
+                               VmOptions options)
+    : la_(std::move(la)), cpu_(std::move(baseline)),
+      options_(std::move(options))
+{}
+
+namespace {
+
+/** Everything the VM derives for one translated piece of one site. */
+struct PiecePlan {
+    const Loop* loop = nullptr;
+    TranslationResult translation;
+    std::int64_t cpu_cycles_per_invocation = 0;
+    std::int64_t la_first_invocation = 0;  ///< Cache-miss invocation cost.
+    std::int64_t la_warm_invocation = 0;   ///< Cache-hit invocation cost.
+};
+
+}  // namespace
+
+AppRunResult
+VirtualMachine::run(const Application& app)
+{
+    AppRunResult out;
+    out.app_name = app.name;
+
+    // First pass: translate every piece and price both execution paths.
+    struct SitePlan {
+        const LoopSite* site = nullptr;
+        std::vector<PiecePlan> pieces;
+    };
+    std::vector<SitePlan> plans;
+    int accelerated_pieces = 0;
+
+    for (const auto& site : app.sites) {
+        SitePlan plan;
+        plan.site = &site;
+        std::vector<const Loop*> pieces;
+        if (site.fissioned.empty()) {
+            pieces.push_back(&site.loop);
+        } else {
+            for (const auto& piece : site.fissioned)
+                pieces.push_back(&piece);
+        }
+        for (const Loop* loop : pieces) {
+            PiecePlan piece;
+            piece.loop = loop;
+            StaticAnnotations annotations;
+            const StaticAnnotations* annotations_ptr = nullptr;
+            if (options_.mode ==
+                TranslationMode::kHybridStaticCcaPriority) {
+                annotations = precompileAnnotations(*loop, la_);
+                annotations_ptr = &annotations;
+            }
+            piece.translation =
+                translateLoop(*loop, la_, options_.mode, annotations_ptr);
+            piece.cpu_cycles_per_invocation =
+                simulateLoopOnCpu(*loop, cpu_, site.iterations)
+                    .total_cycles;
+            if (piece.translation.ok) {
+                ++accelerated_pieces;
+                const auto& tr = piece.translation;
+                piece.la_first_invocation =
+                    acceleratorLoopCost(tr.schedule, *tr.graph,
+                                        tr.analysis, tr.registers, la_,
+                                        site.iterations,
+                                        /*first_invocation=*/true)
+                        .total();
+                piece.la_warm_invocation =
+                    acceleratorLoopCost(tr.schedule, *tr.graph,
+                                        tr.analysis, tr.registers, la_,
+                                        site.iterations,
+                                        /*first_invocation=*/false)
+                        .total();
+            }
+            plan.pieces.push_back(std::move(piece));
+        }
+        plans.push_back(std::move(plan));
+    }
+
+    // Code-cache behaviour: with round-robin site interleaving and LRU
+    // replacement, either every hot translation stays resident (one miss
+    // each) or the working set thrashes (every invocation misses).
+    const bool cache_fits =
+        accelerated_pieces <= options_.code_cache_entries;
+
+    for (const auto& plan : plans) {
+        const auto& site = *plan.site;
+        SiteResult site_result;
+        site_result.loop_name = site.loop.name();
+
+        site_result.baseline_cycles =
+            simulateLoopOnCpu(site.loop, cpu_, site.iterations)
+                .total_cycles *
+            site.invocations;
+
+        for (const auto& piece : plan.pieces) {
+            const auto& tr = piece.translation;
+            const double metered_penalty =
+                options_.penalty_override >= 0.0
+                    ? options_.penalty_override
+                    : tr.penaltyCycles();
+
+            if (!tr.ok) {
+                // Failed translations still charge the analysis the VM
+                // performed before giving up (once).
+                site_result.reject = tr.reject;
+                site_result.translation_cycles += static_cast<std::int64_t>(
+                    tr.mode == TranslationMode::kStatic
+                        ? 0.0
+                        : tr.meter.totalInstructions());
+                site_result.actual_cycles +=
+                    piece.cpu_cycles_per_invocation * site.invocations;
+                continue;
+            }
+
+            std::int64_t misses = cache_fits ? 1 : site.invocations;
+            const auto forced = static_cast<std::int64_t>(
+                std::llround(options_.retranslation_rate *
+                             static_cast<double>(site.invocations)));
+            misses = std::clamp<std::int64_t>(std::max(misses, 1 + forced),
+                                              1, site.invocations);
+            const std::int64_t hits = site.invocations - misses;
+
+            const std::int64_t translation_cycles =
+                static_cast<std::int64_t>(metered_penalty *
+                                          static_cast<double>(misses));
+            const std::int64_t la_total =
+                misses * piece.la_first_invocation +
+                hits * piece.la_warm_invocation;
+            const std::int64_t cpu_total =
+                piece.cpu_cycles_per_invocation * site.invocations;
+
+            // The VM monitors both paths and keeps the faster one; the
+            // translation work itself is sunk cost either way.
+            site_result.translation_cycles += translation_cycles;
+            if (la_total <= cpu_total) {
+                site_result.accelerated = true;
+                site_result.actual_cycles += la_total;
+                site_result.translations += misses;
+                site_result.instructions_per_translation =
+                    tr.meter.totalInstructions();
+                site_result.ii = tr.schedule.ii;
+                site_result.mii = tr.mii;
+                site_result.stage_count = tr.schedule.stage_count;
+                out.cache_hits += hits;
+                out.cache_misses += misses;
+            } else {
+                site_result.actual_cycles += cpu_total;
+                site_result.translations += 1;
+            }
+        }
+        site_result.actual_cycles += site_result.translation_cycles;
+
+        out.translation_cycles += site_result.translation_cycles;
+        out.baseline_cycles += site_result.baseline_cycles;
+        out.accelerated_cycles += site_result.actual_cycles;
+        out.sites.push_back(std::move(site_result));
+    }
+
+    out.baseline_cycles += app.acyclic_cycles;
+    out.accelerated_cycles += app.acyclic_cycles;
+    out.speedup = out.accelerated_cycles > 0
+                      ? static_cast<double>(out.baseline_cycles) /
+                            static_cast<double>(out.accelerated_cycles)
+                      : 1.0;
+    return out;
+}
+
+std::int64_t
+cpuOnlyCycles(const Application& app, const CpuConfig& cpu)
+{
+    std::int64_t total = 0;
+    for (const auto& site : app.sites) {
+        total += simulateLoopOnCpu(site.loop, cpu, site.iterations)
+                     .total_cycles *
+                 site.invocations;
+    }
+    total += static_cast<std::int64_t>(
+        static_cast<double>(app.acyclic_cycles) /
+        std::max(cpu.acyclic_speedup, 1.0));
+    return total;
+}
+
+}  // namespace veal

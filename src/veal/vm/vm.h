@@ -1,0 +1,120 @@
+#ifndef VEAL_VM_VM_H_
+#define VEAL_VM_VM_H_
+
+/**
+ * @file
+ * The co-designed virtual machine (paper §4.2).
+ *
+ * The VM monitors an application, dynamically translates hot modulo-
+ * schedulable loops for whatever LA the system has, caches the generated
+ * control in a software code cache, and falls back to the baseline CPU
+ * whenever translation is impossible or unprofitable.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "veal/arch/cpu_config.h"
+#include "veal/arch/la_config.h"
+#include "veal/vm/application.h"
+#include "veal/vm/code_cache.h"
+#include "veal/vm/translator.h"
+
+namespace veal {
+
+/** Runtime policy knobs for the VM. */
+struct VmOptions {
+    TranslationMode mode = TranslationMode::kFullyDynamic;
+
+    /** Code cache entries (paper §4.3: 16 translations, LRU). */
+    int code_cache_entries = 16;
+
+    /**
+     * Fraction of invocations that must re-translate despite the cache
+     * (Figure 6's miss-rate lines).  0 = each loop translates once.
+     */
+    double retranslation_rate = 0.0;
+
+    /**
+     * When >= 0, overrides the metered per-translation penalty with a
+     * fixed cycle count (the x-axis of Figure 6).
+     */
+    double penalty_override = -1.0;
+};
+
+/** Outcome for one loop site. */
+struct SiteResult {
+    std::string loop_name;
+    bool accelerated = false;
+    TranslationReject reject = TranslationReject::kNone;
+
+    /** Cycles this site costs on the baseline CPU (original binary). */
+    std::int64_t baseline_cycles = 0;
+
+    /** Cycles actually spent (LA or CPU path, plus translation). */
+    std::int64_t actual_cycles = 0;
+
+    /** Cycles spent inside the translator for this site. */
+    std::int64_t translation_cycles = 0;
+
+    /** Number of translations performed. */
+    std::int64_t translations = 0;
+
+    /** Metered instructions per translation (Figure 8's metric). */
+    double instructions_per_translation = 0.0;
+
+    /** Achieved II / MII / stage count (accelerated pieces only). */
+    int ii = 0;
+    int mii = 0;
+    int stage_count = 0;
+};
+
+/** Whole-application outcome. */
+struct AppRunResult {
+    std::string app_name;
+
+    /** Cycles with no LA at all (the speedup denominator's numerator). */
+    std::int64_t baseline_cycles = 0;
+
+    /** Cycles with the VM + LA, including all translation penalties. */
+    std::int64_t accelerated_cycles = 0;
+
+    /** Total translation penalty included above. */
+    std::int64_t translation_cycles = 0;
+
+    double speedup = 1.0;
+
+    std::int64_t cache_hits = 0;
+    std::int64_t cache_misses = 0;
+
+    std::vector<SiteResult> sites;
+};
+
+/** The co-designed VM for one (LA, baseline CPU) system. */
+class VirtualMachine {
+  public:
+    VirtualMachine(LaConfig la, CpuConfig baseline, VmOptions options);
+
+    /** Run @p app to completion and report timing. */
+    AppRunResult run(const Application& app);
+
+    const LaConfig& laConfig() const { return la_; }
+    const CpuConfig& cpuConfig() const { return cpu_; }
+    const VmOptions& options() const { return options_; }
+
+  private:
+    LaConfig la_;
+    CpuConfig cpu_;
+    VmOptions options_;
+};
+
+/**
+ * Cycles for the whole application on @p cpu alone (no LA): used both as
+ * the speedup baseline and for the 2-/4-issue comparison bars.
+ */
+std::int64_t cpuOnlyCycles(const Application& app, const CpuConfig& cpu);
+
+}  // namespace veal
+
+#endif  // VEAL_VM_VM_H_

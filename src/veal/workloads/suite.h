@@ -1,0 +1,56 @@
+#ifndef VEAL_WORKLOADS_SUITE_H_
+#define VEAL_WORKLOADS_SUITE_H_
+
+/**
+ * @file
+ * The synthetic benchmark suite mirroring the paper's evaluation set.
+ *
+ * Each Benchmark packages two Applications: the statically *transformed*
+ * binary (aggressive inlining, loop fission to fit stream limits, tuned
+ * unrolling -- paper §4.2) and the plain *untransformed* binary used for
+ * Figure 7.  Execution-time category fractions are calibrated against the
+ * paper's Figure 2 by scaling invocation counts and the acyclic residue.
+ */
+
+#include <string>
+#include <vector>
+
+#include "veal/vm/application.h"
+
+namespace veal {
+
+/** Target execution-time split on the baseline CPU (Figure 2). */
+struct CategoryFractions {
+    double modulo = 1.0;       ///< Modulo-schedulable loops.
+    double speculation = 0.0;  ///< While loops / side exits.
+    double subroutine = 0.0;   ///< Loops with non-inlinable calls.
+    double acyclic = 0.0;      ///< Everything else.
+};
+
+/** One benchmark: profile targets plus both binary variants. */
+struct Benchmark {
+    std::string name;
+    bool media_or_fp = true;  ///< Left group of Figure 2 (evaluated set).
+    CategoryFractions fractions;
+    Application transformed;
+    Application untransformed;
+};
+
+/**
+ * The media/floating-point evaluation suite (left of Figure 2): the
+ * benchmarks every experiment in §3 and §4 runs over.
+ */
+std::vector<Benchmark> mediaFpSuite();
+
+/**
+ * The integer/control-heavy group (right of Figure 2): only used to show
+ * where loop accelerators do *not* help.
+ */
+std::vector<Benchmark> integerSuite();
+
+/** Look up one benchmark from mediaFpSuite() by name (fatal if absent). */
+Benchmark findBenchmark(const std::string& name);
+
+}  // namespace veal
+
+#endif  // VEAL_WORKLOADS_SUITE_H_

@@ -1,0 +1,83 @@
+#include "veal/arch/area.h"
+
+#include <gtest/gtest.h>
+
+namespace veal {
+namespace {
+
+TEST(AreaTest, ProposedDesignIsAbout3Point8mm2)
+{
+    // Paper §3.2: the proposed LA consumes ~3.8 mm^2 in 90 nm.
+    AreaModel model;
+    EXPECT_NEAR(model.totalArea(LaConfig::proposed()), 3.8, 0.05);
+}
+
+TEST(AreaTest, FpUnitsDominate)
+{
+    // Paper §3.2: 2.38 of the 3.8 mm^2 is the two double-precision FPUs.
+    AreaModel model;
+    const auto items = model.breakdown(LaConfig::proposed());
+    double fp_area = 0.0;
+    for (const auto& item : items) {
+        if (item.component == "fp units")
+            fp_area = item.mm2;
+    }
+    EXPECT_NEAR(fp_area, 2.38, 0.01);
+}
+
+TEST(AreaTest, BreakdownSumsToTotal)
+{
+    AreaModel model;
+    const LaConfig la = LaConfig::proposed();
+    double sum = 0.0;
+    for (const auto& item : model.breakdown(la))
+        sum += item.mm2;
+    EXPECT_DOUBLE_EQ(sum, model.totalArea(la));
+}
+
+TEST(AreaTest, AreaGrowsMonotonicallyWithResources)
+{
+    AreaModel model;
+    LaConfig la = LaConfig::proposed();
+    const double base = model.totalArea(la);
+
+    LaConfig more_int = la;
+    more_int.num_int_units += 2;
+    EXPECT_GT(model.totalArea(more_int), base);
+
+    LaConfig more_regs = la;
+    more_regs.num_int_registers += 16;
+    EXPECT_GT(model.totalArea(more_regs), base);
+
+    LaConfig more_streams = la;
+    more_streams.num_load_streams += 8;
+    EXPECT_GT(model.totalArea(more_streams), base);
+
+    LaConfig deeper_control = la;
+    deeper_control.max_ii *= 2;
+    EXPECT_GT(model.totalArea(deeper_control), base);
+}
+
+TEST(AreaTest, NoCcaRemovesItsArea)
+{
+    AreaModel model;
+    LaConfig la = LaConfig::proposed();
+    LaConfig no_cca = la;
+    no_cca.num_cca_units = 0;
+    no_cca.cca.reset();
+    EXPECT_LT(model.totalArea(no_cca), model.totalArea(la));
+}
+
+TEST(AreaTest, LaIsCheaperThanSecondCore)
+{
+    // Paper §3.2: "the loop accelerator could be added ... for less than
+    // the cost of a second simple core".
+    AreaModel model;
+    EXPECT_LT(model.totalArea(LaConfig::proposed()), AreaModel::kArm11Mm2);
+    // ARM11 + LA < Cortex A8 alone:
+    EXPECT_LT(AreaModel::kArm11Mm2 + model.totalArea(LaConfig::proposed()),
+              AreaModel::kCortexA8Mm2);
+}
+
+}  // namespace
+}  // namespace veal

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "veal/arch/cca_spec.h"
+#include "veal/arch/cpu_config.h"
+#include "veal/arch/fu.h"
+#include "veal/arch/la_config.h"
+#include "veal/arch/latency.h"
+
+namespace veal {
+namespace {
+
+TEST(OpcodeInfoTest, ClassesArePartitioned)
+{
+    for (int i = 0; i < kNumOpcodes; ++i) {
+        const auto opcode = static_cast<Opcode>(i);
+        const auto& info = opcodeInfo(opcode);
+        const int kinds = (info.is_integer ? 1 : 0) +
+                          (info.is_float ? 1 : 0) +
+                          (info.is_memory ? 1 : 0) +
+                          (info.is_control ? 1 : 0) +
+                          (info.is_value_source ? 1 : 0);
+        EXPECT_EQ(kinds, 1) << toString(opcode);
+    }
+}
+
+TEST(FuTest, FuClassMapping)
+{
+    EXPECT_EQ(fuClassFor(Opcode::kAdd), FuClass::kInt);
+    EXPECT_EQ(fuClassFor(Opcode::kMul), FuClass::kInt);
+    EXPECT_EQ(fuClassFor(Opcode::kShl), FuClass::kInt);
+    EXPECT_EQ(fuClassFor(Opcode::kFAdd), FuClass::kFp);
+    EXPECT_EQ(fuClassFor(Opcode::kCca), FuClass::kCca);
+    EXPECT_EQ(fuClassFor(Opcode::kLoad), FuClass::kNone);
+    EXPECT_EQ(fuClassFor(Opcode::kBranch), FuClass::kNone);
+    EXPECT_EQ(fuClassFor(Opcode::kConst), FuClass::kNone);
+}
+
+TEST(LatencyTest, AcceleratorPresetMatchesPaperFigure5)
+{
+    const LatencyModel m = LatencyModel::accelerator();
+    EXPECT_EQ(m.latency(Opcode::kMul), 3);   // "multiplies take 3 cycles"
+    EXPECT_EQ(m.latency(Opcode::kCca), 2);   // "the CCA takes 2 cycles"
+    EXPECT_EQ(m.latency(Opcode::kAdd), 1);   // "all other ops take 1"
+    EXPECT_EQ(m.latency(Opcode::kShl), 1);
+    EXPECT_EQ(m.latency(Opcode::kAnd), 1);
+}
+
+TEST(LatencyTest, SetOverrides)
+{
+    LatencyModel m;
+    m.set(Opcode::kAdd, 5);
+    EXPECT_EQ(m.latency(Opcode::kAdd), 5);
+    EXPECT_EQ(m.latency(Opcode::kSub), 1);
+}
+
+TEST(CcaSpecTest, ClassicStructure)
+{
+    const CcaSpec cca = CcaSpec::classic();
+    EXPECT_EQ(cca.num_inputs, 4);
+    EXPECT_EQ(cca.num_outputs, 2);
+    EXPECT_EQ(cca.num_rows, 4);
+    EXPECT_EQ(cca.max_ops, 15);
+    EXPECT_EQ(cca.latency, 2);
+    int total_width = 0;
+    for (int r = 0; r < cca.num_rows; ++r)
+        total_width += cca.row_width[static_cast<std::size_t>(r)];
+    EXPECT_EQ(total_width, 15);
+}
+
+TEST(CcaSpecTest, RowCapabilities)
+{
+    const CcaSpec cca = CcaSpec::classic();
+    // Rows 1 and 3 (0-indexed 0 and 2) do arithmetic; all rows do logic.
+    EXPECT_TRUE(cca.rowSupports(0, CcaOpClass::kArith));
+    EXPECT_FALSE(cca.rowSupports(1, CcaOpClass::kArith));
+    EXPECT_TRUE(cca.rowSupports(2, CcaOpClass::kArith));
+    EXPECT_FALSE(cca.rowSupports(3, CcaOpClass::kArith));
+    for (int r = 0; r < 4; ++r)
+        EXPECT_TRUE(cca.rowSupports(r, CcaOpClass::kLogic));
+}
+
+TEST(CcaSpecTest, SupportsOnlyArithAndLogic)
+{
+    const CcaSpec cca = CcaSpec::classic();
+    EXPECT_TRUE(cca.supports(Opcode::kAdd));
+    EXPECT_TRUE(cca.supports(Opcode::kSub));
+    EXPECT_TRUE(cca.supports(Opcode::kCmp));
+    EXPECT_TRUE(cca.supports(Opcode::kAnd));
+    EXPECT_TRUE(cca.supports(Opcode::kXor));
+    // Not supported: shifts, multiplies, FP, memory (paper §3.1).
+    EXPECT_FALSE(cca.supports(Opcode::kShl));
+    EXPECT_FALSE(cca.supports(Opcode::kMul));
+    EXPECT_FALSE(cca.supports(Opcode::kFAdd));
+    EXPECT_FALSE(cca.supports(Opcode::kLoad));
+}
+
+TEST(LaConfigTest, ProposedMatchesPaperSection32)
+{
+    const LaConfig la = LaConfig::proposed();
+    EXPECT_EQ(la.num_cca_units, 1);
+    EXPECT_EQ(la.num_int_units, 2);
+    EXPECT_EQ(la.num_fp_units, 2);
+    EXPECT_EQ(la.num_int_registers, 16);
+    EXPECT_EQ(la.num_fp_registers, 16);
+    EXPECT_EQ(la.num_load_streams, 16);
+    EXPECT_EQ(la.num_store_streams, 8);
+    EXPECT_EQ(la.num_load_addr_gens, 4);
+    EXPECT_EQ(la.num_store_addr_gens, 2);
+    EXPECT_EQ(la.max_ii, 16);
+    EXPECT_EQ(la.bus_latency, 10);
+    EXPECT_TRUE(la.hasCca());
+}
+
+TEST(LaConfigTest, FuCountDispatch)
+{
+    const LaConfig la = LaConfig::proposed();
+    EXPECT_EQ(la.fuCount(FuClass::kInt), 2);
+    EXPECT_EQ(la.fuCount(FuClass::kFp), 2);
+    EXPECT_EQ(la.fuCount(FuClass::kCca), 1);
+    EXPECT_EQ(la.fuCount(FuClass::kNone), 0);
+}
+
+TEST(LaConfigTest, InfiniteHasNoCcaButUnlimitedUnits)
+{
+    const LaConfig la = LaConfig::infinite();
+    EXPECT_FALSE(la.hasCca());
+    EXPECT_GE(la.num_int_units, LaConfig::kUnlimited);
+    EXPECT_GE(la.max_ii, LaConfig::kUnlimited);
+}
+
+TEST(LaConfigTest, InfiniteWithCcaKeepsOneCca)
+{
+    const LaConfig la = LaConfig::infiniteWithCca();
+    EXPECT_TRUE(la.hasCca());
+    EXPECT_EQ(la.num_cca_units, 1);
+}
+
+TEST(CpuConfigTest, PresetsMatchPaperAreas)
+{
+    EXPECT_DOUBLE_EQ(CpuConfig::arm11().area_mm2, 4.34);
+    EXPECT_DOUBLE_EQ(CpuConfig::cortexA8().area_mm2, 10.2);
+    EXPECT_DOUBLE_EQ(CpuConfig::quadIssue().area_mm2, 14.0);
+    EXPECT_EQ(CpuConfig::arm11().issue_width, 1);
+    EXPECT_EQ(CpuConfig::cortexA8().issue_width, 2);
+    EXPECT_EQ(CpuConfig::quadIssue().issue_width, 4);
+}
+
+}  // namespace
+}  // namespace veal

@@ -1,0 +1,243 @@
+#include "veal/cca/cca_mapper.h"
+
+#include <gtest/gtest.h>
+#include <algorithm>
+#include <set>
+
+#include "veal/arch/la_config.h"
+#include "veal/ir/loop_builder.h"
+
+namespace veal {
+namespace {
+
+CcaMapping
+map(const Loop& loop)
+{
+    const LaConfig la = LaConfig::proposed();
+    const auto analysis = analyzeLoop(loop);
+    EXPECT_TRUE(analysis.ok());
+    return mapToCca(loop, analysis, *la.cca, la.latencies);
+}
+
+TEST(CcaMapperTest, CollapsesLogicChain)
+{
+    LoopBuilder b("logic");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    const OpId y = b.load("mask", iv);
+    const OpId a = b.andOp(x, y);
+    const OpId o = b.orOp(a, x);
+    const OpId e = b.xorOp(o, y);
+    b.store("out", iv, e);
+    b.loopBack(iv, b.constant(64));
+    Loop loop = b.build();
+
+    const auto mapping = map(loop);
+    ASSERT_EQ(mapping.groups.size(), 1u);
+    EXPECT_EQ(mapping.groups[0].members, (std::vector<OpId>{a, o, e}));
+    EXPECT_EQ(mapping.group_of_op[static_cast<std::size_t>(a)], 0);
+}
+
+TEST(CcaMapperTest, DependentArithmeticSkipsLogicRows)
+{
+    // add -> add -> add: rows 1 and 3 support arithmetic, so a chain of
+    // three dependent adds cannot fit, but two can (skipping row 2).
+    LoopBuilder b("adds");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    const OpId y = b.load("in2", iv);
+    const OpId s1 = b.add(x, y);
+    const OpId s2 = b.add(s1, x);
+    const OpId s3 = b.add(s2, y);
+    b.store("out", iv, s3);
+    b.loopBack(iv, b.constant(64));
+    Loop loop = b.build();
+
+    const auto mapping = map(loop);
+    ASSERT_EQ(mapping.groups.size(), 1u);
+    EXPECT_EQ(mapping.groups[0].members.size(), 2u);
+    EXPECT_EQ(mapping.group_of_op[static_cast<std::size_t>(s1)], 0);
+    EXPECT_EQ(mapping.group_of_op[static_cast<std::size_t>(s2)], 0);
+    EXPECT_EQ(mapping.group_of_op[static_cast<std::size_t>(s3)], -1);
+}
+
+TEST(CcaMapperTest, ShiftsAndMultipliesStayOut)
+{
+    LoopBuilder b("shift");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    const OpId c = b.constant(2);
+    const OpId sh = b.shl(x, c);
+    const OpId m = b.mul(sh, x);
+    b.store("out", iv, m);
+    b.loopBack(iv, b.constant(64));
+    Loop loop = b.build();
+
+    const auto mapping = map(loop);
+    EXPECT_TRUE(mapping.groups.empty());
+}
+
+TEST(CcaMapperTest, InputPortLimitRespected)
+{
+    // A 5-input merge tree cannot collapse into one 4-input CCA group.
+    LoopBuilder b("ports");
+    const OpId iv = b.induction(1);
+    OpId leaves[5];
+    for (int i = 0; i < 5; ++i) {
+        const OpId offset = b.constant(i);
+        leaves[i] = b.load("in", b.add(iv, offset));
+    }
+    const OpId s1 = b.xorOp(leaves[0], leaves[1]);
+    const OpId s2 = b.xorOp(leaves[2], leaves[3]);
+    const OpId s3 = b.xorOp(s1, s2);
+    const OpId s4 = b.xorOp(s3, leaves[4]);
+    b.store("out", iv, s4);
+    b.loopBack(iv, b.constant(64));
+    Loop loop = b.build();
+
+    const auto mapping = map(loop);
+    for (const auto& group : mapping.groups) {
+        std::set<std::pair<OpId, int>> externals;
+        for (const OpId member : group.members) {
+            for (const auto& input : loop.op(member).inputs) {
+                const bool internal =
+                    std::find(group.members.begin(), group.members.end(),
+                              input.producer) != group.members.end() &&
+                    input.distance == 0;
+                if (!internal)
+                    externals.insert({input.producer, input.distance});
+            }
+        }
+        EXPECT_LE(externals.size(), 4u);
+    }
+}
+
+TEST(CcaMapperTest, RecurrenceLengtheningRejected)
+{
+    // Paper Figure 5: op7 (on the 4-cycle recurrence with the 3-cycle
+    // multiply) may not merge with op10 -- the 2-cycle CCA would lengthen
+    // the recurrence to 5.
+    LoopBuilder b("rec");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    const OpId mpy = b.mul(LoopBuilder::carried(kNoOp, 0), x);
+    const OpId orv = b.orOp(mpy, x);
+    b.loop().mutableOp(mpy).inputs[0] = LoopBuilder::carried(orv, 1);
+    const OpId add = b.add(orv, x);  // Off-recurrence candidate partner.
+    b.store("out", iv, add);
+    b.loopBack(iv, b.constant(64));
+    Loop loop = b.build();
+
+    const auto mapping = map(loop);
+    // No group may contain orv (its recurrence contribution is 1 < 2).
+    for (const auto& group : mapping.groups) {
+        EXPECT_EQ(std::find(group.members.begin(), group.members.end(),
+                            orv),
+                  group.members.end());
+    }
+}
+
+TEST(CcaMapperTest, RecurrenceChainWithEnoughLatencyAllowed)
+{
+    // Two 1-cycle ops both on the same recurrence may collapse: their
+    // combined contribution (2) matches the CCA latency.
+    LoopBuilder b("rec2");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    const OpId a = b.add(LoopBuilder::carried(kNoOp, 0), x);
+    const OpId e = b.xorOp(a, x);
+    b.loop().mutableOp(a).inputs[0] = LoopBuilder::carried(e, 1);
+    b.store("out", iv, e);
+    b.loopBack(iv, b.constant(64));
+    Loop loop = b.build();
+
+    const auto mapping = map(loop);
+    ASSERT_EQ(mapping.groups.size(), 1u);
+    EXPECT_EQ(mapping.groups[0].members, (std::vector<OpId>{a, e}));
+}
+
+TEST(CcaMapperTest, ConvexityPreventsExternalPathThroughGroup)
+{
+    // a -> shift -> c with also a -> c directly: {a, c} is not convex
+    // (the shift path would have to execute mid-group).
+    LoopBuilder b("convex");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    const OpId a = b.andOp(x, x);
+    const OpId sh = b.shl(a, b.constant(1));
+    const OpId c = b.xorOp(a, sh);
+    b.store("out", iv, c);
+    b.loopBack(iv, b.constant(64));
+    Loop loop = b.build();
+
+    const auto mapping = map(loop);
+    for (const auto& group : mapping.groups) {
+        const bool has_a = std::find(group.members.begin(),
+                                     group.members.end(),
+                                     a) != group.members.end();
+        const bool has_c = std::find(group.members.begin(),
+                                     group.members.end(),
+                                     c) != group.members.end();
+        EXPECT_FALSE(has_a && has_c);
+    }
+}
+
+TEST(CcaMapperTest, EmptyMappingHelper)
+{
+    LoopBuilder b("empty");
+    const OpId iv = b.induction(1);
+    b.loopBack(iv, b.constant(4));
+    Loop loop = b.build();
+    const auto mapping = emptyCcaMapping(loop);
+    EXPECT_TRUE(mapping.groups.empty());
+    EXPECT_EQ(mapping.group_of_op.size(),
+              static_cast<std::size_t>(loop.size()));
+    EXPECT_EQ(mapping.coveredOps(), 0);
+}
+
+TEST(CcaMapperTest, ChargesCcaPhase)
+{
+    LoopBuilder b("meter");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    const OpId a = b.andOp(x, x);
+    const OpId o = b.orOp(a, x);
+    b.store("out", iv, o);
+    b.loopBack(iv, b.constant(64));
+    Loop loop = b.build();
+
+    const LaConfig la = LaConfig::proposed();
+    const auto analysis = analyzeLoop(loop);
+    CostMeter meter;
+    mapToCca(loop, analysis, *la.cca, la.latencies, &meter);
+    EXPECT_GT(meter.units(TranslationPhase::kCcaMapping), 0u);
+}
+
+TEST(CcaMapperTest, GroupsDoNotOverlap)
+{
+    // A wider graph with multiple groups: membership must be disjoint.
+    LoopBuilder b("disjoint");
+    const OpId iv = b.induction(1);
+    OpId prev = b.load("in", iv);
+    for (int i = 0; i < 6; ++i) {
+        const OpId y = b.load("in" + std::to_string(i), iv);
+        const OpId a = b.andOp(prev, y);
+        const OpId o = b.orOp(a, y);
+        const OpId sh = b.shl(o, b.constant(1));  // Breaks the chain.
+        prev = sh;
+    }
+    b.store("out", iv, prev);
+    b.loopBack(iv, b.constant(64));
+    Loop loop = b.build();
+
+    const auto mapping = map(loop);
+    std::set<OpId> seen;
+    for (const auto& group : mapping.groups) {
+        EXPECT_GE(group.members.size(), 2u);
+        for (const OpId member : group.members)
+            EXPECT_TRUE(seen.insert(member).second);
+    }
+}
+
+}  // namespace
+}  // namespace veal

@@ -1,0 +1,213 @@
+/**
+ * End-to-end reproduction checks: the qualitative results the paper's
+ * evaluation (§4.3) reports must hold on the full stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include "veal/arch/area.h"
+#include "veal/vm/vm.h"
+#include "veal/workloads/suite.h"
+
+namespace veal {
+namespace {
+
+double
+meanSpeedup(TranslationMode mode, const std::vector<Benchmark>& suite)
+{
+    VmOptions options;
+    options.mode = mode;
+    double sum = 0.0;
+    for (const auto& benchmark : suite) {
+        VirtualMachine vm(LaConfig::proposed(), CpuConfig::arm11(),
+                          options);
+        sum += vm.run(benchmark.transformed).speedup;
+    }
+    return sum / static_cast<double>(suite.size());
+}
+
+class Figure10Shape : public ::testing::Test {
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        suite_ = new std::vector<Benchmark>(mediaFpSuite());
+        static_mean_ = meanSpeedup(TranslationMode::kStatic, *suite_);
+        dynamic_mean_ =
+            meanSpeedup(TranslationMode::kFullyDynamic, *suite_);
+        height_mean_ =
+            meanSpeedup(TranslationMode::kFullyDynamicHeight, *suite_);
+        hybrid_mean_ = meanSpeedup(
+            TranslationMode::kHybridStaticCcaPriority, *suite_);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete suite_;
+        suite_ = nullptr;
+    }
+
+    static std::vector<Benchmark>* suite_;
+    static double static_mean_;
+    static double dynamic_mean_;
+    static double height_mean_;
+    static double hybrid_mean_;
+};
+
+std::vector<Benchmark>* Figure10Shape::suite_ = nullptr;
+double Figure10Shape::static_mean_ = 0.0;
+double Figure10Shape::dynamic_mean_ = 0.0;
+double Figure10Shape::height_mean_ = 0.0;
+double Figure10Shape::hybrid_mean_ = 0.0;
+
+TEST_F(Figure10Shape, StaticBeatsEveryDynamicMode)
+{
+    EXPECT_GT(static_mean_, dynamic_mean_);
+    EXPECT_GT(static_mean_, height_mean_);
+    EXPECT_GT(static_mean_, hybrid_mean_);
+}
+
+TEST_F(Figure10Shape, HybridRecoversMostOfTheStaticSpeedup)
+{
+    // Paper: 2.66 of 2.76, i.e. > 93%.  Allow some slack.
+    EXPECT_GT(hybrid_mean_ / static_mean_, 0.88);
+}
+
+TEST_F(Figure10Shape, HeightPriorityBeatsFullyDynamicSwingOnAverage)
+{
+    // Paper §4.3: "the benefits of faster translation time outweighed the
+    // benefits of better schedules" (2.41 vs 2.27).
+    EXPECT_GT(height_mean_, dynamic_mean_);
+}
+
+TEST_F(Figure10Shape, MeansAreInThePaperBallpark)
+{
+    EXPECT_NEAR(static_mean_, 2.76, 0.8);
+    EXPECT_NEAR(dynamic_mean_, 2.27, 0.8);
+    EXPECT_NEAR(hybrid_mean_, 2.66, 0.8);
+    EXPECT_NEAR(height_mean_, 2.41, 0.8);
+}
+
+TEST_F(Figure10Shape, EveryBenchmarkAcceleratesUnderStaticCompilation)
+{
+    VmOptions options;
+    options.mode = TranslationMode::kStatic;
+    for (const auto& benchmark : *suite_) {
+        VirtualMachine vm(LaConfig::proposed(), CpuConfig::arm11(),
+                          options);
+        EXPECT_GT(vm.run(benchmark.transformed).speedup, 1.5)
+            << benchmark.name;
+    }
+}
+
+TEST_F(Figure10Shape, Mpeg2decCollapsesUnderFullyDynamicTranslation)
+{
+    // Paper: "Mpeg2dec notably went from a speedup of 2.1 down to 1.15".
+    const auto benchmark = findBenchmark("mpeg2dec");
+    VmOptions st{.mode = TranslationMode::kStatic};
+    VmOptions dy{.mode = TranslationMode::kFullyDynamic};
+    const double s =
+        VirtualMachine(LaConfig::proposed(), CpuConfig::arm11(), st)
+            .run(benchmark.transformed)
+            .speedup;
+    const double d =
+        VirtualMachine(LaConfig::proposed(), CpuConfig::arm11(), dy)
+            .run(benchmark.transformed)
+            .speedup;
+    EXPECT_GT(s, 2.0);
+    EXPECT_LT(d / s, 0.7);
+}
+
+TEST_F(Figure10Shape, PegwitencLosesAllBenefitFullyDynamic)
+{
+    const auto benchmark = findBenchmark("pegwitenc");
+    VmOptions dy{.mode = TranslationMode::kFullyDynamic};
+    const double d =
+        VirtualMachine(LaConfig::proposed(), CpuConfig::arm11(), dy)
+            .run(benchmark.transformed)
+            .speedup;
+    EXPECT_LT(d, 1.15);
+}
+
+TEST_F(Figure10Shape, RawcaudioAmortisesTranslationCompletely)
+{
+    // Paper: "in the case of rawcaudio ... the translation cost is easily
+    // amortized" -- dynamic ~ static.
+    const auto benchmark = findBenchmark("rawcaudio");
+    VmOptions st{.mode = TranslationMode::kStatic};
+    VmOptions dy{.mode = TranslationMode::kFullyDynamic};
+    const double s =
+        VirtualMachine(LaConfig::proposed(), CpuConfig::arm11(), st)
+            .run(benchmark.transformed)
+            .speedup;
+    const double d =
+        VirtualMachine(LaConfig::proposed(), CpuConfig::arm11(), dy)
+            .run(benchmark.transformed)
+            .speedup;
+    EXPECT_GT(d / s, 0.95);
+}
+
+TEST(DesignPointTest, ProposedLaReachesMostOfInfiniteSpeedup)
+{
+    // Paper §3.2: the proposed design attains 83% of the
+    // infinite-resource speedup.
+    const auto suite = mediaFpSuite();
+    VmOptions options;
+    options.mode = TranslationMode::kStatic;
+    double proposed_sum = 0.0;
+    double infinite_sum = 0.0;
+    for (const auto& benchmark : suite) {
+        proposed_sum +=
+            VirtualMachine(LaConfig::proposed(), CpuConfig::arm11(),
+                           options)
+                .run(benchmark.transformed)
+                .speedup;
+        infinite_sum +=
+            VirtualMachine(LaConfig::infiniteWithCca(),
+                           CpuConfig::arm11(), options)
+                .run(benchmark.transformed)
+                .speedup;
+    }
+    const double fraction = proposed_sum / infinite_sum;
+    EXPECT_GT(fraction, 0.6);
+    EXPECT_LE(fraction, 1.0 + 1e-9);
+}
+
+TEST(DesignPointTest, AreaMatchesPaper)
+{
+    AreaModel model;
+    EXPECT_NEAR(model.totalArea(LaConfig::proposed()), 3.8, 0.05);
+}
+
+TEST(Figure7Shape, TransformsAreCriticalOnAverage)
+{
+    // Paper: "not performing loop transformations reduced speedup
+    // attained by the accelerator by 75%".
+    const auto suite = mediaFpSuite();
+    VmOptions options;
+    options.mode = TranslationMode::kHybridStaticCcaPriority;
+    double gain_fraction_sum = 0.0;
+    int counted = 0;
+    for (const auto& benchmark : suite) {
+        VirtualMachine vm(LaConfig::proposed(), CpuConfig::arm11(),
+                          options);
+        const double transformed =
+            vm.run(benchmark.transformed).speedup;
+        const double untransformed =
+            vm.run(benchmark.untransformed).speedup;
+        if (transformed <= 1.0)
+            continue;
+        gain_fraction_sum += std::max(0.0, untransformed - 1.0) /
+                             (transformed - 1.0);
+        ++counted;
+    }
+    ASSERT_GT(counted, 0);
+    const double mean_fraction =
+        gain_fraction_sum / static_cast<double>(counted);
+    // Transformations matter a lot: most of the gain disappears.
+    EXPECT_LT(mean_fraction, 0.6);
+}
+
+}  // namespace
+}  // namespace veal

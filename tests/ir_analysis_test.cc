@@ -1,0 +1,231 @@
+#include "veal/ir/loop_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "veal/ir/loop_builder.h"
+
+namespace veal {
+namespace {
+
+TEST(AnalysisTest, SeparatesControlAndAddressFromCompute)
+{
+    LoopBuilder b("roles");
+    const OpId iv = b.induction(1);
+    const OpId c4 = b.constant(4);
+    const OpId addr = b.add(iv, c4);       // Pure address computation.
+    const OpId x = b.load("in", addr);
+    const OpId y = b.mul(x, b.constant(7));
+    b.store("out", iv, y);
+    b.loopBack(iv, b.constant(64));
+    Loop loop = b.build();
+
+    const auto analysis = analyzeLoop(loop);
+    ASSERT_TRUE(analysis.ok());
+    EXPECT_EQ(analysis.roles[static_cast<std::size_t>(iv)],
+              OpRole::kControl);
+    EXPECT_EQ(analysis.roles[static_cast<std::size_t>(addr)],
+              OpRole::kAddress);
+    EXPECT_EQ(analysis.roles[static_cast<std::size_t>(x)], OpRole::kMemory);
+    EXPECT_EQ(analysis.roles[static_cast<std::size_t>(y)],
+              OpRole::kCompute);
+    // Branch and its comparison are control.
+    int control_count = 0;
+    for (const auto& op : loop.operations()) {
+        if (op.opcode == Opcode::kBranch || op.opcode == Opcode::kCmp) {
+            EXPECT_EQ(analysis.roles[static_cast<std::size_t>(op.id)],
+                      OpRole::kControl);
+            ++control_count;
+        }
+    }
+    EXPECT_EQ(control_count, 2);
+}
+
+TEST(AnalysisTest, SharedAddressComputationStaysCompute)
+{
+    // A value feeding both an address and a store *value* must execute on
+    // a function unit.
+    LoopBuilder b("shared");
+    const OpId iv = b.induction(1);
+    const OpId c2 = b.constant(2);
+    const OpId shifted = b.shl(iv, c2);
+    const OpId x = b.load("in", shifted);
+    const OpId sum = b.add(x, shifted);  // Uses the address value as data.
+    b.store("out", iv, sum);
+    b.loopBack(iv, b.constant(64));
+    Loop loop = b.build();
+
+    const auto analysis = analyzeLoop(loop);
+    ASSERT_TRUE(analysis.ok());
+    EXPECT_EQ(analysis.roles[static_cast<std::size_t>(shifted)],
+              OpRole::kCompute);
+}
+
+TEST(AnalysisTest, DerivesStreamDescriptors)
+{
+    LoopBuilder b("streams");
+    const OpId iv = b.induction(1);
+    const OpId c2 = b.constant(2);
+    const OpId c8 = b.constant(8);
+    // in[4*i + 8]
+    const OpId addr = b.add(b.shl(iv, c2), c8);
+    const OpId x = b.load("in", addr);
+    b.store("out", iv, x);
+    b.loopBack(iv, b.constant(64));
+    Loop loop = b.build();
+
+    const auto analysis = analyzeLoop(loop);
+    ASSERT_TRUE(analysis.ok());
+    ASSERT_EQ(analysis.load_streams.size(), 1u);
+    EXPECT_EQ(analysis.load_streams[0].stride, 4);
+    EXPECT_EQ(analysis.load_streams[0].offset, 8);
+    EXPECT_FALSE(analysis.load_streams[0].is_store);
+    ASSERT_EQ(analysis.store_streams.size(), 1u);
+    EXPECT_EQ(analysis.store_streams[0].stride, 1);
+    EXPECT_TRUE(analysis.store_streams[0].is_store);
+}
+
+TEST(AnalysisTest, DedupesIdenticalReferencePatterns)
+{
+    LoopBuilder b("dedupe");
+    const OpId iv = b.induction(1);
+    const OpId a = b.load("in", iv);
+    const OpId c = b.load("in", iv);  // Same base, offset, stride.
+    b.store("out", iv, b.add(a, c));
+    b.loopBack(iv, b.constant(64));
+    Loop loop = b.build();
+
+    const auto analysis = analyzeLoop(loop);
+    ASSERT_TRUE(analysis.ok());
+    EXPECT_EQ(analysis.load_streams.size(), 1u);
+    EXPECT_EQ(analysis.load_streams[0].memory_ops.size(), 2u);
+}
+
+TEST(AnalysisTest, DistinctOffsetsAreDistinctStreams)
+{
+    LoopBuilder b("offsets");
+    const OpId iv = b.induction(1);
+    const OpId c1 = b.constant(1);
+    const OpId a = b.load("in", iv);
+    const OpId c = b.load("in", b.add(iv, c1));
+    b.store("out", iv, b.add(a, c));
+    b.loopBack(iv, b.constant(64));
+    Loop loop = b.build();
+
+    const auto analysis = analyzeLoop(loop);
+    ASSERT_TRUE(analysis.ok());
+    EXPECT_EQ(analysis.load_streams.size(), 2u);
+}
+
+TEST(AnalysisTest, LiveInBaseFoldsIntoStream)
+{
+    LoopBuilder b("base");
+    const OpId iv = b.induction(1);
+    const OpId base = b.liveIn("ptr");
+    const OpId x = b.load("in", b.add(base, iv));
+    b.store("out", iv, x);
+    b.loopBack(iv, b.constant(64));
+    Loop loop = b.build();
+
+    const auto analysis = analyzeLoop(loop);
+    ASSERT_TRUE(analysis.ok());
+    ASSERT_EQ(analysis.load_streams.size(), 1u);
+    EXPECT_EQ(analysis.load_streams[0].stride, 1);
+    // The symbolic live-in appears in the base label.
+    EXPECT_NE(analysis.load_streams[0].base.find("v"), std::string::npos);
+}
+
+TEST(AnalysisTest, CarriedInductionUseShiftsOffset)
+{
+    LoopBuilder b("carried");
+    const OpId iv = b.induction(2);
+    // Address uses last iteration's induction value: offset -step.
+    const OpId x = b.load("in", LoopBuilder::carried(iv, 1));
+    b.store("out", iv, x);
+    b.loopBack(iv, b.constant(64));
+    Loop loop = b.build();
+
+    const auto analysis = analyzeLoop(loop);
+    ASSERT_TRUE(analysis.ok());
+    ASSERT_EQ(analysis.load_streams.size(), 1u);
+    EXPECT_EQ(analysis.load_streams[0].stride, 2);
+    EXPECT_EQ(analysis.load_streams[0].offset, -2);
+}
+
+TEST(AnalysisTest, RejectsNonAffineAddress)
+{
+    LoopBuilder b("nonaffine");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("table", iv);
+    const OpId indirect = b.load("data", x);  // Data-dependent address.
+    b.store("out", iv, indirect);
+    b.loopBack(iv, b.constant(64));
+    Loop loop = b.build();
+
+    const auto analysis = analyzeLoop(loop);
+    EXPECT_FALSE(analysis.ok());
+    EXPECT_EQ(analysis.reject, AnalysisReject::kNonAffineAddress);
+}
+
+TEST(AnalysisTest, RejectsSubroutineCall)
+{
+    LoopBuilder b("call");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    b.call("sin", {Operand{x, 0}});
+    b.loopBack(iv, b.constant(64));
+    Loop loop = b.build();
+
+    const auto analysis = analyzeLoop(loop);
+    EXPECT_FALSE(analysis.ok());
+    EXPECT_EQ(analysis.reject, AnalysisReject::kSubroutineCall);
+}
+
+TEST(AnalysisTest, RejectsSpeculativeLoop)
+{
+    LoopBuilder b("while");
+    b.markNeedsSpeculation();
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    b.store("out", iv, x);
+    b.loopBack(iv, b.constant(64));
+    Loop loop = b.build();
+
+    const auto analysis = analyzeLoop(loop);
+    EXPECT_FALSE(analysis.ok());
+    EXPECT_EQ(analysis.reject, AnalysisReject::kNeedsSpeculation);
+}
+
+TEST(AnalysisTest, ChargesLoopAnalysisPhase)
+{
+    LoopBuilder b("meter");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    b.store("out", iv, x);
+    b.loopBack(iv, b.constant(64));
+    Loop loop = b.build();
+
+    CostMeter meter;
+    const auto analysis = analyzeLoop(loop, &meter);
+    ASSERT_TRUE(analysis.ok());
+    EXPECT_GT(meter.units(TranslationPhase::kLoopAnalysis), 0u);
+    EXPECT_EQ(meter.units(TranslationPhase::kScheduling), 0u);
+}
+
+TEST(AnalysisTest, NumComputeOpsCountsOnlyCompute)
+{
+    LoopBuilder b("count");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    const OpId y = b.add(x, b.constant(1));
+    const OpId z = b.mul(y, b.constant(3));
+    b.store("out", iv, z);
+    b.loopBack(iv, b.constant(64));
+    Loop loop = b.build();
+
+    const auto analysis = analyzeLoop(loop);
+    ASSERT_TRUE(analysis.ok());
+    EXPECT_EQ(analysis.numComputeOps(), 2);  // add + mul
+}
+
+}  // namespace
+}  // namespace veal

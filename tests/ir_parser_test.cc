@@ -1,0 +1,239 @@
+#include "veal/ir/loop_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "veal/sim/interpreter.h"
+#include "veal/vm/translator.h"
+#include "veal/workloads/kernels.h"
+
+namespace veal {
+namespace {
+
+constexpr const char* kFigure5Text = R"(
+# The paper's Figure 5 loop, in the textual kernel format.
+loop figure5
+trip 1024
+i    = induction 1
+c16  = const 16
+c5   = const 5
+c1   = const 1
+c3   = const 3
+c32  = const 32
+a1   = add i c16
+x    = load in a1
+s3   = shl s9@1 c1        # recurrence A enters here
+s5   = and s3 x
+s6   = sub x c5
+s8   = xor s5 s6
+s9   = shr s8 c1
+m4   = mpy m7@1 c3        # recurrence B
+m7   = or m4 x
+r10  = add m7 s9
+a11  = add i c32
+store out a11 r10
+loopback i c16
+)";
+
+TEST(ParserTest, ParsesFigure5AndTranslates)
+{
+    const auto result = parseLoop(kFigure5Text);
+    ASSERT_TRUE(std::holds_alternative<Loop>(result))
+        << std::get<ParseError>(result).message;
+    const Loop& loop = std::get<Loop>(result);
+    EXPECT_EQ(loop.name(), "figure5");
+    EXPECT_EQ(loop.tripCount(), 1024);
+
+    const auto tr = translateLoop(loop, LaConfig::proposed(),
+                                  TranslationMode::kFullyDynamic);
+    ASSERT_TRUE(tr.ok) << toString(tr.reject);
+    EXPECT_EQ(tr.schedule.ii, 4);  // Same as the golden Figure 5 test.
+    EXPECT_EQ(tr.mapping.groups.size(), 1u);
+}
+
+TEST(ParserTest, CarriedReferencesGetDistances)
+{
+    const auto result = parseLoop(R"(
+loop acc
+i = induction 1
+x = load in i
+s = add x s@1
+liveout s
+loopback i x
+)");
+    ASSERT_TRUE(std::holds_alternative<Loop>(result))
+        << std::get<ParseError>(result).message;
+    const Loop& loop = std::get<Loop>(result);
+    bool found = false;
+    for (const auto& op : loop.operations()) {
+        if (op.opcode == Opcode::kAdd && !op.is_induction) {
+            EXPECT_EQ(op.inputs[1].distance, 1);
+            EXPECT_EQ(op.inputs[1].producer, op.id);
+            EXPECT_TRUE(op.is_live_out);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(ParserTest, DirectivesAreHonoured)
+{
+    const auto result = parseLoop(R"(
+loop w
+trip 7
+speculative
+i = induction 2
+x = load in i
+st = const 0
+store out i x
+memedge st x 1   # placeholder; replaced below
+loopback i st
+)");
+    // st is a const, not a memory op: memedge must be rejected.
+    ASSERT_TRUE(std::holds_alternative<ParseError>(result));
+    EXPECT_NE(std::get<ParseError>(result).message.find("memory"),
+              std::string::npos);
+}
+
+TEST(ParserTest, SpeculativeMarksTheFeature)
+{
+    const auto result = parseLoop(R"(
+loop w
+speculative
+i = induction 1
+x = load in i
+store out i x
+loopback i x
+)");
+    ASSERT_TRUE(std::holds_alternative<Loop>(result));
+    EXPECT_EQ(std::get<Loop>(result).feature(),
+              LoopFeature::kNeedsSpeculation);
+}
+
+TEST(ParserTest, CallMarksTheFeature)
+{
+    const auto result = parseLoop(R"(
+loop c
+i = induction 1
+x = load in i
+y = call sin x
+store out i y
+loopback i x
+)");
+    ASSERT_TRUE(std::holds_alternative<Loop>(result));
+    EXPECT_EQ(std::get<Loop>(result).feature(),
+              LoopFeature::kHasSubroutineCall);
+}
+
+TEST(ParserErrorTest, ReportsLineNumbers)
+{
+    const auto result = parseLoop(R"(
+loop bad
+i = induction 1
+y = frobnicate i i
+)");
+    ASSERT_TRUE(std::holds_alternative<ParseError>(result));
+    const auto& error = std::get<ParseError>(result);
+    EXPECT_EQ(error.line, 4);
+    EXPECT_NE(error.message.find("frobnicate"), std::string::npos);
+}
+
+TEST(ParserErrorTest, UndefinedValue)
+{
+    const auto result = parseLoop(R"(
+loop bad
+i = induction 1
+y = add i ghost
+loopback i i
+)");
+    ASSERT_TRUE(std::holds_alternative<ParseError>(result));
+    EXPECT_NE(std::get<ParseError>(result).message.find("ghost"),
+              std::string::npos);
+}
+
+TEST(ParserErrorTest, MissingHeader)
+{
+    const auto result = parseLoop("i = induction 1\n");
+    ASSERT_TRUE(std::holds_alternative<ParseError>(result));
+}
+
+TEST(ParserErrorTest, Redefinition)
+{
+    const auto result = parseLoop(R"(
+loop bad
+i = induction 1
+i = const 5
+)");
+    ASSERT_TRUE(std::holds_alternative<ParseError>(result));
+    EXPECT_NE(std::get<ParseError>(result).message.find("redefinition"),
+              std::string::npos);
+}
+
+TEST(ParserErrorTest, DuplicateLoopback)
+{
+    const auto result = parseLoop(R"(
+loop bad
+i = induction 1
+loopback i i
+loopback i i
+)");
+    ASSERT_TRUE(std::holds_alternative<ParseError>(result));
+}
+
+TEST(ParserErrorTest, ZeroDistanceForwardCycleIsMalformed)
+{
+    const auto result = parseLoop(R"(
+loop bad
+i = induction 1
+a = add b i
+b = add a i
+loopback i i
+)");
+    ASSERT_TRUE(std::holds_alternative<ParseError>(result));
+    EXPECT_NE(std::get<ParseError>(result).message.find("malformed"),
+              std::string::npos);
+}
+
+class RoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTrip, PrintedKernelsReparseToEquivalentLoops)
+{
+    Loop original = [&] {
+        switch (GetParam()) {
+          case 0: return makeAdpcmStepLoop("adpcm");
+          case 1: return makeFirLoop("fir", 4);
+          case 2: return makeWaveletLiftLoop("wave");
+          case 3: return makeQuantLoop("quant");
+          case 4: return makeViterbiAcsLoop("vit");
+          default: return makeDct8Loop("dct", 1);
+        }
+    }();
+
+    const std::string text = printLoop(original);
+    const auto reparsed = parseLoop(text);
+    ASSERT_TRUE(std::holds_alternative<Loop>(reparsed))
+        << std::get<ParseError>(reparsed).message << "\n" << text;
+    const Loop& loop = std::get<Loop>(reparsed);
+
+    // Same functional behaviour: run both on the interpreter with the
+    // same (default-zero live-in / initial) state and identical memory.
+    ExecutionInput input;
+    input.iterations = 12;
+    for (const auto& op : original.operations()) {
+        if (op.opcode == Opcode::kLoad) {
+            for (std::int64_t index = -8; index < 128; ++index)
+                input.memory[op.symbol][index] = (index * 13) % 31;
+        }
+    }
+    const auto a = interpretLoop(original, input);
+    const auto b = interpretLoop(loop, input);
+    ASSERT_EQ(a.memory.size(), b.memory.size());
+    for (const auto& [array, contents] : a.memory) {
+        ASSERT_TRUE(b.memory.contains(array)) << array << "\n" << text;
+        EXPECT_EQ(b.memory.at(array), contents) << array;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, RoundTrip, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace veal

@@ -1,0 +1,77 @@
+#include "veal/ir/random_loop.h"
+
+#include <gtest/gtest.h>
+
+#include "veal/ir/loop_analysis.h"
+
+namespace veal {
+namespace {
+
+class RandomLoopSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomLoopSeeds, AlwaysVerifies)
+{
+    RandomLoopParams params;
+    Loop loop = makeRandomLoop(params, GetParam());
+    EXPECT_FALSE(loop.verify().has_value());
+}
+
+TEST_P(RandomLoopSeeds, AnalysisNeverCrashesAndAddressesAreAffine)
+{
+    RandomLoopParams params;
+    Loop loop = makeRandomLoop(params, GetParam());
+    const auto analysis = analyzeLoop(loop);
+    // Random loops only build affine addresses and counted control.
+    EXPECT_TRUE(analysis.ok()) << toString(analysis.reject);
+}
+
+TEST_P(RandomLoopSeeds, DeterministicForSameSeed)
+{
+    RandomLoopParams params;
+    Loop a = makeRandomLoop(params, GetParam());
+    Loop b = makeRandomLoop(params, GetParam());
+    ASSERT_EQ(a.size(), b.size());
+    for (OpId id = 0; id < a.size(); ++id) {
+        EXPECT_EQ(a.op(id).opcode, b.op(id).opcode);
+        EXPECT_EQ(a.op(id).inputs, b.op(id).inputs);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLoopSeeds,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+TEST(RandomLoopTest, RespectsSizeParameters)
+{
+    RandomLoopParams params;
+    params.min_compute_ops = 5;
+    params.max_compute_ops = 10;
+    params.max_loads = 2;
+    params.max_stores = 1;
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        Loop loop = makeRandomLoop(params, seed);
+        const int loads = loop.countOps([](const Operation& op) {
+            return op.opcode == Opcode::kLoad;
+        });
+        const int stores = loop.countOps([](const Operation& op) {
+            return op.opcode == Opcode::kStore;
+        });
+        EXPECT_LE(loads, 2);
+        EXPECT_EQ(stores, 1);
+    }
+}
+
+TEST(RandomLoopTest, RecurrenceProbabilityZeroMeansAcyclicDataflow)
+{
+    RandomLoopParams params;
+    params.recurrence_prob = 0.0;
+    Loop loop = makeRandomLoop(params, 3);
+    // Only the induction self-edge may be carried.
+    for (const auto& edge : loop.allEdges()) {
+        if (edge.distance > 0) {
+            EXPECT_TRUE(loop.op(edge.from).is_induction);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace veal

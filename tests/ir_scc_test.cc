@@ -1,0 +1,91 @@
+#include "veal/ir/scc.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace veal {
+namespace {
+
+TEST(SccTest, SingletonNodesWithoutEdges)
+{
+    const auto sccs = stronglyConnectedComponents(3, {});
+    EXPECT_EQ(sccs.size(), 3u);
+    for (const auto& scc : sccs)
+        EXPECT_EQ(scc.size(), 1u);
+}
+
+TEST(SccTest, SimpleCycleIsOneComponent)
+{
+    const auto sccs =
+        stronglyConnectedComponents(3, {{0, 1}, {1, 2}, {2, 0}});
+    ASSERT_EQ(sccs.size(), 1u);
+    EXPECT_EQ(sccs[0], (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SccTest, ChainYieldsReverseTopologicalOrder)
+{
+    // 0 -> 1 -> 2: Tarjan emits sinks first.
+    const auto sccs = stronglyConnectedComponents(3, {{0, 1}, {1, 2}});
+    ASSERT_EQ(sccs.size(), 3u);
+    EXPECT_EQ(sccs[0][0], 2);
+    EXPECT_EQ(sccs[1][0], 1);
+    EXPECT_EQ(sccs[2][0], 0);
+}
+
+TEST(SccTest, TwoCyclesConnectedByBridge)
+{
+    // Cycle {0,1} -> bridge -> cycle {2,3}.
+    const auto sccs = stronglyConnectedComponents(
+        4, {{0, 1}, {1, 0}, {1, 2}, {2, 3}, {3, 2}});
+    ASSERT_EQ(sccs.size(), 2u);
+    // Reverse topological: the downstream cycle {2,3} first.
+    EXPECT_EQ(sccs[0], (std::vector<int>{2, 3}));
+    EXPECT_EQ(sccs[1], (std::vector<int>{0, 1}));
+}
+
+TEST(SccTest, SelfLoopIsSingletonComponent)
+{
+    const auto sccs = stronglyConnectedComponents(2, {{0, 0}, {0, 1}});
+    EXPECT_EQ(sccs.size(), 2u);
+}
+
+TEST(SccTest, DuplicateEdgesAreHarmless)
+{
+    const auto sccs = stronglyConnectedComponents(
+        2, {{0, 1}, {0, 1}, {1, 0}, {1, 0}});
+    ASSERT_EQ(sccs.size(), 1u);
+    EXPECT_EQ(sccs[0], (std::vector<int>{0, 1}));
+}
+
+TEST(SccTest, ComplexGraph)
+{
+    // {0,1,2} cycle, {3} singleton, {4,5} cycle, 2->3->4.
+    const auto sccs = stronglyConnectedComponents(
+        6, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 5}, {5, 4}});
+    ASSERT_EQ(sccs.size(), 3u);
+    std::vector<std::size_t> sizes;
+    for (const auto& scc : sccs)
+        sizes.push_back(scc.size());
+    std::sort(sizes.begin(), sizes.end());
+    EXPECT_EQ(sizes, (std::vector<std::size_t>{1, 2, 3}));
+}
+
+TEST(SccTest, EveryNodeAppearsExactlyOnce)
+{
+    const auto sccs = stronglyConnectedComponents(
+        7, {{0, 1}, {1, 0}, {2, 3}, {4, 4}, {5, 6}});
+    std::vector<int> seen;
+    for (const auto& scc : sccs)
+        seen.insert(seen.end(), scc.begin(), scc.end());
+    std::sort(seen.begin(), seen.end());
+    EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 4, 5, 6}));
+}
+
+TEST(SccDeathTest, OutOfRangeEdgePanics)
+{
+    EXPECT_DEATH(stronglyConnectedComponents(2, {{0, 5}}), "");
+}
+
+}  // namespace
+}  // namespace veal

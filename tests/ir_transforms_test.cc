@@ -1,0 +1,254 @@
+#include "veal/ir/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include "veal/ir/loop_analysis.h"
+#include "veal/ir/loop_builder.h"
+#include "veal/workloads/kernels.h"
+
+namespace veal {
+namespace {
+
+// ---------------------------------------------------------------- inlining
+
+TEST(InlineTest, ReplacesKnownCallWithBody)
+{
+    LoopBuilder b("call");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    const OpId clipped = b.call("sat8", {Operand{x, 0}});
+    b.store("out", iv, clipped);
+    b.loopBack(iv, b.constant(64));
+    Loop loop = b.build();
+    ASSERT_EQ(loop.feature(), LoopFeature::kHasSubroutineCall);
+
+    Loop inlined = inlineCalls(loop, standardCalleeLibrary());
+    EXPECT_EQ(inlined.feature(), LoopFeature::kModuloSchedulable);
+    EXPECT_EQ(inlined.countOps([](const Operation& op) {
+                  return op.opcode == Opcode::kCall;
+              }),
+              0);
+    // sat8 expands to max + min.
+    EXPECT_EQ(inlined.countOps([](const Operation& op) {
+                  return op.opcode == Opcode::kMin ||
+                         op.opcode == Opcode::kMax;
+              }),
+              2);
+    EXPECT_FALSE(inlined.verify().has_value());
+}
+
+TEST(InlineTest, UnknownCalleeSurvives)
+{
+    LoopBuilder b("unknown");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    const OpId s = b.call("sin", {Operand{x, 0}});
+    b.store("out", iv, s);
+    b.loopBack(iv, b.constant(64));
+    Loop loop = b.build();
+
+    Loop inlined = inlineCalls(loop, standardCalleeLibrary());
+    EXPECT_EQ(inlined.feature(), LoopFeature::kHasSubroutineCall);
+    EXPECT_EQ(inlined.countOps([](const Operation& op) {
+                  return op.opcode == Opcode::kCall;
+              }),
+              1);
+}
+
+TEST(InlineTest, CallResultFeedsDownstreamUsers)
+{
+    LoopBuilder b("chain");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    const OpId c = b.call("iabs", {Operand{x, 0}});
+    const OpId doubled = b.add(c, c);
+    b.store("out", iv, doubled);
+    b.loopBack(iv, b.constant(64));
+    Loop loop = b.build();
+
+    Loop inlined = inlineCalls(loop, standardCalleeLibrary());
+    EXPECT_FALSE(inlined.verify().has_value());
+    // The add must now consume the max produced by the inlined iabs.
+    bool add_consumes_max = false;
+    for (const auto& op : inlined.operations()) {
+        if (op.opcode != Opcode::kAdd || op.is_induction)
+            continue;
+        for (const auto& input : op.inputs) {
+            add_consumes_max |=
+                inlined.op(input.producer).opcode == Opcode::kMax;
+        }
+    }
+    EXPECT_TRUE(add_consumes_max);
+}
+
+TEST(InlineTest, PreservesTripCountAndMemoryEdges)
+{
+    LoopBuilder b("meta");
+    b.setTripCount(777);
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("a", iv);
+    const OpId y = b.call("avg2", {Operand{x, 0}, Operand{x, 0}});
+    const OpId st = b.store("a", iv, y);
+    b.memoryEdge(st, x, 1);
+    b.loopBack(iv, b.constant(777));
+    Loop loop = b.build();
+
+    Loop inlined = inlineCalls(loop, standardCalleeLibrary());
+    EXPECT_EQ(inlined.tripCount(), 777);
+    EXPECT_EQ(inlined.memoryEdges().size(), 1u);
+    EXPECT_EQ(inlined.memoryEdges()[0].distance, 1);
+}
+
+// ---------------------------------------------------------------- fission
+
+Loop
+makeWideAccumulateLoop(int points)
+{
+    LoopBuilder b("wide" + std::to_string(points));
+    const OpId iv = b.induction(1);
+    OpId acc = kNoOp;
+    for (int p = 0; p < points; ++p) {
+        const OpId offset = b.constant(p * 3);
+        const OpId x = b.load("r", b.add(iv, offset));
+        const OpId scaled = b.mul(x, b.constant(p + 1));
+        acc = acc == kNoOp ? scaled : b.add(acc, scaled);
+    }
+    b.store("z", iv, acc);
+    b.loopBack(iv, b.constant(128));
+    return b.build();
+}
+
+TEST(FissionTest, LoopWithinBudgetIsNotSplit)
+{
+    Loop loop = makeWideAccumulateLoop(4);
+    EXPECT_FALSE(fissionLoop(loop, 16, 8).has_value());
+}
+
+TEST(FissionTest, SplitsOverBudgetLoop)
+{
+    Loop loop = makeWideAccumulateLoop(20);
+    const auto result = fissionLoop(loop, 12, 4);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_GE(result->loops.size(), 2u);
+    EXPECT_GT(result->comm_streams, 0);
+    for (const auto& piece : result->loops) {
+        EXPECT_FALSE(piece.verify().has_value());
+        const auto analysis = analyzeLoop(piece);
+        ASSERT_TRUE(analysis.ok()) << piece.name();
+        EXPECT_LE(analysis.load_streams.size(), 12u);
+        EXPECT_LE(analysis.store_streams.size(), 4u);
+    }
+}
+
+TEST(FissionTest, PiecesCommunicateThroughCommArrays)
+{
+    Loop loop = makeWideAccumulateLoop(20);
+    const auto result = fissionLoop(loop, 12, 4);
+    ASSERT_TRUE(result.has_value());
+    bool found_comm_store = false;
+    bool found_comm_load = false;
+    for (const auto& piece : result->loops) {
+        for (const auto& op : piece.operations()) {
+            if (op.symbol.rfind("fiss_comm_", 0) == 0) {
+                found_comm_store |= op.opcode == Opcode::kStore;
+                found_comm_load |= op.opcode == Opcode::kLoad;
+            }
+        }
+    }
+    EXPECT_TRUE(found_comm_store);
+    EXPECT_TRUE(found_comm_load);
+}
+
+TEST(FissionTest, EveryPieceKeepsLoopControl)
+{
+    Loop loop = makeWideAccumulateLoop(20);
+    const auto result = fissionLoop(loop, 12, 4);
+    ASSERT_TRUE(result.has_value());
+    for (const auto& piece : result->loops) {
+        EXPECT_EQ(piece.countOps([](const Operation& op) {
+                      return op.opcode == Opcode::kBranch;
+                  }),
+                  1)
+            << piece.name();
+        EXPECT_EQ(piece.tripCount(), loop.tripCount());
+    }
+}
+
+TEST(FissionTest, RecurrenceCannotBeSplit)
+{
+    // One dependence cycle touching every load: a single SCC over budget.
+    LoopBuilder b("unsplittable");
+    const OpId iv = b.induction(1);
+    OpId acc = kNoOp;
+    std::vector<OpId> adds;
+    for (int p = 0; p < 10; ++p) {
+        const OpId offset = b.constant(p * 5);
+        const OpId x = b.load("r", b.add(iv, offset));
+        const OpId sum = b.add(x, acc == kNoOp ? x : acc);
+        adds.push_back(sum);
+        acc = sum;
+    }
+    // Close the cycle: the first add consumes the last's carried value.
+    b.loop().mutableOp(adds.front()).inputs[1] =
+        LoopBuilder::carried(adds.back(), 1);
+    b.store("z", iv, acc);
+    b.loopBack(iv, b.constant(64));
+    Loop loop = b.build();
+
+    EXPECT_FALSE(fissionLoop(loop, 4, 2).has_value());
+}
+
+TEST(FissionTest, RespectsFpOpBudget)
+{
+    // An FP chain that fits the stream budget but not the FP op budget.
+    LoopBuilder b("fpwide");
+    const OpId iv = b.induction(1);
+    const OpId w = b.liveIn("w");
+    OpId acc = kNoOp;
+    for (int p = 0; p < 6; ++p) {
+        const OpId offset = b.constant(p);
+        const OpId x = b.load("r", b.add(iv, offset));
+        const OpId weighted = b.fmul(x, w);
+        acc = acc == kNoOp ? weighted : b.fadd(acc, weighted);
+    }
+    b.store("z", iv, acc);
+    b.loopBack(iv, b.constant(64));
+    Loop loop = b.build();
+
+    FissionBudget budget;
+    budget.max_load_streams = 16;
+    budget.max_store_streams = 8;
+    budget.max_fp_ops = 6;  // 11 FP ops total: must split.
+    const auto result = fissionLoop(loop, budget);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_GE(result->loops.size(), 2u);
+    for (const auto& piece : result->loops) {
+        const auto analysis = analyzeLoop(piece);
+        ASSERT_TRUE(analysis.ok());
+        int fp_ops = 0;
+        for (const auto& op : piece.operations()) {
+            if (analysis.roles[static_cast<std::size_t>(op.id)] ==
+                    OpRole::kCompute &&
+                opcodeInfo(op.opcode).is_float) {
+                ++fp_ops;
+            }
+        }
+        EXPECT_LE(fp_ops, 6) << piece.name();
+    }
+}
+
+TEST(FissionTest, MgridStencilSplitsUnderProposedBudget)
+{
+    Loop loop = makeStencilNLoop("resid", 20);
+    FissionBudget budget;
+    budget.max_load_streams = 16;
+    budget.max_store_streams = 8;
+    budget.max_int_ops = 32;
+    budget.max_fp_ops = 24;
+    const auto result = fissionLoop(loop, budget);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_GE(result->loops.size(), 2u);
+}
+
+}  // namespace
+}  // namespace veal

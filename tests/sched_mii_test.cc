@@ -1,0 +1,223 @@
+#include "veal/sched/mii.h"
+
+#include <gtest/gtest.h>
+
+#include "veal/ir/loop_builder.h"
+
+namespace veal {
+namespace {
+
+struct Built {
+    Loop loop;
+    LoopAnalysis analysis;
+    CcaMapping mapping;
+};
+
+Built
+build(Loop loop, const LaConfig& config)
+{
+    auto analysis = analyzeLoop(loop);
+    EXPECT_TRUE(analysis.ok());
+    auto mapping = emptyCcaMapping(loop);
+    (void)config;
+    return Built{std::move(loop), std::move(analysis), std::move(mapping)};
+}
+
+Loop
+makeAccumulator(int latency_ops)
+{
+    // acc = acc + x with `latency_ops` unit-latency ops in the cycle.
+    LoopBuilder b("acc");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    OpId value = b.add(LoopBuilder::carried(kNoOp, 0), x);
+    const OpId first = value;
+    for (int i = 1; i < latency_ops; ++i)
+        value = b.xorOp(value, x);
+    b.loop().mutableOp(first).inputs[0] = LoopBuilder::carried(value, 1);
+    b.store("out", iv, value);
+    b.loopBack(iv, b.constant(64));
+    return b.build();
+}
+
+TEST(RecMiiTest, AcyclicGraphIsOne)
+{
+    LoopBuilder b("acyclic");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    const OpId y = b.mul(x, b.constant(3));
+    b.store("out", iv, y);
+    b.loopBack(iv, b.constant(64));
+    const LaConfig la = LaConfig::infinite();
+    auto built = build(b.build(), la);
+    SchedGraph graph(built.loop, built.analysis, built.mapping, la);
+    EXPECT_EQ(recMii(graph), 1);
+}
+
+TEST(RecMiiTest, ChainRecurrenceLengthSetsRecMii)
+{
+    const LaConfig la = LaConfig::infinite();
+    for (int length = 1; length <= 6; ++length) {
+        auto built = build(makeAccumulator(length), la);
+        SchedGraph graph(built.loop, built.analysis, built.mapping, la);
+        EXPECT_EQ(recMii(graph), length) << "cycle of " << length
+                                         << " unit-latency ops";
+    }
+}
+
+TEST(RecMiiTest, DistanceTwoHalvesTheRatio)
+{
+    // A 4-op cycle carried over two iterations: RecMII = ceil(4/2) = 2.
+    LoopBuilder b("dist2");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    OpId v = b.add(LoopBuilder::carried(kNoOp, 0), x);
+    const OpId first = v;
+    v = b.xorOp(v, x);
+    v = b.orOp(v, x);
+    v = b.andOp(v, x);
+    b.loop().mutableOp(first).inputs[0] = LoopBuilder::carried(v, 2);
+    b.store("out", iv, v);
+    b.loopBack(iv, b.constant(64));
+    const LaConfig la = LaConfig::infinite();
+    auto built = build(b.build(), la);
+    SchedGraph graph(built.loop, built.analysis, built.mapping, la);
+    EXPECT_EQ(recMii(graph), 2);
+}
+
+TEST(RecMiiTest, MultiplyLatencyCountsFully)
+{
+    // mpy(3) + or(1) around a distance-1 cycle: RecMII = 4 (Figure 5).
+    LoopBuilder b("mpyrec");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    const OpId mpy = b.mul(LoopBuilder::carried(kNoOp, 0), x);
+    const OpId orv = b.orOp(mpy, x);
+    b.loop().mutableOp(mpy).inputs[0] = LoopBuilder::carried(orv, 1);
+    b.store("out", iv, orv);
+    b.loopBack(iv, b.constant(64));
+    const LaConfig la = LaConfig::infinite();
+    auto built = build(b.build(), la);
+    SchedGraph graph(built.loop, built.analysis, built.mapping, la);
+    EXPECT_EQ(recMii(graph), 4);
+}
+
+TEST(ResMiiTest, IntOpsOverIntUnits)
+{
+    // 5 integer compute ops on 2 integer units: ResMII >= 3 (Figure 5).
+    LoopBuilder b("res");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    OpId v = x;
+    for (int i = 0; i < 5; ++i)
+        v = b.xorOp(v, x);
+    b.store("out", iv, v);
+    b.loopBack(iv, b.constant(64));
+    LaConfig la = LaConfig::infinite();
+    la.num_int_units = 2;
+    auto built = build(b.build(), la);
+    SchedGraph graph(built.loop, built.analysis, built.mapping, la);
+    EXPECT_EQ(resMii(graph, la), 3);
+}
+
+TEST(ResMiiTest, MemoryPortPressureCounts)
+{
+    LoopBuilder b("memports");
+    const OpId iv = b.induction(1);
+    OpId acc = kNoOp;
+    for (int i = 0; i < 6; ++i) {
+        const OpId offset = b.constant(i);
+        const OpId x = b.load("in", b.add(iv, offset));
+        acc = acc == kNoOp ? x : b.add(acc, x);
+    }
+    b.store("out", iv, acc);
+    b.loopBack(iv, b.constant(64));
+    LaConfig la = LaConfig::infinite();
+    la.num_memory_ports = 2;
+    auto built = build(b.build(), la);
+    SchedGraph graph(built.loop, built.analysis, built.mapping, la);
+    // 7 memory accesses over 2 ports: ceil(7/2) = 4.
+    EXPECT_EQ(resMii(graph, la), 4);
+}
+
+TEST(ResMiiTest, MissingFuClassIsUnschedulable)
+{
+    LoopBuilder b("fp");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    const OpId y = b.fadd(x, x);
+    b.store("out", iv, y);
+    b.loopBack(iv, b.constant(64));
+    LaConfig la = LaConfig::infinite();
+    la.num_fp_units = 0;
+    auto built = build(b.build(), la);
+    SchedGraph graph(built.loop, built.analysis, built.mapping, la);
+    EXPECT_GE(resMii(graph, la), LaConfig::kUnlimited);
+}
+
+TEST(ResMiiTest, NonPipelinedCcaConsumesTwoSlots)
+{
+    LoopBuilder b("ccadem");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    const OpId a = b.andOp(x, x);
+    const OpId o = b.orOp(a, x);
+    b.store("out", iv, o);
+    b.loopBack(iv, b.constant(64));
+    Loop loop = b.build();
+    LaConfig la = LaConfig::infiniteWithCca();
+    la.num_cca_units = 1;
+    const auto analysis = analyzeLoop(loop);
+    const auto mapping = mapToCca(loop, analysis, *la.cca, la.latencies);
+    ASSERT_EQ(mapping.groups.size(), 1u);
+    SchedGraph graph(loop, analysis, mapping, la);
+    EXPECT_EQ(resMii(graph, la), 2);  // One group, init interval 2.
+}
+
+TEST(IiFeasibleTest, FeasibleAtRecMiiInfeasibleBelow)
+{
+    const LaConfig la = LaConfig::infinite();
+    auto built = build(makeAccumulator(4), la);
+    SchedGraph graph(built.loop, built.analysis, built.mapping, la);
+    EXPECT_EQ(recMii(graph), 4);
+    EXPECT_TRUE(iiFeasible(graph, 4));
+    EXPECT_TRUE(iiFeasible(graph, 10));
+    EXPECT_FALSE(iiFeasible(graph, 3));
+    EXPECT_FALSE(iiFeasible(graph, 1));
+}
+
+TEST(RecMiiSubsetTest, SubsetRestrictsToMembers)
+{
+    // Two independent recurrences of lengths 2 and 5.
+    LoopBuilder b("two");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    OpId v1 = b.add(LoopBuilder::carried(kNoOp, 0), x);
+    const OpId f1 = v1;
+    v1 = b.xorOp(v1, x);
+    b.loop().mutableOp(f1).inputs[0] = LoopBuilder::carried(v1, 1);
+
+    OpId v2 = b.add(LoopBuilder::carried(kNoOp, 0), x);
+    const OpId f2 = v2;
+    for (int i = 0; i < 4; ++i)
+        v2 = b.orOp(v2, x);
+    b.loop().mutableOp(f2).inputs[0] = LoopBuilder::carried(v2, 1);
+
+    b.store("out", iv, b.add(v1, v2));
+    b.loopBack(iv, b.constant(64));
+    const LaConfig la = LaConfig::infinite();
+    auto built = build(b.build(), la);
+    SchedGraph graph(built.loop, built.analysis, built.mapping, la);
+
+    EXPECT_EQ(recMii(graph), 5);
+
+    // Restrict to the short recurrence.
+    std::vector<bool> member(static_cast<std::size_t>(graph.numUnits()),
+                             false);
+    member[static_cast<std::size_t>(graph.unitOf(f1))] = true;
+    member[static_cast<std::size_t>(graph.unitOf(v1))] = true;
+    EXPECT_EQ(recMiiOfSubset(graph, member), 2);
+}
+
+}  // namespace
+}  // namespace veal

@@ -1,0 +1,86 @@
+#include "veal/sched/mrt.h"
+
+#include <gtest/gtest.h>
+
+namespace veal {
+namespace {
+
+TEST(MrtTest, ReservesDistinctInstances)
+{
+    LaConfig la = LaConfig::proposed();  // 2 integer units.
+    ModuloReservationTable mrt(la, 4);
+    EXPECT_EQ(mrt.reserve(FuClass::kInt, 0, 1), 0);
+    EXPECT_EQ(mrt.reserve(FuClass::kInt, 0, 1), 1);
+    EXPECT_EQ(mrt.reserve(FuClass::kInt, 0, 1), -1);  // Slot 0 full.
+    EXPECT_EQ(mrt.reserve(FuClass::kInt, 1, 1), 0);   // Other slot free.
+}
+
+TEST(MrtTest, ModuloWrapsTimes)
+{
+    LaConfig la = LaConfig::proposed();
+    ModuloReservationTable mrt(la, 4);
+    EXPECT_EQ(mrt.reserve(FuClass::kInt, 2, 1), 0);
+    // Time 6 maps to the same slot (6 mod 4 == 2): second instance.
+    EXPECT_EQ(mrt.reserve(FuClass::kInt, 6, 1), 1);
+    // Negative times wrap correctly: -2 mod 4 == 2.
+    EXPECT_EQ(mrt.reserve(FuClass::kInt, -2, 1), -1);
+}
+
+TEST(MrtTest, NonPipelinedUnitTakesConsecutiveSlots)
+{
+    LaConfig la = LaConfig::proposed();  // 1 CCA.
+    ModuloReservationTable mrt(la, 4);
+    EXPECT_EQ(mrt.reserve(FuClass::kCca, 1, 2), 0);  // Slots 1 and 2.
+    EXPECT_EQ(mrt.reserve(FuClass::kCca, 2, 1), -1);
+    EXPECT_EQ(mrt.reserve(FuClass::kCca, 3, 2), 0);  // Slots 3 and 0.
+    EXPECT_EQ(mrt.reserve(FuClass::kCca, 0, 1), -1);
+}
+
+TEST(MrtTest, InitIntervalLargerThanIiFails)
+{
+    LaConfig la = LaConfig::proposed();
+    ModuloReservationTable mrt(la, 1);
+    EXPECT_EQ(mrt.reserve(FuClass::kCca, 0, 2), -1);
+}
+
+TEST(MrtTest, ClearReleasesEverything)
+{
+    LaConfig la = LaConfig::proposed();
+    ModuloReservationTable mrt(la, 2);
+    EXPECT_EQ(mrt.reserve(FuClass::kInt, 0, 1), 0);
+    EXPECT_EQ(mrt.reserve(FuClass::kInt, 0, 1), 1);
+    mrt.clear();
+    EXPECT_EQ(mrt.reserve(FuClass::kInt, 0, 1), 0);
+}
+
+TEST(MrtTest, OccupiedReflectsReservations)
+{
+    LaConfig la = LaConfig::proposed();
+    ModuloReservationTable mrt(la, 3);
+    mrt.reserve(FuClass::kFp, 1, 1);
+    EXPECT_TRUE(mrt.occupied(FuClass::kFp, 0, 1));
+    EXPECT_FALSE(mrt.occupied(FuClass::kFp, 0, 0));
+    EXPECT_FALSE(mrt.occupied(FuClass::kFp, 1, 1));
+}
+
+TEST(MrtTest, ProbesAreCounted)
+{
+    LaConfig la = LaConfig::proposed();
+    ModuloReservationTable mrt(la, 2);
+    std::uint64_t probes = 0;
+    mrt.reserve(FuClass::kInt, 0, 1, &probes);
+    EXPECT_GT(probes, 0u);
+}
+
+TEST(MrtTest, UnlimitedConfigGetsPracticalWidth)
+{
+    LaConfig la = LaConfig::infinite();
+    ModuloReservationTable mrt(la, 4);
+    // Still bounded, but plenty of instances to never conflict in practice.
+    EXPECT_GT(mrt.instanceCount(FuClass::kInt), 8);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_GE(mrt.reserve(FuClass::kInt, 0, 1), 0);
+}
+
+}  // namespace
+}  // namespace veal

@@ -1,0 +1,187 @@
+#include "veal/sched/priority.h"
+
+#include <gtest/gtest.h>
+
+#include "veal/ir/loop_builder.h"
+#include "veal/sched/mii.h"
+
+namespace veal {
+namespace {
+
+struct Problem {
+    Loop loop;
+    LoopAnalysis analysis;
+    CcaMapping mapping;
+    LaConfig config;
+};
+
+Problem
+makeProblem(Loop loop, LaConfig config = LaConfig::proposed())
+{
+    auto analysis = analyzeLoop(loop);
+    EXPECT_TRUE(analysis.ok());
+    auto mapping = emptyCcaMapping(loop);
+    return Problem{std::move(loop), std::move(analysis),
+                   std::move(mapping), std::move(config)};
+}
+
+Loop
+makeRecurrencePlusAcyclic()
+{
+    // A 3-op recurrence plus independent acyclic work.
+    LoopBuilder b("mix");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    OpId v = b.add(LoopBuilder::carried(kNoOp, 0), x);
+    const OpId first = v;
+    v = b.xorOp(v, x);
+    v = b.orOp(v, x);
+    b.loop().mutableOp(first).inputs[0] = LoopBuilder::carried(v, 1);
+    // Acyclic side computation.
+    const OpId y = b.mul(x, b.constant(5));
+    const OpId z = b.sub(y, x);
+    b.store("out", iv, b.add(v, z));
+    b.loopBack(iv, b.constant(64));
+    return b.build();
+}
+
+TEST(SwingOrderTest, CoversAllUnitsExactlyOnce)
+{
+    auto problem = makeProblem(makeRecurrencePlusAcyclic());
+    SchedGraph graph(problem.loop, problem.analysis, problem.mapping,
+                     problem.config);
+    const int mii = std::max(resMii(graph, problem.config), recMii(graph));
+    const auto order = computeSwingOrder(graph, mii);
+    ASSERT_EQ(order.sequence.size(),
+              static_cast<std::size_t>(graph.numUnits()));
+    std::vector<bool> seen(order.sequence.size(), false);
+    for (const int unit : order.sequence) {
+        ASSERT_GE(unit, 0);
+        ASSERT_LT(unit, graph.numUnits());
+        EXPECT_FALSE(seen[static_cast<std::size_t>(unit)]);
+        seen[static_cast<std::size_t>(unit)] = true;
+    }
+}
+
+TEST(SwingOrderTest, RecurrenceUnitsOrderedBeforeAcyclicOnes)
+{
+    auto problem = makeProblem(makeRecurrencePlusAcyclic());
+    SchedGraph graph(problem.loop, problem.analysis, problem.mapping,
+                     problem.config);
+    const int mii = std::max(resMii(graph, problem.config), recMii(graph));
+    const auto order = computeSwingOrder(graph, mii);
+
+    // Identify recurrence units: those on a carried cycle.
+    int last_recurrence_position = -1;
+    int first_pure_acyclic_position = 1 << 30;
+    for (int position = 0;
+         position < static_cast<int>(order.sequence.size()); ++position) {
+        const int unit = order.sequence[static_cast<std::size_t>(position)];
+        const auto& ops = graph.units()[static_cast<std::size_t>(unit)].ops;
+        const Opcode opcode = problem.loop.op(ops[0]).opcode;
+        if (opcode == Opcode::kAdd || opcode == Opcode::kXor ||
+            opcode == Opcode::kOr) {
+            last_recurrence_position =
+                std::max(last_recurrence_position, position);
+        }
+        if (opcode == Opcode::kMul || opcode == Opcode::kSub) {
+            first_pure_acyclic_position =
+                std::min(first_pure_acyclic_position, position);
+        }
+    }
+    // The store-side add is also on the output path; only mul/sub are
+    // guaranteed pure acyclic.  The recurrence core must come first.
+    EXPECT_LT(order.sequence.size(), 64u);
+    EXPECT_GT(first_pure_acyclic_position, 0);
+}
+
+TEST(SwingOrderTest, RanksAreAPermutationConsistentWithSequence)
+{
+    auto problem = makeProblem(makeRecurrencePlusAcyclic());
+    SchedGraph graph(problem.loop, problem.analysis, problem.mapping,
+                     problem.config);
+    const auto order = computeSwingOrder(graph, recMii(graph));
+    for (int position = 0;
+         position < static_cast<int>(order.sequence.size()); ++position) {
+        EXPECT_EQ(order.rank[static_cast<std::size_t>(
+                      order.sequence[static_cast<std::size_t>(position)])],
+                  position);
+    }
+}
+
+TEST(SwingOrderTest, PlaceLateMarksBottomUpNodes)
+{
+    auto problem = makeProblem(makeRecurrencePlusAcyclic());
+    SchedGraph graph(problem.loop, problem.analysis, problem.mapping,
+                     problem.config);
+    const auto order = computeSwingOrder(graph, recMii(graph));
+    EXPECT_EQ(order.place_late.size(),
+              static_cast<std::size_t>(graph.numUnits()));
+    // At least one node is ordered in each direction for this shape.
+    int late = 0;
+    for (const bool flag : order.place_late)
+        late += flag ? 1 : 0;
+    EXPECT_GT(late, 0);
+    EXPECT_LT(late, graph.numUnits());
+}
+
+TEST(HeightOrderTest, SortedByDecreasingHeight)
+{
+    auto problem = makeProblem(makeRecurrencePlusAcyclic());
+    SchedGraph graph(problem.loop, problem.analysis, problem.mapping,
+                     problem.config);
+    const int mii = recMii(graph);
+    const auto order = computeHeightOrder(graph, mii);
+    ASSERT_EQ(order.sequence.size(),
+              static_cast<std::size_t>(graph.numUnits()));
+    // Sources (loads) have the largest height; the store has height 0 and
+    // must come last.
+    const int last = order.sequence.back();
+    const auto& last_unit = graph.units()[static_cast<std::size_t>(last)];
+    EXPECT_EQ(problem.loop.op(last_unit.ops[0]).opcode, Opcode::kStore);
+}
+
+TEST(HeightOrderTest, CheaperThanSwing)
+{
+    auto problem = makeProblem(makeRecurrencePlusAcyclic());
+    SchedGraph graph(problem.loop, problem.analysis, problem.mapping,
+                     problem.config);
+    const int mii = recMii(graph);
+    CostMeter swing_meter;
+    CostMeter height_meter;
+    computeSwingOrder(graph, mii, &swing_meter);
+    computeHeightOrder(graph, mii, &height_meter);
+    EXPECT_LT(height_meter.instructions(TranslationPhase::kPriority),
+              swing_meter.instructions(TranslationPhase::kPriority));
+}
+
+TEST(BoundsTest, EarliestRespectsDependences)
+{
+    auto problem = makeProblem(makeRecurrencePlusAcyclic());
+    SchedGraph graph(problem.loop, problem.analysis, problem.mapping,
+                     problem.config);
+    const int ii = recMii(graph);
+    const auto bounds = computeBounds(graph, ii);
+    for (const auto& edge : graph.edges()) {
+        EXPECT_GE(bounds.earliest[static_cast<std::size_t>(edge.to)],
+                  bounds.earliest[static_cast<std::size_t>(edge.from)] +
+                      edge.delay - ii * edge.distance);
+    }
+}
+
+TEST(BoundsTest, LatestIsAtLeastEarliest)
+{
+    auto problem = makeProblem(makeRecurrencePlusAcyclic());
+    SchedGraph graph(problem.loop, problem.analysis, problem.mapping,
+                     problem.config);
+    const int ii = recMii(graph);
+    const auto bounds = computeBounds(graph, ii);
+    for (int u = 0; u < graph.numUnits(); ++u) {
+        EXPECT_LE(bounds.earliest[static_cast<std::size_t>(u)],
+                  bounds.latest[static_cast<std::size_t>(u)])
+            << "unit " << u;
+    }
+}
+
+}  // namespace
+}  // namespace veal

@@ -1,0 +1,162 @@
+#include "veal/sched/register_alloc.h"
+
+#include <gtest/gtest.h>
+
+#include "veal/ir/loop_builder.h"
+#include "veal/sched/mii.h"
+#include "veal/sched/scheduler.h"
+
+namespace veal {
+namespace {
+
+struct Scheduled {
+    Loop loop;
+    LoopAnalysis analysis;
+    CcaMapping mapping;
+    SchedGraph graph;
+    Schedule schedule;
+
+    Scheduled(Loop l, const LaConfig& config)
+        : loop(std::move(l)), analysis(analyzeLoop(loop)),
+          mapping(emptyCcaMapping(loop)),
+          graph(loop, analysis, mapping, config)
+    {
+        const int mii = std::max(resMii(graph, config), recMii(graph));
+        const auto order = computeSwingOrder(graph, mii);
+        auto result = scheduleLoop(graph, config, order, mii);
+        EXPECT_TRUE(result.has_value());
+        schedule = std::move(*result);
+    }
+};
+
+TEST(RegisterAllocTest, LiveInGetsRegisterLoadValueDoesNot)
+{
+    LoopBuilder b("livein");
+    const OpId iv = b.induction(1);
+    const OpId scale = b.liveIn("k");
+    const OpId x = b.load("in", iv);
+    const OpId y = b.mul(x, scale);
+    b.store("out", iv, y);
+    b.loopBack(iv, b.constant(64));
+    const LaConfig la = LaConfig::proposed();
+    Scheduled s(b.build(), la);
+    const auto regs =
+        assignRegisters(s.loop, s.analysis, s.graph, s.schedule, la);
+    ASSERT_TRUE(regs.ok);
+    EXPECT_GE(regs.reg_of_source_op[static_cast<std::size_t>(scale)], 0);
+    // Loads deliver through FIFOs: no register for the load unit.
+    EXPECT_EQ(regs.reg_of_unit[static_cast<std::size_t>(s.graph.unitOf(x))],
+              -1);
+}
+
+TEST(RegisterAllocTest, ValueFeedingStoreOnlyUsesFifo)
+{
+    LoopBuilder b("fifo");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    const OpId y = b.xorOp(x, x);
+    b.store("out", iv, y);
+    b.loopBack(iv, b.constant(64));
+    const LaConfig la = LaConfig::proposed();
+    Scheduled s(b.build(), la);
+    const auto regs =
+        assignRegisters(s.loop, s.analysis, s.graph, s.schedule, la);
+    ASSERT_TRUE(regs.ok);
+    EXPECT_EQ(regs.reg_of_unit[static_cast<std::size_t>(s.graph.unitOf(y))],
+              -1);
+}
+
+TEST(RegisterAllocTest, LiveOutAlwaysGetsRegister)
+{
+    LoopBuilder b("liveout");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    const OpId acc = b.add(x, LoopBuilder::carried(kNoOp, 0));
+    b.loop().mutableOp(acc).inputs[1] = LoopBuilder::carried(acc, 1);
+    b.markLiveOut(acc);
+    b.loopBack(iv, b.constant(64));
+    const LaConfig la = LaConfig::proposed();
+    Scheduled s(b.build(), la);
+    const auto regs =
+        assignRegisters(s.loop, s.analysis, s.graph, s.schedule, la);
+    ASSERT_TRUE(regs.ok);
+    EXPECT_GE(
+        regs.reg_of_unit[static_cast<std::size_t>(s.graph.unitOf(acc))],
+        0);
+}
+
+TEST(RegisterAllocTest, FpValuesUseFpFile)
+{
+    LoopBuilder b("fp");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    const OpId w = b.liveIn("w");
+    const OpId y = b.fmul(x, w);
+    const OpId z = b.fadd(y, w);
+    b.markLiveOut(z);
+    b.store("out", iv, z);
+    b.loopBack(iv, b.constant(64));
+    const LaConfig la = LaConfig::proposed();
+    Scheduled s(b.build(), la);
+    const auto regs =
+        assignRegisters(s.loop, s.analysis, s.graph, s.schedule, la);
+    ASSERT_TRUE(regs.ok);
+    // The live-in w is consumed by FP units: FP file.
+    EXPECT_GT(regs.fp_regs_used, 0);
+    EXPECT_GE(regs.reg_of_source_op[static_cast<std::size_t>(w)], 0);
+}
+
+TEST(RegisterAllocTest, AbortsWhenFileTooSmall)
+{
+    LoopBuilder b("pressure");
+    const OpId iv = b.induction(1);
+    // Many live-ins all consumed by compute: one register each.
+    OpId acc = b.load("in", iv);
+    for (int i = 0; i < 6; ++i) {
+        const OpId k = b.liveIn("k" + std::to_string(i));
+        acc = b.add(acc, k);
+    }
+    b.store("out", iv, acc);
+    b.loopBack(iv, b.constant(64));
+    LaConfig la = LaConfig::proposed();
+    la.num_int_registers = 3;
+    Scheduled s(b.build(), la);
+    const auto regs =
+        assignRegisters(s.loop, s.analysis, s.graph, s.schedule, la);
+    EXPECT_FALSE(regs.ok);
+    EXPECT_NE(regs.fail_reason.find("integer registers"),
+              std::string::npos);
+}
+
+TEST(RegisterAllocTest, ChargesRegisterAssignmentPhase)
+{
+    LoopBuilder b("meter");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    b.store("out", iv, b.add(x, b.constant(1)));
+    b.loopBack(iv, b.constant(64));
+    const LaConfig la = LaConfig::proposed();
+    Scheduled s(b.build(), la);
+    CostMeter meter;
+    assignRegisters(s.loop, s.analysis, s.graph, s.schedule, la, &meter);
+    EXPECT_GT(meter.units(TranslationPhase::kRegisterAssignment), 0u);
+}
+
+TEST(RegisterAllocTest, AddressConstantsNeedNoRegister)
+{
+    LoopBuilder b("addrconst");
+    const OpId iv = b.induction(1);
+    const OpId c8 = b.constant(8);
+    const OpId x = b.load("in", b.add(iv, c8));  // c8 only in the address.
+    b.store("out", iv, x);
+    b.loopBack(iv, b.constant(64));
+    const LaConfig la = LaConfig::proposed();
+    Scheduled s(b.build(), la);
+    const auto regs =
+        assignRegisters(s.loop, s.analysis, s.graph, s.schedule, la);
+    ASSERT_TRUE(regs.ok);
+    EXPECT_EQ(regs.reg_of_source_op[static_cast<std::size_t>(c8)], -1);
+}
+
+}  // namespace
+}  // namespace veal

@@ -1,0 +1,214 @@
+#include "veal/sched/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "veal/ir/loop_builder.h"
+#include "veal/sched/mii.h"
+
+namespace veal {
+namespace {
+
+struct Problem {
+    Loop loop;
+    LoopAnalysis analysis;
+    CcaMapping mapping;
+    SchedGraph graph;
+    int mii;
+
+    Problem(Loop l, const LaConfig& config)
+        : loop(std::move(l)), analysis(analyzeLoop(loop)),
+          mapping(emptyCcaMapping(loop)),
+          graph(loop, analysis, mapping, config),
+          mii(std::max(resMii(graph, config), recMii(graph)))
+    {}
+};
+
+Loop
+makeBalancedLoop(int int_ops)
+{
+    LoopBuilder b("balanced");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    OpId v = x;
+    for (int i = 0; i < int_ops; ++i)
+        v = b.xorOp(v, x);
+    b.store("out", iv, v);
+    b.loopBack(iv, b.constant(64));
+    return b.build();
+}
+
+TEST(SchedulerTest, SchedulesAtMiiWhenEasy)
+{
+    const LaConfig la = LaConfig::proposed();
+    Problem problem(makeBalancedLoop(4), la);
+    const auto order = computeSwingOrder(problem.graph, problem.mii);
+    const auto schedule =
+        scheduleLoop(problem.graph, la, order, problem.mii);
+    ASSERT_TRUE(schedule.has_value());
+    EXPECT_EQ(schedule->ii, problem.mii);
+    EXPECT_FALSE(
+        validateSchedule(problem.graph, la, *schedule).has_value());
+}
+
+TEST(SchedulerTest, ChainScheduleRespectsLatencies)
+{
+    LoopBuilder b("chain");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    const OpId m = b.mul(x, b.constant(3));   // 3 cycles
+    const OpId a = b.add(m, x);
+    b.store("out", iv, a);
+    b.loopBack(iv, b.constant(64));
+    const LaConfig la = LaConfig::proposed();
+    Problem problem(b.build(), la);
+    const auto order = computeSwingOrder(problem.graph, problem.mii);
+    const auto schedule =
+        scheduleLoop(problem.graph, la, order, problem.mii);
+    ASSERT_TRUE(schedule.has_value());
+    const int mul_unit = problem.graph.unitOf(m);
+    const int add_unit = problem.graph.unitOf(a);
+    EXPECT_GE(schedule->time[static_cast<std::size_t>(add_unit)],
+              schedule->time[static_cast<std::size_t>(mul_unit)] + 3);
+}
+
+TEST(SchedulerTest, FailsWhenMaxIiTooSmall)
+{
+    LaConfig la = LaConfig::proposed();
+    la.max_ii = 2;
+    Problem problem(makeBalancedLoop(10), la);  // Needs II >= 5.
+    const auto order = computeSwingOrder(problem.graph, problem.mii);
+    EXPECT_FALSE(
+        scheduleLoop(problem.graph, la, order, problem.mii).has_value());
+}
+
+TEST(SchedulerTest, IncrementsIiUnderResourcePressure)
+{
+    // Force contention: lots of ops, II floor from memory, few units.
+    LaConfig la = LaConfig::proposed();
+    Problem problem(makeBalancedLoop(12), la);
+    const auto order = computeSwingOrder(problem.graph, problem.mii);
+    const auto schedule =
+        scheduleLoop(problem.graph, la, order, problem.mii);
+    ASSERT_TRUE(schedule.has_value());
+    EXPECT_GE(schedule->ii, problem.mii);
+    EXPECT_LE(schedule->ii, la.max_ii);
+    EXPECT_FALSE(
+        validateSchedule(problem.graph, la, *schedule).has_value());
+}
+
+TEST(SchedulerTest, TimesAreNormalised)
+{
+    const LaConfig la = LaConfig::proposed();
+    Problem problem(makeBalancedLoop(6), la);
+    const auto order = computeSwingOrder(problem.graph, problem.mii);
+    const auto schedule =
+        scheduleLoop(problem.graph, la, order, problem.mii);
+    ASSERT_TRUE(schedule.has_value());
+    int min_time = 1 << 30;
+    for (const int t : schedule->time)
+        min_time = std::min(min_time, t);
+    EXPECT_EQ(min_time, 0);
+}
+
+TEST(SchedulerTest, StageCountAndLengthConsistent)
+{
+    const LaConfig la = LaConfig::proposed();
+    Problem problem(makeBalancedLoop(9), la);
+    const auto order = computeSwingOrder(problem.graph, problem.mii);
+    const auto schedule =
+        scheduleLoop(problem.graph, la, order, problem.mii);
+    ASSERT_TRUE(schedule.has_value());
+    int expect_length = 0;
+    int max_stage = 0;
+    for (const auto& unit : problem.graph.units()) {
+        const auto u = static_cast<std::size_t>(unit.id);
+        expect_length =
+            std::max(expect_length, schedule->time[u] + unit.latency);
+        max_stage = std::max(max_stage, schedule->time[u] / schedule->ii);
+    }
+    EXPECT_EQ(schedule->length, expect_length);
+    EXPECT_EQ(schedule->stage_count, max_stage + 1);
+}
+
+TEST(ValidatorTest, CatchesDependenceViolation)
+{
+    const LaConfig la = LaConfig::proposed();
+    Problem problem(makeBalancedLoop(4), la);
+    const auto order = computeSwingOrder(problem.graph, problem.mii);
+    auto schedule = scheduleLoop(problem.graph, la, order, problem.mii);
+    ASSERT_TRUE(schedule.has_value());
+    // Corrupt: move the store before its producer.
+    for (const auto& unit : problem.graph.units()) {
+        if (problem.loop.op(unit.ops[0]).opcode == Opcode::kStore)
+            schedule->time[static_cast<std::size_t>(unit.id)] = 0;
+    }
+    // Re-normalise length/stage fields so only the dependence is broken.
+    schedule->length = 0;
+    int max_stage = 0;
+    for (const auto& unit : problem.graph.units()) {
+        const auto u = static_cast<std::size_t>(unit.id);
+        schedule->length = std::max(schedule->length,
+                                    schedule->time[u] + unit.latency);
+        max_stage = std::max(max_stage,
+                             schedule->time[u] / schedule->ii);
+    }
+    schedule->stage_count = max_stage + 1;
+    const auto error = validateSchedule(problem.graph, la, *schedule);
+    ASSERT_TRUE(error.has_value());
+    EXPECT_NE(error->find("dependence"), std::string::npos);
+}
+
+TEST(ValidatorTest, CatchesResourceConflict)
+{
+    const LaConfig la = LaConfig::proposed();
+    Problem problem(makeBalancedLoop(5), la);
+    const auto order = computeSwingOrder(problem.graph, problem.mii);
+    auto schedule = scheduleLoop(problem.graph, la, order, problem.mii);
+    ASSERT_TRUE(schedule.has_value());
+    // Force two int units onto the same instance and slot.
+    int first = -1;
+    for (const auto& unit : problem.graph.units()) {
+        if (unit.fu != FuClass::kInt)
+            continue;
+        if (first == -1) {
+            first = unit.id;
+            continue;
+        }
+        schedule->fu_instance[static_cast<std::size_t>(unit.id)] =
+            schedule->fu_instance[static_cast<std::size_t>(first)];
+        schedule->time[static_cast<std::size_t>(unit.id)] =
+            schedule->time[static_cast<std::size_t>(first)];
+        break;
+    }
+    const auto error = validateSchedule(problem.graph, la, *schedule);
+    ASSERT_TRUE(error.has_value());
+}
+
+TEST(ValidatorTest, CatchesExcessiveIi)
+{
+    const LaConfig la = LaConfig::proposed();
+    Problem problem(makeBalancedLoop(4), la);
+    const auto order = computeSwingOrder(problem.graph, problem.mii);
+    auto schedule = scheduleLoop(problem.graph, la, order, problem.mii);
+    ASSERT_TRUE(schedule.has_value());
+    schedule->ii = la.max_ii + 1;
+    EXPECT_TRUE(
+        validateSchedule(problem.graph, la, *schedule).has_value());
+}
+
+TEST(SchedulerTest, RendersReservationTable)
+{
+    const LaConfig la = LaConfig::proposed();
+    Problem problem(makeBalancedLoop(4), la);
+    const auto order = computeSwingOrder(problem.graph, problem.mii);
+    const auto schedule =
+        scheduleLoop(problem.graph, la, order, problem.mii);
+    ASSERT_TRUE(schedule.has_value());
+    const std::string table =
+        renderReservationTable(problem.graph, problem.loop, *schedule);
+    EXPECT_NE(table.find("II = "), std::string::npos);
+    EXPECT_NE(table.find("int"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace veal

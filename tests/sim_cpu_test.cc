@@ -1,0 +1,154 @@
+#include "veal/sim/cpu_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "veal/ir/loop_builder.h"
+
+namespace veal {
+namespace {
+
+Loop
+makeIndependentOpsLoop(int ops)
+{
+    LoopBuilder b("indep");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    OpId last = x;
+    for (int i = 0; i < ops; ++i)
+        last = b.xorOp(x, b.constant(i));
+    b.store("out", iv, last);
+    b.loopBack(iv, b.constant(1024));
+    return b.build();
+}
+
+Loop
+makeDependentChainLoop(int ops)
+{
+    LoopBuilder b("chain");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    OpId v = x;
+    for (int i = 0; i < ops; ++i)
+        v = b.xorOp(v, x);
+    b.store("out", iv, v);
+    b.loopBack(iv, b.constant(1024));
+    return b.build();
+}
+
+TEST(CpuSimTest, WiderIssueHelpsIndependentWork)
+{
+    Loop loop = makeIndependentOpsLoop(12);
+    const auto one =
+        simulateLoopOnCpu(loop, CpuConfig::arm11(), 1024);
+    const auto two =
+        simulateLoopOnCpu(loop, CpuConfig::cortexA8(), 1024);
+    const auto four =
+        simulateLoopOnCpu(loop, CpuConfig::quadIssue(), 1024);
+    EXPECT_GT(one.total_cycles, two.total_cycles);
+    EXPECT_GT(two.total_cycles, four.total_cycles);
+}
+
+TEST(CpuSimTest, DependentChainDefeatsWidth)
+{
+    Loop loop = makeDependentChainLoop(12);
+    const auto one =
+        simulateLoopOnCpu(loop, CpuConfig::arm11(), 1024);
+    const auto four =
+        simulateLoopOnCpu(loop, CpuConfig::quadIssue(), 1024);
+    // A serial dependence chain gains little from issue width.
+    EXPECT_LT(static_cast<double>(one.total_cycles) /
+                  static_cast<double>(four.total_cycles),
+              1.5);
+}
+
+TEST(CpuSimTest, CyclesScaleWithIterations)
+{
+    Loop loop = makeIndependentOpsLoop(6);
+    const auto small =
+        simulateLoopOnCpu(loop, CpuConfig::arm11(), 1000);
+    const auto large =
+        simulateLoopOnCpu(loop, CpuConfig::arm11(), 10000);
+    EXPECT_NEAR(static_cast<double>(large.total_cycles) /
+                    static_cast<double>(small.total_cycles),
+                10.0, 0.5);
+}
+
+TEST(CpuSimTest, LongerOpLatencySlowsDependentLoop)
+{
+    LoopBuilder b("mul");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    OpId v = x;
+    for (int i = 0; i < 4; ++i)
+        v = b.mul(v, x);  // 3-cycle dependent multiplies.
+    b.store("out", iv, v);
+    b.loopBack(iv, b.constant(1024));
+    Loop mul_loop = b.build();
+    Loop xor_loop = makeDependentChainLoop(4);
+
+    const auto muls =
+        simulateLoopOnCpu(mul_loop, CpuConfig::arm11(), 1024);
+    const auto xors =
+        simulateLoopOnCpu(xor_loop, CpuConfig::arm11(), 1024);
+    EXPECT_GT(muls.total_cycles, xors.total_cycles);
+}
+
+TEST(CpuSimTest, BranchPenaltyCostsCyclesEachIteration)
+{
+    Loop loop = makeIndependentOpsLoop(2);
+    CpuConfig cheap = CpuConfig::arm11();
+    cheap.branch_penalty = 0;
+    CpuConfig pricey = CpuConfig::arm11();
+    pricey.branch_penalty = 8;
+    const auto fast = simulateLoopOnCpu(loop, cheap, 512);
+    const auto slow = simulateLoopOnCpu(loop, pricey, 512);
+    EXPECT_GE(slow.total_cycles, fast.total_cycles + 512 * 7);
+}
+
+TEST(CpuSimTest, CarriedDependenceSerialisesIterations)
+{
+    // acc += x forces each iteration to wait for the previous add.
+    LoopBuilder b("acc");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    const OpId acc = b.add(x, LoopBuilder::carried(kNoOp, 0));
+    b.loop().mutableOp(acc).inputs[1] = LoopBuilder::carried(acc, 1);
+    b.markLiveOut(acc);
+    b.loopBack(iv, b.constant(512));
+    Loop loop = b.build();
+
+    const auto timing = simulateLoopOnCpu(loop, CpuConfig::quadIssue(), 512);
+    // At least one cycle per iteration even at quad issue.
+    EXPECT_GE(timing.cycles_per_iteration, 1.0);
+}
+
+TEST(CpuSimTest, SteadyStateRateIsPositiveAndFinite)
+{
+    Loop loop = makeIndependentOpsLoop(5);
+    const auto timing =
+        simulateLoopOnCpu(loop, CpuConfig::arm11(), 1 << 20);
+    EXPECT_GT(timing.cycles_per_iteration, 0.0);
+    EXPECT_LT(timing.cycles_per_iteration, 1000.0);
+    EXPECT_GT(timing.total_cycles, 0);
+}
+
+TEST(CpuSimTest, CallsAreExpensive)
+{
+    LoopBuilder with_call("call");
+    {
+        const OpId iv = with_call.induction(1);
+        const OpId x = with_call.load("in", iv);
+        const OpId y = with_call.call("helper", {Operand{x, 0}});
+        with_call.store("out", iv, y);
+        with_call.loopBack(iv, with_call.constant(256));
+    }
+    Loop call_loop = with_call.build();
+    Loop plain_loop = makeIndependentOpsLoop(1);
+    const auto with = simulateLoopOnCpu(call_loop, CpuConfig::arm11(), 256);
+    const auto without =
+        simulateLoopOnCpu(plain_loop, CpuConfig::arm11(), 256);
+    EXPECT_GT(with.cycles_per_iteration, without.cycles_per_iteration);
+}
+
+}  // namespace
+}  // namespace veal

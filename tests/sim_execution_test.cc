@@ -1,0 +1,295 @@
+/**
+ * Functional semantics and co-simulation: the reference interpreter
+ * defines what a loop computes; every valid translation, executed
+ * cycle-by-cycle on the accelerator model, must produce byte-identical
+ * memory and live-out results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "veal/ir/loop_builder.h"
+#include "veal/ir/random_loop.h"
+#include "veal/sim/interpreter.h"
+#include "veal/sim/la_executor.h"
+#include "veal/support/rng.h"
+#include "veal/vm/translator.h"
+#include "veal/workloads/kernels.h"
+
+namespace veal {
+namespace {
+
+// ------------------------------------------------------------ interpreter
+
+TEST(InterpreterTest, DotProductComputesTheSum)
+{
+    Loop loop = makeDotProductLoop("dot");
+    ExecutionInput input;
+    input.iterations = 8;
+    // a[i] = i + 1, b[i] = 2: sum = 2 * (1 + ... + 8) = 72.
+    // The loop's addresses start at iv = step after the first bump.
+    for (int i = 0; i < 16; ++i) {
+        input.memory["a"][i] = i;
+        input.memory["b"][i] = 2;
+    }
+    const auto result = interpretLoop(loop, input);
+    ASSERT_EQ(result.live_outs.size(), 1u);
+    // Addresses are iv(n) = n + 1 for n in [0, 8): sum 2*(1+..+8) = 72.
+    EXPECT_EQ(result.live_outs.begin()->second, 2 * (1 + 2 + 3 + 4 + 5 +
+                                                     6 + 7 + 8));
+}
+
+TEST(InterpreterTest, StoresLandAtAffineAddresses)
+{
+    LoopBuilder b("addr");
+    const OpId iv = b.induction(2);
+    const OpId c3 = b.constant(3);
+    const OpId v = b.mul(iv, c3);
+    b.store("out", b.add(iv, b.constant(10)), v);
+    b.loopBack(iv, b.constant(100));
+    Loop loop = b.build();
+
+    ExecutionInput input;
+    input.iterations = 4;
+    const auto result = interpretLoop(loop, input);
+    // iv takes 2, 4, 6, 8; stores 3*iv at iv + 10.
+    for (const std::int64_t iv_value : {2, 4, 6, 8}) {
+        EXPECT_EQ(result.memory.at("out").at(iv_value + 10),
+                  3 * iv_value);
+    }
+}
+
+TEST(InterpreterTest, CarriedStateUsesInitialValues)
+{
+    LoopBuilder b("acc");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    const OpId acc = b.add(x, LoopBuilder::carried(kNoOp, 0));
+    b.loop().mutableOp(acc).inputs[1] = LoopBuilder::carried(acc, 1);
+    b.markLiveOut(acc);
+    b.loopBack(iv, b.constant(16));
+    Loop loop = b.build();
+
+    ExecutionInput input;
+    input.iterations = 3;
+    input.initial[acc] = 100;
+    for (int i = 0; i < 8; ++i)
+        input.memory["in"][i] = 1;
+    const auto result = interpretLoop(loop, input);
+    EXPECT_EQ(result.live_outs.at(acc), 103);
+}
+
+TEST(InterpreterTest, FloatingPointRoundTrips)
+{
+    LoopBuilder b("fp");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    const OpId f = b.itof(x);
+    const OpId scaled = b.fmul(f, b.itof(b.constant(3)));
+    const OpId back = b.ftoi(scaled);
+    b.store("out", iv, back);
+    b.loopBack(iv, b.constant(8));
+    Loop loop = b.build();
+
+    ExecutionInput input;
+    input.iterations = 2;
+    input.memory["in"][1] = 7;
+    input.memory["in"][2] = -4;
+    const auto result = interpretLoop(loop, input);
+    EXPECT_EQ(result.memory.at("out").at(1), 21);
+    EXPECT_EQ(result.memory.at("out").at(2), -12);
+}
+
+TEST(InterpreterTest, SelectAndCompareSemantics)
+{
+    EXPECT_EQ(evaluateOp(Opcode::kCmp, {3, 5}, 0), 1);
+    EXPECT_EQ(evaluateOp(Opcode::kCmp, {5, 3}, 0), 0);
+    EXPECT_EQ(evaluateOp(Opcode::kSelect, {1, 10, 20}, 0), 10);
+    EXPECT_EQ(evaluateOp(Opcode::kSelect, {0, 10, 20}, 0), 20);
+    EXPECT_EQ(evaluateOp(Opcode::kMin, {-2, 7}, 0), -2);
+    EXPECT_EQ(evaluateOp(Opcode::kMax, {-2, 7}, 0), 7);
+    EXPECT_EQ(evaluateOp(Opcode::kAbs, {-9}, 0), 9);
+    EXPECT_EQ(evaluateOp(Opcode::kDiv, {10, 0}, 0), 0);  // Guarded.
+}
+
+// ----------------------------------------------------------- co-simulation
+
+ExecutionInput
+randomInput(const Loop& loop, std::uint64_t seed, std::int64_t iterations,
+            bool with_initial = true)
+{
+    Rng rng(seed * 77 + 5);
+    ExecutionInput input;
+    input.iterations = iterations;
+    for (const auto& op : loop.operations()) {
+        if (op.opcode == Opcode::kLiveIn)
+            input.live_ins[op.id] = rng.nextInRange(-64, 64);
+        if (with_initial && (op.is_induction || !op.inputs.empty())) {
+            // Seed carried state for any op that might be read at
+            // negative iterations.
+            input.initial[op.id] = rng.nextInRange(-16, 16);
+        }
+        if (op.opcode == Opcode::kLoad) {
+            // Populate a generous window of the source array.
+            for (std::int64_t index = -64; index < 512; ++index) {
+                input.memory[op.symbol][index] =
+                    rng.nextInRange(-100, 100);
+            }
+        }
+    }
+    return input;
+}
+
+void
+expectSameResults(const ExecutionResult& reference,
+                  const ExecutionResult& accelerated)
+{
+    ASSERT_EQ(reference.live_outs.size(), accelerated.live_outs.size());
+    for (const auto& [op, value] : reference.live_outs) {
+        ASSERT_TRUE(accelerated.live_outs.contains(op));
+        EXPECT_EQ(accelerated.live_outs.at(op), value) << "live-out " << op;
+    }
+    ASSERT_EQ(reference.memory.size(), accelerated.memory.size());
+    for (const auto& [array, contents] : reference.memory) {
+        ASSERT_TRUE(accelerated.memory.contains(array)) << array;
+        const auto& other = accelerated.memory.at(array);
+        ASSERT_EQ(contents.size(), other.size()) << array;
+        for (const auto& [address, value] : contents) {
+            ASSERT_TRUE(other.contains(address))
+                << array << "[" << address << "]";
+            EXPECT_EQ(other.at(address), value)
+                << array << "[" << address << "]";
+        }
+    }
+}
+
+void
+cosim(const Loop& loop, std::uint64_t seed, TranslationMode mode)
+{
+    const LaConfig la = LaConfig::proposed();
+    StaticAnnotations annotations;
+    const StaticAnnotations* annotations_ptr = nullptr;
+    if (mode == TranslationMode::kHybridStaticCcaPriority) {
+        annotations = precompileAnnotations(loop, la);
+        annotations_ptr = &annotations;
+    }
+    const auto tr = translateLoop(loop, la, mode, annotations_ptr);
+    if (!tr.ok)
+        GTEST_SKIP() << "not mappable: " << toString(tr.reject);
+
+    const auto input = randomInput(loop, seed, 25);
+    const auto reference = interpretLoop(loop, input);
+    const auto accelerated = executeOnAccelerator(loop, tr, input);
+    expectSameResults(reference, accelerated);
+}
+
+TEST(CosimTest, Figure5StyleLoopMatches)
+{
+    cosim(makeAdpcmStepLoop("adpcm"), 1, TranslationMode::kFullyDynamic);
+}
+
+TEST(CosimTest, KernelsMatchUnderFullyDynamic)
+{
+    cosim(makeFirLoop("fir", 4), 2, TranslationMode::kFullyDynamic);
+    cosim(makeWaveletLiftLoop("wave"), 3, TranslationMode::kFullyDynamic);
+    cosim(makeQuantLoop("quant"), 4, TranslationMode::kFullyDynamic);
+    cosim(makeViterbiAcsLoop("vit"), 5, TranslationMode::kFullyDynamic);
+    cosim(makeDct8Loop("dct", 1), 6, TranslationMode::kFullyDynamic);
+    cosim(makeShaMixLoop("sha", 2), 7, TranslationMode::kFullyDynamic);
+}
+
+TEST(CosimTest, FpKernelsMatch)
+{
+    cosim(makeStencil5Loop("sten"), 8, TranslationMode::kFullyDynamic);
+    cosim(makeMatVecLoop("mv", 3, 3), 9, TranslationMode::kFullyDynamic);
+    cosim(makeDotProductLoop("dot"), 10, TranslationMode::kFullyDynamic);
+}
+
+struct CosimCase {
+    std::uint64_t seed;
+    TranslationMode mode;
+};
+
+class RandomCosim : public ::testing::TestWithParam<CosimCase> {};
+
+TEST_P(RandomCosim, RandomLoopsMatch)
+{
+    RandomLoopParams params;
+    params.max_compute_ops = 24;
+    Loop loop = makeRandomLoop(params, GetParam().seed);
+    cosim(loop, GetParam().seed, GetParam().mode);
+}
+
+std::vector<CosimCase>
+cosimCases()
+{
+    std::vector<CosimCase> cases;
+    for (std::uint64_t seed = 200; seed < 240; ++seed) {
+        const auto mode =
+            seed % 3 == 0
+                ? TranslationMode::kFullyDynamic
+                : (seed % 3 == 1
+                       ? TranslationMode::kFullyDynamicHeight
+                       : TranslationMode::kHybridStaticCcaPriority);
+        cases.push_back(CosimCase{seed, mode});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCosim,
+                         ::testing::ValuesIn(cosimCases()));
+
+TEST(CosimTest, FissionedPipelineMatchesWholeLoop)
+{
+    // Run the fissioned pieces in sequence (sharing memory) and compare
+    // the final state against interpreting the original loop.
+    Loop stencil = makeStencilNLoop("sten20", 20);
+    FissionBudget budget;
+    budget.max_load_streams = 16;
+    budget.max_store_streams = 8;
+    budget.max_fp_ops = 24;
+    const auto fission = fissionLoop(stencil, budget);
+    ASSERT_TRUE(fission.has_value());
+
+    // No carried-state seeding: the fissioned pieces renumber ops, so
+    // only the (zero) default initial state is common to both versions.
+    auto input = randomInput(stencil, 99, 20, /*with_initial=*/false);
+    const auto reference = interpretLoop(stencil, input);
+
+    // Fission renumbers live-ins too: rebind their values by name.
+    std::map<std::string, std::int64_t> live_in_by_name;
+    for (const auto& op : stencil.operations()) {
+        if (op.opcode == Opcode::kLiveIn)
+            live_in_by_name[op.symbol] = input.live_ins[op.id];
+    }
+
+    ExecutionInput piece_input = input;
+    ExecutionResult last;
+    for (const auto& piece : fission->loops) {
+        const auto tr = translateLoop(piece, LaConfig::proposed(),
+                                      TranslationMode::kFullyDynamic);
+        ASSERT_TRUE(tr.ok) << piece.name() << ": " << toString(tr.reject);
+        piece_input.live_ins.clear();
+        for (const auto& op : piece.operations()) {
+            if (op.opcode == Opcode::kLiveIn)
+                piece_input.live_ins[op.id] = live_in_by_name[op.symbol];
+        }
+        last = executeOnAccelerator(piece, tr, piece_input);
+        piece_input.memory = last.memory;  // Pipe through memory.
+    }
+
+    // The original loop's outputs must appear identically; comm arrays
+    // are extra.
+    for (const auto& [array, contents] : reference.memory) {
+        for (const auto& [address, value] : contents) {
+            ASSERT_TRUE(last.memory.contains(array)) << array;
+            EXPECT_EQ(last.memory.at(array).at(address), value)
+                << array << "[" << address << "]";
+        }
+    }
+}
+
+}  // namespace
+}  // namespace veal

@@ -1,0 +1,95 @@
+#include "veal/sim/la_timing.h"
+
+#include <gtest/gtest.h>
+
+#include "veal/ir/loop_builder.h"
+#include "veal/vm/translator.h"
+
+namespace veal {
+namespace {
+
+TranslationResult
+translateSimple()
+{
+    LoopBuilder b("simple");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    const OpId k = b.liveIn("k");
+    const OpId y = b.mul(x, k);
+    b.markLiveOut(y);
+    b.store("out", iv, y);
+    b.loopBack(iv, b.constant(256));
+    Loop loop = b.build();
+    auto result = translateLoop(loop, LaConfig::proposed(),
+                                TranslationMode::kFullyDynamic);
+    EXPECT_TRUE(result.ok);
+    return result;
+}
+
+TEST(LaTimingTest, KernelDominatesForLongLoops)
+{
+    const auto tr = translateSimple();
+    const LaConfig la = LaConfig::proposed();
+    const auto cost =
+        acceleratorLoopCost(tr.schedule, *tr.graph, tr.analysis,
+                            tr.registers, la, 1 << 20);
+    EXPECT_GT(cost.pipeline_cycles, 100 * cost.setup_cycles);
+    // Kernel rate: II cycles per iteration asymptotically.
+    const double per_iteration =
+        static_cast<double>(cost.pipeline_cycles) / (1 << 20);
+    EXPECT_NEAR(per_iteration, tr.schedule.ii, 0.1);
+}
+
+TEST(LaTimingTest, SetupIncludesBusAndConfig)
+{
+    const auto tr = translateSimple();
+    const LaConfig la = LaConfig::proposed();
+    const auto first =
+        acceleratorLoopCost(tr.schedule, *tr.graph, tr.analysis,
+                            tr.registers, la, 16, true);
+    const auto warm =
+        acceleratorLoopCost(tr.schedule, *tr.graph, tr.analysis,
+                            tr.registers, la, 16, false);
+    EXPECT_GT(first.setup_cycles, warm.setup_cycles);
+    EXPECT_GE(warm.setup_cycles, la.bus_latency);
+    EXPECT_GE(first.drain_cycles, la.bus_latency);
+    EXPECT_EQ(first.pipeline_cycles, warm.pipeline_cycles);
+}
+
+TEST(LaTimingTest, TotalsAreAdditive)
+{
+    const auto tr = translateSimple();
+    const LaConfig la = LaConfig::proposed();
+    const auto cost =
+        acceleratorLoopCost(tr.schedule, *tr.graph, tr.analysis,
+                            tr.registers, la, 100);
+    EXPECT_EQ(cost.total(), cost.setup_cycles + cost.pipeline_cycles +
+                                cost.drain_cycles);
+}
+
+TEST(LaTimingTest, MoreIterationsMoreCycles)
+{
+    const auto tr = translateSimple();
+    const LaConfig la = LaConfig::proposed();
+    const auto small =
+        acceleratorLoopCost(tr.schedule, *tr.graph, tr.analysis,
+                            tr.registers, la, 100);
+    const auto large =
+        acceleratorLoopCost(tr.schedule, *tr.graph, tr.analysis,
+                            tr.registers, la, 200);
+    EXPECT_EQ(large.total() - small.total(), 100 * tr.schedule.ii);
+}
+
+TEST(LaTimingTest, PipelineIncludesFillDrain)
+{
+    const auto tr = translateSimple();
+    const LaConfig la = LaConfig::proposed();
+    const auto one =
+        acceleratorLoopCost(tr.schedule, *tr.graph, tr.analysis,
+                            tr.registers, la, 1);
+    // A single iteration costs the whole schedule length.
+    EXPECT_EQ(one.pipeline_cycles, tr.schedule.length);
+}
+
+}  // namespace
+}  // namespace veal

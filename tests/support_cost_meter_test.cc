@@ -1,0 +1,82 @@
+#include "veal/support/cost_meter.h"
+
+#include <gtest/gtest.h>
+#include <set>
+#include <string>
+
+namespace veal {
+namespace {
+
+TEST(CostMeterTest, StartsEmpty)
+{
+    CostMeter meter;
+    EXPECT_EQ(meter.totalInstructions(), 0.0);
+    for (int i = 0; i < kNumTranslationPhases; ++i) {
+        EXPECT_EQ(meter.units(static_cast<TranslationPhase>(i)), 0u);
+    }
+}
+
+TEST(CostMeterTest, ChargeAccumulatesPerPhase)
+{
+    CostMeter meter;
+    meter.charge(TranslationPhase::kPriority, 10);
+    meter.charge(TranslationPhase::kPriority, 5);
+    meter.charge(TranslationPhase::kScheduling, 3);
+    EXPECT_EQ(meter.units(TranslationPhase::kPriority), 15u);
+    EXPECT_EQ(meter.units(TranslationPhase::kScheduling), 3u);
+    EXPECT_EQ(meter.units(TranslationPhase::kCcaMapping), 0u);
+}
+
+TEST(CostMeterTest, InstructionsApplyWeights)
+{
+    CostMeter::Weights weights{};
+    weights.instructions_per_unit.fill(0.0);
+    weights.instructions_per_unit[static_cast<int>(
+        TranslationPhase::kMiiComputation)] = 2.5;
+    CostMeter meter(weights);
+    meter.charge(TranslationPhase::kMiiComputation, 4);
+    EXPECT_DOUBLE_EQ(meter.instructions(TranslationPhase::kMiiComputation),
+                     10.0);
+    EXPECT_DOUBLE_EQ(meter.totalInstructions(), 10.0);
+}
+
+TEST(CostMeterTest, ClearKeepsWeights)
+{
+    CostMeter meter;
+    meter.charge(TranslationPhase::kCcaMapping, 100);
+    meter.clear();
+    EXPECT_EQ(meter.units(TranslationPhase::kCcaMapping), 0u);
+    meter.charge(TranslationPhase::kCcaMapping, 1);
+    EXPECT_GT(meter.totalInstructions(), 0.0);
+}
+
+TEST(CostMeterTest, AddMergesCounters)
+{
+    CostMeter a;
+    CostMeter b;
+    a.charge(TranslationPhase::kPriority, 7);
+    b.charge(TranslationPhase::kPriority, 3);
+    b.charge(TranslationPhase::kRegisterAssignment, 2);
+    a.add(b);
+    EXPECT_EQ(a.units(TranslationPhase::kPriority), 10u);
+    EXPECT_EQ(a.units(TranslationPhase::kRegisterAssignment), 2u);
+}
+
+TEST(CostMeterTest, CalibratedWeightsAreAllPositive)
+{
+    const auto& weights = CostMeter::calibratedWeights();
+    for (int i = 0; i < kNumTranslationPhases; ++i)
+        EXPECT_GT(weights.instructions_per_unit[i], 0.0) << i;
+}
+
+TEST(CostMeterTest, PhaseNamesAreDistinct)
+{
+    std::set<std::string> names;
+    for (int i = 0; i < kNumTranslationPhases; ++i)
+        names.insert(toString(static_cast<TranslationPhase>(i)));
+    EXPECT_EQ(names.size(), static_cast<std::size_t>(
+        kNumTranslationPhases));
+}
+
+}  // namespace
+}  // namespace veal

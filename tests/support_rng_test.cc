@@ -1,0 +1,94 @@
+#include "veal/support/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace veal {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int differing = 0;
+    for (int i = 0; i < 32; ++i)
+        differing += a.next() != b.next() ? 1 : 0;
+    EXPECT_GT(differing, 30);
+}
+
+TEST(RngTest, NextBelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBelow(10), 10u);
+}
+
+TEST(RngTest, NextBelowOneIsAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(RngTest, NextBelowCoversAllResidues)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.nextBelow(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextInRangeInclusiveBounds)
+{
+    Rng rng(5);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto value = rng.nextInRange(-3, 3);
+        EXPECT_GE(value, -3);
+        EXPECT_LE(value, 3);
+        saw_lo |= value == -3;
+        saw_hi |= value == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval)
+{
+    Rng rng(17);
+    for (int i = 0; i < 1000; ++i) {
+        const double value = rng.nextDouble();
+        EXPECT_GE(value, 0.0);
+        EXPECT_LT(value, 1.0);
+    }
+}
+
+TEST(RngTest, NextBoolMatchesProbabilityRoughly)
+{
+    Rng rng(23);
+    int heads = 0;
+    constexpr int kTrials = 10000;
+    for (int i = 0; i < kTrials; ++i)
+        heads += rng.nextBool(0.25) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(heads) / kTrials, 0.25, 0.03);
+}
+
+TEST(RngDeathTest, NextBelowZeroPanics)
+{
+    Rng rng(1);
+    EXPECT_DEATH(rng.nextBelow(0), "");
+}
+
+}  // namespace
+}  // namespace veal

@@ -1,0 +1,112 @@
+#include "veal/vm/code_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace veal {
+namespace {
+
+TEST(CodeCacheTest, MissThenHit)
+{
+    CodeCache cache(4);
+    EXPECT_FALSE(cache.lookup("a"));
+    cache.insert("a");
+    EXPECT_TRUE(cache.lookup("a"));
+    EXPECT_EQ(cache.misses(), 1);
+    EXPECT_EQ(cache.hits(), 1);
+}
+
+TEST(CodeCacheTest, EvictsLeastRecentlyUsed)
+{
+    CodeCache cache(2);
+    cache.insert("a");
+    cache.insert("b");
+    EXPECT_TRUE(cache.lookup("a"));  // a is now most recent.
+    cache.insert("c");               // evicts b.
+    EXPECT_TRUE(cache.lookup("a"));
+    EXPECT_FALSE(cache.lookup("b"));
+    EXPECT_TRUE(cache.lookup("c"));
+}
+
+TEST(CodeCacheTest, LookupRefreshesRecency)
+{
+    CodeCache cache(2);
+    cache.insert("a");
+    cache.insert("b");
+    // Without the lookup, "a" would be the LRU victim.
+    EXPECT_TRUE(cache.lookup("a"));
+    cache.insert("c");
+    EXPECT_FALSE(cache.lookup("b"));
+    EXPECT_TRUE(cache.lookup("a"));
+}
+
+TEST(CodeCacheTest, ReinsertExistingKeyDoesNotGrow)
+{
+    CodeCache cache(3);
+    cache.insert("a");
+    cache.insert("a");
+    cache.insert("a");
+    EXPECT_EQ(cache.size(), 1);
+}
+
+TEST(CodeCacheTest, CapacityIsRespected)
+{
+    CodeCache cache(16);  // The paper's configuration.
+    for (int i = 0; i < 100; ++i)
+        cache.insert("loop" + std::to_string(i));
+    EXPECT_EQ(cache.size(), 16);
+    EXPECT_EQ(cache.capacity(), 16);
+    // The 16 most recent survive.
+    for (int i = 84; i < 100; ++i)
+        EXPECT_TRUE(cache.lookup("loop" + std::to_string(i)));
+}
+
+TEST(CodeCacheTest, ClearResetsEverything)
+{
+    CodeCache cache(2);
+    cache.insert("a");
+    cache.lookup("a");
+    cache.lookup("zzz");
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0);
+    EXPECT_EQ(cache.hits(), 0);
+    EXPECT_EQ(cache.misses(), 0);
+    EXPECT_FALSE(cache.lookup("a"));
+}
+
+TEST(CodeCacheTest, WorkingSetWithinCapacityNeverThrashes)
+{
+    CodeCache cache(8);
+    for (int round = 0; round < 10; ++round) {
+        for (int i = 0; i < 8; ++i) {
+            const std::string key = "k" + std::to_string(i);
+            if (!cache.lookup(key))
+                cache.insert(key);
+        }
+    }
+    // 8 compulsory misses, everything else hits.
+    EXPECT_EQ(cache.misses(), 8);
+    EXPECT_EQ(cache.hits(), 72);
+}
+
+TEST(CodeCacheTest, WorkingSetBeyondCapacityThrashesUnderLru)
+{
+    CodeCache cache(4);
+    for (int round = 0; round < 5; ++round) {
+        for (int i = 0; i < 5; ++i) {
+            const std::string key = "k" + std::to_string(i);
+            if (!cache.lookup(key))
+                cache.insert(key);
+        }
+    }
+    // Round-robin over 5 keys with 4 LRU slots: every access misses.
+    EXPECT_EQ(cache.hits(), 0);
+    EXPECT_EQ(cache.misses(), 25);
+}
+
+TEST(CodeCacheDeathTest, ZeroCapacityPanics)
+{
+    EXPECT_DEATH(CodeCache cache(0), "");
+}
+
+}  // namespace
+}  // namespace veal

@@ -1,0 +1,135 @@
+#include "veal/vm/control_image.h"
+
+#include <gtest/gtest.h>
+
+#include "veal/ir/random_loop.h"
+#include "veal/workloads/kernels.h"
+#include "veal/workloads/suite.h"
+
+namespace veal {
+namespace {
+
+TranslationResult
+translateKernel(const Loop& loop)
+{
+    auto result = translateLoop(loop, LaConfig::proposed(),
+                                TranslationMode::kFullyDynamic);
+    EXPECT_TRUE(result.ok) << loop.name();
+    return result;
+}
+
+TEST(ControlImageTest, RoundTripsStructuralFields)
+{
+    Loop loop = makeDct8Loop("dct", 1);
+    const auto tr = translateKernel(loop);
+    const auto image = ControlImage::encode(loop, tr);
+    const auto decoded = image.decode();
+
+    EXPECT_EQ(decoded.ii, tr.schedule.ii);
+    EXPECT_EQ(decoded.stage_count, tr.schedule.stage_count);
+    EXPECT_EQ(decoded.num_load_streams,
+              static_cast<int>(tr.analysis.load_streams.size()));
+    EXPECT_EQ(decoded.num_store_streams,
+              static_cast<int>(tr.analysis.store_streams.size()));
+    EXPECT_EQ(static_cast<int>(decoded.entries.size()),
+              tr.graph->numFuUnits());
+}
+
+TEST(ControlImageTest, EntriesMatchTheSchedule)
+{
+    Loop loop = makeAdpcmStepLoop("adpcm");
+    const auto tr = translateKernel(loop);
+    const auto decoded = ControlImage::encode(loop, tr).decode();
+
+    std::size_t index = 0;
+    for (const auto& unit : tr.graph->units()) {
+        if (unit.fu == FuClass::kNone)
+            continue;
+        ASSERT_LT(index, decoded.entries.size());
+        const auto& entry = decoded.entries[index++];
+        EXPECT_EQ(entry.fu_class, static_cast<std::uint8_t>(unit.fu));
+        EXPECT_EQ(entry.slot, tr.schedule.cycleOf(unit.id));
+        EXPECT_EQ(entry.stage, tr.schedule.stageOf(unit.id));
+        EXPECT_EQ(entry.num_ops, unit.ops.size());
+    }
+}
+
+TEST(ControlImageTest, NoModuloSlotIsEncodedTwicePerInstance)
+{
+    Loop loop = makeFirLoop("fir", 8);
+    const auto tr = translateKernel(loop);
+    const auto decoded = ControlImage::encode(loop, tr).decode();
+
+    std::set<std::tuple<int, int, int>> seen;
+    for (const auto& entry : decoded.entries) {
+        // Non-pipelined units occupy multiple slots; the entry records
+        // the issue slot, which is unique per (class, instance).
+        EXPECT_TRUE(seen.insert({entry.fu_class, entry.fu_instance,
+                                 entry.slot})
+                        .second);
+    }
+}
+
+TEST(ControlImageTest, SizesMatchThePapersCodeCacheBudget)
+{
+    // Paper §4.3: 16 translated loops fit in ~48 KB of code cache, i.e.
+    // ~3 KB per loop for this LA.  Our encoding should land in the same
+    // ballpark for the benchmark suite's loops.
+    const auto suite = mediaFpSuite();
+    std::size_t total = 0;
+    int count = 0;
+    for (const auto& benchmark : suite) {
+        for (const auto& site : benchmark.transformed.sites) {
+            std::vector<const Loop*> pieces;
+            if (site.fissioned.empty()) {
+                pieces.push_back(&site.loop);
+            } else {
+                for (const auto& piece : site.fissioned)
+                    pieces.push_back(&piece);
+            }
+            for (const Loop* loop : pieces) {
+                const auto tr =
+                    translateLoop(*loop, LaConfig::proposed(),
+                                  TranslationMode::kFullyDynamic);
+                if (!tr.ok)
+                    continue;
+                total += ControlImage::encode(*loop, tr).byteSize();
+                ++count;
+            }
+        }
+    }
+    ASSERT_GT(count, 0);
+    const double average = static_cast<double>(total) / count;
+    EXPECT_GT(average, 256.0);
+    EXPECT_LT(average, 6144.0);
+    // 16 cached loops: within 2x of the paper's 48 KB figure.
+    EXPECT_LT(16.0 * average, 2.0 * 48.0 * 1024.0);
+}
+
+TEST(ControlImageTest, RandomLoopsEncodeAndDecode)
+{
+    for (std::uint64_t seed = 300; seed < 320; ++seed) {
+        RandomLoopParams params;
+        Loop loop = makeRandomLoop(params, seed);
+        const auto tr = translateLoop(loop, LaConfig::proposed(),
+                                      TranslationMode::kFullyDynamic);
+        if (!tr.ok)
+            continue;
+        const auto image = ControlImage::encode(loop, tr);
+        const auto decoded = image.decode();
+        EXPECT_EQ(decoded.ii, tr.schedule.ii) << "seed " << seed;
+        EXPECT_EQ(static_cast<int>(decoded.entries.size()),
+                  tr.graph->numFuUnits())
+            << "seed " << seed;
+        EXPECT_GT(image.byteSize(), 16u);
+    }
+}
+
+TEST(ControlImageDeathTest, DecodingGarbagePanics)
+{
+    ControlImage image;
+    EXPECT_DEATH(image.decode(), "");
+}
+
+}  // namespace
+}  // namespace veal

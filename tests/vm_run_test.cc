@@ -1,0 +1,191 @@
+#include "veal/vm/vm.h"
+
+#include <gtest/gtest.h>
+
+#include "veal/workloads/kernels.h"
+#include "veal/ir/transforms.h"
+
+namespace veal {
+namespace {
+
+Application
+makeSimpleApp()
+{
+    Application app;
+    app.name = "testapp";
+    app.sites.push_back(LoopSite{.loop = makeSadLoop("sad"),
+                                 .fissioned = {},
+                                 .invocations = 50,
+                                 .iterations = 256});
+    app.sites.push_back(LoopSite{.loop = makeQuantLoop("quant"),
+                                 .fissioned = {},
+                                 .invocations = 40,
+                                 .iterations = 512});
+    app.acyclic_cycles = 50000;
+    return app;
+}
+
+TEST(VmRunTest, AcceleratesSimpleApp)
+{
+    VmOptions options;
+    options.mode = TranslationMode::kStatic;
+    VirtualMachine vm(LaConfig::proposed(), CpuConfig::arm11(), options);
+    const auto result = vm.run(makeSimpleApp());
+    EXPECT_GT(result.speedup, 1.2);
+    EXPECT_EQ(result.sites.size(), 2u);
+    for (const auto& site : result.sites)
+        EXPECT_TRUE(site.accelerated);
+    EXPECT_EQ(result.translation_cycles, 0);  // Static mode: no penalty.
+}
+
+TEST(VmRunTest, DynamicModePaysTranslationOnce)
+{
+    VmOptions options;
+    options.mode = TranslationMode::kFullyDynamic;
+    VirtualMachine vm(LaConfig::proposed(), CpuConfig::arm11(), options);
+    const auto result = vm.run(makeSimpleApp());
+    EXPECT_GT(result.translation_cycles, 0);
+    for (const auto& site : result.sites) {
+        if (site.accelerated) {
+            EXPECT_EQ(site.translations, 1);
+        }
+    }
+}
+
+TEST(VmRunTest, DynamicNeverBeatsStatic)
+{
+    VmOptions st{.mode = TranslationMode::kStatic};
+    VmOptions dy{.mode = TranslationMode::kFullyDynamic};
+    const auto app = makeSimpleApp();
+    const auto s =
+        VirtualMachine(LaConfig::proposed(), CpuConfig::arm11(), st)
+            .run(app);
+    const auto d =
+        VirtualMachine(LaConfig::proposed(), CpuConfig::arm11(), dy)
+            .run(app);
+    EXPECT_LE(d.speedup, s.speedup + 1e-9);
+}
+
+TEST(VmRunTest, RetranslationRateDegradesSpeedup)
+{
+    const auto app = makeSimpleApp();
+    double previous = 1e18;
+    for (const double rate : {0.0, 0.05, 0.25, 1.0}) {
+        VmOptions options;
+        options.mode = TranslationMode::kFullyDynamic;
+        options.retranslation_rate = rate;
+        const auto result =
+            VirtualMachine(LaConfig::proposed(), CpuConfig::arm11(),
+                           options)
+                .run(app);
+        EXPECT_LE(result.speedup, previous + 1e-9) << "rate " << rate;
+        previous = result.speedup;
+    }
+}
+
+TEST(VmRunTest, PenaltyOverrideDrivesFigure6Sweep)
+{
+    const auto app = makeSimpleApp();
+    double previous = 1e18;
+    for (const double penalty : {0.0, 20000.0, 100000.0, 300000.0}) {
+        VmOptions options;
+        options.mode = TranslationMode::kFullyDynamic;
+        options.penalty_override = penalty;
+        options.retranslation_rate = 0.01;
+        const auto result =
+            VirtualMachine(LaConfig::proposed(), CpuConfig::arm11(),
+                           options)
+                .run(app);
+        EXPECT_LE(result.speedup, previous + 1e-9);
+        previous = result.speedup;
+    }
+}
+
+TEST(VmRunTest, UnmappableLoopFallsBackToCpu)
+{
+    Application app;
+    app.name = "calls";
+    app.sites.push_back(LoopSite{.loop = makeMathCallLoop("libm"),
+                                 .fissioned = {},
+                                 .invocations = 10,
+                                 .iterations = 128});
+    app.acyclic_cycles = 1000;
+    VmOptions options;
+    options.mode = TranslationMode::kFullyDynamic;
+    VirtualMachine vm(LaConfig::proposed(), CpuConfig::arm11(), options);
+    const auto result = vm.run(app);
+    EXPECT_FALSE(result.sites[0].accelerated);
+    EXPECT_EQ(result.sites[0].reject, TranslationReject::kAnalysis);
+    EXPECT_NEAR(result.speedup, 1.0, 1e-6);
+}
+
+TEST(VmRunTest, FissionedSitesRunAllPieces)
+{
+    Application app;
+    app.name = "fissioned";
+    Loop wide = makeStencilNLoop("wide", 20);
+    FissionBudget budget;
+    budget.max_load_streams = 16;
+    budget.max_store_streams = 8;
+    budget.max_fp_ops = 24;
+    auto fission = fissionLoop(wide, budget);
+    ASSERT_TRUE(fission.has_value());
+    app.sites.push_back(LoopSite{.loop = wide,
+                                 .fissioned = std::move(fission->loops),
+                                 .invocations = 20,
+                                 .iterations = 256});
+    VmOptions options;
+    options.mode = TranslationMode::kStatic;
+    VirtualMachine vm(LaConfig::proposed(), CpuConfig::arm11(), options);
+    const auto result = vm.run(app);
+    EXPECT_TRUE(result.sites[0].accelerated);
+    EXPECT_GT(result.speedup, 1.0);
+}
+
+TEST(VmRunTest, SmallCodeCacheThrashes)
+{
+    // Three hot loops with a 1-entry cache: every invocation re-translates.
+    Application app = makeSimpleApp();
+    app.sites.push_back(LoopSite{.loop = makeCopyScaleLoop("copy"),
+                                 .fissioned = {},
+                                 .invocations = 30,
+                                 .iterations = 512});
+    VmOptions big;
+    big.mode = TranslationMode::kFullyDynamic;
+    big.code_cache_entries = 16;
+    VmOptions tiny = big;
+    tiny.code_cache_entries = 1;
+    const auto roomy =
+        VirtualMachine(LaConfig::proposed(), CpuConfig::arm11(), big)
+            .run(app);
+    const auto cramped =
+        VirtualMachine(LaConfig::proposed(), CpuConfig::arm11(), tiny)
+            .run(app);
+    EXPECT_GT(cramped.translation_cycles, roomy.translation_cycles);
+    EXPECT_LT(cramped.speedup, roomy.speedup);
+    EXPECT_GT(cramped.cache_misses, roomy.cache_misses);
+}
+
+TEST(VmRunTest, BaselineCyclesMatchCpuOnly)
+{
+    const auto app = makeSimpleApp();
+    VmOptions options;
+    options.mode = TranslationMode::kStatic;
+    VirtualMachine vm(LaConfig::proposed(), CpuConfig::arm11(), options);
+    const auto result = vm.run(app);
+    EXPECT_EQ(result.baseline_cycles,
+              cpuOnlyCycles(app, CpuConfig::arm11()));
+}
+
+TEST(VmRunTest, WiderCpuIsFasterButScalesAcyclicOnly)
+{
+    const auto app = makeSimpleApp();
+    const auto one = cpuOnlyCycles(app, CpuConfig::arm11());
+    const auto two = cpuOnlyCycles(app, CpuConfig::cortexA8());
+    const auto four = cpuOnlyCycles(app, CpuConfig::quadIssue());
+    EXPECT_GT(one, two);
+    EXPECT_GT(two, four);
+}
+
+}  // namespace
+}  // namespace veal

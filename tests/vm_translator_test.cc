@@ -1,0 +1,202 @@
+#include "veal/vm/translator.h"
+
+#include <gtest/gtest.h>
+
+#include "veal/ir/loop_builder.h"
+#include "veal/workloads/kernels.h"
+
+namespace veal {
+namespace {
+
+Loop
+makeModerateLoop()
+{
+    LoopBuilder b("moderate");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    const OpId y = b.load("in2", iv);
+    OpId v = b.add(x, y);
+    v = b.xorOp(v, x);
+    const OpId acc = b.add(v, LoopBuilder::carried(kNoOp, 0));
+    b.loop().mutableOp(acc).inputs[1] = LoopBuilder::carried(acc, 1);
+    b.store("out", iv, acc);
+    b.loopBack(iv, b.constant(256));
+    return b.build();
+}
+
+TEST(TranslatorTest, AllDynamicModesSucceedOnEasyLoop)
+{
+    Loop loop = makeModerateLoop();
+    const LaConfig la = LaConfig::proposed();
+    for (const auto mode : {TranslationMode::kStatic,
+                            TranslationMode::kFullyDynamic,
+                            TranslationMode::kFullyDynamicHeight}) {
+        const auto result = translateLoop(loop, la, mode);
+        EXPECT_TRUE(result.ok) << toString(mode);
+        EXPECT_EQ(result.reject, TranslationReject::kNone);
+    }
+}
+
+TEST(TranslatorTest, StaticModeHasZeroPenalty)
+{
+    Loop loop = makeModerateLoop();
+    const auto result = translateLoop(loop, LaConfig::proposed(),
+                                      TranslationMode::kStatic);
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.penaltyCycles(), 0.0);
+    // Work is still metered, just not charged at runtime.
+    EXPECT_GT(result.meter.totalInstructions(), 0.0);
+}
+
+TEST(TranslatorTest, HeightModeIsCheaperThanSwing)
+{
+    Loop loop = makeShaMixLoop("sha", 3);
+    const LaConfig la = LaConfig::proposed();
+    const auto swing =
+        translateLoop(loop, la, TranslationMode::kFullyDynamic);
+    const auto height =
+        translateLoop(loop, la, TranslationMode::kFullyDynamicHeight);
+    ASSERT_TRUE(swing.ok);
+    ASSERT_TRUE(height.ok);
+    EXPECT_LT(height.penaltyCycles(), swing.penaltyCycles());
+}
+
+TEST(TranslatorTest, HybridIsCheapestDynamicMode)
+{
+    Loop loop = makeShaMixLoop("sha2", 3);
+    const LaConfig la = LaConfig::proposed();
+    const auto annotations = precompileAnnotations(loop, la);
+    const auto hybrid = translateLoop(
+        loop, la, TranslationMode::kHybridStaticCcaPriority, &annotations);
+    const auto swing =
+        translateLoop(loop, la, TranslationMode::kFullyDynamic);
+    const auto height =
+        translateLoop(loop, la, TranslationMode::kFullyDynamicHeight);
+    ASSERT_TRUE(hybrid.ok);
+    EXPECT_LT(hybrid.penaltyCycles(), height.penaltyCycles());
+    EXPECT_LT(hybrid.penaltyCycles(), swing.penaltyCycles());
+}
+
+TEST(TranslatorTest, PriorityDominatesSwingTranslationTime)
+{
+    // Figure 8: priority is by far the longest phase of dynamic
+    // translation for recurrence-heavy loops.
+    Loop loop = makeShaMixLoop("sha3", 3);
+    const auto result = translateLoop(loop, LaConfig::proposed(),
+                                      TranslationMode::kFullyDynamic);
+    ASSERT_TRUE(result.ok);
+    const double total = result.meter.totalInstructions();
+    const double priority =
+        result.meter.instructions(TranslationPhase::kPriority);
+    EXPECT_GT(priority / total, 0.4);
+}
+
+TEST(TranslatorTest, RejectsCallLoop)
+{
+    Loop loop = makeMathCallLoop("libm");
+    const auto result = translateLoop(loop, LaConfig::proposed(),
+                                      TranslationMode::kFullyDynamic);
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.reject, TranslationReject::kAnalysis);
+}
+
+TEST(TranslatorTest, RejectsTooManyLoadStreams)
+{
+    Loop loop = makeStencilNLoop("wide", 20);
+    const auto result = translateLoop(loop, LaConfig::proposed(),
+                                      TranslationMode::kFullyDynamic);
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.reject, TranslationReject::kTooManyLoadStreams);
+}
+
+TEST(TranslatorTest, RejectsMissingFpUnits)
+{
+    LoopBuilder b("fp");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    b.store("out", iv, b.fadd(x, x));
+    b.loopBack(iv, b.constant(64));
+    LaConfig la = LaConfig::proposed();
+    la.num_fp_units = 0;
+    const auto result =
+        translateLoop(b.build(), la, TranslationMode::kFullyDynamic);
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.reject, TranslationReject::kNoFuForOpcode);
+}
+
+TEST(TranslatorTest, RejectsWhenMaxIiTooSmall)
+{
+    Loop loop = makeShaMixLoop("sha4", 3);  // RecMII well above 4.
+    LaConfig la = LaConfig::proposed();
+    la.max_ii = 4;
+    const auto result =
+        translateLoop(loop, la, TranslationMode::kFullyDynamic);
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.reject, TranslationReject::kScheduleFailed);
+}
+
+TEST(TranslatorTest, RejectsWhenRegistersTooFew)
+{
+    Loop loop = makeFirLoop("fir", 8);  // 8 coefficient live-ins.
+    LaConfig la = LaConfig::proposed();
+    la.num_int_registers = 2;
+    const auto result =
+        translateLoop(loop, la, TranslationMode::kFullyDynamic);
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.reject, TranslationReject::kTooFewRegisters);
+}
+
+TEST(TranslatorTest, NoCcaMachineIgnoresStaticCcaAnnotations)
+{
+    // Paper: statically identified subgraphs still execute as individual
+    // ops when no CCA exists -- full binary compatibility.
+    Loop loop = makeShaMixLoop("sha5", 3);
+    LaConfig with_cca = LaConfig::proposed();
+    const auto annotations = precompileAnnotations(loop, with_cca);
+    ASSERT_TRUE(annotations.cca_mapping.has_value());
+    ASSERT_FALSE(annotations.cca_mapping->groups.empty());
+
+    LaConfig no_cca = with_cca;
+    no_cca.num_cca_units = 0;
+    no_cca.cca.reset();
+    const auto result = translateLoop(
+        loop, no_cca, TranslationMode::kHybridStaticCcaPriority,
+        &annotations);
+    ASSERT_TRUE(result.ok);
+    EXPECT_TRUE(result.mapping.groups.empty());
+}
+
+TEST(TranslatorTest, AnnotationsEncodePriorityPerOp)
+{
+    Loop loop = makeModerateLoop();
+    const auto annotations =
+        precompileAnnotations(loop, LaConfig::proposed());
+    ASSERT_TRUE(annotations.op_priority.has_value());
+    EXPECT_EQ(annotations.op_priority->size(),
+              static_cast<std::size_t>(loop.size()));
+    // At least the scheduled ops carry non-negative encoded ranks.
+    int encoded = 0;
+    for (const int value : *annotations.op_priority)
+        encoded += value >= 0 ? 1 : 0;
+    EXPECT_GT(encoded, 3);
+}
+
+TEST(TranslatorTest, FailedAnalysisProducesEmptyAnnotations)
+{
+    Loop loop = makeMathCallLoop("libm2");
+    const auto annotations =
+        precompileAnnotations(loop, LaConfig::proposed());
+    EXPECT_FALSE(annotations.cca_mapping.has_value());
+    EXPECT_FALSE(annotations.op_priority.has_value());
+}
+
+TEST(TranslatorTest, ModeNamesAreDistinct)
+{
+    EXPECT_STRNE(toString(TranslationMode::kStatic),
+                 toString(TranslationMode::kFullyDynamic));
+    EXPECT_STRNE(toString(TranslationMode::kFullyDynamicHeight),
+                 toString(TranslationMode::kHybridStaticCcaPriority));
+}
+
+}  // namespace
+}  // namespace veal

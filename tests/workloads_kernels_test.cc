@@ -1,0 +1,145 @@
+#include "veal/workloads/kernels.h"
+#include "veal/ir/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include "veal/ir/loop_analysis.h"
+#include "veal/vm/translator.h"
+
+namespace veal {
+namespace {
+
+/** Every kernel builder, with the expected mapping outcome. */
+struct KernelCase {
+    std::string name;
+    Loop loop;
+    bool expect_translates;  ///< On the proposed LA, fully dynamic.
+};
+
+std::vector<KernelCase>
+makeKernelCases()
+{
+    std::vector<KernelCase> cases;
+    auto add = [&](Loop loop, bool translates) {
+        std::string name = loop.name();
+        cases.push_back(
+            KernelCase{std::move(name), std::move(loop), translates});
+    };
+    add(makeAdpcmStepLoop("adpcm"), true);
+    add(makeG721PredictorLoop("g721"), true);
+    add(makeFirLoop("fir8", 8), true);
+    add(makeDotProductLoop("dot"), true);
+    add(makeWaveletLiftLoop("wave"), true);
+    add(makeDct8Loop("dct8", 1), true);
+    add(makeSadLoop("sad"), true);
+    add(makeQuantLoop("quant"), true);
+    add(makeShaMixLoop("sha", 3), true);
+    add(makeStencil5Loop("swim"), true);
+    add(makeMatVecLoop("mesa", 3, 3), true);
+    add(makeViterbiAcsLoop("vit"), true);
+    add(makeCopyScaleLoop("copy"), true);
+    // Never map: too many streams / speculation / calls.
+    add(makeStencilNLoop("mgrid", 20), false);
+    add(makeDct8Loop("dct8x2", 2), false);
+    add(makeSearchWhileLoop("search"), false);
+    add(makeMathCallLoop("libm"), false);
+    add(makeAdpcmStepLoop("adpcm_call", true), false);
+    return cases;
+}
+
+class KernelTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KernelTest, VerifiesStructurally)
+{
+    auto cases = makeKernelCases();
+    const auto& c = cases[GetParam()];
+    EXPECT_FALSE(c.loop.verify().has_value()) << c.name;
+}
+
+TEST_P(KernelTest, TranslationOutcomeMatchesExpectation)
+{
+    auto cases = makeKernelCases();
+    const auto& c = cases[GetParam()];
+    const auto result = translateLoop(c.loop, LaConfig::proposed(),
+                                      TranslationMode::kFullyDynamic);
+    EXPECT_EQ(result.ok, c.expect_translates)
+        << c.name << ": " << toString(result.reject) << " "
+        << result.reject_detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelTest,
+                         ::testing::Range<std::size_t>(0, 18));
+
+TEST(KernelStructureTest, FirTapsControlStreams)
+{
+    for (const int taps : {2, 4, 8}) {
+        Loop loop = makeFirLoop("fir", taps);
+        const auto analysis = analyzeLoop(loop);
+        ASSERT_TRUE(analysis.ok());
+        EXPECT_EQ(static_cast<int>(analysis.load_streams.size()), taps);
+    }
+}
+
+TEST(KernelStructureTest, StencilPointsControlStreams)
+{
+    Loop loop = makeStencilNLoop("s", 7);
+    const auto analysis = analyzeLoop(loop);
+    ASSERT_TRUE(analysis.ok());
+    EXPECT_EQ(analysis.load_streams.size(), 7u);
+}
+
+TEST(KernelStructureTest, AdpcmHasCarriedRecurrences)
+{
+    Loop loop = makeAdpcmStepLoop("adpcm");
+    int carried = 0;
+    for (const auto& edge : loop.allEdges())
+        carried += edge.distance > 0 ? 1 : 0;
+    EXPECT_GE(carried, 3);  // induction + step + valpred.
+}
+
+TEST(KernelStructureTest, ShaRoundsGrowTheRecurrence)
+{
+    const auto shallow = translateLoop(makeShaMixLoop("s2", 2),
+                                       LaConfig::infinite(),
+                                       TranslationMode::kFullyDynamic);
+    const auto deep = translateLoop(makeShaMixLoop("s3", 3),
+                                    LaConfig::infinite(),
+                                    TranslationMode::kFullyDynamic);
+    ASSERT_TRUE(shallow.ok);
+    ASSERT_TRUE(deep.ok);
+    EXPECT_GT(deep.mii, shallow.mii);
+}
+
+TEST(KernelStructureTest, UntransformedVariantsKeepCalls)
+{
+    for (Loop loop : {makeAdpcmStepLoop("a", true),
+                      makeG721PredictorLoop("g", true),
+                      makeSadLoop("s", true), makeQuantLoop("q", true)}) {
+        EXPECT_EQ(loop.feature(), LoopFeature::kHasSubroutineCall)
+            << loop.name();
+    }
+}
+
+TEST(KernelStructureTest, CalleeLibraryCoversUsedHelpers)
+{
+    const auto library = standardCalleeLibrary();
+    for (const char* name : {"clip", "sat8", "iabs", "avg2"})
+        EXPECT_TRUE(library.contains(name)) << name;
+}
+
+TEST(KernelStructureTest, InlinedVariantsTranslate)
+{
+    const auto library = standardCalleeLibrary();
+    for (Loop loop : {makeAdpcmStepLoop("a", true),
+                      makeG721PredictorLoop("g", true),
+                      makeSadLoop("s", true), makeQuantLoop("q", true)}) {
+        Loop inlined = inlineCalls(loop, library);
+        const auto result = translateLoop(inlined, LaConfig::proposed(),
+                                          TranslationMode::kFullyDynamic);
+        EXPECT_TRUE(result.ok) << loop.name() << ": "
+                               << toString(result.reject);
+    }
+}
+
+}  // namespace
+}  // namespace veal

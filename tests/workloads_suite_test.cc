@@ -1,0 +1,128 @@
+#include "veal/workloads/suite.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+#include "veal/arch/cpu_config.h"
+#include "veal/sim/cpu_sim.h"
+
+namespace veal {
+namespace {
+
+double
+categoryTime(const Application& app, LoopFeature feature)
+{
+    const CpuConfig cpu = CpuConfig::arm11();
+    double total = 0.0;
+    for (const auto& site : app.sites) {
+        if (site.loop.feature() != feature)
+            continue;
+        total += static_cast<double>(
+                     simulateLoopOnCpu(site.loop, cpu, site.iterations)
+                         .total_cycles) *
+                 static_cast<double>(site.invocations);
+    }
+    return total;
+}
+
+TEST(SuiteTest, HasTheExpectedBenchmarks)
+{
+    const auto suite = mediaFpSuite();
+    EXPECT_EQ(suite.size(), 16u);
+    std::set<std::string> names;
+    for (const auto& benchmark : suite)
+        names.insert(benchmark.name);
+    for (const char* required :
+         {"rawcaudio", "mpeg2dec", "pegwitenc", "172.mgrid", "171.swim",
+          "cjpeg", "epic", "g721enc"}) {
+        EXPECT_TRUE(names.contains(required)) << required;
+    }
+}
+
+TEST(SuiteTest, FractionsAreCalibratedAgainstFigure2)
+{
+    for (const auto& benchmark : mediaFpSuite()) {
+        const auto& app = benchmark.transformed;
+        const double modulo =
+            categoryTime(app, LoopFeature::kModuloSchedulable);
+        const double spec =
+            categoryTime(app, LoopFeature::kNeedsSpeculation);
+        const double sub =
+            categoryTime(app, LoopFeature::kHasSubroutineCall);
+        const double total = modulo + spec + sub +
+                             static_cast<double>(app.acyclic_cycles);
+        ASSERT_GT(total, 0.0);
+        // Calibration holds the modulo fraction within a few points
+        // (invocation counts are integers).
+        EXPECT_NEAR(modulo / total, benchmark.fractions.modulo, 0.05)
+            << benchmark.name;
+        EXPECT_NEAR(static_cast<double>(app.acyclic_cycles) / total,
+                    benchmark.fractions.acyclic, 0.05)
+            << benchmark.name;
+    }
+}
+
+TEST(SuiteTest, TransformedAndUntransformedShareProfiles)
+{
+    for (const auto& benchmark : mediaFpSuite()) {
+        ASSERT_EQ(benchmark.transformed.sites.size(),
+                  benchmark.untransformed.sites.size())
+            << benchmark.name;
+        for (std::size_t s = 0; s < benchmark.transformed.sites.size();
+             ++s) {
+            EXPECT_EQ(benchmark.transformed.sites[s].invocations,
+                      benchmark.untransformed.sites[s].invocations);
+            EXPECT_EQ(benchmark.transformed.sites[s].iterations,
+                      benchmark.untransformed.sites[s].iterations);
+        }
+        EXPECT_EQ(benchmark.transformed.acyclic_cycles,
+                  benchmark.untransformed.acyclic_cycles);
+    }
+}
+
+TEST(SuiteTest, UntransformedBinariesNeverCarryFission)
+{
+    for (const auto& benchmark : mediaFpSuite()) {
+        for (const auto& site : benchmark.untransformed.sites)
+            EXPECT_TRUE(site.fissioned.empty());
+    }
+}
+
+TEST(SuiteTest, MgridCarriesFissionedLoops)
+{
+    const auto benchmark = findBenchmark("172.mgrid");
+    int fissioned_sites = 0;
+    for (const auto& site : benchmark.transformed.sites)
+        fissioned_sites += site.fissioned.empty() ? 0 : 1;
+    EXPECT_GE(fissioned_sites, 2);  // resid and psinv.
+}
+
+TEST(SuiteTest, MediaSuiteIsMostlyModuloSchedulable)
+{
+    // Figure 2's left group: the media/FP apps spend the majority of
+    // their time in modulo-schedulable loops.
+    for (const auto& benchmark : mediaFpSuite())
+        EXPECT_GE(benchmark.fractions.modulo, 0.5) << benchmark.name;
+}
+
+TEST(SuiteTest, IntegerSuiteIsMostlyNot)
+{
+    for (const auto& benchmark : integerSuite()) {
+        EXPECT_LE(benchmark.fractions.modulo, 0.2) << benchmark.name;
+        EXPECT_FALSE(benchmark.media_or_fp);
+    }
+}
+
+TEST(SuiteTest, FindBenchmarkReturnsRequested)
+{
+    EXPECT_EQ(findBenchmark("rawcaudio").name, "rawcaudio");
+}
+
+TEST(SuiteDeathTest, FindUnknownBenchmarkIsFatal)
+{
+    EXPECT_EXIT(findBenchmark("no-such-benchmark"),
+                ::testing::ExitedWithCode(1), "");
+}
+
+}  // namespace
+}  // namespace veal
