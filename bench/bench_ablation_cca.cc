@@ -7,16 +7,18 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/common.h"
 #include "veal/arch/area.h"
 #include "veal/support/table.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace veal;
-    const auto suite = mediaFpSuite();
+    const auto options = bench::BenchOptions::parse(argc, argv);
+    const auto runner = bench::makeRunner(options, mediaFpSuite());
 
     LaConfig with_cca = LaConfig::proposed();
     LaConfig no_cca = LaConfig::proposed();
@@ -27,20 +29,20 @@ main()
     std::printf("VEAL ablation: the CCA's contribution per translation "
                 "mode (mean speedup)\n\n");
 
+    const std::vector<TranslationMode> modes{
+        TranslationMode::kStatic, TranslationMode::kFullyDynamic,
+        TranslationMode::kFullyDynamicHeight,
+        TranslationMode::kHybridStaticCcaPriority};
+
+    // One meanSpeedup sweep per mode, each over both configs at once.
     TextTable table({"mode", "with CCA", "no CCA", "delta"});
-    for (const auto mode : {TranslationMode::kStatic,
-                            TranslationMode::kFullyDynamic,
-                            TranslationMode::kFullyDynamicHeight,
-                            TranslationMode::kHybridStaticCcaPriority}) {
-        const double with_value = bench::meanSpeedup(suite, with_cca,
-                                                     mode);
-        const double without_value =
-            bench::meanSpeedup(suite, no_cca, mode);
+    for (const auto mode : modes) {
+        const std::vector<double> means =
+            runner.meanSpeedup({with_cca, no_cca}, mode);
         table.addRow({toString(mode),
-                      TextTable::formatDouble(with_value, 2),
-                      TextTable::formatDouble(without_value, 2),
-                      TextTable::formatDouble(with_value - without_value,
-                                              2)});
+                      TextTable::formatDouble(means[0], 2),
+                      TextTable::formatDouble(means[1], 2),
+                      TextTable::formatDouble(means[0] - means[1], 2)});
     }
     std::printf("%s\n", table.render().c_str());
 
@@ -54,5 +56,6 @@ main()
         "(fewer registers and cheaper schedules); with unlimited static\n"
         "compile time its raw-performance value is smaller (paper frames\n"
         "the CCA as an efficiency feature, not a peak-speed one).\n");
+    bench::reportSweepStats(runner);
     return 0;
 }

@@ -12,9 +12,10 @@
 #include "veal/support/table.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace veal;
+    const auto options = bench::BenchOptions::parse(argc, argv);
     const LaConfig la = LaConfig::proposed();
     const AreaModel area;
 
@@ -49,8 +50,8 @@ main()
                       TextTable::formatDouble(area.totalArea(la), 2)});
     std::printf("%s\n", breakdown.render().c_str());
 
-    const auto suite = mediaFpSuite();
-    const double fraction = bench::fractionOfInfinite(suite, la);
+    const auto runner = bench::makeRunner(options, mediaFpSuite());
+    const double fraction = runner.fractionOfInfinite({la}).front();
     std::printf("Fraction of infinite-resource speedup attained: %.1f%% "
                 "(paper: 83%%)\n\n",
                 100.0 * fraction);
@@ -70,5 +71,6 @@ main()
     std::printf("%s", cpus.render().c_str());
     std::printf("\nThe LA costs less than a second simple core (paper's "
                 "cost argument).\n");
+    bench::reportSweepStats(runner);
     return 0;
 }

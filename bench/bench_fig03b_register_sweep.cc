@@ -4,44 +4,53 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/common.h"
 #include "veal/support/table.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace veal;
-    const auto suite = mediaFpSuite();
+    const auto options = bench::BenchOptions::parse(argc, argv);
+    const auto runner = bench::makeRunner(options, mediaFpSuite());
 
     std::printf("VEAL reproduction: Figure 3(b) -- register design space "
                 "(fraction of infinite-resource speedup)\n\n");
 
-    TextTable table({"registers", "int regs", "int regs (1 CCA)",
-                     "fp regs"});
-    for (const int regs : {1, 2, 4, 8, 12, 16, 24, 32}) {
+    const std::vector<int> reg_counts{1, 2, 4, 8, 12, 16, 24, 32};
+    std::vector<LaConfig> configs;
+    for (const int regs : reg_counts) {
         LaConfig int_regs = LaConfig::infinite();
         int_regs.num_int_registers = regs;
+        configs.push_back(int_regs);
 
         LaConfig int_regs_cca = LaConfig::infiniteWithCca();
         int_regs_cca.num_int_registers = regs;
+        configs.push_back(int_regs_cca);
 
         LaConfig fp_regs = LaConfig::infinite();
         fp_regs.num_fp_registers = regs;
+        configs.push_back(fp_regs);
+    }
+    const std::vector<double> fractions =
+        runner.fractionOfInfinite(configs);
 
+    TextTable table({"registers", "int regs", "int regs (1 CCA)",
+                     "fp regs"});
+    for (std::size_t row = 0; row < reg_counts.size(); ++row) {
         table.addRow(
-            {std::to_string(regs),
-             TextTable::formatDouble(
-                 bench::fractionOfInfinite(suite, int_regs), 3),
-             TextTable::formatDouble(
-                 bench::fractionOfInfinite(suite, int_regs_cca), 3),
-             TextTable::formatDouble(
-                 bench::fractionOfInfinite(suite, fp_regs), 3)});
+            {std::to_string(reg_counts[row]),
+             TextTable::formatDouble(fractions[3 * row], 3),
+             TextTable::formatDouble(fractions[3 * row + 1], 3),
+             TextTable::formatDouble(fractions[3 * row + 2], 3)});
     }
     std::printf("%s\n", table.render().c_str());
     std::printf(
         "Paper shape: few registers support most loops (values read off\n"
         "the interconnect or through FIFOs need none), and the CCA lowers\n"
         "the requirement further by internalising temporaries.\n");
+    bench::reportSweepStats(runner);
     return 0;
 }

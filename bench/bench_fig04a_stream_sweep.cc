@@ -4,37 +4,46 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/common.h"
 #include "veal/support/table.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace veal;
-    const auto suite = mediaFpSuite();
+    const auto options = bench::BenchOptions::parse(argc, argv);
+    const auto runner = bench::makeRunner(options, mediaFpSuite());
 
     std::printf("VEAL reproduction: Figure 4(a) -- memory stream design "
                 "space (fraction of infinite-resource speedup)\n\n");
 
-    TextTable table({"streams", "load streams", "store streams"});
-    for (const int streams : {1, 2, 4, 6, 8, 12, 16, 24, 32}) {
+    const std::vector<int> stream_counts{1, 2, 4, 6, 8, 12, 16, 24, 32};
+    std::vector<LaConfig> configs;
+    for (const int streams : stream_counts) {
         LaConfig loads = LaConfig::infinite();
         loads.num_load_streams = streams;
+        configs.push_back(loads);
 
         LaConfig stores = LaConfig::infinite();
         stores.num_store_streams = streams;
+        configs.push_back(stores);
+    }
+    const std::vector<double> fractions =
+        runner.fractionOfInfinite(configs);
 
-        table.addRow({std::to_string(streams),
-                      TextTable::formatDouble(
-                          bench::fractionOfInfinite(suite, loads), 3),
-                      TextTable::formatDouble(
-                          bench::fractionOfInfinite(suite, stores), 3)});
+    TextTable table({"streams", "load streams", "store streams"});
+    for (std::size_t row = 0; row < stream_counts.size(); ++row) {
+        table.addRow({std::to_string(stream_counts[row]),
+                      TextTable::formatDouble(fractions[2 * row], 3),
+                      TextTable::formatDouble(fractions[2 * row + 1], 3)});
     }
     std::printf("%s\n", table.render().c_str());
     std::printf(
         "Paper shape: loads matter more than stores (several loops have\n"
         "only scalar outputs), and a surprisingly large number of load\n"
         "streams is needed for the big (aggressively inlined) loops.\n");
+    bench::reportSweepStats(runner);
     return 0;
 }

@@ -5,36 +5,66 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/common.h"
 #include "veal/support/table.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace veal;
-    const auto suite = mediaFpSuite();
+    const auto options = bench::BenchOptions::parse(argc, argv);
+    const auto runner = bench::makeRunner(options, mediaFpSuite());
+    const auto& suite = runner.suite();
     const LaConfig la = LaConfig::proposed();
 
     std::printf("VEAL reproduction: Figure 6 -- speedup vs per-loop "
                 "translation overhead\n\n");
 
+    const std::vector<double> penalties{0.0, 10000.0, 20000.0, 50000.0,
+                                        100000.0, 150000.0, 200000.0,
+                                        300000.0};
+    const std::vector<double> rates{0.0, 0.001, 0.01, 0.1};
+
+    // The grid rows vary VmOptions rather than the LaConfig, so this
+    // bench decodes (penalty, rate, benchmark) straight from the cell
+    // index instead of going through a config list.
+    const int num_benchmarks = static_cast<int>(suite.size());
+    const int cells_per_row = static_cast<int>(rates.size()) *
+                              num_benchmarks;
+    const int num_cells = static_cast<int>(penalties.size()) *
+                          cells_per_row;
+    const std::vector<double> cells =
+        runner.evaluateCells(num_cells, [&](int i) {
+            VmOptions vm_options;
+            vm_options.penalty_override =
+                penalties[static_cast<std::size_t>(i / cells_per_row)];
+            vm_options.retranslation_rate =
+                rates[static_cast<std::size_t>((i / num_benchmarks) %
+                                               static_cast<int>(
+                                                   rates.size()))];
+            const auto& benchmark =
+                suite[static_cast<std::size_t>(i % num_benchmarks)];
+            return bench::appSpeedup(benchmark, la,
+                                     TranslationMode::kFullyDynamic,
+                                     &vm_options);
+        });
+
     TextTable table({"overhead (cycles)", "translate once", "0.1% miss",
                      "1% miss", "10% miss"});
-    for (const double penalty :
-         {0.0, 10000.0, 20000.0, 50000.0, 100000.0, 150000.0, 200000.0,
-          300000.0}) {
+    for (std::size_t p = 0; p < penalties.size(); ++p) {
         std::vector<std::string> row{
-            std::to_string(static_cast<long>(penalty))};
-        for (const double rate : {0.0, 0.001, 0.01, 0.1}) {
-            VmOptions options;
-            options.penalty_override = penalty;
-            options.retranslation_rate = rate;
+            std::to_string(static_cast<long>(penalties[p]))};
+        for (std::size_t r = 0; r < rates.size(); ++r) {
+            double sum = 0.0;
+            for (int b = 0; b < num_benchmarks; ++b) {
+                sum += cells[p * static_cast<std::size_t>(cells_per_row) +
+                             r * static_cast<std::size_t>(num_benchmarks) +
+                             static_cast<std::size_t>(b)];
+            }
             row.push_back(TextTable::formatDouble(
-                bench::meanSpeedup(suite, la,
-                                   TranslationMode::kFullyDynamic,
-                                   &options),
-                2));
+                sum / static_cast<double>(num_benchmarks), 2));
         }
         table.addRow(std::move(row));
     }
@@ -44,5 +74,6 @@ main()
         "100k to 20k cycles recovers a large share of the speedup\n"
         "(paper: 1.47 -> 1.92); the translate-once line stays flat far\n"
         "longer.\n");
+    bench::reportSweepStats(runner);
     return 0;
 }

@@ -1,21 +1,69 @@
 #include "bench/common.h"
 
-#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
-#include "veal/arch/cpu_config.h"
+#include "veal/support/logging.h"
 
 namespace veal::bench {
+
+BenchOptions
+BenchOptions::parse(int argc, char** argv)
+{
+    BenchOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        if (std::strcmp(arg, "--threads") == 0) {
+            if (i + 1 >= argc)
+                fatal("--threads needs a value");
+            options.threads = std::atoi(argv[++i]);
+            if (options.threads <= 0)
+                fatal("--threads wants a positive integer, got ",
+                      argv[i]);
+        } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+            options.threads = std::atoi(arg + 10);
+            if (options.threads <= 0)
+                fatal("--threads wants a positive integer, got ",
+                      arg + 10);
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            std::printf(
+                "usage: %s [--threads N]\n"
+                "  --threads N  sweep worker threads (default: all "
+                "hardware threads)\n",
+                argv[0]);
+            std::exit(0);
+        } else {
+            fatal("unknown argument '", arg, "' (try --help)");
+        }
+    }
+    return options;
+}
+
+explore::SweepRunner
+makeRunner(const BenchOptions& options, std::vector<Benchmark> suite)
+{
+    return explore::SweepRunner(std::move(suite), options.threads);
+}
+
+void
+reportSweepStats(const explore::SweepRunner& runner)
+{
+    const auto& stats = runner.stats();
+    std::fprintf(stderr,
+                 "sweep: %lld cells on %d thread%s, wall %.2fs, "
+                 "cell-time %.2fs, parallel speedup %.2fx\n",
+                 static_cast<long long>(stats.cells), stats.threads,
+                 stats.threads == 1 ? "" : "s", stats.wall_seconds,
+                 stats.cell_seconds, stats.parallelSpeedup());
+}
 
 double
 appSpeedup(const Benchmark& benchmark, const LaConfig& la,
            TranslationMode mode, const VmOptions* extra_options)
 {
-    VmOptions options;
-    if (extra_options != nullptr)
-        options = *extra_options;
-    options.mode = mode;
-    VirtualMachine vm(la, CpuConfig::arm11(), options);
-    return vm.run(benchmark.transformed).speedup;
+    return explore::cellSpeedup(benchmark, la, mode, extra_options);
 }
 
 double
@@ -31,7 +79,7 @@ meanSpeedup(const std::vector<Benchmark>& suite, const LaConfig& la,
 LaConfig
 infiniteLike(const LaConfig& la)
 {
-    return la.hasCca() ? LaConfig::infiniteWithCca() : LaConfig::infinite();
+    return explore::infiniteLike(la);
 }
 
 double

@@ -4,23 +4,55 @@
 /**
  * @file
  * Shared helpers for the paper-reproduction benchmark harness.
+ *
+ * Every sweep bench fans its (config x benchmark) grid out over
+ * veal::explore::SweepRunner.  Figure tables go to stdout and are
+ * bit-identical for any --threads value; timing instrumentation goes to
+ * stderr so determinism checks can diff stdout alone.
  */
 
 #include <string>
 #include <vector>
 
 #include "veal/arch/la_config.h"
+#include "veal/explore/sweep.h"
 #include "veal/vm/vm.h"
 #include "veal/workloads/suite.h"
 
 namespace veal::bench {
+
+/** Command-line knobs shared by all paper benches. */
+struct BenchOptions {
+    /** Sweep pool width; <= 0 selects ThreadPool::defaultThreads(). */
+    int threads = 0;
+
+    /**
+     * Parse --threads N (and --help).  Unknown arguments are fatal so a
+     * typo cannot silently fall back to a serial run.
+     */
+    static BenchOptions parse(int argc, char** argv);
+};
+
+/** A SweepRunner over @p suite honouring @p options. */
+explore::SweepRunner makeRunner(const BenchOptions& options,
+                                std::vector<Benchmark> suite);
+
+/**
+ * Print the runner's accumulated wall-clock, summed per-cell time, and
+ * measured parallel speedup -- to stderr, keeping stdout deterministic.
+ */
+void reportSweepStats(const explore::SweepRunner& runner);
 
 /** Whole-application speedup of @p benchmark on (la, arm11) in @p mode. */
 double appSpeedup(const Benchmark& benchmark, const LaConfig& la,
                   TranslationMode mode,
                   const VmOptions* extra_options = nullptr);
 
-/** Mean speedup across @p suite. */
+/**
+ * Mean speedup across @p suite: serial convenience for one-off
+ * measurements; sweep benches batch configs through a SweepRunner
+ * instead.
+ */
 double meanSpeedup(const std::vector<Benchmark>& suite, const LaConfig& la,
                    TranslationMode mode,
                    const VmOptions* extra_options = nullptr);
@@ -28,7 +60,8 @@ double meanSpeedup(const std::vector<Benchmark>& suite, const LaConfig& la,
 /**
  * The design-space-exploration metric of paper §3.1: the mean over the
  * suite of (speedup on @p la) / (speedup on the infinite-resource LA),
- * both measured with zero translation overhead.
+ * both measured with zero translation overhead.  Serial convenience;
+ * equals explore::SweepRunner::fractionOfInfinite on a one-config grid.
  */
 double fractionOfInfinite(const std::vector<Benchmark>& suite,
                           const LaConfig& la);

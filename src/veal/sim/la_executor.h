@@ -15,6 +15,11 @@
  * Together with veal/sim/interpreter.h this forms a co-simulation rig:
  * for any valid translation, the LA must produce byte-identical memory
  * and live-out results to the reference interpreter.
+ *
+ * Thread-safety: executeOnAccelerator() is a pure function of its
+ * arguments (no globals, no caches); concurrent sweep threads may
+ * execute distinct translations freely as long as each TranslationResult
+ * stays thread-confined while being built.
  */
 
 #include "veal/sim/interpreter.h"

@@ -1,0 +1,143 @@
+#ifndef VEAL_SUPPORT_THREAD_POOL_H_
+#define VEAL_SUPPORT_THREAD_POOL_H_
+
+/**
+ * @file
+ * A fixed-size thread pool plus deterministic parallel-for / parallel-map
+ * helpers.
+ *
+ * Design-space exploration is embarrassingly parallel across
+ * (configuration x benchmark) cells, so the sweep harness fans cells out
+ * over a ThreadPool.  Determinism is non-negotiable for the paper
+ * figures, which leads to three deliberate restrictions:
+ *
+ *  - No work stealing and no futures: parallelFor() hands out indices
+ *    from a shared atomic counter and blocks until every index has run.
+ *    Results are stored by index, so output order never depends on
+ *    completion order.
+ *  - Exceptions propagate deterministically: if several tasks throw, the
+ *    exception of the *lowest* index is rethrown to the caller once the
+ *    batch has drained (the others are discarded).
+ *  - Nested submission is rejected: calling parallelFor()/parallelMap()
+ *    or ThreadPool::run() from inside a pool task throws
+ *    std::logic_error.  A fixed-size pool with blocking dispatch would
+ *    deadlock once every worker waits on a child batch; the sweep
+ *    workloads never need nesting, so we forbid it outright instead of
+ *    complicating the pool with re-entrant execution.
+ *
+ * Task bodies must be safe to invoke concurrently from distinct threads
+ * for distinct indices; anything mutable they touch must be
+ * thread-confined or index-private.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace veal {
+
+/** Fixed-size worker pool with blocking, order-preserving dispatch. */
+class ThreadPool {
+  public:
+    /**
+     * Spawn the workers.  @p num_threads <= 0 selects defaultThreads().
+     * A pool of one worker executes batches serially (in index order),
+     * which is the reference behaviour every larger pool must reproduce
+     * bit-for-bit.
+     */
+    explicit ThreadPool(int num_threads = 0);
+
+    /** Joins all workers; pending batches must have drained by now. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    int numThreads() const { return static_cast<int>(workers_.size()); }
+
+    /**
+     * Execute @p body(i) for every i in [0, num_tasks) on the workers and
+     * block until all complete.  Indices are claimed dynamically, so
+     * imbalanced tasks still fill the pool.  Rethrows the lowest-index
+     * exception, if any.  Throws std::logic_error when called from a pool
+     * worker (see file comment on nested submission).
+     */
+    void run(int num_tasks, const std::function<void(int)>& body);
+
+    /** True when the calling thread is one of this process's pool workers. */
+    static bool onWorkerThread();
+
+    /** std::thread::hardware_concurrency(), clamped to at least 1. */
+    static int defaultThreads();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable work_available_;
+    std::queue<std::function<void()>> queue_;
+    bool stopping_ = false;
+};
+
+/** parallelFor(pool, n, body): alias of pool.run() reading like a loop. */
+inline void
+parallelFor(ThreadPool& pool, int num_tasks,
+            const std::function<void(int)>& body)
+{
+    pool.run(num_tasks, body);
+}
+
+namespace detail {
+
+/** Lazily pick fn(item, index) over fn(item) for parallelMap. */
+template <typename Fn, typename T,
+          bool WithIndex = std::is_invocable_v<Fn&, const T&, int>>
+struct MapResult {
+    using type = std::invoke_result_t<Fn&, const T&, int>;
+};
+
+template <typename Fn, typename T>
+struct MapResult<Fn, T, false> {
+    using type = std::invoke_result_t<Fn&, const T&>;
+};
+
+}  // namespace detail
+
+/**
+ * Apply @p fn to every element of @p items on the pool and return the
+ * results *in input order*, regardless of completion order.  @p fn may
+ * take (const T&) or (const T&, int index).  Empty input returns an empty
+ * vector without touching the pool.
+ */
+template <typename T, typename Fn>
+auto
+parallelMap(ThreadPool& pool, const std::vector<T>& items, Fn&& fn)
+{
+    using Result = typename detail::MapResult<Fn, T>::type;
+    std::vector<std::optional<Result>> slots(items.size());
+    pool.run(static_cast<int>(items.size()), [&](int i) {
+        const auto index = static_cast<std::size_t>(i);
+        if constexpr (std::is_invocable_v<Fn&, const T&, int>)
+            slots[index].emplace(fn(items[index], i));
+        else
+            slots[index].emplace(fn(items[index]));
+    });
+    std::vector<Result> results;
+    results.reserve(items.size());
+    for (auto& slot : slots)
+        results.push_back(std::move(*slot));
+    return results;
+}
+
+}  // namespace veal
+
+#endif  // VEAL_SUPPORT_THREAD_POOL_H_

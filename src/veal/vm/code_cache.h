@@ -14,7 +14,14 @@
 
 namespace veal {
 
-/** LRU cache of translated-loop identities. */
+/**
+ * LRU cache of translated-loop identities.
+ *
+ * Thread-safety: none by design -- even lookup() mutates recency and
+ * statistics.  A CodeCache models the software cache of *one* VM
+ * instance, so the parallel sweep engine keeps each instance confined to
+ * the thread evaluating that cell; never share one across threads.
+ */
 class CodeCache {
   public:
     /** @param capacity maximum number of resident translations (>= 1). */

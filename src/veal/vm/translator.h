@@ -106,6 +106,12 @@ struct TranslationResult {
 /**
  * Run the translation pipeline for @p loop targeting @p config.
  *
+ * Thread-safety: a pure function of its arguments -- every product
+ * (graph, schedule, registers, CostMeter) lives inside the returned
+ * TranslationResult, and nothing global is written except the log sink
+ * on the annotation-fallback warning.  Concurrent sweep threads
+ * therefore never share a mutable translation.
+ *
  * @param annotations required for kHybridStaticCcaPriority (falls back to
  *        dynamic computation with a warning when absent); ignored for the
  *        fully dynamic modes.

@@ -29,7 +29,7 @@ struct PiecePlan {
 }  // namespace
 
 AppRunResult
-VirtualMachine::run(const Application& app)
+VirtualMachine::run(const Application& app) const
 {
     AppRunResult out;
     out.app_name = app.name;

@@ -91,13 +91,20 @@ struct AppRunResult {
     std::vector<SiteResult> sites;
 };
 
-/** The co-designed VM for one (LA, baseline CPU) system. */
+/**
+ * The co-designed VM for one (LA, baseline CPU) system.
+ *
+ * Thread-safety: a VirtualMachine is immutable after construction and
+ * run() keeps all per-run state on the stack, so distinct threads may
+ * run() distinct (or even the same) instance concurrently.  The parallel
+ * sweep engine (veal/explore) relies on this contract; keep run() const.
+ */
 class VirtualMachine {
   public:
     VirtualMachine(LaConfig la, CpuConfig baseline, VmOptions options);
 
     /** Run @p app to completion and report timing. */
-    AppRunResult run(const Application& app);
+    AppRunResult run(const Application& app) const;
 
     const LaConfig& laConfig() const { return la_; }
     const CpuConfig& cpuConfig() const { return cpu_; }

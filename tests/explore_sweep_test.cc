@@ -1,0 +1,174 @@
+#include "veal/explore/sweep.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "veal/arch/cpu_config.h"
+
+namespace veal::explore {
+namespace {
+
+/** A small suite so the grid tests stay fast. */
+std::vector<Benchmark>
+smallSuite()
+{
+    auto suite = mediaFpSuite();
+    suite.resize(3);
+    return suite;
+}
+
+/** A small config grid exercising CCA and non-CCA baselines. */
+std::vector<LaConfig>
+smallGrid()
+{
+    std::vector<LaConfig> configs;
+    configs.push_back(LaConfig::proposed());
+
+    LaConfig narrow = LaConfig::infinite();
+    narrow.num_int_units = 2;
+    configs.push_back(narrow);
+
+    LaConfig few_regs = LaConfig::infiniteWithCca();
+    few_regs.num_int_registers = 4;
+    configs.push_back(few_regs);
+
+    LaConfig tight_ii = LaConfig::proposed();
+    tight_ii.max_ii = 4;
+    configs.push_back(tight_ii);
+    return configs;
+}
+
+/** The serial reference the parallel engine must match bit-for-bit. */
+double
+serialMeanSpeedup(const std::vector<Benchmark>& suite, const LaConfig& la,
+                  TranslationMode mode)
+{
+    double sum = 0.0;
+    for (const auto& benchmark : suite) {
+        VmOptions options;
+        options.mode = mode;
+        const VirtualMachine vm(la, CpuConfig::arm11(), options);
+        sum += vm.run(benchmark.transformed).speedup;
+    }
+    return sum / static_cast<double>(suite.size());
+}
+
+TEST(SweepRunnerTest, SerialAndEightThreadResultsAreBitIdentical)
+{
+    const auto configs = smallGrid();
+    const SweepRunner serial(smallSuite(), 1);
+    const SweepRunner parallel(smallSuite(), 8);
+
+    const auto serial_means =
+        serial.meanSpeedup(configs, TranslationMode::kFullyDynamic);
+    const auto parallel_means =
+        parallel.meanSpeedup(configs, TranslationMode::kFullyDynamic);
+    ASSERT_EQ(serial_means.size(), parallel_means.size());
+    for (std::size_t i = 0; i < serial_means.size(); ++i)
+        EXPECT_EQ(serial_means[i], parallel_means[i]) << "config " << i;
+
+    const auto serial_fractions = serial.fractionOfInfinite(configs);
+    const auto parallel_fractions = parallel.fractionOfInfinite(configs);
+    ASSERT_EQ(serial_fractions.size(), parallel_fractions.size());
+    for (std::size_t i = 0; i < serial_fractions.size(); ++i) {
+        EXPECT_EQ(serial_fractions[i], parallel_fractions[i])
+            << "config " << i;
+    }
+}
+
+TEST(SweepRunnerTest, RepeatedParallelSweepsAreStable)
+{
+    const auto configs = smallGrid();
+    const SweepRunner runner(smallSuite(), 8);
+    const auto first =
+        runner.meanSpeedup(configs, TranslationMode::kStatic);
+    for (int round = 0; round < 3; ++round) {
+        const auto again =
+            runner.meanSpeedup(configs, TranslationMode::kStatic);
+        EXPECT_EQ(first, again) << "round " << round;
+    }
+}
+
+TEST(SweepRunnerTest, MeanSpeedupMatchesSerialReference)
+{
+    const auto suite = smallSuite();
+    const auto configs = smallGrid();
+    const SweepRunner runner(suite, 4);
+    const auto means =
+        runner.meanSpeedup(configs, TranslationMode::kFullyDynamic);
+    ASSERT_EQ(means.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        EXPECT_EQ(means[i],
+                  serialMeanSpeedup(suite, configs[i],
+                                    TranslationMode::kFullyDynamic))
+            << "config " << i;
+    }
+}
+
+TEST(SweepRunnerTest, FractionOfInfiniteIsBoundedAndInfiniteIsUnity)
+{
+    const SweepRunner runner(smallSuite(), 4);
+    const auto fractions = runner.fractionOfInfinite(
+        {LaConfig::proposed(), LaConfig::infiniteWithCca()});
+    ASSERT_EQ(fractions.size(), 2u);
+    EXPECT_GT(fractions[0], 0.0);
+    EXPECT_LE(fractions[0], 1.0 + 1e-9);
+    EXPECT_DOUBLE_EQ(fractions[1], 1.0);
+}
+
+TEST(SweepRunnerTest, SweepMeanReducesInBenchmarkOrder)
+{
+    // A cell function with bench-dependent magnitudes makes any
+    // permutation of the summation order visible in the low bits.
+    const auto suite = smallSuite();
+    const SweepRunner runner(suite, 8);
+    const auto cell = [](const Benchmark& benchmark, const LaConfig&) {
+        double value = 0.1;
+        for (const char c : benchmark.name)
+            value = value * 1.7 + static_cast<double>(c) * 1e-3;
+        return value;
+    };
+    double expected = 0.0;
+    for (const auto& benchmark : suite)
+        expected += cell(benchmark, LaConfig::proposed());
+    expected /= static_cast<double>(suite.size());
+
+    const auto means =
+        runner.sweepMean({LaConfig::proposed()}, cell);
+    ASSERT_EQ(means.size(), 1u);
+    EXPECT_EQ(means[0], expected);
+}
+
+TEST(SweepRunnerTest, StatsCountCellsAndAccumulate)
+{
+    const SweepRunner runner(smallSuite(), 2);
+    const auto configs = smallGrid();
+    runner.meanSpeedup(configs, TranslationMode::kStatic);
+    EXPECT_EQ(runner.lastStats().cells,
+              static_cast<std::int64_t>(configs.size() * 3));
+    EXPECT_EQ(runner.lastStats().threads, 2);
+
+    runner.fractionOfInfinite({LaConfig::proposed()});
+    EXPECT_EQ(runner.lastStats().cells, 2 * 3);
+    EXPECT_EQ(runner.stats().cells,
+              static_cast<std::int64_t>(configs.size() * 3) + 2 * 3);
+    EXPECT_GE(runner.stats().wall_seconds, 0.0);
+    EXPECT_GE(runner.stats().cell_seconds, 0.0);
+}
+
+TEST(SweepRunnerTest, CellSpeedupMatchesVirtualMachine)
+{
+    const auto suite = smallSuite();
+    VmOptions options;
+    options.mode = TranslationMode::kStatic;
+    const VirtualMachine vm(LaConfig::proposed(), CpuConfig::arm11(),
+                            options);
+    EXPECT_EQ(cellSpeedup(suite[0], LaConfig::proposed(),
+                          TranslationMode::kStatic),
+              vm.run(suite[0].transformed).speedup);
+}
+
+}  // namespace
+}  // namespace veal::explore

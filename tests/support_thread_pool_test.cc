@@ -1,0 +1,172 @@
+#include "veal/support/thread_pool.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace veal {
+namespace {
+
+TEST(ThreadPoolTest, DefaultThreadsIsAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::defaultThreads(), 1);
+    ThreadPool pool;  // Default-constructed picks defaultThreads().
+    EXPECT_GE(pool.numThreads(), 1);
+}
+
+TEST(ThreadPoolTest, EmptyBatchReturnsWithoutRunningAnything)
+{
+    ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    parallelFor(pool, 0, [&](int) { ++calls; });
+    parallelFor(pool, -3, [&](int) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+
+    const std::vector<int> empty;
+    const auto results =
+        parallelMap(pool, empty, [](int value) { return value; });
+    EXPECT_TRUE(results.empty());
+}
+
+TEST(ThreadPoolTest, MoreTasksThanThreadsRunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(2);
+    constexpr int kTasks = 250;
+    std::vector<std::atomic<int>> counts(kTasks);
+    parallelFor(pool, kTasks, [&](int i) {
+        ++counts[static_cast<std::size_t>(i)];
+    });
+    for (int i = 0; i < kTasks; ++i)
+        EXPECT_EQ(counts[static_cast<std::size_t>(i)].load(), 1)
+            << "index " << i;
+}
+
+TEST(ThreadPoolTest, MoreThreadsThanTasksStillCompletes)
+{
+    ThreadPool pool(8);
+    std::atomic<int> calls{0};
+    parallelFor(pool, 3, [&](int) { ++calls; });
+    EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ThreadPoolTest, ParallelMapPreservesInputOrder)
+{
+    ThreadPool pool(8);
+    std::vector<int> items;
+    for (int i = 0; i < 100; ++i)
+        items.push_back(i);
+    const auto squares =
+        parallelMap(pool, items, [](int value) { return value * value; });
+    ASSERT_EQ(squares.size(), items.size());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(squares[static_cast<std::size_t>(i)], i * i);
+}
+
+TEST(ThreadPoolTest, ParallelMapPassesIndexWhenRequested)
+{
+    ThreadPool pool(4);
+    const std::vector<std::string> items{"a", "b", "c"};
+    const auto tagged = parallelMap(
+        pool, items, [](const std::string& value, int index) {
+            return value + std::to_string(index);
+        });
+    EXPECT_EQ(tagged, (std::vector<std::string>{"a0", "b1", "c2"}));
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(parallelFor(pool, 50,
+                             [](int i) {
+                                 if (i == 37)
+                                     throw std::runtime_error("cell 37");
+                             }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPoolTest, LowestFailingIndexWinsDeterministically)
+{
+    ThreadPool pool(8);
+    for (int attempt = 0; attempt < 10; ++attempt) {
+        try {
+            parallelFor(pool, 64, [](int i) {
+                if (i == 13 || i == 57)
+                    throw std::runtime_error("cell " + std::to_string(i));
+            });
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error& error) {
+            EXPECT_STREQ(error.what(), "cell 13");
+        }
+    }
+}
+
+TEST(ThreadPoolTest, BatchCompletesDespiteFailures)
+{
+    ThreadPool pool(4);
+    constexpr int kTasks = 40;
+    std::vector<std::atomic<int>> counts(kTasks);
+    try {
+        parallelFor(pool, kTasks, [&](int i) {
+            ++counts[static_cast<std::size_t>(i)];
+            if (i % 7 == 0)
+                throw std::runtime_error("boom");
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error&) {
+    }
+    // Every index still ran: one failure must not starve later cells.
+    for (int i = 0; i < kTasks; ++i)
+        EXPECT_EQ(counts[static_cast<std::size_t>(i)].load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedSubmissionIsRejected)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(parallelFor(pool, 4,
+                             [&](int) {
+                                 parallelFor(pool, 2, [](int) {});
+                             }),
+                 std::logic_error);
+}
+
+TEST(ThreadPoolTest, NestedSubmissionOnSecondPoolIsAlsoRejected)
+{
+    // The restriction is per-thread, not per-pool: a worker of pool A
+    // submitting to pool B could still deadlock through a cycle.
+    ThreadPool outer(2);
+    ThreadPool inner(2);
+    EXPECT_THROW(parallelFor(outer, 4,
+                             [&](int) {
+                                 parallelFor(inner, 2, [](int) {});
+                             }),
+                 std::logic_error);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossBatches)
+{
+    ThreadPool pool(3);
+    for (int round = 0; round < 20; ++round) {
+        std::atomic<int> sum{0};
+        parallelFor(pool, 10, [&](int i) { sum += i; });
+        EXPECT_EQ(sum.load(), 45);
+    }
+}
+
+TEST(ThreadPoolTest, CallerThreadIsNotAWorker)
+{
+    EXPECT_FALSE(ThreadPool::onWorkerThread());
+    ThreadPool pool(2);
+    std::atomic<int> on_worker{0};
+    parallelFor(pool, 8, [&](int) {
+        if (ThreadPool::onWorkerThread())
+            ++on_worker;
+    });
+    EXPECT_EQ(on_worker.load(), 8);
+    EXPECT_FALSE(ThreadPool::onWorkerThread());
+}
+
+}  // namespace
+}  // namespace veal
