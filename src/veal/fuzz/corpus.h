@@ -1,0 +1,101 @@
+#ifndef VEAL_FUZZ_CORPUS_H_
+#define VEAL_FUZZ_CORPUS_H_
+
+/**
+ * @file
+ * Persistent repro corpus for the differential fuzzer.
+ *
+ * A corpus file is a loop in the textual DSL (veal/ir/loop_parser.h)
+ * preceded by `#!` directive lines that pin down the whole differential
+ * experiment: the accelerator configuration, translation mode, input
+ * seed, iteration count, and the outcome the oracle is expected to
+ * report.  `#` starts a DSL comment, so a corpus file parses as a plain
+ * loop too.
+ *
+ *   #! veal-fuzz repro
+ *   #! config name=proposed int_units=2 ... max_ii=16 bus=10
+ *   #! mode fully-dynamic
+ *   #! seed 42
+ *   #! iterations 12
+ *   #! expect pass
+ *   #! note distance-2 recurrence at the II boundary
+ *   loop repro
+ *   ...
+ *
+ * Shrunk fuzzer finds are appended to tests/corpus/ and replayed as a
+ * ctest (and in CI), so every bug the fuzzer ever caught stays caught.
+ */
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "veal/fuzz/oracle.h"
+
+namespace veal {
+
+/** One replayable differential experiment. */
+struct CorpusCase {
+    Loop loop{"corpus"};
+    LaConfig config;
+    TranslationMode mode = TranslationMode::kFullyDynamic;
+    std::uint64_t seed = 0;
+    std::int64_t iterations = 12;
+    OracleOutcome expect = OracleOutcome::kPass;
+    std::string note;
+};
+
+/** Either a parsed case or a human-readable error. */
+using CorpusParseResult = std::variant<CorpusCase, std::string>;
+
+/** Serialise @p config as `key=value` pairs (the `#! config` payload). */
+std::string encodeLaConfig(const LaConfig& config);
+
+/**
+ * Decode an encodeLaConfig() payload.  Unknown keys are errors (they are
+ * almost certainly typos in a hand-written corpus file).  Missing keys
+ * keep the LaConfig defaults.
+ */
+std::variant<LaConfig, std::string> decodeLaConfig(const std::string&
+                                                       text);
+
+/** Render @p repro as a corpus file. */
+std::string formatCorpusCase(const CorpusCase& repro);
+
+/** Parse a corpus file's contents. */
+CorpusParseResult parseCorpusCase(const std::string& text);
+
+/** Sorted paths of every `*.veal` file in @p directory (may be empty). */
+std::vector<std::string> listCorpusFiles(const std::string& directory);
+
+/** Load and parse one corpus file. */
+CorpusParseResult loadCorpusFile(const std::string& path);
+
+/**
+ * Write @p repro to `<directory>/<name>.veal` (creating the directory),
+ * and return the path written.
+ */
+std::string saveCorpusCase(const std::string& directory,
+                           const std::string& name,
+                           const CorpusCase& repro);
+
+/** Outcome of replaying one corpus file against the oracle. */
+struct ReplayResult {
+    std::string path;
+    std::string error;  ///< Non-empty when the file failed to parse.
+    OracleOutcome expect = OracleOutcome::kPass;
+    OracleReport actual;
+
+    bool ok() const
+    {
+        return error.empty() && actual.outcome == expect;
+    }
+};
+
+/** Replay every corpus file in @p directory, in sorted path order. */
+std::vector<ReplayResult> replayCorpus(const std::string& directory);
+
+}  // namespace veal
+
+#endif  // VEAL_FUZZ_CORPUS_H_

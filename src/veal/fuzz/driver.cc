@@ -1,0 +1,256 @@
+#include "veal/fuzz/driver.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "veal/ir/loop_parser.h"
+#include "veal/ir/random_loop.h"
+#include "veal/support/rng.h"
+#include "veal/support/thread_pool.h"
+
+namespace veal {
+namespace {
+
+/** Outcome columns, in rendering order. */
+constexpr OracleOutcome kAllOutcomes[] = {
+    OracleOutcome::kPass,
+    OracleOutcome::kTranslatorReject,
+    OracleOutcome::kValidatorReject,
+    OracleOutcome::kDivergence,
+    OracleOutcome::kCrashGuard,
+};
+
+/** Index-addressable stream split: mix (campaign seed, case index). */
+std::uint64_t
+mixSeed(std::uint64_t campaign_seed, int case_index, std::uint64_t salt)
+{
+    Rng rng(campaign_seed ^
+            (0x9e3779b97f4a7c15ull *
+             (static_cast<std::uint64_t>(case_index) + 1)) ^
+            salt);
+    return rng.next();
+}
+
+}  // namespace
+
+std::vector<FuzzConfigPreset>
+fuzzConfigPresets()
+{
+    std::vector<FuzzConfigPreset> presets;
+
+    presets.push_back({"proposed", LaConfig::proposed()});
+
+    LaConfig min_regs = LaConfig::proposed();
+    min_regs.name = "min-regs";
+    min_regs.num_int_registers = 2;
+    min_regs.num_fp_registers = 2;
+    presets.push_back({"min-regs", min_regs});
+
+    LaConfig one_fu = LaConfig::proposed();
+    one_fu.name = "one-fu";
+    one_fu.num_int_units = 1;
+    one_fu.num_fp_units = 1;
+    one_fu.num_cca_units = 0;
+    one_fu.cca.reset();
+    presets.push_back({"one-fu", one_fu});
+
+    LaConfig max_ii_4 = LaConfig::proposed();
+    max_ii_4.name = "max-ii-4";
+    max_ii_4.max_ii = 4;
+    presets.push_back({"max-ii-4", max_ii_4});
+
+    LaConfig one_load = LaConfig::proposed();
+    one_load.name = "one-load-stream";
+    one_load.num_load_streams = 1;
+    one_load.num_load_addr_gens = 1;
+    presets.push_back({"one-load-stream", one_load});
+
+    return presets;
+}
+
+std::optional<FuzzConfigPreset>
+fuzzConfigByName(const std::string& name)
+{
+    for (const auto& preset : fuzzConfigPresets()) {
+        if (preset.name == name)
+            return preset;
+    }
+    return std::nullopt;
+}
+
+std::uint64_t
+makeFuzzCaseSeed(std::uint64_t campaign_seed, int case_index)
+{
+    return mixSeed(campaign_seed, case_index, 0x5eedull);
+}
+
+Loop
+makeFuzzCaseLoop(std::uint64_t campaign_seed, int case_index)
+{
+    Rng rng(mixSeed(campaign_seed, case_index, 0x100b5ull));
+    RandomLoopParams params;
+    params.min_compute_ops = 2;
+    params.max_compute_ops =
+        4 + static_cast<int>(rng.nextBelow(45));
+    params.max_loads = 1 + static_cast<int>(rng.nextBelow(6));
+    params.max_stores = 1 + static_cast<int>(rng.nextBelow(3));
+    params.fp_fraction = rng.nextDouble() * 0.6;
+    params.recurrence_prob = rng.nextDouble() * 0.6;
+    params.max_carried_distance = 1 + static_cast<int>(rng.nextBelow(3));
+    params.trip_count = 16 + static_cast<std::int64_t>(rng.nextBelow(500));
+    return makeRandomLoop(params,
+                          makeFuzzCaseSeed(campaign_seed, case_index),
+                          "fuzz");
+}
+
+TranslationMode
+makeFuzzCaseMode(std::uint64_t campaign_seed, int case_index)
+{
+    constexpr TranslationMode kModes[] = {
+        TranslationMode::kFullyDynamic,
+        TranslationMode::kFullyDynamicHeight,
+        TranslationMode::kHybridStaticCcaPriority,
+        TranslationMode::kStatic,
+    };
+    return kModes[mixSeed(campaign_seed, case_index, 0x30deull) % 4];
+}
+
+std::string
+FuzzSummary::render() const
+{
+    std::ostringstream os;
+    os << "veal-fuzz: runs=" << total_runs << " seed=" << seed
+       << " configs=" << counts.size() << "\n";
+    os << std::left << std::setw(18) << "config";
+    for (const auto outcome : kAllOutcomes)
+        os << std::right << std::setw(19) << toString(outcome);
+    os << "\n";
+    for (const auto& [config_name, per_outcome] : counts) {
+        os << std::left << std::setw(18) << config_name;
+        for (const auto outcome : kAllOutcomes) {
+            const auto it = per_outcome.find(toString(outcome));
+            os << std::right << std::setw(19)
+               << (it == per_outcome.end() ? 0 : it->second);
+        }
+        os << "\n";
+    }
+    os << "failures: " << failures.size() << "\n";
+    for (const auto& failure : failures) {
+        os << "[case " << failure.case_index << "] config="
+           << failure.config_name << " seed=" << failure.case_seed
+           << " outcome=" << toString(failure.report.outcome)
+           << " detail=" << failure.report.detail << "\n";
+        os << "  ops " << failure.ops_before << " -> "
+           << failure.ops_after;
+        if (!failure.saved_path.empty())
+            os << ", saved " << failure.saved_path;
+        os << "\n";
+        std::istringstream lines(failure.loop_text);
+        std::string line;
+        while (std::getline(lines, line))
+            os << "    " << line << "\n";
+    }
+    return os.str();
+}
+
+FuzzSummary
+runFuzz(const FuzzOptions& options)
+{
+    FuzzSummary summary;
+    summary.total_runs = options.runs;
+    summary.seed = options.seed;
+    if (options.runs <= 0 || options.configs.empty())
+        return summary;
+
+    // Stable table shape: every (config, outcome) cell exists.
+    for (const auto& preset : options.configs) {
+        for (const auto outcome : kAllOutcomes)
+            summary.counts[preset.name][toString(outcome)] = 0;
+    }
+
+    struct CaseResult {
+        OracleOutcome outcome = OracleOutcome::kPass;
+        std::string detail;
+    };
+
+    std::vector<int> indices(static_cast<std::size_t>(options.runs));
+    for (int i = 0; i < options.runs; ++i)
+        indices[static_cast<std::size_t>(i)] = i;
+
+    const auto run_case = [&](const int& index) {
+        const auto& preset = options.configs[
+            static_cast<std::size_t>(index) % options.configs.size()];
+        OracleOptions oracle;
+        oracle.mode = makeFuzzCaseMode(options.seed, index);
+        oracle.iterations = options.iterations;
+        oracle.perturb = options.perturb;
+        const Loop loop = makeFuzzCaseLoop(options.seed, index);
+        const OracleReport report = runOracle(
+            loop, preset.config, makeFuzzCaseSeed(options.seed, index),
+            oracle);
+        return CaseResult{report.outcome, report.detail};
+    };
+
+    ThreadPool pool(options.threads);
+    const std::vector<CaseResult> results =
+        parallelMap(pool, indices, run_case);
+
+    // Index-ordered reduction: identical output for any thread count.
+    for (int index = 0; index < options.runs; ++index) {
+        const auto& preset = options.configs[
+            static_cast<std::size_t>(index) % options.configs.size()];
+        const auto& result = results[static_cast<std::size_t>(index)];
+        ++summary.counts[preset.name][toString(result.outcome)];
+        if (!isFailure(result.outcome))
+            continue;
+
+        FuzzFailure failure;
+        failure.case_index = index;
+        failure.config_name = preset.name;
+        failure.case_seed = makeFuzzCaseSeed(options.seed, index);
+        failure.report.outcome = result.outcome;
+        failure.report.detail = result.detail;
+
+        Loop repro = makeFuzzCaseLoop(options.seed, index);
+        failure.ops_before = repro.size();
+        OracleOptions oracle;
+        oracle.mode = makeFuzzCaseMode(options.seed, index);
+        oracle.iterations = options.iterations;
+        oracle.perturb = options.perturb;
+        if (options.shrink) {
+            const auto still_fails = [&](const Loop& candidate) {
+                return runOracle(candidate, preset.config,
+                                 failure.case_seed, oracle)
+                           .outcome == result.outcome;
+            };
+            repro = shrinkLoop(repro, still_fails);
+            // Re-run the shrunk repro for the final detail text.
+            failure.report = runOracle(repro, preset.config,
+                                       failure.case_seed, oracle);
+        }
+        failure.ops_after = repro.size();
+        failure.loop_text = printLoop(repro);
+
+        if (!options.corpus_dir.empty()) {
+            CorpusCase saved;
+            saved.loop = repro;
+            saved.config = preset.config;
+            saved.mode = oracle.mode;
+            saved.seed = failure.case_seed;
+            saved.iterations = options.iterations;
+            saved.expect = failure.report.outcome;
+            saved.note = "shrunk by veal-fuzz from campaign seed " +
+                         std::to_string(options.seed) + " case " +
+                         std::to_string(index);
+            failure.saved_path = saveCorpusCase(
+                options.corpus_dir,
+                "repro-" + preset.name + "-" +
+                    std::to_string(failure.case_seed),
+                saved);
+        }
+        summary.failures.push_back(std::move(failure));
+    }
+    return summary;
+}
+
+}  // namespace veal

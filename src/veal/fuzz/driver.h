@@ -1,0 +1,121 @@
+#ifndef VEAL_FUZZ_DRIVER_H_
+#define VEAL_FUZZ_DRIVER_H_
+
+/**
+ * @file
+ * The fuzzing campaign driver: fans differential oracle runs over a
+ * ThreadPool and reduces them into a deterministic report.
+ *
+ * Determinism contract: every case's loop, configuration, translation
+ * mode, and input seed are pure functions of (campaign seed, case
+ * index).  Results are reduced in index order, so the rendered summary
+ * is byte-identical for any thread count.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "veal/fuzz/corpus.h"
+#include "veal/fuzz/oracle.h"
+#include "veal/fuzz/shrinker.h"
+
+namespace veal {
+
+/** A named accelerator configuration for fuzzing. */
+struct FuzzConfigPreset {
+    std::string name;
+    LaConfig config;
+};
+
+/**
+ * The default campaign targets: the paper's proposed design point plus
+ * four corner-stress configurations (starved registers, single function
+ * units, shallow control store, single load stream).
+ */
+std::vector<FuzzConfigPreset> fuzzConfigPresets();
+
+/** Preset by name, or nullopt. */
+std::optional<FuzzConfigPreset> fuzzConfigByName(const std::string& name);
+
+/** Campaign parameters (mirrors the veal-fuzz CLI). */
+struct FuzzOptions {
+    int runs = 1000;
+    int threads = 1;
+    std::uint64_t seed = 1;
+
+    /** Minimise failing loops before reporting them. */
+    bool shrink = false;
+
+    /** When non-empty, save shrunk repros here as corpus files. */
+    std::string corpus_dir;
+
+    /** Configurations to alternate over (case index modulo size). */
+    std::vector<FuzzConfigPreset> configs = fuzzConfigPresets();
+
+    std::int64_t iterations = 12;
+
+    /**
+     * Test hook forwarded to every oracle run (OracleOptions::perturb),
+     * so the find -> shrink -> save pipeline can be exercised end to end
+     * against an injected bug.  Never set during real fuzzing.
+     */
+    std::function<void(TranslationResult&)> perturb;
+};
+
+/** One failing case, post-shrink when shrinking is on. */
+struct FuzzFailure {
+    int case_index = 0;
+    std::string config_name;
+    std::uint64_t case_seed = 0;
+    OracleReport report;
+
+    /** The (possibly shrunk) reproducing loop, in the DSL. */
+    std::string loop_text;
+
+    /** Ops before and after shrinking (equal when shrinking is off). */
+    int ops_before = 0;
+    int ops_after = 0;
+
+    /** Corpus file written for this failure (empty when not saved). */
+    std::string saved_path;
+};
+
+/** Aggregated campaign results. */
+struct FuzzSummary {
+    int total_runs = 0;
+    std::uint64_t seed = 0;
+
+    /** config name -> outcome name -> count. */
+    std::map<std::string, std::map<std::string, int>> counts;
+
+    /** Failures in case-index order. */
+    std::vector<FuzzFailure> failures;
+
+    bool clean() const { return failures.empty(); }
+
+    /** Deterministic text report (identical for any thread count). */
+    std::string render() const;
+};
+
+/**
+ * Derive the per-case loop for (@p campaign_seed, @p case_index).
+ * Exposed so failures can be reproduced outside the driver.
+ */
+Loop makeFuzzCaseLoop(std::uint64_t campaign_seed, int case_index);
+
+/** Derive the per-case oracle seed. */
+std::uint64_t makeFuzzCaseSeed(std::uint64_t campaign_seed,
+                               int case_index);
+
+/** Derive the per-case translation mode. */
+TranslationMode makeFuzzCaseMode(std::uint64_t campaign_seed,
+                                 int case_index);
+
+/** Run a campaign.  Creates its own pool of @p options.threads workers. */
+FuzzSummary runFuzz(const FuzzOptions& options);
+
+}  // namespace veal
+
+#endif  // VEAL_FUZZ_DRIVER_H_

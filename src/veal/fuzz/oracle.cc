@@ -1,0 +1,184 @@
+#include "veal/fuzz/oracle.h"
+
+#include <sstream>
+
+#include "veal/sim/la_executor.h"
+#include "veal/support/logging.h"
+#include "veal/support/rng.h"
+
+namespace veal {
+
+const char*
+toString(OracleOutcome outcome)
+{
+    switch (outcome) {
+      case OracleOutcome::kPass: return "pass";
+      case OracleOutcome::kTranslatorReject: return "translator-reject";
+      case OracleOutcome::kValidatorReject: return "validator-reject";
+      case OracleOutcome::kDivergence: return "divergence";
+      case OracleOutcome::kCrashGuard: return "crash-guard";
+    }
+    return "unknown";
+}
+
+bool
+isFailure(OracleOutcome outcome)
+{
+    return outcome == OracleOutcome::kValidatorReject ||
+           outcome == OracleOutcome::kDivergence ||
+           outcome == OracleOutcome::kCrashGuard;
+}
+
+ExecutionInput
+makeFuzzInput(const Loop& loop, std::uint64_t seed,
+              std::int64_t iterations)
+{
+    Rng rng(seed * 0x9e3779b97f4a7c15ull + 0xf022u);
+    ExecutionInput input;
+    input.iterations = iterations;
+    for (const auto& op : loop.operations()) {
+        if (op.opcode == Opcode::kLiveIn)
+            input.live_ins[op.id] = rng.nextInRange(-64, 64);
+        if (op.is_induction || !op.inputs.empty()) {
+            // Carried state read at negative iterations starts defined.
+            input.initial[op.id] = rng.nextInRange(-16, 16);
+        }
+        if (op.opcode == Opcode::kLoad) {
+            for (std::int64_t index = -64; index < 512; ++index) {
+                input.memory[op.symbol][index] =
+                    rng.nextInRange(-100, 100);
+            }
+        }
+    }
+    return input;
+}
+
+namespace {
+
+/**
+ * First byte-level difference between the two results, or nullopt when
+ * they agree exactly.  MemoryImage and the live-out map are ordered, so
+ * the report is deterministic.
+ */
+std::optional<std::string>
+firstDifference(const ExecutionResult& reference,
+                const ExecutionResult& accelerated)
+{
+    for (const auto& [op, value] : reference.live_outs) {
+        const auto it = accelerated.live_outs.find(op);
+        if (it == accelerated.live_outs.end()) {
+            return "live-out v" + std::to_string(op) +
+                   " missing on the accelerator";
+        }
+        if (it->second != value) {
+            std::ostringstream os;
+            os << "live-out v" << op << ": interpreter " << value
+               << " vs accelerator " << it->second;
+            return os.str();
+        }
+    }
+    if (accelerated.live_outs.size() != reference.live_outs.size())
+        return std::string("extra live-outs on the accelerator");
+
+    for (const auto& [array, contents] : reference.memory) {
+        const auto other = accelerated.memory.find(array);
+        if (other == accelerated.memory.end())
+            return "array '" + array + "' missing on the accelerator";
+        for (const auto& [address, value] : contents) {
+            const auto cell = other->second.find(address);
+            if (cell == other->second.end()) {
+                return array + "[" + std::to_string(address) +
+                       "] missing on the accelerator";
+            }
+            if (cell->second != value) {
+                std::ostringstream os;
+                os << array << "[" << address << "]: interpreter "
+                   << value << " vs accelerator " << cell->second;
+                return os.str();
+            }
+        }
+        if (other->second.size() != contents.size())
+            return "extra stores into '" + array + "'";
+    }
+    if (accelerated.memory.size() != reference.memory.size())
+        return std::string("accelerator touched extra arrays");
+    return std::nullopt;
+}
+
+}  // namespace
+
+OracleReport
+runOracle(const Loop& loop, const LaConfig& config, std::uint64_t seed,
+          const OracleOptions& options)
+{
+    OracleReport report;
+    ScopedPanicGuard guard;
+
+    TranslationResult translation;
+    try {
+        StaticAnnotations annotations;
+        const StaticAnnotations* annotations_ptr = nullptr;
+        if (options.mode == TranslationMode::kHybridStaticCcaPriority) {
+            annotations = precompileAnnotations(loop, config);
+            annotations_ptr = &annotations;
+        }
+        translation =
+            translateLoop(loop, config, options.mode, annotations_ptr);
+    } catch (const PanicError& panic) {
+        report.outcome = OracleOutcome::kCrashGuard;
+        report.detail = std::string("translator panic: ") + panic.what();
+        return report;
+    }
+
+    if (!translation.ok) {
+        report.outcome = OracleOutcome::kTranslatorReject;
+        report.detail = toString(translation.reject);
+        if (!translation.reject_detail.empty())
+            report.detail += ": " + translation.reject_detail;
+        return report;
+    }
+    report.ii = translation.schedule.ii;
+
+    ExecutionResult reference;
+    ExecutionResult accelerated;
+    try {
+        if (options.perturb)
+            options.perturb(translation);
+
+        // Every accepted translation must satisfy every structural
+        // invariant plus register-file capacity via the allocator's
+        // live ranges.
+        if (translation.graph.has_value()) {
+            const auto violation =
+                validateSchedule(*translation.graph, config,
+                                 translation.schedule, loop,
+                                 translation.analysis);
+            if (violation.has_value()) {
+                std::ostringstream os;
+                os << *violation;
+                report.outcome = OracleOutcome::kValidatorReject;
+                report.detail = os.str();
+                return report;
+            }
+        }
+
+        const ExecutionInput input =
+            makeFuzzInput(loop, seed, options.iterations);
+        reference = interpretLoop(loop, input);
+        accelerated = executeOnAccelerator(loop, translation, input);
+    } catch (const PanicError& panic) {
+        report.outcome = OracleOutcome::kCrashGuard;
+        report.detail = std::string("execution panic: ") + panic.what();
+        return report;
+    }
+
+    if (auto diff = firstDifference(reference, accelerated)) {
+        report.outcome = OracleOutcome::kDivergence;
+        report.detail = *diff;
+        return report;
+    }
+    report.outcome = OracleOutcome::kPass;
+    return report;
+}
+
+}  // namespace veal

@@ -1,0 +1,97 @@
+#ifndef VEAL_FUZZ_ORACLE_H_
+#define VEAL_FUZZ_ORACLE_H_
+
+/**
+ * @file
+ * The differential oracle at the heart of the fuzzing subsystem.
+ *
+ * One oracle run takes a loop, an accelerator configuration, and a seed,
+ * pushes the loop through the full translation pipeline, and -- when the
+ * translator accepts -- executes the translation on the functional LA
+ * model against the reference interpreter on identical random inputs.
+ * Memory images and scalar live-outs must match byte for byte.
+ *
+ * Outcomes:
+ *  - kPass: translated, validated, and both engines agreed.
+ *  - kTranslatorReject: the translator cleanly bounced the loop back to
+ *    the CPU (expected for loops beyond the configuration's means).
+ *  - kValidatorReject: the translator *accepted* but produced a schedule
+ *    that violates a modulo-scheduling invariant.  Always a VEAL bug.
+ *  - kDivergence: both engines ran but disagreed.  Always a VEAL bug.
+ *  - kCrashGuard: an internal panic (VEAL_ASSERT / panic()) fired inside
+ *    the pipeline or the executor, caught by ScopedPanicGuard.  Always a
+ *    VEAL bug.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "veal/sim/interpreter.h"
+#include "veal/vm/translator.h"
+
+namespace veal {
+
+/** Classification of one differential run. */
+enum class OracleOutcome : int {
+    kPass,
+    kTranslatorReject,
+    kValidatorReject,
+    kDivergence,
+    kCrashGuard,
+};
+
+/** Outcome name, e.g. "divergence". */
+const char* toString(OracleOutcome outcome);
+
+/** True for the outcome classes that indicate a VEAL bug. */
+bool isFailure(OracleOutcome outcome);
+
+/** Knobs for one oracle run. */
+struct OracleOptions {
+    TranslationMode mode = TranslationMode::kFullyDynamic;
+
+    /** Iterations both engines execute. */
+    std::int64_t iterations = 12;
+
+    /**
+     * Test hook: mutate the translation between the translator and the
+     * validator/executor, to prove the oracle catches an injected
+     * scheduler bug.  Never set during real fuzzing.
+     */
+    std::function<void(TranslationResult&)> perturb;
+};
+
+/** What one oracle run concluded. */
+struct OracleReport {
+    OracleOutcome outcome = OracleOutcome::kPass;
+
+    /** Reject reason, violation text, panic message, or first diff. */
+    std::string detail;
+
+    /** Achieved initiation interval when translation succeeded. */
+    int ii = 0;
+};
+
+/**
+ * Deterministic random execution input for @p loop: live-ins, initial
+ * carried state, and a generous window of every loaded array.  Both
+ * engines read absent memory as zero, so the window only has to make the
+ * run interesting, not cover every address.
+ */
+ExecutionInput makeFuzzInput(const Loop& loop, std::uint64_t seed,
+                             std::int64_t iterations);
+
+/**
+ * Run the full differential pipeline for (@p loop, @p config, @p seed).
+ *
+ * Thread-safety: pure function of its arguments (the panic guard is
+ * thread-local), so fuzz workers may run oracles concurrently.
+ */
+OracleReport runOracle(const Loop& loop, const LaConfig& config,
+                       std::uint64_t seed,
+                       const OracleOptions& options = {});
+
+}  // namespace veal
+
+#endif  // VEAL_FUZZ_ORACLE_H_

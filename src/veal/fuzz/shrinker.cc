@@ -1,0 +1,179 @@
+#include "veal/fuzz/shrinker.h"
+
+#include <vector>
+
+namespace veal {
+namespace {
+
+/** Copy @p loop but with @p edges as its memory-edge set. */
+Loop
+withMemoryEdges(const Loop& loop, const std::vector<DepEdge>& edges)
+{
+    Loop result(loop.name());
+    for (const auto& op : loop.operations()) {
+        Operation copy = op;
+        copy.id = kNoOp;
+        result.addOperation(std::move(copy));
+    }
+    for (const auto& edge : edges)
+        result.addMemoryEdge(edge.from, edge.to, edge.distance);
+    result.setTripCount(loop.tripCount());
+    result.setFeature(loop.feature());
+    return result;
+}
+
+}  // namespace
+
+std::optional<Loop>
+deleteOperation(const Loop& loop, OpId victim)
+{
+    const Operation& doomed = loop.op(victim);
+
+    bool has_consumers = false;
+    for (const auto& op : loop.operations()) {
+        for (const auto& input : op.inputs)
+            has_consumers |= op.id != victim && input.producer == victim;
+    }
+    // Consumers are rewired to the victim's first input; a consumed
+    // source (const/live-in) or self-reference has nothing to offer.
+    Operand replacement;
+    if (has_consumers) {
+        if (doomed.inputs.empty() || doomed.inputs[0].producer == victim)
+            return std::nullopt;
+        replacement = doomed.inputs[0];
+    }
+
+    const auto remap = [victim](OpId id) {
+        return id > victim ? id - 1 : id;
+    };
+
+    Loop result(loop.name());
+    for (const auto& op : loop.operations()) {
+        if (op.id == victim)
+            continue;
+        Operation copy = op;
+        copy.id = kNoOp;
+        for (auto& input : copy.inputs) {
+            if (input.producer == victim) {
+                input = Operand{remap(replacement.producer),
+                                input.distance + replacement.distance};
+            } else {
+                input.producer = remap(input.producer);
+            }
+        }
+        result.addOperation(std::move(copy));
+    }
+    for (const auto& edge : loop.memoryEdges()) {
+        if (edge.from == victim || edge.to == victim)
+            continue;
+        result.addMemoryEdge(remap(edge.from), remap(edge.to),
+                             edge.distance);
+    }
+    result.setTripCount(loop.tripCount());
+    result.setFeature(loop.feature());
+    return result;
+}
+
+Loop
+shrinkLoop(const Loop& loop, const FailurePredicate& still_fails,
+           const ShrinkOptions& options, ShrinkStats* stats)
+{
+    ShrinkStats local;
+    ShrinkStats& tally = stats != nullptr ? *stats : local;
+    Loop current = loop;
+
+    const auto accept = [&](std::optional<Loop> candidate) {
+        if (!candidate.has_value())
+            return false;
+        if (tally.candidates_tried >= options.max_candidates)
+            return false;
+        ++tally.candidates_tried;
+        if (candidate->verify().has_value())
+            return false;
+        if (!still_fails(*candidate))
+            return false;
+        current = std::move(*candidate);
+        ++tally.candidates_accepted;
+        return true;
+    };
+
+    bool progress = true;
+    while (progress && tally.candidates_tried < options.max_candidates) {
+        progress = false;
+
+        // 1. Op deletion, from the highest id down: tails (stores,
+        // branches, dead compute) disappear before their producers.
+        for (OpId id = current.size() - 1; id >= 0; --id)
+            progress |= accept(deleteOperation(current, id));
+
+        // 2a. Value-edge distance reduction: long recurrences first jump
+        // to distance 1, then try collapsing to an intra-iteration edge.
+        for (OpId id = 0; id < current.size(); ++id) {
+            const auto num_inputs = current.op(id).inputs.size();
+            for (std::size_t slot = 0; slot < num_inputs; ++slot) {
+                const int distance = current.op(id).inputs[slot].distance;
+                if (distance == 0)
+                    continue;
+                for (const int target : {1, distance - 1}) {
+                    if (target >= distance)
+                        continue;
+                    Loop candidate = current;
+                    candidate.mutableOp(id).inputs[slot].distance =
+                        target;
+                    if (accept(std::move(candidate))) {
+                        progress = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // 2b. Memory edges: drop each edge, then shorten its distance.
+        for (std::size_t e = 0; e < current.memoryEdges().size(); ++e) {
+            auto edges = current.memoryEdges();
+            edges.erase(edges.begin() + static_cast<std::ptrdiff_t>(e));
+            if (accept(withMemoryEdges(current, edges))) {
+                progress = true;
+                continue;
+            }
+            if (current.memoryEdges()[e].distance > 0) {
+                edges = current.memoryEdges();
+                --edges[e].distance;
+                progress |= accept(withMemoryEdges(current, edges));
+            }
+        }
+
+        // 3. Trip-count halving (the timing model's iteration count).
+        while (current.tripCount() > 1) {
+            Loop candidate = current;
+            candidate.setTripCount(current.tripCount() / 2);
+            if (!accept(std::move(candidate)))
+                break;
+            progress = true;
+        }
+
+        // 4. Constant simplification towards 0, 1, then half.
+        for (OpId id = 0; id < current.size(); ++id) {
+            if (current.op(id).opcode != Opcode::kConst)
+                continue;
+            const std::int64_t value = current.op(id).immediate;
+            if (value == 0)
+                continue;
+            for (const std::int64_t target : {std::int64_t{0},
+                                              std::int64_t{1},
+                                              value / 2}) {
+                if (target == value)
+                    continue;
+                Loop candidate = current;
+                candidate.mutableOp(id).immediate = target;
+                if (accept(std::move(candidate))) {
+                    progress = true;
+                    break;
+                }
+            }
+        }
+    }
+    return current;
+}
+
+}  // namespace veal

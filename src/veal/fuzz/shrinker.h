@@ -1,0 +1,68 @@
+#ifndef VEAL_FUZZ_SHRINKER_H_
+#define VEAL_FUZZ_SHRINKER_H_
+
+/**
+ * @file
+ * Greedy test-case minimisation for failing fuzz loops.
+ *
+ * Given a loop on which some failure predicate holds (typically "the
+ * differential oracle still reports the same bug class"), the shrinker
+ * repeatedly applies structure-preserving reductions and keeps every
+ * candidate that (a) still passes Loop::verify() and (b) still fails.
+ * Reduction passes, tried in a fixed order until a full sweep accepts
+ * nothing:
+ *
+ *  1. op deletion: remove one operation, rewiring its consumers to its
+ *     first input (iteration distances add up) or dropping it outright
+ *     when nothing consumes it;
+ *  2. edge-distance reduction: shorten loop-carried distances on value
+ *     operands and memory edges;
+ *  3. trip-count halving;
+ *  4. constant simplification towards 0 / 1 / half.
+ *
+ * Everything is deterministic: same input loop + same predicate
+ * behaviour -> same minimised loop.
+ */
+
+#include <functional>
+#include <optional>
+
+#include "veal/ir/loop.h"
+
+namespace veal {
+
+/** "Does this candidate still reproduce the failure?" */
+using FailurePredicate = std::function<bool(const Loop&)>;
+
+/** Bookkeeping for one shrink session. */
+struct ShrinkStats {
+    int candidates_tried = 0;
+    int candidates_accepted = 0;
+};
+
+/** Tunables for shrinkLoop(). */
+struct ShrinkOptions {
+    /** Hard cap on predicate evaluations (shrinking must terminate). */
+    int max_candidates = 20000;
+};
+
+/**
+ * Delete operation @p victim from @p loop, remapping ids and rewiring
+ * consumers to the victim's first input.  Returns nullopt when deletion
+ * is impossible (a consumed source with no inputs, or a self-reference).
+ * The result is NOT verified; callers check Loop::verify().  Exposed for
+ * tests.
+ */
+std::optional<Loop> deleteOperation(const Loop& loop, OpId victim);
+
+/**
+ * Greedily minimise @p loop while @p still_fails holds.
+ * @pre still_fails(loop) is true (the input reproduces the failure).
+ */
+Loop shrinkLoop(const Loop& loop, const FailurePredicate& still_fails,
+                const ShrinkOptions& options = {},
+                ShrinkStats* stats = nullptr);
+
+}  // namespace veal
+
+#endif  // VEAL_FUZZ_SHRINKER_H_

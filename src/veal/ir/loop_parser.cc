@@ -190,6 +190,20 @@ parseLoop(const std::string& text)
                          line_number});
             continue;
         }
+        if (head == "branch") {
+            // Back branch on an already-defined predicate, for loops
+            // whose comparison has other consumers (loopback folds the
+            // cmp in and would leave it unnamed).
+            if (tokens.size() != 2)
+                return fail("branch needs a predicate value");
+            if (saw_loopback)
+                return fail("duplicate loopback");
+            saw_loopback = true;
+            const OpId id = new_op(Opcode::kBranch);
+            pending.push_back(PendingOp{
+                id, {parseOperandRef(tokens[1], line_number)}});
+            continue;
+        }
         if (head == "store") {
             if (tokens.size() != 4)
                 return fail("store needs <array> <addr> <value>");
@@ -209,15 +223,26 @@ parseLoop(const std::string& text)
         const std::string& mnemonic = tokens[2];
 
         if (mnemonic == "induction") {
+            if (tokens.size() != 4)
+                return fail("induction needs a step");
             std::int64_t step = 0;
-            if (tokens.size() != 4 || !parseInteger(tokens[3], &step))
-                return fail("induction needs a literal step");
-            const OpId step_const = new_op(Opcode::kConst);
-            ops[static_cast<std::size_t>(step_const)].immediate = step;
-            const OpId id = new_op(Opcode::kAdd);
+            OpId id = kNoOp;
+            if (parseInteger(tokens[3], &step)) {
+                // Literal step: materialise a private step constant.
+                const OpId step_const = new_op(Opcode::kConst);
+                ops[static_cast<std::size_t>(step_const)].immediate = step;
+                id = new_op(Opcode::kAdd);
+                ops[static_cast<std::size_t>(id)].inputs = {
+                    Operand{id, 1}, Operand{step_const, 0}};
+            } else {
+                // Named step: reference an explicitly defined value, so
+                // shared or live-out step constants round-trip exactly.
+                id = new_op(Opcode::kAdd);
+                ops[static_cast<std::size_t>(id)].inputs = {Operand{id, 1}};
+                pending.push_back(PendingOp{
+                    id, {parseOperandRef(tokens[3], line_number)}});
+            }
             ops[static_cast<std::size_t>(id)].is_induction = true;
-            ops[static_cast<std::size_t>(id)].inputs = {
-                Operand{id, 1}, Operand{step_const, 0}};
             if (!define(name, id))
                 return fail("redefinition of '" + name + "'");
             continue;
@@ -249,6 +274,21 @@ parseLoop(const std::string& text)
             ops[static_cast<std::size_t>(id)].symbol = tokens[3];
             pending.push_back(PendingOp{
                 id, {parseOperandRef(tokens[4], line_number)}});
+            if (!define(name, id))
+                return fail("redefinition of '" + name + "'");
+            continue;
+        }
+        if (mnemonic == "store") {
+            // Named store: only needed (and only printed) when a memory
+            // edge references the store.
+            if (tokens.size() != 6)
+                return fail("store needs <array> <addr> <value>");
+            const OpId id = new_op(Opcode::kStore);
+            ops[static_cast<std::size_t>(id)].symbol = tokens[3];
+            pending.push_back(PendingOp{
+                id,
+                {parseOperandRef(tokens[4], line_number),
+                 parseOperandRef(tokens[5], line_number)}});
             if (!define(name, id))
                 return fail("redefinition of '" + name + "'");
             continue;
@@ -388,12 +428,15 @@ printLoop(const Loop& loop)
         return text;
     };
 
-    // Step constants of inductions are folded into the induction line.
+    // Step constants of inductions are folded into the induction line --
+    // unless something else consumes them or they are live-out, in which
+    // case they must keep a printable name.
     std::vector<bool> hidden(static_cast<std::size_t>(loop.size()), false);
     for (const auto& op : loop.operations()) {
         if (op.is_induction) {
             const Operation& step = loop.op(op.inputs[1].producer);
-            bool only_step_use = true;
+            bool only_step_use =
+                step.opcode == Opcode::kConst && !step.is_live_out;
             for (const auto& other : loop.operations()) {
                 for (const auto& input : other.inputs) {
                     if (input.producer == step.id && other.id != op.id)
@@ -403,6 +446,39 @@ printLoop(const Loop& loop)
             if (only_step_use)
                 hidden[static_cast<std::size_t>(step.id)] = true;
         }
+    }
+
+    // Stores normally print unnamed (they produce no value), but a store
+    // referenced by a memory edge needs a name the memedge line can use.
+    std::vector<bool> edge_endpoint(static_cast<std::size_t>(loop.size()),
+                                    false);
+    for (const auto& edge : loop.memoryEdges()) {
+        edge_endpoint[static_cast<std::size_t>(edge.from)] = true;
+        edge_endpoint[static_cast<std::size_t>(edge.to)] = true;
+    }
+
+    // A comparison folds into a `loopback` directive only when the back
+    // branch is its sole consumer and it is not live-out; otherwise it
+    // keeps its name and the branch is rendered as `branch <pred>`.
+    std::vector<bool> folded_cmp(static_cast<std::size_t>(loop.size()),
+                                 false);
+    for (const auto& op : loop.operations()) {
+        if (op.opcode != Opcode::kCmp || op.is_live_out)
+            continue;
+        bool feeds_branch = false;
+        bool other_consumer = false;
+        for (const auto& other : loop.operations()) {
+            for (const auto& input : other.inputs) {
+                if (input.producer != op.id)
+                    continue;
+                if (other.opcode == Opcode::kBranch)
+                    feeds_branch = true;
+                else
+                    other_consumer = true;
+            }
+        }
+        if (feeds_branch && !other_consumer)
+            folded_cmp[static_cast<std::size_t>(op.id)] = true;
     }
 
     for (const auto& op : loop.operations()) {
@@ -424,21 +500,22 @@ printLoop(const Loop& loop)
                << operand_text(op.inputs[0]) << "\n";
             break;
           case Opcode::kStore:
+            if (edge_endpoint[static_cast<std::size_t>(op.id)])
+                os << value_name(op.id) << " = ";
             os << "store " << op.symbol << " "
                << operand_text(op.inputs[0]) << " "
                << operand_text(op.inputs[1]) << "\n";
             break;
           case Opcode::kBranch:
-            // Rendered (with its comparison) as a loopback directive.
+            // A branch on a folded cmp is rendered (with the cmp) as a
+            // loopback directive; otherwise it names its predicate.
+            if (!folded_cmp[static_cast<std::size_t>(
+                    op.inputs[0].producer)]) {
+                os << "branch " << operand_text(op.inputs[0]) << "\n";
+            }
             break;
           case Opcode::kCmp: {
-            bool feeds_branch = false;
-            for (const auto& other : loop.operations()) {
-                if (other.opcode == Opcode::kBranch &&
-                    other.inputs[0].producer == op.id)
-                    feeds_branch = true;
-            }
-            if (feeds_branch) {
+            if (folded_cmp[static_cast<std::size_t>(op.id)]) {
                 os << "loopback " << operand_text(op.inputs[0]) << " "
                    << operand_text(op.inputs[1]) << "\n";
             } else {
@@ -457,8 +534,15 @@ printLoop(const Loop& loop)
           }
           default: {
             if (op.is_induction) {
-                os << value_name(op.id) << " = induction "
-                   << loop.op(op.inputs[1].producer).immediate << "\n";
+                // A hidden step constant folds into the induction line;
+                // a named (shared/live-out/computed) step is referenced.
+                const Operand& step = op.inputs[1];
+                os << value_name(op.id) << " = induction ";
+                if (hidden[static_cast<std::size_t>(step.producer)])
+                    os << loop.op(step.producer).immediate;
+                else
+                    os << operand_text(step);
+                os << "\n";
                 break;
             }
             os << value_name(op.id) << " = " << toString(op.opcode);

@@ -12,7 +12,8 @@
  *   loop <name>                  -- header (required, first)
  *   trip <N>                     -- typical trip count
  *   speculative                  -- marks a while-style loop
- *   <v> = induction <step>
+ *   <v> = induction <step>       -- step is a literal (private constant)
+ *                                   or the name of a defined value
  *   <v> = const <imm>
  *   <v> = livein [<label>]
  *   <v> = load <array> <addr>
@@ -21,9 +22,15 @@
  *                                   not/cmp/select/min/max/abs/fadd/fsub/
  *                                   fmul/fdiv/fsqrt/fcmp/fabs/itof/ftoi
  *   store <array> <addr> <value>
+ *   <v> = store <array> <addr> <value>
+ *                                -- named form, required when a memedge
+ *                                   references the store
  *   liveout <v>
  *   memedge <from> <to> <distance>
  *   loopback <iv> <bound>
+ *   branch <pred>                -- back branch on an explicit, named
+ *                                   predicate (used when the comparison
+ *                                   has consumers besides the branch)
  *
  * Operands reference earlier or later values by name; `name@d` reads the
  * value produced d iterations ago (loop-carried).  Forward references

@@ -67,13 +67,20 @@ SchedGraph::SchedGraph(const Loop& loop, const LoopAnalysis& analysis,
         units_.push_back(std::move(unit));
     }
 
-    // Dependence edges between distinct units; dedupe keeping the tightest
-    // (max delay per distance) constraint.
+    // Dependence edges between units; dedupe keeping the tightest (max
+    // delay per distance) constraint.  Carried self-edges (uf == ut,
+    // distance >= 1) are real recurrences -- a one-op accumulator such as
+    // `acc = mpy(x, acc@1)` bounds the II by its own latency -- and must
+    // reach recMii and the scheduler's final verification.  Only
+    // zero-distance self-edges vanish: those are intra-group dataflow of
+    // a collapsed CCA unit, internal to one issue of the unit.
     std::map<std::tuple<int, int, int>, int> strongest;
     for (const auto& edge : loop.allEdges()) {
         const int uf = unit_of_op_[static_cast<std::size_t>(edge.from)];
         const int ut = unit_of_op_[static_cast<std::size_t>(edge.to)];
-        if (uf == -1 || ut == -1 || uf == ut)
+        if (uf == -1 || ut == -1)
+            continue;
+        if (uf == ut && edge.distance == 0)
             continue;
         const int delay = units_[static_cast<std::size_t>(uf)].latency;
         auto [it, inserted] = strongest.try_emplace(

@@ -2,31 +2,75 @@
 
 #include <algorithm>
 #include <map>
+#include <ostream>
 #include <sstream>
 
+#include "veal/sched/register_alloc.h"
 #include "veal/support/assert.h"
 
 namespace veal {
 
-std::optional<std::string>
+const char*
+toString(ScheduleViolationCode code)
+{
+    switch (code) {
+      case ScheduleViolationCode::kBadIi: return "bad-ii";
+      case ScheduleViolationCode::kVectorSize: return "vector-size";
+      case ScheduleViolationCode::kNotNormalised: return "not-normalised";
+      case ScheduleViolationCode::kDependence: return "dependence";
+      case ScheduleViolationCode::kMemoryUnitWithFu:
+        return "memory-unit-with-fu";
+      case ScheduleViolationCode::kFuInstanceRange:
+        return "fu-instance-range";
+      case ScheduleViolationCode::kResourceConflict:
+        return "resource-conflict";
+      case ScheduleViolationCode::kLengthField: return "length-field";
+      case ScheduleViolationCode::kStageCountField:
+        return "stage-count-field";
+      case ScheduleViolationCode::kRegisterCapacity:
+        return "register-capacity";
+    }
+    return "unknown";
+}
+
+std::ostream&
+operator<<(std::ostream& os, const ScheduleViolation& violation)
+{
+    return os << toString(violation.code) << ": " << violation.detail;
+}
+
+std::optional<ScheduleViolation>
 validateSchedule(const SchedGraph& graph, const LaConfig& config,
                  const Schedule& schedule)
 {
+    auto violation = [](ScheduleViolationCode code, std::string detail) {
+        return ScheduleViolation{code, std::move(detail)};
+    };
+
     const int n = graph.numUnits();
     if (schedule.ii < 1)
-        return "II below 1";
-    if (schedule.ii > config.max_ii)
-        return "II " + std::to_string(schedule.ii) +
-               " exceeds max supported II " + std::to_string(config.max_ii);
-    if (static_cast<int>(schedule.time.size()) != n)
-        return "time vector size mismatch";
-    if (static_cast<int>(schedule.fu_instance.size()) != n)
-        return "fu_instance vector size mismatch";
+        return violation(ScheduleViolationCode::kBadIi, "II below 1");
+    if (schedule.ii > config.max_ii) {
+        return violation(ScheduleViolationCode::kBadIi,
+                         "II " + std::to_string(schedule.ii) +
+                             " exceeds max supported II " +
+                             std::to_string(config.max_ii));
+    }
+    if (static_cast<int>(schedule.time.size()) != n) {
+        return violation(ScheduleViolationCode::kVectorSize,
+                         "time vector size mismatch");
+    }
+    if (static_cast<int>(schedule.fu_instance.size()) != n) {
+        return violation(ScheduleViolationCode::kVectorSize,
+                         "fu_instance vector size mismatch");
+    }
 
     int min_time = n == 0 ? 0 : *std::min_element(schedule.time.begin(),
                                                   schedule.time.end());
-    if (n > 0 && min_time != 0)
-        return "times are not normalised to start at 0";
+    if (n > 0 && min_time != 0) {
+        return violation(ScheduleViolationCode::kNotNormalised,
+                         "times are not normalised to start at 0");
+    }
 
     for (const auto& edge : graph.edges()) {
         const int from_time =
@@ -34,12 +78,14 @@ validateSchedule(const SchedGraph& graph, const LaConfig& config,
         const int to_time = schedule.time[static_cast<std::size_t>(edge.to)];
         if (to_time < from_time + edge.delay -
                           schedule.ii * edge.distance) {
-            return "dependence violated: unit " + std::to_string(edge.to) +
-                   " at " + std::to_string(to_time) + " needs unit " +
-                   std::to_string(edge.from) + "@" +
-                   std::to_string(from_time) + " +" +
-                   std::to_string(edge.delay) + " -II*" +
-                   std::to_string(edge.distance);
+            return violation(
+                ScheduleViolationCode::kDependence,
+                "unit " + std::to_string(edge.to) + " at " +
+                    std::to_string(to_time) + " needs unit " +
+                    std::to_string(edge.from) + "@" +
+                    std::to_string(from_time) + " +" +
+                    std::to_string(edge.delay) + " -II*" +
+                    std::to_string(edge.distance));
         }
     }
 
@@ -48,15 +94,20 @@ validateSchedule(const SchedGraph& graph, const LaConfig& config,
     for (const auto& unit : graph.units()) {
         const auto u = static_cast<std::size_t>(unit.id);
         if (unit.fu == FuClass::kNone) {
-            if (schedule.fu_instance[u] != -1)
-                return "memory unit with an FU instance";
+            if (schedule.fu_instance[u] != -1) {
+                return violation(ScheduleViolationCode::kMemoryUnitWithFu,
+                                 "memory unit " + std::to_string(unit.id) +
+                                     " with an FU instance");
+            }
             continue;
         }
         const int instance = schedule.fu_instance[u];
         if (instance < 0 || instance >= config.fuCount(unit.fu)) {
-            return "unit " + std::to_string(unit.id) +
-                   " uses out-of-range " + std::string(toString(unit.fu)) +
-                   " instance " + std::to_string(instance);
+            return violation(ScheduleViolationCode::kFuInstanceRange,
+                             "unit " + std::to_string(unit.id) +
+                                 " uses out-of-range " +
+                                 std::string(toString(unit.fu)) +
+                                 " instance " + std::to_string(instance));
         }
         for (int k = 0; k < unit.init_interval; ++k) {
             const int slot =
@@ -65,12 +116,13 @@ validateSchedule(const SchedGraph& graph, const LaConfig& config,
                                              instance, slot);
             const auto [it, inserted] = slot_owner.emplace(key, unit.id);
             if (!inserted) {
-                return "resource conflict on " +
-                       std::string(toString(unit.fu)) + " " +
-                       std::to_string(instance) + " slot " +
-                       std::to_string(slot) + " between units " +
-                       std::to_string(it->second) + " and " +
-                       std::to_string(unit.id);
+                return violation(
+                    ScheduleViolationCode::kResourceConflict,
+                    "conflict on " + std::string(toString(unit.fu)) + " " +
+                        std::to_string(instance) + " slot " +
+                        std::to_string(slot) + " between units " +
+                        std::to_string(it->second) + " and " +
+                        std::to_string(unit.id));
             }
         }
     }
@@ -82,10 +134,33 @@ validateSchedule(const SchedGraph& graph, const LaConfig& config,
         length = std::max(length, schedule.time[u] + unit.latency);
         max_stage = std::max(max_stage, schedule.time[u] / schedule.ii);
     }
-    if (schedule.length != length)
-        return "length field inconsistent";
-    if (schedule.stage_count != max_stage + 1)
-        return "stage_count field inconsistent";
+    if (schedule.length != length) {
+        return violation(ScheduleViolationCode::kLengthField,
+                         "length field inconsistent");
+    }
+    if (schedule.stage_count != max_stage + 1) {
+        return violation(ScheduleViolationCode::kStageCountField,
+                         "stage_count field inconsistent");
+    }
+    return std::nullopt;
+}
+
+std::optional<ScheduleViolation>
+validateSchedule(const SchedGraph& graph, const LaConfig& config,
+                 const Schedule& schedule, const Loop& loop,
+                 const LoopAnalysis& analysis)
+{
+    if (auto structural = validateSchedule(graph, config, schedule))
+        return structural;
+
+    // Re-derive the operand mapping: the allocator's bypass rules are the
+    // live-range analysis, so its demand is exactly the capacity needed.
+    const RegisterAssignment registers =
+        assignRegisters(loop, analysis, graph, schedule, config);
+    if (!registers.ok) {
+        return ScheduleViolation{ScheduleViolationCode::kRegisterCapacity,
+                                 registers.fail_reason};
+    }
     return std::nullopt;
 }
 

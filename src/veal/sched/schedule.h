@@ -6,6 +6,7 @@
  * The result of modulo scheduling one loop, plus its validator.
  */
 
+#include <iosfwd>
 #include <optional>
 #include <string>
 #include <vector>
@@ -47,6 +48,33 @@ struct Schedule {
     }
 };
 
+/** Machine-readable reason a schedule failed validation. */
+enum class ScheduleViolationCode : int {
+    kBadIi,              ///< II below 1 or above config.max_ii.
+    kVectorSize,         ///< time / fu_instance size != unit count.
+    kNotNormalised,      ///< Minimum issue time is not 0.
+    kDependence,         ///< An edge misses t_to >= t_from + delay - II*d.
+    kMemoryUnitWithFu,   ///< A stream-issued unit claims an FU instance.
+    kFuInstanceRange,    ///< FU instance index outside configured counts.
+    kResourceConflict,   ///< Two units share a (class, instance, slot).
+    kLengthField,        ///< Schedule::length inconsistent with times.
+    kStageCountField,    ///< Schedule::stage_count inconsistent with times.
+    kRegisterCapacity,   ///< Operand live ranges exceed the register files.
+};
+
+/** Code name, e.g. "resource-conflict". */
+const char* toString(ScheduleViolationCode code);
+
+/** One validation failure: a stable code plus human-readable detail. */
+struct ScheduleViolation {
+    ScheduleViolationCode code = ScheduleViolationCode::kBadIi;
+    std::string detail;
+};
+
+/** Streams "<code>: <detail>" (gtest failure messages, fuzz reports). */
+std::ostream& operator<<(std::ostream& os,
+                         const ScheduleViolation& violation);
+
 /**
  * Check every modulo-scheduling invariant of @p schedule against
  * @p graph / @p config:
@@ -58,11 +86,23 @@ struct Schedule {
  *  - II is within [1, config.max_ii],
  *  - stage_count and length are consistent with the times.
  *
- * Returns std::nullopt when valid, else a description of the violation.
+ * Returns std::nullopt when valid, else the first violation found.
  */
-std::optional<std::string> validateSchedule(const SchedGraph& graph,
-                                            const LaConfig& config,
-                                            const Schedule& schedule);
+std::optional<ScheduleViolation> validateSchedule(const SchedGraph& graph,
+                                                  const LaConfig& config,
+                                                  const Schedule& schedule);
+
+/**
+ * Structural validation as above, plus a register-file capacity check:
+ * the register allocator's one-to-one operand mapping (whose live-range
+ * bypass rules decide which values need a register at all) must fit
+ * config.num_int_registers / num_fp_registers.  This is the oracle-grade
+ * validator the differential fuzzer runs on every accepted translation.
+ */
+std::optional<ScheduleViolation> validateSchedule(
+    const SchedGraph& graph, const LaConfig& config,
+    const Schedule& schedule, const Loop& loop,
+    const LoopAnalysis& analysis);
 
 /** Render the modulo reservation table as text (paper Figure 5 style). */
 std::string renderReservationTable(const SchedGraph& graph,

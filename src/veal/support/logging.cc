@@ -39,6 +39,14 @@ sinkSlot()
     return sink;
 }
 
+/** Depth of nested ScopedPanicGuards on this thread. */
+int&
+panicGuardDepth()
+{
+    thread_local int depth = 0;
+    return depth;
+}
+
 }  // namespace
 
 LogSink*
@@ -73,10 +81,28 @@ fatalExit(const std::string& message)
 void
 panicAbort(const std::string& message)
 {
+    if (ScopedPanicGuard::active())
+        throw PanicError(message);
     sinkSlot()->write(LogLevel::kPanic, message);
     std::abort();
 }
 
 }  // namespace detail
+
+ScopedPanicGuard::ScopedPanicGuard()
+{
+    ++panicGuardDepth();
+}
+
+ScopedPanicGuard::~ScopedPanicGuard()
+{
+    --panicGuardDepth();
+}
+
+bool
+ScopedPanicGuard::active()
+{
+    return panicGuardDepth() > 0;
+}
 
 }  // namespace veal

@@ -13,6 +13,7 @@
  */
 
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace veal {
@@ -42,6 +43,40 @@ LogSink* setLogSink(LogSink* sink);
 
 /** The currently installed sink. */
 LogSink* logSink();
+
+/**
+ * Thrown by panic() instead of aborting while a ScopedPanicGuard is
+ * active on the panicking thread.  what() carries the panic message.
+ */
+class PanicError : public std::runtime_error {
+  public:
+    explicit PanicError(const std::string& message)
+        : std::runtime_error(message)
+    {}
+};
+
+/**
+ * While alive, panics *on this thread* throw PanicError instead of
+ * aborting the process.
+ *
+ * This exists for harnesses that probe internal invariants on purpose --
+ * the differential fuzzer classifies a translator/executor panic as a
+ * crash-guard outcome and keeps fuzzing.  Production code must never
+ * swallow a PanicError: a tripped invariant still means the containing
+ * result is garbage.  Guards nest; the thread-local flag clears when the
+ * outermost guard dies.  Other threads keep the abort semantics.
+ */
+class ScopedPanicGuard {
+  public:
+    ScopedPanicGuard();
+    ~ScopedPanicGuard();
+
+    ScopedPanicGuard(const ScopedPanicGuard&) = delete;
+    ScopedPanicGuard& operator=(const ScopedPanicGuard&) = delete;
+
+    /** True when a guard is active on the calling thread. */
+    static bool active();
+};
 
 namespace detail {
 

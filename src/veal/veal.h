@@ -14,6 +14,8 @@
  *  - veal/sim: cycle-level CPU model and LA timing model.
  *  - veal/vm: the co-designed virtual machine (translation + code cache).
  *  - veal/workloads: the synthetic MediaBench/SPECfp-like suite.
+ *  - veal/fuzz: the differential fuzzing subsystem (oracle, shrinker,
+ *    repro corpus, campaign driver).
  */
 
 #include "veal/arch/area.h"
@@ -23,6 +25,10 @@
 #include "veal/arch/la_config.h"
 #include "veal/arch/latency.h"
 #include "veal/cca/cca_mapper.h"
+#include "veal/fuzz/corpus.h"
+#include "veal/fuzz/driver.h"
+#include "veal/fuzz/oracle.h"
+#include "veal/fuzz/shrinker.h"
 #include "veal/ir/loop.h"
 #include "veal/ir/loop_analysis.h"
 #include "veal/ir/loop_builder.h"

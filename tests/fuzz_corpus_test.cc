@@ -1,0 +1,168 @@
+#include "veal/fuzz/corpus.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "veal/fuzz/driver.h"
+#include "veal/ir/loop_parser.h"
+#include "veal/workloads/kernels.h"
+
+#ifndef VEAL_CORPUS_DIR
+#error "VEAL_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace veal {
+namespace {
+
+/** Fresh scratch directory under the gtest temp root. */
+std::string
+scratchDir(const std::string& name)
+{
+    const std::filesystem::path dir =
+        std::filesystem::path(::testing::TempDir()) / ("veal-" + name);
+    std::filesystem::remove_all(dir);
+    return dir.string();
+}
+
+CorpusCase
+sampleCase()
+{
+    CorpusCase repro;
+    repro.loop = makeDotProductLoop("dot");
+    repro.config = LaConfig::proposed();
+    repro.mode = TranslationMode::kFullyDynamicHeight;
+    repro.seed = 424242;
+    repro.iterations = 9;
+    repro.expect = OracleOutcome::kPass;
+    repro.note = "dot product smoke case";
+    return repro;
+}
+
+TEST(LaConfigCodec, RoundTripsEveryPreset)
+{
+    for (const auto& preset : fuzzConfigPresets()) {
+        const std::string text = encodeLaConfig(preset.config);
+        const auto decoded = decodeLaConfig(text);
+        ASSERT_TRUE(std::holds_alternative<LaConfig>(decoded))
+            << std::get<std::string>(decoded);
+        const LaConfig& config = std::get<LaConfig>(decoded);
+        EXPECT_EQ(encodeLaConfig(config), text) << preset.name;
+        EXPECT_EQ(config.num_int_units, preset.config.num_int_units);
+        EXPECT_EQ(config.num_fp_units, preset.config.num_fp_units);
+        EXPECT_EQ(config.num_int_registers,
+                  preset.config.num_int_registers);
+        EXPECT_EQ(config.max_ii, preset.config.max_ii);
+        EXPECT_EQ(config.hasCca(), preset.config.hasCca());
+    }
+}
+
+TEST(LaConfigCodec, RejectsUnknownKeys)
+{
+    const auto decoded = decodeLaConfig("int_units=2 frobnicate=9");
+    ASSERT_TRUE(std::holds_alternative<std::string>(decoded));
+    EXPECT_NE(std::get<std::string>(decoded).find("frobnicate"),
+              std::string::npos);
+}
+
+TEST(CorpusFormat, RoundTripsACase)
+{
+    const CorpusCase repro = sampleCase();
+    const std::string text = formatCorpusCase(repro);
+
+    const CorpusParseResult parsed = parseCorpusCase(text);
+    ASSERT_TRUE(std::holds_alternative<CorpusCase>(parsed))
+        << std::get<std::string>(parsed);
+    const CorpusCase& back = std::get<CorpusCase>(parsed);
+
+    EXPECT_EQ(printLoop(back.loop), printLoop(repro.loop));
+    EXPECT_EQ(encodeLaConfig(back.config), encodeLaConfig(repro.config));
+    EXPECT_EQ(back.mode, repro.mode);
+    EXPECT_EQ(back.seed, repro.seed);
+    EXPECT_EQ(back.iterations, repro.iterations);
+    EXPECT_EQ(back.expect, repro.expect);
+    EXPECT_EQ(back.note, repro.note);
+
+    // The directives are DSL comments, so a corpus file also parses as a
+    // plain loop.
+    const ParseResult plain = parseLoop(text);
+    ASSERT_TRUE(std::holds_alternative<Loop>(plain));
+    EXPECT_EQ(printLoop(std::get<Loop>(plain)), printLoop(repro.loop));
+}
+
+TEST(CorpusFormat, ReportsBrokenFilesAsErrors)
+{
+    const CorpusParseResult no_loop = parseCorpusCase("#! seed 4\n");
+    EXPECT_TRUE(std::holds_alternative<std::string>(no_loop));
+
+    const CorpusParseResult bad_directive = parseCorpusCase(
+        "#! wibble 1\n" + printLoop(sampleCase().loop));
+    EXPECT_TRUE(std::holds_alternative<std::string>(bad_directive));
+}
+
+TEST(CorpusFiles, SaveListLoadRoundTrip)
+{
+    const std::string dir = scratchDir("corpus-files");
+    const CorpusCase repro = sampleCase();
+
+    const std::string path_b = saveCorpusCase(dir, "b-case", repro);
+    const std::string path_a = saveCorpusCase(dir, "a-case", repro);
+
+    const auto files = listCorpusFiles(dir);
+    ASSERT_EQ(files.size(), 2u);
+    EXPECT_EQ(files[0], path_a);  // Sorted, so replay order is stable.
+    EXPECT_EQ(files[1], path_b);
+
+    const CorpusParseResult loaded = loadCorpusFile(path_a);
+    ASSERT_TRUE(std::holds_alternative<CorpusCase>(loaded))
+        << std::get<std::string>(loaded);
+    EXPECT_EQ(std::get<CorpusCase>(loaded).seed, repro.seed);
+
+    EXPECT_TRUE(listCorpusFiles(dir + "-missing").empty());
+}
+
+TEST(CorpusReplay, FlagsExpectationMismatches)
+{
+    const std::string dir = scratchDir("corpus-replay");
+    CorpusCase good = sampleCase();
+    good.expect = OracleOutcome::kPass;
+    saveCorpusCase(dir, "good", good);
+
+    CorpusCase wrong = sampleCase();
+    wrong.expect = OracleOutcome::kDivergence;  // Deliberately wrong.
+    saveCorpusCase(dir, "wrong", wrong);
+
+    const auto results = replayCorpus(dir);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_TRUE(results[0].ok()) << results[0].error
+                                 << results[0].actual.detail;
+    EXPECT_FALSE(results[1].ok());
+    EXPECT_EQ(results[1].actual.outcome, OracleOutcome::kPass);
+}
+
+/**
+ * The checked-in corpus (every .veal under tests/corpus) replays clean:
+ * every seed
+ * case and every shrunk fuzzer find keeps reporting the outcome recorded
+ * in its header.
+ */
+TEST(CorpusReplay, CheckedInCorpusReplaysClean)
+{
+    const std::string dir = VEAL_CORPUS_DIR;
+    const auto files = listCorpusFiles(dir);
+    EXPECT_GE(files.size(), 10u) << "corpus under " << dir;
+
+    const auto results = replayCorpus(dir);
+    ASSERT_EQ(results.size(), files.size());
+    for (const auto& result : results) {
+        EXPECT_TRUE(result.ok())
+            << result.path << ": " << result.error << " expect="
+            << toString(result.expect) << " actual="
+            << toString(result.actual.outcome) << " "
+            << result.actual.detail;
+    }
+}
+
+}  // namespace
+}  // namespace veal

@@ -1,0 +1,150 @@
+#include "veal/fuzz/driver.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "veal/ir/loop_parser.h"
+
+namespace veal {
+namespace {
+
+/** Same injected off-by-one as the oracle and shrinker tests. */
+void
+injectOffByOne(TranslationResult& translation)
+{
+    if (!translation.graph.has_value())
+        return;
+    const SchedGraph& graph = *translation.graph;
+    for (const auto& edge : graph.edges()) {
+        if (edge.distance != 0 || edge.delay <= 0 || edge.from == edge.to)
+            continue;
+        auto& time = translation.schedule.time;
+        time[static_cast<std::size_t>(edge.to)] =
+            time[static_cast<std::size_t>(edge.from)] + edge.delay - 1;
+        int length = 0;
+        int max_stage = 0;
+        for (std::size_t u = 0; u < time.size(); ++u) {
+            length = std::max(length, time[u] + graph.units()[u].latency);
+            max_stage = std::max(max_stage,
+                                 time[u] / translation.schedule.ii);
+        }
+        translation.schedule.length = length;
+        translation.schedule.stage_count = max_stage + 1;
+        return;
+    }
+}
+
+TEST(FuzzPresets, CoverTheProposedDesignPointAndStressCorners)
+{
+    const auto presets = fuzzConfigPresets();
+    ASSERT_GE(presets.size(), 5u);
+
+    std::set<std::string> names;
+    for (const auto& preset : presets)
+        names.insert(preset.name);
+    EXPECT_EQ(names.size(), presets.size()) << "duplicate preset names";
+    EXPECT_TRUE(names.count("proposed"));
+    EXPECT_TRUE(names.count("min-regs"));
+    EXPECT_TRUE(names.count("one-fu"));
+    EXPECT_TRUE(names.count("max-ii-4"));
+    EXPECT_TRUE(names.count("one-load-stream"));
+
+    const auto by_name = fuzzConfigByName("min-regs");
+    ASSERT_TRUE(by_name.has_value());
+    EXPECT_EQ(by_name->config.num_int_registers, 2);
+    EXPECT_FALSE(fuzzConfigByName("no-such-config").has_value());
+}
+
+TEST(FuzzCases, AreDeterministicFunctionsOfSeedAndIndex)
+{
+    EXPECT_EQ(makeFuzzCaseSeed(1, 0), makeFuzzCaseSeed(1, 0));
+    EXPECT_NE(makeFuzzCaseSeed(1, 0), makeFuzzCaseSeed(1, 1));
+    EXPECT_NE(makeFuzzCaseSeed(1, 0), makeFuzzCaseSeed(2, 0));
+
+    EXPECT_EQ(printLoop(makeFuzzCaseLoop(1, 5)),
+              printLoop(makeFuzzCaseLoop(1, 5)));
+    EXPECT_NE(printLoop(makeFuzzCaseLoop(1, 5)),
+              printLoop(makeFuzzCaseLoop(1, 6)));
+
+    // The mode stream eventually exercises every static/dynamic split.
+    std::set<TranslationMode> modes;
+    for (int index = 0; index < 64; ++index)
+        modes.insert(makeFuzzCaseMode(1, index));
+    EXPECT_EQ(modes.size(), 4u);
+}
+
+TEST(FuzzDriver, SummaryIsIdenticalForAnyThreadCount)
+{
+    FuzzOptions options;
+    options.runs = 60;
+    options.seed = 7;
+    options.threads = 1;
+    const FuzzSummary serial = runFuzz(options);
+
+    options.threads = 4;
+    const FuzzSummary parallel = runFuzz(options);
+
+    EXPECT_EQ(serial.render(), parallel.render());
+    EXPECT_TRUE(serial.clean()) << serial.render();
+
+    int total = 0;
+    for (const auto& [config, per_outcome] : serial.counts) {
+        for (const auto& [outcome, count] : per_outcome)
+            total += count;
+    }
+    EXPECT_EQ(total, options.runs);
+    EXPECT_EQ(serial.counts.size(), fuzzConfigPresets().size());
+
+    const std::string report = serial.render();
+    EXPECT_NE(report.find("runs=60"), std::string::npos);
+    EXPECT_NE(report.find("failures: 0"), std::string::npos);
+}
+
+TEST(FuzzDriver, InjectedBugFlowsThroughShrinkAndCorpusSave)
+{
+    const std::filesystem::path dir =
+        std::filesystem::path(::testing::TempDir()) / "veal-fuzz-driver";
+    std::filesystem::remove_all(dir);
+
+    FuzzOptions options;
+    options.runs = 30;
+    options.seed = 7;
+    options.threads = 2;
+    options.shrink = true;
+    options.corpus_dir = dir.string();
+    options.configs = {*fuzzConfigByName("proposed")};
+    options.perturb = injectOffByOne;
+
+    const FuzzSummary summary = runFuzz(options);
+    ASSERT_FALSE(summary.clean())
+        << "the injected bug must surface within 30 cases";
+
+    for (const auto& failure : summary.failures) {
+        EXPECT_EQ(failure.report.outcome,
+                  OracleOutcome::kValidatorReject)
+            << failure.report.detail;
+        EXPECT_LE(failure.ops_after, failure.ops_before);
+        EXPECT_FALSE(failure.loop_text.empty());
+        ASSERT_FALSE(failure.saved_path.empty());
+
+        // Each saved repro is a loadable corpus case pinned to the
+        // outcome the campaign observed.
+        const CorpusParseResult loaded =
+            loadCorpusFile(failure.saved_path);
+        ASSERT_TRUE(std::holds_alternative<CorpusCase>(loaded))
+            << std::get<std::string>(loaded);
+        const CorpusCase& repro = std::get<CorpusCase>(loaded);
+        EXPECT_EQ(repro.expect, OracleOutcome::kValidatorReject);
+        EXPECT_EQ(repro.seed, failure.case_seed);
+        EXPECT_EQ(repro.loop.size(), failure.ops_after);
+    }
+
+    EXPECT_EQ(listCorpusFiles(dir.string()).size(),
+              summary.failures.size());
+}
+
+}  // namespace
+}  // namespace veal

@@ -1,0 +1,197 @@
+#include "veal/fuzz/oracle.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "veal/ir/loop_builder.h"
+#include "veal/ir/random_loop.h"
+#include "veal/support/logging.h"
+#include "veal/workloads/kernels.h"
+
+namespace veal {
+namespace {
+
+/**
+ * The injected scheduler bug used throughout the fuzz tests: issue the
+ * consumer of the first forward dependence one cycle before its operand
+ * is ready -- the classic off-by-one in a reservation-table slot check.
+ * Derived schedule fields are kept consistent so only the dependence
+ * invariant breaks.
+ */
+void
+injectOffByOne(TranslationResult& translation)
+{
+    if (!translation.graph.has_value())
+        return;
+    const SchedGraph& graph = *translation.graph;
+    for (const auto& edge : graph.edges()) {
+        if (edge.distance != 0 || edge.delay <= 0 || edge.from == edge.to)
+            continue;
+        auto& time = translation.schedule.time;
+        time[static_cast<std::size_t>(edge.to)] =
+            time[static_cast<std::size_t>(edge.from)] + edge.delay - 1;
+        int length = 0;
+        int max_stage = 0;
+        for (std::size_t u = 0; u < time.size(); ++u) {
+            length = std::max(length, time[u] + graph.units()[u].latency);
+            max_stage = std::max(max_stage,
+                                 time[u] / translation.schedule.ii);
+        }
+        translation.schedule.length = length;
+        translation.schedule.stage_count = max_stage + 1;
+        return;
+    }
+}
+
+TEST(MakeFuzzInput, DeterministicPerSeed)
+{
+    const Loop loop = makeDotProductLoop("dot");
+    const ExecutionInput a = makeFuzzInput(loop, 7, 12);
+    const ExecutionInput b = makeFuzzInput(loop, 7, 12);
+    EXPECT_EQ(a.live_ins, b.live_ins);
+    EXPECT_EQ(a.initial, b.initial);
+    EXPECT_EQ(a.memory, b.memory);
+    EXPECT_EQ(a.iterations, 12);
+
+    const ExecutionInput c = makeFuzzInput(loop, 8, 12);
+    EXPECT_NE(a.memory, c.memory);
+}
+
+TEST(Oracle, PassesOnKernelLoops)
+{
+    const LaConfig config = LaConfig::proposed();
+    const Loop kernels[] = {
+        makeDotProductLoop("dot"),
+        makeFirLoop("fir", 8),
+        makeCopyScaleLoop("copy"),
+        makeSadLoop("sad"),
+        makeQuantLoop("quant"),
+    };
+    int passes = 0;
+    for (const auto& loop : kernels) {
+        const OracleReport report = runOracle(loop, config, 11);
+        EXPECT_FALSE(isFailure(report.outcome))
+            << loop.name() << ": " << toString(report.outcome) << " "
+            << report.detail;
+        passes += report.outcome == OracleOutcome::kPass ? 1 : 0;
+        if (report.outcome == OracleOutcome::kPass) {
+            EXPECT_GE(report.ii, 1) << loop.name();
+        }
+    }
+    EXPECT_GE(passes, 3);
+}
+
+TEST(Oracle, NeverFailsOnRandomLoopsAcrossModes)
+{
+    const LaConfig config = LaConfig::proposed();
+    constexpr TranslationMode kModes[] = {
+        TranslationMode::kStatic,
+        TranslationMode::kFullyDynamic,
+        TranslationMode::kFullyDynamicHeight,
+        TranslationMode::kHybridStaticCcaPriority,
+    };
+    RandomLoopParams params;
+    int passes = 0;
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+        const Loop loop = makeRandomLoop(params, seed);
+        OracleOptions options;
+        options.mode = kModes[seed % 4];
+        const OracleReport report = runOracle(loop, config, seed, options);
+        EXPECT_FALSE(isFailure(report.outcome))
+            << "seed " << seed << ": " << toString(report.outcome) << " "
+            << report.detail;
+        passes += report.outcome == OracleOutcome::kPass ? 1 : 0;
+    }
+    EXPECT_GT(passes, 0);
+}
+
+TEST(Oracle, ClassifiesTranslatorReject)
+{
+    LoopBuilder b("fp-loop");
+    const OpId i = b.induction(1);
+    const OpId x = b.load("in", i);
+    const OpId f = b.itof(x);
+    const OpId g = b.fadd(f, f);
+    b.store("out", i, g);
+    b.loopBack(i, b.constant(64));
+
+    LaConfig no_fp = LaConfig::proposed();
+    no_fp.num_fp_units = 0;
+    const OracleReport report = runOracle(b.build(), no_fp, 3);
+    EXPECT_EQ(report.outcome, OracleOutcome::kTranslatorReject);
+    EXPECT_FALSE(report.detail.empty());
+}
+
+TEST(Oracle, InjectedDependenceBugIsCaughtByTheValidator)
+{
+    const LaConfig config = LaConfig::proposed();
+    const Loop loop = makeDotProductLoop("dot");
+
+    OracleOptions options;
+    ASSERT_EQ(runOracle(loop, config, 5, options).outcome,
+              OracleOutcome::kPass);
+
+    options.perturb = injectOffByOne;
+    const OracleReport report = runOracle(loop, config, 5, options);
+    EXPECT_EQ(report.outcome, OracleOutcome::kValidatorReject)
+        << report.detail;
+    EXPECT_NE(report.detail.find("dependence"), std::string::npos)
+        << report.detail;
+}
+
+TEST(Oracle, InjectedAddressStreamBugIsCaughtAsDivergence)
+{
+    // Shift the store address generator's affine pattern one element
+    // off.  The schedule stays perfectly valid -- no structural
+    // invariant can see it -- so only differential execution against the
+    // interpreter catches the bug.
+    const Loop loop = makeCopyScaleLoop("copy");
+    const LaConfig config = LaConfig::proposed();
+    OracleOptions options;
+    ASSERT_EQ(runOracle(loop, config, 9, options).outcome,
+              OracleOutcome::kPass);
+
+    options.perturb = [](TranslationResult& translation) {
+        ASSERT_FALSE(translation.analysis.store_streams.empty());
+        translation.analysis.store_streams[0].offset += 1;
+    };
+    const OracleReport report = runOracle(loop, config, 9, options);
+    EXPECT_EQ(report.outcome, OracleOutcome::kDivergence) << report.detail;
+    EXPECT_FALSE(report.detail.empty());
+}
+
+TEST(Oracle, InjectedPanicIsClassifiedAsCrashGuard)
+{
+    const Loop loop = makeDotProductLoop("dot");
+    OracleOptions options;
+    options.perturb = [](TranslationResult&) {
+        panic("injected fuzz-test panic");
+    };
+    const OracleReport report =
+        runOracle(loop, LaConfig::proposed(), 1, options);
+    EXPECT_EQ(report.outcome, OracleOutcome::kCrashGuard);
+    EXPECT_NE(report.detail.find("injected fuzz-test panic"),
+              std::string::npos)
+        << report.detail;
+}
+
+TEST(Oracle, OutcomeNamesAndFailureClasses)
+{
+    EXPECT_STREQ(toString(OracleOutcome::kPass), "pass");
+    EXPECT_STREQ(toString(OracleOutcome::kTranslatorReject),
+                 "translator-reject");
+    EXPECT_STREQ(toString(OracleOutcome::kValidatorReject),
+                 "validator-reject");
+    EXPECT_STREQ(toString(OracleOutcome::kDivergence), "divergence");
+    EXPECT_STREQ(toString(OracleOutcome::kCrashGuard), "crash-guard");
+
+    EXPECT_FALSE(isFailure(OracleOutcome::kPass));
+    EXPECT_FALSE(isFailure(OracleOutcome::kTranslatorReject));
+    EXPECT_TRUE(isFailure(OracleOutcome::kValidatorReject));
+    EXPECT_TRUE(isFailure(OracleOutcome::kDivergence));
+    EXPECT_TRUE(isFailure(OracleOutcome::kCrashGuard));
+}
+
+}  // namespace
+}  // namespace veal

@@ -48,9 +48,11 @@ TEST_P(ScheduleProperty, TranslationsAreValidOrCleanlyRejected)
         return;
     }
 
-    // The full validator: dependences, resources, II bounds, fields.
+    // The full validator: dependences, resources, II bounds, fields, and
+    // register-file capacity via the allocator's live ranges.
     ASSERT_TRUE(result.graph.has_value());
-    const auto error = validateSchedule(*result.graph, la, result.schedule);
+    const auto error = validateSchedule(*result.graph, la, result.schedule,
+                                        loop, result.analysis);
     EXPECT_FALSE(error.has_value()) << *error;
 
     // II is sandwiched between MII and max_ii.

@@ -155,33 +155,41 @@ TEST(ValidatorTest, CatchesDependenceViolation)
     schedule->stage_count = max_stage + 1;
     const auto error = validateSchedule(problem.graph, la, *schedule);
     ASSERT_TRUE(error.has_value());
-    EXPECT_NE(error->find("dependence"), std::string::npos);
+    EXPECT_EQ(error->code, ScheduleViolationCode::kDependence);
 }
 
 TEST(ValidatorTest, CatchesResourceConflict)
 {
     const LaConfig la = LaConfig::proposed();
-    Problem problem(makeBalancedLoop(5), la);
+    Problem problem(makeBalancedLoop(12), la);
     const auto order = computeSwingOrder(problem.graph, problem.mii);
     auto schedule = scheduleLoop(problem.graph, la, order, problem.mii);
     ASSERT_TRUE(schedule.has_value());
-    // Force two int units onto the same instance and slot.
-    int first = -1;
+    // Find two int units that already share a modulo slot (on different
+    // instances, since the schedule is valid) and collapse the instances.
+    // Times are untouched, so no dependence breaks: the only violation
+    // is the double-booked slot.
+    std::vector<std::size_t> int_units;
     for (const auto& unit : problem.graph.units()) {
-        if (unit.fu != FuClass::kInt)
-            continue;
-        if (first == -1) {
-            first = unit.id;
-            continue;
-        }
-        schedule->fu_instance[static_cast<std::size_t>(unit.id)] =
-            schedule->fu_instance[static_cast<std::size_t>(first)];
-        schedule->time[static_cast<std::size_t>(unit.id)] =
-            schedule->time[static_cast<std::size_t>(first)];
-        break;
+        if (unit.fu == FuClass::kInt)
+            int_units.push_back(static_cast<std::size_t>(unit.id));
     }
+    bool corrupted = false;
+    for (std::size_t i = 0; i < int_units.size() && !corrupted; ++i) {
+        for (std::size_t j = i + 1; j < int_units.size() && !corrupted;
+             ++j) {
+            if (schedule->time[int_units[i]] % schedule->ii !=
+                schedule->time[int_units[j]] % schedule->ii)
+                continue;
+            schedule->fu_instance[int_units[j]] =
+                schedule->fu_instance[int_units[i]];
+            corrupted = true;
+        }
+    }
+    ASSERT_TRUE(corrupted) << "no two int units share a modulo slot";
     const auto error = validateSchedule(problem.graph, la, *schedule);
     ASSERT_TRUE(error.has_value());
+    EXPECT_EQ(error->code, ScheduleViolationCode::kResourceConflict);
 }
 
 TEST(ValidatorTest, CatchesExcessiveIi)
@@ -192,8 +200,48 @@ TEST(ValidatorTest, CatchesExcessiveIi)
     auto schedule = scheduleLoop(problem.graph, la, order, problem.mii);
     ASSERT_TRUE(schedule.has_value());
     schedule->ii = la.max_ii + 1;
-    EXPECT_TRUE(
-        validateSchedule(problem.graph, la, *schedule).has_value());
+    const auto error = validateSchedule(problem.graph, la, *schedule);
+    ASSERT_TRUE(error.has_value());
+    EXPECT_EQ(error->code, ScheduleViolationCode::kBadIi);
+}
+
+TEST(ValidatorTest, CatchesRegisterCapacityViaLiveRanges)
+{
+    // A structurally valid schedule whose operand mapping cannot fit a
+    // one-register integer file: the extended validator must reject it
+    // while the structural overload stays silent.  Loop-carried
+    // accumulators are never interconnect-bypassed (distance >= 1), so
+    // three of them pin three integer registers.
+    LoopBuilder b("accs");
+    const OpId iv = b.induction(1);
+    const OpId x = b.load("in", iv);
+    for (int i = 0; i < 3; ++i) {
+        const OpId acc = b.add(x, LoopBuilder::carried(kNoOp, 0));
+        b.loop().mutableOp(acc).inputs[1] = LoopBuilder::carried(acc, 1);
+        b.markLiveOut(acc);
+    }
+    b.loopBack(iv, b.constant(64));
+
+    LaConfig la = LaConfig::proposed();
+    Problem problem(b.build(), la);
+    const auto order = computeSwingOrder(problem.graph, problem.mii);
+    const auto schedule =
+        scheduleLoop(problem.graph, la, order, problem.mii);
+    ASSERT_TRUE(schedule.has_value());
+    ASSERT_FALSE(validateSchedule(problem.graph, la, *schedule,
+                                  problem.loop, problem.analysis)
+                     .has_value());
+
+    LaConfig cramped = la;
+    cramped.num_int_registers = 1;
+    // Structural invariants do not see register files...
+    EXPECT_FALSE(validateSchedule(problem.graph, cramped, *schedule)
+                     .has_value());
+    // ...the live-range-aware overload does.
+    const auto error = validateSchedule(problem.graph, cramped, *schedule,
+                                        problem.loop, problem.analysis);
+    ASSERT_TRUE(error.has_value());
+    EXPECT_EQ(error->code, ScheduleViolationCode::kRegisterCapacity);
 }
 
 TEST(SchedulerTest, RendersReservationTable)

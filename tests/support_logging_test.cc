@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "veal/support/assert.h"
 
 namespace veal {
 namespace {
@@ -73,6 +76,45 @@ TEST_F(LoggingTest, LogSinkAccessorMatchesInstalled)
 TEST(LoggingDeathTest, PanicAborts)
 {
     EXPECT_DEATH(panic("internal invariant broken"), "");
+}
+
+TEST(PanicGuardTest, GuardedPanicThrowsInsteadOfAborting)
+{
+    ScopedPanicGuard guard;
+    EXPECT_TRUE(ScopedPanicGuard::active());
+    try {
+        panic("tripped on purpose: ", 42);
+        FAIL() << "panic returned";
+    } catch (const PanicError& error) {
+        EXPECT_STREQ(error.what(), "tripped on purpose: 42");
+    }
+}
+
+TEST(PanicGuardTest, GuardsNest)
+{
+    ScopedPanicGuard outer;
+    {
+        ScopedPanicGuard inner;
+        EXPECT_THROW(panic("inner"), PanicError);
+    }
+    // Still guarded by the outer scope.
+    EXPECT_TRUE(ScopedPanicGuard::active());
+    EXPECT_THROW(panic("outer"), PanicError);
+}
+
+TEST(PanicGuardTest, GuardIsThreadLocal)
+{
+    ScopedPanicGuard guard;
+    std::thread other([] { EXPECT_FALSE(ScopedPanicGuard::active()); });
+    other.join();
+    EXPECT_TRUE(ScopedPanicGuard::active());
+}
+
+TEST(PanicGuardTest, GuardedAssertThrows)
+{
+    ScopedPanicGuard guard;
+    const int ii = 0;
+    EXPECT_THROW(VEAL_ASSERT(ii >= 1, "bad II ", ii), PanicError);
 }
 
 TEST(LoggingDeathTest, FatalExitsWithStatusOne)

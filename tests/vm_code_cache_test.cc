@@ -1,6 +1,16 @@
 #include "veal/vm/code_cache.h"
 
+#include <map>
+#include <vector>
+
 #include <gtest/gtest.h>
+
+#include "veal/fuzz/corpus.h"
+#include "veal/ir/loop_parser.h"
+
+#ifndef VEAL_CORPUS_DIR
+#error "VEAL_CORPUS_DIR must point at tests/corpus"
+#endif
 
 namespace veal {
 namespace {
@@ -106,6 +116,116 @@ TEST(CodeCacheTest, WorkingSetBeyondCapacityThrashesUnderLru)
 TEST(CodeCacheDeathTest, ZeroCapacityPanics)
 {
     EXPECT_DEATH(CodeCache cache(0), "");
+}
+
+/**
+ * The identity of one translation: the loop text alone is not enough
+ * (the same loop translated for two configurations yields different
+ * control), so the key spans (config, mode, loop).
+ */
+std::string
+translationKey(const CorpusCase& repro)
+{
+    return encodeLaConfig(repro.config) + "\n" + toString(repro.mode) +
+           "\n" + printLoop(repro.loop);
+}
+
+/** Every checked-in corpus case, keyed by its full printed identity. */
+std::vector<CorpusCase>
+loadCorpus()
+{
+    std::vector<CorpusCase> cases;
+    for (const auto& path : listCorpusFiles(VEAL_CORPUS_DIR)) {
+        CorpusParseResult parsed = loadCorpusFile(path);
+        EXPECT_TRUE(std::holds_alternative<CorpusCase>(parsed)) << path;
+        if (std::holds_alternative<CorpusCase>(parsed))
+            cases.push_back(std::move(std::get<CorpusCase>(parsed)));
+    }
+    return cases;
+}
+
+TEST(CodeCacheCorpusTest, ResidentCorpusWorkingSetTranslatesOnce)
+{
+    const auto corpus = loadCorpus();
+    ASSERT_GE(corpus.size(), 10u);
+
+    CodeCache cache(static_cast<int>(corpus.size()));
+    int translations = 0;
+    for (int round = 0; round < 4; ++round) {
+        for (const auto& repro : corpus) {
+            const std::string key = translationKey(repro);
+            if (cache.lookup(key))
+                continue;
+            translateLoop(repro.loop, repro.config, repro.mode);
+            ++translations;
+            cache.insert(key);
+        }
+    }
+    // One compulsory translation per loop; every later invocation hits.
+    EXPECT_EQ(translations, static_cast<int>(corpus.size()));
+    EXPECT_EQ(cache.misses(), static_cast<std::int64_t>(corpus.size()));
+    EXPECT_EQ(cache.hits(),
+              static_cast<std::int64_t>(3 * corpus.size()));
+}
+
+TEST(CodeCacheCorpusTest, CapacityPressureForcesRetranslation)
+{
+    const auto corpus = loadCorpus();
+    ASSERT_GE(corpus.size(), 10u);
+
+    // Fewer slots than corpus loops: round-robin invocation thrashes the
+    // LRU cache, so every invocation re-translates.
+    CodeCache cache(4);
+    std::map<std::string, int> first_ii;
+    int translations = 0;
+    for (int round = 0; round < 2; ++round) {
+        for (const auto& repro : corpus) {
+            const std::string key = translationKey(repro);
+            if (cache.lookup(key))
+                continue;
+            const TranslationResult translation =
+                translateLoop(repro.loop, repro.config, repro.mode);
+            ++translations;
+            cache.insert(key);
+
+            // Re-translation after eviction must reproduce the original
+            // control image, or a cache eviction would silently change
+            // accelerator behaviour.
+            const int ii = translation.ok ? translation.schedule.ii : -1;
+            const auto [it, inserted] = first_ii.try_emplace(key, ii);
+            if (!inserted) {
+                EXPECT_EQ(it->second, ii) << repro.loop.name();
+            }
+        }
+    }
+    EXPECT_EQ(translations, static_cast<int>(2 * corpus.size()));
+    EXPECT_EQ(cache.hits(), 0);
+}
+
+TEST(CodeCacheCorpusTest, RetranslationIsFullyDeterministic)
+{
+    for (const auto& repro : loadCorpus()) {
+        const TranslationResult first =
+            translateLoop(repro.loop, repro.config, repro.mode);
+        const TranslationResult second =
+            translateLoop(repro.loop, repro.config, repro.mode);
+
+        ASSERT_EQ(first.ok, second.ok) << repro.loop.name();
+        if (!first.ok) {
+            EXPECT_EQ(first.reject, second.reject) << repro.loop.name();
+            continue;
+        }
+        EXPECT_EQ(first.schedule.ii, second.schedule.ii)
+            << repro.loop.name();
+        EXPECT_EQ(first.schedule.time, second.schedule.time)
+            << repro.loop.name();
+        EXPECT_EQ(first.schedule.fu_instance, second.schedule.fu_instance)
+            << repro.loop.name();
+        EXPECT_EQ(first.schedule.length, second.schedule.length);
+        EXPECT_EQ(first.schedule.stage_count, second.schedule.stage_count);
+        EXPECT_EQ(first.registers.reg_of_unit, second.registers.reg_of_unit)
+            << repro.loop.name();
+    }
 }
 
 }  // namespace

@@ -1,0 +1,137 @@
+/**
+ * veal-fuzz: differential fuzzing campaign driver.
+ *
+ * Generates random-but-valid loops, pushes each through translate ->
+ * validate -> LA functional execution, and diffs the results against the
+ * reference interpreter.  Failures (divergence, crash-guard, validator
+ * reject) can be greedily shrunk and persisted as corpus repro files.
+ *
+ * The report is deterministic: a given (--runs, --seed, --config) prints
+ * byte-identical output for any --threads value.
+ *
+ * Exit status: 0 on a clean campaign (or clean replay), 1 on failures,
+ * 2 on bad usage.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "veal/fuzz/corpus.h"
+#include "veal/fuzz/driver.h"
+
+namespace {
+
+int
+usage()
+{
+    std::cerr <<
+        "usage: veal-fuzz [options]\n"
+        "  --runs N        cases to run (default 1000)\n"
+        "  --threads N     worker threads (default 1)\n"
+        "  --seed S        campaign seed (default 1)\n"
+        "  --iterations N  loop iterations per case (default 12)\n"
+        "  --config NAME   fuzz only this preset (default: all presets)\n"
+        "  --shrink        minimise failing loops before reporting\n"
+        "  --corpus DIR    save shrunk repros to DIR as .veal files\n"
+        "  --replay DIR    replay corpus files in DIR instead of fuzzing\n"
+        "  --list-configs  print the preset names and exit\n";
+    return 2;
+}
+
+int
+replay(const std::string& directory)
+{
+    const auto results = veal::replayCorpus(directory);
+    int bad = 0;
+    for (const auto& result : results) {
+        if (result.ok()) {
+            std::cout << "ok   " << result.path << " ("
+                      << toString(result.expect) << ")\n";
+            continue;
+        }
+        ++bad;
+        if (!result.error.empty()) {
+            std::cout << "FAIL " << result.path << ": " << result.error
+                      << "\n";
+        } else {
+            std::cout << "FAIL " << result.path << ": expected "
+                      << toString(result.expect) << ", got "
+                      << toString(result.actual.outcome) << " ("
+                      << result.actual.detail << ")\n";
+        }
+    }
+    std::cout << "replayed " << results.size() << " corpus case(s), "
+              << bad << " failure(s)\n";
+    return bad == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    veal::FuzzOptions options;
+    std::string replay_dir;
+
+    const auto next_value = [&](int& i) -> const char* {
+        if (i + 1 >= argc) {
+            std::cerr << "veal-fuzz: " << argv[i]
+                      << " needs a value\n";
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--runs") {
+            options.runs = std::atoi(next_value(i));
+        } else if (arg == "--threads") {
+            options.threads = std::atoi(next_value(i));
+        } else if (arg == "--seed") {
+            options.seed = std::strtoull(next_value(i), nullptr, 10);
+        } else if (arg == "--iterations") {
+            options.iterations = std::atoll(next_value(i));
+        } else if (arg == "--config") {
+            const std::string name = next_value(i);
+            const auto preset = veal::fuzzConfigByName(name);
+            if (!preset.has_value()) {
+                std::cerr << "veal-fuzz: unknown config '" << name
+                          << "' (try --list-configs)\n";
+                return 2;
+            }
+            options.configs = {*preset};
+        } else if (arg == "--shrink") {
+            options.shrink = true;
+        } else if (arg == "--corpus") {
+            options.corpus_dir = next_value(i);
+        } else if (arg == "--replay") {
+            replay_dir = next_value(i);
+        } else if (arg == "--list-configs") {
+            for (const auto& preset : veal::fuzzConfigPresets())
+                std::cout << preset.name << "\n";
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::cerr << "veal-fuzz: unknown option '" << arg << "'\n";
+            return usage();
+        }
+    }
+
+    if (!replay_dir.empty())
+        return replay(replay_dir);
+
+    if (options.runs < 1 || options.threads < 1 ||
+        options.iterations < 1) {
+        std::cerr << "veal-fuzz: --runs, --threads, and --iterations "
+                     "must be positive\n";
+        return 2;
+    }
+
+    const veal::FuzzSummary summary = veal::runFuzz(options);
+    std::cout << summary.render();
+    return summary.clean() ? 0 : 1;
+}
