@@ -56,6 +56,7 @@ main(int argc, char** argv)
         "(fewer registers and cheaper schedules); with unlimited static\n"
         "compile time its raw-performance value is smaller (paper frames\n"
         "the CCA as an efficiency feature, not a peak-speed one).\n");
+    bench::finishBenchMetrics(options, runner.metrics());
     bench::reportSweepStats(runner);
     return 0;
 }

@@ -71,6 +71,7 @@ main(int argc, char** argv)
     std::printf("%s", cpus.render().c_str());
     std::printf("\nThe LA costs less than a second simple core (paper's "
                 "cost argument).\n");
+    bench::finishBenchMetrics(options, runner.metrics());
     bench::reportSweepStats(runner);
     return 0;
 }

@@ -59,6 +59,7 @@ main(int argc, char** argv)
         "Paper shape: few FP units suffice (they are fully pipelined);\n"
         "integer units show diminishing returns late (paper: ~24) unless\n"
         "a CCA absorbs the simple arithmetic, which moves the knee left.\n");
+    bench::finishBenchMetrics(options, runner.metrics());
     bench::reportSweepStats(runner);
     return 0;
 }

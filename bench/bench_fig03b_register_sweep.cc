@@ -51,6 +51,7 @@ main(int argc, char** argv)
         "Paper shape: few registers support most loops (values read off\n"
         "the interconnect or through FIFOs need none), and the CCA lowers\n"
         "the requirement further by internalising temporaries.\n");
+    bench::finishBenchMetrics(options, runner.metrics());
     bench::reportSweepStats(runner);
     return 0;
 }

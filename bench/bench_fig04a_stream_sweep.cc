@@ -44,6 +44,7 @@ main(int argc, char** argv)
         "Paper shape: loads matter more than stores (several loops have\n"
         "only scalar outputs), and a surprisingly large number of load\n"
         "streams is needed for the big (aggressively inlined) loops.\n");
+    bench::finishBenchMetrics(options, runner.metrics());
     bench::reportSweepStats(runner);
     return 0;
 }

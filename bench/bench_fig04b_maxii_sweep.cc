@@ -56,6 +56,7 @@ main(int argc, char** argv)
         "Paper shape: the curve saturates by II = 16 -- the control store\n"
         "depth chosen for the proposed design; loops that need more II\n"
         "are rejected to the CPU (or statically fissioned).\n");
+    bench::finishBenchMetrics(options, runner.metrics());
     bench::reportSweepStats(runner);
     return 0;
 }

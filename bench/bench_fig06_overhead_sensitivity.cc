@@ -36,7 +36,9 @@ main(int argc, char** argv)
     const int num_cells = static_cast<int>(penalties.size()) *
                           cells_per_row;
     const std::vector<double> cells =
-        runner.evaluateCells(num_cells, [&](int i) {
+        runner.evaluateCellsMetered(num_cells, [&](int i,
+                                                   metrics::Registry&
+                                                       registry) {
             VmOptions vm_options;
             vm_options.penalty_override =
                 penalties[static_cast<std::size_t>(i / cells_per_row)];
@@ -46,9 +48,9 @@ main(int argc, char** argv)
                                                    rates.size()))];
             const auto& benchmark =
                 suite[static_cast<std::size_t>(i % num_benchmarks)];
-            return bench::appSpeedup(benchmark, la,
-                                     TranslationMode::kFullyDynamic,
-                                     &vm_options);
+            return explore::cellSpeedup(benchmark, la,
+                                        TranslationMode::kFullyDynamic,
+                                        &vm_options, &registry);
         });
 
     TextTable table({"overhead (cycles)", "translate once", "0.1% miss",
@@ -74,6 +76,7 @@ main(int argc, char** argv)
         "100k to 20k cycles recovers a large share of the speedup\n"
         "(paper: 1.47 -> 1.92); the translate-once line stays flat far\n"
         "longer.\n");
+    bench::finishBenchMetrics(options, runner.metrics());
     bench::reportSweepStats(runner);
     return 0;
 }

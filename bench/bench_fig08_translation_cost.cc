@@ -1,24 +1,91 @@
 /**
  * Figure 8: the measured translation penalty per loop, broken into
  * modulo-scheduling phases, for the fully dynamic translator.
+ *
+ * The phase numbers are read back out of the metrics registry (raw work
+ * units recorded by MeteredScope, weighted through a reconstructed
+ * CostMeter), so the table and a --metrics-json snapshot can never
+ * disagree.  Each benchmark is one sweep cell; the per-cell registries
+ * merge in benchmark order, keeping stdout and the snapshot
+ * byte-identical for any --threads value.
  */
 
 #include <cstdio>
 
-#include "veal/arch/cpu_config.h"
+#include "bench/common.h"
+#include "veal/support/metrics/metrics.h"
 #include "veal/support/table.h"
 #include "veal/vm/translator.h"
 #include "veal/workloads/suite.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace veal;
-    const auto suite = mediaFpSuite();
+    const auto options = bench::BenchOptions::parse(argc, argv);
+    auto runner = bench::makeRunner(options, mediaFpSuite());
+    const auto& suite = runner.suite();
     const LaConfig la = LaConfig::proposed();
 
     std::printf("VEAL reproduction: Figure 8 -- translation instructions "
                 "per loop, by phase (fully dynamic, swing priority)\n\n");
+
+    // One cell per benchmark: translate every piece, metering the phase
+    // units into the cell's private registry, then run the VM so the
+    // audited vm.phase_cycles.* attribution lands in the snapshot too.
+    runner.evaluateCellsMetered(
+        static_cast<int>(suite.size()),
+        [&](int i, metrics::Registry& registry) {
+            const auto& benchmark = suite[static_cast<std::size_t>(i)];
+            CostMeter bench_meter;
+            int loops = 0;
+            {
+                const metrics::MeteredScope scope(
+                    registry, "translate." + benchmark.name, bench_meter);
+                for (const auto& site : benchmark.transformed.sites) {
+                    std::vector<const Loop*> pieces;
+                    if (site.fissioned.empty()) {
+                        pieces.push_back(&site.loop);
+                    } else {
+                        for (const auto& piece : site.fissioned)
+                            pieces.push_back(&piece);
+                    }
+                    for (const Loop* loop : pieces) {
+                        const auto result = translateLoop(
+                            *loop, la, TranslationMode::kFullyDynamic);
+                        if (!result.ok)
+                            continue;  // Rejected loops never schedule.
+                        bench_meter.add(result.meter);
+                        ++loops;
+                    }
+                }
+            }
+            registry.add("translate." + benchmark.name + ".loops", loops);
+
+            const VirtualMachine vm(la, CpuConfig::arm11(), VmOptions{});
+            const AppRunResult run =
+                vm.run(benchmark.transformed, &registry);
+            registry.add("vm.app." + benchmark.name +
+                             ".translation_cycles",
+                         run.translation_cycles);
+            return bench_meter.totalInstructions();
+        });
+
+    const metrics::Registry& metrics = runner.metrics();
+
+    // Rebuild each benchmark's meter from the registry's unit counters:
+    // units are exact integers, so the weighted numbers below are
+    // identical to metering in place.
+    const auto meterFor = [&](const std::string& prefix) {
+        CostMeter meter;
+        for (int p = 0; p < kNumTranslationPhases; ++p) {
+            const auto phase = static_cast<TranslationPhase>(p);
+            meter.charge(phase, static_cast<std::uint64_t>(metrics.counter(
+                                    prefix + ".units." +
+                                    toString(phase))));
+        }
+        return meter;
+    };
 
     TextTable table({"benchmark", "loops", "analysis", "cca", "mii",
                      "priority", "sched", "regalloc", "total/loop"});
@@ -26,27 +93,12 @@ main()
     CostMeter suite_total;
     int suite_loops = 0;
     for (const auto& benchmark : suite) {
-        CostMeter per_benchmark;
-        int loops = 0;
-        for (const auto& site : benchmark.transformed.sites) {
-            std::vector<const Loop*> pieces;
-            if (site.fissioned.empty()) {
-                pieces.push_back(&site.loop);
-            } else {
-                for (const auto& piece : site.fissioned)
-                    pieces.push_back(&piece);
-            }
-            for (const Loop* loop : pieces) {
-                const auto result = translateLoop(
-                    *loop, la, TranslationMode::kFullyDynamic);
-                if (!result.ok)
-                    continue;  // Rejected loops never reach scheduling.
-                per_benchmark.add(result.meter);
-                ++loops;
-            }
-        }
+        const auto loops = static_cast<int>(
+            metrics.counter("translate." + benchmark.name + ".loops"));
         if (loops == 0)
             continue;
+        const CostMeter per_benchmark =
+            meterFor("translate." + benchmark.name);
         suite_total.add(per_benchmark);
         suite_loops += loops;
         auto phase = [&](TranslationPhase p) {
@@ -103,5 +155,8 @@ main()
                 percent(TranslationPhase::kMiiComputation),
                 percent(TranslationPhase::kScheduling),
                 percent(TranslationPhase::kRegisterAssignment));
+
+    bench::finishBenchMetrics(options, metrics);
+    bench::reportSweepStats(runner);
     return 0;
 }

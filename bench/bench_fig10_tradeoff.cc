@@ -92,6 +92,7 @@ main(int argc, char** argv)
         "trail the accelerator badly per mm^2 of die area.\n"
         "Reproduction shape: same ordering; mpeg2dec/pegwit/mgrid lose\n"
         "most of their benefit under fully dynamic translation.\n");
+    bench::finishBenchMetrics(options, runner.metrics());
     bench::reportSweepStats(runner);
     return 0;
 }

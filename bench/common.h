@@ -27,8 +27,23 @@ struct BenchOptions {
     int threads = 0;
 
     /**
-     * Parse --threads N (and --help).  Unknown arguments are fatal so a
-     * typo cannot silently fall back to a serial run.
+     * When non-empty, write the runner's metrics registry here as a
+     * veal-metrics-v1 JSON snapshot (byte-identical for any --threads).
+     */
+    std::string metrics_json;
+
+    /**
+     * veal-report mode: after the figure table, print a Figure-8-style
+     * per-phase cycle table read straight from the metrics registry
+     * (the "vm.phase_cycles.*" counters) instead of ad-hoc struct
+     * fields.  Goes to stdout -- it is as deterministic as the figure.
+     */
+    bool report = false;
+
+    /**
+     * Parse --threads N, --metrics-json FILE, --report (and --help).
+     * Unknown arguments are fatal so a typo cannot silently fall back
+     * to a serial run.
      */
     static BenchOptions parse(int argc, char** argv);
 };
@@ -42,6 +57,15 @@ explore::SweepRunner makeRunner(const BenchOptions& options,
  * measured parallel speedup -- to stderr, keeping stdout deterministic.
  */
 void reportSweepStats(const explore::SweepRunner& runner);
+
+/**
+ * End-of-bench observability epilogue: honour --report (print the
+ * veal-report phase table from @p registry to stdout) and --metrics-json
+ * (write the snapshot; fatal on I/O failure so CI cannot diff a stale
+ * file).  A no-op when neither flag was given.
+ */
+void finishBenchMetrics(const BenchOptions& options,
+                        const metrics::Registry& registry);
 
 /** Whole-application speedup of @p benchmark on (la, arm11) in @p mode. */
 double appSpeedup(const Benchmark& benchmark, const LaConfig& la,

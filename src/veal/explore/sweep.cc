@@ -55,18 +55,36 @@ std::vector<double>
 SweepRunner::evaluateCells(int num_cells,
                            const std::function<double(int)>& cell) const
 {
+    return evaluateCellsMetered(
+        num_cells,
+        [&cell](int i, metrics::Registry&) { return cell(i); });
+}
+
+std::vector<double>
+SweepRunner::evaluateCellsMetered(
+    int num_cells,
+    const std::function<double(int, metrics::Registry&)>& cell) const
+{
     using Clock = std::chrono::steady_clock;
     std::vector<double> values(
         static_cast<std::size_t>(std::max(num_cells, 0)));
     std::vector<double> cell_seconds(values.size(), 0.0);
+    // One private registry per cell: workers never share one, and the
+    // index-ordered merge below is what keeps snapshots --threads-proof.
+    std::vector<metrics::Registry> cell_metrics(values.size());
 
     const auto sweep_start = Clock::now();
     pool_->run(num_cells, [&](int i) {
         const auto index = static_cast<std::size_t>(i);
         const double start = threadCpuSeconds();
-        values[index] = cell(i);
+        values[index] = cell(i, cell_metrics[index]);
         cell_seconds[index] = threadCpuSeconds() - start;
     });
+
+    metrics_.add("sweep.batches");
+    metrics_.add("sweep.cells", std::max(num_cells, 0));
+    for (const auto& registry : cell_metrics)
+        metrics_.merge(registry);
 
     last_stats_ = SweepStats{};
     last_stats_.cells = num_cells;
@@ -168,12 +186,20 @@ double
 cellSpeedup(const Benchmark& benchmark, const LaConfig& la,
             TranslationMode mode, const VmOptions* extra_options)
 {
+    return cellSpeedup(benchmark, la, mode, extra_options, nullptr);
+}
+
+double
+cellSpeedup(const Benchmark& benchmark, const LaConfig& la,
+            TranslationMode mode, const VmOptions* extra_options,
+            metrics::Registry* registry)
+{
     VmOptions options;
     if (extra_options != nullptr)
         options = *extra_options;
     options.mode = mode;
     const VirtualMachine vm(la, CpuConfig::arm11(), options);
-    return vm.run(benchmark.transformed).speedup;
+    return vm.run(benchmark.transformed, registry).speedup;
 }
 
 LaConfig

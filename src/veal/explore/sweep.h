@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "veal/arch/la_config.h"
+#include "veal/support/metrics/metrics.h"
 #include "veal/support/thread_pool.h"
 #include "veal/vm/vm.h"
 #include "veal/workloads/suite.h"
@@ -84,6 +85,17 @@ class SweepRunner {
         int num_cells, const std::function<double(int)>& cell) const;
 
     /**
+     * As evaluateCells(), with observability: each cell writes into a
+     * *private* metrics::Registry passed to @p cell, and the per-cell
+     * registries are merged into metrics() in cell-index order after the
+     * pool drains.  That reduction order -- never completion order -- is
+     * what makes a snapshot byte-identical for every --threads value.
+     */
+    std::vector<double> evaluateCellsMetered(
+        int num_cells,
+        const std::function<double(int, metrics::Registry&)>& cell) const;
+
+    /**
      * Mean over the suite (in benchmark order) of the whole-application
      * speedup on each configuration: the parallel port of
      * bench::meanSpeedup, one value per entry of @p configs.
@@ -118,6 +130,14 @@ class SweepRunner {
     /** Instrumentation for the most recent sweep only. */
     const SweepStats& lastStats() const { return last_stats_; }
 
+    /**
+     * Deterministic metrics accumulated by every metered sweep since
+     * construction ("sweep.batches"/"sweep.cells" plus whatever the
+     * cells recorded).  Mutable so benches can add their own counters
+     * before snapshotting with --metrics-json.
+     */
+    metrics::Registry& metrics() const { return metrics_; }
+
   private:
     std::vector<Benchmark> suite_;
 
@@ -126,6 +146,7 @@ class SweepRunner {
 
     mutable SweepStats last_stats_;
     mutable SweepStats total_stats_;
+    mutable metrics::Registry metrics_;
 };
 
 /**
@@ -137,6 +158,14 @@ class SweepRunner {
 double cellSpeedup(const Benchmark& benchmark, const LaConfig& la,
                    TranslationMode mode,
                    const VmOptions* extra_options = nullptr);
+
+/**
+ * As cellSpeedup(), reporting the VM's decisions into @p registry
+ * (typically the private per-cell registry of evaluateCellsMetered).
+ */
+double cellSpeedup(const Benchmark& benchmark, const LaConfig& la,
+                   TranslationMode mode, const VmOptions* extra_options,
+                   metrics::Registry* registry);
 
 /** Infinite machine matching @p la's CCA presence (sweep baseline). */
 LaConfig infiniteLike(const LaConfig& la);

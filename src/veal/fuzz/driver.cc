@@ -154,7 +154,7 @@ FuzzSummary::render() const
 }
 
 FuzzSummary
-runFuzz(const FuzzOptions& options)
+runFuzz(const FuzzOptions& options, metrics::Registry* registry)
 {
     FuzzSummary summary;
     summary.total_runs = options.runs;
@@ -171,6 +171,7 @@ runFuzz(const FuzzOptions& options)
     struct CaseResult {
         OracleOutcome outcome = OracleOutcome::kPass;
         std::string detail;
+        int ops = 0;  ///< Generated loop size (fuzz.loop_ops histogram).
     };
 
     std::vector<int> indices(static_cast<std::size_t>(options.runs));
@@ -188,7 +189,7 @@ runFuzz(const FuzzOptions& options)
         const OracleReport report = runOracle(
             loop, preset.config, makeFuzzCaseSeed(options.seed, index),
             oracle);
-        return CaseResult{report.outcome, report.detail};
+        return CaseResult{report.outcome, report.detail, loop.size()};
     };
 
     ThreadPool pool(options.threads);
@@ -196,11 +197,20 @@ runFuzz(const FuzzOptions& options)
         parallelMap(pool, indices, run_case);
 
     // Index-ordered reduction: identical output for any thread count.
+    // All metrics land here (never in the workers), so a snapshot obeys
+    // the same determinism contract as the rendered summary.
+    if (registry != nullptr)
+        registry->add("fuzz.cases", options.runs);
     for (int index = 0; index < options.runs; ++index) {
         const auto& preset = options.configs[
             static_cast<std::size_t>(index) % options.configs.size()];
         const auto& result = results[static_cast<std::size_t>(index)];
         ++summary.counts[preset.name][toString(result.outcome)];
+        if (registry != nullptr) {
+            registry->add("fuzz.outcome." + preset.name + "." +
+                          toString(result.outcome));
+            registry->observe("fuzz.loop_ops", result.ops);
+        }
         if (!isFailure(result.outcome))
             continue;
 
@@ -247,6 +257,16 @@ runFuzz(const FuzzOptions& options)
                 "repro-" + preset.name + "-" +
                     std::to_string(failure.case_seed),
                 saved);
+        }
+        if (registry != nullptr) {
+            registry->add("fuzz.failures");
+            registry->add("fuzz.shrink.ops_removed",
+                          failure.ops_before - failure.ops_after);
+            registry->trace("fuzz/" + preset.name,
+                            toString(failure.report.outcome),
+                            "case " + std::to_string(index) + " seed " +
+                                std::to_string(failure.case_seed),
+                            failure.ops_after);
         }
         summary.failures.push_back(std::move(failure));
     }

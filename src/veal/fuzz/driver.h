@@ -20,6 +20,7 @@
 #include "veal/fuzz/corpus.h"
 #include "veal/fuzz/oracle.h"
 #include "veal/fuzz/shrinker.h"
+#include "veal/support/metrics/metrics.h"
 
 namespace veal {
 
@@ -113,8 +114,17 @@ std::uint64_t makeFuzzCaseSeed(std::uint64_t campaign_seed,
 TranslationMode makeFuzzCaseMode(std::uint64_t campaign_seed,
                                  int case_index);
 
-/** Run a campaign.  Creates its own pool of @p options.threads workers. */
-FuzzSummary runFuzz(const FuzzOptions& options);
+/**
+ * Run a campaign.  Creates its own pool of @p options.threads workers.
+ *
+ * When @p registry is non-null the campaign reports into it during the
+ * index-ordered reduction ("fuzz.cases", per-config outcome counters,
+ * the "fuzz.loop_ops" histogram, shrink effectiveness, and one trace
+ * event per failure), so the snapshot is byte-identical for any
+ * options.threads -- the same determinism contract as render().
+ */
+FuzzSummary runFuzz(const FuzzOptions& options,
+                    metrics::Registry* registry = nullptr);
 
 }  // namespace veal
 

@@ -216,7 +216,8 @@ tryIi(const SchedGraph& graph, const LaConfig& config,
 
 std::optional<Schedule>
 scheduleLoop(const SchedGraph& graph, const LaConfig& config,
-             const NodeOrder& order, int min_ii, CostMeter* meter)
+             const NodeOrder& order, int min_ii, CostMeter* meter,
+             SchedulerStats* stats)
 {
     VEAL_ASSERT(static_cast<int>(order.sequence.size()) ==
                 graph.numUnits(), "order does not cover the graph");
@@ -234,8 +235,12 @@ scheduleLoop(const SchedGraph& graph, const LaConfig& config,
     const int limit =
         std::min(config.max_ii, std::min(start_ii + 64, 1 << 12));
     for (int ii = start_ii; ii <= limit; ++ii) {
+        if (stats != nullptr)
+            ++stats->attempted_iis;
         if (auto schedule = tryIi(graph, config, order, ii, meter))
             return schedule;
+        if (stats != nullptr)
+            ++stats->placement_failures;
     }
     return std::nullopt;
 }

@@ -23,17 +23,28 @@
 namespace veal {
 
 /**
+ * How hard the II search worked -- the observability layer's view of the
+ * scheduler (reported as vm.sched.* counters and the vm.ii histogram).
+ */
+struct SchedulerStats {
+    std::int64_t attempted_iis = 0;       ///< tryIi() calls (incl. success).
+    std::int64_t placement_failures = 0;  ///< IIs abandoned mid-placement.
+};
+
+/**
  * Schedule @p graph onto @p config trying IIs from @p min_ii upward.
  *
  * @param order  unit order from computeSwingOrder()/computeHeightOrder().
  * @param min_ii usually max(ResMII, RecMII).
  * @param meter  optional cost meter charged under kScheduling.
+ * @param stats  optional search-effort accumulator (added to, not reset).
  * @return the schedule, or std::nullopt when no II <= config.max_ii works.
  */
 std::optional<Schedule> scheduleLoop(const SchedGraph& graph,
                                      const LaConfig& config,
                                      const NodeOrder& order, int min_ii,
-                                     CostMeter* meter = nullptr);
+                                     CostMeter* meter = nullptr,
+                                     SchedulerStats* stats = nullptr);
 
 }  // namespace veal
 

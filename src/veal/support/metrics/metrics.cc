@@ -1,0 +1,632 @@
+#include "veal/support/metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "veal/support/assert.h"
+
+namespace veal::metrics {
+
+namespace {
+
+/**
+ * Shortest decimal form that round-trips through strtod.  Snapshots must
+ * be byte-stable *and* lossless, so precision climbs until the reparse is
+ * bit-identical (17 significant digits always suffice for binary64).
+ */
+std::string
+formatReal(double value)
+{
+    VEAL_ASSERT(std::isfinite(value),
+                "metrics snapshots only hold finite numbers");
+    char buffer[64];
+    for (int precision = 15; precision <= 17; ++precision) {
+        std::snprintf(buffer, sizeof buffer, "%.*g", precision, value);
+        if (std::strtod(buffer, nullptr) == value)
+            break;
+    }
+    return buffer;
+}
+
+void
+appendJsonString(std::string& out, const std::string& text)
+{
+    out += '"';
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buffer;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+/** Everything a snapshot contains, in plain containers. */
+struct ParsedSnapshot {
+    std::map<std::string, std::int64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, Histogram> histograms;
+    std::vector<TraceEvent> trace;
+    std::int64_t trace_dropped = 0;
+};
+
+/**
+ * Strict recursive-descent parser for the subset of JSON that toJson()
+ * emits.  Anything outside that shape (unknown keys, other value kinds)
+ * fails the parse, which is what a schema check wants anyway.
+ */
+class SnapshotParser {
+  public:
+    explicit SnapshotParser(const std::string& text)
+        : p_(text.data()), end_(text.data() + text.size())
+    {}
+
+    bool parse(ParsedSnapshot& out);
+
+  private:
+    void skipWs()
+    {
+        while (p_ < end_ && (*p_ == ' ' || *p_ == '\n' || *p_ == '\t' ||
+                             *p_ == '\r')) {
+            ++p_;
+        }
+    }
+
+    bool consume(char c)
+    {
+        skipWs();
+        if (p_ >= end_ || *p_ != c)
+            return false;
+        ++p_;
+        return true;
+    }
+
+    bool peekIs(char c)
+    {
+        skipWs();
+        return p_ < end_ && *p_ == c;
+    }
+
+    bool parseString(std::string& out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (p_ < end_ && *p_ != '"') {
+            char c = *p_++;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (p_ >= end_)
+                return false;
+            const char escape = *p_++;
+            switch (escape) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (end_ - p_ < 4)
+                    return false;
+                char hex[5] = {p_[0], p_[1], p_[2], p_[3], '\0'};
+                char* hex_end = nullptr;
+                const long code = std::strtol(hex, &hex_end, 16);
+                if (hex_end != hex + 4 || code > 0xff)
+                    return false;  // toJson only emits \u00XX.
+                p_ += 4;
+                out += static_cast<char>(code);
+                break;
+              }
+              default: return false;
+            }
+        }
+        return consume('"');
+    }
+
+    bool parseInt(std::int64_t& out)
+    {
+        skipWs();
+        char* after = nullptr;
+        out = std::strtoll(p_, &after, 10);
+        if (after == p_)
+            return false;
+        p_ = after;
+        return true;
+    }
+
+    bool parseReal(double& out)
+    {
+        skipWs();
+        char* after = nullptr;
+        out = std::strtod(p_, &after);
+        if (after == p_)
+            return false;
+        p_ = after;
+        return true;
+    }
+
+    template <typename ParseValue>
+    bool parseObject(const ParseValue& parse_value)
+    {
+        if (!consume('{'))
+            return false;
+        if (consume('}'))
+            return true;
+        do {
+            std::string key;
+            if (!parseString(key) || !consume(':') || !parse_value(key))
+                return false;
+        } while (consume(','));
+        return consume('}');
+    }
+
+    template <typename ParseElement>
+    bool parseArray(const ParseElement& parse_element)
+    {
+        if (!consume('['))
+            return false;
+        if (consume(']'))
+            return true;
+        do {
+            if (!parse_element())
+                return false;
+        } while (consume(','));
+        return consume(']');
+    }
+
+    const char* p_;
+    const char* end_;
+};
+
+bool
+SnapshotParser::parse(ParsedSnapshot& out)
+{
+    bool schema_ok = false;
+    const bool parsed = parseObject([&](const std::string& key) {
+        if (key == "schema") {
+            std::string version;
+            if (!parseString(version))
+                return false;
+            schema_ok = version == Registry::kSchemaVersion;
+            return schema_ok;
+        }
+        if (key == "counters") {
+            return parseObject([&](const std::string& name) {
+                std::int64_t value = 0;
+                if (!parseInt(value))
+                    return false;
+                out.counters[name] = value;
+                return true;
+            });
+        }
+        if (key == "gauges") {
+            return parseObject([&](const std::string& name) {
+                double value = 0.0;
+                if (!parseReal(value))
+                    return false;
+                out.gauges[name] = value;
+                return true;
+            });
+        }
+        if (key == "histograms") {
+            return parseObject([&](const std::string& name) {
+                Histogram histogram;
+                const bool ok = parseObject([&](const std::string& field) {
+                    if (field == "bounds") {
+                        return parseArray([&] {
+                            double bound = 0.0;
+                            if (!parseReal(bound))
+                                return false;
+                            histogram.upper_bounds.push_back(bound);
+                            return true;
+                        });
+                    }
+                    if (field == "counts") {
+                        return parseArray([&] {
+                            std::int64_t count = 0;
+                            if (!parseInt(count))
+                                return false;
+                            histogram.counts.push_back(count);
+                            return true;
+                        });
+                    }
+                    if (field == "total")
+                        return parseInt(histogram.total);
+                    return false;
+                });
+                if (!ok || histogram.upper_bounds.empty() ||
+                    histogram.counts.size() !=
+                        histogram.upper_bounds.size() + 1) {
+                    return false;
+                }
+                out.histograms.emplace(name, std::move(histogram));
+                return true;
+            });
+        }
+        if (key == "trace_dropped")
+            return parseInt(out.trace_dropped);
+        if (key == "trace") {
+            return parseArray([&] {
+                TraceEvent event;
+                const bool ok = parseObject([&](const std::string& field) {
+                    if (field == "scope")
+                        return parseString(event.scope);
+                    if (field == "event")
+                        return parseString(event.event);
+                    if (field == "detail")
+                        return parseString(event.detail);
+                    if (field == "value")
+                        return parseInt(event.value);
+                    return false;
+                });
+                if (!ok)
+                    return false;
+                out.trace.push_back(std::move(event));
+                return true;
+            });
+        }
+        return false;  // Unknown key: not a snapshot we produced.
+    });
+    skipWs();
+    return parsed && schema_ok && p_ == end_;
+}
+
+}  // namespace
+
+void
+Histogram::observe(double value)
+{
+    VEAL_ASSERT(std::isfinite(value), "histograms only bin finite values");
+    std::size_t bucket = upper_bounds.size();  // Overflow by default.
+    for (std::size_t i = 0; i < upper_bounds.size(); ++i) {
+        if (value <= upper_bounds[i]) {
+            bucket = i;
+            break;
+        }
+    }
+    ++counts[bucket];
+    ++total;
+}
+
+void
+Histogram::merge(const Histogram& other)
+{
+    VEAL_ASSERT(upper_bounds == other.upper_bounds,
+                "histogram merge needs identical bucket bounds");
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        counts[i] += other.counts[i];
+    total += other.total;
+}
+
+void
+Registry::add(const std::string& name, std::int64_t delta)
+{
+    counters_[name] += delta;
+}
+
+std::int64_t
+Registry::counter(const std::string& name) const
+{
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+void
+Registry::addReal(const std::string& name, double delta)
+{
+    gauges_[name] += delta;
+}
+
+double
+Registry::gauge(const std::string& name) const
+{
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+}
+
+void
+Registry::declareHistogram(const std::string& name,
+                           std::vector<double> upper_bounds)
+{
+    VEAL_ASSERT(!upper_bounds.empty(), "histogram needs bucket bounds");
+    for (std::size_t i = 1; i < upper_bounds.size(); ++i) {
+        VEAL_ASSERT(upper_bounds[i - 1] < upper_bounds[i],
+                    "histogram bounds must ascend");
+    }
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) {
+        VEAL_ASSERT(it->second.upper_bounds == upper_bounds,
+                    "histogram redeclared with different bounds");
+        return;
+    }
+    Histogram histogram;
+    histogram.counts.assign(upper_bounds.size() + 1, 0);
+    histogram.upper_bounds = std::move(upper_bounds);
+    histograms_.emplace(name, std::move(histogram));
+}
+
+void
+Registry::observe(const std::string& name, double value)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        declareHistogram(name, defaultBounds());
+        it = histograms_.find(name);
+    }
+    it->second.observe(value);
+}
+
+const Histogram*
+Registry::histogram(const std::string& name) const
+{
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+}
+
+const std::vector<double>&
+Registry::defaultBounds()
+{
+    static const std::vector<double> bounds{1,  2,  4,   8,   16,
+                                            32, 64, 128, 256, 512};
+    return bounds;
+}
+
+void
+Registry::trace(TraceEvent event)
+{
+    if (static_cast<int>(trace_.size()) >= trace_limit_) {
+        ++trace_dropped_;
+        return;
+    }
+    trace_.push_back(std::move(event));
+}
+
+void
+Registry::trace(std::string scope, std::string event, std::string detail,
+                std::int64_t value)
+{
+    trace(TraceEvent{std::move(scope), std::move(event), std::move(detail),
+                     value});
+}
+
+void
+Registry::setTraceLimit(int limit)
+{
+    VEAL_ASSERT(limit >= 0, "trace limit cannot be negative");
+    trace_limit_ = limit;
+}
+
+void
+Registry::merge(const Registry& other)
+{
+    merge(other, "");
+}
+
+void
+Registry::merge(const Registry& other, const std::string& prefix)
+{
+    for (const auto& [name, value] : other.counters_)
+        counters_[prefix + name] += value;
+    for (const auto& [name, value] : other.gauges_)
+        gauges_[prefix + name] += value;
+    for (const auto& [name, histogram] : other.histograms_) {
+        const auto it = histograms_.find(prefix + name);
+        if (it == histograms_.end()) {
+            histograms_.emplace(prefix + name, histogram);
+        } else {
+            it->second.merge(histogram);
+        }
+    }
+    for (const auto& event : other.trace_) {
+        TraceEvent copy = event;
+        copy.scope = prefix + copy.scope;
+        trace(std::move(copy));
+    }
+    trace_dropped_ += other.trace_dropped_;
+}
+
+bool
+Registry::empty() const
+{
+    return counters_.empty() && gauges_.empty() && histograms_.empty() &&
+           trace_.empty() && trace_dropped_ == 0;
+}
+
+std::string
+Registry::toJson() const
+{
+    std::string out;
+    out += "{\n";
+    out += "  \"schema\": \"";
+    out += kSchemaVersion;
+    out += "\",\n";
+
+    out += "  \"counters\": {";
+    const char* separator = "";
+    for (const auto& [name, value] : counters_) {
+        out += separator;
+        out += "\n    ";
+        appendJsonString(out, name);
+        out += ": " + std::to_string(value);
+        separator = ",";
+    }
+    out += counters_.empty() ? "},\n" : "\n  },\n";
+
+    out += "  \"gauges\": {";
+    separator = "";
+    for (const auto& [name, value] : gauges_) {
+        out += separator;
+        out += "\n    ";
+        appendJsonString(out, name);
+        out += ": " + formatReal(value);
+        separator = ",";
+    }
+    out += gauges_.empty() ? "},\n" : "\n  },\n";
+
+    out += "  \"histograms\": {";
+    separator = "";
+    for (const auto& [name, histogram] : histograms_) {
+        out += separator;
+        out += "\n    ";
+        appendJsonString(out, name);
+        out += ": {\"bounds\": [";
+        const char* inner = "";
+        for (const double bound : histogram.upper_bounds) {
+            out += inner;
+            out += formatReal(bound);
+            inner = ", ";
+        }
+        out += "], \"counts\": [";
+        inner = "";
+        for (const std::int64_t count : histogram.counts) {
+            out += inner;
+            out += std::to_string(count);
+            inner = ", ";
+        }
+        out += "], \"total\": " + std::to_string(histogram.total) + "}";
+        separator = ",";
+    }
+    out += histograms_.empty() ? "},\n" : "\n  },\n";
+
+    out += "  \"trace_dropped\": " + std::to_string(trace_dropped_) +
+           ",\n";
+
+    out += "  \"trace\": [";
+    separator = "";
+    for (const auto& event : trace_) {
+        out += separator;
+        out += "\n    {\"scope\": ";
+        appendJsonString(out, event.scope);
+        out += ", \"event\": ";
+        appendJsonString(out, event.event);
+        out += ", \"detail\": ";
+        appendJsonString(out, event.detail);
+        out += ", \"value\": " + std::to_string(event.value) + "}";
+        separator = ",";
+    }
+    out += trace_.empty() ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    return out;
+}
+
+std::optional<Registry>
+Registry::fromJson(const std::string& text)
+{
+    ParsedSnapshot parsed;
+    SnapshotParser parser(text);
+    if (!parser.parse(parsed))
+        return std::nullopt;
+    Registry registry;
+    registry.counters_ = std::move(parsed.counters);
+    registry.gauges_ = std::move(parsed.gauges);
+    registry.histograms_ = std::move(parsed.histograms);
+    registry.trace_ = std::move(parsed.trace);
+    registry.trace_dropped_ = parsed.trace_dropped;
+    // A snapshot written by a larger-limit producer must survive the
+    // round trip, whatever its trace length.
+    registry.trace_limit_ =
+        std::max<int>(registry.trace_limit_,
+                      static_cast<int>(registry.trace_.size()));
+    return registry;
+}
+
+bool
+writeSnapshot(const Registry& registry, const std::string& path)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    out << registry.toJson();
+    return static_cast<bool>(out.flush());
+}
+
+void
+recordCostMeter(Registry& registry, const std::string& prefix,
+                const CostMeter& meter)
+{
+    for (int i = 0; i < kNumTranslationPhases; ++i) {
+        const auto phase = static_cast<TranslationPhase>(i);
+        registry.add(prefix + ".units." + toString(phase),
+                     static_cast<std::int64_t>(meter.units(phase)));
+    }
+}
+
+std::int64_t
+chargePhaseCycles(Registry& registry, const std::string& prefix,
+                  const CostMeter& meter, std::int64_t multiplier)
+{
+    // Replays CostMeter::totalInstructions()'s left-to-right summation so
+    // the cumulative truncations telescope: the per-phase integers sum to
+    // static_cast<int64>(totalInstructions() * multiplier) *exactly*,
+    // which is the figure the VM charges (and the telemetry test audits).
+    const auto scale = static_cast<double>(multiplier);
+    double cumulative = 0.0;
+    std::int64_t charged_so_far = 0;
+    for (int i = 0; i < kNumTranslationPhases; ++i) {
+        const auto phase = static_cast<TranslationPhase>(i);
+        cumulative += meter.instructions(phase);
+        const auto cumulative_cycles =
+            static_cast<std::int64_t>(cumulative * scale);
+        registry.add(prefix + "." + toString(phase),
+                     cumulative_cycles - charged_so_far);
+        charged_so_far = cumulative_cycles;
+    }
+    return charged_so_far;
+}
+
+MeteredScope::MeteredScope(Registry& registry, std::string prefix,
+                           const CostMeter& meter)
+    : registry_(registry), prefix_(std::move(prefix)), meter_(meter)
+{
+    for (int i = 0; i < kNumTranslationPhases; ++i)
+        start_units_[i] = meter_.units(static_cast<TranslationPhase>(i));
+}
+
+MeteredScope::~MeteredScope()
+{
+    for (int i = 0; i < kNumTranslationPhases; ++i) {
+        const auto phase = static_cast<TranslationPhase>(i);
+        const std::uint64_t delta = meter_.units(phase) - start_units_[i];
+        if (delta != 0) {
+            registry_.add(prefix_ + ".units." + toString(phase),
+                          static_cast<std::int64_t>(delta));
+        }
+    }
+}
+
+ScopedWallTimer::ScopedWallTimer(std::string label)
+    : label_(std::move(label)), start_(std::chrono::steady_clock::now())
+{}
+
+ScopedWallTimer::~ScopedWallTimer()
+{
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    std::fprintf(stderr, "timing: %s %.3fs\n", label_.c_str(), seconds);
+}
+
+}  // namespace veal::metrics

@@ -1,6 +1,7 @@
 #include "veal/vm/code_cache.h"
 
 #include "veal/support/assert.h"
+#include "veal/support/metrics/metrics.h"
 
 namespace veal {
 
@@ -22,20 +23,44 @@ CodeCache::lookup(const std::string& key)
     return true;
 }
 
-void
+CodeCache::InsertOutcome
 CodeCache::insert(const std::string& key)
 {
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
         lru_.splice(lru_.begin(), lru_, it->second);
-        return;
+        return InsertOutcome::kRefreshed;
     }
     if (static_cast<int>(entries_.size()) >= capacity_) {
         entries_.erase(lru_.back());
         lru_.pop_back();
+        ++evictions_;
     }
     lru_.push_front(key);
     entries_[key] = lru_.begin();
+    return InsertOutcome::kInserted;
+}
+
+CodeCache::Stats
+CodeCache::stats() const
+{
+    Stats stats;
+    stats.hits = hits_;
+    stats.misses = misses_;
+    stats.evictions = evictions_;
+    stats.size = size();
+    stats.capacity = capacity_;
+    return stats;
+}
+
+void
+CodeCache::recordInto(metrics::Registry& registry,
+                      const std::string& prefix) const
+{
+    registry.add(prefix + ".hits", hits_);
+    registry.add(prefix + ".misses", misses_);
+    registry.add(prefix + ".evictions", evictions_);
+    registry.add(prefix + ".resident", size());
 }
 
 void
@@ -45,6 +70,7 @@ CodeCache::clear()
     entries_.clear();
     hits_ = 0;
     misses_ = 0;
+    evictions_ = 0;
 }
 
 }  // namespace veal

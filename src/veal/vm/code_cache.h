@@ -14,6 +14,10 @@
 
 namespace veal {
 
+namespace metrics {
+class Registry;
+}  // namespace metrics
+
 /**
  * LRU cache of translated-loop identities.
  *
@@ -24,6 +28,21 @@ namespace veal {
  */
 class CodeCache {
   public:
+    /** What insert() actually did (re-inserts are legal, not silent). */
+    enum class InsertOutcome {
+        kInserted,   ///< New entry (possibly after evicting the LRU one).
+        kRefreshed,  ///< Key was already resident; recency touched only.
+    };
+
+    /** Accounting snapshot, consumed by the metrics registry. */
+    struct Stats {
+        std::int64_t hits = 0;
+        std::int64_t misses = 0;
+        std::int64_t evictions = 0;
+        int size = 0;
+        int capacity = 0;
+    };
+
     /** @param capacity maximum number of resident translations (>= 1). */
     explicit CodeCache(int capacity);
 
@@ -33,8 +52,12 @@ class CodeCache {
      */
     bool lookup(const std::string& key);
 
-    /** Insert @p key, evicting the least recently used entry if full. */
-    void insert(const std::string& key);
+    /**
+     * Insert @p key, evicting the least recently used entry if full.
+     * Re-inserting a resident key is a recency refresh (kRefreshed) and
+     * never evicts; the return value makes the distinction auditable.
+     */
+    InsertOutcome insert(const std::string& key);
 
     /** Number of resident entries. */
     int size() const { return static_cast<int>(entries_.size()); }
@@ -43,8 +66,15 @@ class CodeCache {
 
     std::int64_t hits() const { return hits_; }
     std::int64_t misses() const { return misses_; }
+    std::int64_t evictions() const { return evictions_; }
 
-    /** Drop everything and reset statistics. */
+    Stats stats() const;
+
+    /** Add this cache's Stats as "<prefix>.hits" etc. into @p registry. */
+    void recordInto(metrics::Registry& registry,
+                    const std::string& prefix) const;
+
+    /** Drop everything and reset statistics (evictions included). */
     void clear();
 
   private:
@@ -54,6 +84,7 @@ class CodeCache {
         entries_;
     std::int64_t hits_ = 0;
     std::int64_t misses_ = 0;
+    std::int64_t evictions_ = 0;
 };
 
 }  // namespace veal

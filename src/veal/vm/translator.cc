@@ -193,8 +193,9 @@ translateLoop(const Loop& loop, const LaConfig& config,
         int floor_ii = result.mii;
         *placement_failed = false;
         for (int attempt = 0; attempt < 3; ++attempt) {
-            auto schedule =
-                scheduleLoop(graph, config, node_order, floor_ii, &meter);
+            auto schedule = scheduleLoop(graph, config, node_order,
+                                         floor_ii, &meter,
+                                         &result.sched_stats);
             if (!schedule.has_value()) {
                 *placement_failed = true;
                 return false;
@@ -205,6 +206,7 @@ translateLoop(const Loop& loop, const LaConfig& config,
                                                config, &meter);
             if (result.registers.ok)
                 return true;
+            ++result.register_retries;
             floor_ii = result.schedule.ii + 1;
             if (floor_ii > config.max_ii)
                 return false;
@@ -220,6 +222,7 @@ translateLoop(const Loop& loop, const LaConfig& config,
         // placed in opposite sweep directions at every II.  Fall back to
         // the forward-only height order before giving up (the extra
         // priority pass is charged like any other translation work).
+        result.height_fallback = true;
         const NodeOrder fallback =
             computeHeightOrder(graph, result.mii, &meter);
         scheduled = schedule_with_registers(fallback, &placement_failed);

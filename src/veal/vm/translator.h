@@ -28,6 +28,7 @@
 #include "veal/sched/register_alloc.h"
 #include "veal/sched/sched_graph.h"
 #include "veal/sched/schedule.h"
+#include "veal/sched/scheduler.h"
 #include "veal/support/cost_meter.h"
 
 namespace veal {
@@ -91,6 +92,13 @@ struct TranslationResult {
 
     /** Per-phase work; instructions() gives the Figure 8 breakdown. */
     CostMeter meter;
+
+    /** II-search effort across every scheduling attempt for this loop. */
+    SchedulerStats sched_stats;
+    /** Larger-II retries forced by register-assignment failures. */
+    int register_retries = 0;
+    /** Swing order wedged; the height-order fallback was attempted. */
+    bool height_fallback = false;
 
     /**
      * Dynamic translation penalty in baseline-CPU cycles.  Zero for

@@ -6,6 +6,7 @@
 #include "veal/sim/cpu_sim.h"
 #include "veal/sim/la_timing.h"
 #include "veal/support/assert.h"
+#include "veal/support/metrics/metrics.h"
 
 namespace veal {
 
@@ -31,6 +32,13 @@ struct PiecePlan {
 AppRunResult
 VirtualMachine::run(const Application& app) const
 {
+    return run(app, nullptr);
+}
+
+AppRunResult
+VirtualMachine::run(const Application& app,
+                    metrics::Registry* registry) const
+{
     AppRunResult out;
     out.app_name = app.name;
 
@@ -40,7 +48,6 @@ VirtualMachine::run(const Application& app) const
         std::vector<PiecePlan> pieces;
     };
     std::vector<SitePlan> plans;
-    int accelerated_pieces = 0;
 
     for (const auto& site : app.sites) {
         SitePlan plan;
@@ -68,7 +75,6 @@ VirtualMachine::run(const Application& app) const
                 simulateLoopOnCpu(*loop, cpu_, site.iterations)
                     .total_cycles;
             if (piece.translation.ok) {
-                ++accelerated_pieces;
                 const auto& tr = piece.translation;
                 piece.la_first_invocation =
                     acceleratorLoopCost(tr.schedule, *tr.graph,
@@ -88,11 +94,59 @@ VirtualMachine::run(const Application& app) const
         plans.push_back(std::move(plan));
     }
 
+    // Cache-miss count for one piece of @p site under a fits assumption:
+    // a resident working set misses once, a thrashing one misses every
+    // invocation, and Figure 6's forced-retranslation rate floors both.
+    const auto missesFor = [&](const LoopSite& site, bool fits) {
+        std::int64_t misses = fits ? 1 : site.invocations;
+        const auto forced = static_cast<std::int64_t>(
+            std::llround(options_.retranslation_rate *
+                         static_cast<double>(site.invocations)));
+        return std::clamp<std::int64_t>(std::max(misses, 1 + forced), 1,
+                                        site.invocations);
+    };
+
+    // LA-vs-CPU path choice for one translated-ok piece.  Translation
+    // work is sunk cost either way, so it is not part of the comparison.
+    const auto laWins = [&](const SitePlan& plan, const PiecePlan& piece,
+                            bool fits) {
+        const std::int64_t misses = missesFor(*plan.site, fits);
+        const std::int64_t hits = plan.site->invocations - misses;
+        const std::int64_t la_total = misses * piece.la_first_invocation +
+                                      hits * piece.la_warm_invocation;
+        return la_total <=
+               piece.cpu_cycles_per_invocation * plan.site->invocations;
+    };
+
     // Code-cache behaviour: with round-robin site interleaving and LRU
     // replacement, either every hot translation stays resident (one miss
-    // each) or the working set thrashes (every invocation misses).
+    // each) or the working set thrashes (every invocation misses).  The
+    // working set counts only pieces that actually *take* the LA path --
+    // a piece whose CPU path wins is translated once for the comparison
+    // but never occupies a cache entry.  Fixed point: decide paths under
+    // the fits assumption; if the winners overflow the cache, re-decide
+    // everything under thrash pricing (the conservative resolution of
+    // mixed equilibria -- see DESIGN.md §10).
+    int resident_pieces = 0;
+    for (const auto& plan : plans) {
+        for (const auto& piece : plan.pieces) {
+            if (piece.translation.ok && laWins(plan, piece, true))
+                ++resident_pieces;
+        }
+    }
     const bool cache_fits =
-        accelerated_pieces <= options_.code_cache_entries;
+        resident_pieces <= options_.code_cache_entries;
+    if (registry != nullptr) {
+        registry->add("vm.apps");
+        registry->add("vm.resident_pieces", resident_pieces);
+        registry->trace("vm/" + app.name, "cache",
+                        cache_fits ? "fits" : "thrash", resident_pieces);
+    }
+
+    // Translation-cycle attribution is exact: every int64 charged below
+    // is mirrored into the registry's vm.phase_cycles.* counters, and
+    // audited_cycles re-sums those mirrors for the closing assertion.
+    std::int64_t audited_cycles = 0;
 
     for (const auto& plan : plans) {
         const auto& site = *plan.site;
@@ -106,47 +160,92 @@ VirtualMachine::run(const Application& app) const
 
         for (const auto& piece : plan.pieces) {
             const auto& tr = piece.translation;
+            const std::string trace_scope =
+                "vm/" + app.name + "/" + piece.loop->name();
             const double metered_penalty =
                 options_.penalty_override >= 0.0
                     ? options_.penalty_override
                     : tr.penaltyCycles();
 
+            if (registry != nullptr) {
+                registry->add("vm.pieces");
+                metrics::recordCostMeter(*registry, "vm", tr.meter);
+                registry->add("vm.sched.attempted_iis",
+                              tr.sched_stats.attempted_iis);
+                registry->add("vm.sched.placement_failures",
+                              tr.sched_stats.placement_failures);
+                registry->add("vm.sched.register_retries",
+                              tr.register_retries);
+                if (tr.height_fallback)
+                    registry->add("vm.sched.height_fallbacks");
+            }
+
             if (!tr.ok) {
                 // Failed translations still charge the analysis the VM
-                // performed before giving up (once).
-                site_result.reject = tr.reject;
-                site_result.translation_cycles += static_cast<std::int64_t>(
-                    tr.mode == TranslationMode::kStatic
-                        ? 0.0
-                        : tr.meter.totalInstructions());
+                // performed before giving up (once).  Keep the *first*
+                // piece's reject as the site verdict; later pieces are
+                // visible in the trace.
+                if (site_result.reject == TranslationReject::kNone)
+                    site_result.reject = tr.reject;
+                const bool metered =
+                    tr.mode != TranslationMode::kStatic;
+                const auto failure_cycles = static_cast<std::int64_t>(
+                    metered ? tr.meter.totalInstructions() : 0.0);
+                site_result.translation_cycles += failure_cycles;
                 site_result.actual_cycles +=
                     piece.cpu_cycles_per_invocation * site.invocations;
+                if (registry != nullptr) {
+                    registry->add(std::string("vm.translate.reject.") +
+                                  toString(tr.reject));
+                    registry->trace(trace_scope, "translate",
+                                    toString(tr.reject), failure_cycles);
+                    if (metered) {
+                        audited_cycles += metrics::chargePhaseCycles(
+                            *registry, "vm.phase_cycles", tr.meter, 1);
+                    }
+                }
                 continue;
             }
 
-            std::int64_t misses = cache_fits ? 1 : site.invocations;
-            const auto forced = static_cast<std::int64_t>(
-                std::llround(options_.retranslation_rate *
-                             static_cast<double>(site.invocations)));
-            misses = std::clamp<std::int64_t>(std::max(misses, 1 + forced),
-                                              1, site.invocations);
+            // A CPU-winning piece is translated exactly once (to price
+            // the comparison) and never re-enters the cache; a resident
+            // LA piece re-translates on every cache miss.
+            const bool la_path = laWins(plan, piece, cache_fits);
+            const std::int64_t misses =
+                la_path ? missesFor(site, cache_fits) : 1;
             const std::int64_t hits = site.invocations - misses;
 
             const std::int64_t translation_cycles =
                 static_cast<std::int64_t>(metered_penalty *
                                           static_cast<double>(misses));
-            const std::int64_t la_total =
-                misses * piece.la_first_invocation +
-                hits * piece.la_warm_invocation;
-            const std::int64_t cpu_total =
-                piece.cpu_cycles_per_invocation * site.invocations;
-
-            // The VM monitors both paths and keeps the faster one; the
-            // translation work itself is sunk cost either way.
             site_result.translation_cycles += translation_cycles;
-            if (la_total <= cpu_total) {
+
+            if (registry != nullptr) {
+                registry->add("vm.translate.ok");
+                registry->add("vm.translations", misses);
+                registry->trace(trace_scope, "translate", "ok",
+                                translation_cycles);
+                if (options_.penalty_override >= 0.0) {
+                    registry->add("vm.phase_cycles.override",
+                                  translation_cycles);
+                    audited_cycles += translation_cycles;
+                } else if (tr.mode != TranslationMode::kStatic) {
+                    const std::int64_t charged =
+                        metrics::chargePhaseCycles(*registry,
+                                                   "vm.phase_cycles",
+                                                   tr.meter, misses);
+                    VEAL_ASSERT(charged == translation_cycles,
+                                "phase split diverged for ",
+                                piece.loop->name());
+                    audited_cycles += charged;
+                }
+            }
+
+            if (la_path) {
                 site_result.accelerated = true;
-                site_result.actual_cycles += la_total;
+                site_result.actual_cycles +=
+                    misses * piece.la_first_invocation +
+                    hits * piece.la_warm_invocation;
                 site_result.translations += misses;
                 site_result.instructions_per_translation =
                     tr.meter.totalInstructions();
@@ -155,9 +254,23 @@ VirtualMachine::run(const Application& app) const
                 site_result.stage_count = tr.schedule.stage_count;
                 out.cache_hits += hits;
                 out.cache_misses += misses;
+                if (registry != nullptr) {
+                    registry->add("vm.path.la");
+                    registry->add("vm.cache.hits", hits);
+                    registry->add("vm.cache.misses", misses);
+                    registry->observe("vm.ii", tr.schedule.ii);
+                    registry->trace(trace_scope, "path", "la",
+                                    tr.schedule.ii);
+                }
             } else {
-                site_result.actual_cycles += cpu_total;
+                site_result.actual_cycles +=
+                    piece.cpu_cycles_per_invocation * site.invocations;
                 site_result.translations += 1;
+                if (registry != nullptr) {
+                    registry->add("vm.path.cpu");
+                    registry->trace(trace_scope, "path", "cpu",
+                                    piece.cpu_cycles_per_invocation);
+                }
             }
         }
         site_result.actual_cycles += site_result.translation_cycles;
@@ -174,6 +287,14 @@ VirtualMachine::run(const Application& app) const
                       ? static_cast<double>(out.baseline_cycles) /
                             static_cast<double>(out.accelerated_cycles)
                       : 1.0;
+    if (registry != nullptr) {
+        // The acceptance contract of DESIGN.md §10: the per-phase
+        // vm.phase_cycles.* deltas this run recorded sum exactly to the
+        // translation cycles the cost model reports.
+        VEAL_ASSERT(audited_cycles == out.translation_cycles,
+                    "phase attribution lost cycles for ", app.name, ": ",
+                    audited_cycles, " != ", out.translation_cycles);
+    }
     return out;
 }
 

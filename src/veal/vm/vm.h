@@ -23,6 +23,10 @@
 
 namespace veal {
 
+namespace metrics {
+class Registry;
+}  // namespace metrics
+
 /** Runtime policy knobs for the VM. */
 struct VmOptions {
     TranslationMode mode = TranslationMode::kFullyDynamic;
@@ -47,6 +51,12 @@ struct VmOptions {
 struct SiteResult {
     std::string loop_name;
     bool accelerated = false;
+
+    /**
+     * Why translation gave up: the *first* failed piece's reason (the
+     * one the VM hit first; later pieces' reasons are in the metrics
+     * trace).  kNone when every piece translated.
+     */
     TranslationReject reject = TranslationReject::kNone;
 
     /** Cycles this site costs on the baseline CPU (original binary). */
@@ -105,6 +115,18 @@ class VirtualMachine {
 
     /** Run @p app to completion and report timing. */
     AppRunResult run(const Application& app) const;
+
+    /**
+     * As run(), additionally reporting into @p registry (counters
+     * "vm.*", the "vm.ii" histogram, and per-loop trace events; see
+     * DESIGN.md §10).  The per-phase "vm.phase_cycles.*" counters this
+     * run adds sum *exactly* to the returned translation_cycles -- the
+     * attribution is audited with an assertion, not approximated.
+     * @p registry may be nullptr (equivalent to the plain overload) and
+     * may already hold counts from earlier runs (deltas accumulate).
+     */
+    AppRunResult run(const Application& app,
+                     metrics::Registry* registry) const;
 
     const LaConfig& laConfig() const { return la_; }
     const CpuConfig& cpuConfig() const { return cpu_; }

@@ -1,0 +1,251 @@
+#include "veal/support/metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "veal/support/thread_pool.h"
+
+namespace veal::metrics {
+namespace {
+
+TEST(MetricsRegistryTest, CountersAccumulateAndDefaultToZero)
+{
+    Registry registry;
+    EXPECT_EQ(registry.counter("absent"), 0);
+    registry.add("hits");
+    registry.add("hits", 4);
+    registry.add("negative", -2);
+    EXPECT_EQ(registry.counter("hits"), 5);
+    EXPECT_EQ(registry.counter("negative"), -2);
+    EXPECT_FALSE(registry.empty());
+}
+
+TEST(MetricsRegistryTest, GaugesSumReals)
+{
+    Registry registry;
+    registry.addReal("seconds", 0.25);
+    registry.addReal("seconds", 0.5);
+    EXPECT_DOUBLE_EQ(registry.gauge("seconds"), 0.75);
+    EXPECT_DOUBLE_EQ(registry.gauge("absent"), 0.0);
+}
+
+TEST(MetricsHistogramTest, BinsAtBoundsAndOverflow)
+{
+    Registry registry;
+    registry.declareHistogram("ii", {1.0, 2.0, 4.0});
+    registry.observe("ii", 1.0);   // At the bound: first bucket.
+    registry.observe("ii", 1.5);   // Second bucket.
+    registry.observe("ii", 4.0);   // Third bucket, at its bound.
+    registry.observe("ii", 100.0); // Overflow.
+    registry.observe("ii", -3.0);  // Below everything: first bucket.
+    const Histogram* h = registry.histogram("ii");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->counts, (std::vector<std::int64_t>{2, 1, 1, 1}));
+    EXPECT_EQ(h->total, 5);
+    EXPECT_EQ(registry.histogram("absent"), nullptr);
+}
+
+TEST(MetricsHistogramTest, ObserveAutoDeclaresWithDefaultBounds)
+{
+    Registry registry;
+    registry.observe("auto", 3.0);
+    const Histogram* h = registry.histogram("auto");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->upper_bounds, Registry::defaultBounds());
+    EXPECT_EQ(h->total, 1);
+}
+
+TEST(MetricsHistogramTest, MergeAddsBucketwise)
+{
+    Registry a;
+    Registry b;
+    a.declareHistogram("x", {10.0, 20.0});
+    b.declareHistogram("x", {10.0, 20.0});
+    a.observe("x", 5.0);
+    b.observe("x", 15.0);
+    b.observe("x", 50.0);
+    a.merge(b);
+    const Histogram* h = a.histogram("x");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->counts, (std::vector<std::int64_t>{1, 1, 1}));
+    EXPECT_EQ(h->total, 3);
+}
+
+TEST(MetricsRegistryTest, MergeWithPrefixRenamesEverything)
+{
+    Registry cell;
+    cell.add("cases", 3);
+    cell.addReal("score", 1.5);
+    cell.observe("ops", 7.0);
+    cell.trace("site", "translate", "ok", 42);
+
+    Registry total;
+    total.merge(cell, "cell0.");
+    EXPECT_EQ(total.counter("cell0.cases"), 3);
+    EXPECT_DOUBLE_EQ(total.gauge("cell0.score"), 1.5);
+    ASSERT_NE(total.histogram("cell0.ops"), nullptr);
+    ASSERT_EQ(total.traceEvents().size(), 1u);
+    EXPECT_EQ(total.traceEvents()[0].scope, "cell0.site");
+    EXPECT_EQ(total.traceEvents()[0].value, 42);
+}
+
+TEST(MetricsRegistryTest, TraceIsBoundedAndDropsAreCounted)
+{
+    Registry registry;
+    registry.setTraceLimit(2);
+    registry.trace("a", "e", "d", 1);
+    registry.trace("b", "e", "d", 2);
+    registry.trace("c", "e", "d", 3);
+    EXPECT_EQ(registry.traceEvents().size(), 2u);
+    EXPECT_EQ(registry.traceDropped(), 1);
+}
+
+TEST(MetricsRegistryTest, MergeDeterministicUnderParallelMap)
+{
+    // The sweep-engine discipline: workers fill private registries, the
+    // owner merges in index order.  The merged snapshot must be
+    // byte-identical for any pool width.
+    std::vector<int> indices(64);
+    for (int i = 0; i < 64; ++i)
+        indices[static_cast<std::size_t>(i)] = i;
+
+    const auto fill = [](const int& i) {
+        Registry registry;
+        registry.add("cells");
+        registry.add("group." + std::to_string(i % 4), i);
+        registry.observe("value", static_cast<double>(i % 7));
+        if (i % 8 == 0)
+            registry.trace("cell" + std::to_string(i), "mark", "x", i);
+        return registry;
+    };
+
+    std::string baseline;
+    for (const int threads : {1, 2, 8}) {
+        ThreadPool pool(threads);
+        const std::vector<Registry> cells =
+            parallelMap(pool, indices, fill);
+        Registry total;
+        for (const auto& cell : cells)
+            total.merge(cell);
+        const std::string snapshot = total.toJson();
+        if (baseline.empty()) {
+            baseline = snapshot;
+            EXPECT_EQ(total.counter("cells"), 64);
+        } else {
+            EXPECT_EQ(snapshot, baseline) << "threads=" << threads;
+        }
+    }
+}
+
+TEST(MetricsJsonTest, RoundTripIsExact)
+{
+    Registry registry;
+    registry.add("plain", 12);
+    registry.add("needs \"escaping\"\n\tand\\slashes", 1);
+    registry.add("negative", -7);
+    registry.addReal("third", 1.0 / 3.0);
+    registry.addReal("tiny", 4.9e-324);
+    registry.addReal("whole", 123456789.0);
+    registry.declareHistogram("h", {0.5, 1.5});
+    registry.observe("h", 1.0);
+    registry.observe("h", 9.0);
+    registry.trace("vm/app/loop", "translate", "ok", 1234);
+    registry.trace("vm/app", "cache", "thrash", -1);
+
+    const std::string first = registry.toJson();
+    const auto parsed = Registry::fromJson(first);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->toJson(), first);
+    EXPECT_EQ(parsed->counter("plain"), 12);
+    EXPECT_DOUBLE_EQ(parsed->gauge("third"), 1.0 / 3.0);
+    ASSERT_NE(parsed->histogram("h"), nullptr);
+    EXPECT_EQ(parsed->histogram("h")->total, 2);
+    ASSERT_EQ(parsed->traceEvents().size(), 2u);
+    EXPECT_EQ(parsed->traceEvents()[0].detail, "ok");
+}
+
+TEST(MetricsJsonTest, EmptyRegistryRoundTrips)
+{
+    Registry registry;
+    const auto parsed = Registry::fromJson(registry.toJson());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(parsed->empty());
+    EXPECT_EQ(parsed->toJson(), registry.toJson());
+}
+
+TEST(MetricsJsonTest, RejectsMalformedInput)
+{
+    EXPECT_FALSE(Registry::fromJson("").has_value());
+    EXPECT_FALSE(Registry::fromJson("{}").has_value());  // No schema.
+    EXPECT_FALSE(
+        Registry::fromJson("{\"schema\": \"other-v9\"}").has_value());
+    Registry registry;
+    registry.add("x");
+    const std::string good = registry.toJson();
+    EXPECT_FALSE(
+        Registry::fromJson(good + "trailing garbage").has_value());
+    EXPECT_FALSE(
+        Registry::fromJson(good.substr(0, good.size() - 3)).has_value());
+}
+
+TEST(MetricsChargeTest, PhaseCyclesSumExactlyToTotalCharge)
+{
+    // Awkward fractional weights on purpose: per-phase instruction
+    // estimates truncate differently than their sum, so a naive
+    // per-phase cast would lose cycles.  chargePhaseCycles must not.
+    CostMeter meter;
+    meter.charge(TranslationPhase::kLoopAnalysis, 17);
+    meter.charge(TranslationPhase::kCcaMapping, 3);
+    meter.charge(TranslationPhase::kMiiComputation, 101);
+    meter.charge(TranslationPhase::kPriority, 7);
+    meter.charge(TranslationPhase::kScheduling, 13);
+    meter.charge(TranslationPhase::kRegisterAssignment, 1);
+
+    for (const std::int64_t multiplier : {1, 2, 7, 1000}) {
+        Registry registry;
+        const std::int64_t charged = chargePhaseCycles(
+            registry, "vm.phase_cycles", meter, multiplier);
+        const auto expected = static_cast<std::int64_t>(
+            meter.totalInstructions() *
+            static_cast<double>(multiplier));
+        EXPECT_EQ(charged, expected) << "multiplier " << multiplier;
+        std::int64_t sum = 0;
+        for (int i = 0; i < kNumTranslationPhases; ++i) {
+            sum += registry.counter(
+                std::string("vm.phase_cycles.") +
+                toString(static_cast<TranslationPhase>(i)));
+        }
+        EXPECT_EQ(sum, expected) << "multiplier " << multiplier;
+    }
+}
+
+TEST(MetricsChargeTest, MeteredScopeRecordsOnlyTheDelta)
+{
+    CostMeter meter;
+    meter.charge(TranslationPhase::kPriority, 100);
+    Registry registry;
+    {
+        const MeteredScope scope(registry, "translate.app", meter);
+        meter.charge(TranslationPhase::kPriority, 7);
+        meter.charge(TranslationPhase::kScheduling, 3);
+    }
+    EXPECT_EQ(registry.counter("translate.app.units.priority"), 7);
+    EXPECT_EQ(registry.counter("translate.app.units.scheduling"), 3);
+    // Untouched phases stay absent (no zero-noise in snapshots).
+    EXPECT_EQ(registry.counter("translate.app.units.mii"), 0);
+}
+
+TEST(MetricsChargeTest, RecordCostMeterWritesRawUnits)
+{
+    CostMeter meter;
+    meter.charge(TranslationPhase::kCcaMapping, 11);
+    Registry registry;
+    recordCostMeter(registry, "translate.app", meter);
+    EXPECT_EQ(registry.counter("translate.app.units.cca-mapping"), 11);
+}
+
+}  // namespace
+}  // namespace veal::metrics

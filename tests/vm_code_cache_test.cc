@@ -7,6 +7,7 @@
 
 #include "veal/fuzz/corpus.h"
 #include "veal/ir/loop_parser.h"
+#include "veal/support/metrics/metrics.h"
 
 #ifndef VEAL_CORPUS_DIR
 #error "VEAL_CORPUS_DIR must point at tests/corpus"
@@ -111,6 +112,73 @@ TEST(CodeCacheTest, WorkingSetBeyondCapacityThrashesUnderLru)
     // Round-robin over 5 keys with 4 LRU slots: every access misses.
     EXPECT_EQ(cache.hits(), 0);
     EXPECT_EQ(cache.misses(), 25);
+}
+
+TEST(CodeCacheTest, InsertReportsWhatActuallyHappened)
+{
+    CodeCache cache(2);
+    EXPECT_EQ(cache.insert("a"), CodeCache::InsertOutcome::kInserted);
+    EXPECT_EQ(cache.insert("a"), CodeCache::InsertOutcome::kRefreshed);
+    EXPECT_EQ(cache.insert("b"), CodeCache::InsertOutcome::kInserted);
+    // Full cache: a genuinely new key still reports kInserted (the
+    // eviction is visible in evictions(), not the outcome).
+    EXPECT_EQ(cache.insert("c"), CodeCache::InsertOutcome::kInserted);
+}
+
+TEST(CodeCacheTest, CountsEvictionsButNotRefreshes)
+{
+    CodeCache cache(2);
+    cache.insert("a");
+    cache.insert("b");
+    EXPECT_EQ(cache.evictions(), 0);
+    cache.insert("a");  // Refresh of a resident key: never evicts.
+    EXPECT_EQ(cache.evictions(), 0);
+    cache.insert("c");  // Evicts b (a was refreshed above).
+    EXPECT_EQ(cache.evictions(), 1);
+    EXPECT_FALSE(cache.lookup("b"));
+    cache.insert("d");
+    EXPECT_EQ(cache.evictions(), 2);
+}
+
+TEST(CodeCacheTest, StatsSnapshotMatchesAccessors)
+{
+    CodeCache cache(2);
+    cache.lookup("a");  // miss
+    cache.insert("a");
+    cache.lookup("a");  // hit
+    cache.insert("b");
+    cache.insert("c");  // evicts a
+    const CodeCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.hits, cache.hits());
+    EXPECT_EQ(stats.misses, cache.misses());
+    EXPECT_EQ(stats.evictions, 1);
+    EXPECT_EQ(stats.size, 2);
+    EXPECT_EQ(stats.capacity, 2);
+}
+
+TEST(CodeCacheTest, RecordIntoUsesThePrefix)
+{
+    CodeCache cache(4);
+    cache.lookup("a");
+    cache.insert("a");
+    cache.lookup("a");
+    metrics::Registry registry;
+    cache.recordInto(registry, "cache");
+    EXPECT_EQ(registry.counter("cache.hits"), 1);
+    EXPECT_EQ(registry.counter("cache.misses"), 1);
+    EXPECT_EQ(registry.counter("cache.evictions"), 0);
+    EXPECT_EQ(registry.counter("cache.resident"), 1);
+}
+
+TEST(CodeCacheTest, ClearResetsEvictions)
+{
+    CodeCache cache(1);
+    cache.insert("a");
+    cache.insert("b");
+    EXPECT_EQ(cache.evictions(), 1);
+    cache.clear();
+    EXPECT_EQ(cache.evictions(), 0);
+    EXPECT_EQ(cache.stats().size, 0);
 }
 
 TEST(CodeCacheDeathTest, ZeroCapacityPanics)

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "veal/support/metrics/metrics.h"
 #include "veal/workloads/kernels.h"
 #include "veal/ir/transforms.h"
 
@@ -164,6 +167,66 @@ TEST(VmRunTest, SmallCodeCacheThrashes)
     EXPECT_GT(cramped.translation_cycles, roomy.translation_cycles);
     EXPECT_LT(cramped.speedup, roomy.speedup);
     EXPECT_GT(cramped.cache_misses, roomy.cache_misses);
+}
+
+TEST(VmRunTest, CpuWinningPiecesDoNotOccupyTheCache)
+{
+    // Two real LA winners plus three trivial loops that translate fine
+    // but lose to the CPU path (a single iteration cannot amortise the
+    // LA's first-invocation cost).  Only the winners occupy the 2-entry
+    // cache, so the working set fits and each misses exactly once.
+    // Regression: the cache-fits test used to count every translated-ok
+    // piece, so the three CPU-path loops "overflowed" the cache and
+    // thrashed sad and quant into per-invocation retranslation.
+    Application app = makeSimpleApp();
+    for (int i = 0; i < 3; ++i) {
+        app.sites.push_back(LoopSite{
+            .loop = makeCopyScaleLoop("tiny" + std::to_string(i)),
+            .fissioned = {},
+            .invocations = 1,
+            .iterations = 1});
+    }
+    VmOptions options;
+    options.mode = TranslationMode::kFullyDynamic;
+    options.code_cache_entries = 2;
+    const VirtualMachine vm(LaConfig::proposed(), CpuConfig::arm11(),
+                            options);
+    metrics::Registry registry;
+    const auto result = vm.run(app, &registry);
+    // Precondition: the tiny loops really chose the CPU path.
+    ASSERT_EQ(registry.counter("vm.path.cpu"), 3);
+    ASSERT_EQ(registry.counter("vm.path.la"), 2);
+    EXPECT_EQ(registry.counter("vm.resident_pieces"), 2);
+    EXPECT_EQ(result.cache_misses, 2);
+    EXPECT_EQ(result.cache_hits, 88);  // 50 + 40 invocations - 2 misses.
+}
+
+TEST(VmRunTest, SiteRejectReportsTheFirstFailedPiece)
+{
+    // A fissioned site whose first piece fails analysis (a libm call)
+    // and whose second piece fails on stream limits (20 load streams on
+    // a 16-stream LA).  Regression: the site verdict used to be
+    // overwritten by each failed piece, reporting the *last* reason.
+    Application app;
+    app.name = "mixed-failure";
+    app.sites.push_back(
+        LoopSite{.loop = makeMathCallLoop("calls"),
+                 .fissioned = {makeMathCallLoop("calls_piece"),
+                               makeStencilNLoop("wide", 20)},
+                 .invocations = 10,
+                 .iterations = 128});
+    VmOptions options;
+    options.mode = TranslationMode::kFullyDynamic;
+    const VirtualMachine vm(LaConfig::proposed(), CpuConfig::arm11(),
+                            options);
+    metrics::Registry registry;
+    const auto result = vm.run(app, &registry);
+    EXPECT_FALSE(result.sites[0].accelerated);
+    EXPECT_EQ(result.sites[0].reject, TranslationReject::kAnalysis);
+    // Both failures are still individually visible in the metrics.
+    EXPECT_EQ(registry.counter("vm.translate.reject.analysis"), 1);
+    EXPECT_EQ(
+        registry.counter("vm.translate.reject.too-many-load-streams"), 1);
 }
 
 TEST(VmRunTest, BaselineCyclesMatchCpuOnly)

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "veal/support/metrics/metrics.h"
+#include "veal/vm/vm.h"
+#include "veal/workloads/kernels.h"
+#include "veal/workloads/suite.h"
+
+namespace veal {
+namespace {
+
+std::int64_t
+phaseCycleSum(const metrics::Registry& registry)
+{
+    std::int64_t sum = 0;
+    for (int i = 0; i < kNumTranslationPhases; ++i) {
+        sum += registry.counter(
+            std::string("vm.phase_cycles.") +
+            toString(static_cast<TranslationPhase>(i)));
+    }
+    return sum + registry.counter("vm.phase_cycles.override");
+}
+
+Application
+makeTwoLoopApp()
+{
+    Application app;
+    app.name = "telemetry";
+    app.sites.push_back(LoopSite{.loop = makeSadLoop("sad"),
+                                 .fissioned = {},
+                                 .invocations = 50,
+                                 .iterations = 256});
+    app.sites.push_back(LoopSite{.loop = makeQuantLoop("quant"),
+                                 .fissioned = {},
+                                 .invocations = 40,
+                                 .iterations = 512});
+    app.acyclic_cycles = 50000;
+    return app;
+}
+
+TEST(VmTelemetryTest, PlainAndMeteredRunsAgree)
+{
+    const auto app = makeTwoLoopApp();
+    VmOptions options;
+    options.mode = TranslationMode::kFullyDynamic;
+    const VirtualMachine vm(LaConfig::proposed(), CpuConfig::arm11(),
+                            options);
+    metrics::Registry registry;
+    const auto plain = vm.run(app);
+    const auto metered = vm.run(app, &registry);
+    EXPECT_EQ(plain.accelerated_cycles, metered.accelerated_cycles);
+    EXPECT_EQ(plain.translation_cycles, metered.translation_cycles);
+    EXPECT_EQ(plain.cache_hits, metered.cache_hits);
+    EXPECT_EQ(plain.cache_misses, metered.cache_misses);
+}
+
+TEST(VmTelemetryTest, PhaseCyclesSumExactlyToTranslationCycles)
+{
+    // The acceptance contract: for every benchmark in the suite and
+    // every translation mode, the registry's per-phase attribution sums
+    // *exactly* (int64 equality, no tolerance) to the cost model's
+    // reported translation_cycles.
+    const auto suite = mediaFpSuite();
+    for (const auto mode : {TranslationMode::kStatic,
+                            TranslationMode::kFullyDynamic,
+                            TranslationMode::kFullyDynamicHeight,
+                            TranslationMode::kHybridStaticCcaPriority}) {
+        VmOptions options;
+        options.mode = mode;
+        const VirtualMachine vm(LaConfig::proposed(), CpuConfig::arm11(),
+                                options);
+        for (const auto& benchmark : suite) {
+            metrics::Registry registry;
+            const auto result =
+                vm.run(benchmark.transformed, &registry);
+            EXPECT_EQ(phaseCycleSum(registry), result.translation_cycles)
+                << benchmark.name << " in mode " << toString(mode);
+        }
+    }
+}
+
+TEST(VmTelemetryTest, PenaltyOverrideChargesTheOverrideBucket)
+{
+    const auto app = makeTwoLoopApp();
+    VmOptions options;
+    options.mode = TranslationMode::kFullyDynamic;
+    options.penalty_override = 12345.0;
+    const VirtualMachine vm(LaConfig::proposed(), CpuConfig::arm11(),
+                            options);
+    metrics::Registry registry;
+    const auto result = vm.run(app, &registry);
+    EXPECT_EQ(registry.counter("vm.phase_cycles.override"),
+              result.translation_cycles);
+    EXPECT_EQ(registry.counter("vm.phase_cycles.priority"), 0);
+}
+
+TEST(VmTelemetryTest, CountersMatchRunResult)
+{
+    const auto app = makeTwoLoopApp();
+    VmOptions options;
+    options.mode = TranslationMode::kFullyDynamic;
+    const VirtualMachine vm(LaConfig::proposed(), CpuConfig::arm11(),
+                            options);
+    metrics::Registry registry;
+    const auto result = vm.run(app, &registry);
+    EXPECT_EQ(registry.counter("vm.cache.hits"), result.cache_hits);
+    EXPECT_EQ(registry.counter("vm.cache.misses"), result.cache_misses);
+    EXPECT_EQ(registry.counter("vm.pieces"), 2);
+    EXPECT_EQ(registry.counter("vm.translate.ok"), 2);
+    EXPECT_EQ(registry.counter("vm.path.la"), 2);
+    // Every accelerated piece lands one II observation.
+    const auto* ii = registry.histogram("vm.ii");
+    ASSERT_NE(ii, nullptr);
+    EXPECT_EQ(ii->total, registry.counter("vm.path.la"));
+    // Scheduling effort was observed (at least one II per ok piece).
+    EXPECT_GE(registry.counter("vm.sched.attempted_iis"), 2);
+    // The decision trace covers cache verdict + per-piece events.
+    EXPECT_GE(registry.traceEvents().size(), 3u);
+}
+
+TEST(VmTelemetryTest, RejectedLoopIsCountedAndTraced)
+{
+    Application app;
+    app.name = "calls";
+    app.sites.push_back(LoopSite{.loop = makeMathCallLoop("libm"),
+                                 .fissioned = {},
+                                 .invocations = 10,
+                                 .iterations = 128});
+    app.acyclic_cycles = 1000;
+    VmOptions options;
+    options.mode = TranslationMode::kFullyDynamic;
+    const VirtualMachine vm(LaConfig::proposed(), CpuConfig::arm11(),
+                            options);
+    metrics::Registry registry;
+    const auto result = vm.run(app, &registry);
+    EXPECT_EQ(registry.counter("vm.translate.reject.analysis"), 1);
+    EXPECT_EQ(registry.counter("vm.translate.ok"), 0);
+    // Even the failed analysis work is attributed exactly.
+    EXPECT_EQ(phaseCycleSum(registry), result.translation_cycles);
+    bool traced = false;
+    for (const auto& event : registry.traceEvents()) {
+        if (event.event == "translate" && event.detail == "analysis")
+            traced = true;
+    }
+    EXPECT_TRUE(traced);
+}
+
+TEST(VmTelemetryTest, MeteredRunsAccumulateIntoOneRegistry)
+{
+    const auto app = makeTwoLoopApp();
+    VmOptions options;
+    options.mode = TranslationMode::kFullyDynamic;
+    const VirtualMachine vm(LaConfig::proposed(), CpuConfig::arm11(),
+                            options);
+    metrics::Registry registry;
+    const auto once = vm.run(app, &registry);
+    const auto twice = vm.run(app, &registry);
+    EXPECT_EQ(phaseCycleSum(registry),
+              once.translation_cycles + twice.translation_cycles);
+    EXPECT_EQ(registry.counter("vm.apps"), 2);
+}
+
+}  // namespace
+}  // namespace veal

@@ -35,6 +35,8 @@ usage()
         "  --shrink        minimise failing loops before reporting\n"
         "  --corpus DIR    save shrunk repros to DIR as .veal files\n"
         "  --replay DIR    replay corpus files in DIR instead of fuzzing\n"
+        "  --metrics-json FILE  write a veal-metrics-v1 snapshot of the\n"
+        "                  campaign (byte-identical for any --threads)\n"
         "  --list-configs  print the preset names and exit\n";
     return 2;
 }
@@ -73,6 +75,7 @@ main(int argc, char** argv)
 {
     veal::FuzzOptions options;
     std::string replay_dir;
+    std::string metrics_json;
 
     const auto next_value = [&](int& i) -> const char* {
         if (i + 1 >= argc) {
@@ -108,6 +111,8 @@ main(int argc, char** argv)
             options.corpus_dir = next_value(i);
         } else if (arg == "--replay") {
             replay_dir = next_value(i);
+        } else if (arg == "--metrics-json") {
+            metrics_json = next_value(i);
         } else if (arg == "--list-configs") {
             for (const auto& preset : veal::fuzzConfigPresets())
                 std::cout << preset.name << "\n";
@@ -131,7 +136,18 @@ main(int argc, char** argv)
         return 2;
     }
 
-    const veal::FuzzSummary summary = veal::runFuzz(options);
+    veal::metrics::Registry registry;
+    veal::FuzzSummary summary;
+    {
+        // Wall time goes to stderr only; the snapshot stays clock-free.
+        const veal::metrics::ScopedWallTimer timer("veal-fuzz campaign");
+        summary = veal::runFuzz(options, &registry);
+    }
     std::cout << summary.render();
+    if (!metrics_json.empty() &&
+        !veal::metrics::writeSnapshot(registry, metrics_json)) {
+        std::cerr << "veal-fuzz: cannot write " << metrics_json << "\n";
+        return 2;
+    }
     return summary.clean() ? 0 : 1;
 }
