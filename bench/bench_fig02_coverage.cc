@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench/common.h"
 #include "veal/arch/cpu_config.h"
 #include "veal/sim/cpu_sim.h"
 #include "veal/support/table.h"
@@ -16,7 +17,8 @@ namespace veal {
 namespace {
 
 void
-report(const std::vector<Benchmark>& suite, const char* group)
+report(const std::vector<Benchmark>& suite, const char* group,
+       metrics::Registry& registry)
 {
     const CpuConfig cpu = CpuConfig::arm11();
     TextTable table({"benchmark", "modulo%", "speculation%", "subroutine%",
@@ -35,6 +37,11 @@ report(const std::vector<Benchmark>& suite, const char* group)
         const double acyclic = static_cast<double>(app.acyclic_cycles);
         const double total =
             by_feature[0] + by_feature[1] + by_feature[2] + acyclic;
+        registry.add("coverage.sites",
+                     static_cast<std::int64_t>(app.sites.size()));
+        registry.observe("coverage.modulo_percent",
+                         static_cast<std::int64_t>(
+                             100.0 * by_feature[0] / total));
         table.addRow(
             {benchmark.name,
              TextTable::formatDouble(100.0 * by_feature[0] / total, 1),
@@ -50,13 +57,18 @@ report(const std::vector<Benchmark>& suite, const char* group)
 }  // namespace veal
 
 int
-main()
+main(int argc, char** argv)
 {
+    const auto options = veal::bench::BenchOptions::parse(argc, argv);
+    veal::metrics::Registry registry;
     std::printf("VEAL reproduction: Figure 2 -- execution time by code "
                 "category (measured on the 1-issue baseline)\n\n");
-    veal::report(veal::mediaFpSuite(), "media / floating point");
-    veal::report(veal::integerSuite(), "integer / control-heavy");
+    veal::report(veal::mediaFpSuite(), "media / floating point",
+                 registry);
+    veal::report(veal::integerSuite(), "integer / control-heavy",
+                 registry);
     std::printf("Paper shape: the left group is dominated by "
                 "modulo-schedulable loops; the right group is not.\n");
+    veal::bench::finishBenchMetrics(options, registry);
     return 0;
 }

@@ -6,15 +6,18 @@
 
 #include <cstdio>
 
+#include "bench/common.h"
 #include "veal/arch/cpu_config.h"
 #include "veal/support/table.h"
 #include "veal/vm/vm.h"
 #include "veal/workloads/suite.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace veal;
+    const auto bench_options = bench::BenchOptions::parse(argc, argv);
+    metrics::Registry registry;
     const auto suite = mediaFpSuite();
     const LaConfig la = LaConfig::proposed();
     VmOptions options;
@@ -29,8 +32,10 @@ main()
     int counted = 0;
     for (const auto& benchmark : suite) {
         VirtualMachine vm(la, CpuConfig::arm11(), options);
-        const double transformed = vm.run(benchmark.transformed).speedup;
-        const double plain = vm.run(benchmark.untransformed).speedup;
+        const double transformed =
+            vm.run(benchmark.transformed, &registry).speedup;
+        const double plain =
+            vm.run(benchmark.untransformed, &registry).speedup;
         double fraction = 0.0;
         if (transformed > 1.0) {
             fraction = std::max(0.0, plain - 1.0) / (transformed - 1.0);
@@ -50,5 +55,6 @@ main()
         "Paper shape: many benchmarks attain 0%% without the transforms\n"
         "(their key loops keep calls or exceed stream limits), and the\n"
         "average loss is large (paper: 75%% of the speedup lost).\n");
+    bench::finishBenchMetrics(bench_options, registry);
     return 0;
 }

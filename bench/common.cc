@@ -11,6 +11,52 @@
 
 namespace veal::bench {
 
+namespace {
+
+void
+printUsage(std::FILE* out, const char* argv0)
+{
+    std::fprintf(out,
+                 "usage: %s [--threads N] [--metrics-json FILE] "
+                 "[--report]\n"
+                 "  --threads N          sweep worker threads (default: "
+                 "all hardware threads)\n"
+                 "  --metrics-json FILE  write a veal-metrics-v1 JSON "
+                 "snapshot (byte-identical\n"
+                 "                       for any --threads)\n"
+                 "  --report             print the per-phase translation-"
+                 "cycle table from the\n"
+                 "                       metrics registry (veal-report "
+                 "mode)\n",
+                 argv0);
+}
+
+/**
+ * Shared CLI failure path for every bench: diagnostic plus the usage
+ * line to stderr, exit 2 (distinct from exit 1, a failed measurement).
+ */
+[[noreturn]] void
+usageError(const char* argv0, const std::string& message)
+{
+    std::fprintf(stderr, "%s: %s\n", argv0, message.c_str());
+    printUsage(stderr, argv0);
+    std::exit(2);
+}
+
+/** Strict decimal parse: "12abc" is an error, not 12. */
+bool
+parsePositiveInt(const char* text, int* out)
+{
+    const std::string token(text);
+    if (token.empty() || token.size() > 9 ||
+        token.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    *out = std::atoi(text);
+    return *out > 0;
+}
+
+}  // namespace
+
 BenchOptions
 BenchOptions::parse(int argc, char** argv)
 {
@@ -19,44 +65,37 @@ BenchOptions::parse(int argc, char** argv)
         const char* arg = argv[i];
         if (std::strcmp(arg, "--threads") == 0) {
             if (i + 1 >= argc)
-                fatal("--threads needs a value");
-            options.threads = std::atoi(argv[++i]);
-            if (options.threads <= 0)
-                fatal("--threads wants a positive integer, got ",
-                      argv[i]);
+                usageError(argv[0], "--threads needs a value");
+            if (!parsePositiveInt(argv[++i], &options.threads)) {
+                usageError(argv[0],
+                           std::string("--threads wants a positive "
+                                       "integer, got '") +
+                               argv[i] + "'");
+            }
         } else if (std::strncmp(arg, "--threads=", 10) == 0) {
-            options.threads = std::atoi(arg + 10);
-            if (options.threads <= 0)
-                fatal("--threads wants a positive integer, got ",
-                      arg + 10);
+            if (!parsePositiveInt(arg + 10, &options.threads)) {
+                usageError(argv[0],
+                           std::string("--threads wants a positive "
+                                       "integer, got '") +
+                               (arg + 10) + "'");
+            }
         } else if (std::strcmp(arg, "--metrics-json") == 0) {
             if (i + 1 >= argc)
-                fatal("--metrics-json needs a file path");
+                usageError(argv[0], "--metrics-json needs a file path");
             options.metrics_json = argv[++i];
         } else if (std::strncmp(arg, "--metrics-json=", 15) == 0) {
             options.metrics_json = arg + 15;
             if (options.metrics_json.empty())
-                fatal("--metrics-json needs a file path");
+                usageError(argv[0], "--metrics-json needs a file path");
         } else if (std::strcmp(arg, "--report") == 0) {
             options.report = true;
         } else if (std::strcmp(arg, "--help") == 0 ||
                    std::strcmp(arg, "-h") == 0) {
-            std::printf(
-                "usage: %s [--threads N] [--metrics-json FILE] "
-                "[--report]\n"
-                "  --threads N          sweep worker threads (default: "
-                "all hardware threads)\n"
-                "  --metrics-json FILE  write a veal-metrics-v1 JSON "
-                "snapshot (byte-identical\n"
-                "                       for any --threads)\n"
-                "  --report             print the per-phase translation-"
-                "cycle table from the\n"
-                "                       metrics registry (veal-report "
-                "mode)\n",
-                argv[0]);
+            printUsage(stdout, argv[0]);
             std::exit(0);
         } else {
-            fatal("unknown argument '", arg, "' (try --help)");
+            usageError(argv[0], std::string("unknown argument '") + arg +
+                                    "'");
         }
     }
     return options;

@@ -42,8 +42,9 @@ struct BenchOptions {
 
     /**
      * Parse --threads N, --metrics-json FILE, --report (and --help).
-     * Unknown arguments are fatal so a typo cannot silently fall back
-     * to a serial run.
+     * Unknown flags and malformed values ("12abc" is not an integer)
+     * print the diagnostic plus the usage line to stderr and exit 2,
+     * so a typo cannot silently fall back to a serial or default run.
      */
     static BenchOptions parse(int argc, char** argv);
 };

@@ -1,0 +1,149 @@
+#ifndef VEAL_FAULT_CAMPAIGN_H_
+#define VEAL_FAULT_CAMPAIGN_H_
+
+/**
+ * @file
+ * The fault-injection campaign driver behind tools/veal-faultsim.
+ *
+ * One campaign samples a stream of FaultPlans from a seed, runs each plan
+ * through the hardened VM on a benchmark application, and checks two
+ * invariants per plan:
+ *
+ *  - Architectural fidelity: every translation the hardened VM dispatches
+ *    executes bit-identically to the reference interpreter, no matter
+ *    what the plan injected.  Faults may only cost cycles, never results.
+ *  - Taxonomy closure: every injected fault lands in exactly one recovery
+ *    counter (a cache-corruption fire is one checksum invalidation; any
+ *    pipeline fire forces the site off the nominal rung).
+ *
+ * Determinism contract (same as the fuzz driver): every case is a pure
+ * function of (campaign seed, plan index), and results reduce in index
+ * order, so render() is byte-identical for any thread count.
+ */
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "veal/fault/fault_plan.h"
+#include "veal/vm/translator.h"
+
+namespace veal {
+
+namespace metrics {
+class Registry;
+}  // namespace metrics
+
+/** Campaign parameters (mirrors the veal-faultsim CLI). */
+struct FaultCampaignOptions {
+    int plans = 200;
+    int threads = 1;
+    std::uint64_t seed = 1;
+
+    /** Benchmark names to rotate over; empty = the whole media suite. */
+    std::vector<std::string> apps;
+
+    TranslationMode mode = TranslationMode::kFullyDynamic;
+
+    /** Trip count for the differential interpreter check. */
+    std::int64_t iterations = 12;
+
+    /**
+     * Per-site invocation clamp applied to the benchmark applications
+     * (the dispatch simulation is per-invocation; the suite's calibrated
+     * counts are far larger than fault coverage needs).  <= 0 = no clamp.
+     */
+    std::int64_t max_invocations = 32;
+
+    /** Small cache so eviction interacts with quarantine state. */
+    int code_cache_entries = 4;
+};
+
+/** Everything one plan's run concluded. */
+struct FaultCaseResult {
+    int plan_index = 0;
+    std::uint64_t plan_seed = 0;
+    std::string app_name;
+    std::string plan_text;
+
+    /** Deepest degradation rung any site needed, by name. */
+    std::string deepest_rung;
+
+    /** Injector taxonomy counters, by FaultSite index. */
+    std::array<std::int64_t, kNumFaultSites> fired{};
+
+    std::int64_t invalidations = 0;
+    std::int64_t retranslations = 0;
+    std::int64_t quarantines = 0;
+    std::int64_t la_dispatches = 0;
+    std::int64_t cpu_dispatches = 0;
+
+    /** Dispatched translations differentially executed / skipped
+        (skips = loops outside the functional executor's stream-base
+        subset; reported, never silent). */
+    std::int64_t differential_checks = 0;
+    std::int64_t differential_skips = 0;
+
+    /** Accelerator result differed from the interpreter (a VEAL bug). */
+    bool diverged = false;
+    std::string divergence_detail;
+
+    /** A fired fault escaped the recovery taxonomy (a VEAL bug). */
+    bool taxonomy_ok = true;
+    std::string taxonomy_detail;
+};
+
+/** Aggregated campaign results. */
+struct FaultCampaignSummary {
+    int total_plans = 0;
+    std::uint64_t seed = 0;
+
+    /** Deepest-rung name -> number of plans that ended there. */
+    std::map<std::string, std::int64_t> rung_counts;
+
+    std::array<std::int64_t, kNumFaultSites> fired{};
+    std::int64_t invalidations = 0;
+    std::int64_t retranslations = 0;
+    std::int64_t quarantines = 0;
+    std::int64_t la_dispatches = 0;
+    std::int64_t cpu_dispatches = 0;
+    std::int64_t differential_checks = 0;
+    std::int64_t differential_skips = 0;
+
+    /** Failing cases, in plan-index order. */
+    std::vector<FaultCaseResult> divergences;
+    std::vector<FaultCaseResult> taxonomy_violations;
+
+    bool
+    clean() const
+    {
+        return divergences.empty() && taxonomy_violations.empty();
+    }
+
+    /** Deterministic text report (identical for any thread count). */
+    std::string render() const;
+};
+
+/**
+ * Derive plan @p plan_index of campaign @p campaign_seed.  Exposed so a
+ * single plan can be replayed outside the driver.
+ */
+FaultPlan makeCampaignPlan(std::uint64_t campaign_seed, int plan_index);
+
+/**
+ * Run a campaign.  Creates its own pool of @p options.threads workers.
+ *
+ * When @p registry is non-null the campaign reports into it during the
+ * index-ordered reduction ("fault.plans", "fault.rung.*", "fault.fired.*",
+ * recovery counters, and one trace event per failure), so the snapshot is
+ * byte-identical for any options.threads.
+ */
+FaultCampaignSummary runFaultCampaign(const FaultCampaignOptions& options,
+                                      metrics::Registry* registry =
+                                          nullptr);
+
+}  // namespace veal
+
+#endif  // VEAL_FAULT_CAMPAIGN_H_

@@ -1,0 +1,85 @@
+#include "veal/fault/fault_plan.h"
+
+#include <sstream>
+
+#include "veal/support/rng.h"
+
+namespace veal {
+
+const char*
+toString(FaultSite site)
+{
+    switch (site) {
+      case FaultSite::kSchedulerPlacement: return "scheduler-placement";
+      case FaultSite::kRegisterAllocation: return "register-allocation";
+      case FaultSite::kCcaMapping: return "cca-mapping";
+      case FaultSite::kCacheCorruption: return "cache-corruption";
+      case FaultSite::kTranslationBudget: return "translation-budget";
+      case FaultSite::kCount: break;
+    }
+    return "unknown";
+}
+
+FaultPlan
+FaultPlan::sample(std::uint64_t seed)
+{
+    Rng rng(seed * 0x9e3779b97f4a7c15ull + 0xfa017ull);
+    FaultPlan plan;
+    plan.seed = seed;
+
+    const int armed = 1 + static_cast<int>(rng.nextBelow(3));
+    for (int i = 0; i < armed; ++i) {
+        const auto site = static_cast<FaultSite>(
+            rng.nextBelow(static_cast<std::uint64_t>(kNumFaultSites)));
+        if (site == FaultSite::kTranslationBudget) {
+            // The budget is a scalar watchdog, not a probe window; one
+            // armed budget is enough and re-draws tighten it.  The range
+            // straddles real metered translation costs (~15k-150k
+            // instructions for the benchmark suite), so some budgets
+            // only bind until a relief rung doubles them away and others
+            // exhaust every rung.
+            const auto budget = static_cast<std::int64_t>(
+                10000 + rng.nextBelow(190001));
+            if (plan.translation_budget < 0 ||
+                budget < plan.translation_budget) {
+                plan.translation_budget = budget;
+            }
+            continue;
+        }
+        ArmedFault fault;
+        fault.site = site;
+        fault.first_fire = static_cast<std::int64_t>(rng.nextBelow(4));
+        // 1-in-8 windows are sticky; the rest fire 1-4 times.
+        fault.fires = rng.nextBelow(8) == 0
+                          ? -1
+                          : static_cast<std::int64_t>(
+                                1 + rng.nextBelow(4));
+        plan.faults.push_back(fault);
+    }
+
+    plan.quarantine_strikes = 2 + static_cast<int>(rng.nextBelow(2));
+    plan.retranslation_bound =
+        plan.quarantine_strikes - 1 + static_cast<int>(rng.nextBelow(2));
+    return plan;
+}
+
+std::string
+FaultPlan::describe() const
+{
+    std::ostringstream os;
+    os << "plan seed=" << seed;
+    for (const auto& fault : faults) {
+        os << " " << toString(fault.site) << "@" << fault.first_fire;
+        if (fault.fires < 0)
+            os << "+sticky";
+        else
+            os << "x" << fault.fires;
+    }
+    if (translation_budget >= 0)
+        os << " budget=" << translation_budget;
+    os << " strikes=" << quarantine_strikes
+       << " retrans=" << retranslation_bound;
+    return os.str();
+}
+
+}  // namespace veal

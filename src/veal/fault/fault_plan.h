@@ -1,0 +1,93 @@
+#ifndef VEAL_FAULT_FAULT_PLAN_H_
+#define VEAL_FAULT_FAULT_PLAN_H_
+
+/**
+ * @file
+ * Deterministic, seed-driven fault plans (DESIGN.md §11).
+ *
+ * A FaultPlan is a declarative description of which translation-pipeline
+ * sites will misbehave and when: it arms windows over *probe indices*
+ * (the n-th time a site is exercised), a translation-cycle budget, and
+ * the hardened VM's quarantine policy.  The plan is a pure function of
+ * its seed -- FaultPlan::sample(seed) always yields the same plan on
+ * every platform -- so any campaign failure reproduces from two
+ * integers: the campaign seed and the plan index.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace veal {
+
+/** Named injection points in the translation/dispatch pipeline. */
+enum class FaultSite : int {
+    kSchedulerPlacement = 0,  ///< Modulo scheduler fails to place units.
+    kRegisterAllocation,      ///< Operand mapping reports no registers.
+    kCcaMapping,              ///< CCA subgraph identification aborts.
+    kCacheCorruption,         ///< Bit flip in a resident control image.
+    kTranslationBudget,       ///< Translator exceeds its cycle budget.
+    kCount,
+};
+
+/** Number of distinct fault sites. */
+inline constexpr int kNumFaultSites =
+    static_cast<int>(FaultSite::kCount);
+
+/** Site name, e.g. "scheduler-placement". */
+const char* toString(FaultSite site);
+
+/**
+ * One armed fault: fire at probe indices
+ * [first_fire, first_fire + fires) of @p site.  fires < 0 arms a sticky
+ * fault that fires on every probe from first_fire onward (a permanently
+ * broken site, exercising the bottom of the degradation ladder).
+ */
+struct ArmedFault {
+    FaultSite site = FaultSite::kSchedulerPlacement;
+    std::int64_t first_fire = 0;
+    std::int64_t fires = 1;
+};
+
+/** A complete, reproducible fault scenario. */
+struct FaultPlan {
+    /** The seed this plan was sampled from (0 for hand-built plans). */
+    std::uint64_t seed = 0;
+
+    /** Armed windows; multiple entries may target the same site. */
+    std::vector<ArmedFault> faults;
+
+    /**
+     * Translation budget in metered instructions; the watchdog in
+     * translateLoop() rejects once the meter crosses it.  Negative =
+     * unarmed.  Each degradation rung relieves the budget (doubling per
+     * rung), modelling a retry that is allowed to work harder.
+     */
+    std::int64_t translation_budget = -1;
+
+    /** Checksum strikes before a loop is quarantined to the CPU. */
+    int quarantine_strikes = 2;
+
+    /** Maximum re-translations of one invalidated/evicted entry. */
+    int retranslation_bound = 2;
+
+    /** True when any fault (or the budget) is armed. */
+    bool armed() const
+    {
+        return !faults.empty() || translation_budget >= 0;
+    }
+
+    /**
+     * Sample a plan from @p seed: 1-3 armed windows over random sites,
+     * a budget when kTranslationBudget is drawn, and small randomized
+     * quarantine parameters.  Deterministic (SplitMix64 underneath).
+     */
+    static FaultPlan sample(std::uint64_t seed);
+
+    /** One-line human-readable description, e.g. for campaign reports. */
+    std::string describe() const;
+};
+
+}  // namespace veal
+
+#endif  // VEAL_FAULT_FAULT_PLAN_H_

@@ -24,14 +24,14 @@ modeByName(const std::string& name)
     return std::nullopt;
 }
 
-/** The five oracle outcomes by their toString() names. */
+/** The oracle outcomes by their toString() names. */
 std::optional<OracleOutcome>
 outcomeByName(const std::string& name)
 {
     for (const auto outcome :
          {OracleOutcome::kPass, OracleOutcome::kTranslatorReject,
           OracleOutcome::kValidatorReject, OracleOutcome::kDivergence,
-          OracleOutcome::kCrashGuard}) {
+          OracleOutcome::kCrashGuard, OracleOutcome::kFaultRecovered}) {
         if (name == toString(outcome))
             return outcome;
     }
@@ -152,6 +152,8 @@ formatCorpusCase(const CorpusCase& repro)
     os << "#! seed " << repro.seed << "\n";
     os << "#! iterations " << repro.iterations << "\n";
     os << "#! expect " << toString(repro.expect) << "\n";
+    if (repro.fault_plan_seed.has_value())
+        os << "#! fault-seed " << *repro.fault_plan_seed << "\n";
     if (!repro.note.empty())
         os << "#! note " << repro.note << "\n";
     os << printLoop(repro.loop);
@@ -198,6 +200,11 @@ parseCorpusCase(const std::string& text)
             if (!outcome.has_value())
                 return "unknown outcome '" + rest + "'";
             repro.expect = *outcome;
+        } else if (directive == "fault-seed") {
+            std::uint64_t plan_seed = 0;
+            if (!parseU64(rest, &plan_seed))
+                return "bad fault-seed '" + rest + "'";
+            repro.fault_plan_seed = plan_seed;
         } else if (directive == "note") {
             repro.note = rest;
         } else {
@@ -269,6 +276,8 @@ replayCorpus(const std::string& directory)
         OracleOptions options;
         options.mode = repro.mode;
         options.iterations = repro.iterations;
+        if (repro.fault_plan_seed.has_value())
+            options.fault_plan = FaultPlan::sample(*repro.fault_plan_seed);
         result.actual =
             runOracle(repro.loop, repro.config, repro.seed, options);
         results.push_back(std::move(result));

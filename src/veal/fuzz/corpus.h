@@ -18,6 +18,7 @@
  *   #! seed 42
  *   #! iterations 12
  *   #! expect pass
+ *   #! fault-seed 77          (optional: arms FaultPlan::sample(77))
  *   #! note distance-2 recurrence at the II boundary
  *   loop repro
  *   ...
@@ -43,6 +44,14 @@ struct CorpusCase {
     std::uint64_t seed = 0;
     std::int64_t iterations = 12;
     OracleOutcome expect = OracleOutcome::kPass;
+
+    /**
+     * When set, replay arms FaultPlan::sample(*fault_plan_seed) -- the
+     * exact injection the fuzzer used, so fault-mode repros keep their
+     * failure class.
+     */
+    std::optional<std::uint64_t> fault_plan_seed;
+
     std::string note;
 };
 

@@ -18,6 +18,7 @@ constexpr OracleOutcome kAllOutcomes[] = {
     OracleOutcome::kValidatorReject,
     OracleOutcome::kDivergence,
     OracleOutcome::kCrashGuard,
+    OracleOutcome::kFaultRecovered,
 };
 
 /** Index-addressable stream split: mix (campaign seed, case index). */
@@ -103,6 +104,12 @@ makeFuzzCaseLoop(std::uint64_t campaign_seed, int case_index)
                           "fuzz");
 }
 
+std::uint64_t
+makeFuzzCasePlanSeed(std::uint64_t fault_seed, int case_index)
+{
+    return mixSeed(fault_seed, case_index, 0xfa117ull);
+}
+
 TranslationMode
 makeFuzzCaseMode(std::uint64_t campaign_seed, int case_index)
 {
@@ -185,6 +192,10 @@ runFuzz(const FuzzOptions& options, metrics::Registry* registry)
         oracle.mode = makeFuzzCaseMode(options.seed, index);
         oracle.iterations = options.iterations;
         oracle.perturb = options.perturb;
+        if (options.fault_seed.has_value()) {
+            oracle.fault_plan = FaultPlan::sample(
+                makeFuzzCasePlanSeed(*options.fault_seed, index));
+        }
         const Loop loop = makeFuzzCaseLoop(options.seed, index);
         const OracleReport report = runOracle(
             loop, preset.config, makeFuzzCaseSeed(options.seed, index),
@@ -227,6 +238,13 @@ runFuzz(const FuzzOptions& options, metrics::Registry* registry)
         oracle.mode = makeFuzzCaseMode(options.seed, index);
         oracle.iterations = options.iterations;
         oracle.perturb = options.perturb;
+        // The shrink closure and the saved repro carry the exact same
+        // fault plan as the original case, so a shrunk repro preserves
+        // both the failure class and the injection that provoked it.
+        if (options.fault_seed.has_value()) {
+            oracle.fault_plan = FaultPlan::sample(
+                makeFuzzCasePlanSeed(*options.fault_seed, index));
+        }
         if (options.shrink) {
             const auto still_fails = [&](const Loop& candidate) {
                 return runOracle(candidate, preset.config,
@@ -249,6 +267,10 @@ runFuzz(const FuzzOptions& options, metrics::Registry* registry)
             saved.seed = failure.case_seed;
             saved.iterations = options.iterations;
             saved.expect = failure.report.outcome;
+            if (options.fault_seed.has_value()) {
+                saved.fault_plan_seed =
+                    makeFuzzCasePlanSeed(*options.fault_seed, index);
+            }
             saved.note = "shrunk by veal-fuzz from campaign seed " +
                          std::to_string(options.seed) + " case " +
                          std::to_string(index);

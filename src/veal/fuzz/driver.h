@@ -58,6 +58,15 @@ struct FuzzOptions {
     std::int64_t iterations = 12;
 
     /**
+     * When set, every case additionally arms a FaultPlan sampled from
+     * makeFuzzCasePlanSeed(*fault_seed, case index), exercising the
+     * degradation ladder under the differential oracle.  Recovered cases
+     * report the "fault-recovered" outcome; shrunk repros keep the same
+     * plan so they preserve the failure class and the injection.
+     */
+    std::optional<std::uint64_t> fault_seed;
+
+    /**
      * Test hook forwarded to every oracle run (OracleOptions::perturb),
      * so the find -> shrink -> save pipeline can be exercised end to end
      * against an injected bug.  Never set during real fuzzing.
@@ -113,6 +122,13 @@ std::uint64_t makeFuzzCaseSeed(std::uint64_t campaign_seed,
 /** Derive the per-case translation mode. */
 TranslationMode makeFuzzCaseMode(std::uint64_t campaign_seed,
                                  int case_index);
+
+/**
+ * Derive the per-case fault-plan seed for --fault-seed campaigns (feed
+ * it to FaultPlan::sample to replay one case's injection).
+ */
+std::uint64_t makeFuzzCasePlanSeed(std::uint64_t fault_seed,
+                                   int case_index);
 
 /**
  * Run a campaign.  Creates its own pool of @p options.threads workers.

@@ -1,7 +1,9 @@
 #include "veal/fuzz/oracle.h"
 
 #include <sstream>
+#include <utility>
 
+#include "veal/fault/fault_injector.h"
 #include "veal/sim/la_executor.h"
 #include "veal/support/logging.h"
 #include "veal/support/rng.h"
@@ -17,6 +19,7 @@ toString(OracleOutcome outcome)
       case OracleOutcome::kValidatorReject: return "validator-reject";
       case OracleOutcome::kDivergence: return "divergence";
       case OracleOutcome::kCrashGuard: return "crash-guard";
+      case OracleOutcome::kFaultRecovered: return "fault-recovered";
     }
     return "unknown";
 }
@@ -114,6 +117,10 @@ runOracle(const Loop& loop, const LaConfig& config, std::uint64_t seed,
     OracleReport report;
     ScopedPanicGuard guard;
 
+    std::optional<FaultInjector> injector;
+    if (options.fault_plan.has_value())
+        injector.emplace(*options.fault_plan);
+
     TranslationResult translation;
     try {
         StaticAnnotations annotations;
@@ -122,8 +129,16 @@ runOracle(const Loop& loop, const LaConfig& config, std::uint64_t seed,
             annotations = precompileAnnotations(loop, config);
             annotations_ptr = &annotations;
         }
-        translation =
-            translateLoop(loop, config, options.mode, annotations_ptr);
+        if (injector.has_value()) {
+            LadderOutcome outcome = climbTranslationLadder(
+                loop, config, options.mode, annotations_ptr, &*injector);
+            translation = std::move(outcome.translation);
+            report.rung = outcome.rung;
+            report.faults_fired = injector->totalFired();
+        } else {
+            translation =
+                translateLoop(loop, config, options.mode, annotations_ptr);
+        }
     } catch (const PanicError& panic) {
         report.outcome = OracleOutcome::kCrashGuard;
         report.detail = std::string("translator panic: ") + panic.what();
@@ -131,6 +146,18 @@ runOracle(const Loop& loop, const LaConfig& config, std::uint64_t seed,
     }
 
     if (!translation.ok) {
+        // With a plan armed and faults fired, exhausting the ladder is a
+        // *clean* pin to the CPU -- the hardening absorbed the injection
+        // (results are trivially correct on the reference path).  Without
+        // fires it is an ordinary reject of a too-hard loop.
+        if (injector.has_value() && report.faults_fired > 0) {
+            report.outcome = OracleOutcome::kFaultRecovered;
+            std::ostringstream os;
+            os << "pinned to CPU after " << report.faults_fired
+               << " fault fires: " << toString(translation.reject);
+            report.detail = os.str();
+            return report;
+        }
         report.outcome = OracleOutcome::kTranslatorReject;
         report.detail = toString(translation.reject);
         if (!translation.reject_detail.empty())
@@ -175,6 +202,18 @@ runOracle(const Loop& loop, const LaConfig& config, std::uint64_t seed,
     if (auto diff = firstDifference(reference, accelerated)) {
         report.outcome = OracleOutcome::kDivergence;
         report.detail = *diff;
+        return report;
+    }
+    if (injector.has_value() &&
+        (report.faults_fired > 0 ||
+         report.rung != DegradationRung::kNominal)) {
+        // The ladder produced a translation despite the injection and it
+        // still matched the interpreter bit for bit.
+        report.outcome = OracleOutcome::kFaultRecovered;
+        std::ostringstream os;
+        os << "recovered at rung " << toString(report.rung) << " after "
+           << report.faults_fired << " fault fires";
+        report.detail = os.str();
         return report;
     }
     report.outcome = OracleOutcome::kPass;

@@ -21,12 +21,18 @@
  *  - kCrashGuard: an internal panic (VEAL_ASSERT / panic()) fired inside
  *    the pipeline or the executor, caught by ScopedPanicGuard.  Always a
  *    VEAL bug.
+ *  - kFaultRecovered: a fault plan was armed, faults fired, and the
+ *    degradation ladder absorbed them -- either a deeper rung translated
+ *    (and the result still matched the interpreter) or the loop cleanly
+ *    pinned to the CPU.  Not a failure: it is the hardening working.
  */
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 
+#include "veal/fault/fault_plan.h"
 #include "veal/sim/interpreter.h"
 #include "veal/vm/translator.h"
 
@@ -39,6 +45,7 @@ enum class OracleOutcome : int {
     kValidatorReject,
     kDivergence,
     kCrashGuard,
+    kFaultRecovered,
 };
 
 /** Outcome name, e.g. "divergence". */
@@ -53,6 +60,14 @@ struct OracleOptions {
 
     /** Iterations both engines execute. */
     std::int64_t iterations = 12;
+
+    /**
+     * When set, translation runs through the hardened degradation
+     * ladder with this plan armed.  A run that survives fired faults
+     * (deeper rung, absorbed retry, or clean CPU pin) classifies as
+     * kFaultRecovered; divergences and crashes stay failures.
+     */
+    std::optional<FaultPlan> fault_plan;
 
     /**
      * Test hook: mutate the translation between the translator and the
@@ -71,6 +86,12 @@ struct OracleReport {
 
     /** Achieved initiation interval when translation succeeded. */
     int ii = 0;
+
+    /** Ladder rung that produced the result (fault-plan runs only). */
+    DegradationRung rung = DegradationRung::kNominal;
+
+    /** Total fault fires across all sites (fault-plan runs only). */
+    std::int64_t faults_fired = 0;
 };
 
 /**

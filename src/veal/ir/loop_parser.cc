@@ -94,6 +94,13 @@ parseOperandRef(const std::string& token, int line)
 ParseResult
 parseLoop(const std::string& text)
 {
+    if (text.size() > kMaxParseBytes) {
+        return ParseResult(ParseError{
+            1, "input is " + std::to_string(text.size()) +
+                   " bytes; the parser accepts at most " +
+                   std::to_string(kMaxParseBytes)});
+    }
+
     std::istringstream stream(text);
     std::string line;
     int line_number = 0;
@@ -138,6 +145,20 @@ parseLoop(const std::string& text)
     // ---- Pass 1: build ops, queue operand references.
     while (std::getline(stream, line)) {
         ++line_number;
+        if (line.size() > kMaxParseLineBytes) {
+            return fail("line is " + std::to_string(line.size()) +
+                        " bytes; the parser accepts at most " +
+                        std::to_string(kMaxParseLineBytes) + " per line");
+        }
+        // Each statement adds at most two operations (induction splits
+        // into a step constant plus an add), so checking at line
+        // granularity keeps the bound tight and the diagnostic on the
+        // offending line.
+        if (ops.size() >= static_cast<std::size_t>(kMaxParseOperations)) {
+            return fail("loop exceeds " +
+                        std::to_string(kMaxParseOperations) +
+                        " operations");
+        }
         const auto tokens = tokenize(line);
         if (tokens.empty())
             continue;

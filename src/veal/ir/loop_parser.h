@@ -37,6 +37,7 @@
  * are only legal with a distance >= 1.
  */
 
+#include <cstddef>
 #include <string>
 #include <variant>
 
@@ -52,6 +53,19 @@ struct ParseError {
 
 /** Either the parsed loop or the first error encountered. */
 using ParseResult = std::variant<Loop, ParseError>;
+
+/**
+ * Hard input limits.  Corpus files and fuzz repros come from disk, so
+ * the parser bounds its own work instead of trusting the caller: inputs
+ * beyond these limits are rejected with a clear ParseError rather than
+ * ballooning memory.  (The grammar is line-oriented and the parser is
+ * non-recursive, so these size caps are the only resource bounds it
+ * needs.)  Generous by two orders of magnitude over the largest loop in
+ * the benchmark suite.
+ */
+inline constexpr std::size_t kMaxParseBytes = 1u << 20;  ///< 1 MiB.
+inline constexpr std::size_t kMaxParseLineBytes = 64u << 10;
+inline constexpr int kMaxParseOperations = 4096;
 
 /** Parse @p text in the loop DSL. */
 ParseResult parseLoop(const std::string& text);

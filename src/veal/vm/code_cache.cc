@@ -26,12 +26,20 @@ CodeCache::lookup(const std::string& key)
 CodeCache::InsertOutcome
 CodeCache::insert(const std::string& key)
 {
+    return insert(key, nullptr);
+}
+
+CodeCache::InsertOutcome
+CodeCache::insert(const std::string& key, std::string* evicted_key)
+{
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
         lru_.splice(lru_.begin(), lru_, it->second);
         return InsertOutcome::kRefreshed;
     }
     if (static_cast<int>(entries_.size()) >= capacity_) {
+        if (evicted_key != nullptr)
+            *evicted_key = lru_.back();
         entries_.erase(lru_.back());
         lru_.pop_back();
         ++evictions_;
@@ -39,6 +47,17 @@ CodeCache::insert(const std::string& key)
     lru_.push_front(key);
     entries_[key] = lru_.begin();
     return InsertOutcome::kInserted;
+}
+
+bool
+CodeCache::erase(const std::string& key)
+{
+    const auto it = entries_.find(key);
+    if (it == entries_.end())
+        return false;
+    lru_.erase(it->second);
+    entries_.erase(it);
+    return true;
 }
 
 CodeCache::Stats

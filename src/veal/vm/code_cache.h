@@ -59,6 +59,22 @@ class CodeCache {
      */
     InsertOutcome insert(const std::string& key);
 
+    /**
+     * As insert(); when an eviction occurs and @p evicted_key is
+     * non-null, the evicted key is written there so the owner can drop
+     * the entry's payload (the hardened VM stores control images beside
+     * the cache and must not leak them past eviction).
+     */
+    InsertOutcome insert(const std::string& key,
+                         std::string* evicted_key);
+
+    /**
+     * Drop @p key (checksum invalidation); true when it was resident.
+     * Not an eviction -- the entry is removed because its payload is no
+     * longer trustworthy, so the eviction counter is untouched.
+     */
+    bool erase(const std::string& key);
+
     /** Number of resident entries. */
     int size() const { return static_cast<int>(entries_.size()); }
 

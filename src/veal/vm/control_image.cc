@@ -32,7 +32,33 @@ enum OperandKind : std::uint32_t {
     kSrcControl = 4,  ///< Induction value broadcast by loop control.
 };
 
+std::uint32_t
+rotl32(std::uint32_t value, unsigned amount)
+{
+    amount %= 32;
+    if (amount == 0)
+        return value;
+    return (value << amount) | (value >> (32 - amount));
+}
+
 }  // namespace
+
+std::uint32_t
+ControlImage::checksum() const
+{
+    std::uint32_t sum = 0x9e3779b9u;
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        sum ^= rotl32(words_[i], static_cast<unsigned>(i % 32)) + 1;
+    return sum;
+}
+
+void
+ControlImage::flipBit(std::size_t bit_index)
+{
+    VEAL_ASSERT(bit_index < words_.size() * 32,
+                "flip beyond the image: bit ", bit_index);
+    words_[bit_index / 32] ^= 1u << (bit_index % 32);
+}
 
 ControlImage
 ControlImage::encode(const Loop& loop, const TranslationResult& translation)

@@ -68,6 +68,21 @@ class ControlImage {
     /** Image size in bytes (what the code cache accounts). */
     std::size_t byteSize() const { return words_.size() * 4; }
 
+    /**
+     * Position-sensitive rotate-XOR fold of the image words.  Any
+     * single-bit flip changes the checksum (each word is rotated by its
+     * index before XOR, so identical flips at different positions
+     * cannot cancel), which is what the hardened VM validates before
+     * every cached dispatch.
+     */
+    std::uint32_t checksum() const;
+
+    /**
+     * Flip bit @p bit_index (0 = LSB of word 0) -- the fault layer's
+     * model of a corrupted code-cache entry.
+     */
+    void flipBit(std::size_t bit_index);
+
   private:
     std::vector<std::uint32_t> words_;
 };

@@ -36,6 +36,21 @@ toString(TranslationReject reject)
       case TranslationReject::kNoFuForOpcode: return "no-fu-for-opcode";
       case TranslationReject::kScheduleFailed: return "schedule-failed";
       case TranslationReject::kTooFewRegisters: return "too-few-registers";
+      case TranslationReject::kCcaMapping: return "cca-mapping";
+      case TranslationReject::kBudgetExhausted: return "budget-exhausted";
+    }
+    return "unknown";
+}
+
+const char*
+toString(DegradationRung rung)
+{
+    switch (rung) {
+      case DegradationRung::kNominal: return "nominal";
+      case DegradationRung::kRelaxedIi: return "relaxed-ii";
+      case DegradationRung::kNoCca: return "no-cca";
+      case DegradationRung::kNoFission: return "no-fission";
+      case DegradationRung::kCpuPinned: return "cpu-pinned";
     }
     return "unknown";
 }
@@ -107,6 +122,16 @@ TranslationResult
 translateLoop(const Loop& loop, const LaConfig& config,
               TranslationMode mode, const StaticAnnotations* annotations)
 {
+    TranslationOptions options;
+    options.annotations = annotations;
+    return translateLoop(loop, config, mode, options);
+}
+
+TranslationResult
+translateLoop(const Loop& loop, const LaConfig& config,
+              TranslationMode mode, const TranslationOptions& options)
+{
+    const StaticAnnotations* annotations = options.annotations;
     TranslationResult result;
     result.mode = mode;
     CostMeter& meter = result.meter;
@@ -117,6 +142,22 @@ translateLoop(const Loop& loop, const LaConfig& config,
         return result;
     };
 
+    // Deterministic cycle-budget watchdog: between phases, an armed
+    // budget compares the metered work so far against its (rung-
+    // relieved) allowance, so exhaustion strikes at a reproducible
+    // phase boundary rather than a wall-clock instant.
+    auto over_budget = [&] {
+        return options.faults != nullptr &&
+               options.faults->budgetExceeded(meter.totalInstructions(),
+                                              options.budget_relief);
+    };
+    const auto budget_detail = [&] {
+        return "after " +
+               std::to_string(static_cast<std::int64_t>(
+                   meter.totalInstructions())) +
+               " metered instructions";
+    };
+
     // --- Loop analysis (always dynamic: loop detection is cheap).
     result.analysis = analyzeLoop(loop, &meter);
     if (!result.analysis.ok()) {
@@ -124,6 +165,9 @@ translateLoop(const Loop& loop, const LaConfig& config,
                       std::string(toString(result.analysis.reject)) + ": " +
                           result.analysis.reject_detail);
     }
+    if (over_budget())
+        return reject(TranslationReject::kBudgetExhausted,
+                      budget_detail());
 
     // --- Feature checks against this LA.
     if (static_cast<int>(result.analysis.load_streams.size()) >
@@ -141,9 +185,10 @@ translateLoop(const Loop& loop, const LaConfig& config,
 
     // --- CCA mapping: static (Figure 9(b)) or dynamic greedy.
     const bool hybrid = mode == TranslationMode::kHybridStaticCcaPriority;
-    if (!config.hasCca()) {
-        // With no CCA, statically abstracted subgraphs simply execute as
-        // individual ops (the encoding is plain branch-and-link code).
+    if (!config.hasCca() || options.disable_cca) {
+        // With no CCA (or the no-CCA degradation rung), statically
+        // abstracted subgraphs simply execute as individual ops (the
+        // encoding is plain branch-and-link code).
         result.mapping = emptyCcaMapping(loop);
     } else if (hybrid && annotations != nullptr &&
                annotations->cca_mapping.has_value()) {
@@ -157,8 +202,16 @@ translateLoop(const Loop& loop, const LaConfig& config,
                  " without annotations; computing dynamically");
         }
         result.mapping = mapToCca(loop, result.analysis, *config.cca,
-                                  config.latencies, &meter);
+                                  config.latencies, &meter,
+                                  options.faults);
+        if (result.mapping.fault_failed) {
+            return reject(TranslationReject::kCcaMapping,
+                          "injected cca-mapping fault");
+        }
     }
+    if (over_budget())
+        return reject(TranslationReject::kBudgetExhausted,
+                      budget_detail());
 
     // --- Build the scheduling problem and compute MII.
     result.graph.emplace(loop, result.analysis, result.mapping, config);
@@ -170,6 +223,9 @@ translateLoop(const Loop& loop, const LaConfig& config,
     }
     const int rec_mii = recMii(graph, &meter);
     result.mii = std::max(res_mii, rec_mii);
+    if (over_budget())
+        return reject(TranslationReject::kBudgetExhausted,
+                      budget_detail());
 
     // --- Priority: static ranks, cheap height, or full swing.
     NodeOrder order;
@@ -182,6 +238,9 @@ translateLoop(const Loop& loop, const LaConfig& config,
     } else {
         order = computeSwingOrder(graph, result.mii, &meter);
     }
+    if (over_budget())
+        return reject(TranslationReject::kBudgetExhausted,
+                      budget_detail());
 
     // --- List scheduling against the modulo reservation table, with a
     // register-assignment post-pass.  When the operand mapping does not
@@ -190,12 +249,16 @@ translateLoop(const Loop& loop, const LaConfig& config,
     // shortens lifetimes (and is cheap for the translator to attempt).
     auto schedule_with_registers = [&](const NodeOrder& node_order,
                                        bool* placement_failed) {
-        int floor_ii = result.mii;
+        // ii_slack is the relaxed-II degradation rung: scheduling starts
+        // above the MII, decongesting the reservation table.
+        int floor_ii = std::min(result.mii + options.ii_slack,
+                                config.max_ii);
         *placement_failed = false;
         for (int attempt = 0; attempt < 3; ++attempt) {
             auto schedule = scheduleLoop(graph, config, node_order,
                                          floor_ii, &meter,
-                                         &result.sched_stats);
+                                         &result.sched_stats,
+                                         options.faults);
             if (!schedule.has_value()) {
                 *placement_failed = true;
                 return false;
@@ -203,7 +266,8 @@ translateLoop(const Loop& loop, const LaConfig& config,
             result.schedule = std::move(*schedule);
             result.registers = assignRegisters(loop, result.analysis,
                                                graph, result.schedule,
-                                               config, &meter);
+                                               config, &meter,
+                                               options.faults);
             if (result.registers.ok)
                 return true;
             ++result.register_retries;
@@ -214,8 +278,21 @@ translateLoop(const Loop& loop, const LaConfig& config,
         return false;
     };
 
+    const std::int64_t sched_fired_before =
+        options.faults != nullptr
+            ? options.faults->fired(FaultSite::kSchedulerPlacement)
+            : 0;
     bool placement_failed = false;
     bool scheduled = schedule_with_registers(order, &placement_failed);
+    if (!scheduled && placement_failed && options.faults != nullptr &&
+        options.faults->fired(FaultSite::kSchedulerPlacement) >
+            sched_fired_before) {
+        // An injected placement fault corrupted this whole translation
+        // attempt; re-ordering cannot save it.  Reject so the VM's
+        // degradation ladder (not the height fallback) retries.
+        return reject(TranslationReject::kScheduleFailed,
+                      "injected scheduler-placement fault");
+    }
     if (!scheduled && placement_failed &&
         order.kind != PriorityKind::kHeight) {
         // The swing order occasionally wedges a node between neighbours
@@ -236,9 +313,71 @@ translateLoop(const Loop& loop, const LaConfig& config,
         return reject(TranslationReject::kTooFewRegisters,
                       result.registers.fail_reason);
     }
+    if (over_budget())
+        return reject(TranslationReject::kBudgetExhausted,
+                      budget_detail());
 
     result.ok = true;
     return result;
+}
+
+LadderOutcome
+climbTranslationLadder(const Loop& loop, const LaConfig& config,
+                       TranslationMode mode,
+                       const StaticAnnotations* annotations,
+                       FaultInjector* faults)
+{
+    // Relaxations accumulate monotonically down the rungs: the no-CCA
+    // attempt keeps the II slack, and every rung doubles the armed
+    // translation budget (budget_relief).
+    struct Rung {
+        DegradationRung rung;
+        int ii_slack;
+        bool disable_cca;
+        int budget_relief;
+    };
+    constexpr Rung kRungs[] = {
+        {DegradationRung::kNominal, 0, false, 0},
+        {DegradationRung::kRelaxedIi, 2, false, 1},
+        {DegradationRung::kNoCca, 2, true, 2},
+    };
+
+    LadderOutcome outcome;
+    for (const auto& rung : kRungs) {
+        TranslationOptions options;
+        options.annotations = annotations;
+        options.faults = faults;
+        options.ii_slack = rung.ii_slack;
+        options.disable_cca = rung.disable_cca;
+        options.budget_relief = rung.budget_relief;
+        TranslationResult attempt =
+            translateLoop(loop, config, mode, options);
+        if (attempt.ok) {
+            outcome.translation = std::move(attempt);
+            outcome.rung = rung.rung;
+            return outcome;
+        }
+        // A nominal *clean* reject (analysis, stream limits, missing
+        // FU) is not a fault: the loop genuinely does not fit this LA,
+        // and no relaxation below changes that verdict.
+        const bool recoverable =
+            attempt.reject == TranslationReject::kScheduleFailed ||
+            attempt.reject == TranslationReject::kTooFewRegisters ||
+            attempt.reject == TranslationReject::kCcaMapping ||
+            attempt.reject == TranslationReject::kBudgetExhausted;
+        if (!recoverable) {
+            outcome.translation = std::move(attempt);
+            outcome.rung = DegradationRung::kCpuPinned;
+            return outcome;
+        }
+        outcome.failed_attempts.push_back(std::move(attempt));
+    }
+    // Every rung failed: the last attempt becomes the verdict (moved
+    // out of failed_attempts so its cycles are charged exactly once).
+    outcome.translation = std::move(outcome.failed_attempts.back());
+    outcome.failed_attempts.pop_back();
+    outcome.rung = DegradationRung::kCpuPinned;
+    return outcome;
 }
 
 StaticAnnotations

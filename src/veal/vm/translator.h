@@ -19,9 +19,11 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "veal/arch/la_config.h"
 #include "veal/cca/cca_mapper.h"
+#include "veal/fault/fault_injector.h"
 #include "veal/ir/loop.h"
 #include "veal/ir/loop_analysis.h"
 #include "veal/sched/priority.h"
@@ -72,6 +74,8 @@ enum class TranslationReject : int {
     kNoFuForOpcode,     ///< Required FU class absent (e.g. FP on int-only LA).
     kScheduleFailed,    ///< No II <= max_ii admits a schedule.
     kTooFewRegisters,
+    kCcaMapping,        ///< Injected CCA-mapping fault aborted the mapper.
+    kBudgetExhausted,   ///< Translation-budget watchdog fired.
 };
 
 /** Reject name, e.g. "too-many-load-streams". */
@@ -112,13 +116,50 @@ struct TranslationResult {
 };
 
 /**
+ * Per-call knobs for translateLoop(): fault injection plus the
+ * degradation-ladder relaxations the hardened VM retries with.
+ */
+struct TranslationOptions {
+    /** Static annotations (see the 4-arg translateLoop overload). */
+    const StaticAnnotations* annotations = nullptr;
+
+    /**
+     * Fault injector threaded through the pipeline (scheduler, register
+     * allocator, CCA mapper, budget watchdog).  nullptr = nominal
+     * translation, bit-identical to the plain overload.
+     */
+    FaultInjector* faults = nullptr;
+
+    /**
+     * Added to the MII before scheduling starts (the "relaxed II" rung:
+     * a less congested reservation table sidesteps placement wedges and
+     * shortens operand lifetimes).
+     */
+    int ii_slack = 0;
+
+    /**
+     * Skip CCA subgraph identification entirely (the "no CCA" rung);
+     * abstracted subgraphs execute as individual ops.
+     */
+    bool disable_cca = false;
+
+    /**
+     * Budget-watchdog relief: each degradation rung doubles the armed
+     * translation budget (FaultInjector::budgetExceeded).
+     */
+    int budget_relief = 0;
+};
+
+/**
  * Run the translation pipeline for @p loop targeting @p config.
  *
  * Thread-safety: a pure function of its arguments -- every product
  * (graph, schedule, registers, CostMeter) lives inside the returned
  * TranslationResult, and nothing global is written except the log sink
  * on the annotation-fallback warning.  Concurrent sweep threads
- * therefore never share a mutable translation.
+ * therefore never share a mutable translation.  (A FaultInjector passed
+ * via TranslationOptions is mutable run state owned by the caller and
+ * must stay thread-confined.)
  *
  * @param annotations required for kHybridStaticCcaPriority (falls back to
  *        dynamic computation with a warning when absent); ignored for the
@@ -128,6 +169,58 @@ TranslationResult translateLoop(const Loop& loop, const LaConfig& config,
                                 TranslationMode mode,
                                 const StaticAnnotations* annotations =
                                     nullptr);
+
+/** As above, with fault injection and ladder relaxations. */
+TranslationResult translateLoop(const Loop& loop, const LaConfig& config,
+                                TranslationMode mode,
+                                const TranslationOptions& options);
+
+/**
+ * The hardened VM's recovery ladder (DESIGN.md §11), in escalation
+ * order.  Loop-level rungs (kNominal .. kNoCca) relax one translation;
+ * kNoFission re-translates the unfissioned site loop; kCpuPinned gives
+ * up and runs the site on the baseline CPU forever.
+ */
+enum class DegradationRung : int {
+    kNominal = 0,
+    kRelaxedIi,
+    kNoCca,
+    kNoFission,
+    kCpuPinned,
+};
+
+/** Rung name, e.g. "relaxed-ii". */
+const char* toString(DegradationRung rung);
+
+/** What climbing the loop-level ladder produced. */
+struct LadderOutcome {
+    /** The final attempt (ok, or the last failure when pinned). */
+    TranslationResult translation;
+
+    /** Rung that produced `translation`; kCpuPinned when nothing ok. */
+    DegradationRung rung = DegradationRung::kNominal;
+
+    /**
+     * Every failed attempt before the final one, in rung order -- the
+     * VM charges their metered cycles (work performed before giving
+     * up), exactly like nominal failed translations.
+     */
+    std::vector<TranslationResult> failed_attempts;
+};
+
+/**
+ * Climb the loop-level degradation rungs for one loop: nominal ->
+ * relaxed II -> no CCA, stopping at the first rung whose translation
+ * succeeds.  Returns rung kCpuPinned (translation not ok) when every
+ * rung fails; the caller decides whether a no-fission retry applies.
+ * With @p faults == nullptr the nominal rung is bit-identical to
+ * translateLoop() and later rungs only engage on genuine failures.
+ */
+LadderOutcome climbTranslationLadder(const Loop& loop,
+                                     const LaConfig& config,
+                                     TranslationMode mode,
+                                     const StaticAnnotations* annotations,
+                                     FaultInjector* faults);
 
 /**
  * The static compiler stage that produces Figure 9's annotations for a

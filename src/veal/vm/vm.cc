@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
+#include <utility>
 
 #include "veal/sim/cpu_sim.h"
+#include "veal/vm/control_image.h"
 #include "veal/sim/la_timing.h"
 #include "veal/support/assert.h"
 #include "veal/support/metrics/metrics.h"
@@ -26,6 +29,18 @@ struct PiecePlan {
     std::int64_t la_first_invocation = 0;  ///< Cache-miss invocation cost.
     std::int64_t la_warm_invocation = 0;   ///< Cache-hit invocation cost.
 };
+
+/** Rejects the degradation ladder can recover from; anything else (bad
+    analysis, missing FU classes, stream overflow) would fail identically
+    at every rung, so the site pins straight to the CPU. */
+bool
+recoverableReject(TranslationReject reject)
+{
+    return reject == TranslationReject::kScheduleFailed ||
+           reject == TranslationReject::kTooFewRegisters ||
+           reject == TranslationReject::kCcaMapping ||
+           reject == TranslationReject::kBudgetExhausted;
+}
 
 }  // namespace
 
@@ -291,6 +306,416 @@ VirtualMachine::run(const Application& app,
         // The acceptance contract of DESIGN.md §10: the per-phase
         // vm.phase_cycles.* deltas this run recorded sum exactly to the
         // translation cycles the cost model reports.
+        VEAL_ASSERT(audited_cycles == out.translation_cycles,
+                    "phase attribution lost cycles for ", app.name, ": ",
+                    audited_cycles, " != ", out.translation_cycles);
+    }
+    return out;
+}
+
+AppRunResult
+VirtualMachine::run(const Application& app, metrics::Registry* registry,
+                    FaultInjector* faults,
+                    FaultRunReport* fault_report) const
+{
+    if (fault_report != nullptr)
+        *fault_report = FaultRunReport{};
+    if (faults == nullptr)
+        return run(app, registry);
+
+    AppRunResult out;
+    out.app_name = app.name;
+    const FaultPlan& plan = faults->plan();
+
+    const auto annotationsFor =
+        [&](const Loop& loop,
+            StaticAnnotations* storage) -> const StaticAnnotations* {
+        if (options_.mode != TranslationMode::kHybridStaticCcaPriority)
+            return nullptr;
+        *storage = precompileAnnotations(loop, la_);
+        return storage;
+    };
+
+    // --- Translation phase: climb the loop-level ladder per piece.  A
+    // piece that exhausts its rungs escalates the whole site: one
+    // no-fission retry of the unfissioned loop (every relaxation on,
+    // extra budget relief), then a permanent CPU pin.
+    struct HardenedPiece {
+        const Loop* loop = nullptr;
+        TranslationResult translation;
+        DegradationRung rung = DegradationRung::kNominal;
+        std::int64_t cpu_cycles_per_invocation = 0;
+        std::int64_t la_first_invocation = 0;
+        std::int64_t la_warm_invocation = 0;
+        std::string key;
+        // Dispatch-time recovery state.  Deliberately *not* stored with
+        // the cached image: quarantine must survive eviction.
+        int strikes = 0;
+        std::int64_t retranslations = 0;
+        bool quarantined = false;
+        bool rebuild_pending = false;
+        std::int64_t cache_hits = 0;
+        std::int64_t cache_misses = 0;
+        std::int64_t invalidations = 0;
+        std::int64_t la_dispatches = 0;
+        std::int64_t cpu_dispatches = 0;
+    };
+    struct HardenedSite {
+        const LoopSite* site = nullptr;
+        DegradationRung rung = DegradationRung::kNominal;
+        bool pinned = false;
+        TranslationReject reject = TranslationReject::kNone;
+        std::vector<HardenedPiece> pieces;
+        /** Work performed then abandoned (failed attempts, pieces a
+            no-fission retry superseded): charged exactly once each. */
+        std::vector<TranslationResult> charged_once;
+        std::int64_t pinned_cpu_cycles_per_invocation = 0;
+    };
+    std::vector<HardenedSite> sites;
+
+    for (std::size_t site_index = 0; site_index < app.sites.size();
+         ++site_index) {
+        const LoopSite& site = app.sites[site_index];
+        HardenedSite hs;
+        hs.site = &site;
+
+        std::vector<const Loop*> piece_loops;
+        if (site.fissioned.empty()) {
+            piece_loops.push_back(&site.loop);
+        } else {
+            for (const auto& piece : site.fissioned)
+                piece_loops.push_back(&piece);
+        }
+
+        bool pinned = false;
+        bool retry_unfissioned = false;
+        for (const Loop* loop : piece_loops) {
+            StaticAnnotations storage;
+            const StaticAnnotations* annotations =
+                annotationsFor(*loop, &storage);
+            LadderOutcome outcome = climbTranslationLadder(
+                *loop, la_, options_.mode, annotations, faults);
+            for (auto& attempt : outcome.failed_attempts)
+                hs.charged_once.push_back(std::move(attempt));
+            if (!outcome.translation.ok) {
+                hs.reject = outcome.translation.reject;
+                retry_unfissioned =
+                    recoverableReject(outcome.translation.reject);
+                hs.charged_once.push_back(std::move(outcome.translation));
+                pinned = true;
+                break;  // Later pieces are moot: the site either
+                        // re-translates unfissioned or pins.
+            }
+            hs.rung = std::max(hs.rung, outcome.rung);
+            HardenedPiece piece;
+            piece.loop = loop;
+            piece.rung = outcome.rung;
+            piece.translation = std::move(outcome.translation);
+            hs.pieces.push_back(std::move(piece));
+        }
+
+        if (pinned && retry_unfissioned) {
+            StaticAnnotations storage;
+            TranslationOptions nf;
+            nf.annotations = annotationsFor(site.loop, &storage);
+            nf.faults = faults;
+            nf.ii_slack = 2;
+            nf.disable_cca = true;
+            nf.budget_relief = 3;
+            TranslationResult tr =
+                translateLoop(site.loop, la_, options_.mode, nf);
+            if (tr.ok) {
+                // Sibling pieces that did translate are sunk work now
+                // that the unfissioned loop replaces them.
+                for (auto& piece : hs.pieces)
+                    hs.charged_once.push_back(
+                        std::move(piece.translation));
+                hs.pieces.clear();
+                HardenedPiece piece;
+                piece.loop = &site.loop;
+                piece.rung = DegradationRung::kNoFission;
+                piece.translation = std::move(tr);
+                hs.pieces.push_back(std::move(piece));
+                hs.rung = DegradationRung::kNoFission;
+                hs.reject = TranslationReject::kNone;
+                pinned = false;
+            } else {
+                hs.charged_once.push_back(std::move(tr));
+            }
+        }
+
+        if (pinned) {
+            hs.pinned = true;
+            hs.rung = DegradationRung::kCpuPinned;
+            for (auto& piece : hs.pieces)
+                hs.charged_once.push_back(std::move(piece.translation));
+            hs.pieces.clear();
+            hs.pinned_cpu_cycles_per_invocation =
+                simulateLoopOnCpu(site.loop, cpu_, site.iterations)
+                    .total_cycles;
+        }
+
+        for (auto& piece : hs.pieces) {
+            piece.key =
+                std::to_string(site_index) + "/" + piece.loop->name();
+            piece.cpu_cycles_per_invocation =
+                simulateLoopOnCpu(*piece.loop, cpu_, site.iterations)
+                    .total_cycles;
+            const auto& tr = piece.translation;
+            piece.la_first_invocation =
+                acceleratorLoopCost(tr.schedule, *tr.graph, tr.analysis,
+                                    tr.registers, la_, site.iterations,
+                                    /*first_invocation=*/true)
+                    .total();
+            piece.la_warm_invocation =
+                acceleratorLoopCost(tr.schedule, *tr.graph, tr.analysis,
+                                    tr.registers, la_, site.iterations,
+                                    /*first_invocation=*/false)
+                    .total();
+        }
+        sites.push_back(std::move(hs));
+    }
+
+    // --- Dispatch phase: explicit round-robin over invocations through a
+    // real code cache.  Every cached dispatch validates the control
+    // image's checksum first; a mismatch invalidates the entry, runs the
+    // invocation on the CPU, and re-translates on the next dispatch --
+    // at most plan.retranslation_bound times before the piece is
+    // quarantined (as it is after plan.quarantine_strikes mismatches).
+    // Note the contrast with the nominal overload's analytic cache
+    // model: VmOptions::retranslation_rate and penalty_override do not
+    // apply here.
+    CodeCache cache(options_.code_cache_entries);
+    struct ResidentImage {
+        ControlImage image;
+        std::uint32_t expected_checksum = 0;
+    };
+    std::unordered_map<std::string, ResidentImage> resident;
+
+    std::int64_t max_invocations = 0;
+    for (const auto& hs : sites)
+        max_invocations = std::max(max_invocations, hs.site->invocations);
+
+    for (std::int64_t round = 0; round < max_invocations; ++round) {
+        for (auto& hs : sites) {
+            if (hs.pinned || round >= hs.site->invocations)
+                continue;
+            for (auto& piece : hs.pieces) {
+                if (piece.quarantined) {
+                    ++piece.cpu_dispatches;
+                    continue;
+                }
+                if (cache.lookup(piece.key)) {
+                    ResidentImage& entry = resident.at(piece.key);
+                    if (faults->probe(FaultSite::kCacheCorruption)) {
+                        entry.image.flipBit(faults->corruptionBit(
+                            entry.image.words().size() * 32));
+                    }
+                    if (entry.image.checksum() !=
+                        entry.expected_checksum) {
+                        ++piece.invalidations;
+                        ++piece.strikes;
+                        cache.erase(piece.key);
+                        resident.erase(piece.key);
+                        if (piece.strikes >= plan.quarantine_strikes ||
+                            piece.retranslations >=
+                                plan.retranslation_bound) {
+                            piece.quarantined = true;
+                        } else {
+                            piece.rebuild_pending = true;
+                        }
+                        ++piece.cpu_dispatches;
+                        continue;
+                    }
+                    ++piece.cache_hits;
+                    ++piece.la_dispatches;
+                    continue;
+                }
+                ++piece.cache_misses;
+                if (piece.rebuild_pending) {
+                    piece.rebuild_pending = false;
+                    ++piece.retranslations;
+                }
+                ControlImage image =
+                    ControlImage::encode(*piece.loop, piece.translation);
+                const std::uint32_t expected = image.checksum();
+                std::string evicted;
+                cache.insert(piece.key, &evicted);
+                if (!evicted.empty())
+                    resident.erase(evicted);
+                resident.emplace(
+                    piece.key, ResidentImage{std::move(image), expected});
+                ++piece.la_dispatches;
+            }
+        }
+    }
+
+    // --- Accounting phase: the same exact phase-cycle attribution
+    // contract as the nominal overload (audited, not approximated).
+    std::int64_t audited_cycles = 0;
+    if (registry != nullptr)
+        registry->add("vm.fault.runs");
+
+    for (auto& hs : sites) {
+        const LoopSite& site = *hs.site;
+        SiteResult site_result;
+        site_result.loop_name = site.loop.name();
+        site_result.reject = hs.reject;
+        site_result.baseline_cycles =
+            simulateLoopOnCpu(site.loop, cpu_, site.iterations)
+                .total_cycles *
+            site.invocations;
+
+        FaultSiteReport site_report;
+        site_report.loop_name = site.loop.name();
+        site_report.rung = hs.rung;
+
+        const std::string trace_scope =
+            "vm.fault/" + app.name + "/" + site.loop.name();
+        if (registry != nullptr) {
+            registry->add(std::string("vm.fault.rung.") +
+                          toString(hs.rung));
+            registry->trace(trace_scope, "rung", toString(hs.rung),
+                            static_cast<std::int64_t>(hs.rung));
+        }
+
+        for (const auto& tr : hs.charged_once) {
+            const bool metered = tr.mode != TranslationMode::kStatic;
+            const auto cycles = static_cast<std::int64_t>(
+                metered ? tr.meter.totalInstructions() : 0.0);
+            site_result.translation_cycles += cycles;
+            if (registry != nullptr) {
+                if (!tr.ok) {
+                    registry->add(std::string("vm.translate.reject.") +
+                                  toString(tr.reject));
+                }
+                if (metered) {
+                    audited_cycles += metrics::chargePhaseCycles(
+                        *registry, "vm.phase_cycles", tr.meter, 1);
+                }
+            }
+        }
+
+        if (hs.pinned) {
+            site_result.actual_cycles +=
+                hs.pinned_cpu_cycles_per_invocation * site.invocations;
+            FaultPieceReport piece_report;
+            piece_report.loop = &site.loop;
+            if (!hs.charged_once.empty())
+                piece_report.translation = hs.charged_once.back();
+            piece_report.rung = DegradationRung::kCpuPinned;
+            piece_report.cpu_dispatches = site.invocations;
+            if (registry != nullptr) {
+                registry->add("vm.fault.pinned_sites");
+                registry->add("vm.fault.dispatch.cpu", site.invocations);
+            }
+            if (fault_report != nullptr) {
+                fault_report->cpu_dispatches += site.invocations;
+                site_report.pieces.push_back(std::move(piece_report));
+            }
+        }
+
+        for (auto& piece : hs.pieces) {
+            const auto& tr = piece.translation;
+            VEAL_ASSERT(piece.cache_hits + piece.cache_misses +
+                                piece.cpu_dispatches ==
+                            site.invocations,
+                        "dispatch accounting lost an invocation of ",
+                        piece.loop->name());
+            const bool metered = tr.mode != TranslationMode::kStatic;
+            const auto translation_cycles = static_cast<std::int64_t>(
+                metered ? tr.meter.totalInstructions() *
+                              static_cast<double>(piece.cache_misses)
+                        : 0.0);
+            site_result.translation_cycles += translation_cycles;
+            site_result.translations += piece.cache_misses;
+            site_result.accelerated |= piece.la_dispatches > 0;
+            if (site_result.ii == 0) {
+                site_result.ii = tr.schedule.ii;
+                site_result.mii = tr.mii;
+                site_result.stage_count = tr.schedule.stage_count;
+                site_result.instructions_per_translation =
+                    tr.meter.totalInstructions();
+            }
+            site_result.actual_cycles +=
+                piece.cache_misses * piece.la_first_invocation +
+                piece.cache_hits * piece.la_warm_invocation +
+                piece.cpu_dispatches * piece.cpu_cycles_per_invocation;
+            out.cache_hits += piece.cache_hits;
+            out.cache_misses += piece.cache_misses;
+
+            if (registry != nullptr) {
+                registry->add("vm.translate.ok");
+                registry->add("vm.translations", piece.cache_misses);
+                registry->observe("vm.ii", tr.schedule.ii);
+                if (metered && piece.cache_misses > 0) {
+                    const std::int64_t charged =
+                        metrics::chargePhaseCycles(
+                            *registry, "vm.phase_cycles", tr.meter,
+                            piece.cache_misses);
+                    VEAL_ASSERT(charged == translation_cycles,
+                                "phase split diverged for ",
+                                piece.loop->name());
+                    audited_cycles += charged;
+                }
+                if (piece.invalidations > 0) {
+                    registry->add("vm.fault.invalidations",
+                                  piece.invalidations);
+                    registry->trace(trace_scope, "invalidate",
+                                    piece.loop->name(),
+                                    piece.invalidations);
+                }
+                if (piece.retranslations > 0) {
+                    registry->add("vm.fault.retranslations",
+                                  piece.retranslations);
+                }
+                if (piece.quarantined)
+                    registry->add("vm.fault.quarantines");
+                if (piece.la_dispatches > 0) {
+                    registry->add("vm.fault.dispatch.la",
+                                  piece.la_dispatches);
+                }
+                if (piece.cpu_dispatches > 0) {
+                    registry->add("vm.fault.dispatch.cpu",
+                                  piece.cpu_dispatches);
+                }
+            }
+            if (fault_report != nullptr) {
+                FaultPieceReport piece_report;
+                piece_report.loop = piece.loop;
+                piece_report.translation = piece.translation;
+                piece_report.rung = piece.rung;
+                piece_report.la_dispatches = piece.la_dispatches;
+                piece_report.cpu_dispatches = piece.cpu_dispatches;
+                piece_report.checksum_invalidations = piece.invalidations;
+                piece_report.retranslations = piece.retranslations;
+                piece_report.quarantined = piece.quarantined;
+                fault_report->checksum_invalidations +=
+                    piece.invalidations;
+                fault_report->retranslations += piece.retranslations;
+                fault_report->quarantines += piece.quarantined ? 1 : 0;
+                fault_report->la_dispatches += piece.la_dispatches;
+                fault_report->cpu_dispatches += piece.cpu_dispatches;
+                site_report.pieces.push_back(std::move(piece_report));
+            }
+        }
+        site_result.actual_cycles += site_result.translation_cycles;
+
+        out.translation_cycles += site_result.translation_cycles;
+        out.baseline_cycles += site_result.baseline_cycles;
+        out.accelerated_cycles += site_result.actual_cycles;
+        out.sites.push_back(std::move(site_result));
+        if (fault_report != nullptr)
+            fault_report->sites.push_back(std::move(site_report));
+    }
+
+    out.baseline_cycles += app.acyclic_cycles;
+    out.accelerated_cycles += app.acyclic_cycles;
+    out.speedup = out.accelerated_cycles > 0
+                      ? static_cast<double>(out.baseline_cycles) /
+                            static_cast<double>(out.accelerated_cycles)
+                      : 1.0;
+    if (registry != nullptr) {
         VEAL_ASSERT(audited_cycles == out.translation_cycles,
                     "phase attribution lost cycles for ", app.name, ": ",
                     audited_cycles, " != ", out.translation_cycles);

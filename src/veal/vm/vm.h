@@ -80,6 +80,53 @@ struct SiteResult {
     int stage_count = 0;
 };
 
+/** Dispatch-level outcome of one hardened piece (fault runs only). */
+struct FaultPieceReport {
+    /** The dispatched loop (owned by the caller's Application). */
+    const Loop* loop = nullptr;
+
+    /** Final translation (ok, or the last ladder failure when pinned). */
+    TranslationResult translation;
+
+    /** Rung the piece's translation settled on. */
+    DegradationRung rung = DegradationRung::kNominal;
+
+    std::int64_t la_dispatches = 0;
+    std::int64_t cpu_dispatches = 0;
+
+    /** Checksum mismatches detected on this piece's cached image. */
+    std::int64_t checksum_invalidations = 0;
+
+    /** Re-translations forced by invalidation (bounded by the plan). */
+    std::int64_t retranslations = 0;
+
+    /** Pinned to the CPU after repeated strikes / exhausted retries. */
+    bool quarantined = false;
+};
+
+/** Hardened outcome of one loop site. */
+struct FaultSiteReport {
+    std::string loop_name;
+
+    /** Deepest degradation rung the site needed. */
+    DegradationRung rung = DegradationRung::kNominal;
+
+    /** Pieces actually dispatched (the unfissioned loop after a
+        no-fission retry; the site loop when CPU-pinned). */
+    std::vector<FaultPieceReport> pieces;
+};
+
+/** Everything a hardened run recovered from (see DESIGN.md §11). */
+struct FaultRunReport {
+    std::vector<FaultSiteReport> sites;
+
+    std::int64_t checksum_invalidations = 0;
+    std::int64_t quarantines = 0;
+    std::int64_t retranslations = 0;
+    std::int64_t la_dispatches = 0;
+    std::int64_t cpu_dispatches = 0;
+};
+
 /** Whole-application outcome. */
 struct AppRunResult {
     std::string app_name;
@@ -127,6 +174,28 @@ class VirtualMachine {
      */
     AppRunResult run(const Application& app,
                      metrics::Registry* registry) const;
+
+    /**
+     * Hardened run: as run(app, registry) but with @p faults injecting
+     * deterministic failures into the translation pipeline, which the VM
+     * survives by climbing the degradation ladder (relaxed II -> no CCA
+     * -> no fission -> pinned CPU), validating control-image checksums
+     * before every cached dispatch, and quarantining sites whose images
+     * keep corrupting (DESIGN.md §11).  Architectural results are
+     * bit-identical to the interpreter under *any* fault plan; only
+     * timing degrades.  @p faults == nullptr delegates to the nominal
+     * overload.  Fault-taxonomy counters land under "vm.fault.*"; the
+     * per-run story is written to @p fault_report when non-null.
+     *
+     * The cache is *simulated* here (round-robin dispatch through a real
+     * CodeCache) rather than modelled, LA-ok pieces always take the LA
+     * path, and VmOptions::retranslation_rate / penalty_override do not
+     * apply -- this overload answers "does the VM survive faults", not
+     * Figure 6's analytic sweep.
+     */
+    AppRunResult run(const Application& app, metrics::Registry* registry,
+                     FaultInjector* faults,
+                     FaultRunReport* fault_report = nullptr) const;
 
     const LaConfig& laConfig() const { return la_; }
     const CpuConfig& cpuConfig() const { return cpu_; }

@@ -1,0 +1,87 @@
+#include "veal/fault/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include "veal/support/metrics/metrics.h"
+
+namespace veal {
+namespace {
+
+TEST(CampaignPlans, AreDeterministicFunctionsOfSeedAndIndex)
+{
+    EXPECT_EQ(makeCampaignPlan(1, 0).describe(),
+              makeCampaignPlan(1, 0).describe());
+    EXPECT_NE(makeCampaignPlan(1, 0).describe(),
+              makeCampaignPlan(1, 1).describe());
+    EXPECT_NE(makeCampaignPlan(1, 0).describe(),
+              makeCampaignPlan(2, 0).describe());
+}
+
+TEST(FaultCampaign, ReportIsIdenticalForAnyThreadCountAndClean)
+{
+    FaultCampaignOptions options;
+    options.plans = 12;
+    options.seed = 3;
+    options.iterations = 8;
+    options.max_invocations = 8;
+    options.threads = 1;
+    const FaultCampaignSummary serial = runFaultCampaign(options);
+
+    options.threads = 3;
+    const FaultCampaignSummary parallel = runFaultCampaign(options);
+
+    EXPECT_EQ(serial.render(), parallel.render());
+    EXPECT_TRUE(serial.clean()) << serial.render();
+    EXPECT_TRUE(serial.divergences.empty());
+    EXPECT_TRUE(serial.taxonomy_violations.empty());
+
+    // Every plan lands on exactly one deepest rung.
+    std::int64_t rung_total = 0;
+    for (const auto& [rung, count] : serial.rung_counts)
+        rung_total += count;
+    EXPECT_EQ(rung_total, options.plans);
+
+    const std::string report = serial.render();
+    EXPECT_NE(report.find("verdict: CLEAN"), std::string::npos) << report;
+}
+
+TEST(FaultCampaign, RegistryCountersMatchTheSummary)
+{
+    FaultCampaignOptions options;
+    options.plans = 8;
+    options.seed = 11;
+    options.iterations = 8;
+    options.max_invocations = 8;
+    metrics::Registry registry;
+    const FaultCampaignSummary summary =
+        runFaultCampaign(options, &registry);
+
+    EXPECT_EQ(registry.counter("fault.plans"), summary.total_plans);
+    EXPECT_EQ(registry.counter("fault.invalidations"),
+              summary.invalidations);
+    EXPECT_EQ(registry.counter("fault.retranslations"),
+              summary.retranslations);
+    EXPECT_EQ(registry.counter("fault.quarantines"), summary.quarantines);
+    EXPECT_EQ(registry.counter("fault.divergences"), 0);
+    EXPECT_EQ(registry.counter("fault.taxonomy_violations"), 0);
+    std::int64_t rung_total = 0;
+    for (const auto& [rung, count] : summary.rung_counts)
+        EXPECT_EQ(registry.counter("fault.rung." + rung), count);
+    (void)rung_total;
+}
+
+TEST(FaultCampaign, NamedAppSelectionIsHonoured)
+{
+    FaultCampaignOptions options;
+    options.plans = 4;
+    options.seed = 5;
+    options.iterations = 8;
+    options.max_invocations = 8;
+    options.apps = {"g721enc"};
+    const FaultCampaignSummary summary = runFaultCampaign(options);
+    EXPECT_TRUE(summary.clean()) << summary.render();
+    EXPECT_EQ(summary.total_plans, 4);
+}
+
+}  // namespace
+}  // namespace veal

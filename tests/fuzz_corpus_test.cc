@@ -141,6 +141,46 @@ TEST(CorpusReplay, FlagsExpectationMismatches)
     EXPECT_EQ(results[1].actual.outcome, OracleOutcome::kPass);
 }
 
+TEST(CorpusFormat, RoundTripsTheFaultSeedDirective)
+{
+    CorpusCase repro = sampleCase();
+    repro.fault_plan_seed = 123;
+    const std::string text = formatCorpusCase(repro);
+    EXPECT_NE(text.find("#! fault-seed 123"), std::string::npos) << text;
+
+    const CorpusParseResult parsed = parseCorpusCase(text);
+    ASSERT_TRUE(std::holds_alternative<CorpusCase>(parsed))
+        << std::get<std::string>(parsed);
+    const CorpusCase& back = std::get<CorpusCase>(parsed);
+    ASSERT_TRUE(back.fault_plan_seed.has_value());
+    EXPECT_EQ(*back.fault_plan_seed, 123u);
+
+    // Fault-free cases stay byte-compatible with the old format.
+    const std::string plain = formatCorpusCase(sampleCase());
+    EXPECT_EQ(plain.find("fault-seed"), std::string::npos) << plain;
+    const CorpusParseResult plain_parsed = parseCorpusCase(plain);
+    ASSERT_TRUE(std::holds_alternative<CorpusCase>(plain_parsed));
+    EXPECT_FALSE(
+        std::get<CorpusCase>(plain_parsed).fault_plan_seed.has_value());
+}
+
+TEST(CorpusFormat, RejectsAMalformedFaultSeed)
+{
+    CorpusCase repro = sampleCase();
+    repro.fault_plan_seed = 123;
+    std::string text = formatCorpusCase(repro);
+    const std::size_t at = text.find("fault-seed 123");
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, std::string("fault-seed 123").size(),
+                 "fault-seed 12x");
+
+    const CorpusParseResult parsed = parseCorpusCase(text);
+    ASSERT_TRUE(std::holds_alternative<std::string>(parsed));
+    EXPECT_NE(std::get<std::string>(parsed).find("fault-seed"),
+              std::string::npos)
+        << std::get<std::string>(parsed);
+}
+
 /**
  * The checked-in corpus (every .veal under tests/corpus) replays clean:
  * every seed

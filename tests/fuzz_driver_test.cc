@@ -146,5 +146,79 @@ TEST(FuzzDriver, InjectedBugFlowsThroughShrinkAndCorpusSave)
               summary.failures.size());
 }
 
+TEST(FuzzDriver, FaultSeedCampaignIsDeterministicAndClean)
+{
+    EXPECT_EQ(makeFuzzCasePlanSeed(1, 0), makeFuzzCasePlanSeed(1, 0));
+    EXPECT_NE(makeFuzzCasePlanSeed(1, 0), makeFuzzCasePlanSeed(1, 1));
+    EXPECT_NE(makeFuzzCasePlanSeed(1, 0), makeFuzzCasePlanSeed(2, 0));
+
+    FuzzOptions options;
+    options.runs = 40;
+    options.seed = 7;
+    options.fault_seed = 9;
+    options.threads = 1;
+    const FuzzSummary serial = runFuzz(options);
+
+    options.threads = 4;
+    const FuzzSummary parallel = runFuzz(options);
+
+    EXPECT_EQ(serial.render(), parallel.render());
+    EXPECT_TRUE(serial.clean()) << serial.render();
+
+    // With every case under an armed plan, at least some must recover
+    // at a deeper rung instead of passing nominally.
+    int recovered = 0;
+    for (const auto& [config, per_outcome] : serial.counts) {
+        const auto hit =
+            per_outcome.find(toString(OracleOutcome::kFaultRecovered));
+        recovered += hit == per_outcome.end() ? 0 : hit->second;
+    }
+    EXPECT_GT(recovered, 0) << serial.render();
+    EXPECT_NE(serial.render().find("fault-recovered"), std::string::npos);
+}
+
+TEST(FuzzDriver, ShrunkReprosUnderFaultsKeepTheirFaultPlan)
+{
+    const std::filesystem::path dir =
+        std::filesystem::path(::testing::TempDir()) / "veal-fuzz-faults";
+    std::filesystem::remove_all(dir);
+
+    FuzzOptions options;
+    options.runs = 30;
+    options.seed = 7;
+    options.fault_seed = 13;
+    options.threads = 2;
+    options.shrink = true;
+    options.corpus_dir = dir.string();
+    options.configs = {*fuzzConfigByName("proposed")};
+    options.perturb = injectOffByOne;
+
+    const FuzzSummary summary = runFuzz(options);
+    ASSERT_FALSE(summary.clean())
+        << "the injected bug must surface within 30 cases";
+
+    for (const auto& failure : summary.failures) {
+        // The injected bug stays the failure class even while a fault
+        // plan is armed -- recovery never masks a real validator reject.
+        EXPECT_EQ(failure.report.outcome,
+                  OracleOutcome::kValidatorReject)
+            << failure.report.detail;
+        ASSERT_FALSE(failure.saved_path.empty());
+
+        const CorpusParseResult loaded =
+            loadCorpusFile(failure.saved_path);
+        ASSERT_TRUE(std::holds_alternative<CorpusCase>(loaded))
+            << std::get<std::string>(loaded);
+        const CorpusCase& repro = std::get<CorpusCase>(loaded);
+        EXPECT_EQ(repro.expect, OracleOutcome::kValidatorReject);
+        ASSERT_TRUE(repro.fault_plan_seed.has_value());
+        EXPECT_EQ(*repro.fault_plan_seed,
+                  makeFuzzCasePlanSeed(*options.fault_seed,
+                                       failure.case_index))
+            << "the repro must replay under the exact plan that was "
+               "armed when the failure was found";
+    }
+}
+
 }  // namespace
 }  // namespace veal

@@ -185,12 +185,67 @@ TEST(Oracle, OutcomeNamesAndFailureClasses)
                  "validator-reject");
     EXPECT_STREQ(toString(OracleOutcome::kDivergence), "divergence");
     EXPECT_STREQ(toString(OracleOutcome::kCrashGuard), "crash-guard");
+    EXPECT_STREQ(toString(OracleOutcome::kFaultRecovered),
+                 "fault-recovered");
 
     EXPECT_FALSE(isFailure(OracleOutcome::kPass));
     EXPECT_FALSE(isFailure(OracleOutcome::kTranslatorReject));
     EXPECT_TRUE(isFailure(OracleOutcome::kValidatorReject));
     EXPECT_TRUE(isFailure(OracleOutcome::kDivergence));
     EXPECT_TRUE(isFailure(OracleOutcome::kCrashGuard));
+    EXPECT_FALSE(isFailure(OracleOutcome::kFaultRecovered))
+        << "recovery is the hardening working, not a bug";
+}
+
+TEST(OracleFaults, RecoveredAtADeeperRungStillMatchesTheInterpreter)
+{
+    OracleOptions options;
+    FaultPlan plan;
+    plan.faults.push_back(
+        ArmedFault{FaultSite::kSchedulerPlacement, 0, 1});
+    options.fault_plan = plan;
+
+    const OracleReport report =
+        runOracle(makeDotProductLoop("dot"), LaConfig::proposed(), 3,
+                  options);
+    EXPECT_EQ(report.outcome, OracleOutcome::kFaultRecovered)
+        << report.detail;
+    EXPECT_EQ(report.rung, DegradationRung::kRelaxedIi);
+    EXPECT_GE(report.faults_fired, 1);
+    EXPECT_NE(report.detail.find("relaxed-ii"), std::string::npos)
+        << report.detail;
+}
+
+TEST(OracleFaults, CleanCpuPinCountsAsRecovered)
+{
+    OracleOptions options;
+    FaultPlan plan;
+    plan.faults.push_back(
+        ArmedFault{FaultSite::kSchedulerPlacement, 0, -1});
+    options.fault_plan = plan;
+
+    const OracleReport report =
+        runOracle(makeDotProductLoop("dot"), LaConfig::proposed(), 3,
+                  options);
+    EXPECT_EQ(report.outcome, OracleOutcome::kFaultRecovered)
+        << report.detail;
+    EXPECT_NE(report.detail.find("pinned to CPU"), std::string::npos)
+        << report.detail;
+}
+
+TEST(OracleFaults, ArmedButSilentPlanKeepsThePassOutcome)
+{
+    OracleOptions options;
+    FaultPlan plan;
+    plan.faults.push_back(
+        ArmedFault{FaultSite::kSchedulerPlacement, 1000, 1});
+    options.fault_plan = plan;
+
+    const OracleReport report =
+        runOracle(makeDotProductLoop("dot"), LaConfig::proposed(), 3,
+                  options);
+    EXPECT_EQ(report.outcome, OracleOutcome::kPass) << report.detail;
+    EXPECT_EQ(report.faults_fired, 0);
 }
 
 }  // namespace

@@ -235,5 +235,60 @@ TEST_P(RoundTrip, PrintedKernelsReparseToEquivalentLoops)
 
 INSTANTIATE_TEST_SUITE_P(Kernels, RoundTrip, ::testing::Range(0, 6));
 
+TEST(ParserLimits, RejectsOversizedInputUpFront)
+{
+    std::string text(kMaxParseBytes + 1, '#');
+    const auto result = parseLoop(text);
+    ASSERT_TRUE(std::holds_alternative<ParseError>(result));
+    const ParseError& error = std::get<ParseError>(result);
+    EXPECT_EQ(error.line, 1);
+    EXPECT_NE(error.message.find("accepts at most"), std::string::npos)
+        << error.message;
+    EXPECT_NE(error.message.find(std::to_string(kMaxParseBytes)),
+              std::string::npos)
+        << error.message;
+}
+
+TEST(ParserLimits, RejectsAnOversizedLine)
+{
+    std::string text = "loop long-line\ntrip 8\n# ";
+    text.append(kMaxParseLineBytes, 'x');
+    text += "\ni = induction 1\nloopback i i\n";
+    const auto result = parseLoop(text);
+    ASSERT_TRUE(std::holds_alternative<ParseError>(result));
+    EXPECT_NE(std::get<ParseError>(result).message.find("per line"),
+              std::string::npos)
+        << std::get<ParseError>(result).message;
+}
+
+TEST(ParserLimits, RejectsTooManyOperations)
+{
+    std::string text = "loop huge\ntrip 8\ni = induction 1\n";
+    for (int index = 0; index <= kMaxParseOperations; ++index) {
+        text += "c" + std::to_string(index) + " = const " +
+                std::to_string(index) + "\n";
+    }
+    text += "loopback i c0\n";
+    const auto result = parseLoop(text);
+    ASSERT_TRUE(std::holds_alternative<ParseError>(result));
+    EXPECT_NE(std::get<ParseError>(result).message.find("exceeds"),
+              std::string::npos)
+        << std::get<ParseError>(result).message;
+}
+
+TEST(ParserLimits, AcceptsAKernelNearTheEdgeOfTheLimits)
+{
+    // A generously sized but legal loop parses fine: the limits must
+    // bound adversarial inputs without clipping real kernels.
+    std::string text = "loop wide\ntrip 8\ni = induction 1\n";
+    for (int index = 0; index < 512; ++index) {
+        text += "c" + std::to_string(index) + " = const " +
+                std::to_string(index) + "\n";
+    }
+    text += "loopback i c0\n";
+    const auto result = parseLoop(text);
+    EXPECT_TRUE(std::holds_alternative<Loop>(result));
+}
+
 }  // namespace
 }  // namespace veal

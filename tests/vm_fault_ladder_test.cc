@@ -1,0 +1,185 @@
+#include "veal/vm/vm.h"
+
+#include <gtest/gtest.h>
+
+#include "veal/arch/cpu_config.h"
+#include "veal/fault/fault_injector.h"
+#include "veal/fault/fault_plan.h"
+#include "veal/workloads/kernels.h"
+
+namespace veal {
+namespace {
+
+/** One unfissioned dot-product site; trivially schedulable nominally. */
+Application
+singleSiteApp(std::int64_t invocations)
+{
+    Application app;
+    app.name = "ladder-app";
+    app.sites.push_back(LoopSite{.loop = makeDotProductLoop("dot"),
+                                 .fissioned = {},
+                                 .invocations = invocations,
+                                 .iterations = 16});
+    app.acyclic_cycles = 1000;
+    return app;
+}
+
+/** Hardened run of @p app under @p plan; returns the fault report. */
+FaultRunReport
+runHardened(const Application& app, const FaultPlan& plan,
+            int cache_entries = 4)
+{
+    VmOptions options;
+    options.mode = TranslationMode::kFullyDynamic;
+    options.code_cache_entries = cache_entries;
+    const VirtualMachine vm(LaConfig::proposed(), CpuConfig::arm11(),
+                            options);
+    FaultInjector injector(plan);
+    FaultRunReport report;
+    (void)vm.run(app, nullptr, &injector, &report);
+    return report;
+}
+
+/**
+ * Scheduler-placement faults consume one probe per translation attempt,
+ * so the window width selects exactly how deep the site degrades:
+ * probe 0 is the nominal rung, 1 relaxed II, 2 no CCA, 3 the
+ * no-fission site retry.  This pins the ladder's *ordering*, not just
+ * its endpoints.
+ */
+TEST(DegradationLadder, EscalatesInExactRungOrder)
+{
+    const Application app = singleSiteApp(4);
+    const struct {
+        std::int64_t fires;
+        DegradationRung expected;
+    } kCases[] = {
+        {1, DegradationRung::kRelaxedIi},
+        {2, DegradationRung::kNoCca},
+        {3, DegradationRung::kNoFission},
+        {4, DegradationRung::kCpuPinned},
+        {-1, DegradationRung::kCpuPinned},  // Sticky: broken forever.
+    };
+    for (const auto& test_case : kCases) {
+        FaultPlan plan;
+        plan.faults.push_back(ArmedFault{FaultSite::kSchedulerPlacement,
+                                         0, test_case.fires});
+        const FaultRunReport report = runHardened(app, plan);
+        ASSERT_EQ(report.sites.size(), 1u);
+        EXPECT_EQ(report.sites[0].rung, test_case.expected)
+            << "fires=" << test_case.fires << " settled on "
+            << toString(report.sites[0].rung);
+        if (test_case.expected == DegradationRung::kCpuPinned) {
+            EXPECT_EQ(report.la_dispatches, 0);
+            EXPECT_EQ(report.cpu_dispatches, 4);
+        } else {
+            ASSERT_EQ(report.sites[0].pieces.size(), 1u);
+            EXPECT_TRUE(report.sites[0].pieces[0].translation.ok);
+            EXPECT_EQ(report.la_dispatches, 4);
+        }
+    }
+}
+
+TEST(DegradationLadder, NoArmedFaultStaysNominal)
+{
+    const FaultRunReport report =
+        runHardened(singleSiteApp(4), FaultPlan{});
+    ASSERT_EQ(report.sites.size(), 1u);
+    EXPECT_EQ(report.sites[0].rung, DegradationRung::kNominal);
+    EXPECT_EQ(report.la_dispatches, 4);
+    EXPECT_EQ(report.cpu_dispatches, 0);
+    EXPECT_EQ(report.checksum_invalidations, 0);
+    EXPECT_EQ(report.quarantines, 0);
+}
+
+TEST(ChecksumValidation, QuarantinesAfterPlanStrikes)
+{
+    FaultPlan plan;
+    plan.faults.push_back(ArmedFault{FaultSite::kCacheCorruption, 0, -1});
+    plan.quarantine_strikes = 2;
+    plan.retranslation_bound = 5;
+
+    const FaultRunReport report = runHardened(singleSiteApp(8), plan);
+    ASSERT_EQ(report.sites.size(), 1u);
+    const FaultPieceReport& piece = report.sites[0].pieces[0];
+
+    // miss, invalidate (strike 1), re-translate, invalidate (strike 2 ->
+    // quarantine), then CPU for the remaining rounds.
+    EXPECT_EQ(piece.checksum_invalidations, 2);
+    EXPECT_EQ(piece.retranslations, 1);
+    EXPECT_TRUE(piece.quarantined);
+    EXPECT_EQ(piece.la_dispatches, 2);
+    EXPECT_EQ(piece.cpu_dispatches, 6);
+    EXPECT_EQ(report.quarantines, 1);
+}
+
+TEST(ChecksumValidation, RetranslationsNeverExceedThePlanBound)
+{
+    FaultPlan plan;
+    plan.faults.push_back(ArmedFault{FaultSite::kCacheCorruption, 0, -1});
+    plan.quarantine_strikes = 10;  // Strikes alone would allow more.
+    plan.retranslation_bound = 2;
+
+    const FaultRunReport report = runHardened(singleSiteApp(12), plan);
+    const FaultPieceReport& piece = report.sites[0].pieces[0];
+    EXPECT_EQ(piece.retranslations, 2);
+    EXPECT_TRUE(piece.quarantined);
+    EXPECT_EQ(piece.checksum_invalidations, 3);
+    EXPECT_EQ(piece.la_dispatches, 3);
+}
+
+TEST(ChecksumValidation, QuarantineOutlivesCacheEviction)
+{
+    // Capacity-1 cache: the invalidation erases the only entry, so the
+    // quarantine verdict cannot be hiding in cached state -- later
+    // rounds would happily re-translate if the run-local flag were lost.
+    FaultPlan plan;
+    plan.faults.push_back(ArmedFault{FaultSite::kCacheCorruption, 0, -1});
+    plan.quarantine_strikes = 1;
+    plan.retranslation_bound = 5;
+
+    const FaultRunReport report =
+        runHardened(singleSiteApp(6), plan, /*cache_entries=*/1);
+    const FaultPieceReport& piece = report.sites[0].pieces[0];
+    EXPECT_TRUE(piece.quarantined);
+    EXPECT_EQ(piece.checksum_invalidations, 1);
+    EXPECT_EQ(piece.retranslations, 0)
+        << "a quarantined piece must never be re-translated";
+    EXPECT_EQ(piece.la_dispatches, 1);
+    EXPECT_EQ(piece.cpu_dispatches, 5);
+}
+
+TEST(ChecksumValidation, EveryCorruptionFireIsExactlyOneInvalidation)
+{
+    FaultPlan plan;
+    plan.faults.push_back(ArmedFault{FaultSite::kCacheCorruption, 1, 2});
+    plan.quarantine_strikes = 3;
+    plan.retranslation_bound = 4;
+
+    VmOptions options;
+    options.code_cache_entries = 4;
+    const VirtualMachine vm(LaConfig::proposed(), CpuConfig::arm11(),
+                            options);
+    FaultInjector injector(plan);
+    FaultRunReport report;
+    (void)vm.run(singleSiteApp(10), nullptr, &injector, &report);
+    EXPECT_EQ(injector.fired(FaultSite::kCacheCorruption),
+              report.checksum_invalidations);
+    EXPECT_GT(report.checksum_invalidations, 0);
+}
+
+TEST(HardenedRun, NullInjectorDelegatesToTheNominalOverload)
+{
+    const Application app = singleSiteApp(4);
+    VmOptions options;
+    const VirtualMachine vm(LaConfig::proposed(), CpuConfig::arm11(),
+                            options);
+    const AppRunResult nominal = vm.run(app);
+    const AppRunResult delegated = vm.run(app, nullptr, nullptr);
+    EXPECT_EQ(nominal.accelerated_cycles, delegated.accelerated_cycles);
+    EXPECT_EQ(nominal.translation_cycles, delegated.translation_cycles);
+    EXPECT_EQ(nominal.speedup, delegated.speedup);
+}
+
+}  // namespace
+}  // namespace veal

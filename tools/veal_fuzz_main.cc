@@ -13,6 +13,7 @@
  * 2 on bad usage.
  */
 
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -32,6 +33,8 @@ usage()
         "  --seed S        campaign seed (default 1)\n"
         "  --iterations N  loop iterations per case (default 12)\n"
         "  --config NAME   fuzz only this preset (default: all presets)\n"
+        "  --fault-seed S  arm a per-case FaultPlan stream; recovered\n"
+        "                  cases report the fault-recovered outcome\n"
         "  --shrink        minimise failing loops before reporting\n"
         "  --corpus DIR    save shrunk repros to DIR as .veal files\n"
         "  --replay DIR    replay corpus files in DIR instead of fuzzing\n"
@@ -39,6 +42,32 @@ usage()
         "                  campaign (byte-identical for any --threads)\n"
         "  --list-configs  print the preset names and exit\n";
     return 2;
+}
+
+/** Strict decimal parse: the whole token must be digits. */
+std::uint64_t
+parseU64(const char* flag, const char* text)
+{
+    std::string token(text);
+    if (token.empty() ||
+        token.find_first_not_of("0123456789") != std::string::npos) {
+        std::cerr << "veal-fuzz: " << flag << " needs a non-negative "
+                     "integer, got '" << token << "'\n";
+        std::exit(usage());
+    }
+    return std::strtoull(token.c_str(), nullptr, 10);
+}
+
+int
+parseInt(const char* flag, const char* text)
+{
+    const std::uint64_t wide = parseU64(flag, text);
+    if (wide > 1000000ull) {
+        std::cerr << "veal-fuzz: " << flag << " value " << wide
+                  << " is out of range\n";
+        std::exit(usage());
+    }
+    return static_cast<int>(wide);
 }
 
 int
@@ -81,7 +110,7 @@ main(int argc, char** argv)
         if (i + 1 >= argc) {
             std::cerr << "veal-fuzz: " << argv[i]
                       << " needs a value\n";
-            std::exit(2);
+            std::exit(usage());
         }
         return argv[++i];
     };
@@ -89,13 +118,15 @@ main(int argc, char** argv)
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--runs") {
-            options.runs = std::atoi(next_value(i));
+            options.runs = parseInt("--runs", next_value(i));
         } else if (arg == "--threads") {
-            options.threads = std::atoi(next_value(i));
+            options.threads = parseInt("--threads", next_value(i));
         } else if (arg == "--seed") {
-            options.seed = std::strtoull(next_value(i), nullptr, 10);
+            options.seed = parseU64("--seed", next_value(i));
         } else if (arg == "--iterations") {
-            options.iterations = std::atoll(next_value(i));
+            options.iterations = parseInt("--iterations", next_value(i));
+        } else if (arg == "--fault-seed") {
+            options.fault_seed = parseU64("--fault-seed", next_value(i));
         } else if (arg == "--config") {
             const std::string name = next_value(i);
             const auto preset = veal::fuzzConfigByName(name);
