@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cca.dir/bench_ablation_cca.cc.o"
+  "CMakeFiles/bench_ablation_cca.dir/bench_ablation_cca.cc.o.d"
+  "bench_ablation_cca"
+  "bench_ablation_cca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_design_point.dir/bench_design_point.cc.o"
+  "CMakeFiles/bench_design_point.dir/bench_design_point.cc.o.d"
+  "bench_design_point"
+  "bench_design_point.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_design_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

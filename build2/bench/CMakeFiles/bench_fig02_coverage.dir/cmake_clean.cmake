@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_coverage.dir/bench_fig02_coverage.cc.o"
+  "CMakeFiles/bench_fig02_coverage.dir/bench_fig02_coverage.cc.o.d"
+  "bench_fig02_coverage"
+  "bench_fig02_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig03a_fu_sweep.
+# This may be replaced when dependencies are built.

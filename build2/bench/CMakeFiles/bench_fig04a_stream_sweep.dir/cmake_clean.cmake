@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04a_stream_sweep.dir/bench_fig04a_stream_sweep.cc.o"
+  "CMakeFiles/bench_fig04a_stream_sweep.dir/bench_fig04a_stream_sweep.cc.o.d"
+  "bench_fig04a_stream_sweep"
+  "bench_fig04a_stream_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04a_stream_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig04a_stream_sweep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_transforms.dir/bench_fig07_transforms.cc.o"
+  "CMakeFiles/bench_fig07_transforms.dir/bench_fig07_transforms.cc.o.d"
+  "bench_fig07_transforms"
+  "bench_fig07_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_tradeoff.dir/bench_fig10_tradeoff.cc.o"
+  "CMakeFiles/bench_fig10_tradeoff.dir/bench_fig10_tradeoff.cc.o.d"
+  "bench_fig10_tradeoff"
+  "bench_fig10_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veal_bench_common.dir/common.cc.o"
+  "CMakeFiles/veal_bench_common.dir/common.cc.o.d"
+  "libveal_bench_common.a"
+  "libveal_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veal_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

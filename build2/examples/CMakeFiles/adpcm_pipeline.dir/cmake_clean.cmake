@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adpcm_pipeline.dir/adpcm_pipeline.cpp.o"
+  "CMakeFiles/adpcm_pipeline.dir/adpcm_pipeline.cpp.o.d"
+  "adpcm_pipeline"
+  "adpcm_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adpcm_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

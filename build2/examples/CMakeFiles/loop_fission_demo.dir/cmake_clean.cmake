@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_fission_demo.dir/loop_fission_demo.cpp.o"
+  "CMakeFiles/loop_fission_demo.dir/loop_fission_demo.cpp.o.d"
+  "loop_fission_demo"
+  "loop_fission_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_fission_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

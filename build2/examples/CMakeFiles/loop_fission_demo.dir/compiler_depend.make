@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for loop_fission_demo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_kernel.dir/run_kernel.cpp.o"
+  "CMakeFiles/run_kernel.dir/run_kernel.cpp.o.d"
+  "run_kernel"
+  "run_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build2/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("veal/support")
+subdirs("veal/fault")
+subdirs("veal/ir")
+subdirs("veal/arch")
+subdirs("veal/cca")
+subdirs("veal/sched")
+subdirs("veal/sim")
+subdirs("veal/vm")
+subdirs("veal/workloads")
+subdirs("veal/explore")
+subdirs("veal/fuzz")

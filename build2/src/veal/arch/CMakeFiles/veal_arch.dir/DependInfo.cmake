@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/veal/arch/area.cc" "src/veal/arch/CMakeFiles/veal_arch.dir/area.cc.o" "gcc" "src/veal/arch/CMakeFiles/veal_arch.dir/area.cc.o.d"
+  "/root/repo/src/veal/arch/cpu_config.cc" "src/veal/arch/CMakeFiles/veal_arch.dir/cpu_config.cc.o" "gcc" "src/veal/arch/CMakeFiles/veal_arch.dir/cpu_config.cc.o.d"
+  "/root/repo/src/veal/arch/fu.cc" "src/veal/arch/CMakeFiles/veal_arch.dir/fu.cc.o" "gcc" "src/veal/arch/CMakeFiles/veal_arch.dir/fu.cc.o.d"
+  "/root/repo/src/veal/arch/la_config.cc" "src/veal/arch/CMakeFiles/veal_arch.dir/la_config.cc.o" "gcc" "src/veal/arch/CMakeFiles/veal_arch.dir/la_config.cc.o.d"
+  "/root/repo/src/veal/arch/latency.cc" "src/veal/arch/CMakeFiles/veal_arch.dir/latency.cc.o" "gcc" "src/veal/arch/CMakeFiles/veal_arch.dir/latency.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/veal/ir/CMakeFiles/veal_ir.dir/DependInfo.cmake"
+  "/root/repo/build2/src/veal/support/CMakeFiles/veal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veal_arch.dir/area.cc.o"
+  "CMakeFiles/veal_arch.dir/area.cc.o.d"
+  "CMakeFiles/veal_arch.dir/cpu_config.cc.o"
+  "CMakeFiles/veal_arch.dir/cpu_config.cc.o.d"
+  "CMakeFiles/veal_arch.dir/fu.cc.o"
+  "CMakeFiles/veal_arch.dir/fu.cc.o.d"
+  "CMakeFiles/veal_arch.dir/la_config.cc.o"
+  "CMakeFiles/veal_arch.dir/la_config.cc.o.d"
+  "CMakeFiles/veal_arch.dir/latency.cc.o"
+  "CMakeFiles/veal_arch.dir/latency.cc.o.d"
+  "libveal_arch.a"
+  "libveal_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veal_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/veal/cca/cca_mapper.cc" "src/veal/cca/CMakeFiles/veal_cca.dir/cca_mapper.cc.o" "gcc" "src/veal/cca/CMakeFiles/veal_cca.dir/cca_mapper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/veal/fault/CMakeFiles/veal_fault.dir/DependInfo.cmake"
+  "/root/repo/build2/src/veal/arch/CMakeFiles/veal_arch.dir/DependInfo.cmake"
+  "/root/repo/build2/src/veal/ir/CMakeFiles/veal_ir.dir/DependInfo.cmake"
+  "/root/repo/build2/src/veal/support/CMakeFiles/veal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

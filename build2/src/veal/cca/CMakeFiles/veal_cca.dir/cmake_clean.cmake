@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veal_cca.dir/cca_mapper.cc.o"
+  "CMakeFiles/veal_cca.dir/cca_mapper.cc.o.d"
+  "libveal_cca.a"
+  "libveal_cca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veal_cca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veal_explore.dir/sweep.cc.o"
+  "CMakeFiles/veal_explore.dir/sweep.cc.o.d"
+  "libveal_explore.a"
+  "libveal_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veal_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/veal/fault/fault_injector.cc" "src/veal/fault/CMakeFiles/veal_fault.dir/fault_injector.cc.o" "gcc" "src/veal/fault/CMakeFiles/veal_fault.dir/fault_injector.cc.o.d"
+  "/root/repo/src/veal/fault/fault_plan.cc" "src/veal/fault/CMakeFiles/veal_fault.dir/fault_plan.cc.o" "gcc" "src/veal/fault/CMakeFiles/veal_fault.dir/fault_plan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/veal/support/CMakeFiles/veal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veal_fault.dir/fault_injector.cc.o"
+  "CMakeFiles/veal_fault.dir/fault_injector.cc.o.d"
+  "CMakeFiles/veal_fault.dir/fault_plan.cc.o"
+  "CMakeFiles/veal_fault.dir/fault_plan.cc.o.d"
+  "libveal_fault.a"
+  "libveal_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veal_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

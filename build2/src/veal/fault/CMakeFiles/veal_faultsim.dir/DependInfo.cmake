@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/veal/fault/campaign.cc" "src/veal/fault/CMakeFiles/veal_faultsim.dir/campaign.cc.o" "gcc" "src/veal/fault/CMakeFiles/veal_faultsim.dir/campaign.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/veal/fault/CMakeFiles/veal_fault.dir/DependInfo.cmake"
+  "/root/repo/build2/src/veal/fuzz/CMakeFiles/veal_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build2/src/veal/vm/CMakeFiles/veal_vm.dir/DependInfo.cmake"
+  "/root/repo/build2/src/veal/sim/CMakeFiles/veal_sim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/veal/workloads/CMakeFiles/veal_workloads.dir/DependInfo.cmake"
+  "/root/repo/build2/src/veal/support/CMakeFiles/veal_support.dir/DependInfo.cmake"
+  "/root/repo/build2/src/veal/sched/CMakeFiles/veal_sched.dir/DependInfo.cmake"
+  "/root/repo/build2/src/veal/cca/CMakeFiles/veal_cca.dir/DependInfo.cmake"
+  "/root/repo/build2/src/veal/arch/CMakeFiles/veal_arch.dir/DependInfo.cmake"
+  "/root/repo/build2/src/veal/ir/CMakeFiles/veal_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veal_faultsim.dir/campaign.cc.o"
+  "CMakeFiles/veal_faultsim.dir/campaign.cc.o.d"
+  "libveal_faultsim.a"
+  "libveal_faultsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veal_faultsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

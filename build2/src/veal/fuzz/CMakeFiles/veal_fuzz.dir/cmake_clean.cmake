@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veal_fuzz.dir/corpus.cc.o"
+  "CMakeFiles/veal_fuzz.dir/corpus.cc.o.d"
+  "CMakeFiles/veal_fuzz.dir/driver.cc.o"
+  "CMakeFiles/veal_fuzz.dir/driver.cc.o.d"
+  "CMakeFiles/veal_fuzz.dir/oracle.cc.o"
+  "CMakeFiles/veal_fuzz.dir/oracle.cc.o.d"
+  "CMakeFiles/veal_fuzz.dir/shrinker.cc.o"
+  "CMakeFiles/veal_fuzz.dir/shrinker.cc.o.d"
+  "libveal_fuzz.a"
+  "libveal_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veal_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/veal/ir/loop.cc" "src/veal/ir/CMakeFiles/veal_ir.dir/loop.cc.o" "gcc" "src/veal/ir/CMakeFiles/veal_ir.dir/loop.cc.o.d"
+  "/root/repo/src/veal/ir/loop_analysis.cc" "src/veal/ir/CMakeFiles/veal_ir.dir/loop_analysis.cc.o" "gcc" "src/veal/ir/CMakeFiles/veal_ir.dir/loop_analysis.cc.o.d"
+  "/root/repo/src/veal/ir/loop_builder.cc" "src/veal/ir/CMakeFiles/veal_ir.dir/loop_builder.cc.o" "gcc" "src/veal/ir/CMakeFiles/veal_ir.dir/loop_builder.cc.o.d"
+  "/root/repo/src/veal/ir/loop_parser.cc" "src/veal/ir/CMakeFiles/veal_ir.dir/loop_parser.cc.o" "gcc" "src/veal/ir/CMakeFiles/veal_ir.dir/loop_parser.cc.o.d"
+  "/root/repo/src/veal/ir/opcode.cc" "src/veal/ir/CMakeFiles/veal_ir.dir/opcode.cc.o" "gcc" "src/veal/ir/CMakeFiles/veal_ir.dir/opcode.cc.o.d"
+  "/root/repo/src/veal/ir/operation.cc" "src/veal/ir/CMakeFiles/veal_ir.dir/operation.cc.o" "gcc" "src/veal/ir/CMakeFiles/veal_ir.dir/operation.cc.o.d"
+  "/root/repo/src/veal/ir/random_loop.cc" "src/veal/ir/CMakeFiles/veal_ir.dir/random_loop.cc.o" "gcc" "src/veal/ir/CMakeFiles/veal_ir.dir/random_loop.cc.o.d"
+  "/root/repo/src/veal/ir/scc.cc" "src/veal/ir/CMakeFiles/veal_ir.dir/scc.cc.o" "gcc" "src/veal/ir/CMakeFiles/veal_ir.dir/scc.cc.o.d"
+  "/root/repo/src/veal/ir/transforms.cc" "src/veal/ir/CMakeFiles/veal_ir.dir/transforms.cc.o" "gcc" "src/veal/ir/CMakeFiles/veal_ir.dir/transforms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/veal/support/CMakeFiles/veal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

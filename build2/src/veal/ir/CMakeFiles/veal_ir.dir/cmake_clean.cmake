@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veal_ir.dir/loop.cc.o"
+  "CMakeFiles/veal_ir.dir/loop.cc.o.d"
+  "CMakeFiles/veal_ir.dir/loop_analysis.cc.o"
+  "CMakeFiles/veal_ir.dir/loop_analysis.cc.o.d"
+  "CMakeFiles/veal_ir.dir/loop_builder.cc.o"
+  "CMakeFiles/veal_ir.dir/loop_builder.cc.o.d"
+  "CMakeFiles/veal_ir.dir/loop_parser.cc.o"
+  "CMakeFiles/veal_ir.dir/loop_parser.cc.o.d"
+  "CMakeFiles/veal_ir.dir/opcode.cc.o"
+  "CMakeFiles/veal_ir.dir/opcode.cc.o.d"
+  "CMakeFiles/veal_ir.dir/operation.cc.o"
+  "CMakeFiles/veal_ir.dir/operation.cc.o.d"
+  "CMakeFiles/veal_ir.dir/random_loop.cc.o"
+  "CMakeFiles/veal_ir.dir/random_loop.cc.o.d"
+  "CMakeFiles/veal_ir.dir/scc.cc.o"
+  "CMakeFiles/veal_ir.dir/scc.cc.o.d"
+  "CMakeFiles/veal_ir.dir/transforms.cc.o"
+  "CMakeFiles/veal_ir.dir/transforms.cc.o.d"
+  "libveal_ir.a"
+  "libveal_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veal_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/veal/sched/mii.cc" "src/veal/sched/CMakeFiles/veal_sched.dir/mii.cc.o" "gcc" "src/veal/sched/CMakeFiles/veal_sched.dir/mii.cc.o.d"
+  "/root/repo/src/veal/sched/mrt.cc" "src/veal/sched/CMakeFiles/veal_sched.dir/mrt.cc.o" "gcc" "src/veal/sched/CMakeFiles/veal_sched.dir/mrt.cc.o.d"
+  "/root/repo/src/veal/sched/priority.cc" "src/veal/sched/CMakeFiles/veal_sched.dir/priority.cc.o" "gcc" "src/veal/sched/CMakeFiles/veal_sched.dir/priority.cc.o.d"
+  "/root/repo/src/veal/sched/register_alloc.cc" "src/veal/sched/CMakeFiles/veal_sched.dir/register_alloc.cc.o" "gcc" "src/veal/sched/CMakeFiles/veal_sched.dir/register_alloc.cc.o.d"
+  "/root/repo/src/veal/sched/sched_graph.cc" "src/veal/sched/CMakeFiles/veal_sched.dir/sched_graph.cc.o" "gcc" "src/veal/sched/CMakeFiles/veal_sched.dir/sched_graph.cc.o.d"
+  "/root/repo/src/veal/sched/schedule.cc" "src/veal/sched/CMakeFiles/veal_sched.dir/schedule.cc.o" "gcc" "src/veal/sched/CMakeFiles/veal_sched.dir/schedule.cc.o.d"
+  "/root/repo/src/veal/sched/scheduler.cc" "src/veal/sched/CMakeFiles/veal_sched.dir/scheduler.cc.o" "gcc" "src/veal/sched/CMakeFiles/veal_sched.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/veal/cca/CMakeFiles/veal_cca.dir/DependInfo.cmake"
+  "/root/repo/build2/src/veal/fault/CMakeFiles/veal_fault.dir/DependInfo.cmake"
+  "/root/repo/build2/src/veal/arch/CMakeFiles/veal_arch.dir/DependInfo.cmake"
+  "/root/repo/build2/src/veal/ir/CMakeFiles/veal_ir.dir/DependInfo.cmake"
+  "/root/repo/build2/src/veal/support/CMakeFiles/veal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veal_sched.dir/mii.cc.o"
+  "CMakeFiles/veal_sched.dir/mii.cc.o.d"
+  "CMakeFiles/veal_sched.dir/mrt.cc.o"
+  "CMakeFiles/veal_sched.dir/mrt.cc.o.d"
+  "CMakeFiles/veal_sched.dir/priority.cc.o"
+  "CMakeFiles/veal_sched.dir/priority.cc.o.d"
+  "CMakeFiles/veal_sched.dir/register_alloc.cc.o"
+  "CMakeFiles/veal_sched.dir/register_alloc.cc.o.d"
+  "CMakeFiles/veal_sched.dir/sched_graph.cc.o"
+  "CMakeFiles/veal_sched.dir/sched_graph.cc.o.d"
+  "CMakeFiles/veal_sched.dir/schedule.cc.o"
+  "CMakeFiles/veal_sched.dir/schedule.cc.o.d"
+  "CMakeFiles/veal_sched.dir/scheduler.cc.o"
+  "CMakeFiles/veal_sched.dir/scheduler.cc.o.d"
+  "libveal_sched.a"
+  "libveal_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veal_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veal_sim.dir/cpu_sim.cc.o"
+  "CMakeFiles/veal_sim.dir/cpu_sim.cc.o.d"
+  "CMakeFiles/veal_sim.dir/interpreter.cc.o"
+  "CMakeFiles/veal_sim.dir/interpreter.cc.o.d"
+  "CMakeFiles/veal_sim.dir/la_executor.cc.o"
+  "CMakeFiles/veal_sim.dir/la_executor.cc.o.d"
+  "CMakeFiles/veal_sim.dir/la_timing.cc.o"
+  "CMakeFiles/veal_sim.dir/la_timing.cc.o.d"
+  "libveal_sim.a"
+  "libveal_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veal_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

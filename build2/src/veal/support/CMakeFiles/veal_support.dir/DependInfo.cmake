@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/veal/support/cost_meter.cc" "src/veal/support/CMakeFiles/veal_support.dir/cost_meter.cc.o" "gcc" "src/veal/support/CMakeFiles/veal_support.dir/cost_meter.cc.o.d"
+  "/root/repo/src/veal/support/logging.cc" "src/veal/support/CMakeFiles/veal_support.dir/logging.cc.o" "gcc" "src/veal/support/CMakeFiles/veal_support.dir/logging.cc.o.d"
+  "/root/repo/src/veal/support/metrics/metrics.cc" "src/veal/support/CMakeFiles/veal_support.dir/metrics/metrics.cc.o" "gcc" "src/veal/support/CMakeFiles/veal_support.dir/metrics/metrics.cc.o.d"
+  "/root/repo/src/veal/support/table.cc" "src/veal/support/CMakeFiles/veal_support.dir/table.cc.o" "gcc" "src/veal/support/CMakeFiles/veal_support.dir/table.cc.o.d"
+  "/root/repo/src/veal/support/thread_pool.cc" "src/veal/support/CMakeFiles/veal_support.dir/thread_pool.cc.o" "gcc" "src/veal/support/CMakeFiles/veal_support.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

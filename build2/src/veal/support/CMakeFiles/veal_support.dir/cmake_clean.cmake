@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veal_support.dir/cost_meter.cc.o"
+  "CMakeFiles/veal_support.dir/cost_meter.cc.o.d"
+  "CMakeFiles/veal_support.dir/logging.cc.o"
+  "CMakeFiles/veal_support.dir/logging.cc.o.d"
+  "CMakeFiles/veal_support.dir/metrics/metrics.cc.o"
+  "CMakeFiles/veal_support.dir/metrics/metrics.cc.o.d"
+  "CMakeFiles/veal_support.dir/table.cc.o"
+  "CMakeFiles/veal_support.dir/table.cc.o.d"
+  "CMakeFiles/veal_support.dir/thread_pool.cc.o"
+  "CMakeFiles/veal_support.dir/thread_pool.cc.o.d"
+  "libveal_support.a"
+  "libveal_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veal_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

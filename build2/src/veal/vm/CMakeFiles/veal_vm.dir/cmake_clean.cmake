@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veal_vm.dir/code_cache.cc.o"
+  "CMakeFiles/veal_vm.dir/code_cache.cc.o.d"
+  "CMakeFiles/veal_vm.dir/control_image.cc.o"
+  "CMakeFiles/veal_vm.dir/control_image.cc.o.d"
+  "CMakeFiles/veal_vm.dir/translator.cc.o"
+  "CMakeFiles/veal_vm.dir/translator.cc.o.d"
+  "CMakeFiles/veal_vm.dir/vm.cc.o"
+  "CMakeFiles/veal_vm.dir/vm.cc.o.d"
+  "libveal_vm.a"
+  "libveal_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veal_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veal_workloads.dir/kernels.cc.o"
+  "CMakeFiles/veal_workloads.dir/kernels.cc.o.d"
+  "CMakeFiles/veal_workloads.dir/suite.cc.o"
+  "CMakeFiles/veal_workloads.dir/suite.cc.o.d"
+  "libveal_workloads.a"
+  "libveal_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veal_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

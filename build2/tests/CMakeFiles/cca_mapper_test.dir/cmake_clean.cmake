@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cca_mapper_test.dir/cca_mapper_test.cc.o"
+  "CMakeFiles/cca_mapper_test.dir/cca_mapper_test.cc.o.d"
+  "cca_mapper_test"
+  "cca_mapper_test.pdb"
+  "cca_mapper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cca_mapper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_sweep_test.dir/explore_sweep_test.cc.o"
+  "CMakeFiles/explore_sweep_test.dir/explore_sweep_test.cc.o.d"
+  "explore_sweep_test"
+  "explore_sweep_test.pdb"
+  "explore_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_corpus_test.dir/fuzz_corpus_test.cc.o"
+  "CMakeFiles/fuzz_corpus_test.dir/fuzz_corpus_test.cc.o.d"
+  "fuzz_corpus_test"
+  "fuzz_corpus_test.pdb"
+  "fuzz_corpus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_corpus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_driver_test.dir/fuzz_driver_test.cc.o"
+  "CMakeFiles/fuzz_driver_test.dir/fuzz_driver_test.cc.o.d"
+  "fuzz_driver_test"
+  "fuzz_driver_test.pdb"
+  "fuzz_driver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_shrinker_test.dir/fuzz_shrinker_test.cc.o"
+  "CMakeFiles/fuzz_shrinker_test.dir/fuzz_shrinker_test.cc.o.d"
+  "fuzz_shrinker_test"
+  "fuzz_shrinker_test.pdb"
+  "fuzz_shrinker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_shrinker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_analysis_test.dir/ir_analysis_test.cc.o"
+  "CMakeFiles/ir_analysis_test.dir/ir_analysis_test.cc.o.d"
+  "ir_analysis_test"
+  "ir_analysis_test.pdb"
+  "ir_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_loop_test.dir/ir_loop_test.cc.o"
+  "CMakeFiles/ir_loop_test.dir/ir_loop_test.cc.o.d"
+  "ir_loop_test"
+  "ir_loop_test.pdb"
+  "ir_loop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_loop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

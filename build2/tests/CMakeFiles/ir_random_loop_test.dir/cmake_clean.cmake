@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_random_loop_test.dir/ir_random_loop_test.cc.o"
+  "CMakeFiles/ir_random_loop_test.dir/ir_random_loop_test.cc.o.d"
+  "ir_random_loop_test"
+  "ir_random_loop_test.pdb"
+  "ir_random_loop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_random_loop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

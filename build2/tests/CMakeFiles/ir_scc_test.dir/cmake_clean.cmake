@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_scc_test.dir/ir_scc_test.cc.o"
+  "CMakeFiles/ir_scc_test.dir/ir_scc_test.cc.o.d"
+  "ir_scc_test"
+  "ir_scc_test.pdb"
+  "ir_scc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_scc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

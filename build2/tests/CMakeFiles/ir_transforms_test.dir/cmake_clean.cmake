@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_transforms_test.dir/ir_transforms_test.cc.o"
+  "CMakeFiles/ir_transforms_test.dir/ir_transforms_test.cc.o.d"
+  "ir_transforms_test"
+  "ir_transforms_test.pdb"
+  "ir_transforms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_transforms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_figure5_test.dir/paper_figure5_test.cc.o"
+  "CMakeFiles/paper_figure5_test.dir/paper_figure5_test.cc.o.d"
+  "paper_figure5_test"
+  "paper_figure5_test.pdb"
+  "paper_figure5_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_figure5_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

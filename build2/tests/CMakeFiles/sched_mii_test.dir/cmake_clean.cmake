@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_mii_test.dir/sched_mii_test.cc.o"
+  "CMakeFiles/sched_mii_test.dir/sched_mii_test.cc.o.d"
+  "sched_mii_test"
+  "sched_mii_test.pdb"
+  "sched_mii_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_mii_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_mrt_test.dir/sched_mrt_test.cc.o"
+  "CMakeFiles/sched_mrt_test.dir/sched_mrt_test.cc.o.d"
+  "sched_mrt_test"
+  "sched_mrt_test.pdb"
+  "sched_mrt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_mrt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

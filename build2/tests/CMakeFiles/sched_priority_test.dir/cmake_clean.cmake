@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_priority_test.dir/sched_priority_test.cc.o"
+  "CMakeFiles/sched_priority_test.dir/sched_priority_test.cc.o.d"
+  "sched_priority_test"
+  "sched_priority_test.pdb"
+  "sched_priority_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_priority_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_register_alloc_test.dir/sched_register_alloc_test.cc.o"
+  "CMakeFiles/sched_register_alloc_test.dir/sched_register_alloc_test.cc.o.d"
+  "sched_register_alloc_test"
+  "sched_register_alloc_test.pdb"
+  "sched_register_alloc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_register_alloc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_scheduler_test.dir/sched_scheduler_test.cc.o"
+  "CMakeFiles/sched_scheduler_test.dir/sched_scheduler_test.cc.o.d"
+  "sched_scheduler_test"
+  "sched_scheduler_test.pdb"
+  "sched_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

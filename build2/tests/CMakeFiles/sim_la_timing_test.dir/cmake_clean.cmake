@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_la_timing_test.dir/sim_la_timing_test.cc.o"
+  "CMakeFiles/sim_la_timing_test.dir/sim_la_timing_test.cc.o.d"
+  "sim_la_timing_test"
+  "sim_la_timing_test.pdb"
+  "sim_la_timing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_la_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_cost_meter_test.dir/support_cost_meter_test.cc.o"
+  "CMakeFiles/support_cost_meter_test.dir/support_cost_meter_test.cc.o.d"
+  "support_cost_meter_test"
+  "support_cost_meter_test.pdb"
+  "support_cost_meter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_cost_meter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_metrics_test.dir/support_metrics_test.cc.o"
+  "CMakeFiles/support_metrics_test.dir/support_metrics_test.cc.o.d"
+  "support_metrics_test"
+  "support_metrics_test.pdb"
+  "support_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

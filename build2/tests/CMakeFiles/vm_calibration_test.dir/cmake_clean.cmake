@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_calibration_test.dir/vm_calibration_test.cc.o"
+  "CMakeFiles/vm_calibration_test.dir/vm_calibration_test.cc.o.d"
+  "vm_calibration_test"
+  "vm_calibration_test.pdb"
+  "vm_calibration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_calibration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

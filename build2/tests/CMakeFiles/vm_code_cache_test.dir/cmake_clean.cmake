@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_code_cache_test.dir/vm_code_cache_test.cc.o"
+  "CMakeFiles/vm_code_cache_test.dir/vm_code_cache_test.cc.o.d"
+  "vm_code_cache_test"
+  "vm_code_cache_test.pdb"
+  "vm_code_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_code_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_control_image_test.dir/vm_control_image_test.cc.o"
+  "CMakeFiles/vm_control_image_test.dir/vm_control_image_test.cc.o.d"
+  "vm_control_image_test"
+  "vm_control_image_test.pdb"
+  "vm_control_image_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_control_image_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_fault_ladder_test.dir/vm_fault_ladder_test.cc.o"
+  "CMakeFiles/vm_fault_ladder_test.dir/vm_fault_ladder_test.cc.o.d"
+  "vm_fault_ladder_test"
+  "vm_fault_ladder_test.pdb"
+  "vm_fault_ladder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_fault_ladder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

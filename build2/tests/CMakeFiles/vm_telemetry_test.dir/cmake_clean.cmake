@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_telemetry_test.dir/vm_telemetry_test.cc.o"
+  "CMakeFiles/vm_telemetry_test.dir/vm_telemetry_test.cc.o.d"
+  "vm_telemetry_test"
+  "vm_telemetry_test.pdb"
+  "vm_telemetry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_telemetry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veal-faultsim.dir/veal_faultsim_main.cc.o"
+  "CMakeFiles/veal-faultsim.dir/veal_faultsim_main.cc.o.d"
+  "veal-faultsim"
+  "veal-faultsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veal-faultsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

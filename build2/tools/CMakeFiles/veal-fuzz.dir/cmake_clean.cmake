@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veal-fuzz.dir/veal_fuzz_main.cc.o"
+  "CMakeFiles/veal-fuzz.dir/veal_fuzz_main.cc.o.d"
+  "veal-fuzz"
+  "veal-fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veal-fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
