@@ -1,0 +1,46 @@
+/**
+ * Translation-throughput bench: the full suite through the VM, timed.
+ *
+ * Modeled quantities (translated-loop counts, phase-cycle totals) go to
+ * stdout -- they are pure functions of the work, byte-identical for any
+ * --threads or --runs.  Wall-clock throughput goes to stderr, like every
+ * timing line in this repo, so determinism gates can diff stdout alone.
+ * tools/veal-bench is the full driver (JSON trajectory, baselines); this
+ * bench is the quick in-tree smoke over the same engine.
+ */
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench/throughput.h"
+#include "veal/support/table.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace veal;
+    auto options = bench::parseThroughputCli(argc, argv);
+    const auto report = bench::runTranslationThroughput(options);
+
+    std::printf("VEAL bench: translation throughput, %s suite "
+                "(fully dynamic, proposed LA)\n\n",
+                report.suite.c_str());
+    TextTable table({"quantity", "value"});
+    table.addRow({"pieces/run", std::to_string(report.pieces_per_run)});
+    table.addRow({"translated loops/run",
+                  std::to_string(report.translated_loops_per_run)});
+    table.addRow({"loop ops/run", std::to_string(report.ops_per_run)});
+    for (const auto& [phase, cycles] : report.phase_cycles)
+        table.addRow({"phase cycles: " + phase, std::to_string(cycles)});
+    table.addRow({"phase cycles: total",
+                  std::to_string(report.phase_cycles_per_run)});
+    std::printf("%s", table.render().c_str());
+
+    std::fprintf(stderr,
+                 "veal-bench: %.1f translated loops/s, %.0f ops/s, "
+                 "p50 %.2f ms, p95 %.2f ms (%d runs, %d threads)\n",
+                 report.translated_loops_per_sec, report.ops_per_sec,
+                 report.p50_wall_ms, report.p95_wall_ms, report.runs,
+                 report.threads);
+    return 0;
+}

@@ -1,0 +1,340 @@
+#include "bench/throughput.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "veal/arch/la_config.h"
+#include "veal/explore/sweep.h"
+#include "veal/support/assert.h"
+#include "veal/support/logging.h"
+#include "veal/workloads/suite.h"
+
+namespace veal::bench {
+
+namespace {
+
+void
+printUsage(std::FILE* out, const char* argv0)
+{
+    std::fprintf(
+        out,
+        "usage: %s [--runs N] [--threads N] [--suite NAME] [--json FILE]\n"
+        "       [--baseline-json FILE] [--metrics-json FILE] "
+        "[--commit SHA]\n"
+        "  --runs N             timed passes of the suite through the VM "
+        "(default 5)\n"
+        "  --threads N          sweep worker threads (default: all "
+        "hardware threads)\n"
+        "  --suite NAME         media-fp (default) or integer\n"
+        "  --json FILE          write the veal-bench-v1 report "
+        "(BENCH_translation.json)\n"
+        "  --baseline-json FILE previous veal-bench-v1 file to compare "
+        "against\n"
+        "  --metrics-json FILE  write a veal-metrics-v1 snapshot "
+        "(byte-identical\n"
+        "                       for any --threads at a fixed --runs)\n"
+        "  --commit SHA         commit id recorded in the report\n",
+        argv0);
+}
+
+[[noreturn]] void
+usageError(const char* argv0, const std::string& message)
+{
+    std::fprintf(stderr, "%s: %s\n", argv0, message.c_str());
+    printUsage(stderr, argv0);
+    std::exit(2);
+}
+
+/** Strict decimal parse: "12abc" is an error, not 12. */
+bool
+parsePositiveInt(const char* text, int* out)
+{
+    const std::string token(text);
+    if (token.empty() || token.size() > 9 ||
+        token.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    *out = std::atoi(text);
+    return *out > 0;
+}
+
+/** Nearest-rank quantile over a sorted sample. */
+double
+quantile(const std::vector<double>& sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const auto index = static_cast<std::size_t>(std::llround(
+        q * static_cast<double>(sorted.size() - 1)));
+    return sorted[std::min(index, sorted.size() - 1)];
+}
+
+/**
+ * Extract `"key": <number>` from a veal-bench-v1 file.  veal-bench only
+ * ever reads files it wrote itself, so a focused scan beats dragging a
+ * JSON library into the tree; absent keys read as 0.
+ */
+double
+extractNumber(const std::string& text, const std::string& key)
+{
+    const std::string needle = "\"" + key + "\":";
+    const auto at = text.find(needle);
+    if (at == std::string::npos)
+        return 0.0;
+    return std::strtod(text.c_str() + at + needle.size(), nullptr);
+}
+
+std::string
+extractString(const std::string& text, const std::string& key)
+{
+    const std::string needle = "\"" + key + "\": \"";
+    const auto at = text.find(needle);
+    if (at == std::string::npos)
+        return "";
+    const auto start = at + needle.size();
+    const auto end = text.find('"', start);
+    return end == std::string::npos ? "" : text.substr(start, end - start);
+}
+
+std::string
+formatDouble(double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.3f", value);
+    return buffer;
+}
+
+}  // namespace
+
+ThroughputOptions
+parseThroughputCli(int argc, char** argv)
+{
+    ThroughputOptions options;
+    const auto needsValue = [&](int i) {
+        if (i + 1 >= argc) {
+            usageError(argv[0],
+                       std::string(argv[i]) + " needs a value");
+        }
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        if (std::strcmp(arg, "--runs") == 0) {
+            needsValue(i);
+            if (!parsePositiveInt(argv[++i], &options.runs)) {
+                usageError(argv[0],
+                           std::string("--runs wants a positive integer, "
+                                       "got '") +
+                               argv[i] + "'");
+            }
+        } else if (std::strcmp(arg, "--threads") == 0) {
+            needsValue(i);
+            if (!parsePositiveInt(argv[++i], &options.threads)) {
+                usageError(argv[0],
+                           std::string("--threads wants a positive "
+                                       "integer, got '") +
+                               argv[i] + "'");
+            }
+        } else if (std::strcmp(arg, "--suite") == 0) {
+            needsValue(i);
+            options.suite = argv[++i];
+            if (options.suite != "media-fp" && options.suite != "integer") {
+                usageError(argv[0], "--suite wants media-fp or integer, "
+                                    "got '" + options.suite + "'");
+            }
+        } else if (std::strcmp(arg, "--json") == 0) {
+            needsValue(i);
+            options.json_path = argv[++i];
+        } else if (std::strcmp(arg, "--baseline-json") == 0) {
+            needsValue(i);
+            options.baseline_json = argv[++i];
+        } else if (std::strcmp(arg, "--metrics-json") == 0) {
+            needsValue(i);
+            options.metrics_json = argv[++i];
+        } else if (std::strcmp(arg, "--commit") == 0) {
+            needsValue(i);
+            options.commit = argv[++i];
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            printUsage(stdout, argv[0]);
+            std::exit(0);
+        } else {
+            usageError(argv[0],
+                       std::string("unknown argument '") + arg + "'");
+        }
+    }
+    return options;
+}
+
+std::string
+ThroughputReport::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"schema\": \"veal-bench-v1\",\n";
+    os << "  \"suite\": \"" << suite << "\",\n";
+    os << "  \"commit\": \"" << commit << "\",\n";
+    os << "  \"threads\": " << threads << ",\n";
+    os << "  \"runs\": " << runs << ",\n";
+    os << "  \"pieces_per_run\": " << pieces_per_run << ",\n";
+    os << "  \"ops_per_run\": " << ops_per_run << ",\n";
+    os << "  \"translated_loops_per_run\": " << translated_loops_per_run
+       << ",\n";
+    os << "  \"wall_ms\": {\"p50\": " << formatDouble(p50_wall_ms)
+       << ", \"p95\": " << formatDouble(p95_wall_ms) << "},\n";
+    os << "  \"translated_loops_per_sec\": "
+       << formatDouble(translated_loops_per_sec) << ",\n";
+    os << "  \"ops_per_sec\": " << formatDouble(ops_per_sec) << ",\n";
+    os << "  \"cycles_per_translated_op\": "
+       << formatDouble(cycles_per_translated_op) << ",\n";
+    os << "  \"phase_cycles\": {";
+    for (std::size_t i = 0; i < phase_cycles.size(); ++i) {
+        os << (i == 0 ? "" : ", ") << "\"" << phase_cycles[i].first
+           << "\": " << phase_cycles[i].second;
+    }
+    os << "},\n";
+    os << "  \"phase_cycles_total\": " << phase_cycles_per_run << ",\n";
+    os << "  \"baseline\": {\"commit\": \"" << baseline_commit
+       << "\", \"translated_loops_per_sec\": "
+       << formatDouble(baseline_loops_per_sec)
+       << ", \"ops_per_sec\": " << formatDouble(baseline_ops_per_sec)
+       << "},\n";
+    os << "  \"speedup_vs_baseline\": "
+       << formatDouble(speedup_vs_baseline) << "\n";
+    os << "}\n";
+    return os.str();
+}
+
+ThroughputReport
+runTranslationThroughput(const ThroughputOptions& options)
+{
+    ThroughputReport report;
+    report.suite = options.suite;
+    report.commit = options.commit;
+    report.runs = options.runs;
+
+    explore::SweepRunner runner(options.suite == "integer"
+                                    ? integerSuite()
+                                    : mediaFpSuite(),
+                                options.threads);
+    const auto& suite = runner.suite();
+    report.threads = runner.threads();
+
+    for (const auto& benchmark : suite) {
+        for (const auto& site : benchmark.transformed.sites) {
+            if (site.fissioned.empty()) {
+                report.pieces_per_run += 1;
+                report.ops_per_run +=
+                    static_cast<std::int64_t>(site.loop.size());
+            } else {
+                for (const auto& piece : site.fissioned) {
+                    report.pieces_per_run += 1;
+                    report.ops_per_run +=
+                        static_cast<std::int64_t>(piece.size());
+                }
+            }
+        }
+    }
+
+    const LaConfig la = LaConfig::proposed();
+    const int cells = static_cast<int>(suite.size());
+    for (int run = 0; run < options.runs; ++run) {
+        const auto start = std::chrono::steady_clock::now();
+        runner.evaluateCellsMetered(
+            cells, [&](int i, metrics::Registry& registry) {
+                return explore::cellSpeedup(
+                    suite[static_cast<std::size_t>(i)], la,
+                    TranslationMode::kFullyDynamic, nullptr, &registry);
+            });
+        const double ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        report.run_wall_ms.push_back(ms);
+        std::fprintf(stderr, "veal-bench: run %d/%d %.2f ms\n", run + 1,
+                     options.runs, ms);
+
+        if (run == 0) {
+            // Modeled quantities are identical every run (the registry
+            // is a pure function of the work); snapshot them once.
+            const auto& metrics = runner.metrics();
+            report.translated_loops_per_run =
+                metrics.counter("vm.translate.ok");
+            for (int p = 0; p < kNumTranslationPhases; ++p) {
+                const char* phase =
+                    toString(static_cast<TranslationPhase>(p));
+                const std::int64_t cycles = metrics.counter(
+                    std::string("vm.phase_cycles.") + phase);
+                report.phase_cycles.emplace_back(phase, cycles);
+                report.phase_cycles_per_run += cycles;
+            }
+        }
+    }
+
+    // Cross-run determinism audit: N identical passes must have charged
+    // exactly N times the single-run counters.
+    VEAL_ASSERT(runner.metrics().counter("vm.translate.ok") ==
+                    report.translated_loops_per_run * options.runs,
+                "translation outcomes drifted across bench runs");
+
+    std::vector<double> sorted = report.run_wall_ms;
+    std::sort(sorted.begin(), sorted.end());
+    report.p50_wall_ms = quantile(sorted, 0.50);
+    report.p95_wall_ms = quantile(sorted, 0.95);
+    if (report.p50_wall_ms > 0.0) {
+        report.translated_loops_per_sec =
+            static_cast<double>(report.translated_loops_per_run) * 1000.0 /
+            report.p50_wall_ms;
+        report.ops_per_sec =
+            static_cast<double>(report.ops_per_run) * 1000.0 /
+            report.p50_wall_ms;
+    }
+    if (report.ops_per_run > 0) {
+        report.cycles_per_translated_op =
+            static_cast<double>(report.phase_cycles_per_run) /
+            static_cast<double>(report.ops_per_run);
+    }
+
+    if (!options.baseline_json.empty()) {
+        std::ifstream in(options.baseline_json);
+        if (!in) {
+            fatal("cannot read baseline report ", options.baseline_json);
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        const std::string baseline = text.str();
+        if (extractString(baseline, "schema") != "veal-bench-v1") {
+            fatal(options.baseline_json,
+                  " is not a veal-bench-v1 report");
+        }
+        report.baseline_commit = extractString(baseline, "commit");
+        report.baseline_loops_per_sec =
+            extractNumber(baseline, "translated_loops_per_sec");
+        report.baseline_ops_per_sec =
+            extractNumber(baseline, "ops_per_sec");
+        if (report.baseline_loops_per_sec > 0.0) {
+            report.speedup_vs_baseline =
+                report.translated_loops_per_sec /
+                report.baseline_loops_per_sec;
+        }
+    }
+
+    if (!options.json_path.empty()) {
+        std::ofstream out(options.json_path);
+        out << report.toJson();
+        if (!out) {
+            fatal("cannot write bench report to ", options.json_path);
+        }
+    }
+    if (!options.metrics_json.empty() &&
+        !metrics::writeSnapshot(runner.metrics(), options.metrics_json)) {
+        fatal("cannot write metrics snapshot to ", options.metrics_json);
+    }
+    return report;
+}
+
+}  // namespace veal::bench

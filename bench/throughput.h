@@ -1,0 +1,117 @@
+#ifndef VEAL_BENCH_THROUGHPUT_H_
+#define VEAL_BENCH_THROUGHPUT_H_
+
+/**
+ * @file
+ * End-to-end translation-throughput measurement (the veal-bench engine).
+ *
+ * One *run* pushes the full workload suite through the VM exactly the
+ * way the paper's figures do (one VirtualMachine per benchmark, fully
+ * dynamic translation on the proposed LA), fanned over a SweepRunner so
+ * --threads scales the measurement while the metrics snapshot stays
+ * byte-identical.  Wall-clock timing wraps each run; everything modeled
+ * (translated-loop counts, phase cycles) is read back from the PR-3
+ * metrics registry, so veal-bench can never disagree with --metrics-json.
+ *
+ * The JSON this emits (BENCH_translation.json, schema veal-bench-v1) is
+ * the unit of the repo's performance trajectory: each entry records
+ * suite, commit, threads, throughput, p50/p95 wall ms, and the
+ * phase-cycle totals, plus the baseline entry it was compared against.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "veal/support/metrics/metrics.h"
+
+namespace veal::bench {
+
+/** Knobs for one veal-bench invocation. */
+struct ThroughputOptions {
+    /** Timed passes of the whole suite through the VM. */
+    int runs = 5;
+
+    /** Sweep pool width; <= 0 selects ThreadPool::defaultThreads(). */
+    int threads = 0;
+
+    /** "media-fp" (the evaluation suite) or "integer". */
+    std::string suite = "media-fp";
+
+    /** Recorded verbatim in the JSON ("unknown" when not provided). */
+    std::string commit = "unknown";
+
+    /** When non-empty, write BENCH_translation.json here. */
+    std::string json_path;
+
+    /**
+     * When non-empty, a previous veal-bench-v1 file whose throughput
+     * numbers are embedded as the "baseline" block (with the measured
+     * speedup ratio), growing the trajectory one comparison at a time.
+     */
+    std::string baseline_json;
+
+    /** When non-empty, write the veal-metrics-v1 snapshot here. */
+    std::string metrics_json;
+};
+
+/** Everything one veal-bench invocation measured. */
+struct ThroughputReport {
+    std::string suite;
+    std::string commit;
+    int runs = 0;
+    int threads = 0;
+
+    /** Static suite shape: pieces the VM attempts per run. */
+    std::int64_t pieces_per_run = 0;
+    /** Total loop operations across those pieces. */
+    std::int64_t ops_per_run = 0;
+
+    /** vm.translate.ok for a single run (modeled, thread-independent). */
+    std::int64_t translated_loops_per_run = 0;
+    /** Sum of vm.phase_cycles.* for a single run. */
+    std::int64_t phase_cycles_per_run = 0;
+    /** Per-phase modeled translation cycles for a single run. */
+    std::vector<std::pair<std::string, std::int64_t>> phase_cycles;
+
+    /** Wall milliseconds per run, in execution order. */
+    std::vector<double> run_wall_ms;
+    double p50_wall_ms = 0.0;
+    double p95_wall_ms = 0.0;
+
+    /** translated_loops_per_run / p50 wall seconds. */
+    double translated_loops_per_sec = 0.0;
+    /** ops_per_run / p50 wall seconds. */
+    double ops_per_sec = 0.0;
+    /** phase_cycles_per_run / ops_per_run: modeled cost density. */
+    double cycles_per_translated_op = 0.0;
+
+    /** Baseline comparison (zeros until --baseline-json is given). */
+    std::string baseline_commit;
+    double baseline_loops_per_sec = 0.0;
+    double baseline_ops_per_sec = 0.0;
+    /** translated_loops_per_sec / baseline_loops_per_sec (0 = none). */
+    double speedup_vs_baseline = 0.0;
+
+    /** The veal-bench-v1 JSON rendering of this report. */
+    std::string toJson() const;
+};
+
+/**
+ * Run the measurement: @p options.runs timed passes of the suite through
+ * the VM.  Writes the JSON / metrics snapshots when the paths are set
+ * (fatal on I/O error) and prints per-run timing to stderr only.
+ */
+ThroughputReport runTranslationThroughput(const ThroughputOptions& options);
+
+/**
+ * Parse a veal-bench CLI (--runs, --threads, --suite, --json,
+ * --baseline-json, --metrics-json, --commit).  Unknown flags and
+ * malformed values print usage to stderr and exit 2, like every other
+ * bench in this repo.
+ */
+ThroughputOptions parseThroughputCli(int argc, char** argv);
+
+}  // namespace veal::bench
+
+#endif  // VEAL_BENCH_THROUGHPUT_H_

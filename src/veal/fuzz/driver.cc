@@ -3,8 +3,14 @@
 #include <iomanip>
 #include <sstream>
 
+#include "veal/cca/cca_mapper.h"
 #include "veal/ir/loop_parser.h"
 #include "veal/ir/random_loop.h"
+#include "veal/sched/mii.h"
+#include "veal/sched/priority.h"
+#include "veal/sched/reference.h"
+#include "veal/sched/schedule.h"
+#include "veal/sched/scheduler.h"
 #include "veal/support/rng.h"
 #include "veal/support/thread_pool.h"
 
@@ -110,6 +116,110 @@ makeFuzzCasePlanSeed(std::uint64_t fault_seed, int case_index)
     return mixSeed(fault_seed, case_index, 0xfa117ull);
 }
 
+OracleReport
+runSchedDiffCase(const Loop& loop, const LaConfig& config,
+                 TranslationMode mode)
+{
+    OracleReport report;
+    auto diverge = [&report](std::string detail) -> OracleReport& {
+        report.outcome = OracleOutcome::kDivergence;
+        report.detail = std::move(detail);
+        return report;
+    };
+
+    const LoopAnalysis analysis = analyzeLoop(loop);
+    if (!analysis.ok()) {
+        report.outcome = OracleOutcome::kTranslatorReject;
+        report.detail = "analysis: " + analysis.reject_detail;
+        return report;
+    }
+    const CcaMapping mapping =
+        config.hasCca()
+            ? mapToCca(loop, analysis, *config.cca, config.latencies)
+            : emptyCcaMapping(loop);
+    const SchedGraph graph(loop, analysis, mapping, config);
+
+    CostMeter opt_meter;
+    CostMeter ref_meter;
+
+    const int opt_rec = recMii(graph, &opt_meter);
+    const int ref_rec = reference::recMii(graph, &ref_meter);
+    if (opt_rec != ref_rec) {
+        return diverge("recMii " + std::to_string(opt_rec) +
+                       " != reference " + std::to_string(ref_rec));
+    }
+    const int res = resMii(graph, config);
+    if (res >= LaConfig::kUnlimited) {
+        report.outcome = OracleOutcome::kTranslatorReject;
+        report.detail = "no FU class for some unit";
+        return report;
+    }
+    const int mii = std::max(res, opt_rec);
+
+    const bool height = mode == TranslationMode::kFullyDynamicHeight;
+    const NodeOrder opt_order =
+        height ? computeHeightOrder(graph, mii, &opt_meter)
+               : computeSwingOrder(graph, mii, &opt_meter);
+    const NodeOrder ref_order =
+        height ? reference::computeHeightOrder(graph, mii, &ref_meter)
+               : reference::computeSwingOrder(graph, mii, &ref_meter);
+    if (opt_order.sequence != ref_order.sequence)
+        return diverge("priority sequence differs");
+    if (opt_order.place_late != ref_order.place_late)
+        return diverge("place_late mask differs");
+
+    SchedulerStats opt_stats;
+    SchedulerStats ref_stats;
+    const auto opt_schedule = scheduleLoop(graph, config, opt_order, mii,
+                                           &opt_meter, &opt_stats);
+    const auto ref_schedule = reference::scheduleLoop(
+        graph, config, ref_order, mii, &ref_meter, &ref_stats);
+    if (opt_schedule.has_value() != ref_schedule.has_value()) {
+        return diverge(std::string("schedulability differs: optimized ") +
+                       (opt_schedule ? "ok" : "fail") + ", reference " +
+                       (ref_schedule ? "ok" : "fail"));
+    }
+    if (opt_stats.attempted_iis != ref_stats.attempted_iis ||
+        opt_stats.placement_failures != ref_stats.placement_failures)
+        return diverge("II-search trail differs");
+
+    if (opt_schedule.has_value()) {
+        report.ii = opt_schedule->ii;
+        if (opt_schedule->ii > ref_schedule->ii) {
+            return diverge("II " + std::to_string(opt_schedule->ii) +
+                           " worse than reference " +
+                           std::to_string(ref_schedule->ii));
+        }
+        if (opt_schedule->time != ref_schedule->time ||
+            opt_schedule->fu_instance != ref_schedule->fu_instance ||
+            opt_schedule->stage_count != ref_schedule->stage_count ||
+            opt_schedule->length != ref_schedule->length)
+            return diverge("schedule contents differ");
+        if (const auto error =
+                validateSchedule(graph, config, *opt_schedule)) {
+            report.outcome = OracleOutcome::kValidatorReject;
+            std::ostringstream os;
+            os << *error;
+            report.detail = os.str();
+            return report;
+        }
+    } else {
+        report.outcome = OracleOutcome::kTranslatorReject;
+        report.detail = "no II admits a schedule";
+    }
+
+    for (int p = 0; p < kNumTranslationPhases; ++p) {
+        const auto phase = static_cast<TranslationPhase>(p);
+        if (opt_meter.units(phase) != ref_meter.units(phase)) {
+            return diverge(
+                std::string("charge drift in ") + toString(phase) + ": " +
+                std::to_string(opt_meter.units(phase)) + " != " +
+                std::to_string(ref_meter.units(phase)));
+        }
+    }
+    return report;
+}
+
 TranslationMode
 makeFuzzCaseMode(std::uint64_t campaign_seed, int case_index)
 {
@@ -197,9 +307,12 @@ runFuzz(const FuzzOptions& options, metrics::Registry* registry)
                 makeFuzzCasePlanSeed(*options.fault_seed, index));
         }
         const Loop loop = makeFuzzCaseLoop(options.seed, index);
-        const OracleReport report = runOracle(
-            loop, preset.config, makeFuzzCaseSeed(options.seed, index),
-            oracle);
+        const OracleReport report =
+            options.sched_diff
+                ? runSchedDiffCase(loop, preset.config, oracle.mode)
+                : runOracle(loop, preset.config,
+                            makeFuzzCaseSeed(options.seed, index),
+                            oracle);
         return CaseResult{report.outcome, report.detail, loop.size()};
     };
 
@@ -246,15 +359,19 @@ runFuzz(const FuzzOptions& options, metrics::Registry* registry)
                 makeFuzzCasePlanSeed(*options.fault_seed, index));
         }
         if (options.shrink) {
+            const auto rerun = [&](const Loop& candidate) {
+                return options.sched_diff
+                           ? runSchedDiffCase(candidate, preset.config,
+                                              oracle.mode)
+                           : runOracle(candidate, preset.config,
+                                       failure.case_seed, oracle);
+            };
             const auto still_fails = [&](const Loop& candidate) {
-                return runOracle(candidate, preset.config,
-                                 failure.case_seed, oracle)
-                           .outcome == result.outcome;
+                return rerun(candidate).outcome == result.outcome;
             };
             repro = shrinkLoop(repro, still_fails);
             // Re-run the shrunk repro for the final detail text.
-            failure.report = runOracle(repro, preset.config,
-                                       failure.case_seed, oracle);
+            failure.report = rerun(repro);
         }
         failure.ops_after = repro.size();
         failure.loop_text = printLoop(repro);

@@ -72,7 +72,29 @@ struct FuzzOptions {
      * against an injected bug.  Never set during real fuzzing.
      */
     std::function<void(TranslationResult&)> perturb;
+
+    /**
+     * Schedule-equivalence campaign (--sched-diff): instead of the
+     * execution oracle, diff the optimized translation kernels (RecMII,
+     * priority order, modulo scheduler, CostMeter charges) against the
+     * frozen reference implementations in sched/reference.h.  Any
+     * divergence -- different schedule, different II-search trail, or a
+     * single drifted work unit -- reports as a failure and flows through
+     * the same shrink/corpus pipeline.  fault_seed and perturb are
+     * ignored in this mode.
+     */
+    bool sched_diff = false;
 };
+
+/**
+ * Run one --sched-diff case: translate @p loop's scheduling problem with
+ * both kernel families and compare everything observable.  kPass when
+ * they agree (including when both reject), kDivergence with a first-
+ * mismatch detail otherwise, kValidatorReject when the agreed schedule
+ * fails oracle-grade validation.
+ */
+OracleReport runSchedDiffCase(const Loop& loop, const LaConfig& config,
+                              TranslationMode mode);
 
 /** One failing case, post-shrink when shrinking is on. */
 struct FuzzFailure {

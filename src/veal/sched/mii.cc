@@ -9,25 +9,23 @@ namespace veal {
 namespace {
 
 /**
- * Longest-path Bellman-Ford positive-cycle test restricted to units where
- * @p member is true (empty @p member means "all units").
+ * Longest-path Bellman-Ford positive-cycle test over @p edges, which is
+ * either the full edge list or the member-filtered subset.  Non-member
+ * edges never relax and never charge, so filtering them out *before* the
+ * rounds (instead of testing membership per edge per round per candidate
+ * II) leaves the charge sequence bit-identical.  @p dist is caller-owned
+ * scratch, reused across the candidate IIs of one binary search.
  */
 bool
-positiveCycle(const SchedGraph& graph, int ii,
-              const std::vector<bool>& member, CostMeter* meter,
+positiveCycle(int n, const std::vector<SchedEdge>& edges, int ii,
+              std::vector<std::int64_t>& dist, CostMeter* meter,
               TranslationPhase phase)
 {
-    const int n = graph.numUnits();
-    auto in = [&](int unit) {
-        return member.empty() || member[static_cast<std::size_t>(unit)];
-    };
-    std::vector<std::int64_t> dist(static_cast<std::size_t>(n), 0);
+    dist.assign(static_cast<std::size_t>(n), 0);
     std::uint64_t work = 0;
     for (int round = 0; round <= n; ++round) {
         bool relaxed = false;
-        for (const auto& edge : graph.edges()) {
-            if (!in(edge.from) || !in(edge.to))
-                continue;
+        for (const auto& edge : edges) {
             ++work;
             const std::int64_t weight =
                 edge.delay - static_cast<std::int64_t>(ii) * edge.distance;
@@ -53,17 +51,29 @@ int
 minFeasibleIi(const SchedGraph& graph, const std::vector<bool>& member,
               CostMeter* meter, TranslationPhase phase)
 {
+    const int n = graph.numUnits();
+    auto in = [&](int unit) {
+        return member.empty() || member[static_cast<std::size_t>(unit)];
+    };
     // Upper bound: one cycle of total delay always fits in II = sum(delay).
+    // Summed over *all* edges, member or not, so the binary-search
+    // trajectory matches the unfiltered original exactly.
     std::int64_t upper = 1;
-    for (const auto& edge : graph.edges())
+    std::vector<SchedEdge> edges;
+    edges.reserve(graph.edges().size());
+    for (const auto& edge : graph.edges()) {
         upper += edge.delay;
+        if (in(edge.from) && in(edge.to))
+            edges.push_back(edge);
+    }
+    std::vector<std::int64_t> dist;
     int lo = 1;
     int hi = static_cast<int>(std::min<std::int64_t>(upper, 1 << 20));
-    if (!positiveCycle(graph, lo, member, meter, phase))
+    if (!positiveCycle(n, edges, lo, dist, meter, phase))
         return 1;
     while (lo < hi) {
         const int mid = lo + (hi - lo) / 2;
-        if (positiveCycle(graph, mid, member, meter, phase))
+        if (positiveCycle(n, edges, mid, dist, meter, phase))
             lo = mid + 1;
         else
             hi = mid;
@@ -127,7 +137,9 @@ bool
 iiFeasible(const SchedGraph& graph, int ii, CostMeter* meter,
            TranslationPhase phase)
 {
-    return !positiveCycle(graph, ii, {}, meter, phase);
+    std::vector<std::int64_t> dist;
+    return !positiveCycle(graph.numUnits(), graph.edges(), ii, dist,
+                          meter, phase);
 }
 
 }  // namespace veal

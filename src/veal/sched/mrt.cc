@@ -22,17 +22,28 @@ practicalCount(int configured, int ii)
 
 ModuloReservationTable::ModuloReservationTable(const LaConfig& config,
                                                int ii)
-    : ii_(ii)
+{
+    reset(config, ii);
+}
+
+void
+ModuloReservationTable::reset(const LaConfig& config, int ii)
 {
     VEAL_ASSERT(ii >= 1, "MRT with II ", ii);
-    occupancy_.resize(kNumFuClasses);
+    ii_ = ii;
+    std::size_t offset = 0;
     for (int c = 0; c < kNumFuClasses; ++c) {
-        const int count =
+        auto& cls = classes_[static_cast<std::size_t>(c)];
+        cls.offset = offset;
+        cls.count =
             practicalCount(config.fuCount(static_cast<FuClass>(c)), ii);
-        occupancy_[static_cast<std::size_t>(c)].assign(
-            static_cast<std::size_t>(count),
-            std::vector<bool>(static_cast<std::size_t>(ii), false));
+        offset += static_cast<std::size_t>(cls.count) *
+                  static_cast<std::size_t>(ii);
     }
+    // New elements value-initialise to 0, which never equals an epoch.
+    if (offset > stamps_.size())
+        stamps_.resize(offset);
+    ++epoch_;
 }
 
 int
@@ -50,53 +61,34 @@ ModuloReservationTable::reserve(FuClass fu_class, int time,
     VEAL_ASSERT(init_interval >= 1);
     if (init_interval > ii_)
         return -1;  // A non-pipelined unit cannot repeat faster than this.
-    auto& instances = occupancy_[static_cast<int>(fu_class)];
-    for (std::size_t instance = 0; instance < instances.size();
-         ++instance) {
+    const auto& cls = classes_[static_cast<std::size_t>(fu_class)];
+    for (int instance = 0; instance < cls.count; ++instance) {
+        std::uint64_t* base =
+            stamps_.data() + cls.offset +
+            static_cast<std::size_t>(instance) *
+                static_cast<std::size_t>(ii_);
+        // Stamp slots as they probe free; the slots of one reservation
+        // are distinct modulo ii (init_interval <= ii), so a conflict at
+        // slot k un-stamps exactly the k slots this attempt touched.
         bool free = true;
-        for (int k = 0; k < init_interval; ++k) {
+        int k = 0;
+        for (; k < init_interval; ++k) {
             if (probes != nullptr)
                 ++*probes;
-            if (instances[instance][static_cast<std::size_t>(
-                    slotOf(time + k))]) {
+            std::uint64_t& stamp =
+                base[static_cast<std::size_t>(slotOf(time + k))];
+            if (stamp == epoch_) {
                 free = false;
                 break;
             }
+            stamp = epoch_;
         }
-        if (free) {
-            for (int k = 0; k < init_interval; ++k) {
-                instances[instance][static_cast<std::size_t>(
-                    slotOf(time + k))] = true;
-            }
-            return static_cast<int>(instance);
-        }
+        if (free)
+            return instance;
+        for (int j = 0; j < k; ++j)
+            base[static_cast<std::size_t>(slotOf(time + j))] = epoch_ - 1;
     }
     return -1;
-}
-
-int
-ModuloReservationTable::instanceCount(FuClass fu_class) const
-{
-    return static_cast<int>(
-        occupancy_[static_cast<int>(fu_class)].size());
-}
-
-bool
-ModuloReservationTable::occupied(FuClass fu_class, int instance,
-                                 int slot) const
-{
-    return occupancy_[static_cast<int>(fu_class)]
-                     [static_cast<std::size_t>(instance)]
-                     [static_cast<std::size_t>(slot)];
-}
-
-void
-ModuloReservationTable::clear()
-{
-    for (auto& instances : occupancy_) {
-        for (auto& slots : instances)
-            std::fill(slots.begin(), slots.end(), false);
-    }
 }
 
 }  // namespace veal

@@ -5,8 +5,17 @@
  * @file
  * Modulo reservation table: II rows, one column per FU instance
  * (paper Figure 5, right).
+ *
+ * Storage is a single flat array of epoch stamps: a slot is occupied iff
+ * its stamp equals the current epoch, so clear() and an II retry are one
+ * increment instead of a rewrite, and the scheduler reuses one table
+ * across its whole II search via reset().  Reservation sets slots as it
+ * probes them and un-stamps on conflict; the probe count per attempt is
+ * bit-identical to the original check-then-set formulation (one probe
+ * per slot examined, including the conflicting one).
  */
 
+#include <cstdint>
 #include <vector>
 
 #include "veal/arch/fu.h"
@@ -25,6 +34,13 @@ class ModuloReservationTable {
     ModuloReservationTable(const LaConfig& config, int ii);
 
     /**
+     * Re-size for a new candidate II and drop all reservations.  O(1)
+     * when the layout is unchanged; reallocates only when @p ii grows
+     * the table past its high-water mark.
+     */
+    void reset(const LaConfig& config, int ii);
+
+    /**
      * Try to reserve @p init_interval consecutive modulo slots for a unit
      * of @p fu_class issuing at absolute @p time.  Returns the instance
      * index used, or -1 when every instance conflicts.  Probe work can be
@@ -37,20 +53,36 @@ class ModuloReservationTable {
     int ii() const { return ii_; }
 
     /** Number of instances allocated for @p fu_class. */
-    int instanceCount(FuClass fu_class) const;
+    int instanceCount(FuClass fu_class) const
+    {
+        return classes_[static_cast<std::size_t>(fu_class)].count;
+    }
 
     /** Occupancy of (fu_class, instance) at modulo @p slot. */
-    bool occupied(FuClass fu_class, int instance, int slot) const;
+    bool occupied(FuClass fu_class, int instance, int slot) const
+    {
+        const auto& cls = classes_[static_cast<std::size_t>(fu_class)];
+        return stamps_[cls.offset +
+                       static_cast<std::size_t>(instance) *
+                           static_cast<std::size_t>(ii_) +
+                       static_cast<std::size_t>(slot)] == epoch_;
+    }
 
     /** Drop all reservations (for an II retry). */
-    void clear();
+    void clear() { ++epoch_; }
 
   private:
+    struct ClassLayout {
+        std::size_t offset = 0;
+        int count = 0;
+    };
+
     int slotOf(int time) const;
 
     int ii_ = 1;
-    // occupancy_[class][instance][slot]
-    std::vector<std::vector<std::vector<bool>>> occupancy_;
+    std::uint64_t epoch_ = 1;
+    ClassLayout classes_[kNumFuClasses];
+    std::vector<std::uint64_t> stamps_;
 };
 
 }  // namespace veal

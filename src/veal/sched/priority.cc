@@ -1,7 +1,6 @@
 #include "veal/sched/priority.h"
 
 #include <algorithm>
-#include <set>
 
 #include "veal/ir/scc.h"
 #include "veal/sched/mii.h"
@@ -114,6 +113,12 @@ reachable(const SchedGraph& graph, const std::vector<bool>& seeds,
 /**
  * Orders the nodes of one set in swing fashion: alternating top-down /
  * bottom-up sweeps that always extend from an already-ordered neighbour.
+ *
+ * The frontier is a flat vector plus a membership bitmap rather than a
+ * std::set: the best-node selection scans every element under a total
+ * order (criticality, then id), so container order is irrelevant, the
+ * chosen node is identical, and the per-element scan charges match the
+ * set-based original exactly.
  */
 class SwingSetOrderer {
   public:
@@ -121,7 +126,8 @@ class SwingSetOrderer {
                     std::vector<int>* sequence, std::vector<bool>* ordered,
                     std::vector<bool>* place_late, std::uint64_t* work)
         : graph_(graph), bounds_(bounds), sequence_(sequence),
-          ordered_(ordered), place_late_(place_late), work_(work)
+          ordered_(ordered), place_late_(place_late), work_(work),
+          in_frontier_(static_cast<std::size_t>(graph.numUnits()), false)
     {}
 
     void
@@ -129,14 +135,14 @@ class SwingSetOrderer {
     {
         while (true) {
             // Seed the sweep from neighbours of already-ordered nodes.
-            std::set<int> frontier;
+            frontier_.clear();
             bool top_down = true;
-            collect(in_set, /*from_preds=*/true, &frontier);
-            if (!frontier.empty()) {
+            collect(in_set, /*from_preds=*/true);
+            if (!frontier_.empty()) {
                 top_down = true;
             } else {
-                collect(in_set, /*from_preds=*/false, &frontier);
-                if (!frontier.empty()) {
+                collect(in_set, /*from_preds=*/false);
+                if (!frontier_.empty()) {
                     top_down = false;
                 } else {
                     // Fresh component: start from its most critical node
@@ -156,25 +162,29 @@ class SwingSetOrderer {
                     }
                     if (best == -1)
                         return;  // Set fully ordered.
-                    frontier.insert(best);
+                    push(best);
                     top_down = true;
                 }
             }
 
             // One directional sweep: consume the frontier, extending it
             // with same-set successors (top-down) or predecessors.
-            while (!frontier.empty()) {
+            while (!frontier_.empty()) {
                 int best = -1;
-                for (const int u : frontier) {
+                std::size_t best_at = 0;
+                for (std::size_t i = 0; i < frontier_.size(); ++i) {
+                    const int u = frontier_[i];
                     ++*work_;
-                    if (best == -1)
+                    if (best == -1 || (top_down
+                                           ? betterTopDown(u, best)
+                                           : betterBottomUp(u, best))) {
                         best = u;
-                    else if (top_down
-                                 ? betterTopDown(u, best)
-                                 : betterBottomUp(u, best))
-                        best = u;
+                        best_at = i;
+                    }
                 }
-                frontier.erase(best);
+                frontier_[best_at] = frontier_.back();
+                frontier_.pop_back();
+                in_frontier_[static_cast<std::size_t>(best)] = false;
                 append(best, /*late=*/!top_down);
                 const auto& hop_edges = top_down
                                             ? graph_.succEdges()
@@ -186,7 +196,7 @@ class SwingSetOrderer {
                     const int next = top_down ? edge.to : edge.from;
                     if (in_set[static_cast<std::size_t>(next)] &&
                         !(*ordered_)[static_cast<std::size_t>(next)]) {
-                        frontier.insert(next);
+                        push(next);
                     }
                 }
             }
@@ -227,8 +237,7 @@ class SwingSetOrderer {
     }
 
     void
-    collect(const std::vector<bool>& in_set, bool from_preds,
-            std::set<int>* frontier) const
+    collect(const std::vector<bool>& in_set, bool from_preds)
     {
         for (std::size_t e = 0; e < graph_.edges().size(); ++e) {
             ++*work_;
@@ -238,8 +247,17 @@ class SwingSetOrderer {
             if ((*ordered_)[static_cast<std::size_t>(placed)] &&
                 in_set[static_cast<std::size_t>(candidate)] &&
                 !(*ordered_)[static_cast<std::size_t>(candidate)]) {
-                frontier->insert(candidate);
+                push(candidate);
             }
+        }
+    }
+
+    void
+    push(int u)
+    {
+        if (!in_frontier_[static_cast<std::size_t>(u)]) {
+            in_frontier_[static_cast<std::size_t>(u)] = true;
+            frontier_.push_back(u);
         }
     }
 
@@ -257,6 +275,8 @@ class SwingSetOrderer {
     std::vector<bool>* ordered_;
     std::vector<bool>* place_late_;
     std::uint64_t* work_;
+    std::vector<int> frontier_;
+    std::vector<bool> in_frontier_;
 };
 
 }  // namespace

@@ -1,0 +1,741 @@
+/**
+ * The frozen pre-optimization kernels.  Everything below is a verbatim
+ * copy of mii.cc, mrt.cc, priority.cc and scheduler.cc as they stood
+ * before the hot-path overhaul, renamed into veal::reference.  Keep it
+ * byte-for-byte in sync with that history, not with the optimized files.
+ */
+
+#include "veal/sched/reference.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "veal/ir/scc.h"
+#include "veal/sched/mii.h"
+#include "veal/sched/mrt.h"
+#include "veal/support/assert.h"
+
+namespace veal::reference {
+
+namespace {
+
+/**
+ * Longest-path Bellman-Ford positive-cycle test restricted to units where
+ * @p member is true (empty @p member means "all units").
+ */
+bool
+positiveCycle(const SchedGraph& graph, int ii,
+              const std::vector<bool>& member, CostMeter* meter,
+              TranslationPhase phase)
+{
+    const int n = graph.numUnits();
+    auto in = [&](int unit) {
+        return member.empty() || member[static_cast<std::size_t>(unit)];
+    };
+    std::vector<std::int64_t> dist(static_cast<std::size_t>(n), 0);
+    std::uint64_t work = 0;
+    for (int round = 0; round <= n; ++round) {
+        bool relaxed = false;
+        for (const auto& edge : graph.edges()) {
+            if (!in(edge.from) || !in(edge.to))
+                continue;
+            ++work;
+            const std::int64_t weight =
+                edge.delay - static_cast<std::int64_t>(ii) * edge.distance;
+            if (dist[static_cast<std::size_t>(edge.from)] + weight >
+                dist[static_cast<std::size_t>(edge.to)]) {
+                dist[static_cast<std::size_t>(edge.to)] =
+                    dist[static_cast<std::size_t>(edge.from)] + weight;
+                relaxed = true;
+            }
+        }
+        if (!relaxed) {
+            if (meter != nullptr)
+                meter->charge(phase, work);
+            return false;
+        }
+    }
+    if (meter != nullptr)
+        meter->charge(phase, work);
+    return true;
+}
+
+int
+minFeasibleIi(const SchedGraph& graph, const std::vector<bool>& member,
+              CostMeter* meter, TranslationPhase phase)
+{
+    // Upper bound: one cycle of total delay always fits in II = sum(delay).
+    std::int64_t upper = 1;
+    for (const auto& edge : graph.edges())
+        upper += edge.delay;
+    int lo = 1;
+    int hi = static_cast<int>(std::min<std::int64_t>(upper, 1 << 20));
+    if (!positiveCycle(graph, lo, member, meter, phase))
+        return 1;
+    while (lo < hi) {
+        const int mid = lo + (hi - lo) / 2;
+        if (positiveCycle(graph, mid, member, meter, phase))
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+/** The original MRT: nested vector<bool>, check-then-set reservation. */
+class ReferenceMrt {
+  public:
+    ReferenceMrt(const LaConfig& config, int ii) : ii_(ii)
+    {
+        VEAL_ASSERT(ii >= 1, "MRT with II ", ii);
+        occupancy_.resize(kNumFuClasses);
+        for (int c = 0; c < kNumFuClasses; ++c) {
+            const int count = practicalCount(
+                config.fuCount(static_cast<FuClass>(c)), ii);
+            occupancy_[static_cast<std::size_t>(c)].assign(
+                static_cast<std::size_t>(count),
+                std::vector<bool>(static_cast<std::size_t>(ii), false));
+        }
+    }
+
+    int
+    reserve(FuClass fu_class, int time, int init_interval,
+            std::uint64_t* probes)
+    {
+        VEAL_ASSERT(fu_class != FuClass::kNone &&
+                    fu_class != FuClass::kCount);
+        VEAL_ASSERT(init_interval >= 1);
+        if (init_interval > ii_)
+            return -1;
+        auto& instances = occupancy_[static_cast<int>(fu_class)];
+        for (std::size_t instance = 0; instance < instances.size();
+             ++instance) {
+            bool free = true;
+            for (int k = 0; k < init_interval; ++k) {
+                if (probes != nullptr)
+                    ++*probes;
+                if (instances[instance][static_cast<std::size_t>(
+                        slotOf(time + k))]) {
+                    free = false;
+                    break;
+                }
+            }
+            if (free) {
+                for (int k = 0; k < init_interval; ++k) {
+                    instances[instance][static_cast<std::size_t>(
+                        slotOf(time + k))] = true;
+                }
+                return static_cast<int>(instance);
+            }
+        }
+        return -1;
+    }
+
+  private:
+    static int
+    practicalCount(int configured, int ii)
+    {
+        return std::min(configured, std::max(ii * 4, 64));
+    }
+
+    int
+    slotOf(int time) const
+    {
+        const int m = time % ii_;
+        return m < 0 ? m + ii_ : m;
+    }
+
+    int ii_ = 1;
+    std::vector<std::vector<std::vector<bool>>> occupancy_;
+};
+
+/** Reachability over all edges from a seed set (forward or backward). */
+std::vector<bool>
+reachable(const SchedGraph& graph, const std::vector<bool>& seeds,
+          bool forward, std::uint64_t* work)
+{
+    const int n = graph.numUnits();
+    std::vector<bool> seen = seeds;
+    std::vector<int> worklist;
+    for (int u = 0; u < n; ++u) {
+        if (seeds[static_cast<std::size_t>(u)])
+            worklist.push_back(u);
+    }
+    const auto& hop_edges =
+        forward ? graph.succEdges() : graph.predEdges();
+    while (!worklist.empty()) {
+        const int u = worklist.back();
+        worklist.pop_back();
+        for (const int e : hop_edges[static_cast<std::size_t>(u)]) {
+            ++*work;
+            const auto& edge = graph.edges()[static_cast<std::size_t>(e)];
+            const int next = forward ? edge.to : edge.from;
+            if (!seen[static_cast<std::size_t>(next)]) {
+                seen[static_cast<std::size_t>(next)] = true;
+                worklist.push_back(next);
+            }
+        }
+    }
+    return seen;
+}
+
+/**
+ * Orders the nodes of one set in swing fashion: alternating top-down /
+ * bottom-up sweeps that always extend from an already-ordered neighbour.
+ */
+class SwingSetOrderer {
+  public:
+    SwingSetOrderer(const SchedGraph& graph, const SchedBounds& bounds,
+                    std::vector<int>* sequence, std::vector<bool>* ordered,
+                    std::vector<bool>* place_late, std::uint64_t* work)
+        : graph_(graph), bounds_(bounds), sequence_(sequence),
+          ordered_(ordered), place_late_(place_late), work_(work)
+    {}
+
+    void
+    orderSet(const std::vector<bool>& in_set)
+    {
+        while (true) {
+            // Seed the sweep from neighbours of already-ordered nodes.
+            std::set<int> frontier;
+            bool top_down = true;
+            collect(in_set, /*from_preds=*/true, &frontier);
+            if (!frontier.empty()) {
+                top_down = true;
+            } else {
+                collect(in_set, /*from_preds=*/false, &frontier);
+                if (!frontier.empty()) {
+                    top_down = false;
+                } else {
+                    // Fresh component: start from its most critical node
+                    // (minimum slack, then minimum earliest start).
+                    int best = -1;
+                    for (int u = 0; u < graph_.numUnits(); ++u) {
+                        ++*work_;
+                        if (!in_set[static_cast<std::size_t>(u)] ||
+                            (*ordered_)[static_cast<std::size_t>(u)]) {
+                            continue;
+                        }
+                        if (best == -1 || slack(u) < slack(best) ||
+                            (slack(u) == slack(best) &&
+                             earliest(u) < earliest(best))) {
+                            best = u;
+                        }
+                    }
+                    if (best == -1)
+                        return;  // Set fully ordered.
+                    frontier.insert(best);
+                    top_down = true;
+                }
+            }
+
+            // One directional sweep: consume the frontier, extending it
+            // with same-set successors (top-down) or predecessors.
+            while (!frontier.empty()) {
+                int best = -1;
+                for (const int u : frontier) {
+                    ++*work_;
+                    if (best == -1)
+                        best = u;
+                    else if (top_down
+                                 ? betterTopDown(u, best)
+                                 : betterBottomUp(u, best))
+                        best = u;
+                }
+                frontier.erase(best);
+                append(best, /*late=*/!top_down);
+                const auto& hop_edges = top_down
+                                            ? graph_.succEdges()
+                                            : graph_.predEdges();
+                for (const int e :
+                     hop_edges[static_cast<std::size_t>(best)]) {
+                    const auto& edge =
+                        graph_.edges()[static_cast<std::size_t>(e)];
+                    const int next = top_down ? edge.to : edge.from;
+                    if (in_set[static_cast<std::size_t>(next)] &&
+                        !(*ordered_)[static_cast<std::size_t>(next)]) {
+                        frontier.insert(next);
+                    }
+                }
+            }
+        }
+    }
+
+  private:
+    int
+    earliest(int u) const
+    {
+        return bounds_.earliest[static_cast<std::size_t>(u)];
+    }
+
+    int
+    latest(int u) const
+    {
+        return bounds_.latest[static_cast<std::size_t>(u)];
+    }
+
+    int slack(int u) const { return latest(u) - earliest(u); }
+
+    /** Top-down: prefer smaller latest start (more critical), then id. */
+    bool
+    betterTopDown(int a, int b) const
+    {
+        if (latest(a) != latest(b))
+            return latest(a) < latest(b);
+        return a < b;
+    }
+
+    /** Bottom-up: prefer larger earliest start (deepest), then id. */
+    bool
+    betterBottomUp(int a, int b) const
+    {
+        if (earliest(a) != earliest(b))
+            return earliest(a) > earliest(b);
+        return a < b;
+    }
+
+    void
+    collect(const std::vector<bool>& in_set, bool from_preds,
+            std::set<int>* frontier) const
+    {
+        for (std::size_t e = 0; e < graph_.edges().size(); ++e) {
+            ++*work_;
+            const auto& edge = graph_.edges()[e];
+            const int placed = from_preds ? edge.from : edge.to;
+            const int candidate = from_preds ? edge.to : edge.from;
+            if ((*ordered_)[static_cast<std::size_t>(placed)] &&
+                in_set[static_cast<std::size_t>(candidate)] &&
+                !(*ordered_)[static_cast<std::size_t>(candidate)]) {
+                frontier->insert(candidate);
+            }
+        }
+    }
+
+    void
+    append(int u, bool late)
+    {
+        sequence_->push_back(u);
+        (*ordered_)[static_cast<std::size_t>(u)] = true;
+        (*place_late_)[static_cast<std::size_t>(u)] = late;
+    }
+
+    const SchedGraph& graph_;
+    const SchedBounds& bounds_;
+    std::vector<int>* sequence_;
+    std::vector<bool>* ordered_;
+    std::vector<bool>* place_late_;
+    std::uint64_t* work_;
+};
+
+/** Attempt to place every unit at one candidate II.  */
+std::optional<Schedule>
+tryIi(const SchedGraph& graph, const LaConfig& config,
+      const NodeOrder& order, int ii, CostMeter* meter)
+{
+    const int n = graph.numUnits();
+    if (!reference::iiFeasible(graph, ii, meter,
+                               TranslationPhase::kScheduling))
+        return std::nullopt;
+
+    const SchedBounds bounds = reference::computeBounds(
+        graph, ii, meter, TranslationPhase::kScheduling);
+    ReferenceMrt mrt(config, ii);
+    std::vector<bool> placed(static_cast<std::size_t>(n), false);
+    std::vector<int> time(static_cast<std::size_t>(n), 0);
+    std::vector<int> fu_instance(static_cast<std::size_t>(n), -1);
+    std::uint64_t probes = 0;
+
+    constexpr int kNegInf = -(1 << 28);
+    constexpr int kPosInf = 1 << 28;
+
+    for (const int u : order.sequence) {
+        const auto& unit = graph.units()[static_cast<std::size_t>(u)];
+        int earliest = kNegInf;
+        int latest = kPosInf;
+        bool has_pred = false;
+        bool has_succ = false;
+        for (const int e : graph.predEdges()[static_cast<std::size_t>(u)]) {
+            const auto& edge = graph.edges()[static_cast<std::size_t>(e)];
+            if (edge.from == u ||
+                !placed[static_cast<std::size_t>(edge.from)]) {
+                continue;
+            }
+            ++probes;
+            earliest = std::max(
+                earliest, time[static_cast<std::size_t>(edge.from)] +
+                              edge.delay - ii * edge.distance);
+            has_pred = true;
+        }
+        for (const int e : graph.succEdges()[static_cast<std::size_t>(u)]) {
+            const auto& edge = graph.edges()[static_cast<std::size_t>(e)];
+            if (edge.to == u || !placed[static_cast<std::size_t>(edge.to)])
+                continue;
+            ++probes;
+            latest = std::min(latest,
+                              time[static_cast<std::size_t>(edge.to)] -
+                                  edge.delay + ii * edge.distance);
+            has_succ = true;
+        }
+
+        // Swing window: scan forward from the earliest start when preds
+        // anchor the unit, backward from the latest start when succs do.
+        const bool late =
+            !order.place_late.empty() &&
+            order.place_late[static_cast<std::size_t>(u)];
+        int start;
+        int step;
+        int count;
+        if (has_pred && has_succ) {
+            if (earliest > latest) {
+                if (meter != nullptr)
+                    meter->charge(TranslationPhase::kScheduling, probes);
+                return std::nullopt;
+            }
+            count = std::min(latest - earliest + 1, ii);
+            if (late) {
+                start = latest;
+                step = -1;
+            } else {
+                start = earliest;
+                step = 1;
+            }
+        } else if (has_pred) {
+            start = earliest;
+            step = 1;
+            count = ii;
+        } else if (has_succ) {
+            start = latest;
+            step = -1;
+            count = ii;
+        } else {
+            // No placed neighbour: anchor at the ASAP bound.
+            start = bounds.earliest[static_cast<std::size_t>(u)];
+            step = 1;
+            count = ii;
+        }
+
+        bool done = false;
+        for (int k = 0; k < count && !done; ++k) {
+            const int t = start + step * k;
+            ++probes;
+            if (unit.fu == FuClass::kNone) {
+                // Memory units use stream bandwidth, not an FU slot.
+                time[static_cast<std::size_t>(u)] = t;
+                done = true;
+                break;
+            }
+            const int instance =
+                mrt.reserve(unit.fu, t, unit.init_interval, &probes);
+            if (instance >= 0) {
+                time[static_cast<std::size_t>(u)] = t;
+                fu_instance[static_cast<std::size_t>(u)] = instance;
+                done = true;
+            }
+        }
+        if (!done) {
+            if (meter != nullptr)
+                meter->charge(TranslationPhase::kScheduling, probes);
+            return std::nullopt;
+        }
+        placed[static_cast<std::size_t>(u)] = true;
+    }
+
+    // Windows skip self edges and cannot see everything at once; verify
+    // the full constraint system before accepting this II.
+    for (const auto& edge : graph.edges()) {
+        ++probes;
+        if (time[static_cast<std::size_t>(edge.to)] <
+            time[static_cast<std::size_t>(edge.from)] + edge.delay -
+                ii * edge.distance) {
+            if (meter != nullptr)
+                meter->charge(TranslationPhase::kScheduling, probes);
+            return std::nullopt;
+        }
+    }
+    if (meter != nullptr)
+        meter->charge(TranslationPhase::kScheduling, probes);
+
+    // Normalise: shifting every time by the same amount rotates the MRT
+    // uniformly, so no conflict or dependence can appear.
+    Schedule schedule;
+    schedule.ii = ii;
+    const int min_time =
+        n == 0 ? 0 : *std::min_element(time.begin(), time.end());
+    for (int u = 0; u < n; ++u)
+        time[static_cast<std::size_t>(u)] -= min_time;
+    schedule.time = std::move(time);
+    schedule.fu_instance = std::move(fu_instance);
+    schedule.length = 0;
+    int max_stage = 0;
+    for (const auto& unit : graph.units()) {
+        const auto u = static_cast<std::size_t>(unit.id);
+        schedule.length = std::max(schedule.length,
+                                   schedule.time[u] + unit.latency);
+        max_stage = std::max(max_stage, schedule.time[u] / ii);
+    }
+    schedule.stage_count = max_stage + 1;
+    return schedule;
+}
+
+}  // namespace
+
+int
+recMii(const SchedGraph& graph, CostMeter* meter)
+{
+    return minFeasibleIi(graph, {}, meter,
+                         TranslationPhase::kMiiComputation);
+}
+
+int
+recMiiOfSubset(const SchedGraph& graph, const std::vector<bool>& member,
+               CostMeter* meter, TranslationPhase phase)
+{
+    VEAL_ASSERT(static_cast<int>(member.size()) == graph.numUnits());
+    return minFeasibleIi(graph, member, meter, phase);
+}
+
+bool
+iiFeasible(const SchedGraph& graph, int ii, CostMeter* meter,
+           TranslationPhase phase)
+{
+    return !positiveCycle(graph, ii, {}, meter, phase);
+}
+
+SchedBounds
+computeBounds(const SchedGraph& graph, int ii, CostMeter* meter,
+              TranslationPhase phase)
+{
+    const int n = graph.numUnits();
+    SchedBounds bounds;
+    bounds.earliest.assign(static_cast<std::size_t>(n), 0);
+    std::uint64_t work = 0;
+
+    // Forward longest path: E[to] >= E[from] + delay - ii * distance.
+    for (int round = 0; round <= n; ++round) {
+        bool relaxed = false;
+        for (const auto& edge : graph.edges()) {
+            ++work;
+            const int bound = bounds.earliest[static_cast<std::size_t>(
+                                  edge.from)] +
+                              edge.delay - ii * edge.distance;
+            auto& e = bounds.earliest[static_cast<std::size_t>(edge.to)];
+            if (bound > e) {
+                e = bound;
+                relaxed = true;
+            }
+        }
+        if (!relaxed)
+            break;
+        VEAL_ASSERT(round < n, "computeBounds called at infeasible II ", ii);
+    }
+
+    int horizon = 0;
+    for (int u = 0; u < n; ++u) {
+        horizon = std::max(horizon,
+                           bounds.earliest[static_cast<std::size_t>(u)] +
+                               graph.units()[static_cast<std::size_t>(u)]
+                                   .latency);
+    }
+
+    // Backward pass: L[from] <= L[to] - delay + ii * distance.
+    bounds.latest.assign(static_cast<std::size_t>(n), horizon);
+    for (int round = 0; round <= n; ++round) {
+        bool relaxed = false;
+        for (const auto& edge : graph.edges()) {
+            ++work;
+            const int bound = bounds.latest[static_cast<std::size_t>(
+                                  edge.to)] -
+                              edge.delay + ii * edge.distance;
+            auto& l = bounds.latest[static_cast<std::size_t>(edge.from)];
+            if (bound < l) {
+                l = bound;
+                relaxed = true;
+            }
+        }
+        if (!relaxed)
+            break;
+        VEAL_ASSERT(round < n, "computeBounds called at infeasible II ", ii);
+    }
+    if (meter != nullptr)
+        meter->charge(phase, work);
+    return bounds;
+}
+
+NodeOrder
+computeSwingOrder(const SchedGraph& graph, int ii, CostMeter* meter)
+{
+    const int n = graph.numUnits();
+    NodeOrder order;
+    order.kind = PriorityKind::kSwing;
+    std::uint64_t work = 0;
+
+    const SchedBounds bounds = reference::computeBounds(
+        graph, ii, meter, TranslationPhase::kPriority);
+
+    // Identify recurrences and rank them by criticality (their RecMII).
+    std::vector<std::pair<int, int>> raw_edges;
+    for (const auto& edge : graph.edges())
+        raw_edges.emplace_back(edge.from, edge.to);
+    const auto sccs = stronglyConnectedComponents(n, raw_edges);
+
+    struct Recurrence {
+        std::vector<bool> member;
+        int rec_mii = 0;
+    };
+    std::vector<Recurrence> recurrences;
+    for (const auto& scc : sccs) {
+        bool cyclic = scc.size() > 1;
+        if (!cyclic) {
+            for (const auto& edge : graph.edges())
+                cyclic |= edge.from == scc[0] && edge.to == scc[0];
+        }
+        if (!cyclic)
+            continue;
+        Recurrence rec;
+        rec.member.assign(static_cast<std::size_t>(n), false);
+        for (const int u : scc)
+            rec.member[static_cast<std::size_t>(u)] = true;
+        rec.rec_mii = reference::recMiiOfSubset(
+            graph, rec.member, meter, TranslationPhase::kPriority);
+        recurrences.push_back(std::move(rec));
+    }
+    std::sort(recurrences.begin(), recurrences.end(),
+              [](const Recurrence& a, const Recurrence& b) {
+                  return a.rec_mii > b.rec_mii;
+              });
+
+    std::vector<bool> ordered(static_cast<std::size_t>(n), false);
+    order.place_late.assign(static_cast<std::size_t>(n), false);
+    SwingSetOrderer orderer(graph, bounds, &order.sequence, &ordered,
+                            &order.place_late, &work);
+
+    for (const auto& rec : recurrences) {
+        // The set to order: the recurrence plus any not-yet-ordered nodes
+        // on paths between already-ordered nodes and this recurrence.
+        std::vector<bool> set = rec.member;
+        if (std::any_of(ordered.begin(), ordered.end(),
+                        [](bool b) { return b; })) {
+            const auto fwd = reachable(graph, ordered, true, &work);
+            const auto back_to_rec =
+                reachable(graph, rec.member, false, &work);
+            const auto rec_fwd = reachable(graph, rec.member, true, &work);
+            const auto back_to_ordered =
+                reachable(graph, ordered, false, &work);
+            for (int u = 0; u < n; ++u) {
+                const auto s = static_cast<std::size_t>(u);
+                const bool on_path = (fwd[s] && back_to_rec[s]) ||
+                                     (rec_fwd[s] && back_to_ordered[s]);
+                if (on_path && !ordered[s])
+                    set[s] = true;
+            }
+        }
+        orderer.orderSet(set);
+    }
+
+    // Final set: everything else (acyclic code).
+    std::vector<bool> rest(static_cast<std::size_t>(n), false);
+    for (int u = 0; u < n; ++u)
+        rest[static_cast<std::size_t>(u)] =
+            !ordered[static_cast<std::size_t>(u)];
+    orderer.orderSet(rest);
+
+    VEAL_ASSERT(static_cast<int>(order.sequence.size()) == n,
+                "swing ordering dropped units");
+    order.rank.assign(static_cast<std::size_t>(n), 0);
+    for (int position = 0;
+         position < static_cast<int>(order.sequence.size()); ++position) {
+        order.rank[static_cast<std::size_t>(
+            order.sequence[static_cast<std::size_t>(position)])] = position;
+    }
+    if (meter != nullptr)
+        meter->charge(TranslationPhase::kPriority, work);
+    return order;
+}
+
+NodeOrder
+computeHeightOrder(const SchedGraph& graph, int ii, CostMeter* meter)
+{
+    const int n = graph.numUnits();
+    NodeOrder order;
+    order.kind = PriorityKind::kHeight;
+    std::uint64_t work = 0;
+
+    // Height: longest path from the node to any sink at this II.
+    std::vector<int> height(static_cast<std::size_t>(n), 0);
+    for (int round = 0; round <= n; ++round) {
+        bool relaxed = false;
+        for (const auto& edge : graph.edges()) {
+            ++work;
+            const int bound = height[static_cast<std::size_t>(edge.to)] +
+                              edge.delay - ii * edge.distance;
+            auto& h = height[static_cast<std::size_t>(edge.from)];
+            if (bound > h) {
+                h = bound;
+                relaxed = true;
+            }
+        }
+        if (!relaxed)
+            break;
+        VEAL_ASSERT(round < n,
+                    "computeHeightOrder called at infeasible II ", ii);
+    }
+
+    order.place_late.assign(static_cast<std::size_t>(n), false);
+    order.sequence.resize(static_cast<std::size_t>(n));
+    for (int u = 0; u < n; ++u)
+        order.sequence[static_cast<std::size_t>(u)] = u;
+    std::sort(order.sequence.begin(), order.sequence.end(),
+              [&](int a, int b) {
+                  if (height[static_cast<std::size_t>(a)] !=
+                      height[static_cast<std::size_t>(b)]) {
+                      return height[static_cast<std::size_t>(a)] >
+                             height[static_cast<std::size_t>(b)];
+                  }
+                  return a < b;
+              });
+    work += static_cast<std::uint64_t>(n);
+
+    order.rank.assign(static_cast<std::size_t>(n), 0);
+    for (int position = 0; position < n; ++position) {
+        order.rank[static_cast<std::size_t>(
+            order.sequence[static_cast<std::size_t>(position)])] = position;
+    }
+    if (meter != nullptr)
+        meter->charge(TranslationPhase::kPriority, work);
+    return order;
+}
+
+std::optional<Schedule>
+scheduleLoop(const SchedGraph& graph, const LaConfig& config,
+             const NodeOrder& order, int min_ii, CostMeter* meter,
+             SchedulerStats* stats)
+{
+    VEAL_ASSERT(static_cast<int>(order.sequence.size()) ==
+                graph.numUnits(), "order does not cover the graph");
+
+    int start_ii = std::max(min_ii, 1);
+    for (const auto& unit : graph.units()) {
+        if (unit.fu != FuClass::kNone)
+            start_ii = std::max(start_ii, unit.init_interval);
+    }
+    if (start_ii > config.max_ii)
+        return std::nullopt;
+
+    // A finite retry budget: SMS converges within a few IIs of MII; an
+    // unschedulable loop should fail fast rather than walk a 2^20 max II.
+    const int limit =
+        std::min(config.max_ii, std::min(start_ii + 64, 1 << 12));
+    for (int ii = start_ii; ii <= limit; ++ii) {
+        if (stats != nullptr)
+            ++stats->attempted_iis;
+        if (auto schedule = tryIi(graph, config, order, ii, meter))
+            return schedule;
+        if (stats != nullptr)
+            ++stats->placement_failures;
+    }
+    return std::nullopt;
+}
+
+}  // namespace veal::reference

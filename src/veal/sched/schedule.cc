@@ -89,8 +89,22 @@ validateSchedule(const SchedGraph& graph, const LaConfig& config,
         }
     }
 
-    // Resource conflicts: (class, instance, modulo slot) uniqueness.
-    std::map<std::tuple<int, int, int>, int> slot_owner;
+    // Resource conflicts: (class, instance, modulo slot) uniqueness.  A
+    // flat owner table indexed by (class, instance, slot); sized by the
+    // instances this schedule actually uses, not config.fuCount (which
+    // may be the kUnlimited sentinel).
+    int max_instance = -1;
+    for (const auto& unit : graph.units()) {
+        if (unit.fu != FuClass::kNone) {
+            max_instance = std::max(
+                max_instance,
+                schedule.fu_instance[static_cast<std::size_t>(unit.id)]);
+        }
+    }
+    const auto instances = static_cast<std::size_t>(max_instance + 1);
+    const auto ii = static_cast<std::size_t>(schedule.ii);
+    std::vector<int> slot_owner(
+        static_cast<std::size_t>(kNumFuClasses) * instances * ii, -1);
     for (const auto& unit : graph.units()) {
         const auto u = static_cast<std::size_t>(unit.id);
         if (unit.fu == FuClass::kNone) {
@@ -112,18 +126,21 @@ validateSchedule(const SchedGraph& graph, const LaConfig& config,
         for (int k = 0; k < unit.init_interval; ++k) {
             const int slot =
                 (schedule.time[u] + k) % schedule.ii;
-            const auto key = std::make_tuple(static_cast<int>(unit.fu),
-                                             instance, slot);
-            const auto [it, inserted] = slot_owner.emplace(key, unit.id);
-            if (!inserted) {
+            int& owner =
+                slot_owner[(static_cast<std::size_t>(unit.fu) * instances +
+                            static_cast<std::size_t>(instance)) *
+                               ii +
+                           static_cast<std::size_t>(slot)];
+            if (owner != -1) {
                 return violation(
                     ScheduleViolationCode::kResourceConflict,
                     "conflict on " + std::string(toString(unit.fu)) + " " +
                         std::to_string(instance) + " slot " +
                         std::to_string(slot) + " between units " +
-                        std::to_string(it->second) + " and " +
+                        std::to_string(owner) + " and " +
                         std::to_string(unit.id));
             }
+            owner = unit.id;
         }
     }
 

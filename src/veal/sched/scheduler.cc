@@ -12,10 +12,26 @@ namespace veal {
 
 namespace {
 
+/**
+ * Scratch reused across the II attempts of one scheduleLoop() call: the
+ * MRT epoch-resets instead of reallocating, and the placement arrays are
+ * assign()ed in place.  Purely a wall-clock measure -- probe and charge
+ * sequences are those of per-attempt fresh state.
+ */
+struct ScheduleWorkspace {
+    ScheduleWorkspace(const LaConfig& config, int ii) : mrt(config, ii) {}
+
+    ModuloReservationTable mrt;
+    std::vector<bool> placed;
+    std::vector<int> time;
+    std::vector<int> fu_instance;
+};
+
 /** Attempt to place every unit at one candidate II.  */
 std::optional<Schedule>
 tryIi(const SchedGraph& graph, const LaConfig& config,
-      const NodeOrder& order, int ii, CostMeter* meter)
+      const NodeOrder& order, int ii, CostMeter* meter,
+      ScheduleWorkspace& ws)
 {
     const int n = graph.numUnits();
     if (!iiFeasible(graph, ii, meter, TranslationPhase::kScheduling))
@@ -23,10 +39,14 @@ tryIi(const SchedGraph& graph, const LaConfig& config,
 
     const SchedBounds bounds =
         computeBounds(graph, ii, meter, TranslationPhase::kScheduling);
-    ModuloReservationTable mrt(config, ii);
-    std::vector<bool> placed(static_cast<std::size_t>(n), false);
-    std::vector<int> time(static_cast<std::size_t>(n), 0);
-    std::vector<int> fu_instance(static_cast<std::size_t>(n), -1);
+    ws.mrt.reset(config, ii);
+    ModuloReservationTable& mrt = ws.mrt;
+    ws.placed.assign(static_cast<std::size_t>(n), false);
+    ws.time.assign(static_cast<std::size_t>(n), 0);
+    ws.fu_instance.assign(static_cast<std::size_t>(n), -1);
+    std::vector<bool>& placed = ws.placed;
+    std::vector<int>& time = ws.time;
+    std::vector<int>& fu_instance = ws.fu_instance;
     std::uint64_t probes = 0;
 
     constexpr int kNegInf = -(1 << 28);
@@ -244,10 +264,11 @@ scheduleLoop(const SchedGraph& graph, const LaConfig& config,
     // unschedulable loop should fail fast rather than walk a 2^20 max II.
     const int limit =
         std::min(config.max_ii, std::min(start_ii + 64, 1 << 12));
+    ScheduleWorkspace ws(config, start_ii);
     for (int ii = start_ii; ii <= limit; ++ii) {
         if (stats != nullptr)
             ++stats->attempted_iis;
-        if (auto schedule = tryIi(graph, config, order, ii, meter))
+        if (auto schedule = tryIi(graph, config, order, ii, meter, ws))
             return schedule;
         if (stats != nullptr)
             ++stats->placement_failures;

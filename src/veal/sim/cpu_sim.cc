@@ -42,9 +42,37 @@ simulateLoopOnCpu(const Loop& loop, const CpuConfig& config,
     for (const auto& edge : loop.allEdges())
         max_distance = std::max(max_distance, edge.distance);
     const int window = max_distance + 1;
-    std::vector<std::vector<std::int64_t>> finish(
-        static_cast<std::size_t>(window),
-        std::vector<std::int64_t>(static_cast<std::size_t>(n), 0));
+    std::vector<std::int64_t> finish(
+        static_cast<std::size_t>(window) * static_cast<std::size_t>(n), 0);
+
+    // The iteration loop replays the same op stream kWarmIterations times;
+    // resolve latencies, value-source inputs, and branch-ness once instead
+    // of per replay.  Same arithmetic per op, so identical timing.
+    struct SimOp {
+        int id;
+        int latency;
+        bool is_branch;
+        std::uint32_t input_begin;
+        std::uint32_t input_end;
+    };
+    std::vector<SimOp> sim_ops;
+    std::vector<std::pair<int, int>> sim_inputs;  // (producer, distance)
+    sim_ops.reserve(static_cast<std::size_t>(n));
+    for (const auto& op : loop.operations()) {
+        if (op.isValueSource())
+            continue;  // Constants/live-ins live in registers.
+        SimOp sim;
+        sim.id = op.id;
+        sim.latency = opLatency(op, config);
+        sim.is_branch = op.opcode == Opcode::kBranch;
+        sim.input_begin = static_cast<std::uint32_t>(sim_inputs.size());
+        for (const auto& input : op.inputs) {
+            if (!loop.op(input.producer).isValueSource())
+                sim_inputs.emplace_back(input.producer, input.distance);
+        }
+        sim.input_end = static_cast<std::uint32_t>(sim_inputs.size());
+        sim_ops.push_back(sim);
+    }
 
     std::int64_t issue_cycle = 0;  // Cycle the next instruction may issue.
     int issued_this_cycle = 0;
@@ -54,23 +82,20 @@ simulateLoopOnCpu(const Loop& loop, const CpuConfig& config,
 
     for (int iter = 0; iter < sim_iters; ++iter) {
         const auto ring = static_cast<std::size_t>(iter % window);
-        for (const auto& op : loop.operations()) {
-            if (op.isValueSource())
-                continue;  // Constants/live-ins live in registers.
-
+        std::int64_t* finish_ring =
+            finish.data() + ring * static_cast<std::size_t>(n);
+        for (const auto& op : sim_ops) {
             std::int64_t ready = issue_cycle;
-            for (const auto& input : op.inputs) {
-                if (loop.op(input.producer).isValueSource())
-                    continue;
-                const int source_iter = iter - input.distance;
+            for (std::uint32_t i = op.input_begin; i < op.input_end; ++i) {
+                const auto& [producer, distance] = sim_inputs[i];
+                const int source_iter = iter - distance;
                 if (source_iter < 0)
                     continue;  // Value from before the loop: ready.
                 const auto src_ring =
                     static_cast<std::size_t>(source_iter % window);
                 ready = std::max(
-                    ready,
-                    finish[src_ring][static_cast<std::size_t>(
-                        input.producer)]);
+                    ready, finish[src_ring * static_cast<std::size_t>(n) +
+                                  static_cast<std::size_t>(producer)]);
             }
 
             // In-order issue: advance to the operand-ready cycle, then
@@ -85,10 +110,9 @@ simulateLoopOnCpu(const Loop& loop, const CpuConfig& config,
             }
             ++issued_this_cycle;
 
-            const std::int64_t done =
-                issue_cycle + opLatency(op, config);
-            finish[ring][static_cast<std::size_t>(op.id)] = done;
-            if (op.opcode == Opcode::kBranch) {
+            const std::int64_t done = issue_cycle + op.latency;
+            finish_ring[static_cast<std::size_t>(op.id)] = done;
+            if (op.is_branch) {
                 // Taken loop-back branch: redirect bubble.
                 issue_cycle += 1 + config.branch_penalty;
                 issued_this_cycle = 0;

@@ -60,6 +60,7 @@ VirtualMachine::run(const Application& app,
     // First pass: translate every piece and price both execution paths.
     struct SitePlan {
         const LoopSite* site = nullptr;
+        std::int64_t baseline_cpu_cycles_per_invocation = 0;
         std::vector<PiecePlan> pieces;
     };
     std::vector<SitePlan> plans;
@@ -106,6 +107,13 @@ VirtualMachine::run(const Application& app,
             }
             plan.pieces.push_back(std::move(piece));
         }
+        // An unfissioned site's only piece *is* site.loop; reuse its
+        // simulation instead of re-running it for the baseline.
+        plan.baseline_cpu_cycles_per_invocation =
+            site.fissioned.empty()
+                ? plan.pieces.front().cpu_cycles_per_invocation
+                : simulateLoopOnCpu(site.loop, cpu_, site.iterations)
+                      .total_cycles;
         plans.push_back(std::move(plan));
     }
 
@@ -169,9 +177,7 @@ VirtualMachine::run(const Application& app,
         site_result.loop_name = site.loop.name();
 
         site_result.baseline_cycles =
-            simulateLoopOnCpu(site.loop, cpu_, site.iterations)
-                .total_cycles *
-            site.invocations;
+            plan.baseline_cpu_cycles_per_invocation * site.invocations;
 
         for (const auto& piece : plan.pieces) {
             const auto& tr = piece.translation;
@@ -362,6 +368,7 @@ VirtualMachine::run(const Application& app, metrics::Registry* registry,
     };
     struct HardenedSite {
         const LoopSite* site = nullptr;
+        std::int64_t baseline_cpu_cycles_per_invocation = 0;
         DegradationRung rung = DegradationRung::kNominal;
         bool pinned = false;
         TranslationReject reject = TranslationReject::kNone;
@@ -473,6 +480,20 @@ VirtualMachine::run(const Application& app, metrics::Registry* registry,
                                     /*first_invocation=*/false)
                     .total();
         }
+        // Reuse an existing simulation of the unfissioned site.loop when
+        // one was already run (pinned sites; unfissioned single pieces).
+        if (hs.pinned) {
+            hs.baseline_cpu_cycles_per_invocation =
+                hs.pinned_cpu_cycles_per_invocation;
+        } else if (!hs.pieces.empty() &&
+                   hs.pieces.front().loop == &site.loop) {
+            hs.baseline_cpu_cycles_per_invocation =
+                hs.pieces.front().cpu_cycles_per_invocation;
+        } else {
+            hs.baseline_cpu_cycles_per_invocation =
+                simulateLoopOnCpu(site.loop, cpu_, site.iterations)
+                    .total_cycles;
+        }
         sites.push_back(std::move(hs));
     }
 
@@ -562,9 +583,7 @@ VirtualMachine::run(const Application& app, metrics::Registry* registry,
         site_result.loop_name = site.loop.name();
         site_result.reject = hs.reject;
         site_result.baseline_cycles =
-            simulateLoopOnCpu(site.loop, cpu_, site.iterations)
-                .total_cycles *
-            site.invocations;
+            hs.baseline_cpu_cycles_per_invocation * site.invocations;
 
         FaultSiteReport site_report;
         site_report.loop_name = site.loop.name();

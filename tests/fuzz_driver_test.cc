@@ -103,6 +103,34 @@ TEST(FuzzDriver, SummaryIsIdenticalForAnyThreadCount)
     EXPECT_NE(report.find("failures: 0"), std::string::npos);
 }
 
+TEST(FuzzDriver, SchedDiffCampaignIsCleanAndDeterministic)
+{
+    // The --sched-diff mode: every case diffs the optimized kernels
+    // against the reference facade.  The overhauled hot path must make
+    // this campaign clean, with the usual any-thread-count determinism.
+    FuzzOptions options;
+    options.runs = 80;
+    options.seed = 11;
+    options.sched_diff = true;
+    options.threads = 1;
+    const FuzzSummary serial = runFuzz(options);
+
+    options.threads = 4;
+    const FuzzSummary parallel = runFuzz(options);
+
+    EXPECT_EQ(serial.render(), parallel.render());
+    EXPECT_TRUE(serial.clean()) << serial.render();
+}
+
+TEST(FuzzDriver, SchedDiffCaseReportsDivergenceDetail)
+{
+    // A direct probe of the per-case oracle on a known-good loop.
+    const Loop loop = makeFuzzCaseLoop(1, 0);
+    const OracleReport report = runSchedDiffCase(
+        loop, LaConfig::proposed(), TranslationMode::kFullyDynamic);
+    EXPECT_FALSE(isFailure(report.outcome)) << report.detail;
+}
+
 TEST(FuzzDriver, InjectedBugFlowsThroughShrinkAndCorpusSave)
 {
     const std::filesystem::path dir =

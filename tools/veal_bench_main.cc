@@ -1,0 +1,53 @@
+/**
+ * veal-bench: the translation-throughput driver.
+ *
+ * Pushes the full workload suite through the VM --runs times on a
+ * --threads-wide pool, reports translated-loops/sec and modeled
+ * cycles-per-translated-op from the metrics registry, and emits the
+ * veal-bench-v1 BENCH_translation.json entry that accumulates the
+ * repo's performance trajectory (see README "Benchmarking the
+ * translator").  --baseline-json embeds a previous entry plus the
+ * measured speedup, so regressions are a number, not a feeling.
+ *
+ * stdout carries only modeled (deterministic) quantities; wall-clock
+ * throughput lines go to stderr, and the --metrics-json snapshot is
+ * byte-identical for any --threads at a fixed --runs.
+ */
+
+#include <cstdio>
+
+#include "bench/throughput.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace veal;
+    const auto options = bench::parseThroughputCli(argc, argv);
+    const auto report = bench::runTranslationThroughput(options);
+
+    std::printf("veal-bench: %s suite, %lld pieces/run, %lld translated "
+                "loops/run, %lld loop ops/run\n",
+                report.suite.c_str(),
+                static_cast<long long>(report.pieces_per_run),
+                static_cast<long long>(report.translated_loops_per_run),
+                static_cast<long long>(report.ops_per_run));
+    std::printf("veal-bench: %lld modeled phase cycles/run, %.3f "
+                "cycles per loop op\n",
+                static_cast<long long>(report.phase_cycles_per_run),
+                report.cycles_per_translated_op);
+
+    std::fprintf(stderr,
+                 "veal-bench: %.1f translated loops/s, %.0f ops/s, "
+                 "p50 %.2f ms, p95 %.2f ms (%d runs, %d threads)\n",
+                 report.translated_loops_per_sec, report.ops_per_sec,
+                 report.p50_wall_ms, report.p95_wall_ms, report.runs,
+                 report.threads);
+    if (report.speedup_vs_baseline > 0.0) {
+        std::fprintf(stderr,
+                     "veal-bench: %.2fx vs baseline %s (%.1f loops/s)\n",
+                     report.speedup_vs_baseline,
+                     report.baseline_commit.c_str(),
+                     report.baseline_loops_per_sec);
+    }
+    return 0;
+}

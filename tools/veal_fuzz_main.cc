@@ -35,6 +35,9 @@ usage()
         "  --config NAME   fuzz only this preset (default: all presets)\n"
         "  --fault-seed S  arm a per-case FaultPlan stream; recovered\n"
         "                  cases report the fault-recovered outcome\n"
+        "  --sched-diff    diff the optimized scheduling kernels against\n"
+        "                  the frozen reference implementations instead\n"
+        "                  of running the execution oracle\n"
         "  --shrink        minimise failing loops before reporting\n"
         "  --corpus DIR    save shrunk repros to DIR as .veal files\n"
         "  --replay DIR    replay corpus files in DIR instead of fuzzing\n"
@@ -136,6 +139,8 @@ main(int argc, char** argv)
                 return 2;
             }
             options.configs = {*preset};
+        } else if (arg == "--sched-diff") {
+            options.sched_diff = true;
         } else if (arg == "--shrink") {
             options.shrink = true;
         } else if (arg == "--corpus") {
