@@ -1,0 +1,80 @@
+#ifndef VEAL_BENCH_SIMULATION_H_
+#define VEAL_BENCH_SIMULATION_H_
+
+/**
+ * @file
+ * Batched-simulation throughput measurement (veal-bench --mode
+ * simulation).
+ *
+ * One run pushes a fixed, seed-derived campaign case set -- the same
+ * fuzz-loop stream the campaign drivers consume -- through both
+ * simulation engines: the frozen scalar oracle (veal/sim/reference.h,
+ * one invocation at a time, exactly the pre-batch campaign hot path)
+ * and the batched data-parallel engine (veal/sim/batch.h, --batch lanes
+ * per call).  Each case is a CPU-timing simulation, a functional
+ * interpretation, and -- when the case translates -- the per-phase LA
+ * charges.
+ *
+ * Everything modeled (case count, total cycles, and FNV digests over
+ * every cycle count, architectural result, and LA charge in case order)
+ * is asserted identical between the two engines inside the run, and is
+ * byte-identical for any --threads and any --batch; wall-clock numbers
+ * and the speedup go to stderr and the JSON only.  The JSON
+ * (BENCH_simulation.json, schema veal-sim-bench-v1) pins the batching
+ * win in the repo: CI fails if the committed modeled fields drift or
+ * the committed speedup falls below the 4x floor.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/throughput.h"
+
+namespace veal::bench {
+
+/** Everything one --mode simulation invocation measured. */
+struct SimulationReport {
+    std::string commit;
+    int runs = 0;
+    int threads = 0;
+    int batch = 0;
+
+    /** Campaign cases per pass (fixed, seed-derived). */
+    int cases = 0;
+    /** Interpreter trip count per case. */
+    std::int64_t iterations = 0;
+
+    // --- Modeled fields: byte-identical for any --threads / --batch,
+    // and asserted identical between the two engines.
+    std::int64_t translated_cases = 0;  ///< Cases with LA-charge lanes.
+    std::int64_t total_cpu_cycles = 0;  ///< Sum of modeled total_cycles.
+    std::string cpu_digest;    ///< FNV over (total_cycles, cpi bits).
+    std::string exec_digest;   ///< FNV over live-outs + memory images.
+    std::string la_digest;     ///< FNV over per-phase LA charges.
+
+    // --- Wall clock (stderr/JSON only; never deterministic).
+    std::vector<double> reference_wall_ms;
+    std::vector<double> batched_wall_ms;
+    double reference_p50_ms = 0.0;
+    double batched_p50_ms = 0.0;
+    double reference_cases_per_sec = 0.0;
+    double batched_cases_per_sec = 0.0;
+    /** batched_cases_per_sec / reference_cases_per_sec. */
+    double speedup_vs_reference = 0.0;
+
+    /** The veal-sim-bench-v1 JSON rendering of this report. */
+    std::string toJson() const;
+};
+
+/**
+ * Run the measurement: @p options.runs timed passes of the case set
+ * through each engine (reference first, then batched).  Honours
+ * options.threads, options.batch, options.commit, and options.json_path
+ * (fatal on I/O error); per-pass timing prints to stderr only.
+ */
+SimulationReport runSimulationThroughput(const ThroughputOptions& options);
+
+}  // namespace veal::bench
+
+#endif  // VEAL_BENCH_SIMULATION_H_

@@ -24,9 +24,15 @@ printUsage(std::FILE* out, const char* argv0)
 {
     std::fprintf(
         out,
-        "usage: %s [--runs N] [--threads N] [--suite NAME] [--json FILE]\n"
-        "       [--baseline-json FILE] [--metrics-json FILE] "
-        "[--commit SHA]\n"
+        "usage: %s [--mode NAME] [--runs N] [--threads N] [--batch N]\n"
+        "       [--suite NAME] [--json FILE] [--baseline-json FILE]\n"
+        "       [--metrics-json FILE] [--commit SHA]\n"
+        "  --mode NAME          translation (default) or simulation (the\n"
+        "                       batched-simulation engine bench, schema\n"
+        "                       veal-sim-bench-v1)\n"
+        "  --batch N            lanes per batch-engine call in --mode\n"
+        "                       simulation (default 64; never affects\n"
+        "                       modeled output)\n"
         "  --runs N             timed passes of the suite through the VM "
         "(default 5)\n"
         "  --threads N          sweep worker threads (default: all "
@@ -123,7 +129,25 @@ parseThroughputCli(int argc, char** argv)
     };
     for (int i = 1; i < argc; ++i) {
         const char* arg = argv[i];
-        if (std::strcmp(arg, "--runs") == 0) {
+        if (std::strcmp(arg, "--mode") == 0) {
+            needsValue(i);
+            options.mode = argv[++i];
+            if (options.mode != "translation" &&
+                options.mode != "simulation") {
+                usageError(argv[0],
+                           "--mode wants translation or simulation, "
+                           "got '" +
+                               options.mode + "'");
+            }
+        } else if (std::strcmp(arg, "--batch") == 0) {
+            needsValue(i);
+            if (!parsePositiveInt(argv[++i], &options.batch)) {
+                usageError(argv[0],
+                           std::string("--batch wants a positive integer, "
+                                       "got '") +
+                               argv[i] + "'");
+            }
+        } else if (std::strcmp(arg, "--runs") == 0) {
             needsValue(i);
             if (!parsePositiveInt(argv[++i], &options.runs)) {
                 usageError(argv[0],

@@ -29,6 +29,16 @@ namespace veal::bench {
 
 /** Knobs for one veal-bench invocation. */
 struct ThroughputOptions {
+    /**
+     * "translation" (the PR-5 translation-throughput engine, default) or
+     * "simulation" (the batched-simulation engine bench emitting
+     * veal-sim-bench-v1 / BENCH_simulation.json).
+     */
+    std::string mode = "translation";
+
+    /** Batch width for --mode simulation (lanes per engine call). */
+    int batch = 64;
+
     /** Timed passes of the whole suite through the VM. */
     int runs = 5;
 

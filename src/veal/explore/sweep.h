@@ -18,6 +18,12 @@
  * Thread-confinement contract (audited in DESIGN.md "Threading"):
  * each cell constructs its own VirtualMachine / CostMeter; nothing
  * mutable is shared between cells.  Benchmarks are shared read-only.
+ *
+ * Each cell's VirtualMachine::run() prices every loop piece of the
+ * application through one batched simulateCpuBatch()/
+ * acceleratorCostBatch() call (see veal/sim/batch.h), so a whole sweep
+ * feeds the data-parallel batch engine rather than one-invocation-at-a-
+ * time simulator calls -- with bit-identical cell values.
  */
 
 #include <cstdint>

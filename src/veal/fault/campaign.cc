@@ -8,6 +8,7 @@
 
 #include "veal/fault/fault_injector.h"
 #include "veal/fuzz/oracle.h"
+#include "veal/sim/batch.h"
 #include "veal/sim/interpreter.h"
 #include "veal/sim/la_executor.h"
 #include "veal/support/assert.h"
@@ -79,7 +80,7 @@ diffResults(const ExecutionResult& reference,
 FaultCaseResult
 runOneCase(int plan_index, const FaultCampaignOptions& options,
            const std::vector<std::pair<std::string, Application>>& apps,
-           const VirtualMachine& vm)
+           const VirtualMachine& vm, BatchSimulator& simulator)
 {
     FaultCaseResult result;
     result.plan_index = plan_index;
@@ -124,6 +125,50 @@ runOneCase(int plan_index, const FaultCampaignOptions& options,
     // Invariant 1: architectural fidelity.  Every translation the
     // hardened VM actually dispatches must execute bit-identically to
     // the reference interpreter, whatever the plan injected.
+    //
+    // All reference interpretations run upfront through one
+    // data-parallel interpretBatch() call (the interpreter is pure, so
+    // interpreting pieces past a divergence is unobservable); the diff
+    // walk below then revisits the pieces in dispatch order, keeping the
+    // first-divergence early return and the skip/check counting exactly
+    // as a piece-at-a-time walk would produce them.
+    struct Differential {
+        const Loop* loop = nullptr;
+        ExecutionInput input;
+        ExecutionResult reference;
+        bool batched = false;
+    };
+    std::vector<Differential> differentials;
+    for (const auto& site : report.sites) {
+        for (const auto& piece : site.pieces) {
+            if (piece.loop == nullptr || !piece.translation.ok ||
+                !functionallyExecutable(*piece.loop,
+                                        piece.translation.analysis))
+                continue;
+            Differential d;
+            d.loop = piece.loop;
+            d.input = makeFuzzInput(*piece.loop, plan.seed,
+                                    options.iterations);
+            differentials.push_back(std::move(d));
+        }
+    }
+    std::vector<InterpretRequest> lanes;
+    std::vector<std::size_t> lane_owner;
+    for (std::size_t i = 0; i < differentials.size(); ++i) {
+        if (interpretable(*differentials[i].loop)) {
+            lanes.push_back(
+                {differentials[i].loop, &differentials[i].input});
+            lane_owner.push_back(i);
+        }
+    }
+    auto interpreted = simulator.interpretBatch(lanes);
+    for (std::size_t k = 0; k < lane_owner.size(); ++k) {
+        differentials[lane_owner[k]].reference =
+            std::move(interpreted[k]);
+        differentials[lane_owner[k]].batched = true;
+    }
+
+    std::size_t cursor = 0;  // Same enumeration order as the fill walk.
     for (const auto& site : report.sites) {
         for (const auto& piece : site.pieces) {
             if (piece.loop == nullptr || !piece.translation.ok)
@@ -134,15 +179,14 @@ runOneCase(int plan_index, const FaultCampaignOptions& options,
                 continue;
             }
             ++result.differential_checks;
-            const ExecutionInput input = makeFuzzInput(
-                *piece.loop, plan.seed, options.iterations);
+            Differential& d = differentials[cursor++];
             try {
-                const ExecutionResult reference =
-                    interpretLoop(*piece.loop, input);
+                if (!d.batched)
+                    d.reference = interpretLoop(*piece.loop, d.input);
                 const ExecutionResult accelerated = executeOnAccelerator(
-                    *piece.loop, piece.translation, input);
+                    *piece.loop, piece.translation, d.input);
                 const std::string diff =
-                    diffResults(reference, accelerated);
+                    diffResults(d.reference, accelerated);
                 if (!diff.empty()) {
                     result.diverged = true;
                     result.divergence_detail =
@@ -270,13 +314,34 @@ runFaultCampaign(const FaultCampaignOptions& options,
     const VirtualMachine vm(LaConfig::proposed(), CpuConfig::arm11(),
                             vm_options);
 
-    std::vector<int> indices(static_cast<std::size_t>(options.plans));
-    std::iota(indices.begin(), indices.end(), 0);
+    // Workers take whole blocks of consecutive plan indices; each block
+    // reuses one batch simulator so the differential interpretations of
+    // every case ride the batch engine with warm arenas.  Block width
+    // never affects results (each case is a pure function of its index).
+    const int batch = std::max(1, options.batch);
+    std::vector<std::pair<int, int>> blocks;  // [begin, end) indices.
+    for (int begin = 0; begin < options.plans; begin += batch) {
+        blocks.emplace_back(begin,
+                            std::min(begin + batch, options.plans));
+    }
     ThreadPool pool(options.threads);
-    const auto results =
-        parallelMap(pool, indices, [&](const int& plan_index) {
-            return runOneCase(plan_index, options, apps, vm);
+    const auto block_results = parallelMap(
+        pool, blocks, [&](const std::pair<int, int>& range) {
+            BatchSimulator simulator;
+            std::vector<FaultCaseResult> out;
+            out.reserve(
+                static_cast<std::size_t>(range.second - range.first));
+            for (int plan_index = range.first; plan_index < range.second;
+                 ++plan_index) {
+                out.push_back(runOneCase(plan_index, options, apps, vm,
+                                         simulator));
+            }
+            return out;
         });
+    std::vector<FaultCaseResult> results;
+    results.reserve(static_cast<std::size_t>(options.plans));
+    for (const auto& block : block_results)
+        results.insert(results.end(), block.begin(), block.end());
 
     // Index-ordered reduction: the summary (and any registry reporting)
     // is byte-identical for every thread count.

@@ -42,6 +42,15 @@ struct FaultCampaignOptions {
     int threads = 1;
     std::uint64_t seed = 1;
 
+    /**
+     * Plans dispatched per worker block: each block shares one batch
+     * simulator, and every case's differential interpretations ride one
+     * data-parallel interpretBatch() call.  Purely a throughput knob --
+     * the report is byte-identical for any width (same contract as the
+     * fuzz driver's --batch).
+     */
+    int batch = 64;
+
     /** Benchmark names to rotate over; empty = the whole media suite. */
     std::vector<std::string> apps;
 

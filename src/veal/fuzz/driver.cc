@@ -1,7 +1,9 @@
 #include "veal/fuzz/driver.h"
 
+#include <algorithm>
 #include <iomanip>
 #include <sstream>
+#include <utility>
 
 #include "veal/cca/cca_mapper.h"
 #include "veal/ir/loop_parser.h"
@@ -11,6 +13,7 @@
 #include "veal/sched/reference.h"
 #include "veal/sched/schedule.h"
 #include "veal/sched/scheduler.h"
+#include "veal/sim/batch.h"
 #include "veal/support/rng.h"
 #include "veal/support/thread_pool.h"
 
@@ -291,34 +294,71 @@ runFuzz(const FuzzOptions& options, metrics::Registry* registry)
         int ops = 0;  ///< Generated loop size (fuzz.loop_ops histogram).
     };
 
-    std::vector<int> indices(static_cast<std::size_t>(options.runs));
-    for (int i = 0; i < options.runs; ++i)
-        indices[static_cast<std::size_t>(i)] = i;
+    // Workers take whole blocks of consecutive case indices: one block
+    // is one runOracleBatch() call, so its reference interpretations ride
+    // the batch engine together.  Block boundaries never affect results
+    // (every case is a pure function of its index), so the report stays
+    // byte-identical for any --batch width and any --threads.
+    const int batch = std::max(1, options.batch);
+    std::vector<std::pair<int, int>> blocks;  // [begin, end) indices.
+    for (int begin = 0; begin < options.runs; begin += batch) {
+        blocks.emplace_back(begin,
+                            std::min(begin + batch, options.runs));
+    }
 
-    const auto run_case = [&](const int& index) {
-        const auto& preset = options.configs[
-            static_cast<std::size_t>(index) % options.configs.size()];
-        OracleOptions oracle;
-        oracle.mode = makeFuzzCaseMode(options.seed, index);
-        oracle.iterations = options.iterations;
-        oracle.perturb = options.perturb;
-        if (options.fault_seed.has_value()) {
-            oracle.fault_plan = FaultPlan::sample(
-                makeFuzzCasePlanSeed(*options.fault_seed, index));
+    const auto run_block = [&](const std::pair<int, int>& range) {
+        std::vector<CaseResult> out;
+        out.reserve(static_cast<std::size_t>(range.second - range.first));
+        if (options.sched_diff) {
+            for (int index = range.first; index < range.second; ++index) {
+                const auto& preset = options.configs[
+                    static_cast<std::size_t>(index) %
+                    options.configs.size()];
+                const Loop loop = makeFuzzCaseLoop(options.seed, index);
+                const OracleReport report = runSchedDiffCase(
+                    loop, preset.config,
+                    makeFuzzCaseMode(options.seed, index));
+                out.push_back(
+                    {report.outcome, report.detail, loop.size()});
+            }
+            return out;
         }
-        const Loop loop = makeFuzzCaseLoop(options.seed, index);
-        const OracleReport report =
-            options.sched_diff
-                ? runSchedDiffCase(loop, preset.config, oracle.mode)
-                : runOracle(loop, preset.config,
-                            makeFuzzCaseSeed(options.seed, index),
-                            oracle);
-        return CaseResult{report.outcome, report.detail, loop.size()};
+        std::vector<Loop> loops;
+        loops.reserve(static_cast<std::size_t>(range.second - range.first));
+        std::vector<OracleCase> cases;
+        for (int index = range.first; index < range.second; ++index) {
+            const auto& preset = options.configs[
+                static_cast<std::size_t>(index) % options.configs.size()];
+            OracleCase one;
+            one.config = &preset.config;
+            one.seed = makeFuzzCaseSeed(options.seed, index);
+            one.options.mode = makeFuzzCaseMode(options.seed, index);
+            one.options.iterations = options.iterations;
+            one.options.perturb = options.perturb;
+            if (options.fault_seed.has_value()) {
+                one.options.fault_plan = FaultPlan::sample(
+                    makeFuzzCasePlanSeed(*options.fault_seed, index));
+            }
+            loops.push_back(makeFuzzCaseLoop(options.seed, index));
+            one.loop = &loops.back();
+            cases.push_back(std::move(one));
+        }
+        BatchSimulator simulator;
+        const auto reports = runOracleBatch(cases, &simulator);
+        for (std::size_t k = 0; k < reports.size(); ++k) {
+            out.push_back({reports[k].outcome, reports[k].detail,
+                           loops[k].size()});
+        }
+        return out;
     };
 
     ThreadPool pool(options.threads);
-    const std::vector<CaseResult> results =
-        parallelMap(pool, indices, run_case);
+    const std::vector<std::vector<CaseResult>> block_results =
+        parallelMap(pool, blocks, run_block);
+    std::vector<CaseResult> results;
+    results.reserve(static_cast<std::size_t>(options.runs));
+    for (const auto& block : block_results)
+        results.insert(results.end(), block.begin(), block.end());
 
     // Index-ordered reduction: identical output for any thread count.
     // All metrics land here (never in the workers), so a snapshot obeys

@@ -46,6 +46,15 @@ struct FuzzOptions {
     int threads = 1;
     std::uint64_t seed = 1;
 
+    /**
+     * Cases dispatched per worker block: each block feeds one
+     * runOracleBatch() call, so one worker advances a whole block's
+     * reference interpretations through the batch engine per pass.
+     * Purely a throughput knob -- the campaign report is byte-identical
+     * for any width (see sim_batch_equivalence_test and the CI gate).
+     */
+    int batch = 64;
+
     /** Minimise failing loops before reporting them. */
     bool shrink = false;
 

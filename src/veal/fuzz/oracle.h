@@ -113,6 +113,31 @@ OracleReport runOracle(const Loop& loop, const LaConfig& config,
                        std::uint64_t seed,
                        const OracleOptions& options = {});
 
+/** One lane of runOracleBatch (all pointees owned by the caller). */
+struct OracleCase {
+    const Loop* loop = nullptr;
+    const LaConfig* config = nullptr;
+    std::uint64_t seed = 0;
+    OracleOptions options;
+};
+
+class BatchSimulator;
+
+/**
+ * Run many differential pipelines, feeding every reference
+ * interpretation the batch engine can take (see interpretable()) to one
+ * data-parallel interpretBatch() call; lanes it cannot take fall back to
+ * the scalar interpreter so their panics still classify per case.
+ * Reports are index-aligned with @p cases and identical to running
+ * runOracle() on each case alone, for any batch width or grouping.
+ *
+ * @p simulator optionally reuses one worker's arenas across blocks;
+ * pass nullptr for a transient one.
+ */
+std::vector<OracleReport> runOracleBatch(
+    const std::vector<OracleCase>& cases,
+    BatchSimulator* simulator = nullptr);
+
 }  // namespace veal
 
 #endif  // VEAL_FUZZ_ORACLE_H_

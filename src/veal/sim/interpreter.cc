@@ -8,120 +8,11 @@
 
 namespace veal {
 
-namespace {
-
-double
-asDouble(std::int64_t bits)
-{
-    return std::bit_cast<double>(bits);
-}
-
-std::int64_t
-asBits(double value)
-{
-    return std::bit_cast<std::int64_t>(value);
-}
-
-std::int64_t
-shiftAmount(std::int64_t raw)
-{
-    return raw & 63;
-}
-
-/**
- * Integer ALU ops wrap in two's complement, like the modeled datapath.
- * Routing add/sub/mul through uint64 keeps the wraparound well-defined
- * (signed overflow is UB and the fuzz/fault campaigns do overflow).
- */
-std::uint64_t
-toUnsigned(std::int64_t value)
-{
-    return static_cast<std::uint64_t>(value);
-}
-
-std::int64_t
-toSigned(std::uint64_t value)
-{
-    return static_cast<std::int64_t>(value);
-}
-
-}  // namespace
-
 std::int64_t
 evaluateOp(Opcode opcode, const std::vector<std::int64_t>& in,
            std::int64_t immediate)
 {
-    auto arg = [&](std::size_t index) {
-        return index < in.size() ? in[index] : 0;
-    };
-    switch (opcode) {
-      case Opcode::kConst: return immediate;
-      case Opcode::kLiveIn: return arg(0);  // Bound by the caller.
-      case Opcode::kAdd:
-        return toSigned(toUnsigned(arg(0)) + toUnsigned(arg(1)));
-      case Opcode::kSub:
-        return toSigned(toUnsigned(arg(0)) - toUnsigned(arg(1)));
-      case Opcode::kMul:
-        return toSigned(toUnsigned(arg(0)) * toUnsigned(arg(1)));
-      case Opcode::kDiv:
-        if (arg(1) == 0)
-            return 0;
-        if (arg(1) == -1)  // INT64_MIN / -1 overflows; wrap like neg.
-            return toSigned(0u - toUnsigned(arg(0)));
-        return arg(0) / arg(1);
-      case Opcode::kShl:
-        return static_cast<std::int64_t>(
-            static_cast<std::uint64_t>(arg(0)) << shiftAmount(arg(1)));
-      case Opcode::kShr:
-        return static_cast<std::int64_t>(
-            static_cast<std::uint64_t>(arg(0)) >> shiftAmount(arg(1)));
-      case Opcode::kAnd: return arg(0) & arg(1);
-      case Opcode::kOr: return arg(0) | arg(1);
-      case Opcode::kXor: return arg(0) ^ arg(1);
-      case Opcode::kNot: return ~arg(0);
-      case Opcode::kCmp: return arg(0) < arg(1) ? 1 : 0;
-      case Opcode::kSelect: return arg(0) != 0 ? arg(1) : arg(2);
-      case Opcode::kMin: return arg(0) < arg(1) ? arg(0) : arg(1);
-      case Opcode::kMax: return arg(0) > arg(1) ? arg(0) : arg(1);
-      case Opcode::kAbs:
-        return arg(0) < 0 ? toSigned(0u - toUnsigned(arg(0))) : arg(0);
-      case Opcode::kFAdd: return asBits(asDouble(arg(0)) +
-                                        asDouble(arg(1)));
-      case Opcode::kFSub: return asBits(asDouble(arg(0)) -
-                                        asDouble(arg(1)));
-      case Opcode::kFMul: return asBits(asDouble(arg(0)) *
-                                        asDouble(arg(1)));
-      case Opcode::kFDiv:
-        return asBits(asDouble(arg(1)) == 0.0
-                          ? 0.0
-                          : asDouble(arg(0)) / asDouble(arg(1)));
-      case Opcode::kFSqrt:
-        return asBits(asDouble(arg(0)) < 0.0
-                          ? 0.0
-                          : std::sqrt(asDouble(arg(0))));
-      case Opcode::kFCmp: return asDouble(arg(0)) < asDouble(arg(1)) ? 1
-                                                                     : 0;
-      case Opcode::kFAbs: return asBits(std::fabs(asDouble(arg(0))));
-      case Opcode::kItoF: return asBits(static_cast<double>(arg(0)));
-      case Opcode::kFtoI: {
-        // Out-of-range conversion is UB; the modeled unit saturates
-        // NaN/inf/overflow to 0 like the non-finite case.
-        const double value = asDouble(arg(0));
-        if (!std::isfinite(value) || value < -9223372036854775808.0 ||
-            value >= 9223372036854775808.0)
-            return 0;
-        return static_cast<std::int64_t>(value);
-      }
-      case Opcode::kLoad:
-      case Opcode::kStore:
-      case Opcode::kBranch:
-      case Opcode::kCall:
-      case Opcode::kCca:
-      case Opcode::kNumOpcodes:
-        break;
-    }
-    panic("evaluateOp: opcode ", toString(opcode),
-          " has no scalar semantics");
+    return evaluateOp(opcode, in.data(), in.size(), immediate);
 }
 
 ExecutionResult

@@ -1,0 +1,289 @@
+#include "veal/sim/reference.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "veal/support/assert.h"
+
+// The pre-batch-engine simulators, frozen verbatim from cpu_sim.cc,
+// interpreter.cc, and la_timing.cc at the moment the batch engine was
+// introduced.  Scalar operation semantics stay shared (veal::evaluateOp)
+// -- the oracle freezes the *simulation structure*, not the datapath.
+// Do not optimise this file.
+
+namespace veal::reference {
+
+namespace {
+
+/** Number of iterations simulated before extrapolating. */
+constexpr int kWarmIterations = 96;
+/** Steady-state delta is averaged over this many trailing iterations. */
+constexpr int kMeasureWindow = 32;
+
+int
+opLatency(const Operation& op, const CpuConfig& config)
+{
+    if (op.opcode == Opcode::kLoad)
+        return config.load_latency;
+    if (op.opcode == Opcode::kCall) {
+        // A non-inlined call: prologue/epilogue plus the callee body.
+        return 20;
+    }
+    return config.latencies.latency(op.opcode);
+}
+
+}  // namespace
+
+CpuLoopTiming
+simulateLoopOnCpu(const Loop& loop, const CpuConfig& config,
+                  std::int64_t iterations)
+{
+    VEAL_ASSERT(iterations >= 1, "loop must run at least one iteration");
+    const int n = loop.size();
+    const auto sim_iters = static_cast<int>(
+        std::min<std::int64_t>(iterations, kWarmIterations));
+
+    // finish[iter % window][op]: completion cycle of op in that iteration.
+    int max_distance = 1;
+    for (const auto& edge : loop.allEdges())
+        max_distance = std::max(max_distance, edge.distance);
+    const int window = max_distance + 1;
+    std::vector<std::int64_t> finish(
+        static_cast<std::size_t>(window) * static_cast<std::size_t>(n), 0);
+
+    struct SimOp {
+        int id;
+        int latency;
+        bool is_branch;
+        std::uint32_t input_begin;
+        std::uint32_t input_end;
+    };
+    std::vector<SimOp> sim_ops;
+    std::vector<std::pair<int, int>> sim_inputs;  // (producer, distance)
+    sim_ops.reserve(static_cast<std::size_t>(n));
+    for (const auto& op : loop.operations()) {
+        if (op.isValueSource())
+            continue;  // Constants/live-ins live in registers.
+        SimOp sim;
+        sim.id = op.id;
+        sim.latency = opLatency(op, config);
+        sim.is_branch = op.opcode == Opcode::kBranch;
+        sim.input_begin = static_cast<std::uint32_t>(sim_inputs.size());
+        for (const auto& input : op.inputs) {
+            if (!loop.op(input.producer).isValueSource())
+                sim_inputs.emplace_back(input.producer, input.distance);
+        }
+        sim.input_end = static_cast<std::uint32_t>(sim_inputs.size());
+        sim_ops.push_back(sim);
+    }
+
+    std::int64_t issue_cycle = 0;  // Cycle the next instruction may issue.
+    int issued_this_cycle = 0;
+    std::int64_t end_of_iteration = 0;
+    std::vector<std::int64_t> iteration_end(
+        static_cast<std::size_t>(sim_iters), 0);
+
+    for (int iter = 0; iter < sim_iters; ++iter) {
+        const auto ring = static_cast<std::size_t>(iter % window);
+        std::int64_t* finish_ring =
+            finish.data() + ring * static_cast<std::size_t>(n);
+        for (const auto& op : sim_ops) {
+            std::int64_t ready = issue_cycle;
+            for (std::uint32_t i = op.input_begin; i < op.input_end; ++i) {
+                const auto& [producer, distance] = sim_inputs[i];
+                const int source_iter = iter - distance;
+                if (source_iter < 0)
+                    continue;  // Value from before the loop: ready.
+                const auto src_ring =
+                    static_cast<std::size_t>(source_iter % window);
+                ready = std::max(
+                    ready, finish[src_ring * static_cast<std::size_t>(n) +
+                                  static_cast<std::size_t>(producer)]);
+            }
+
+            // In-order issue: advance to the operand-ready cycle, then
+            // take the next free slot.
+            if (ready > issue_cycle) {
+                issue_cycle = ready;
+                issued_this_cycle = 0;
+            }
+            if (issued_this_cycle >= config.issue_width) {
+                ++issue_cycle;
+                issued_this_cycle = 0;
+            }
+            ++issued_this_cycle;
+
+            const std::int64_t done = issue_cycle + op.latency;
+            finish_ring[static_cast<std::size_t>(op.id)] = done;
+            if (op.is_branch) {
+                // Taken loop-back branch: redirect bubble.
+                issue_cycle += 1 + config.branch_penalty;
+                issued_this_cycle = 0;
+            }
+            end_of_iteration = std::max(end_of_iteration, done);
+        }
+        iteration_end[static_cast<std::size_t>(iter)] = issue_cycle;
+    }
+
+    CpuLoopTiming timing;
+    if (sim_iters >= kMeasureWindow * 2) {
+        const std::int64_t tail =
+            iteration_end[static_cast<std::size_t>(sim_iters - 1)] -
+            iteration_end[static_cast<std::size_t>(
+                sim_iters - 1 - kMeasureWindow)];
+        timing.cycles_per_iteration =
+            static_cast<double>(tail) / kMeasureWindow;
+    } else {
+        timing.cycles_per_iteration =
+            static_cast<double>(
+                iteration_end[static_cast<std::size_t>(sim_iters - 1)]) /
+            sim_iters;
+    }
+
+    if (iterations <= sim_iters) {
+        timing.total_cycles = std::max<std::int64_t>(end_of_iteration, 1);
+    } else {
+        const double extra =
+            timing.cycles_per_iteration *
+            static_cast<double>(iterations - sim_iters);
+        timing.total_cycles =
+            std::max<std::int64_t>(end_of_iteration, 1) +
+            static_cast<std::int64_t>(extra);
+    }
+    return timing;
+}
+
+ExecutionResult
+interpretLoop(const Loop& loop, const ExecutionInput& input)
+{
+    VEAL_ASSERT(!loop.verify().has_value(), "malformed loop ",
+                loop.name());
+    const int n = loop.size();
+    const auto order = loop.topologicalOrder();
+
+    ExecutionResult result;
+    result.memory = input.memory;
+
+    // Value history: values[op][iteration]; iteration < 0 reads initial.
+    int max_distance = 0;
+    for (const auto& edge : loop.allEdges())
+        max_distance = std::max(max_distance, edge.distance);
+    std::vector<std::vector<std::int64_t>> history(
+        static_cast<std::size_t>(n));
+
+    auto value_at = [&](OpId id, std::int64_t iteration) -> std::int64_t {
+        const Operation& producer = loop.op(id);
+        if (producer.opcode == Opcode::kConst)
+            return producer.immediate;
+        if (producer.opcode == Opcode::kLiveIn) {
+            // Loop-invariant: the value "d iterations ago" is the value.
+            const auto it = input.live_ins.find(id);
+            return it != input.live_ins.end() ? it->second : 0;
+        }
+        if (iteration < 0) {
+            const auto it = input.initial.find(id);
+            return it != input.initial.end() ? it->second : 0;
+        }
+        return history[static_cast<std::size_t>(id)]
+                      [static_cast<std::size_t>(iteration)];
+    };
+
+    for (std::int64_t iteration = 0; iteration < input.iterations;
+         ++iteration) {
+        for (const OpId id : order) {
+            const Operation& op = loop.op(id);
+            std::int64_t value = 0;
+            switch (op.opcode) {
+              case Opcode::kLiveIn: {
+                const auto it = input.live_ins.find(id);
+                value = it != input.live_ins.end() ? it->second : 0;
+                break;
+              }
+              case Opcode::kLoad: {
+                const std::int64_t address =
+                    value_at(op.inputs[0].producer,
+                             iteration - op.inputs[0].distance);
+                const auto& array = result.memory[op.symbol];
+                const auto it = array.find(address);
+                value = it != array.end() ? it->second : 0;
+                break;
+              }
+              case Opcode::kStore: {
+                const std::int64_t address =
+                    value_at(op.inputs[0].producer,
+                             iteration - op.inputs[0].distance);
+                result.memory[op.symbol][address] =
+                    value_at(op.inputs[1].producer,
+                             iteration - op.inputs[1].distance);
+                break;
+              }
+              case Opcode::kBranch:
+                break;  // Loop control is the trip count here.
+              case Opcode::kCall:
+                panic("interpretLoop: cannot execute call in ",
+                      loop.name());
+              default: {
+                std::vector<std::int64_t> inputs;
+                inputs.reserve(op.inputs.size());
+                for (const auto& operand : op.inputs) {
+                    inputs.push_back(value_at(
+                        operand.producer, iteration - operand.distance));
+                }
+                value = evaluateOp(op.opcode, inputs, op.immediate);
+                break;
+              }
+            }
+            history[static_cast<std::size_t>(id)].push_back(value);
+        }
+    }
+
+    for (const auto& op : loop.operations()) {
+        if (op.is_live_out) {
+            result.live_outs[op.id] =
+                value_at(op.id, input.iterations - 1);
+        }
+    }
+    return result;
+}
+
+LaInvocationCost
+acceleratorLoopCost(const Schedule& schedule, const SchedGraph& graph,
+                    const LoopAnalysis& analysis,
+                    const RegisterAssignment& registers,
+                    const LaConfig& config, std::int64_t iterations,
+                    bool first_invocation)
+{
+    VEAL_ASSERT(iterations >= 1);
+    LaInvocationCost cost;
+
+    // --- Setup: bus handshake, then memory-mapped configuration writes.
+    cost.setup_cycles = config.bus_latency;
+    if (first_invocation) {
+        // One control word per scheduled FU unit, one per stream context.
+        const auto num_streams =
+            static_cast<std::int64_t>(analysis.load_streams.size() +
+                                      analysis.store_streams.size());
+        cost.setup_cycles += graph.numFuUnits() + 2 * num_streams;
+    }
+    // Scalar live-ins/constants are written into the register file before
+    // every invocation (their values may change between invocations).
+    std::int64_t live_in_regs = 0;
+    for (const int reg : registers.reg_of_source_op)
+        live_in_regs += reg >= 0 ? 1 : 0;
+    cost.setup_cycles += 2 * live_in_regs;
+
+    // --- Software-pipelined execution.
+    cost.pipeline_cycles =
+        (iterations - 1) * static_cast<std::int64_t>(schedule.ii) +
+        schedule.length;
+
+    // --- Drain: scalar results cross back over the bus.
+    std::int64_t live_outs = 0;
+    for (const auto& unit : graph.units())
+        live_outs += unit.is_live_out ? 1 : 0;
+    cost.drain_cycles = config.bus_latency + 2 * live_outs;
+
+    return cost;
+}
+
+}  // namespace veal::reference

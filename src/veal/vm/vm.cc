@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "veal/sim/batch.h"
 #include "veal/sim/cpu_sim.h"
 #include "veal/vm/control_image.h"
 #include "veal/sim/la_timing.h"
@@ -87,34 +88,61 @@ VirtualMachine::run(const Application& app,
             }
             piece.translation =
                 translateLoop(*loop, la_, options_.mode, annotations_ptr);
-            piece.cpu_cycles_per_invocation =
-                simulateLoopOnCpu(*loop, cpu_, site.iterations)
-                    .total_cycles;
-            if (piece.translation.ok) {
-                const auto& tr = piece.translation;
-                piece.la_first_invocation =
-                    acceleratorLoopCost(tr.schedule, *tr.graph,
-                                        tr.analysis, tr.registers, la_,
-                                        site.iterations,
-                                        /*first_invocation=*/true)
-                        .total();
-                piece.la_warm_invocation =
-                    acceleratorLoopCost(tr.schedule, *tr.graph,
-                                        tr.analysis, tr.registers, la_,
-                                        site.iterations,
-                                        /*first_invocation=*/false)
-                        .total();
-            }
             plan.pieces.push_back(std::move(piece));
         }
-        // An unfissioned site's only piece *is* site.loop; reuse its
-        // simulation instead of re-running it for the baseline.
-        plan.baseline_cpu_cycles_per_invocation =
-            site.fissioned.empty()
-                ? plan.pieces.front().cpu_cycles_per_invocation
-                : simulateLoopOnCpu(site.loop, cpu_, site.iterations)
-                      .total_cycles;
         plans.push_back(std::move(plan));
+    }
+
+    // Price every execution path through the batch engine: all pieces
+    // of all sites (plus the fissioned sites' unfissioned baselines)
+    // become lanes of one simulateCpuBatch() call, and every translated
+    // piece's first/warm invocation charges become lanes of one
+    // acceleratorCostBatch() call.  Bit-identical to per-call pricing.
+    {
+        BatchSimulator simulator;
+        std::vector<CpuSimRequest> cpu_requests;
+        std::vector<std::int64_t*> cpu_fills;
+        std::vector<LaCostRequest> la_requests;
+        std::vector<std::int64_t*> la_fills;
+        for (auto& plan : plans) {
+            const std::int64_t iterations = plan.site->iterations;
+            for (auto& piece : plan.pieces) {
+                cpu_requests.push_back({piece.loop, iterations});
+                cpu_fills.push_back(&piece.cpu_cycles_per_invocation);
+                if (piece.translation.ok) {
+                    const auto& tr = piece.translation;
+                    la_requests.push_back({&tr.schedule, &*tr.graph,
+                                           &tr.analysis, &tr.registers,
+                                           iterations,
+                                           /*first_invocation=*/true});
+                    la_fills.push_back(&piece.la_first_invocation);
+                    la_requests.push_back({&tr.schedule, &*tr.graph,
+                                           &tr.analysis, &tr.registers,
+                                           iterations,
+                                           /*first_invocation=*/false});
+                    la_fills.push_back(&piece.la_warm_invocation);
+                }
+            }
+            // An unfissioned site's only piece *is* site.loop; reuse its
+            // lane instead of adding one for the baseline.
+            if (!plan.site->fissioned.empty()) {
+                cpu_requests.push_back({&plan.site->loop, iterations});
+                cpu_fills.push_back(
+                    &plan.baseline_cpu_cycles_per_invocation);
+            }
+        }
+        const auto timings = simulator.simulateCpuBatch(cpu_, cpu_requests);
+        for (std::size_t i = 0; i < cpu_fills.size(); ++i)
+            *cpu_fills[i] = timings[i].total_cycles;
+        const auto charges = simulator.acceleratorCostBatch(la_, la_requests);
+        for (std::size_t i = 0; i < la_fills.size(); ++i)
+            *la_fills[i] = charges[i].total();
+        for (auto& plan : plans) {
+            if (plan.site->fissioned.empty()) {
+                plan.baseline_cpu_cycles_per_invocation =
+                    plan.pieces.front().cpu_cycles_per_invocation;
+            }
+        }
     }
 
     // Cache-miss count for one piece of @p site under a fits assumption:
@@ -457,44 +485,74 @@ VirtualMachine::run(const Application& app, metrics::Registry* registry,
             for (auto& piece : hs.pieces)
                 hs.charged_once.push_back(std::move(piece.translation));
             hs.pieces.clear();
-            hs.pinned_cpu_cycles_per_invocation =
-                simulateLoopOnCpu(site.loop, cpu_, site.iterations)
-                    .total_cycles;
         }
 
         for (auto& piece : hs.pieces) {
             piece.key =
                 std::to_string(site_index) + "/" + piece.loop->name();
-            piece.cpu_cycles_per_invocation =
-                simulateLoopOnCpu(*piece.loop, cpu_, site.iterations)
-                    .total_cycles;
-            const auto& tr = piece.translation;
-            piece.la_first_invocation =
-                acceleratorLoopCost(tr.schedule, *tr.graph, tr.analysis,
-                                    tr.registers, la_, site.iterations,
-                                    /*first_invocation=*/true)
-                    .total();
-            piece.la_warm_invocation =
-                acceleratorLoopCost(tr.schedule, *tr.graph, tr.analysis,
-                                    tr.registers, la_, site.iterations,
-                                    /*first_invocation=*/false)
-                    .total();
-        }
-        // Reuse an existing simulation of the unfissioned site.loop when
-        // one was already run (pinned sites; unfissioned single pieces).
-        if (hs.pinned) {
-            hs.baseline_cpu_cycles_per_invocation =
-                hs.pinned_cpu_cycles_per_invocation;
-        } else if (!hs.pieces.empty() &&
-                   hs.pieces.front().loop == &site.loop) {
-            hs.baseline_cpu_cycles_per_invocation =
-                hs.pieces.front().cpu_cycles_per_invocation;
-        } else {
-            hs.baseline_cpu_cycles_per_invocation =
-                simulateLoopOnCpu(site.loop, cpu_, site.iterations)
-                    .total_cycles;
         }
         sites.push_back(std::move(hs));
+    }
+
+    // Price the surviving pieces through the batch engine (one lane per
+    // piece, per pinned site, and per fissioned site's unfissioned
+    // baseline; two LA lanes per translated piece).  Bit-identical to
+    // per-call pricing; pointers are taken only now, after the sites
+    // vector has stopped moving.
+    {
+        BatchSimulator simulator;
+        std::vector<CpuSimRequest> cpu_requests;
+        std::vector<std::int64_t*> cpu_fills;
+        std::vector<LaCostRequest> la_requests;
+        std::vector<std::int64_t*> la_fills;
+        for (auto& hs : sites) {
+            const std::int64_t iterations = hs.site->iterations;
+            if (hs.pinned) {
+                cpu_requests.push_back({&hs.site->loop, iterations});
+                cpu_fills.push_back(&hs.pinned_cpu_cycles_per_invocation);
+            }
+            for (auto& piece : hs.pieces) {
+                cpu_requests.push_back({piece.loop, iterations});
+                cpu_fills.push_back(&piece.cpu_cycles_per_invocation);
+                const auto& tr = piece.translation;
+                la_requests.push_back({&tr.schedule, &*tr.graph,
+                                       &tr.analysis, &tr.registers,
+                                       iterations,
+                                       /*first_invocation=*/true});
+                la_fills.push_back(&piece.la_first_invocation);
+                la_requests.push_back({&tr.schedule, &*tr.graph,
+                                       &tr.analysis, &tr.registers,
+                                       iterations,
+                                       /*first_invocation=*/false});
+                la_fills.push_back(&piece.la_warm_invocation);
+            }
+            // A pinned site's baseline reuses the pinned lane, and an
+            // unfissioned single piece *is* site.loop; only a fissioned,
+            // unpinned site needs a baseline lane of its own.
+            if (!hs.pinned &&
+                !(!hs.pieces.empty() &&
+                  hs.pieces.front().loop == &hs.site->loop)) {
+                cpu_requests.push_back({&hs.site->loop, iterations});
+                cpu_fills.push_back(
+                    &hs.baseline_cpu_cycles_per_invocation);
+            }
+        }
+        const auto timings = simulator.simulateCpuBatch(cpu_, cpu_requests);
+        for (std::size_t i = 0; i < cpu_fills.size(); ++i)
+            *cpu_fills[i] = timings[i].total_cycles;
+        const auto charges = simulator.acceleratorCostBatch(la_, la_requests);
+        for (std::size_t i = 0; i < la_fills.size(); ++i)
+            *la_fills[i] = charges[i].total();
+        for (auto& hs : sites) {
+            if (hs.pinned) {
+                hs.baseline_cpu_cycles_per_invocation =
+                    hs.pinned_cpu_cycles_per_invocation;
+            } else if (!hs.pieces.empty() &&
+                       hs.pieces.front().loop == &hs.site->loop) {
+                hs.baseline_cpu_cycles_per_invocation =
+                    hs.pieces.front().cpu_cycles_per_invocation;
+            }
+        }
     }
 
     // --- Dispatch phase: explicit round-robin over invocations through a
@@ -745,12 +803,14 @@ VirtualMachine::run(const Application& app, metrics::Registry* registry,
 std::int64_t
 cpuOnlyCycles(const Application& app, const CpuConfig& cpu)
 {
+    std::vector<CpuSimRequest> requests;
+    requests.reserve(app.sites.size());
+    for (const auto& site : app.sites)
+        requests.push_back({&site.loop, site.iterations});
+    const auto timings = simulateCpuBatch(cpu, requests);
     std::int64_t total = 0;
-    for (const auto& site : app.sites) {
-        total += simulateLoopOnCpu(site.loop, cpu, site.iterations)
-                     .total_cycles *
-                 site.invocations;
-    }
+    for (std::size_t i = 0; i < app.sites.size(); ++i)
+        total += timings[i].total_cycles * app.sites[i].invocations;
     total += static_cast<std::int64_t>(
         static_cast<double>(app.acyclic_cycles) /
         std::max(cpu.acyclic_speedup, 1.0));

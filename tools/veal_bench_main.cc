@@ -16,13 +16,46 @@
 
 #include <cstdio>
 
+#include "bench/simulation.h"
 #include "bench/throughput.h"
+
+namespace {
+
+int
+runSimulationMode(const veal::bench::ThroughputOptions& options)
+{
+    const auto report = veal::bench::runSimulationThroughput(options);
+
+    std::printf("veal-bench: simulation, %d cases/pass, %lld translated, "
+                "%lld iterations/interpretation\n",
+                report.cases,
+                static_cast<long long>(report.translated_cases),
+                static_cast<long long>(report.iterations));
+    std::printf("veal-bench: %lld modeled cpu cycles, digests cpu=%s "
+                "exec=%s la=%s\n",
+                static_cast<long long>(report.total_cpu_cycles),
+                report.cpu_digest.c_str(), report.exec_digest.c_str(),
+                report.la_digest.c_str());
+
+    std::fprintf(stderr,
+                 "veal-bench: reference %.1f cases/s, batched %.1f "
+                 "cases/s, %.2fx (batch %d, %d runs, %d threads)\n",
+                 report.reference_cases_per_sec,
+                 report.batched_cases_per_sec,
+                 report.speedup_vs_reference, report.batch, report.runs,
+                 report.threads);
+    return 0;
+}
+
+}  // namespace
 
 int
 main(int argc, char** argv)
 {
     using namespace veal;
     const auto options = bench::parseThroughputCli(argc, argv);
+    if (options.mode == "simulation")
+        return runSimulationMode(options);
     const auto report = bench::runTranslationThroughput(options);
 
     std::printf("veal-bench: %s suite, %lld pieces/run, %lld translated "

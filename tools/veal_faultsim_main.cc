@@ -31,6 +31,9 @@ usage()
         "usage: veal-faultsim [options]\n"
         "  --plans N            fault plans to sample (default 200)\n"
         "  --threads N          worker threads (default 1)\n"
+        "  --batch N            plans per batch-engine block (default "
+        "64;\n"
+        "                       never affects results)\n"
         "  --seed S             campaign seed (default 1)\n"
         "  --app NAME           campaign only this benchmark (repeatable;\n"
         "                       default: the whole media suite)\n"
@@ -96,6 +99,8 @@ main(int argc, char** argv)
             options.plans = parseInt("--plans", next_value(i));
         } else if (arg == "--threads") {
             options.threads = parseInt("--threads", next_value(i));
+        } else if (arg == "--batch") {
+            options.batch = parseInt("--batch", next_value(i));
         } else if (arg == "--seed") {
             options.seed = parseU64("--seed", next_value(i));
         } else if (arg == "--app") {
@@ -131,9 +136,10 @@ main(int argc, char** argv)
     }
 
     if (options.plans < 1 || options.threads < 1 ||
-        options.iterations < 1 || options.code_cache_entries < 1) {
+        options.iterations < 1 || options.code_cache_entries < 1 ||
+        options.batch < 1) {
         std::cerr << "veal-faultsim: --plans, --threads, --iterations, "
-                     "and --cache-entries must be positive\n";
+                     "--cache-entries, and --batch must be positive\n";
         return usage();
     }
 

@@ -30,6 +30,8 @@ usage()
         "usage: veal-fuzz [options]\n"
         "  --runs N        cases to run (default 1000)\n"
         "  --threads N     worker threads (default 1)\n"
+        "  --batch N       cases per batch-engine block (default 64;\n"
+        "                  never affects results)\n"
         "  --seed S        campaign seed (default 1)\n"
         "  --iterations N  loop iterations per case (default 12)\n"
         "  --config NAME   fuzz only this preset (default: all presets)\n"
@@ -124,6 +126,8 @@ main(int argc, char** argv)
             options.runs = parseInt("--runs", next_value(i));
         } else if (arg == "--threads") {
             options.threads = parseInt("--threads", next_value(i));
+        } else if (arg == "--batch") {
+            options.batch = parseInt("--batch", next_value(i));
         } else if (arg == "--seed") {
             options.seed = parseU64("--seed", next_value(i));
         } else if (arg == "--iterations") {
@@ -166,9 +170,9 @@ main(int argc, char** argv)
         return replay(replay_dir);
 
     if (options.runs < 1 || options.threads < 1 ||
-        options.iterations < 1) {
-        std::cerr << "veal-fuzz: --runs, --threads, and --iterations "
-                     "must be positive\n";
+        options.iterations < 1 || options.batch < 1) {
+        std::cerr << "veal-fuzz: --runs, --threads, --iterations, and "
+                     "--batch must be positive\n";
         return 2;
     }
 
