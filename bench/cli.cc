@@ -1,0 +1,54 @@
+#include "bench/cli.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace veal::bench::cli {
+
+[[noreturn]] void
+usageError(const std::string& tool, const std::string& message,
+           const UsageFn& usage)
+{
+    std::cerr << tool << ": " << message << "\n";
+    std::exit(usage());
+}
+
+std::uint64_t
+parseU64(const std::string& tool, const std::string& flag,
+         const std::string& text, const UsageFn& usage)
+{
+    // 20 digits can overflow uint64; reject before strtoull saturates.
+    if (text.empty() || text.size() > 19 ||
+        text.find_first_not_of("0123456789") != std::string::npos) {
+        usageError(tool, flag + " needs a non-negative integer, got '" +
+                             text + "'",
+                   usage);
+    }
+    return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+int
+parseCount(const std::string& tool, const std::string& flag,
+           const std::string& text, const UsageFn& usage,
+           std::uint64_t max)
+{
+    const std::uint64_t wide = parseU64(tool, flag, text, usage);
+    if (wide > max) {
+        usageError(tool, flag + " value " + std::to_string(wide) +
+                             " is out of range (max " +
+                             std::to_string(max) + ")",
+                   usage);
+    }
+    return static_cast<int>(wide);
+}
+
+const char*
+requireValue(const std::string& tool, int argc, char** argv, int* i,
+             const UsageFn& usage)
+{
+    if (*i + 1 >= argc)
+        usageError(tool, std::string(argv[*i]) + " needs a value", usage);
+    return argv[++*i];
+}
+
+}  // namespace veal::bench::cli

@@ -1,0 +1,62 @@
+#ifndef VEAL_BENCH_CLI_H_
+#define VEAL_BENCH_CLI_H_
+
+/**
+ * @file
+ * Shared strict command-line parsing for every VEAL tool and bench.
+ *
+ * One convention, one implementation (PR-4 introduced it, this file
+ * de-duplicates it): numeric flag values must be entirely decimal
+ * digits -- "12abc" is an error, never 12 -- and every usage error
+ * prints a diagnostic plus the tool's usage text to stderr and exits
+ * with status 2, distinct from exit 1 (a failed run/measurement).
+ *
+ * Tools hand the helpers a UsageFn so the failure path renders *their*
+ * usage text; nothing here writes to stdout.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace veal::bench::cli {
+
+/** Prints the tool's usage text to stderr and returns the exit code (2). */
+using UsageFn = std::function<int()>;
+
+/**
+ * Strict decimal parse of @p text for @p flag: the whole token must be
+ * digits and fit in a uint64.  On failure, prints the diagnostic as
+ * "<tool>: <flag> needs a non-negative integer, got '<text>'", invokes
+ * @p usage, and exits with its return value.
+ */
+std::uint64_t parseU64(const std::string& tool, const std::string& flag,
+                       const std::string& text, const UsageFn& usage);
+
+/**
+ * As parseU64(), additionally range-checked to [0, @p max] and returned
+ * as int (for count-like flags: --runs, --threads, --batch, ...).
+ */
+int parseCount(const std::string& tool, const std::string& flag,
+               const std::string& text, const UsageFn& usage,
+               std::uint64_t max = 1000000ull);
+
+/**
+ * Fetch the value token following argv[*i] (advancing *i), or fail with
+ * "<tool>: <flag> needs a value" through @p usage.
+ */
+const char* requireValue(const std::string& tool, int argc, char** argv,
+                         int* i, const UsageFn& usage);
+
+/**
+ * The shared failure epilogue: "<tool>: <message>" to stderr, then
+ * @p usage, then exit with its return value.  Exposed for non-numeric
+ * errors (unknown flags, missing files) so they share the same path.
+ */
+[[noreturn]] void usageError(const std::string& tool,
+                             const std::string& message,
+                             const UsageFn& usage);
+
+}  // namespace veal::bench::cli
+
+#endif  // VEAL_BENCH_CLI_H_

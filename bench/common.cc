@@ -6,6 +6,7 @@
 #include <cstring>
 #include <iostream>
 
+#include "bench/cli.h"
 #include "veal/support/logging.h"
 #include "veal/support/table.h"
 
@@ -31,28 +32,30 @@ printUsage(std::FILE* out, const char* argv0)
                  argv0);
 }
 
-/**
- * Shared CLI failure path for every bench: diagnostic plus the usage
- * line to stderr, exit 2 (distinct from exit 1, a failed measurement).
- */
+/** Shared failure path (bench/cli.h) with the bench usage text. */
 [[noreturn]] void
 usageError(const char* argv0, const std::string& message)
 {
-    std::fprintf(stderr, "%s: %s\n", argv0, message.c_str());
-    printUsage(stderr, argv0);
-    std::exit(2);
+    cli::usageError(argv0, message, [argv0]() {
+        printUsage(stderr, argv0);
+        return 2;
+    });
 }
 
-/** Strict decimal parse: "12abc" is an error, not 12. */
-bool
-parsePositiveInt(const char* text, int* out)
+/** Strict positive parse on the shared digit-only path. */
+int
+parsePositiveInt(const char* argv0, const char* flag, const char* text)
 {
-    const std::string token(text);
-    if (token.empty() || token.size() > 9 ||
-        token.find_first_not_of("0123456789") != std::string::npos)
-        return false;
-    *out = std::atoi(text);
-    return *out > 0;
+    const int value = cli::parseCount(argv0, flag, text, [argv0]() {
+        printUsage(stderr, argv0);
+        return 2;
+    });
+    if (value < 1) {
+        usageError(argv0, std::string(flag) +
+                              " wants a positive integer, got '" + text +
+                              "'");
+    }
+    return value;
 }
 
 }  // namespace
@@ -66,19 +69,11 @@ BenchOptions::parse(int argc, char** argv)
         if (std::strcmp(arg, "--threads") == 0) {
             if (i + 1 >= argc)
                 usageError(argv[0], "--threads needs a value");
-            if (!parsePositiveInt(argv[++i], &options.threads)) {
-                usageError(argv[0],
-                           std::string("--threads wants a positive "
-                                       "integer, got '") +
-                               argv[i] + "'");
-            }
+            options.threads =
+                parsePositiveInt(argv[0], "--threads", argv[++i]);
         } else if (std::strncmp(arg, "--threads=", 10) == 0) {
-            if (!parsePositiveInt(arg + 10, &options.threads)) {
-                usageError(argv[0],
-                           std::string("--threads wants a positive "
-                                       "integer, got '") +
-                               (arg + 10) + "'");
-            }
+            options.threads =
+                parsePositiveInt(argv[0], "--threads", arg + 10);
         } else if (std::strcmp(arg, "--metrics-json") == 0) {
             if (i + 1 >= argc)
                 usageError(argv[0], "--metrics-json needs a file path");

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "veal/fuzz/driver.h"
 #include "veal/ir/loop_parser.h"
 
 namespace veal {
@@ -152,6 +153,8 @@ formatCorpusCase(const CorpusCase& repro)
     os << "#! seed " << repro.seed << "\n";
     os << "#! iterations " << repro.iterations << "\n";
     os << "#! expect " << toString(repro.expect) << "\n";
+    if (repro.service)
+        os << "#! service\n";
     if (repro.fault_plan_seed.has_value())
         os << "#! fault-seed " << *repro.fault_plan_seed << "\n";
     if (!repro.note.empty())
@@ -200,6 +203,10 @@ parseCorpusCase(const std::string& text)
             if (!outcome.has_value())
                 return "unknown outcome '" + rest + "'";
             repro.expect = *outcome;
+        } else if (directive == "service") {
+            if (!rest.empty())
+                return "'#! service' takes no arguments";
+            repro.service = true;
         } else if (directive == "fault-seed") {
             std::uint64_t plan_seed = 0;
             if (!parseU64(rest, &plan_seed))
@@ -273,6 +280,13 @@ replayCorpus(const std::string& directory)
         }
         const CorpusCase& repro = std::get<CorpusCase>(loaded);
         result.expect = repro.expect;
+        if (repro.service) {
+            result.actual = runServiceCase(repro.loop, repro.config,
+                                           repro.mode,
+                                           repro.fault_plan_seed);
+            results.push_back(std::move(result));
+            continue;
+        }
         OracleOptions options;
         options.mode = repro.mode;
         options.iterations = repro.iterations;

@@ -18,6 +18,8 @@
  *   #! seed 42
  *   #! iterations 12
  *   #! expect pass
+ *   #! service                (optional: replay through the translation
+ *                              service oracle instead of execution)
  *   #! fault-seed 77          (optional: arms FaultPlan::sample(77))
  *   #! note distance-2 recurrence at the II boundary
  *   loop repro
@@ -48,9 +50,18 @@ struct CorpusCase {
     /**
      * When set, replay arms FaultPlan::sample(*fault_plan_seed) -- the
      * exact injection the fuzzer used, so fault-mode repros keep their
-     * failure class.
+     * failure class.  In service cases the seed arms the service's
+     * per-request fault stream instead.
      */
     std::optional<std::uint64_t> fault_plan_seed;
+
+    /**
+     * Replay through the translation-service oracle (runServiceCase)
+     * instead of the execution oracle -- the `#! service` directive.
+     * `seed` and `iterations` are recorded for provenance but the
+     * service micro-trace fixes its own shape.
+     */
+    bool service = false;
 
     std::string note;
 };

@@ -13,9 +13,11 @@
 #include "veal/sched/reference.h"
 #include "veal/sched/schedule.h"
 #include "veal/sched/scheduler.h"
+#include "veal/service/service.h"
 #include "veal/sim/batch.h"
 #include "veal/support/rng.h"
 #include "veal/support/thread_pool.h"
+#include "veal/vm/translator.h"
 
 namespace veal {
 namespace {
@@ -97,18 +99,10 @@ makeFuzzCaseSeed(std::uint64_t campaign_seed, int case_index)
 Loop
 makeFuzzCaseLoop(std::uint64_t campaign_seed, int case_index)
 {
-    Rng rng(mixSeed(campaign_seed, case_index, 0x100b5ull));
-    RandomLoopParams params;
-    params.min_compute_ops = 2;
-    params.max_compute_ops =
-        4 + static_cast<int>(rng.nextBelow(45));
-    params.max_loads = 1 + static_cast<int>(rng.nextBelow(6));
-    params.max_stores = 1 + static_cast<int>(rng.nextBelow(3));
-    params.fp_fraction = rng.nextDouble() * 0.6;
-    params.recurrence_prob = rng.nextDouble() * 0.6;
-    params.max_carried_distance = 1 + static_cast<int>(rng.nextBelow(3));
-    params.trip_count = 16 + static_cast<std::int64_t>(rng.nextBelow(500));
-    return makeRandomLoop(params,
+    // Delegates to the shared stress family so the fuzzer and the
+    // translation-service traces draw from one loop distribution; the
+    // salts keep every historical case byte-identical.
+    return makeStressLoop(mixSeed(campaign_seed, case_index, 0x100b5ull),
                           makeFuzzCaseSeed(campaign_seed, case_index),
                           "fuzz");
 }
@@ -223,6 +217,109 @@ runSchedDiffCase(const Loop& loop, const LaConfig& config,
     return report;
 }
 
+OracleReport
+runServiceCase(const Loop& loop, const LaConfig& config,
+               TranslationMode mode,
+               std::optional<std::uint64_t> fault_seed)
+{
+    OracleReport report;
+    auto diverge = [&report](std::string detail) -> OracleReport& {
+        report.outcome = OracleOutcome::kDivergence;
+        report.detail = std::move(detail);
+        return report;
+    };
+
+    // The fixed micro-trace: tick 1 has both tenants requesting the
+    // same key (one cold translation, one coalesced ride-along), tick 2
+    // repeats it (two warm-tier serves).  Small shapes on purpose --
+    // the point is shard-invariance per case, not throughput.
+    struct Probe {
+        std::string render;
+        std::string metrics;
+        std::vector<RequestOutcome> first_tick;
+        std::vector<RequestOutcome> second_tick;
+    };
+    const auto probe = [&](int shards) {
+        ServiceOptions options;
+        options.shards = shards;
+        options.threads = 1;  // Cases already run on pool workers.
+        options.batch = 4;
+        options.shard_cache_entries = 4;
+        options.la = config;
+        options.fault_seed = fault_seed;
+        metrics::Registry registry;
+        TranslationService service(options, &registry);
+        Probe out;
+        for (int tick = 0; tick < 2; ++tick) {
+            for (int tenant = 0; tenant < 2; ++tenant) {
+                ServiceRequest request;
+                request.tenant = tenant;
+                request.loop = loop;
+                request.key = "fuzz-case";
+                request.mode = mode;
+                service.submit(std::move(request));
+            }
+            service.drainTick();
+            (tick == 0 ? out.first_tick : out.second_tick) =
+                service.lastTickOutcomes();
+        }
+        out.render = service.report().render();
+        out.metrics = registry.toJson();
+        return out;
+    };
+    const Probe narrow = probe(1);
+    const Probe wide = probe(2);
+
+    if (narrow.render != wide.render)
+        return diverge("service report differs between 1 and 2 shards");
+    if (narrow.metrics != wide.metrics)
+        return diverge("metrics snapshot differs between 1 and 2 shards");
+    if (narrow.first_tick.size() != 2 || narrow.second_tick.size() != 2)
+        return diverge("micro-trace dropped a request");
+
+    if (!fault_seed.has_value()) {
+        // Fault-free, the taxonomy is forced: cold + coalesced, then
+        // two warm serves of the tick-1 publication.
+        if (narrow.first_tick[0].cache != CacheOutcome::kCold ||
+            narrow.first_tick[1].cache != CacheOutcome::kCoalesced) {
+            return diverge("tick-1 taxonomy is not cold + coalesced");
+        }
+        if (narrow.second_tick[0].cache != CacheOutcome::kWarm ||
+            narrow.second_tick[1].cache != CacheOutcome::kWarm)
+            return diverge("tick-2 taxonomy is not warm + warm");
+
+        // Cross-check the service's verdict against a direct ladder
+        // climb -- the service must never flip a loop's translatability.
+        StaticAnnotations annotations;
+        const StaticAnnotations* annotations_ptr = nullptr;
+        if (mode == TranslationMode::kHybridStaticCcaPriority) {
+            annotations = precompileAnnotations(loop, config);
+            annotations_ptr = &annotations;
+        }
+        const LadderOutcome ladder = climbTranslationLadder(
+            loop, config, mode, annotations_ptr, nullptr);
+        for (const auto* tick : {&narrow.first_tick, &narrow.second_tick}) {
+            for (const auto& outcome : *tick) {
+                if (outcome.translated_ok != ladder.translation.ok) {
+                    return diverge(
+                        "service verdict disagrees with direct ladder");
+                }
+            }
+        }
+        if (narrow.first_tick[0].rung != ladder.rung)
+            return diverge("service rung disagrees with direct ladder");
+        if (!ladder.translation.ok) {
+            report.outcome = OracleOutcome::kTranslatorReject;
+            report.detail =
+                "reject: " + std::string(toString(
+                                 ladder.translation.reject));
+            return report;
+        }
+        report.ii = narrow.first_tick[0].ii;
+    }
+    return report;
+}
+
 TranslationMode
 makeFuzzCaseMode(std::uint64_t campaign_seed, int case_index)
 {
@@ -309,15 +406,24 @@ runFuzz(const FuzzOptions& options, metrics::Registry* registry)
     const auto run_block = [&](const std::pair<int, int>& range) {
         std::vector<CaseResult> out;
         out.reserve(static_cast<std::size_t>(range.second - range.first));
-        if (options.sched_diff) {
+        if (options.sched_diff || options.service) {
             for (int index = range.first; index < range.second; ++index) {
                 const auto& preset = options.configs[
                     static_cast<std::size_t>(index) %
                     options.configs.size()];
                 const Loop loop = makeFuzzCaseLoop(options.seed, index);
-                const OracleReport report = runSchedDiffCase(
-                    loop, preset.config,
-                    makeFuzzCaseMode(options.seed, index));
+                const TranslationMode mode =
+                    makeFuzzCaseMode(options.seed, index);
+                std::optional<std::uint64_t> plan_seed;
+                if (options.service && options.fault_seed.has_value()) {
+                    plan_seed =
+                        makeFuzzCasePlanSeed(*options.fault_seed, index);
+                }
+                const OracleReport report =
+                    options.sched_diff
+                        ? runSchedDiffCase(loop, preset.config, mode)
+                        : runServiceCase(loop, preset.config, mode,
+                                         plan_seed);
                 out.push_back(
                     {report.outcome, report.detail, loop.size()});
             }
@@ -400,11 +506,21 @@ runFuzz(const FuzzOptions& options, metrics::Registry* registry)
         }
         if (options.shrink) {
             const auto rerun = [&](const Loop& candidate) {
-                return options.sched_diff
-                           ? runSchedDiffCase(candidate, preset.config,
-                                              oracle.mode)
-                           : runOracle(candidate, preset.config,
-                                       failure.case_seed, oracle);
+                if (options.sched_diff) {
+                    return runSchedDiffCase(candidate, preset.config,
+                                            oracle.mode);
+                }
+                if (options.service) {
+                    std::optional<std::uint64_t> plan_seed;
+                    if (options.fault_seed.has_value()) {
+                        plan_seed = makeFuzzCasePlanSeed(
+                            *options.fault_seed, index);
+                    }
+                    return runServiceCase(candidate, preset.config,
+                                          oracle.mode, plan_seed);
+                }
+                return runOracle(candidate, preset.config,
+                                 failure.case_seed, oracle);
             };
             const auto still_fails = [&](const Loop& candidate) {
                 return rerun(candidate).outcome == result.outcome;
@@ -424,6 +540,7 @@ runFuzz(const FuzzOptions& options, metrics::Registry* registry)
             saved.seed = failure.case_seed;
             saved.iterations = options.iterations;
             saved.expect = failure.report.outcome;
+            saved.service = options.service;
             if (options.fault_seed.has_value()) {
                 saved.fault_plan_seed =
                     makeFuzzCasePlanSeed(*options.fault_seed, index);

@@ -93,6 +93,16 @@ struct FuzzOptions {
      * ignored in this mode.
      */
     bool sched_diff = false;
+
+    /**
+     * Translation-service campaign (--service): push every case through
+     * a multi-tenant TranslationService micro-trace at one and two
+     * shards, and require byte-identical reports, metrics snapshots,
+     * and cache taxonomy -- plus agreement with a direct ladder
+     * translation.  fault_seed arms the service's per-request fault
+     * stream (the ladder-under-concurrency stress); perturb is ignored.
+     */
+    bool service = false;
 };
 
 /**
@@ -104,6 +114,20 @@ struct FuzzOptions {
  */
 OracleReport runSchedDiffCase(const Loop& loop, const LaConfig& config,
                               TranslationMode mode);
+
+/**
+ * Run one --service case: feed @p loop through a fixed 2-tenant,
+ * 2-tick service micro-trace (cold + coalesced, then two warm serves)
+ * at 1 shard and again at 2 shards.  kPass when both services render
+ * byte-identical reports/metrics, the cache taxonomy matches the
+ * micro-trace, and the service's verdict agrees with a direct
+ * climbTranslationLadder() run; kDivergence with a first-mismatch
+ * detail otherwise.  @p fault_seed arms both services' per-request
+ * fault streams (the taxonomy check then only applies fault-free).
+ */
+OracleReport runServiceCase(
+    const Loop& loop, const LaConfig& config, TranslationMode mode,
+    std::optional<std::uint64_t> fault_seed = std::nullopt);
 
 /** One failing case, post-shrink when shrinking is on. */
 struct FuzzFailure {

@@ -142,4 +142,24 @@ makeRandomLoop(const RandomLoopParams& params, std::uint64_t seed,
     return b.build();
 }
 
+Loop
+makeStressLoop(std::uint64_t params_seed, std::uint64_t loop_seed,
+               const std::string& name)
+{
+    // Draw order is load-bearing: makeFuzzCaseLoop() has sampled this
+    // exact sequence since PR 2, so reordering a draw would invalidate
+    // every checked-in corpus seed.
+    Rng rng(params_seed);
+    RandomLoopParams params;
+    params.min_compute_ops = 2;
+    params.max_compute_ops = 4 + static_cast<int>(rng.nextBelow(45));
+    params.max_loads = 1 + static_cast<int>(rng.nextBelow(6));
+    params.max_stores = 1 + static_cast<int>(rng.nextBelow(3));
+    params.fp_fraction = rng.nextDouble() * 0.6;
+    params.recurrence_prob = rng.nextDouble() * 0.6;
+    params.max_carried_distance = 1 + static_cast<int>(rng.nextBelow(3));
+    params.trip_count = 16 + static_cast<std::int64_t>(rng.nextBelow(500));
+    return makeRandomLoop(params, loop_seed, name);
+}
+
 }  // namespace veal

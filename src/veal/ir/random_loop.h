@@ -35,6 +35,18 @@ struct RandomLoopParams {
 Loop makeRandomLoop(const RandomLoopParams& params, std::uint64_t seed,
                     const std::string& name = "random");
 
+/**
+ * The shared "stress family": RandomLoopParams themselves drawn from
+ * @p params_seed (2-49 compute ops, up to 6 loads / 3 stores, fp and
+ * recurrence fractions up to 0.6, trip counts 16-515), then the loop
+ * drawn from @p loop_seed.  This is the distribution every campaign
+ * driver samples -- the fuzzer's makeFuzzCaseLoop() and the translation
+ * service's trace loops both delegate here, so one corpus of loop
+ * shapes exercises every subsystem identically.
+ */
+Loop makeStressLoop(std::uint64_t params_seed, std::uint64_t loop_seed,
+                    const std::string& name = "stress");
+
 }  // namespace veal
 
 #endif  // VEAL_IR_RANDOM_LOOP_H_

@@ -1,0 +1,760 @@
+#include "veal/service/service.h"
+
+#include <algorithm>
+#include <array>
+#include <iomanip>
+#include <sstream>
+
+#include "veal/fault/fault_plan.h"
+#include "veal/support/assert.h"
+#include "veal/support/rng.h"
+
+namespace veal {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/** FNV-1a fold of one 64-bit value, byte by byte. */
+std::uint64_t
+fold(std::uint64_t digest, std::uint64_t value)
+{
+    for (int byte = 0; byte < 8; ++byte) {
+        digest ^= (value >> (byte * 8)) & 0xffull;
+        digest *= kFnvPrime;
+    }
+    return digest;
+}
+
+/** Fold every field of @p outcome into @p digest (sequence-ordered). */
+std::uint64_t
+foldOutcome(std::uint64_t digest, const RequestOutcome& outcome)
+{
+    digest = fold(digest, static_cast<std::uint64_t>(outcome.sequence));
+    digest = fold(digest, static_cast<std::uint64_t>(outcome.tenant));
+    digest = fold(digest, static_cast<std::uint64_t>(outcome.admission));
+    digest = fold(digest, static_cast<std::uint64_t>(outcome.cache));
+    digest = fold(digest, outcome.translated_ok ? 1 : 0);
+    digest = fold(digest, static_cast<std::uint64_t>(outcome.reject));
+    digest = fold(digest, static_cast<std::uint64_t>(outcome.rung));
+    digest = fold(digest, static_cast<std::uint64_t>(outcome.ii));
+    digest = fold(digest, static_cast<std::uint64_t>(outcome.stage_count));
+    digest = fold(digest,
+                  static_cast<std::uint64_t>(outcome.translation_cycles));
+    digest = fold(digest, static_cast<std::uint64_t>(outcome.cpu_cycles));
+    digest = fold(digest,
+                  static_cast<std::uint64_t>(outcome.la_first_cycles));
+    digest = fold(digest,
+                  static_cast<std::uint64_t>(outcome.la_warm_cycles));
+    digest = fold(digest, outcome.la_wins ? 1 : 0);
+    return digest;
+}
+
+void
+renderCountMap(std::ostringstream& os, const char* label,
+               const std::map<std::string, std::int64_t>& counts)
+{
+    os << label << ":";
+    if (counts.empty()) {
+        os << " none";
+    } else {
+        for (const auto& [name, count] : counts)
+            os << " " << name << "=" << count;
+    }
+    os << "\n";
+}
+
+}  // namespace
+
+const char*
+toString(AdmissionOutcome outcome)
+{
+    switch (outcome) {
+      case AdmissionOutcome::kAdmitted: return "admitted";
+      case AdmissionOutcome::kQueueFull: return "queue-full";
+      case AdmissionOutcome::kQuotaExceeded: return "quota-exceeded";
+    }
+    return "unknown";
+}
+
+const char*
+toString(CacheOutcome outcome)
+{
+    switch (outcome) {
+      case CacheOutcome::kCold: return "cold";
+      case CacheOutcome::kWarm: return "warm";
+      case CacheOutcome::kCoalesced: return "coalesced";
+      case CacheOutcome::kInvalidated: return "invalidated";
+      case CacheOutcome::kQuarantined: return "quarantined";
+    }
+    return "unknown";
+}
+
+std::uint64_t
+makeServicePlanSeed(std::uint64_t fault_seed, std::int64_t sequence)
+{
+    // Same index-addressable stream split as the fuzzer's mixSeed, with
+    // a service-local salt so a service request never aliases a fuzz
+    // case's fault plan.
+    Rng rng(fault_seed ^
+            (0x9e3779b97f4a7c15ull *
+             (static_cast<std::uint64_t>(sequence) + 1)) ^
+            0x5e47ull);
+    return rng.next();
+}
+
+std::string
+ServiceReport::render() const
+{
+    std::ostringstream os;
+    os << "veal-serve: ticks=" << ticks << " submitted=" << submitted
+       << " admitted=" << admitted << " rejected="
+       << (rejected_queue + rejected_quota) << " tenants="
+       << tenants.size() << "\n";
+    os << "admission: queue-full=" << rejected_queue
+       << " quota-exceeded=" << rejected_quota << "\n";
+    os << "cache: cold=" << cold << " warm=" << warm << " coalesced="
+       << coalesced << " invalidated=" << invalidated << " quarantined="
+       << quarantined << "\n";
+    os << "translate: ok=" << translate_ok << "\n";
+    renderCountMap(os, "rejects", rejects);
+    renderCountMap(os, "rungs", rungs);
+    os << "path: la=" << path_la << " cpu=" << path_cpu << "\n";
+    os << "cycles: translation=" << translation_cycles << " cpu="
+       << cpu_cycles << " la-first=" << la_first_cycles << " la-warm="
+       << la_warm_cycles << "\n";
+    os << "quarantined-pairs=" << quarantined_pairs << "\n";
+    renderCountMap(os, "fault-fired", fault_fired);
+    renderCountMap(os, "fault-probes", fault_probes);
+    os << std::left << std::setw(8) << "tenant" << std::right
+       << std::setw(10) << "submitted" << std::setw(10) << "admitted"
+       << std::setw(8) << "rej-q" << std::setw(10) << "rej-quota"
+       << std::setw(6) << "cold" << std::setw(6) << "warm"
+       << std::setw(6) << "coal" << std::setw(7) << "inval"
+       << std::setw(6) << "quar" << std::setw(5) << "ok"
+       << std::setw(5) << "rej" << "  digest\n";
+    for (const auto& [tenant, stats] : tenants) {
+        os << std::left << std::setw(8) << tenant << std::right
+           << std::setw(10) << stats.submitted << std::setw(10)
+           << stats.admitted << std::setw(8) << stats.rejected_queue
+           << std::setw(10) << stats.rejected_quota << std::setw(6)
+           << stats.cold << std::setw(6) << stats.warm << std::setw(6)
+           << stats.coalesced << std::setw(7) << stats.invalidated
+           << std::setw(6) << stats.quarantined << std::setw(5)
+           << stats.translate_ok << std::setw(5)
+           << stats.translate_reject << "  " << std::hex
+           << std::setw(16) << std::setfill('0') << stats.digest
+           << std::dec << std::setfill(' ') << "\n";
+    }
+    return os.str();
+}
+
+TranslationService::TranslationService(ServiceOptions options,
+                                       metrics::Registry* registry)
+    : options_(std::move(options)),
+      registry_(registry),
+      queue_(static_cast<std::size_t>(std::max(1, options_.queue_depth)))
+{
+    const int shards = std::max(1, options_.shards);
+    shard_caches_.reserve(static_cast<std::size_t>(shards));
+    shard_sims_.reserve(static_cast<std::size_t>(shards));
+    for (int s = 0; s < shards; ++s) {
+        shard_caches_.push_back(std::make_unique<CodeCache>(
+            std::max(1, options_.shard_cache_entries)));
+        shard_sims_.push_back(std::make_unique<BatchSimulator>());
+    }
+}
+
+AdmissionOutcome
+TranslationService::submit(ServiceRequest request)
+{
+    const std::int64_t sequence = next_sequence_++;
+    LogEntry log;
+    log.sequence = sequence;
+    log.tenant = request.tenant;
+    log.key = request.key;
+
+    // Quota first (a hogging tenant is rejected even when the queue has
+    // room), then the bounded queue's own capacity.
+    if (inflight_[request.tenant] >= options_.tenant_quota) {
+        log.admission = AdmissionOutcome::kQuotaExceeded;
+    } else if (!queue_.tryPush(Pending{std::move(request), sequence})) {
+        log.admission = AdmissionOutcome::kQueueFull;
+    } else {
+        log.admission = AdmissionOutcome::kAdmitted;
+        ++inflight_[log.tenant];
+    }
+    tick_log_.push_back(log);
+    return log.admission;
+}
+
+void
+TranslationService::drainTick()
+{
+    ++report_.ticks;
+    const std::int64_t epoch = report_.ticks;
+    if (registry_ != nullptr)
+        registry_->add("service.ticks");
+
+    // Pull this tick's admitted requests back out of the queue.  The
+    // queue is FIFO and filled from the sequenced submit() path, so the
+    // pop order *is* the sequence order.
+    std::vector<Pending> admitted;
+    while (auto item = queue_.tryPop())
+        admitted.push_back(std::move(*item));
+
+    const int shards = std::max(1, options_.shards);
+    const std::size_t batch =
+        static_cast<std::size_t>(std::max(1, options_.batch));
+
+    // ---- Phase 1: sequential planning, in sequence order.  Fixes the
+    // logical cache taxonomy (which is therefore shard-count invariant)
+    // and the fresh-translation work list; performs every warm-tier
+    // WRITE of the consult path (invalidations) so the parallel phase
+    // below only ever reads.
+    struct Job {
+        std::size_t admitted_index = 0;
+        const Loop* loop = nullptr;
+        std::string key;
+        TranslationMode mode = TranslationMode::kFullyDynamic;
+        std::int64_t iterations = 12;
+        std::optional<FaultInjector> injector;
+        // Parallel-phase products.
+        LadderOutcome ladder;
+        std::optional<ControlImage> image;
+        LaInvocationCost la_first;
+        LaInvocationCost la_warm;
+    };
+    struct PlanInfo {
+        CacheOutcome cache = CacheOutcome::kCold;
+        int job = -1;           ///< Own fresh translation.
+        int provider_job = -1;  ///< Coalesced: the provider's job.
+        WarmTier::EntryRef warm_entry;
+        std::optional<FaultInjector> injector;  ///< Warm-verify probes.
+    };
+    std::vector<PlanInfo> plans(admitted.size());
+    std::vector<Job> jobs;
+    std::map<std::string, int> tick_provider;  // key -> job index.
+
+    for (std::size_t i = 0; i < admitted.size(); ++i) {
+        const ServiceRequest& request = admitted[i].request;
+        PlanInfo& plan = plans[i];
+        const auto qkey = std::make_pair(request.tenant, request.key);
+        if (quarantined_.count(qkey) != 0) {
+            plan.cache = CacheOutcome::kQuarantined;
+            continue;
+        }
+
+        bool translate_needed = false;
+        if (auto entry = warm_.serve(request.key)) {
+            // Warm consult: verify the control image first, exactly as
+            // the hardened VM does before a cached dispatch.
+            bool corrupted = false;
+            if (options_.fault_seed.has_value()) {
+                plan.injector.emplace(FaultPlan::sample(
+                    makeServicePlanSeed(*options_.fault_seed,
+                                        admitted[i].sequence)));
+                if (entry->image.has_value() &&
+                    plan.injector->probe(FaultSite::kCacheCorruption)) {
+                    const auto target = warm_.mutableEntry(request.key);
+                    target->image->flipBit(plan.injector->corruptionBit(
+                        target->image->words().size() * 32));
+                    corrupted = target->image->checksum() !=
+                                target->expected_checksum;
+                }
+            }
+            if (!corrupted) {
+                plan.cache = CacheOutcome::kWarm;
+                plan.warm_entry = std::move(entry);
+                continue;
+            }
+            // Checksum mismatch: drop the entry everywhere, strike the
+            // (tenant, key) pair, and either quarantine it or queue a
+            // re-translation for this very request.
+            warm_.invalidate(request.key);
+            for (const auto& cache : shard_caches_)
+                cache->erase(request.key);
+            const int strikes = ++strikes_[qkey];
+            if (registry_ != nullptr) {
+                registry_->trace("service", "invalidate", request.key,
+                                 strikes);
+            }
+            if (strikes >= options_.quarantine_strikes) {
+                quarantined_.insert(qkey);
+                plan.cache = CacheOutcome::kQuarantined;
+                continue;
+            }
+            plan.cache = CacheOutcome::kInvalidated;
+            translate_needed = true;
+        } else if (const auto provider = tick_provider.find(request.key);
+                   provider != tick_provider.end()) {
+            plan.cache = CacheOutcome::kCoalesced;
+            plan.provider_job = provider->second;
+            continue;
+        } else {
+            plan.cache = CacheOutcome::kCold;
+            if (options_.fault_seed.has_value()) {
+                plan.injector.emplace(FaultPlan::sample(
+                    makeServicePlanSeed(*options_.fault_seed,
+                                        admitted[i].sequence)));
+            }
+            translate_needed = true;
+        }
+
+        VEAL_ASSERT(translate_needed);
+        Job job;
+        job.admitted_index = i;
+        job.loop = &request.loop;
+        job.key = request.key;
+        job.mode = request.mode;
+        job.iterations = request.iterations;
+        job.injector = std::move(plan.injector);
+        plan.injector.reset();
+        plan.job = static_cast<int>(jobs.size());
+        tick_provider[request.key] = plan.job;
+        jobs.push_back(std::move(job));
+    }
+
+    // ---- Phase 2: parallel shard phase.  Jobs round-robin over shards
+    // by job index; every shard touches only its own CodeCache and
+    // BatchSimulator, writes only its own jobs' fields and cpu_cycles
+    // slots, and reads the warm tier without mutating it.  Everything
+    // computed here is a pure function of the planned inputs, and the
+    // batch engine's grouping-invariance makes the shard/batch
+    // partition of the pricing lanes semantically invisible.
+    std::vector<std::int64_t> cpu_cycles(admitted.size(), 0);
+    const auto run_shard = [&](int shard) {
+        BatchSimulator& sim =
+            *shard_sims_[static_cast<std::size_t>(shard)];
+        CodeCache& cache =
+            *shard_caches_[static_cast<std::size_t>(shard)];
+
+        // (a) Translate this shard's jobs.
+        for (std::size_t j = static_cast<std::size_t>(shard);
+             j < jobs.size(); j += static_cast<std::size_t>(shards)) {
+            Job& job = jobs[j];
+            // Physical cache walk: shard-local miss, then the shared
+            // warm tier (read-only here; the planning pass already
+            // decided this key needs a fresh translation).
+            cache.lookup(job.key);
+            (void)warm_.find(job.key);
+            StaticAnnotations annotations;
+            const StaticAnnotations* annotations_ptr = nullptr;
+            if (job.mode == TranslationMode::kHybridStaticCcaPriority) {
+                annotations =
+                    precompileAnnotations(*job.loop, options_.la);
+                annotations_ptr = &annotations;
+            }
+            job.ladder = climbTranslationLadder(
+                *job.loop, options_.la, job.mode, annotations_ptr,
+                job.injector.has_value() ? &*job.injector : nullptr);
+            if (job.ladder.translation.ok) {
+                job.image = ControlImage::encode(*job.loop,
+                                                 job.ladder.translation);
+                cache.insert(job.key);
+            }
+        }
+
+        // (b) Price this shard's fresh translations (first + warm
+        // invocation lanes), in --batch blocks.
+        std::vector<std::size_t> ok_jobs;
+        for (std::size_t j = static_cast<std::size_t>(shard);
+             j < jobs.size(); j += static_cast<std::size_t>(shards)) {
+            if (jobs[j].ladder.translation.ok)
+                ok_jobs.push_back(j);
+        }
+        for (std::size_t begin = 0; begin < ok_jobs.size();
+             begin += batch) {
+            const std::size_t end =
+                std::min(begin + batch, ok_jobs.size());
+            std::vector<LaCostRequest> lanes;
+            lanes.reserve((end - begin) * 2);
+            for (std::size_t k = begin; k < end; ++k) {
+                const auto& tr = jobs[ok_jobs[k]].ladder.translation;
+                VEAL_ASSERT(tr.graph.has_value());
+                LaCostRequest lane;
+                lane.schedule = &tr.schedule;
+                lane.graph = &*tr.graph;
+                lane.analysis = &tr.analysis;
+                lane.registers = &tr.registers;
+                lane.iterations = jobs[ok_jobs[k]].iterations;
+                lane.first_invocation = true;
+                lanes.push_back(lane);
+                lane.first_invocation = false;
+                lanes.push_back(lane);
+            }
+            const auto costs =
+                sim.acceleratorCostBatch(options_.la, lanes);
+            for (std::size_t k = begin; k < end; ++k) {
+                jobs[ok_jobs[k]].la_first = costs[(k - begin) * 2];
+                jobs[ok_jobs[k]].la_warm = costs[(k - begin) * 2 + 1];
+            }
+        }
+
+        // (c) Price the baseline-CPU path of this shard's slice of the
+        // admitted requests, in --batch blocks.
+        std::vector<std::size_t> mine;
+        for (std::size_t i = static_cast<std::size_t>(shard);
+             i < admitted.size(); i += static_cast<std::size_t>(shards))
+            mine.push_back(i);
+        for (std::size_t begin = 0; begin < mine.size(); begin += batch) {
+            const std::size_t end = std::min(begin + batch, mine.size());
+            std::vector<CpuSimRequest> lanes;
+            lanes.reserve(end - begin);
+            for (std::size_t k = begin; k < end; ++k) {
+                CpuSimRequest lane;
+                lane.loop = &admitted[mine[k]].request.loop;
+                lane.iterations = admitted[mine[k]].request.iterations;
+                lanes.push_back(lane);
+            }
+            const auto timings =
+                sim.simulateCpuBatch(options_.cpu, lanes);
+            for (std::size_t k = begin; k < end; ++k)
+                cpu_cycles[mine[k]] = timings[k - begin].total_cycles;
+        }
+    };
+    if (!admitted.empty()) {
+        if (options_.threads > 1) {
+            if (pool_ == nullptr) {
+                pool_ =
+                    std::make_unique<ThreadPool>(options_.threads);
+            }
+            parallelFor(*pool_, shards, run_shard);
+        } else {
+            for (int shard = 0; shard < shards; ++shard)
+                run_shard(shard);
+        }
+    }
+
+    // ---- Phase 3a: price warm/coalesced serves (their own iteration
+    // counts) out of the reduction-owned simulator, in --batch blocks.
+    struct DeferredLane {
+        std::size_t admitted_index = 0;
+        const TranslationResult* translation = nullptr;
+    };
+    std::vector<DeferredLane> deferred;
+    for (std::size_t i = 0; i < admitted.size(); ++i) {
+        const PlanInfo& plan = plans[i];
+        const TranslationResult* tr = nullptr;
+        if (plan.cache == CacheOutcome::kWarm &&
+            plan.warm_entry->translation.ok) {
+            tr = &plan.warm_entry->translation;
+        } else if (plan.cache == CacheOutcome::kCoalesced) {
+            const auto& provider =
+                jobs[static_cast<std::size_t>(plan.provider_job)];
+            if (provider.ladder.translation.ok)
+                tr = &provider.ladder.translation;
+        }
+        if (tr != nullptr)
+            deferred.push_back({i, tr});
+    }
+    std::vector<std::int64_t> warm_price(admitted.size(), 0);
+    for (std::size_t begin = 0; begin < deferred.size(); begin += batch) {
+        const std::size_t end = std::min(begin + batch, deferred.size());
+        std::vector<LaCostRequest> lanes;
+        lanes.reserve(end - begin);
+        for (std::size_t k = begin; k < end; ++k) {
+            const auto& tr = *deferred[k].translation;
+            VEAL_ASSERT(tr.graph.has_value());
+            LaCostRequest lane;
+            lane.schedule = &tr.schedule;
+            lane.graph = &*tr.graph;
+            lane.analysis = &tr.analysis;
+            lane.registers = &tr.registers;
+            lane.iterations =
+                admitted[deferred[k].admitted_index].request.iterations;
+            lane.first_invocation = false;
+            lanes.push_back(lane);
+        }
+        const auto costs =
+            reduction_sim_.acceleratorCostBatch(options_.la, lanes);
+        for (std::size_t k = begin; k < end; ++k)
+            warm_price[deferred[k].admitted_index] =
+                costs[k - begin].total();
+    }
+
+    // ---- Phase 3b: index-ordered reduction over the full submission
+    // log (rejections included), in sequence order.  ALL accounting --
+    // registry counters, tenant digests, warm-tier publication -- lives
+    // here, which is the whole determinism argument: nothing observable
+    // depends on how phase 2 was partitioned.
+    last_tick_outcomes_.clear();
+    std::int64_t audited_cycles = 0;
+    std::int64_t charged_cycles = 0;
+    std::array<std::int64_t, kNumFaultSites> fired{};
+    std::array<std::int64_t, kNumFaultSites> probed{};
+    std::size_t admitted_cursor = 0;
+
+    for (const LogEntry& log : tick_log_) {
+        RequestOutcome out;
+        out.sequence = log.sequence;
+        out.tenant = log.tenant;
+        out.key = log.key;
+        out.admission = log.admission;
+
+        TenantReport& tenant = report_.tenants[log.tenant];
+        const std::string tenant_prefix =
+            "service.tenant." + std::to_string(log.tenant);
+        ++tenant.submitted;
+        ++report_.submitted;
+        if (registry_ != nullptr) {
+            registry_->add("service.requests.submitted");
+            registry_->add(tenant_prefix + ".submitted");
+        }
+
+        if (log.admission != AdmissionOutcome::kAdmitted) {
+            if (log.admission == AdmissionOutcome::kQueueFull) {
+                ++tenant.rejected_queue;
+                ++report_.rejected_queue;
+            } else {
+                ++tenant.rejected_quota;
+                ++report_.rejected_quota;
+            }
+            if (registry_ != nullptr) {
+                registry_->add(std::string("service.requests.rejected.") +
+                               toString(log.admission));
+                registry_->add(tenant_prefix + ".rejected");
+            }
+            tenant.digest = foldOutcome(tenant.digest, out);
+            last_tick_outcomes_.push_back(std::move(out));
+            continue;
+        }
+
+        VEAL_ASSERT(admitted_cursor < admitted.size() &&
+                        admitted[admitted_cursor].sequence ==
+                            log.sequence,
+                    "tick log / queue order diverged");
+        const std::size_t i = admitted_cursor++;
+        const PlanInfo& plan = plans[i];
+
+        ++tenant.admitted;
+        ++report_.admitted;
+        if (registry_ != nullptr) {
+            registry_->add("service.requests.admitted");
+            registry_->add(tenant_prefix + ".admitted");
+        }
+
+        out.cache = plan.cache;
+        switch (plan.cache) {
+          case CacheOutcome::kCold:
+            ++tenant.cold;
+            ++report_.cold;
+            break;
+          case CacheOutcome::kWarm:
+            ++tenant.warm;
+            ++report_.warm;
+            break;
+          case CacheOutcome::kCoalesced:
+            ++tenant.coalesced;
+            ++report_.coalesced;
+            break;
+          case CacheOutcome::kInvalidated:
+            ++tenant.invalidated;
+            ++report_.invalidated;
+            break;
+          case CacheOutcome::kQuarantined:
+            ++tenant.quarantined;
+            ++report_.quarantined;
+            break;
+        }
+        if (registry_ != nullptr) {
+            registry_->add(std::string("service.cache.") +
+                           toString(plan.cache));
+        }
+
+        out.cpu_cycles = cpu_cycles[i];
+        report_.cpu_cycles += out.cpu_cycles;
+
+        // Resolve the serving translation and charge/publish fresh ones.
+        const TranslationResult* tr = nullptr;
+        const bool fresh = plan.job >= 0;
+        if (fresh) {
+            Job& job = jobs[static_cast<std::size_t>(plan.job)];
+            tr = &job.ladder.translation;
+            out.rung = job.ladder.rung;
+
+            const auto charge = [&](const TranslationResult& attempt) {
+                const bool metered =
+                    attempt.mode != TranslationMode::kStatic;
+                const auto cycles = static_cast<std::int64_t>(
+                    metered ? attempt.meter.totalInstructions() : 0.0);
+                charged_cycles += cycles;
+                out.translation_cycles += cycles;
+                if (registry_ != nullptr && metered) {
+                    audited_cycles += metrics::chargePhaseCycles(
+                        *registry_, "service.phase_cycles",
+                        attempt.meter, 1);
+                }
+            };
+            for (const auto& attempt : job.ladder.failed_attempts)
+                charge(attempt);
+            charge(job.ladder.translation);
+
+            ++report_.rungs[toString(job.ladder.rung)];
+            if (registry_ != nullptr) {
+                registry_->add(std::string("service.rung.") +
+                               toString(job.ladder.rung));
+            }
+            // Publish (success or negative) at this request's sequence;
+            // later ticks serve it from the warm tier.
+            warm_.publish(job.key, job.ladder.translation,
+                          std::move(job.image), epoch, log.sequence);
+        } else if (plan.cache == CacheOutcome::kWarm) {
+            tr = &plan.warm_entry->translation;
+        } else if (plan.cache == CacheOutcome::kCoalesced) {
+            const auto& provider =
+                jobs[static_cast<std::size_t>(plan.provider_job)];
+            tr = &provider.ladder.translation;
+            out.rung = provider.ladder.rung;
+        }
+
+        if (tr != nullptr) {
+            out.translated_ok = tr->ok;
+            out.reject = tr->reject;
+            if (tr->ok) {
+                out.ii = tr->schedule.ii;
+                out.stage_count = tr->schedule.stage_count;
+            }
+        }
+
+        if (out.translated_ok) {
+            ++tenant.translate_ok;
+            ++report_.translate_ok;
+            if (registry_ != nullptr) {
+                registry_->add("service.translate.ok");
+                registry_->observe("service.ii", out.ii);
+            }
+            if (fresh) {
+                const Job& job =
+                    jobs[static_cast<std::size_t>(plan.job)];
+                out.la_first_cycles = job.la_first.total();
+                out.la_warm_cycles = job.la_warm.total();
+            } else {
+                out.la_warm_cycles = warm_price[i];
+            }
+            report_.la_first_cycles += out.la_first_cycles;
+            report_.la_warm_cycles += out.la_warm_cycles;
+            out.la_wins = out.la_warm_cycles < out.cpu_cycles;
+        } else if (plan.cache != CacheOutcome::kQuarantined &&
+                   tr != nullptr) {
+            ++tenant.translate_reject;
+            ++report_.rejects[toString(tr->reject)];
+            if (registry_ != nullptr) {
+                registry_->add(std::string("service.translate.reject.") +
+                               toString(tr->reject));
+            }
+        }
+        if (out.la_wins) {
+            ++report_.path_la;
+        } else {
+            ++report_.path_cpu;
+        }
+        if (registry_ != nullptr) {
+            registry_->add(out.la_wins ? "service.path.la"
+                                       : "service.path.cpu");
+        }
+
+        // Fault taxonomy: this request's injector lives in its job (it
+        // translated) or in its plan (warm verify only).
+        const FaultInjector* injector = nullptr;
+        if (fresh) {
+            const auto& job =
+                jobs[static_cast<std::size_t>(plan.job)];
+            injector =
+                job.injector.has_value() ? &*job.injector : nullptr;
+        } else if (plan.injector.has_value()) {
+            injector = &*plan.injector;
+        }
+        if (injector != nullptr) {
+            for (int site = 0; site < kNumFaultSites; ++site) {
+                fired[static_cast<std::size_t>(site)] +=
+                    injector->fired(static_cast<FaultSite>(site));
+                probed[static_cast<std::size_t>(site)] +=
+                    injector->probes(static_cast<FaultSite>(site));
+            }
+        }
+
+        tenant.digest = foldOutcome(tenant.digest, out);
+        last_tick_outcomes_.push_back(std::move(out));
+    }
+    VEAL_ASSERT(admitted_cursor == admitted.size(),
+                "tick log lost admitted requests");
+
+    report_.translation_cycles += charged_cycles;
+    if (registry_ != nullptr) {
+        registry_->add("service.cycles.translation", charged_cycles);
+        registry_->add("service.cycles.cpu_baseline", [&] {
+            std::int64_t total = 0;
+            for (const auto value : cpu_cycles)
+                total += value;
+            return total;
+        }());
+        // The phase split must telescope exactly (the PR-3 contract).
+        VEAL_ASSERT(audited_cycles == charged_cycles,
+                    "service phase charges diverged: ", audited_cycles,
+                    " != ", charged_cycles);
+    }
+    for (int site = 0; site < kNumFaultSites; ++site) {
+        const auto fired_count = fired[static_cast<std::size_t>(site)];
+        const auto probe_count = probed[static_cast<std::size_t>(site)];
+        const auto* name = toString(static_cast<FaultSite>(site));
+        if (fired_count > 0) {
+            report_.fault_fired[name] += fired_count;
+            if (registry_ != nullptr) {
+                registry_->add(std::string("service.fault.fired.") + name,
+                               fired_count);
+            }
+        }
+        if (probe_count > 0) {
+            report_.fault_probes[name] += probe_count;
+            if (registry_ != nullptr) {
+                registry_->add(std::string("service.fault.probes.") +
+                                   name,
+                               probe_count);
+            }
+        }
+    }
+    report_.quarantined_pairs =
+        static_cast<std::int64_t>(quarantined_.size());
+
+    tick_log_.clear();
+    inflight_.clear();
+}
+
+const ServiceReport&
+TranslationService::run(const ServiceTrace& trace)
+{
+    // Materialized loops are memoized per seed: traces draw from small
+    // pools, so most requests reuse an already-built loop.
+    std::map<std::uint64_t, Loop> loops;
+    for (const auto& tick : trace.ticks) {
+        for (const auto& trace_request : tick) {
+            auto it = loops.find(trace_request.loop_seed);
+            if (it == loops.end()) {
+                it = loops
+                         .emplace(trace_request.loop_seed,
+                                  makeTraceLoop(trace_request.loop_seed))
+                         .first;
+            }
+            ServiceRequest request;
+            request.tenant = trace_request.tenant;
+            request.loop = it->second;
+            request.key = traceRequestKey(trace_request);
+            request.mode = trace_request.mode;
+            request.iterations = trace_request.iterations;
+            submit(std::move(request));
+        }
+        drainTick();
+    }
+    return report_;
+}
+
+CodeCache::Stats
+TranslationService::shardCacheStats(int shard) const
+{
+    VEAL_ASSERT(shard >= 0 &&
+                shard < static_cast<int>(shard_caches_.size()));
+    return shard_caches_[static_cast<std::size_t>(shard)]->stats();
+}
+
+}  // namespace veal

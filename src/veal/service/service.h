@@ -1,0 +1,334 @@
+#ifndef VEAL_SERVICE_SERVICE_H_
+#define VEAL_SERVICE_SERVICE_H_
+
+/**
+ * @file
+ * Translation-as-a-service: the sharded multi-tenant VM front end.
+ *
+ * N tenants submit loop-translation requests into a bounded MPMC queue
+ * with admission control (reject-with-reason when the queue is full,
+ * per-tenant in-flight quotas).  Worker shards drain the queue in
+ * ticks: each shard owns a private LRU CodeCache and a reused
+ * BatchSimulator, and consults the shared WarmTier on a shard-local
+ * miss, so a loop translated by one shard is never re-translated by
+ * another in the same epoch.  The PR-4 fault layer is wired through:
+ * warm serves checksum their control image first, a corruption probe
+ * invalidates + re-translates, and repeated strikes quarantine the
+ * (tenant, key) pair to the CPU path -- tenant-scoped, so one tenant's
+ * corrupted entry never pins another tenant's loop.
+ *
+ * Determinism contract (DESIGN.md §14): for a fixed request trace, the
+ * rendered report, the metrics registry, the per-tenant digests, and
+ * the cache-hit taxonomy are byte-identical at any --shards/--threads/
+ * --batch.  Mechanism: every submission gets a sequence number; each
+ * tick runs a sequential planning pass (sequence order) that fixes the
+ * taxonomy and the translation work-list, a parallel shard phase that
+ * only computes pure functions (translate + price), and a sequential
+ * index-ordered reduction that does *all* accounting and warm-tier
+ * publication in sequence order.  Pricing rides the PR-6 batch engine,
+ * whose grouping-invariance guarantee makes shard/batch partitioning
+ * semantically invisible.
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "veal/arch/cpu_config.h"
+#include "veal/arch/la_config.h"
+#include "veal/fault/fault_injector.h"
+#include "veal/ir/loop.h"
+#include "veal/service/trace.h"
+#include "veal/sim/batch.h"
+#include "veal/support/bounded_queue.h"
+#include "veal/support/metrics/metrics.h"
+#include "veal/support/thread_pool.h"
+#include "veal/vm/code_cache.h"
+#include "veal/vm/translator.h"
+#include "veal/vm/warm_tier.h"
+
+namespace veal {
+
+/** Service configuration (mirrors the veal-serve CLI). */
+struct ServiceOptions {
+    /** Worker shards, each with a private CodeCache + BatchSimulator. */
+    int shards = 1;
+
+    /**
+     * Pool width for the parallel shard phase.  <= 1 runs the shards
+     * inline on the calling thread (required when the service itself
+     * runs on a ThreadPool worker, e.g. veal-fuzz --service cases --
+     * nested pool submission is rejected process-wide).  Never affects
+     * results.
+     */
+    int threads = 1;
+
+    /** Pricing lanes per BatchSimulator call.  Never affects results. */
+    int batch = 16;
+
+    /** Bounded request queue depth (admission control). */
+    int queue_depth = 64;
+
+    /** Per-tenant admitted-in-flight quota per tick; 0 rejects all. */
+    int tenant_quota = 8;
+
+    /** Capacity of each shard's private CodeCache. */
+    int shard_cache_entries = 16;
+
+    /** Checksum strikes before a (tenant, key) is quarantined. */
+    int quarantine_strikes = 2;
+
+    /** Target accelerator. */
+    LaConfig la = LaConfig::proposed();
+
+    /** Baseline CPU for pricing the non-accelerated path. */
+    CpuConfig cpu = CpuConfig::arm11();
+
+    /**
+     * When set, every request arms a FaultInjector with
+     * FaultPlan::sample(makeServicePlanSeed(*fault_seed, sequence)),
+     * exercising corruption/degradation under concurrency.  The fired
+     * taxonomy lands in the report and registry (sequence-ordered, so
+     * still byte-identical at any shard/thread/batch count).
+     */
+    std::optional<std::uint64_t> fault_seed;
+};
+
+/** Why a submission was (or was not) admitted. */
+enum class AdmissionOutcome : int {
+    kAdmitted = 0,
+    kQueueFull,      ///< Bounded queue had no space.
+    kQuotaExceeded,  ///< Tenant hit its in-flight quota.
+};
+
+/** Outcome name, e.g. "queue-full". */
+const char* toString(AdmissionOutcome outcome);
+
+/**
+ * How an admitted request's translation was satisfied.  The taxonomy is
+ * *logical* (fixed by the sequential planning pass), so it is invariant
+ * under shard count -- shard-private CodeCache hit rates are physical
+ * diagnostics exposed separately via shardCacheStats().
+ */
+enum class CacheOutcome : int {
+    kCold = 0,     ///< First sight of the key: translated this tick.
+    kWarm,         ///< Served from the warm tier (earlier tick).
+    kCoalesced,    ///< Same-tick duplicate: rode another request's job.
+    kInvalidated,  ///< Warm image failed its checksum; re-translated.
+    kQuarantined,  ///< (tenant, key) is quarantined; CPU path.
+};
+
+/** Outcome name, e.g. "coalesced". */
+const char* toString(CacheOutcome outcome);
+
+/** One materialized submission. */
+struct ServiceRequest {
+    int tenant = 0;
+
+    /** The loop to translate. */
+    Loop loop{"request"};
+
+    /** Translation identity (tenants share; e.g. traceRequestKey()). */
+    std::string key;
+
+    TranslationMode mode = TranslationMode::kFullyDynamic;
+
+    /** Iterations per invocation (prices the CPU/LA comparison). */
+    std::int64_t iterations = 12;
+};
+
+/** Everything the service decided about one submission. */
+struct RequestOutcome {
+    std::int64_t sequence = 0;
+    int tenant = 0;
+    std::string key;
+    AdmissionOutcome admission = AdmissionOutcome::kAdmitted;
+
+    /** Meaningful for admitted requests only. */
+    CacheOutcome cache = CacheOutcome::kCold;
+
+    /** Final translation verdict (kNone while rejected-at-admission). */
+    bool translated_ok = false;
+    TranslationReject reject = TranslationReject::kNone;
+
+    /** Degradation rung that produced the translation (cold paths). */
+    DegradationRung rung = DegradationRung::kNominal;
+
+    int ii = 0;
+    int stage_count = 0;
+
+    /** Translation cycles charged to this request (cold paths only). */
+    std::int64_t translation_cycles = 0;
+
+    /** Baseline CPU price for this request's iterations. */
+    std::int64_t cpu_cycles = 0;
+
+    /** LA prices (0 when not applicable). */
+    std::int64_t la_first_cycles = 0;
+    std::int64_t la_warm_cycles = 0;
+
+    /** True when the steady-state LA path beats the CPU baseline. */
+    bool la_wins = false;
+};
+
+/** Per-tenant accumulated results. */
+struct TenantReport {
+    std::int64_t submitted = 0;
+    std::int64_t admitted = 0;
+    std::int64_t rejected_queue = 0;
+    std::int64_t rejected_quota = 0;
+    std::int64_t cold = 0;
+    std::int64_t warm = 0;
+    std::int64_t coalesced = 0;
+    std::int64_t invalidated = 0;
+    std::int64_t quarantined = 0;
+    std::int64_t translate_ok = 0;
+    std::int64_t translate_reject = 0;
+
+    /**
+     * FNV-1a fold of every RequestOutcome field, updated in sequence
+     * order -- the per-tenant results digest of the determinism
+     * contract.  Byte-identical at any shard/thread/batch count.
+     */
+    std::uint64_t digest = 0xcbf29ce484222325ull;
+};
+
+/** Whole-service accumulated results. */
+struct ServiceReport {
+    std::int64_t ticks = 0;
+    std::int64_t submitted = 0;
+    std::int64_t admitted = 0;
+    std::int64_t rejected_queue = 0;
+    std::int64_t rejected_quota = 0;
+
+    std::int64_t cold = 0;
+    std::int64_t warm = 0;
+    std::int64_t coalesced = 0;
+    std::int64_t invalidated = 0;
+    std::int64_t quarantined = 0;
+
+    std::int64_t translate_ok = 0;
+    std::map<std::string, std::int64_t> rejects;  ///< By reject name.
+    std::map<std::string, std::int64_t> rungs;    ///< By rung name.
+
+    std::int64_t path_la = 0;
+    std::int64_t path_cpu = 0;
+
+    std::int64_t translation_cycles = 0;
+    std::int64_t cpu_cycles = 0;
+    std::int64_t la_first_cycles = 0;
+    std::int64_t la_warm_cycles = 0;
+
+    /** Quarantined (tenant, key) pairs currently in force. */
+    std::int64_t quarantined_pairs = 0;
+
+    /** Fault taxonomy summed over every request's injector. */
+    std::map<std::string, std::int64_t> fault_fired;
+    std::map<std::string, std::int64_t> fault_probes;
+
+    std::map<int, TenantReport> tenants;
+
+    /**
+     * Deterministic text report: identical at any shard/thread/batch
+     * count (contains no configuration echo of those knobs).
+     */
+    std::string render() const;
+};
+
+/** Per-request fault-plan seed (exposed so tests can replay one). */
+std::uint64_t makeServicePlanSeed(std::uint64_t fault_seed,
+                                  std::int64_t sequence);
+
+/**
+ * The long-running translation front end; see file comment.
+ *
+ * Thread-safety: submit()/drainTick()/run() are called from one driver
+ * thread (the service parallelizes internally); the bounded queue
+ * itself is MPMC for callers that want concurrent submission between
+ * ticks, but deterministic accounting assumes sequenced submissions.
+ */
+class TranslationService {
+  public:
+    explicit TranslationService(ServiceOptions options,
+                                metrics::Registry* registry = nullptr);
+
+    /**
+     * Submit @p request: assigns the next sequence number, applies the
+     * tenant quota, then the bounded queue.  Rejected submissions are
+     * still accounted (at the next drainTick(), in sequence order).
+     */
+    AdmissionOutcome submit(ServiceRequest request);
+
+    /**
+     * Drain everything admitted since the last drain as one tick:
+     * sequential planning (taxonomy + work-list), parallel shard phase
+     * (translate + price), sequential reduction (all accounting).
+     */
+    void drainTick();
+
+    /** Replay @p trace (submit each tick, drain it) and return report(). */
+    const ServiceReport& run(const ServiceTrace& trace);
+
+    const ServiceReport& report() const { return report_; }
+
+    const ServiceOptions& options() const { return options_; }
+
+    /** Outcomes of the most recent tick, in sequence order (tests). */
+    const std::vector<RequestOutcome>& lastTickOutcomes() const
+    {
+        return last_tick_outcomes_;
+    }
+
+    // --- Physical diagnostics.  Shard-local cache hit rates depend on
+    // the shard count by nature; they are exposed for tests and stderr
+    // reporting but never enter the deterministic report or registry.
+
+    CodeCache::Stats shardCacheStats(int shard) const;
+
+    const WarmTier& warmTier() const { return warm_; }
+
+  private:
+    struct Pending {
+        ServiceRequest request;
+        std::int64_t sequence = 0;
+    };
+
+    /** One submission's accounting stub (all submissions, in order). */
+    struct LogEntry {
+        std::int64_t sequence = 0;
+        int tenant = 0;
+        std::string key;
+        AdmissionOutcome admission = AdmissionOutcome::kAdmitted;
+    };
+
+    ServiceOptions options_;
+    metrics::Registry* registry_ = nullptr;
+
+    BoundedQueue<Pending> queue_;
+    std::vector<LogEntry> tick_log_;
+    std::map<int, int> inflight_;  ///< Tenant -> admitted this tick.
+    std::int64_t next_sequence_ = 0;
+
+    WarmTier warm_;
+    std::vector<std::unique_ptr<CodeCache>> shard_caches_;
+    std::vector<std::unique_ptr<BatchSimulator>> shard_sims_;
+    BatchSimulator reduction_sim_;
+
+    /** Strikes per (tenant, key); quarantine at options_.quarantine_strikes. */
+    std::map<std::pair<int, std::string>, int> strikes_;
+    std::set<std::pair<int, std::string>> quarantined_;
+
+    std::unique_ptr<ThreadPool> pool_;  ///< Lazy; threads > 1 only.
+
+    ServiceReport report_;
+    std::vector<RequestOutcome> last_tick_outcomes_;
+};
+
+}  // namespace veal
+
+#endif  // VEAL_SERVICE_SERVICE_H_

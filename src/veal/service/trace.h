@@ -1,0 +1,113 @@
+#ifndef VEAL_SERVICE_TRACE_H_
+#define VEAL_SERVICE_TRACE_H_
+
+/**
+ * @file
+ * The versioned request-trace format of the translation service.
+ *
+ * A trace is the replayable input of a whole multi-tenant service run:
+ * the exact sequence of loop-translation requests every tenant submits,
+ * grouped into arrival ticks.  The text format (`veal-trace-v1`) is the
+ * durable artifact -- CI replays a fixed trace across the shard/thread/
+ * batch matrix and byte-compares the outputs -- so it is versioned,
+ * strictly parsed (line-numbered errors, unknown keys rejected), and
+ * round-trips exactly through format/parse.
+ *
+ *   veal-trace-v1
+ *   # comment
+ *   tick
+ *   submit tenant=0 seed=42 mode=fully-dynamic iterations=12
+ *   submit tenant=1 seed=42
+ *   tick
+ *   submit tenant=2 seed=7 mode=static
+ *
+ * `tick` starts a new arrival round (submissions before the first
+ * `tick` belong to tick 0); `submit` carries the tenant id, the loop
+ * seed (the loop itself is derived via makeTraceLoop(), never stored),
+ * and optional mode/iterations (defaults: fully-dynamic, 12).
+ */
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "veal/ir/loop.h"
+#include "veal/vm/translator.h"
+
+namespace veal {
+
+/** One `submit` line. */
+struct TraceRequest {
+    int tenant = 0;
+    std::uint64_t loop_seed = 0;
+    TranslationMode mode = TranslationMode::kFullyDynamic;
+    std::int64_t iterations = 12;
+};
+
+/** A whole veal-trace-v1 file: requests grouped into arrival ticks. */
+struct ServiceTrace {
+    std::vector<std::vector<TraceRequest>> ticks;
+
+    /** Total `submit` lines across all ticks. */
+    std::int64_t totalRequests() const;
+
+    /** Highest tenant id + 1 (0 for an empty trace). */
+    int tenantCount() const;
+};
+
+/** Render @p trace in the veal-trace-v1 text format. */
+std::string formatTrace(const ServiceTrace& trace);
+
+/**
+ * Parse a veal-trace-v1 document; the error alternative is a
+ * human-readable message with a 1-based line number.
+ */
+std::variant<ServiceTrace, std::string> parseTrace(
+    const std::string& text);
+
+/**
+ * Derive the loop a `submit seed=S` line requests.  A pure function of
+ * the seed, drawn from the shared stress family (makeStressLoop), so a
+ * trace file fully determines every loop without storing IR text.
+ */
+Loop makeTraceLoop(std::uint64_t loop_seed);
+
+/**
+ * The translation identity of a request: loop seed + mode (tenants
+ * share translations; quarantine is tenant-scoped separately).
+ */
+std::string traceRequestKey(const TraceRequest& request);
+
+/** Knobs of the deterministic trace generator. */
+struct TraceGenOptions {
+    std::uint64_t seed = 1;
+
+    /** Tenants drawing requests (ids 0 .. tenants-1). */
+    int tenants = 4;
+
+    /** Total `submit` lines to generate. */
+    int requests = 256;
+
+    /**
+     * Distinct loop seeds to draw from.  Small pools create the cache
+     * contention the service exists for: coalesced same-tick twins and
+     * cross-tenant warm hits.
+     */
+    int loop_pool = 16;
+
+    /** Submissions per tick (the last tick may be short). */
+    int tick_size = 32;
+
+    std::int64_t iterations = 12;
+};
+
+/**
+ * Generate a random trace: pure function of @p options, loop seeds
+ * drawn from a pool, tenants and modes round-robin-randomized.
+ */
+ServiceTrace generateTrace(const TraceGenOptions& options);
+
+}  // namespace veal
+
+#endif  // VEAL_SERVICE_TRACE_H_

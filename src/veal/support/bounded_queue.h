@@ -1,0 +1,155 @@
+#ifndef VEAL_SUPPORT_BOUNDED_QUEUE_H_
+#define VEAL_SUPPORT_BOUNDED_QUEUE_H_
+
+/**
+ * @file
+ * A bounded multi-producer / multi-consumer queue.
+ *
+ * This is the admission-control primitive of the translation service
+ * (veal/service): tenants tryPush() requests and a full queue is an
+ * *admission decision*, not a blocking event -- the caller turns the
+ * false return into a reject-with-reason.  Consumers drain with
+ * tryPop() (the service's tick-based drain) or blocking pop() (free
+ * running workers); close() wakes every blocked caller so shutdown
+ * never hangs.
+ *
+ * Determinism note: the queue itself is FIFO and the service only ever
+ * fills it from one thread per tick, so the pop order equals the
+ * submission order.  Concurrent producers are still supported (and
+ * tested) for callers that do not need a deterministic order.
+ */
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "veal/support/assert.h"
+
+namespace veal {
+
+template <typename T>
+class BoundedQueue {
+  public:
+    /** @param capacity maximum queued items (>= 1). */
+    explicit BoundedQueue(std::size_t capacity) : capacity_(capacity)
+    {
+        VEAL_ASSERT(capacity >= 1);
+    }
+
+    BoundedQueue(const BoundedQueue&) = delete;
+    BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+    /**
+     * Enqueue @p item unless the queue is full or closed; false means
+     * the item was NOT queued (the caller owns the rejection).
+     */
+    bool tryPush(T item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_ || items_.size() >= capacity_)
+                return false;
+            items_.push_back(std::move(item));
+        }
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Enqueue @p item, blocking while the queue is full.  False only
+     * when the queue was closed before space appeared.
+     */
+    bool push(T item)
+    {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            not_full_.wait(lock, [&] {
+                return closed_ || items_.size() < capacity_;
+            });
+            if (closed_)
+                return false;
+            items_.push_back(std::move(item));
+        }
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /** Dequeue the oldest item, or nullopt when the queue is empty. */
+    std::optional<T> tryPop()
+    {
+        std::optional<T> item;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (items_.empty())
+                return std::nullopt;
+            item.emplace(std::move(items_.front()));
+            items_.pop_front();
+        }
+        not_full_.notify_one();
+        return item;
+    }
+
+    /**
+     * Dequeue the oldest item, blocking while the queue is empty.
+     * nullopt only when the queue was closed and fully drained.
+     */
+    std::optional<T> pop()
+    {
+        std::optional<T> item;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            not_empty_.wait(lock, [&] {
+                return closed_ || !items_.empty();
+            });
+            if (items_.empty())
+                return std::nullopt;  // Closed and drained.
+            item.emplace(std::move(items_.front()));
+            items_.pop_front();
+        }
+        not_full_.notify_one();
+        return item;
+    }
+
+    /**
+     * Reject future pushes and wake every blocked caller.  Items already
+     * queued stay poppable (drain-then-stop shutdown).
+     */
+    void close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+    bool closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+    std::size_t size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+}  // namespace veal
+
+#endif  // VEAL_SUPPORT_BOUNDED_QUEUE_H_

@@ -1,0 +1,73 @@
+#include "veal/vm/warm_tier.h"
+
+#include <utility>
+
+namespace veal {
+
+void
+WarmTier::publish(const std::string& key, TranslationResult translation,
+                  std::optional<ControlImage> image, std::int64_t epoch,
+                  std::int64_t sequence)
+{
+    auto entry = std::make_shared<Entry>();
+    entry->translation = std::move(translation);
+    entry->image = std::move(image);
+    if (entry->image.has_value())
+        entry->expected_checksum = entry->image->checksum();
+    entry->epoch = epoch;
+    entry->sequence = sequence;
+
+    const auto [it, inserted] =
+        entries_.insert_or_assign(key, std::move(entry));
+    (void)it;
+    ++publishes_;
+    if (!inserted)
+        ++republishes_;
+}
+
+WarmTier::EntryRef
+WarmTier::find(const std::string& key) const
+{
+    const auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : it->second;
+}
+
+WarmTier::EntryRef
+WarmTier::serve(const std::string& key)
+{
+    const auto it = entries_.find(key);
+    if (it == entries_.end())
+        return nullptr;
+    ++serves_;
+    return it->second;
+}
+
+std::shared_ptr<WarmTier::Entry>
+WarmTier::mutableEntry(const std::string& key)
+{
+    const auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : it->second;
+}
+
+bool
+WarmTier::invalidate(const std::string& key)
+{
+    if (entries_.erase(key) == 0)
+        return false;
+    ++invalidations_;
+    return true;
+}
+
+WarmTier::Stats
+WarmTier::stats() const
+{
+    Stats stats;
+    stats.publishes = publishes_;
+    stats.republishes = republishes_;
+    stats.serves = serves_;
+    stats.invalidations = invalidations_;
+    stats.size = size();
+    return stats;
+}
+
+}  // namespace veal

@@ -1,0 +1,121 @@
+#ifndef VEAL_VM_WARM_TIER_H_
+#define VEAL_VM_WARM_TIER_H_
+
+/**
+ * @file
+ * The shared warm tier behind every shard's private CodeCache.
+ *
+ * The translation service (veal/service) gives each worker shard its
+ * own LRU CodeCache, but a loop translated by shard A must never be
+ * re-translated by shard B: once any shard finishes a translation, the
+ * result (and its encoded control image + checksum) is published here,
+ * and every shard consults the tier on a shard-local miss.  Negative
+ * results are published too -- a key that rejected translation stays
+ * rejected until invalidated, instead of burning a re-translation every
+ * time a different tenant resubmits it.
+ *
+ * Concurrency discipline (how the service keeps byte-identical output
+ * at any shard/thread count): all writes -- publish() and invalidate()
+ * -- happen in the service's *sequential* phases, ordered by request
+ * sequence number; the parallel shard phase only reads via find().
+ * The tier therefore needs no locking, and the epoch/sequence tags on
+ * every entry make "who translated this, when" auditable in tests.
+ *
+ * Entries are handed out as shared_ptr: a request served early in a
+ * tick keeps its entry alive for reduction-time pricing even if a later
+ * request in the same tick invalidates the key (fault-layer checksum
+ * mismatch).  Invalidation drops the key, not the outstanding readers.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "veal/vm/control_image.h"
+#include "veal/vm/translator.h"
+
+namespace veal {
+
+/** Shared second-level translation cache; see file comment. */
+class WarmTier {
+  public:
+    /** One published translation outcome. */
+    struct Entry {
+        /** Full result; `translation.ok == false` is a negative entry. */
+        TranslationResult translation;
+
+        /** Encoded image (successful entries only).  The fault layer
+            flips bits here in place; `translation` stays pristine. */
+        std::optional<ControlImage> image;
+
+        /** image->checksum() at publish time, validated on serves. */
+        std::uint32_t expected_checksum = 0;
+
+        /** Service tick that published this entry. */
+        std::int64_t epoch = 0;
+
+        /** Sequence number of the publishing request (audit trail). */
+        std::int64_t sequence = 0;
+    };
+
+    using EntryRef = std::shared_ptr<const Entry>;
+
+    /** Accounting snapshot (all values shard-count invariant). */
+    struct Stats {
+        std::int64_t publishes = 0;
+        std::int64_t republishes = 0;  ///< Publish over an existing key.
+        std::int64_t serves = 0;
+        std::int64_t invalidations = 0;
+        std::int64_t size = 0;
+    };
+
+    /**
+     * Publish @p translation (with its pre-encoded @p image when ok)
+     * for @p key at (@p epoch, @p sequence).  Re-publishing an existing
+     * key (a re-translation after invalidation) replaces the entry.
+     */
+    void publish(const std::string& key, TranslationResult translation,
+                 std::optional<ControlImage> image, std::int64_t epoch,
+                 std::int64_t sequence);
+
+    /** Entry for @p key, or null.  Never mutates (parallel-phase safe). */
+    EntryRef find(const std::string& key) const;
+
+    /**
+     * As find(), also counting a serve -- call from sequential phases
+     * only (mutates statistics).
+     */
+    EntryRef serve(const std::string& key);
+
+    /**
+     * Mutable entry for @p key (the fault layer flips image bits in
+     * place, as the hardened VM does).  Sequential phases only.
+     */
+    std::shared_ptr<Entry> mutableEntry(const std::string& key);
+
+    /**
+     * Drop @p key (checksum mismatch); true when it was resident.
+     * Outstanding EntryRefs stay valid.
+     */
+    bool invalidate(const std::string& key);
+
+    Stats stats() const;
+
+    std::int64_t size() const
+    {
+        return static_cast<std::int64_t>(entries_.size());
+    }
+
+  private:
+    std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
+    std::int64_t publishes_ = 0;
+    std::int64_t republishes_ = 0;
+    std::int64_t serves_ = 0;
+    std::int64_t invalidations_ = 0;
+};
+
+}  // namespace veal
+
+#endif  // VEAL_VM_WARM_TIER_H_

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/testing/random_workloads.h"
 #include "veal/fuzz/oracle.h"
 #include "veal/ir/loop_builder.h"
 #include "veal/ir/loop_parser.h"
@@ -22,31 +23,7 @@ countOps(const Loop& loop, Opcode opcode)
     return count;
 }
 
-/** Same off-by-one scheduler bug the oracle test injects. */
-void
-injectOffByOne(TranslationResult& translation)
-{
-    if (!translation.graph.has_value())
-        return;
-    const SchedGraph& graph = *translation.graph;
-    for (const auto& edge : graph.edges()) {
-        if (edge.distance != 0 || edge.delay <= 0 || edge.from == edge.to)
-            continue;
-        auto& time = translation.schedule.time;
-        time[static_cast<std::size_t>(edge.to)] =
-            time[static_cast<std::size_t>(edge.from)] + edge.delay - 1;
-        int length = 0;
-        int max_stage = 0;
-        for (std::size_t u = 0; u < time.size(); ++u) {
-            length = std::max(length, time[u] + graph.units()[u].latency);
-            max_stage = std::max(max_stage,
-                                 time[u] / translation.schedule.ii);
-        }
-        translation.schedule.length = length;
-        translation.schedule.stage_count = max_stage + 1;
-        return;
-    }
-}
+using testing::injectOffByOne;
 
 TEST(DeleteOperation, RewiresConsumersToTheFirstInput)
 {

@@ -1,0 +1,197 @@
+/**
+ * Admission-control and warm-tier invariants of the translation
+ * service: quota-before-queue rejection order, the quota-0 and
+ * depth-1 edge cases, tenant hogging, all-rejected ticks, and the
+ * "no same-epoch re-translation across shards" guarantee.
+ */
+
+#include <gtest/gtest.h>
+
+#include "veal/service/service.h"
+#include "veal/service/trace.h"
+
+namespace veal {
+namespace {
+
+ServiceRequest
+makeRequest(int tenant, const Loop& loop, const std::string& key)
+{
+    ServiceRequest request;
+    request.tenant = tenant;
+    request.loop = loop;
+    request.key = key;
+    request.iterations = 8;
+    return request;
+}
+
+TEST(ServiceAdmission, QuotaZeroRejectsEverySubmission)
+{
+    ServiceOptions options;
+    options.tenant_quota = 0;
+    TranslationService service(options);
+    const Loop loop = makeTraceLoop(1);
+
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(service.submit(makeRequest(0, loop, "k")),
+                  AdmissionOutcome::kQuotaExceeded);
+    }
+    service.drainTick();
+
+    const ServiceReport& report = service.report();
+    EXPECT_EQ(report.submitted, 5);
+    EXPECT_EQ(report.admitted, 0);
+    EXPECT_EQ(report.rejected_quota, 5);
+    EXPECT_EQ(report.rejected_queue, 0);
+    // An all-rejected tick still accounts every submission per tenant.
+    ASSERT_EQ(report.tenants.count(0), 1u);
+    EXPECT_EQ(report.tenants.at(0).rejected_quota, 5);
+    EXPECT_EQ(service.warmTier().size(), 0)
+        << "nothing admitted, nothing translated";
+}
+
+TEST(ServiceAdmission, QueueDepthOneAdmitsExactlyOnePerTick)
+{
+    ServiceOptions options;
+    options.queue_depth = 1;
+    options.tenant_quota = 8;
+    TranslationService service(options);
+    const Loop loop = makeTraceLoop(2);
+
+    EXPECT_EQ(service.submit(makeRequest(0, loop, "k")),
+              AdmissionOutcome::kAdmitted);
+    EXPECT_EQ(service.submit(makeRequest(1, loop, "k")),
+              AdmissionOutcome::kQueueFull);
+    EXPECT_EQ(service.submit(makeRequest(0, loop, "k")),
+              AdmissionOutcome::kQueueFull);
+    service.drainTick();
+
+    // The drain freed the slot: the next tick admits again.
+    EXPECT_EQ(service.submit(makeRequest(1, loop, "k")),
+              AdmissionOutcome::kAdmitted);
+    service.drainTick();
+
+    const ServiceReport& report = service.report();
+    EXPECT_EQ(report.admitted, 2);
+    EXPECT_EQ(report.rejected_queue, 2);
+    EXPECT_EQ(report.tenants.at(0).admitted, 1);
+    EXPECT_EQ(report.tenants.at(1).admitted, 1);
+}
+
+TEST(ServiceAdmission, HoggingTenantIsQuotaRejectedBeforeTheQueue)
+{
+    ServiceOptions options;
+    options.tenant_quota = 2;
+    options.queue_depth = 64;
+    TranslationService service(options);
+    const Loop loop = makeTraceLoop(3);
+
+    // Tenant 0 floods: 2 admitted, 3 quota-rejected even though the
+    // queue has plenty of room (quota is checked first).
+    for (int i = 0; i < 5; ++i)
+        service.submit(makeRequest(0, loop, "hog"));
+    // Tenant 1 is unaffected by tenant 0's hogging.
+    EXPECT_EQ(service.submit(makeRequest(1, loop, "quiet")),
+              AdmissionOutcome::kAdmitted);
+    EXPECT_EQ(service.submit(makeRequest(1, loop, "quiet")),
+              AdmissionOutcome::kAdmitted);
+    service.drainTick();
+
+    const ServiceReport& report = service.report();
+    EXPECT_EQ(report.tenants.at(0).admitted, 2);
+    EXPECT_EQ(report.tenants.at(0).rejected_quota, 3);
+    EXPECT_EQ(report.tenants.at(0).rejected_queue, 0);
+    EXPECT_EQ(report.tenants.at(1).admitted, 2);
+    EXPECT_EQ(report.tenants.at(1).rejected_quota, 0);
+
+    // Quotas are per-tick: the drain resets tenant 0's budget.
+    EXPECT_EQ(service.submit(makeRequest(0, loop, "hog")),
+              AdmissionOutcome::kAdmitted);
+}
+
+TEST(ServiceAdmission, RejectionsAreSequencedIntoTheTickOutcomes)
+{
+    ServiceOptions options;
+    options.tenant_quota = 1;
+    TranslationService service(options);
+    const Loop loop = makeTraceLoop(4);
+
+    service.submit(makeRequest(0, loop, "k"));  // sequence 0, admitted
+    service.submit(makeRequest(0, loop, "k"));  // sequence 1, quota
+    service.submit(makeRequest(1, loop, "k"));  // sequence 2, admitted
+    service.drainTick();
+
+    const auto& outcomes = service.lastTickOutcomes();
+    ASSERT_EQ(outcomes.size(), 3u);
+    EXPECT_EQ(outcomes[0].sequence, 0);
+    EXPECT_EQ(outcomes[0].admission, AdmissionOutcome::kAdmitted);
+    EXPECT_EQ(outcomes[1].sequence, 1);
+    EXPECT_EQ(outcomes[1].admission, AdmissionOutcome::kQuotaExceeded);
+    EXPECT_EQ(outcomes[2].sequence, 2);
+    EXPECT_EQ(outcomes[2].admission, AdmissionOutcome::kAdmitted);
+    EXPECT_EQ(outcomes[2].cache, CacheOutcome::kCoalesced)
+        << "same-tick duplicate rides the first request's translation";
+
+    // Sequence numbers keep counting across ticks.
+    service.submit(makeRequest(0, loop, "k"));
+    service.drainTick();
+    ASSERT_EQ(service.lastTickOutcomes().size(), 1u);
+    EXPECT_EQ(service.lastTickOutcomes()[0].sequence, 3);
+    EXPECT_EQ(service.lastTickOutcomes()[0].cache, CacheOutcome::kWarm);
+}
+
+TEST(ServiceAdmission, WarmTierPreventsSameEpochRetranslationAcrossShards)
+{
+    // 12 requests over 3 keys land on 8 shards in one tick: exactly one
+    // fresh translation per key may happen, whatever shard it lands on;
+    // everyone else coalesces.  The next tick serves all 12 warm.
+    ServiceOptions options;
+    options.shards = 8;
+    options.tenant_quota = 16;
+    TranslationService service(options);
+    const Loop loops[3] = {makeTraceLoop(10), makeTraceLoop(11),
+                           makeTraceLoop(12)};
+
+    for (int round = 0; round < 4; ++round) {
+        for (int k = 0; k < 3; ++k) {
+            service.submit(makeRequest(round % 2, loops[k],
+                                       "key-" + std::to_string(k)));
+        }
+    }
+    service.drainTick();
+
+    const ServiceReport& first = service.report();
+    EXPECT_EQ(first.cold, 3) << "one fresh translation per distinct key";
+    EXPECT_EQ(first.coalesced, 9);
+    EXPECT_EQ(first.warm, 0);
+    const WarmTier::Stats published = service.warmTier().stats();
+    EXPECT_EQ(published.publishes, 3)
+        << "no shard may re-translate a key in the same epoch";
+    EXPECT_EQ(published.republishes, 0);
+
+    for (int round = 0; round < 4; ++round) {
+        for (int k = 0; k < 3; ++k) {
+            service.submit(makeRequest(round % 2, loops[k],
+                                       "key-" + std::to_string(k)));
+        }
+    }
+    service.drainTick();
+
+    const ServiceReport& second = service.report();
+    EXPECT_EQ(second.cold, 3) << "nothing new to translate";
+    EXPECT_EQ(second.warm, 12) << "the whole second tick serves warm";
+    EXPECT_EQ(service.warmTier().stats().publishes, 3);
+    EXPECT_EQ(service.warmTier().stats().serves, 12);
+}
+
+TEST(ServiceAdmission, EmptyTickIsHarmless)
+{
+    TranslationService service(ServiceOptions{});
+    service.drainTick();
+    service.drainTick();
+    EXPECT_EQ(service.report().ticks, 2);
+    EXPECT_EQ(service.report().submitted, 0);
+    EXPECT_TRUE(service.lastTickOutcomes().empty());
+}
+
+}  // namespace
+}  // namespace veal

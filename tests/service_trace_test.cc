@@ -1,0 +1,132 @@
+#include "veal/service/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "veal/ir/loop_parser.h"
+
+namespace veal {
+namespace {
+
+std::string
+errorOf(const std::variant<ServiceTrace, std::string>& parsed)
+{
+    const auto* error = std::get_if<std::string>(&parsed);
+    return error == nullptr ? std::string() : *error;
+}
+
+TEST(ServiceTrace, FormatParseRoundTripIsExact)
+{
+    const ServiceTrace trace = generateTrace({});
+    ASSERT_GT(trace.totalRequests(), 0);
+
+    const std::string text = formatTrace(trace);
+    EXPECT_EQ(text.rfind("veal-trace-v1\n", 0), 0u)
+        << "versioned header leads the file";
+
+    const auto parsed = parseTrace(text);
+    ASSERT_TRUE(std::holds_alternative<ServiceTrace>(parsed))
+        << errorOf(parsed);
+    const ServiceTrace& round = std::get<ServiceTrace>(parsed);
+    EXPECT_EQ(formatTrace(round), text) << "round trip is byte-exact";
+    EXPECT_EQ(round.totalRequests(), trace.totalRequests());
+    EXPECT_EQ(round.tenantCount(), trace.tenantCount());
+}
+
+TEST(ServiceTrace, GeneratorIsDeterministicAndSeedSensitive)
+{
+    TraceGenOptions options;
+    options.seed = 9;
+    options.requests = 100;
+    options.tenants = 5;
+    options.tick_size = 16;
+    const ServiceTrace a = generateTrace(options);
+    const ServiceTrace b = generateTrace(options);
+    EXPECT_EQ(formatTrace(a), formatTrace(b));
+    EXPECT_EQ(a.totalRequests(), 100);
+    EXPECT_EQ(a.ticks.size(), 7u) << "ceil(100 / 16) ticks";
+    EXPECT_LE(a.tenantCount(), 5);
+
+    options.seed = 10;
+    EXPECT_NE(formatTrace(generateTrace(options)), formatTrace(a))
+        << "different seeds disagree on the request stream";
+}
+
+TEST(ServiceTrace, ParserToleratesCommentsCrlfAndImplicitFirstTick)
+{
+    const std::string text =
+        "veal-trace-v1\r\n"
+        "# a comment\r\n"
+        "\r\n"
+        "submit tenant=1 seed=42\r\n"
+        "tick\r\n"
+        "submit tenant=0 seed=42 mode=static iterations=3\r\n";
+    const auto parsed = parseTrace(text);
+    ASSERT_TRUE(std::holds_alternative<ServiceTrace>(parsed))
+        << errorOf(parsed);
+    const ServiceTrace& trace = std::get<ServiceTrace>(parsed);
+    ASSERT_EQ(trace.ticks.size(), 2u)
+        << "a submit before any tick opens tick 0";
+    ASSERT_EQ(trace.ticks[0].size(), 1u);
+    ASSERT_EQ(trace.ticks[1].size(), 1u);
+    EXPECT_EQ(trace.ticks[0][0].tenant, 1);
+    EXPECT_EQ(trace.ticks[0][0].mode, TranslationMode::kFullyDynamic)
+        << "mode defaults to fully-dynamic";
+    EXPECT_EQ(trace.ticks[0][0].iterations, 12);
+    EXPECT_EQ(trace.ticks[1][0].mode, TranslationMode::kStatic);
+    EXPECT_EQ(trace.ticks[1][0].iterations, 3);
+}
+
+TEST(ServiceTrace, ParserRejectsMalformedInputWithLineNumbers)
+{
+    const struct {
+        const char* text;
+        const char* fragment;
+    } kCases[] = {
+        {"", "missing veal-trace-v1"},
+        {"veal-trace-v2\n", "expected header"},
+        {"veal-trace-v1\nfrobnicate\n", "unknown directive"},
+        {"veal-trace-v1\ntick now\n", "'tick' takes no arguments"},
+        {"veal-trace-v1\nsubmit tenant=1\n", "needs tenant= and seed="},
+        {"veal-trace-v1\nsubmit seed=1\n", "needs tenant= and seed="},
+        {"veal-trace-v1\nsubmit tenant=x seed=1\n", "bad tenant"},
+        {"veal-trace-v1\nsubmit tenant=1 seed=12abc\n", "bad seed"},
+        {"veal-trace-v1\nsubmit tenant=1 seed=1 mode=warp\n",
+         "unknown mode"},
+        {"veal-trace-v1\nsubmit tenant=1 seed=1 iterations=0\n",
+         "bad iterations"},
+        {"veal-trace-v1\nsubmit tenant=1 seed=1 color=red\n",
+         "unknown key"},
+        {"veal-trace-v1\nsubmit tenant=1 seed=1 malformed\n",
+         "expected key=value"},
+    };
+    for (const auto& test : kCases) {
+        const auto parsed = parseTrace(test.text);
+        ASSERT_TRUE(std::holds_alternative<std::string>(parsed))
+            << "input must be rejected: " << test.text;
+        EXPECT_NE(errorOf(parsed).find(test.fragment), std::string::npos)
+            << "error '" << errorOf(parsed) << "' for " << test.text;
+    }
+
+    // Errors after the header carry the 1-based line number.
+    const auto parsed = parseTrace("veal-trace-v1\n\n# pad\nbogus x\n");
+    ASSERT_TRUE(std::holds_alternative<std::string>(parsed));
+    EXPECT_EQ(errorOf(parsed).rfind("line 4:", 0), 0u) << errorOf(parsed);
+}
+
+TEST(ServiceTrace, TraceLoopsAreDeterministicAndKeyedBySeedAndMode)
+{
+    EXPECT_EQ(printLoop(makeTraceLoop(5)), printLoop(makeTraceLoop(5)));
+    EXPECT_NE(printLoop(makeTraceLoop(5)), printLoop(makeTraceLoop(6)));
+
+    TraceRequest request;
+    request.loop_seed = 5;
+    request.mode = TranslationMode::kStatic;
+    const std::string key = traceRequestKey(request);
+    EXPECT_EQ(key, "seed-5/static");
+    request.mode = TranslationMode::kFullyDynamic;
+    EXPECT_NE(traceRequestKey(request), key)
+        << "the same loop under another mode is a distinct translation";
+}
+
+}  // namespace
+}  // namespace veal

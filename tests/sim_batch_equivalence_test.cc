@@ -19,6 +19,7 @@
 #include <map>
 #include <vector>
 
+#include "tests/testing/random_workloads.h"
 #include "veal/arch/la_config.h"
 #include "veal/fuzz/driver.h"
 #include "veal/fuzz/oracle.h"
@@ -36,7 +37,7 @@ constexpr int kLoops = 1000;
 Loop
 caseLoop(int index)
 {
-    return makeFuzzCaseLoop(kCampaignSeed, index);
+    return testing::caseLoop(kCampaignSeed, index);
 }
 
 void
@@ -79,17 +80,10 @@ TEST(SimBatchEquivalence, CpuTimingIndependentOfBatchWidth)
 {
     const CpuConfig cpu = CpuConfig::arm11();
     constexpr int kCases = 200;
-    std::vector<Loop> loops;
-    loops.reserve(kCases);
-    for (int i = 0; i < kCases; ++i)
-        loops.push_back(caseLoop(i));
-
-    // Trip counts 1, 2, 95..97 straddle the warm-up and measure-window
-    // boundaries of the timing model; the rest mix real trip counts.
-    const std::int64_t edge_trips[] = {1, 2, 7, 95, 96, 97, 500};
+    const std::vector<Loop> loops = testing::caseLoops(kCampaignSeed,
+                                                       kCases);
     const auto iterationsFor = [&](int i) {
-        return i < 7 ? edge_trips[i]
-                     : loops[static_cast<std::size_t>(i)].tripCount();
+        return testing::edgeTripIterations(loops, i);
     };
 
     std::vector<CpuLoopTiming> whole;

@@ -1,0 +1,112 @@
+#include "veal/support/bounded_queue.h"
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace veal {
+namespace {
+
+TEST(BoundedQueue, TryPushRejectsWhenFullAndRecoversAfterPop)
+{
+    BoundedQueue<int> queue(2);
+    EXPECT_EQ(queue.capacity(), 2u);
+    EXPECT_TRUE(queue.tryPush(1));
+    EXPECT_TRUE(queue.tryPush(2));
+    EXPECT_FALSE(queue.tryPush(3)) << "full queue must reject";
+    EXPECT_EQ(queue.size(), 2u);
+
+    const auto first = queue.tryPop();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(*first, 1) << "FIFO order";
+    EXPECT_TRUE(queue.tryPush(3)) << "space freed by the pop";
+
+    const auto second = queue.tryPop();
+    const auto third = queue.tryPop();
+    ASSERT_TRUE(second.has_value());
+    ASSERT_TRUE(third.has_value());
+    EXPECT_EQ(*second, 2);
+    EXPECT_EQ(*third, 3);
+    EXPECT_FALSE(queue.tryPop().has_value());
+}
+
+TEST(BoundedQueue, CapacityOneIsAOneElementMailbox)
+{
+    BoundedQueue<int> queue(1);
+    EXPECT_TRUE(queue.tryPush(7));
+    EXPECT_FALSE(queue.tryPush(8));
+    EXPECT_EQ(*queue.tryPop(), 7);
+    EXPECT_TRUE(queue.tryPush(8));
+}
+
+TEST(BoundedQueue, CloseRejectsPushesButDrainsQueuedItems)
+{
+    BoundedQueue<int> queue(4);
+    EXPECT_TRUE(queue.tryPush(1));
+    EXPECT_TRUE(queue.tryPush(2));
+    queue.close();
+    EXPECT_TRUE(queue.closed());
+    EXPECT_FALSE(queue.tryPush(3));
+    EXPECT_FALSE(queue.push(3));
+
+    // Drain-then-stop: queued items stay poppable, then pop() reports
+    // exhaustion instead of blocking forever.
+    EXPECT_EQ(*queue.pop(), 1);
+    EXPECT_EQ(*queue.pop(), 2);
+    EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(BoundedQueue, BlockingPopWakesOnPush)
+{
+    BoundedQueue<int> queue(1);
+    std::optional<int> got;
+    std::thread consumer([&] { got = queue.pop(); });
+    queue.push(42);
+    consumer.join();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, 42);
+}
+
+TEST(BoundedQueue, ConcurrentProducersAndConsumersLoseNothing)
+{
+    constexpr int kProducers = 4;
+    constexpr int kConsumers = 4;
+    constexpr int kPerProducer = 500;
+    BoundedQueue<int> queue(8);
+
+    std::vector<std::thread> threads;
+    std::atomic<long long> sum{0};
+    std::atomic<int> popped{0};
+    for (int c = 0; c < kConsumers; ++c) {
+        threads.emplace_back([&] {
+            while (auto item = queue.pop()) {
+                sum += *item;
+                ++popped;
+            }
+        });
+    }
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i)
+                EXPECT_TRUE(queue.push(p * kPerProducer + i));
+        });
+    }
+    for (auto& producer : producers)
+        producer.join();
+    queue.close();
+    for (auto& consumer : threads)
+        consumer.join();
+
+    constexpr int kTotal = kProducers * kPerProducer;
+    EXPECT_EQ(popped.load(), kTotal);
+    // Sum of 0..kTotal-1: every pushed value arrived exactly once.
+    EXPECT_EQ(sum.load(),
+              static_cast<long long>(kTotal) * (kTotal - 1) / 2);
+}
+
+}  // namespace
+}  // namespace veal

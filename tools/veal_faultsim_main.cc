@@ -18,11 +18,16 @@
 #include <iostream>
 #include <string>
 
+#include "bench/cli.h"
 #include "veal/fault/campaign.h"
 #include "veal/support/metrics/metrics.h"
 #include "veal/workloads/suite.h"
 
 namespace {
+
+namespace cli = veal::bench::cli;
+
+constexpr const char* kTool = "veal-faultsim";
 
 int
 usage()
@@ -50,30 +55,17 @@ usage()
     return 2;
 }
 
-/** Strict base-10 parse; anything but a full non-negative number dies. */
+/** Shared strict parsing (bench/cli.h) with this tool's usage text. */
 std::uint64_t
 parseU64(const char* flag, const std::string& text)
 {
-    if (text.empty() ||
-        text.find_first_not_of("0123456789") != std::string::npos) {
-        std::cerr << "veal-faultsim: " << flag
-                  << " wants a non-negative integer, got '" << text
-                  << "'\n";
-        std::exit(usage());
-    }
-    return std::strtoull(text.c_str(), nullptr, 10);
+    return cli::parseU64(kTool, flag, text, usage);
 }
 
 int
 parseInt(const char* flag, const std::string& text)
 {
-    const std::uint64_t value = parseU64(flag, text);
-    if (value > 1000000) {
-        std::cerr << "veal-faultsim: " << flag << " value " << text
-                  << " is out of range\n";
-        std::exit(usage());
-    }
-    return static_cast<int>(value);
+    return cli::parseCount(kTool, flag, text, usage);
 }
 
 }  // namespace
@@ -85,12 +77,7 @@ main(int argc, char** argv)
     std::string metrics_json;
 
     const auto next_value = [&](int& i) -> const char* {
-        if (i + 1 >= argc) {
-            std::cerr << "veal-faultsim: " << argv[i]
-                      << " needs a value\n";
-            std::exit(usage());
-        }
-        return argv[++i];
+        return cli::requireValue(kTool, argc, argv, &i, usage);
     };
 
     for (int i = 1; i < argc; ++i) {
@@ -129,18 +116,17 @@ main(int argc, char** argv)
             usage();
             return 0;
         } else {
-            std::cerr << "veal-faultsim: unknown option '" << arg
-                      << "'\n";
-            return usage();
+            cli::usageError(kTool, "unknown option '" + arg + "'", usage);
         }
     }
 
     if (options.plans < 1 || options.threads < 1 ||
         options.iterations < 1 || options.code_cache_entries < 1 ||
         options.batch < 1) {
-        std::cerr << "veal-faultsim: --plans, --threads, --iterations, "
-                     "--cache-entries, and --batch must be positive\n";
-        return usage();
+        cli::usageError(kTool,
+                        "--plans, --threads, --iterations, "
+                        "--cache-entries, and --batch must be positive",
+                        usage);
     }
 
     veal::metrics::Registry registry;

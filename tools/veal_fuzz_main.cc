@@ -18,10 +18,15 @@
 #include <iostream>
 #include <string>
 
+#include "bench/cli.h"
 #include "veal/fuzz/corpus.h"
 #include "veal/fuzz/driver.h"
 
 namespace {
+
+namespace cli = veal::bench::cli;
+
+constexpr const char* kTool = "veal-fuzz";
 
 int
 usage()
@@ -40,6 +45,9 @@ usage()
         "  --sched-diff    diff the optimized scheduling kernels against\n"
         "                  the frozen reference implementations instead\n"
         "                  of running the execution oracle\n"
+        "  --service       push each case through a multi-tenant\n"
+        "                  translation-service micro-trace at 1 and 2\n"
+        "                  shards and require byte-identical results\n"
         "  --shrink        minimise failing loops before reporting\n"
         "  --corpus DIR    save shrunk repros to DIR as .veal files\n"
         "  --replay DIR    replay corpus files in DIR instead of fuzzing\n"
@@ -47,32 +55,6 @@ usage()
         "                  campaign (byte-identical for any --threads)\n"
         "  --list-configs  print the preset names and exit\n";
     return 2;
-}
-
-/** Strict decimal parse: the whole token must be digits. */
-std::uint64_t
-parseU64(const char* flag, const char* text)
-{
-    std::string token(text);
-    if (token.empty() ||
-        token.find_first_not_of("0123456789") != std::string::npos) {
-        std::cerr << "veal-fuzz: " << flag << " needs a non-negative "
-                     "integer, got '" << token << "'\n";
-        std::exit(usage());
-    }
-    return std::strtoull(token.c_str(), nullptr, 10);
-}
-
-int
-parseInt(const char* flag, const char* text)
-{
-    const std::uint64_t wide = parseU64(flag, text);
-    if (wide > 1000000ull) {
-        std::cerr << "veal-fuzz: " << flag << " value " << wide
-                  << " is out of range\n";
-        std::exit(usage());
-    }
-    return static_cast<int>(wide);
 }
 
 int
@@ -112,28 +94,29 @@ main(int argc, char** argv)
     std::string metrics_json;
 
     const auto next_value = [&](int& i) -> const char* {
-        if (i + 1 >= argc) {
-            std::cerr << "veal-fuzz: " << argv[i]
-                      << " needs a value\n";
-            std::exit(usage());
-        }
-        return argv[++i];
+        return cli::requireValue(kTool, argc, argv, &i, usage);
     };
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--runs") {
-            options.runs = parseInt("--runs", next_value(i));
+            options.runs = cli::parseCount(kTool, arg, next_value(i),
+                                           usage);
         } else if (arg == "--threads") {
-            options.threads = parseInt("--threads", next_value(i));
+            options.threads = cli::parseCount(kTool, arg, next_value(i),
+                                              usage);
         } else if (arg == "--batch") {
-            options.batch = parseInt("--batch", next_value(i));
+            options.batch = cli::parseCount(kTool, arg, next_value(i),
+                                            usage);
         } else if (arg == "--seed") {
-            options.seed = parseU64("--seed", next_value(i));
+            options.seed = cli::parseU64(kTool, arg, next_value(i),
+                                         usage);
         } else if (arg == "--iterations") {
-            options.iterations = parseInt("--iterations", next_value(i));
+            options.iterations = cli::parseCount(kTool, arg,
+                                                 next_value(i), usage);
         } else if (arg == "--fault-seed") {
-            options.fault_seed = parseU64("--fault-seed", next_value(i));
+            options.fault_seed = cli::parseU64(kTool, arg, next_value(i),
+                                               usage);
         } else if (arg == "--config") {
             const std::string name = next_value(i);
             const auto preset = veal::fuzzConfigByName(name);
@@ -145,6 +128,8 @@ main(int argc, char** argv)
             options.configs = {*preset};
         } else if (arg == "--sched-diff") {
             options.sched_diff = true;
+        } else if (arg == "--service") {
+            options.service = true;
         } else if (arg == "--shrink") {
             options.shrink = true;
         } else if (arg == "--corpus") {
@@ -161,8 +146,7 @@ main(int argc, char** argv)
             usage();
             return 0;
         } else {
-            std::cerr << "veal-fuzz: unknown option '" << arg << "'\n";
-            return usage();
+            cli::usageError(kTool, "unknown option '" + arg + "'", usage);
         }
     }
 
@@ -171,10 +155,14 @@ main(int argc, char** argv)
 
     if (options.runs < 1 || options.threads < 1 ||
         options.iterations < 1 || options.batch < 1) {
-        std::cerr << "veal-fuzz: --runs, --threads, --iterations, and "
-                     "--batch must be positive\n";
-        return 2;
+        cli::usageError(kTool,
+                        "--runs, --threads, --iterations, and --batch "
+                        "must be positive",
+                        usage);
     }
+    if (options.sched_diff && options.service)
+        cli::usageError(kTool, "--sched-diff and --service are exclusive",
+                        usage);
 
     veal::metrics::Registry registry;
     veal::FuzzSummary summary;
