@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "veal/support/parse.h"
+
 namespace veal::bench::cli {
 
 [[noreturn]] void
@@ -17,14 +19,15 @@ std::uint64_t
 parseU64(const std::string& tool, const std::string& flag,
          const std::string& text, const UsageFn& usage)
 {
-    // 20 digits can overflow uint64; reject before strtoull saturates.
-    if (text.empty() || text.size() > 19 ||
-        text.find_first_not_of("0123456789") != std::string::npos) {
+    // parseU64Strict checks overflow exactly, so all of [0, 2^64-1]
+    // parses (including 20-digit values) and anything larger fails.
+    const auto parsed = parseU64Strict(text);
+    if (!parsed.has_value()) {
         usageError(tool, flag + " needs a non-negative integer, got '" +
                              text + "'",
                    usage);
     }
-    return std::strtoull(text.c_str(), nullptr, 10);
+    return *parsed;
 }
 
 int

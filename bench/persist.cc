@@ -1,0 +1,252 @@
+#include "bench/persist.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "veal/service/service.h"
+#include "veal/service/trace.h"
+#include "veal/support/assert.h"
+#include "veal/support/logging.h"
+
+namespace veal::bench {
+
+namespace {
+
+/** The fixed study trace: big enough that every tenant's working set
+    cycles through warm, coalesced, and persisted outcomes. */
+constexpr int kRequests = 1024;
+constexpr int kLoops = 24;
+constexpr int kTenants = 4;
+constexpr int kTickSize = 32;
+constexpr std::uint64_t kTraceSeed = 0xbeefcafe17ull;
+
+/** Warm-matrix shapes: the report must not care about any of these. */
+struct Shape {
+    int shards;
+    int threads;
+    int batch;
+};
+constexpr Shape kMatrix[] = {
+    {1, 1, 1}, {2, 1, 16}, {4, 3, 5}, {8, 4, 64}};
+
+std::uint64_t
+fnv1a(const std::string& text)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+std::string
+hex(std::uint64_t value)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "0x%016llx",
+                  static_cast<unsigned long long>(value));
+    return buffer;
+}
+
+ServiceOptions
+makeOptions(const std::string& cache_dir, const Shape& shape)
+{
+    ServiceOptions options;
+    options.shards = shape.shards;
+    options.threads = shape.threads;
+    options.batch = shape.batch;
+    options.cache_dir = cache_dir;
+    return options;
+}
+
+/** One full service run; returns the rendered report. */
+std::string
+runOnce(const ServiceTrace& trace, const ServiceOptions& options,
+        ServiceReport* report_out, double* wall_ms)
+{
+    using Clock = std::chrono::steady_clock;
+    TranslationService service(options, nullptr);
+    const auto start = Clock::now();
+    service.run(trace);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          Clock::now() - start)
+                          .count();
+    if (wall_ms != nullptr)
+        *wall_ms = ms;
+    service.flushPersistentStore();
+    if (report_out != nullptr)
+        *report_out = service.report();
+    return service.report().render();
+}
+
+double
+p50(std::vector<double> samples)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    return samples[(samples.size() - 1) / 2];
+}
+
+std::string
+formatDouble(double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.3f", value);
+    return buffer;
+}
+
+}  // namespace
+
+std::string
+PersistReport::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"schema\": \"veal-persist-bench-v1\",\n";
+    os << "  \"commit\": \"" << commit << "\",\n";
+    os << "  \"runs\": " << runs << ",\n";
+    os << "  \"requests\": " << requests << ",\n";
+    os << "  \"loops\": " << loops << ",\n";
+    os << "  \"tenants\": " << tenants << ",\n";
+    os << "  \"cold_translation_cycles\": " << cold_translation_cycles
+       << ",\n";
+    os << "  \"warm_translation_cycles\": " << warm_translation_cycles
+       << ",\n";
+    os << "  \"translation_cycle_ratio\": " << translation_cycle_ratio
+       << ",\n";
+    os << "  \"cold_persisted\": " << cold_persisted << ",\n";
+    os << "  \"warm_persisted\": " << warm_persisted << ",\n";
+    os << "  \"cold_report_digest\": \"" << cold_report_digest << "\",\n";
+    os << "  \"warm_report_digest\": \"" << warm_report_digest << "\",\n";
+    os << "  \"wall_ms\": {\"cold_p50\": " << formatDouble(cold_p50_ms)
+       << ", \"warm_p50\": " << formatDouble(warm_p50_ms) << "}\n";
+    os << "}\n";
+    return os.str();
+}
+
+PersistReport
+runPersistBench(const ThroughputOptions& options)
+{
+    namespace fs = std::filesystem;
+    PersistReport report;
+    report.commit = options.commit;
+    report.runs = options.runs;
+    report.requests = kRequests;
+    report.loops = kLoops;
+    report.tenants = kTenants;
+
+    TraceGenOptions gen;
+    gen.requests = kRequests;
+    gen.loop_pool = kLoops;
+    gen.tenants = kTenants;
+    gen.tick_size = kTickSize;
+    gen.seed = kTraceSeed;
+    const ServiceTrace trace = generateTrace(gen);
+
+    std::error_code ec;
+    const fs::path cache_dir =
+        fs::temp_directory_path(ec) /
+        ("veal-persist-bench-" +
+         std::to_string(static_cast<long long>(
+             std::chrono::steady_clock::now().time_since_epoch().count())));
+    fs::remove_all(cache_dir, ec);
+
+    // Phase 1: cold.  Fresh directory; every key translates and is
+    // saved.  Re-run --runs times from scratch for the timing sample
+    // (the report must come out identical every time).
+    ServiceReport cold;
+    std::string cold_render;
+    for (int run = 0; run < options.runs; ++run) {
+        fs::remove_all(cache_dir, ec);
+        double ms = 0.0;
+        std::string render = runOnce(
+            trace, makeOptions(cache_dir.string(), kMatrix[1]), &cold,
+            &ms);
+        report.cold_wall_ms.push_back(ms);
+        std::fprintf(stderr,
+                     "veal-bench: persist cold pass %d/%d %.2f ms\n",
+                     run + 1, options.runs, ms);
+        if (run == 0) {
+            cold_render = std::move(render);
+        } else {
+            VEAL_ASSERT(render == cold_render,
+                        "cold report drifted across bench runs");
+        }
+    }
+    VEAL_ASSERT(cold.persisted == 0,
+                "a cold run served from a fresh store");
+
+    // Phase 2: warm.  Fresh service over the populated store, --runs
+    // timed passes; every pass must render the same bytes.
+    ServiceReport warm;
+    std::string warm_render;
+    for (int run = 0; run < options.runs; ++run) {
+        double ms = 0.0;
+        std::string render = runOnce(
+            trace, makeOptions(cache_dir.string(), kMatrix[1]), &warm,
+            &ms);
+        report.warm_wall_ms.push_back(ms);
+        std::fprintf(stderr,
+                     "veal-bench: persist warm pass %d/%d %.2f ms\n",
+                     run + 1, options.runs, ms);
+        if (run == 0) {
+            warm_render = std::move(render);
+        } else {
+            VEAL_ASSERT(render == warm_render,
+                        "warm report drifted across restarts");
+        }
+    }
+
+    // Phase 3: the warm matrix.  The service contract says the report
+    // never depends on --shards/--threads/--batch; the persistent store
+    // must not break that.
+    for (const Shape& shape : kMatrix) {
+        const std::string render = runOnce(
+            trace, makeOptions(cache_dir.string(), shape), nullptr,
+            nullptr);
+        VEAL_ASSERT(render == warm_render,
+                    "warm report depends on the service shape (shards=",
+                    shape.shards, " threads=", shape.threads,
+                    " batch=", shape.batch, ")");
+    }
+
+    fs::remove_all(cache_dir, ec);
+
+    // The warm-start contract: the store serves every translated key,
+    // so a warm run performs no translation work at all.
+    VEAL_ASSERT(warm.translation_cycles == 0,
+                "warm run still translated (",
+                warm.translation_cycles, " cycles)");
+    VEAL_ASSERT(warm.persisted > 0, "warm run never hit the store");
+
+    report.cold_translation_cycles = cold.translation_cycles;
+    report.warm_translation_cycles = warm.translation_cycles;
+    report.translation_cycle_ratio =
+        cold.translation_cycles /
+        std::max<std::int64_t>(warm.translation_cycles, 1);
+    report.cold_persisted = cold.cold + cold.coalesced;
+    report.warm_persisted = warm.persisted;
+    report.cold_report_digest = hex(fnv1a(cold_render));
+    report.warm_report_digest = hex(fnv1a(warm_render));
+    report.cold_p50_ms = p50(report.cold_wall_ms);
+    report.warm_p50_ms = p50(report.warm_wall_ms);
+
+    if (!options.json_path.empty()) {
+        std::ofstream out(options.json_path);
+        out << report.toJson();
+        if (!out) {
+            fatal("cannot write bench report to ", options.json_path);
+        }
+    }
+    return report;
+}
+
+}  // namespace veal::bench

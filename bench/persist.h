@@ -1,0 +1,79 @@
+#ifndef VEAL_BENCH_PERSIST_H_
+#define VEAL_BENCH_PERSIST_H_
+
+/**
+ * @file
+ * Cold-vs-warm-start persistence study (veal-bench --mode persist).
+ *
+ * One invocation runs a fixed, seed-derived service trace three ways
+ * against one on-disk code cache (vm/persist/store.h):
+ *
+ *   1. *cold* -- a fresh cache directory; every distinct key pays full
+ *      translation and the store is populated,
+ *   2. *warm* -- a fresh TranslationService process-equivalent over the
+ *      populated store, --runs timed passes, and
+ *   3. a warm *matrix* pass across several --shards/--threads/--batch
+ *      shapes.
+ *
+ * The contracts this bench pins, asserted in-process every run:
+ * every warm report renders byte-identical to every other warm report
+ * (including the whole matrix), warm translation cycles are *zero*
+ * (every key is served from the store), and the cold/warm
+ * translation-cycle ratio clears the committed floor.  The JSON
+ * (BENCH_persist.json, schema veal-persist-bench-v1) pins the warm-start
+ * win in the repo: CI fails if the committed modeled fields drift or
+ * the ratio falls below the floor.
+ *
+ * Wall-clock per-phase timings go to stderr and the JSON only; every
+ * other field is modeled and byte-stable.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/throughput.h"
+
+namespace veal::bench {
+
+/** Everything one --mode persist invocation measured. */
+struct PersistReport {
+    std::string commit;
+    int runs = 0;
+
+    /** Fixed trace shape (seed-derived; recorded for the record). */
+    int requests = 0;
+    int loops = 0;
+    int tenants = 0;
+
+    // --- Modeled fields: byte-identical across machines and shapes.
+    std::int64_t cold_translation_cycles = 0;
+    std::int64_t warm_translation_cycles = 0;  ///< Asserted zero.
+    /** cold / max(warm, 1): the warm-start win, gated in CI. */
+    std::int64_t translation_cycle_ratio = 0;
+    std::int64_t cold_persisted = 0;  ///< Store entries the cold run saved.
+    std::int64_t warm_persisted = 0;  ///< Requests served from the store.
+    std::string cold_report_digest;   ///< FNV over the cold render.
+    std::string warm_report_digest;   ///< FNV over the (shared) warm render.
+
+    // --- Wall clock (stderr/JSON only; never deterministic).
+    std::vector<double> cold_wall_ms;
+    std::vector<double> warm_wall_ms;
+    double cold_p50_ms = 0.0;
+    double warm_p50_ms = 0.0;
+
+    /** The veal-persist-bench-v1 JSON rendering of this report. */
+    std::string toJson() const;
+};
+
+/**
+ * Run the study against a scratch cache directory under the system temp
+ * dir (created fresh, removed on exit).  Honours options.runs,
+ * options.commit, and options.json_path (fatal on I/O error); per-phase
+ * timing prints to stderr only.
+ */
+PersistReport runPersistBench(const ThroughputOptions& options);
+
+}  // namespace veal::bench
+
+#endif  // VEAL_BENCH_PERSIST_H_

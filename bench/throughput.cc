@@ -27,9 +27,11 @@ printUsage(std::FILE* out, const char* argv0)
         "usage: %s [--mode NAME] [--runs N] [--threads N] [--batch N]\n"
         "       [--suite NAME] [--json FILE] [--baseline-json FILE]\n"
         "       [--metrics-json FILE] [--commit SHA]\n"
-        "  --mode NAME          translation (default) or simulation (the\n"
+        "  --mode NAME          translation (default), simulation (the\n"
         "                       batched-simulation engine bench, schema\n"
-        "                       veal-sim-bench-v1)\n"
+        "                       veal-sim-bench-v1), or persist (the\n"
+        "                       cold-vs-warm-start study, schema\n"
+        "                       veal-persist-bench-v1)\n"
         "  --batch N            lanes per batch-engine call in --mode\n"
         "                       simulation (default 64; never affects\n"
         "                       modeled output)\n"
@@ -133,9 +135,11 @@ parseThroughputCli(int argc, char** argv)
             needsValue(i);
             options.mode = argv[++i];
             if (options.mode != "translation" &&
-                options.mode != "simulation") {
+                options.mode != "simulation" &&
+                options.mode != "persist") {
                 usageError(argv[0],
-                           "--mode wants translation or simulation, "
+                           "--mode wants translation, simulation, or "
+                           "persist, "
                            "got '" +
                                options.mode + "'");
             }

@@ -7,6 +7,7 @@
 
 #include "veal/fuzz/driver.h"
 #include "veal/ir/loop_parser.h"
+#include "veal/support/parse.h"
 
 namespace veal {
 namespace {
@@ -42,9 +43,13 @@ outcomeByName(const std::string& name)
 bool
 parseU64(const std::string& text, std::uint64_t* out)
 {
-    std::istringstream is(text);
-    is >> *out;
-    return !is.fail() && is.eof();
+    // Strict (digits only, exact overflow check): a corpus seed of
+    // 18446744073709551616 is an error, not a saturated UINT64_MAX.
+    const auto parsed = parseU64Strict(text);
+    if (!parsed.has_value())
+        return false;
+    *out = *parsed;
+    return true;
 }
 
 bool

@@ -86,6 +86,7 @@ toString(CacheOutcome outcome)
       case CacheOutcome::kCoalesced: return "coalesced";
       case CacheOutcome::kInvalidated: return "invalidated";
       case CacheOutcome::kQuarantined: return "quarantined";
+      case CacheOutcome::kPersisted: return "persisted";
     }
     return "unknown";
 }
@@ -115,7 +116,7 @@ ServiceReport::render() const
        << " quota-exceeded=" << rejected_quota << "\n";
     os << "cache: cold=" << cold << " warm=" << warm << " coalesced="
        << coalesced << " invalidated=" << invalidated << " quarantined="
-       << quarantined << "\n";
+       << quarantined << " persisted=" << persisted << "\n";
     os << "translate: ok=" << translate_ok << "\n";
     renderCountMap(os, "rejects", rejects);
     renderCountMap(os, "rungs", rungs);
@@ -123,6 +124,8 @@ ServiceReport::render() const
     os << "cycles: translation=" << translation_cycles << " cpu="
        << cpu_cycles << " la-first=" << la_first_cycles << " la-warm="
        << la_warm_cycles << "\n";
+    os << "tlb: pages=" << tlb_pages << " walks=" << tlb_walks
+       << " cycles=" << tlb_cycles << "\n";
     os << "quarantined-pairs=" << quarantined_pairs << "\n";
     renderCountMap(os, "fault-fired", fault_fired);
     renderCountMap(os, "fault-probes", fault_probes);
@@ -131,8 +134,9 @@ ServiceReport::render() const
        << std::setw(8) << "rej-q" << std::setw(10) << "rej-quota"
        << std::setw(6) << "cold" << std::setw(6) << "warm"
        << std::setw(6) << "coal" << std::setw(7) << "inval"
-       << std::setw(6) << "quar" << std::setw(5) << "ok"
-       << std::setw(5) << "rej" << "  digest\n";
+       << std::setw(6) << "quar" << std::setw(6) << "pers"
+       << std::setw(5) << "ok" << std::setw(5) << "rej"
+       << "  digest\n";
     for (const auto& [tenant, stats] : tenants) {
         os << std::left << std::setw(8) << tenant << std::right
            << std::setw(10) << stats.submitted << std::setw(10)
@@ -140,7 +144,8 @@ ServiceReport::render() const
            << std::setw(10) << stats.rejected_quota << std::setw(6)
            << stats.cold << std::setw(6) << stats.warm << std::setw(6)
            << stats.coalesced << std::setw(7) << stats.invalidated
-           << std::setw(6) << stats.quarantined << std::setw(5)
+           << std::setw(6) << stats.quarantined << std::setw(6)
+           << stats.persisted << std::setw(5)
            << stats.translate_ok << std::setw(5)
            << stats.translate_reject << "  " << std::hex
            << std::setw(16) << std::setfill('0') << stats.digest
@@ -155,6 +160,10 @@ TranslationService::TranslationService(ServiceOptions options,
       registry_(registry),
       queue_(static_cast<std::size_t>(std::max(1, options_.queue_depth)))
 {
+    if (!options_.cache_dir.empty()) {
+        persistent_ = std::make_unique<persist::PersistentStore>(
+            options_.cache_dir, options_.store, registry_);
+    }
     const int shards = std::max(1, options_.shards);
     shard_caches_.reserve(static_cast<std::size_t>(shards));
     shard_sims_.reserve(static_cast<std::size_t>(shards));
@@ -230,11 +239,17 @@ TranslationService::drainTick()
         int job = -1;           ///< Own fresh translation.
         int provider_job = -1;  ///< Coalesced: the provider's job.
         WarmTier::EntryRef warm_entry;
+        /** Persisted serve: the store-loaded blob (shared per tick). */
+        std::shared_ptr<const persist::PersistedImage> persisted;
         std::optional<FaultInjector> injector;  ///< Warm-verify probes.
     };
     std::vector<PlanInfo> plans(admitted.size());
     std::vector<Job> jobs;
     std::map<std::string, int> tick_provider;  // key -> job index.
+    // One store load per key per tick: later same-tick requests share
+    // the first load's blob (and its hit accounting).
+    std::map<std::string, std::shared_ptr<const persist::PersistedImage>>
+        tick_persisted;
 
     for (std::size_t i = 0; i < admitted.size(); ++i) {
         const ServiceRequest& request = admitted[i].request;
@@ -268,10 +283,84 @@ TranslationService::drainTick()
                 plan.warm_entry = std::move(entry);
                 continue;
             }
-            // Checksum mismatch: drop the entry everywhere, strike the
-            // (tenant, key) pair, and either quarantine it or queue a
-            // re-translation for this very request.
+            // Checksum mismatch: drop the entry everywhere -- warm
+            // tier, shard caches, AND the persistent store (the third
+            // owner: leaving the blob would resurrect the image on the
+            // next run) -- strike the (tenant, key) pair, and either
+            // quarantine it or queue a re-translation for this very
+            // request.
             warm_.invalidate(request.key);
+            for (const auto& cache : shard_caches_)
+                cache->erase(request.key);
+            if (persistent_ != nullptr)
+                persistent_->invalidate(request.key);
+            tick_persisted.erase(request.key);
+            const int strikes = ++strikes_[qkey];
+            if (registry_ != nullptr) {
+                registry_->trace("service", "invalidate", request.key,
+                                 strikes);
+            }
+            if (strikes >= options_.quarantine_strikes) {
+                quarantined_.insert(qkey);
+                plan.cache = CacheOutcome::kQuarantined;
+                continue;
+            }
+            plan.cache = CacheOutcome::kInvalidated;
+            translate_needed = true;
+        } else if (auto loaded = [&] {
+                       // Persistent consult on a warm-tier miss: one
+                       // real load per key per tick, skipped when a
+                       // same-tick job is already translating the key.
+                       std::shared_ptr<const persist::PersistedImage>
+                           blob;
+                       if (persistent_ == nullptr)
+                           return blob;
+                       if (const auto cached =
+                               tick_persisted.find(request.key);
+                           cached != tick_persisted.end()) {
+                           blob = cached->second;
+                       } else if (tick_provider.count(request.key) ==
+                                  0) {
+                           if (auto image =
+                                   persistent_->load(request.key)) {
+                               blob = std::make_shared<
+                                   const persist::PersistedImage>(
+                                   std::move(*image));
+                               tick_persisted[request.key] = blob;
+                           }
+                       }
+                       return blob;
+                   }()) {
+            // Persisted serve: same verify-before-trust discipline as a
+            // warm serve.  The blob's FNV checksum already validated on
+            // load; the fault layer can still corrupt the image between
+            // load and dispatch, which the rotate-XOR image checksum
+            // catches.
+            bool corrupted = false;
+            if (options_.fault_seed.has_value()) {
+                plan.injector.emplace(FaultPlan::sample(
+                    makeServicePlanSeed(*options_.fault_seed,
+                                        admitted[i].sequence)));
+                if (!loaded->image_words.empty() &&
+                    plan.injector->probe(FaultSite::kCacheCorruption)) {
+                    ControlImage probe =
+                        ControlImage::fromWords(loaded->image_words);
+                    const std::uint32_t expected = probe.checksum();
+                    probe.flipBit(plan.injector->corruptionBit(
+                        probe.words().size() * 32));
+                    corrupted = probe.checksum() != expected;
+                }
+            }
+            if (!corrupted) {
+                plan.cache = CacheOutcome::kPersisted;
+                plan.persisted = std::move(loaded);
+                continue;
+            }
+            // Corrupted persisted image: delete the blob (degrade to a
+            // fresh translation, never crash), strike, and follow the
+            // same quarantine ladder as a warm corruption.
+            persistent_->invalidate(request.key);
+            tick_persisted.erase(request.key);
             for (const auto& cache : shard_caches_)
                 cache->erase(request.key);
             const int strikes = ++strikes_[qkey];
@@ -428,27 +517,47 @@ TranslationService::drainTick()
 
     // ---- Phase 3a: price warm/coalesced serves (their own iteration
     // counts) out of the reduction-owned simulator, in --batch blocks.
+    // Summary-backed serves (persisted, or warm entries rehydrated from
+    // the store) price analytically through summaryLoopCost(), which is
+    // bit-identical to the batch engine for the same translation -- the
+    // foundation of the save/reload byte-equality contract.
     struct DeferredLane {
         std::size_t admitted_index = 0;
         const TranslationResult* translation = nullptr;
     };
     std::vector<DeferredLane> deferred;
+    std::vector<std::int64_t> warm_price(admitted.size(), 0);
     for (std::size_t i = 0; i < admitted.size(); ++i) {
         const PlanInfo& plan = plans[i];
         const TranslationResult* tr = nullptr;
-        if (plan.cache == CacheOutcome::kWarm &&
-            plan.warm_entry->translation.ok) {
-            tr = &plan.warm_entry->translation;
+        const persist::TranslationSummary* summary = nullptr;
+        if (plan.cache == CacheOutcome::kWarm) {
+            if (plan.warm_entry->summaryBacked()) {
+                if (plan.warm_entry->summary->ok)
+                    summary = &*plan.warm_entry->summary;
+            } else if (plan.warm_entry->translation.ok) {
+                tr = &plan.warm_entry->translation;
+            }
+        } else if (plan.cache == CacheOutcome::kPersisted) {
+            if (plan.persisted->summary.ok)
+                summary = &plan.persisted->summary;
         } else if (plan.cache == CacheOutcome::kCoalesced) {
             const auto& provider =
                 jobs[static_cast<std::size_t>(plan.provider_job)];
             if (provider.ladder.translation.ok)
                 tr = &provider.ladder.translation;
         }
-        if (tr != nullptr)
+        if (tr != nullptr) {
             deferred.push_back({i, tr});
+        } else if (summary != nullptr) {
+            warm_price[i] =
+                persist::summaryLoopCost(
+                    *summary, options_.la,
+                    admitted[i].request.iterations,
+                    /*first_invocation=*/false)
+                    .total();
+        }
     }
-    std::vector<std::int64_t> warm_price(admitted.size(), 0);
     for (std::size_t begin = 0; begin < deferred.size(); begin += batch) {
         const std::size_t end = std::min(begin + batch, deferred.size());
         std::vector<LaCostRequest> lanes;
@@ -556,6 +665,10 @@ TranslationService::drainTick()
             ++tenant.quarantined;
             ++report_.quarantined;
             break;
+          case CacheOutcome::kPersisted:
+            ++tenant.persisted;
+            ++report_.persisted;
+            break;
         }
         if (registry_ != nullptr) {
             registry_->add(std::string("service.cache.") +
@@ -567,6 +680,7 @@ TranslationService::drainTick()
 
         // Resolve the serving translation and charge/publish fresh ones.
         const TranslationResult* tr = nullptr;
+        const persist::TranslationSummary* summary = nullptr;
         const bool fresh = plan.job >= 0;
         if (fresh) {
             Job& job = jobs[static_cast<std::size_t>(plan.job)];
@@ -595,12 +709,39 @@ TranslationService::drainTick()
                 registry_->add(std::string("service.rung.") +
                                toString(job.ladder.rung));
             }
-            // Publish (success or negative) at this request's sequence;
-            // later ticks serve it from the warm tier.
+            // Persist first (the blob captures the pristine image words
+            // before the warm tier takes ownership of the image), then
+            // publish -- success or negative either way -- at this
+            // request's sequence; later ticks serve it from the warm
+            // tier, later *runs* from the store.
+            if (persistent_ != nullptr) {
+                persist::PersistedImage record;
+                record.key = job.key;
+                record.summary = persist::summarize(job.ladder.translation);
+                if (job.image.has_value())
+                    record.image_words = job.image->words();
+                persistent_->save(record);
+            }
             warm_.publish(job.key, job.ladder.translation,
                           std::move(job.image), epoch, log.sequence);
         } else if (plan.cache == CacheOutcome::kWarm) {
-            tr = &plan.warm_entry->translation;
+            if (plan.warm_entry->summaryBacked())
+                summary = &*plan.warm_entry->summary;
+            else
+                tr = &plan.warm_entry->translation;
+        } else if (plan.cache == CacheOutcome::kPersisted) {
+            summary = &plan.persisted->summary;
+            // Rehydrate the warm tier once per key: the rest of the run
+            // serves from memory (kWarm) instead of re-reading the blob.
+            if (warm_.find(log.key) == nullptr) {
+                std::optional<ControlImage> image;
+                if (!plan.persisted->image_words.empty()) {
+                    image = ControlImage::fromWords(
+                        plan.persisted->image_words);
+                }
+                warm_.publishSummary(log.key, *summary, std::move(image),
+                                     epoch, log.sequence);
+            }
         } else if (plan.cache == CacheOutcome::kCoalesced) {
             const auto& provider =
                 jobs[static_cast<std::size_t>(plan.provider_job)];
@@ -614,6 +755,15 @@ TranslationService::drainTick()
             if (tr->ok) {
                 out.ii = tr->schedule.ii;
                 out.stage_count = tr->schedule.stage_count;
+            }
+        } else if (summary != nullptr) {
+            // Summary-backed serve: the persisted scalars carry the
+            // exact fields a full result would have reported.
+            out.translated_ok = summary->ok;
+            out.reject = summary->reject;
+            if (summary->ok) {
+                out.ii = summary->ii;
+                out.stage_count = summary->stage_count;
             }
         }
 
@@ -632,16 +782,58 @@ TranslationService::drainTick()
             } else {
                 out.la_warm_cycles = warm_price[i];
             }
+            // TLB model (opt-in): page-walk charges ride the LA prices
+            // -- execution-side, so translation phase cycles still
+            // telescope.  The strides come from the live analysis or
+            // the persisted summary; both carry the same values, so
+            // cold-run and warm-start pricing agree bit for bit.
+            if (options_.tlb.enabled) {
+                const std::int64_t iterations =
+                    admitted[i].request.iterations;
+                TlbCharge first_charge;
+                TlbCharge warm_charge;
+                if (tr != nullptr) {
+                    if (fresh) {
+                        first_charge = streamTlbCharge(
+                            tr->analysis, options_.tlb, iterations,
+                            /*first_invocation=*/true);
+                    }
+                    warm_charge = streamTlbCharge(
+                        tr->analysis, options_.tlb, iterations,
+                        /*first_invocation=*/false);
+                } else if (summary != nullptr) {
+                    warm_charge = streamTlbCharge(
+                        summary->load_strides, summary->store_strides,
+                        options_.tlb, iterations,
+                        /*first_invocation=*/false);
+                }
+                out.la_first_cycles += first_charge.cycles;
+                out.la_warm_cycles += warm_charge.cycles;
+                const std::int64_t pages =
+                    first_charge.pages + warm_charge.pages;
+                const std::int64_t walks =
+                    first_charge.walks + warm_charge.walks;
+                const std::int64_t cycles =
+                    first_charge.cycles + warm_charge.cycles;
+                report_.tlb_pages += pages;
+                report_.tlb_walks += walks;
+                report_.tlb_cycles += cycles;
+                if (registry_ != nullptr) {
+                    registry_->add("vm.tlb.pages", pages);
+                    registry_->add("vm.tlb.walks", walks);
+                    registry_->add("vm.tlb.cycles", cycles);
+                }
+            }
             report_.la_first_cycles += out.la_first_cycles;
             report_.la_warm_cycles += out.la_warm_cycles;
             out.la_wins = out.la_warm_cycles < out.cpu_cycles;
         } else if (plan.cache != CacheOutcome::kQuarantined &&
-                   tr != nullptr) {
+                   (tr != nullptr || summary != nullptr)) {
             ++tenant.translate_reject;
-            ++report_.rejects[toString(tr->reject)];
+            ++report_.rejects[toString(out.reject)];
             if (registry_ != nullptr) {
                 registry_->add(std::string("service.translate.reject.") +
-                               toString(tr->reject));
+                               toString(out.reject));
             }
         }
         if (out.la_wins) {
@@ -747,6 +939,13 @@ TranslationService::run(const ServiceTrace& trace)
         drainTick();
     }
     return report_;
+}
+
+void
+TranslationService::flushPersistentStore()
+{
+    if (persistent_ != nullptr)
+        persistent_->flush();
 }
 
 CodeCache::Stats

@@ -45,10 +45,12 @@
 #include "veal/ir/loop.h"
 #include "veal/service/trace.h"
 #include "veal/sim/batch.h"
+#include "veal/sim/tlb_model.h"
 #include "veal/support/bounded_queue.h"
 #include "veal/support/metrics/metrics.h"
 #include "veal/support/thread_pool.h"
 #include "veal/vm/code_cache.h"
+#include "veal/vm/persist/store.h"
 #include "veal/vm/translator.h"
 #include "veal/vm/warm_tier.h"
 
@@ -97,6 +99,28 @@ struct ServiceOptions {
      * still byte-identical at any shard/thread/batch count).
      */
     std::optional<std::uint64_t> fault_seed;
+
+    /**
+     * Directory of the persistent cross-run code cache; empty disables
+     * persistence entirely.  When set, fresh translations are saved as
+     * checksummed blobs, warm-tier misses consult the store before
+     * translating (CacheOutcome::kPersisted), and checksum
+     * invalidations delete the on-disk blob so a restart can never
+     * resurrect a dropped image.
+     */
+    std::string cache_dir;
+
+    /** Persistent-store sizing (used when cache_dir is set). */
+    persist::StoreOptions store;
+
+    /**
+     * TLB cost model for stream accesses.  Off by default: every
+     * report and baseline is bit-identical to the pre-TLB service.
+     * When enabled, page-walk charges land in the LA invocation prices
+     * (execution-side -- translation phase cycles still telescope) and
+     * are metered as vm.tlb.*.
+     */
+    TlbConfig tlb = TlbConfig::off();
 };
 
 /** Why a submission was (or was not) admitted. */
@@ -121,6 +145,7 @@ enum class CacheOutcome : int {
     kCoalesced,    ///< Same-tick duplicate: rode another request's job.
     kInvalidated,  ///< Warm image failed its checksum; re-translated.
     kQuarantined,  ///< (tenant, key) is quarantined; CPU path.
+    kPersisted,    ///< Served from the persistent store (earlier run).
 };
 
 /** Outcome name, e.g. "coalesced". */
@@ -187,6 +212,7 @@ struct TenantReport {
     std::int64_t coalesced = 0;
     std::int64_t invalidated = 0;
     std::int64_t quarantined = 0;
+    std::int64_t persisted = 0;
     std::int64_t translate_ok = 0;
     std::int64_t translate_reject = 0;
 
@@ -211,6 +237,7 @@ struct ServiceReport {
     std::int64_t coalesced = 0;
     std::int64_t invalidated = 0;
     std::int64_t quarantined = 0;
+    std::int64_t persisted = 0;
 
     std::int64_t translate_ok = 0;
     std::map<std::string, std::int64_t> rejects;  ///< By reject name.
@@ -223,6 +250,11 @@ struct ServiceReport {
     std::int64_t cpu_cycles = 0;
     std::int64_t la_first_cycles = 0;
     std::int64_t la_warm_cycles = 0;
+
+    /** TLB-model charges folded into the LA prices (0 when disabled). */
+    std::int64_t tlb_pages = 0;
+    std::int64_t tlb_walks = 0;
+    std::int64_t tlb_cycles = 0;
 
     /** Quarantined (tenant, key) pairs currently in force. */
     std::int64_t quarantined_pairs = 0;
@@ -292,6 +324,18 @@ class TranslationService {
 
     const WarmTier& warmTier() const { return warm_; }
 
+    /** The persistent store, or null when cache_dir is empty. */
+    const persist::PersistentStore* persistentStore() const
+    {
+        return persistent_.get();
+    }
+
+    /**
+     * Write the store's MANIFEST now (also happens on destruction) --
+     * call before handing the cache directory to another process.
+     */
+    void flushPersistentStore();
+
   private:
     struct Pending {
         ServiceRequest request;
@@ -315,6 +359,7 @@ class TranslationService {
     std::int64_t next_sequence_ = 0;
 
     WarmTier warm_;
+    std::unique_ptr<persist::PersistentStore> persistent_;
     std::vector<std::unique_ptr<CodeCache>> shard_caches_;
     std::vector<std::unique_ptr<BatchSimulator>> shard_sims_;
     BatchSimulator reduction_sim_;

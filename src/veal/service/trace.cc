@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "veal/ir/random_loop.h"
+#include "veal/support/parse.h"
 #include "veal/support/rng.h"
 
 namespace veal {
@@ -30,10 +31,7 @@ modeByName(const std::string& name)
 std::optional<std::uint64_t>
 parseU64Token(const std::string& token)
 {
-    if (token.empty() || token.size() > 19 ||
-        token.find_first_not_of("0123456789") != std::string::npos)
-        return std::nullopt;
-    return std::strtoull(token.c_str(), nullptr, 10);
+    return parseU64Strict(token);
 }
 
 std::string
@@ -215,14 +213,14 @@ generateTrace(const TraceGenOptions& options)
 
     // The pool's loop seeds are themselves drawn from the generator
     // seed, so two generator seeds disagree on loop *identities*, not
-    // just on the request order.
-    // Seeds are masked to 48 bits: the strict parser caps seed tokens
-    // at 19 digits, and a full 64-bit draw can render as 20.
+    // just on the request order.  Full 64-bit draws round-trip the
+    // formatter/parser since the parser checks overflow instead of
+    // capping tokens at 19 digits.
     Rng pool_rng(options.seed ^ 0x9001ull);
     std::vector<std::uint64_t> pool;
     pool.reserve(static_cast<std::size_t>(options.loop_pool));
     for (int i = 0; i < options.loop_pool; ++i)
-        pool.push_back(pool_rng.next() & 0xffffffffffffull);
+        pool.push_back(pool_rng.next());
 
     constexpr TranslationMode kModes[] = {
         TranslationMode::kFullyDynamic,

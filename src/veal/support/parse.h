@@ -1,0 +1,49 @@
+#ifndef VEAL_SUPPORT_PARSE_H_
+#define VEAL_SUPPORT_PARSE_H_
+
+/**
+ * @file
+ * The one strict decimal-u64 parser every surface shares.
+ *
+ * Three independent copies of "digits only, fits in uint64" grew in the
+ * trace parser, the CLI helpers, and the fuzz corpus -- and two of them
+ * rejected *every* 20-digit token to dodge strtoull's saturating
+ * overflow, which silently made seeds in [10^19, 2^64-1] unrepresentable
+ * (and forced the trace generator to mask its seed pool to 48 bits).
+ * This helper accumulates with an explicit overflow check instead, so
+ * 18446744073709551615 parses and 18446744073709551616 fails.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace veal {
+
+/**
+ * Strict decimal parse: the whole token must be digits (no sign, no
+ * whitespace, no base prefix) and the value must fit in uint64.
+ * Returns nullopt otherwise -- overflow is detected exactly, never
+ * saturated.  Leading zeros are accepted ("007" == 7).
+ */
+inline std::optional<std::uint64_t>
+parseU64Strict(std::string_view token)
+{
+    if (token.empty())
+        return std::nullopt;
+    std::uint64_t value = 0;
+    constexpr std::uint64_t kMax = ~0ull;
+    for (const char c : token) {
+        if (c < '0' || c > '9')
+            return std::nullopt;
+        const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+        if (value > (kMax - digit) / 10)
+            return std::nullopt;  // value * 10 + digit would overflow.
+        value = value * 10 + digit;
+    }
+    return value;
+}
+
+}  // namespace veal
+
+#endif  // VEAL_SUPPORT_PARSE_H_

@@ -32,6 +32,10 @@ CodeCache::insert(const std::string& key)
 CodeCache::InsertOutcome
 CodeCache::insert(const std::string& key, std::string* evicted_key)
 {
+    // Clear first so a buffer reused across calls never carries a stale
+    // eviction into a non-evicting insert (see the header contract).
+    if (evicted_key != nullptr)
+        evicted_key->clear();
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
         lru_.splice(lru_.begin(), lru_, it->second);

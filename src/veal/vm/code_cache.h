@@ -63,7 +63,15 @@ class CodeCache {
      * As insert(); when an eviction occurs and @p evicted_key is
      * non-null, the evicted key is written there so the owner can drop
      * the entry's payload (the hardened VM stores control images beside
-     * the cache and must not leak them past eviction).
+     * the cache and must not leak them past eviction; the persistent
+     * store must delete the blob so a restart cannot resurrect it).
+     *
+     * Contract: @p evicted_key is *always* written -- cleared to empty
+     * on every non-evicting path (kRefreshed, or an insert with spare
+     * capacity).  Callers may therefore reuse one buffer across calls;
+     * a stale key left over from a previous insert must never be
+     * mistaken for a fresh eviction, or the owner would drop a live
+     * payload and later serve (or crash on) a resident key without one.
      */
     InsertOutcome insert(const std::string& key,
                          std::string* evicted_key);

@@ -43,6 +43,14 @@ rotl32(std::uint32_t value, unsigned amount)
 
 }  // namespace
 
+ControlImage
+ControlImage::fromWords(std::vector<std::uint32_t> words)
+{
+    ControlImage image;
+    image.words_ = std::move(words);
+    return image;
+}
+
 std::uint32_t
 ControlImage::checksum() const
 {

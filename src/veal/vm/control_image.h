@@ -59,6 +59,14 @@ class ControlImage {
     static ControlImage encode(const Loop& loop,
                                const TranslationResult& translation);
 
+    /**
+     * Rebuild an image from raw @p words (the persistent store's load
+     * path).  No validation happens here -- the caller checks the
+     * stored checksum against checksum() before trusting the image,
+     * exactly as the hardened VM does before a cached dispatch.
+     */
+    static ControlImage fromWords(std::vector<std::uint32_t> words);
+
     /** Parse the structural fields back out (panics on a bad image). */
     DecodedControlImage decode() const;
 

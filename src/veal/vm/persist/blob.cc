@@ -1,0 +1,324 @@
+#include "veal/vm/persist/blob.h"
+
+#include "veal/support/assert.h"
+
+namespace veal::persist {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/** FNV-1a over a byte range. */
+std::uint64_t
+fnv1a(const std::uint8_t* data, std::size_t size)
+{
+    std::uint64_t digest = kFnvOffset;
+    for (std::size_t i = 0; i < size; ++i) {
+        digest ^= data[i];
+        digest *= kFnvPrime;
+    }
+    return digest;
+}
+
+void
+appendU32(std::vector<std::uint8_t>& out, std::uint32_t value)
+{
+    for (int byte = 0; byte < 4; ++byte)
+        out.push_back(static_cast<std::uint8_t>(value >> (byte * 8)));
+}
+
+void
+appendU64(std::vector<std::uint8_t>& out, std::uint64_t value)
+{
+    for (int byte = 0; byte < 8; ++byte)
+        out.push_back(static_cast<std::uint8_t>(value >> (byte * 8)));
+}
+
+void
+appendI64(std::vector<std::uint8_t>& out, std::int64_t value)
+{
+    appendU64(out, static_cast<std::uint64_t>(value));
+}
+
+/** Bounds-checked little-endian reader; ok() goes false, never UB. */
+class Reader {
+  public:
+    Reader(const std::uint8_t* data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    bool
+    ok() const
+    {
+        return ok_;
+    }
+
+    std::size_t
+    remaining() const
+    {
+        return size_ - cursor_;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        if (!take(4))
+            return 0;
+        std::uint32_t value = 0;
+        for (int byte = 0; byte < 4; ++byte) {
+            value |= static_cast<std::uint32_t>(data_[cursor_ + byte])
+                     << (byte * 8);
+        }
+        cursor_ += 4;
+        return value;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        if (!take(8))
+            return 0;
+        std::uint64_t value = 0;
+        for (int byte = 0; byte < 8; ++byte) {
+            value |= static_cast<std::uint64_t>(data_[cursor_ + byte])
+                     << (byte * 8);
+        }
+        cursor_ += 8;
+        return value;
+    }
+
+    std::int64_t
+    i64()
+    {
+        return static_cast<std::int64_t>(u64());
+    }
+
+    std::string
+    bytes(std::size_t count)
+    {
+        if (!take(count))
+            return {};
+        std::string value(reinterpret_cast<const char*>(data_ + cursor_),
+                          count);
+        cursor_ += count;
+        return value;
+    }
+
+  private:
+    bool
+    take(std::size_t count)
+    {
+        if (!ok_ || size_ - cursor_ < count) {
+            ok_ = false;
+            return false;
+        }
+        return true;
+    }
+
+    const std::uint8_t* data_;
+    std::size_t size_;
+    std::size_t cursor_ = 0;
+    bool ok_ = true;
+};
+
+/** Enum range guards: a checksummed-but-hostile blob stays typed. */
+bool
+validReject(std::int32_t value)
+{
+    return value >= static_cast<std::int32_t>(TranslationReject::kNone) &&
+           value <=
+               static_cast<std::int32_t>(TranslationReject::kBudgetExhausted);
+}
+
+bool
+validMode(std::int32_t value)
+{
+    return value >= static_cast<std::int32_t>(TranslationMode::kStatic) &&
+           value <= static_cast<std::int32_t>(
+                        TranslationMode::kHybridStaticCcaPriority);
+}
+
+}  // namespace
+
+const char*
+toString(BlobError error)
+{
+    switch (error) {
+      case BlobError::kTruncated: return "truncated";
+      case BlobError::kBadMagic: return "bad-magic";
+      case BlobError::kVersionSkew: return "version-skew";
+      case BlobError::kChecksum: return "checksum";
+      case BlobError::kMalformed: return "malformed";
+    }
+    return "unknown";
+}
+
+TranslationSummary
+summarize(const TranslationResult& translation)
+{
+    TranslationSummary summary;
+    summary.ok = translation.ok;
+    summary.reject = translation.reject;
+    summary.mode = translation.mode;
+    if (!translation.ok)
+        return summary;
+
+    summary.ii = translation.schedule.ii;
+    summary.stage_count = translation.schedule.stage_count;
+    summary.length = translation.schedule.length;
+    VEAL_ASSERT(translation.graph.has_value(),
+                "ok translation without a graph");
+    summary.fu_units = translation.graph->numFuUnits();
+    for (const int reg : translation.registers.reg_of_source_op)
+        summary.live_in_regs += reg >= 0 ? 1 : 0;
+    for (const auto& unit : translation.graph->units())
+        summary.live_outs += unit.is_live_out ? 1 : 0;
+    summary.load_strides.reserve(translation.analysis.load_streams.size());
+    for (const auto& stream : translation.analysis.load_streams)
+        summary.load_strides.push_back(stream.stride);
+    summary.store_strides.reserve(
+        translation.analysis.store_streams.size());
+    for (const auto& stream : translation.analysis.store_streams)
+        summary.store_strides.push_back(stream.stride);
+    return summary;
+}
+
+LaInvocationCost
+summaryLoopCost(const TranslationSummary& summary, const LaConfig& config,
+                std::int64_t iterations, bool first_invocation)
+{
+    VEAL_ASSERT(summary.ok, "pricing a rejected summary");
+    VEAL_ASSERT(iterations >= 1);
+    // Mirrors acceleratorLoopCost() term by term; the differential test
+    // in persist_blob_test pins the bit-equality.
+    LaInvocationCost cost;
+    cost.setup_cycles = config.bus_latency;
+    if (first_invocation) {
+        const auto num_streams = static_cast<std::int64_t>(
+            summary.load_strides.size() + summary.store_strides.size());
+        cost.setup_cycles += summary.fu_units + 2 * num_streams;
+    }
+    cost.setup_cycles += 2 * static_cast<std::int64_t>(summary.live_in_regs);
+    cost.pipeline_cycles =
+        (iterations - 1) * static_cast<std::int64_t>(summary.ii) +
+        summary.length;
+    cost.drain_cycles =
+        config.bus_latency + 2 * static_cast<std::int64_t>(summary.live_outs);
+    return cost;
+}
+
+std::vector<std::uint8_t>
+encodeBlob(const PersistedImage& image)
+{
+    // Payload first; the header (magic, version, checksum-of-payload)
+    // goes in front so corruption anywhere in the payload is caught by
+    // one FNV pass and header damage by the magic/version fields.
+    std::vector<std::uint8_t> payload;
+    const TranslationSummary& s = image.summary;
+    appendU32(payload, static_cast<std::uint32_t>(image.key.size()));
+    for (const char c : image.key)
+        payload.push_back(static_cast<std::uint8_t>(c));
+    appendU32(payload, s.ok ? 1u : 0u);
+    appendU32(payload, static_cast<std::uint32_t>(s.reject));
+    appendU32(payload, static_cast<std::uint32_t>(s.mode));
+    appendU32(payload, static_cast<std::uint32_t>(s.ii));
+    appendU32(payload, static_cast<std::uint32_t>(s.stage_count));
+    appendU32(payload, static_cast<std::uint32_t>(s.length));
+    appendU32(payload, static_cast<std::uint32_t>(s.fu_units));
+    appendU32(payload, static_cast<std::uint32_t>(s.live_in_regs));
+    appendU32(payload, static_cast<std::uint32_t>(s.live_outs));
+    appendU32(payload, static_cast<std::uint32_t>(s.load_strides.size()));
+    for (const std::int64_t stride : s.load_strides)
+        appendI64(payload, stride);
+    appendU32(payload, static_cast<std::uint32_t>(s.store_strides.size()));
+    for (const std::int64_t stride : s.store_strides)
+        appendI64(payload, stride);
+    appendU32(payload,
+              static_cast<std::uint32_t>(image.image_words.size()));
+    for (const std::uint32_t word : image.image_words)
+        appendU32(payload, word);
+
+    std::vector<std::uint8_t> blob;
+    blob.reserve(payload.size() + 16);
+    appendU32(blob, kBlobMagic);
+    appendU32(blob, kBlobVersion);
+    appendU64(blob, fnv1a(payload.data(), payload.size()));
+    blob.insert(blob.end(), payload.begin(), payload.end());
+    return blob;
+}
+
+std::variant<PersistedImage, BlobError>
+decodeBlob(const std::uint8_t* data, std::size_t size)
+{
+    if (size < 16)
+        return BlobError::kTruncated;
+    Reader header(data, 16);
+    if (header.u32() != kBlobMagic)
+        return BlobError::kBadMagic;
+    if (header.u32() != kBlobVersion)
+        return BlobError::kVersionSkew;
+    const std::uint64_t expected = header.u64();
+    const std::uint8_t* payload = data + 16;
+    const std::size_t payload_size = size - 16;
+    if (fnv1a(payload, payload_size) != expected)
+        return BlobError::kChecksum;
+
+    Reader in(payload, payload_size);
+    PersistedImage image;
+    const std::uint32_t key_size = in.u32();
+    if (!in.ok() || key_size > in.remaining())
+        return BlobError::kTruncated;
+    image.key = in.bytes(key_size);
+    TranslationSummary& s = image.summary;
+    const std::uint32_t ok_flag = in.u32();
+    const auto reject = static_cast<std::int32_t>(in.u32());
+    const auto mode = static_cast<std::int32_t>(in.u32());
+    s.ii = static_cast<std::int32_t>(in.u32());
+    s.stage_count = static_cast<std::int32_t>(in.u32());
+    s.length = static_cast<std::int32_t>(in.u32());
+    s.fu_units = static_cast<std::int32_t>(in.u32());
+    s.live_in_regs = static_cast<std::int32_t>(in.u32());
+    s.live_outs = static_cast<std::int32_t>(in.u32());
+    const std::uint32_t num_load = in.u32();
+    if (!in.ok() || static_cast<std::size_t>(num_load) * 8 > in.remaining())
+        return BlobError::kTruncated;
+    s.load_strides.reserve(num_load);
+    for (std::uint32_t i = 0; i < num_load; ++i)
+        s.load_strides.push_back(in.i64());
+    const std::uint32_t num_store = in.u32();
+    if (!in.ok() ||
+        static_cast<std::size_t>(num_store) * 8 > in.remaining())
+        return BlobError::kTruncated;
+    s.store_strides.reserve(num_store);
+    for (std::uint32_t i = 0; i < num_store; ++i)
+        s.store_strides.push_back(in.i64());
+    const std::uint32_t num_words = in.u32();
+    if (!in.ok() ||
+        static_cast<std::size_t>(num_words) * 4 > in.remaining())
+        return BlobError::kTruncated;
+    image.image_words.reserve(num_words);
+    for (std::uint32_t i = 0; i < num_words; ++i)
+        image.image_words.push_back(in.u32());
+    if (!in.ok())
+        return BlobError::kTruncated;
+    if (in.remaining() != 0)
+        return BlobError::kMalformed;  // Checksummed trailing garbage.
+
+    if (ok_flag > 1 || !validReject(reject) || !validMode(mode))
+        return BlobError::kMalformed;
+    s.ok = ok_flag == 1;
+    s.reject = static_cast<TranslationReject>(reject);
+    s.mode = static_cast<TranslationMode>(mode);
+    if (s.ok && image.image_words.empty())
+        return BlobError::kMalformed;  // Successful entries carry code.
+    if (!s.ok && !image.image_words.empty())
+        return BlobError::kMalformed;
+    if (s.ok && (s.ii < 1 || s.stage_count < 1 || s.length < 0 ||
+                 s.fu_units < 0 || s.live_in_regs < 0 || s.live_outs < 0))
+        return BlobError::kMalformed;
+    return image;
+}
+
+}  // namespace veal::persist

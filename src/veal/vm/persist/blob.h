@@ -1,0 +1,119 @@
+#ifndef VEAL_VM_PERSIST_BLOB_H_
+#define VEAL_VM_PERSIST_BLOB_H_
+
+/**
+ * @file
+ * Versioned, checksummed serialization of one translated loop -- the
+ * unit the persistent code cache stores on disk.
+ *
+ * The code cache dying with the process forfeits VEAL's whole premise
+ * (translation cost amortized across reuse), so a blob captures enough
+ * of a `TranslationResult` to serve the key on the next run without
+ * re-translating: the encoded `ControlImage` words plus a
+ * `TranslationSummary` -- the handful of scalars the analytic LA cost
+ * model (sim/la_timing) actually reads.  `summaryLoopCost()` reproduces
+ * `acceleratorLoopCost()` bit-exactly from the summary alone, which is
+ * what makes warm-started service reports byte-identical to in-process
+ * warm serves without persisting schedules or dataflow graphs.
+ *
+ * Negative results persist too (ok == false with the reject reason), so
+ * a key that rejected translation stays rejected across restarts
+ * instead of burning a re-translation, mirroring the warm tier's
+ * negative entries.
+ *
+ * Robustness contract (PR 4 lineage): decodeBlob() never panics.  A
+ * truncated, version-skewed, or bit-flipped blob comes back as a typed
+ * BlobError; the store quarantines the file and the service falls back
+ * to a cold translation -- degrade, don't crash.
+ */
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "veal/arch/la_config.h"
+#include "veal/sim/la_timing.h"
+#include "veal/vm/translator.h"
+
+namespace veal::persist {
+
+/** Blob format magic ("VPB1" little-endian) and current version. */
+constexpr std::uint32_t kBlobMagic = 0x31425056u;
+constexpr std::uint32_t kBlobVersion = 1;
+
+/**
+ * The scalars the analytic invocation-cost model reads, lifted out of a
+ * TranslationResult so pricing survives without the heavyweight parts.
+ */
+struct TranslationSummary {
+    bool ok = false;
+    TranslationReject reject = TranslationReject::kNone;
+    TranslationMode mode = TranslationMode::kFullyDynamic;
+
+    // Schedule shape (pipeline term of the cost model).
+    std::int32_t ii = 0;
+    std::int32_t stage_count = 0;
+    std::int32_t length = 0;
+
+    // Setup/drain terms.
+    std::int32_t fu_units = 0;       ///< graph.numFuUnits()
+    std::int32_t live_in_regs = 0;   ///< reg_of_source_op entries >= 0
+    std::int32_t live_outs = 0;      ///< units with is_live_out
+
+    /**
+     * Per-stream element strides (loads first, then stores), feeding the
+     * TLB distinct-page model.  Sizes double as the stream counts of the
+     * setup term.
+     */
+    std::vector<std::int64_t> load_strides;
+    std::vector<std::int64_t> store_strides;
+};
+
+/** Lift the cost-model scalars out of @p translation. */
+TranslationSummary summarize(const TranslationResult& translation);
+
+/**
+ * Invocation cost computed from the summary alone -- bit-identical to
+ * acceleratorLoopCost() on the summarized translation (pinned by a
+ * differential test).  @p summary must be ok.
+ */
+LaInvocationCost summaryLoopCost(const TranslationSummary& summary,
+                                 const LaConfig& config,
+                                 std::int64_t iterations,
+                                 bool first_invocation);
+
+/** One persisted translation: key + summary + encoded image words. */
+struct PersistedImage {
+    std::string key;
+    TranslationSummary summary;
+
+    /** ControlImage words (empty when !summary.ok). */
+    std::vector<std::uint32_t> image_words;
+};
+
+/** Why a blob failed to decode (never a crash). */
+enum class BlobError : int {
+    kTruncated = 0,  ///< Ran out of bytes mid-field.
+    kBadMagic,       ///< Not a blob at all.
+    kVersionSkew,    ///< Future (or retired) format version.
+    kChecksum,       ///< Payload bytes corrupt.
+    kMalformed,      ///< Checksummed OK but fields are inconsistent.
+};
+
+/** Error name, e.g. "version-skew". */
+const char* toString(BlobError error);
+
+/** Serialize @p image (little-endian, FNV-1a checksummed). */
+std::vector<std::uint8_t> encodeBlob(const PersistedImage& image);
+
+/**
+ * Parse @p size bytes at @p data.  Total function: any input yields
+ * either a validated PersistedImage or a typed error.
+ */
+std::variant<PersistedImage, BlobError> decodeBlob(
+    const std::uint8_t* data, std::size_t size);
+
+}  // namespace veal::persist
+
+#endif  // VEAL_VM_PERSIST_BLOB_H_

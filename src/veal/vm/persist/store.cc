@@ -1,0 +1,541 @@
+#include "veal/vm/persist/store.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "veal/support/assert.h"
+#include "veal/support/metrics/metrics.h"
+#include "veal/support/parse.h"
+
+namespace veal::persist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kManifestName = "MANIFEST";
+constexpr const char* kManifestHeader = "veal-persist-v1";
+constexpr const char* kBlobSuffix = ".vpb";
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t
+fnv1a(const std::string& text)
+{
+    std::uint64_t digest = kFnvOffset;
+    for (const char c : text) {
+        digest ^= static_cast<std::uint8_t>(c);
+        digest *= kFnvPrime;
+    }
+    return digest;
+}
+
+/**
+ * Blob file name for @p key: the sanitized key (readable in `ls`) plus
+ * an FNV-64 tag so two keys that sanitize identically still get
+ * distinct files.  The embedded key inside the blob is the authority;
+ * a tag collision (~2^-64) decodes as a key mismatch and quarantines.
+ */
+std::string
+blobFileName(const std::string& key)
+{
+    std::string name;
+    name.reserve(key.size() + 24);
+    for (const char c : key) {
+        const bool safe = (c >= 'a' && c <= 'z') ||
+                          (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '-' || c == '.';
+        name.push_back(safe ? c : '_');
+    }
+    std::ostringstream os;
+    os << name << '-' << std::hex << fnv1a(key) << kBlobSuffix;
+    return os.str();
+}
+
+std::optional<std::vector<std::uint8_t>>
+readFileBytes(const fs::path& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    if (in.bad())
+        return std::nullopt;
+    return bytes;
+}
+
+bool
+writeFileAtomic(const fs::path& path, const void* data, std::size_t size)
+{
+    const fs::path temp = path.string() + ".tmp";
+    {
+        std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out.write(static_cast<const char*>(data),
+                  static_cast<std::streamsize>(size));
+        if (!out.good())
+            return false;
+    }
+    std::error_code ec;
+    fs::rename(temp, path, ec);
+    return !ec;
+}
+
+}  // namespace
+
+PersistentStore::PersistentStore(std::string directory,
+                                 StoreOptions options,
+                                 metrics::Registry* registry)
+    : directory_(std::move(directory)),
+      options_(options),
+      registry_(registry)
+{
+    VEAL_ASSERT(options_.max_entries >= 1,
+                "persistent store needs at least one entry");
+    options_.protected_percent =
+        std::clamp(options_.protected_percent, 0, 100);
+    std::error_code ec;
+    fs::create_directories(directory_, ec);
+    openIndex();
+}
+
+PersistentStore::~PersistentStore()
+{
+    flush();
+}
+
+void
+PersistentStore::count(const char* name, std::int64_t delta)
+{
+    if (registry_ != nullptr)
+        registry_->add(std::string("vm.persist.") + name, delta);
+}
+
+int
+PersistentStore::allocSlot()
+{
+    if (free_head_ >= 0) {
+        const int slot = free_head_;
+        free_head_ = slots_[static_cast<std::size_t>(slot)].next;
+        slots_[static_cast<std::size_t>(slot)] = Slot{};
+        return slot;
+    }
+    slots_.emplace_back();
+    return static_cast<int>(slots_.size()) - 1;
+}
+
+void
+PersistentStore::freeSlot(int slot)
+{
+    Slot& s = slots_[static_cast<std::size_t>(slot)];
+    s = Slot{};
+    s.next = free_head_;
+    free_head_ = slot;
+}
+
+void
+PersistentStore::pushFront(List& list, int slot)
+{
+    Slot& s = slots_[static_cast<std::size_t>(slot)];
+    s.prev = -1;
+    s.next = list.head;
+    if (list.head >= 0)
+        slots_[static_cast<std::size_t>(list.head)].prev = slot;
+    list.head = slot;
+    if (list.tail < 0)
+        list.tail = slot;
+    ++list.count;
+}
+
+void
+PersistentStore::unlink(List& list, int slot)
+{
+    Slot& s = slots_[static_cast<std::size_t>(slot)];
+    if (s.prev >= 0)
+        slots_[static_cast<std::size_t>(s.prev)].next = s.next;
+    else
+        list.head = s.next;
+    if (s.next >= 0)
+        slots_[static_cast<std::size_t>(s.next)].prev = s.prev;
+    else
+        list.tail = s.prev;
+    s.prev = -1;
+    s.next = -1;
+    --list.count;
+}
+
+void
+PersistentStore::touch(int slot)
+{
+    Slot& s = slots_[static_cast<std::size_t>(slot)];
+    s.epoch = ++epoch_;
+    // A touched entry moves to the protected front; probation is only
+    // for keys that have not proven reuse yet.
+    unlink(lists_[s.segment], slot);
+    s.segment = kProtected;
+    pushFront(lists_[kProtected], slot);
+    // Keep the protected segment within its share by demoting its tail
+    // back to probation (not evicting -- it keeps its blob).
+    const int protected_cap = std::max(
+        0, options_.max_entries * options_.protected_percent / 100);
+    while (lists_[kProtected].count > protected_cap) {
+        const int demoted = lists_[kProtected].tail;
+        unlink(lists_[kProtected], demoted);
+        slots_[static_cast<std::size_t>(demoted)].segment = kProbation;
+        pushFront(lists_[kProbation], demoted);
+    }
+}
+
+void
+PersistentStore::removeEntry(int slot, bool count_as_eviction)
+{
+    Slot& s = slots_[static_cast<std::size_t>(slot)];
+    VEAL_ASSERT(s.live, "removing a dead store slot");
+    std::error_code ec;
+    fs::remove(fs::path(directory_) / s.file, ec);
+    index_.erase(s.key);
+    unlink(lists_[s.segment], slot);
+    freeSlot(slot);
+    if (count_as_eviction) {
+        ++stats_.evictions;
+        count("evictions");
+    }
+}
+
+void
+PersistentStore::evictOne()
+{
+    // Probation tail first (the entry with the least proven reuse);
+    // an all-protected store falls back to the protected tail.
+    int victim = lists_[kProbation].tail;
+    if (victim < 0)
+        victim = lists_[kProtected].tail;
+    VEAL_ASSERT(victim >= 0, "evicting from an empty store");
+    removeEntry(victim, /*count_as_eviction=*/true);
+}
+
+void
+PersistentStore::quarantineFile(const std::string& file)
+{
+    // Keep the bytes for post-mortem but move them out of the namespace
+    // the scanner and loader trust.
+    std::error_code ec;
+    const fs::path path = fs::path(directory_) / file;
+    fs::rename(path, path.string() + ".quarantined", ec);
+    if (ec)
+        fs::remove(path, ec);
+}
+
+void
+PersistentStore::insertIndexed(const std::string& key,
+                               const std::string& file,
+                               std::int64_t epoch, int segment)
+{
+    const int slot = allocSlot();
+    Slot& s = slots_[static_cast<std::size_t>(slot)];
+    s.key = key;
+    s.file = file;
+    s.epoch = epoch;
+    s.segment = segment;
+    s.live = true;
+    pushFront(lists_[segment], slot);
+    index_[key] = slot;
+}
+
+void
+PersistentStore::openIndex()
+{
+    if (!loadManifest())
+        scanRebuild();
+    // A shrunk --cache-capacity evicts the excess immediately, so the
+    // on-disk footprint always respects the configured bound.
+    while (static_cast<int>(index_.size()) > options_.max_entries)
+        evictOne();
+    stats_.size = size();
+}
+
+bool
+PersistentStore::loadManifest()
+{
+    const fs::path path = fs::path(directory_) / kManifestName;
+    std::ifstream in(path);
+    if (!in)
+        return false;
+
+    struct ManifestEntry {
+        std::string key;
+        std::string file;
+        std::int64_t epoch = 0;
+        int segment = kProbation;
+    };
+    std::vector<ManifestEntry> entries;
+    std::string line;
+    if (!std::getline(in, line) || line != kManifestHeader)
+        return false;
+    std::int64_t stored_epoch = 0;
+    bool saw_epoch = false;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream tokens(line);
+        std::string word;
+        tokens >> word;
+        if (word == "epoch") {
+            std::string value;
+            tokens >> value;
+            const auto parsed = parseU64Strict(value);
+            if (!parsed.has_value())
+                return false;
+            stored_epoch = static_cast<std::int64_t>(*parsed);
+            saw_epoch = true;
+        } else if (word == "entry") {
+            ManifestEntry entry;
+            std::string segment_text;
+            std::string epoch_text;
+            tokens >> segment_text >> epoch_text >> entry.file;
+            const auto epoch = parseU64Strict(epoch_text);
+            if ((segment_text != "probation" &&
+                 segment_text != "protected") ||
+                !epoch.has_value() || entry.file.empty())
+                return false;
+            entry.segment =
+                segment_text == "protected" ? kProtected : kProbation;
+            entry.epoch = static_cast<std::int64_t>(*epoch);
+            std::getline(tokens, entry.key);
+            if (!entry.key.empty() && entry.key.front() == ' ')
+                entry.key.erase(0, 1);
+            if (entry.key.empty())
+                return false;
+            entries.push_back(std::move(entry));
+        } else {
+            return false;
+        }
+    }
+    if (!saw_epoch)
+        return false;
+
+    // Oldest-first insertion rebuilds the exact recency order (each
+    // insert lands at its segment's front).
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const ManifestEntry& a, const ManifestEntry& b) {
+                         return a.epoch < b.epoch;
+                     });
+    std::error_code ec;
+    for (const auto& entry : entries) {
+        if (index_.count(entry.key) != 0)
+            return false;  // Duplicate key: the manifest is not sane.
+        if (!fs::exists(fs::path(directory_) / entry.file, ec))
+            continue;  // Blob vanished; drop the entry, keep the rest.
+        insertIndexed(entry.key, entry.file, entry.epoch, entry.segment);
+        epoch_ = std::max(epoch_, entry.epoch);
+    }
+    epoch_ = std::max(epoch_, stored_epoch);
+    return true;
+}
+
+void
+PersistentStore::scanRebuild()
+{
+    // No (or untrustworthy) manifest: re-derive the index from the blob
+    // files themselves, in sorted-name order so the rebuilt recency
+    // order is deterministic.  Every blob re-validates on the way in;
+    // bad ones are quarantined right here.
+    for (auto& list : lists_)
+        list = List{};
+    slots_.clear();
+    free_head_ = -1;
+    index_.clear();
+
+    std::vector<std::string> files;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.size() > 4 &&
+            name.compare(name.size() - 4, 4, kBlobSuffix) == 0)
+            files.push_back(name);
+    }
+    std::sort(files.begin(), files.end());
+
+    bool found_any = false;
+    for (const std::string& file : files) {
+        found_any = true;
+        const auto bytes = readFileBytes(fs::path(directory_) / file);
+        if (!bytes.has_value()) {
+            quarantineFile(file);
+            ++stats_.corrupt;
+            count("corrupt");
+            continue;
+        }
+        auto decoded = decodeBlob(bytes->data(), bytes->size());
+        if (const auto* error = std::get_if<BlobError>(&decoded)) {
+            if (*error == BlobError::kVersionSkew) {
+                ++stats_.version_skew;
+                count("version_skew");
+            } else {
+                ++stats_.corrupt;
+                count("corrupt");
+            }
+            quarantineFile(file);
+            continue;
+        }
+        const auto& image = std::get<PersistedImage>(decoded);
+        if (index_.count(image.key) != 0) {
+            quarantineFile(file);  // Duplicate key: keep the first.
+            ++stats_.corrupt;
+            count("corrupt");
+            continue;
+        }
+        insertIndexed(image.key, file, ++epoch_, kProbation);
+    }
+    if (found_any) {
+        ++stats_.manifest_rebuilds;
+        count("manifest_rebuilds");
+    }
+}
+
+std::optional<PersistedImage>
+PersistentStore::load(const std::string& key)
+{
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++stats_.misses;
+        count("misses");
+        return std::nullopt;
+    }
+    const int slot = it->second;
+    const std::string file = slots_[static_cast<std::size_t>(slot)].file;
+    const auto bytes = readFileBytes(fs::path(directory_) / file);
+    auto fail = [&](const char* counter, std::int64_t* stat) {
+        // Degrade, never crash: quarantine the bytes, drop the index
+        // entry (not an eviction -- the payload is untrustworthy, the
+        // same distinction CodeCache::erase() draws), report a miss so
+        // the caller re-translates.
+        quarantineFile(file);
+        index_.erase(key);
+        unlink(lists_[slots_[static_cast<std::size_t>(slot)].segment],
+               slot);
+        freeSlot(slot);
+        ++*stat;
+        count(counter);
+        ++stats_.misses;
+        count("misses");
+        stats_.size = size();
+        return std::optional<PersistedImage>();
+    };
+    if (!bytes.has_value())
+        return fail("corrupt", &stats_.corrupt);
+    auto decoded = decodeBlob(bytes->data(), bytes->size());
+    if (const auto* error = std::get_if<BlobError>(&decoded)) {
+        if (*error == BlobError::kVersionSkew)
+            return fail("version_skew", &stats_.version_skew);
+        return fail("corrupt", &stats_.corrupt);
+    }
+    auto image = std::move(std::get<PersistedImage>(decoded));
+    if (image.key != key)
+        return fail("corrupt", &stats_.corrupt);  // Filename collision.
+    touch(slot);
+    ++stats_.hits;
+    count("hits");
+    return image;
+}
+
+bool
+PersistentStore::contains(const std::string& key) const
+{
+    return index_.count(key) != 0;
+}
+
+void
+PersistentStore::save(const PersistedImage& image)
+{
+    const std::string file = blobFileName(image.key);
+    const auto blob = encodeBlob(image);
+    if (!writeFileAtomic(fs::path(directory_) / file, blob.data(),
+                         blob.size()))
+        return;  // Disk trouble: stay a volatile cache, don't crash.
+
+    const auto it = index_.find(image.key);
+    if (it != index_.end()) {
+        touch(it->second);
+    } else {
+        if (static_cast<int>(index_.size()) >= options_.max_entries)
+            evictOne();
+        insertIndexed(image.key, file, ++epoch_, kProbation);
+    }
+    ++stats_.saves;
+    count("saves");
+    stats_.size = size();
+}
+
+bool
+PersistentStore::invalidate(const std::string& key)
+{
+    const auto it = index_.find(key);
+    if (it == index_.end())
+        return false;
+    removeEntry(it->second, /*count_as_eviction=*/false);
+    ++stats_.invalidations;
+    count("invalidations");
+    stats_.size = size();
+    return true;
+}
+
+void
+PersistentStore::flush()
+{
+    std::ostringstream os;
+    os << kManifestHeader << "\n";
+    os << "epoch " << epoch_ << "\n";
+    // Tail-to-head (oldest first) per segment; load re-sorts by epoch
+    // stamp anyway, so the order here is cosmetic but deterministic.
+    for (const int segment : {kProbation, kProtected}) {
+        for (int slot = lists_[segment].tail; slot >= 0;
+             slot = slots_[static_cast<std::size_t>(slot)].prev) {
+            const Slot& s = slots_[static_cast<std::size_t>(slot)];
+            os << "entry "
+               << (segment == kProtected ? "protected" : "probation")
+               << " " << s.epoch << " " << s.file << " " << s.key
+               << "\n";
+        }
+    }
+    const std::string text = os.str();
+    writeFileAtomic(fs::path(directory_) / kManifestName, text.data(),
+                    text.size());
+}
+
+StoreStats
+PersistentStore::stats() const
+{
+    StoreStats stats = stats_;
+    stats.size = size();
+    return stats;
+}
+
+void
+PersistentStore::recordInto(metrics::Registry& registry,
+                            const std::string& prefix) const
+{
+    registry.add(prefix + ".saves", stats_.saves);
+    registry.add(prefix + ".hits", stats_.hits);
+    registry.add(prefix + ".misses", stats_.misses);
+    registry.add(prefix + ".evictions", stats_.evictions);
+    registry.add(prefix + ".invalidations", stats_.invalidations);
+    registry.add(prefix + ".corrupt", stats_.corrupt);
+    registry.add(prefix + ".version_skew", stats_.version_skew);
+    registry.add(prefix + ".manifest_rebuilds", stats_.manifest_rebuilds);
+    registry.add(prefix + ".resident", size());
+}
+
+std::string
+PersistentStore::blobPath(const std::string& key) const
+{
+    return (fs::path(directory_) / blobFileName(key)).string();
+}
+
+}  // namespace veal::persist

@@ -1,0 +1,201 @@
+#ifndef VEAL_VM_PERSIST_STORE_H_
+#define VEAL_VM_PERSIST_STORE_H_
+
+/**
+ * @file
+ * The file-backed persistent code cache behind the warm tier.
+ *
+ * One directory holds one blob file per persisted translation (see
+ * persist/blob.h) plus a MANIFEST recording the recency order, so a
+ * `veal-serve --cache-dir` run warm-starts from what previous runs
+ * translated.  Ownership discipline: the store is the *third* owner of
+ * a translation (after a shard's CodeCache and the WarmTier), and the
+ * eviction contract extends to disk -- evicting or invalidating an
+ * entry deletes its blob file, so a later run can never resurrect an
+ * image the service dropped.
+ *
+ * Eviction is an epoch-stamped segmented LRU (probation + protected)
+ * over a flat slot array with intrusive prev/next links -- the same
+ * flat-array discipline as PR 5's MRT rebuild, so every steady-state
+ * operation (hit, save, evict) is O(1) no matter how many entries the
+ * store holds.  First sight of a key lands in probation; a hit promotes
+ * it to the protected segment (demoting the protected tail back to
+ * probation when over its share), so one cold scan cannot flush the
+ * hot set.  Eviction takes the probation tail first.
+ *
+ * Degradation contract (PR 4 lineage): nothing here crashes the
+ * service.  A corrupt or version-skewed blob is quarantined on disk
+ * (renamed *.quarantined, dropped from the index) and the load reports
+ * a miss; a corrupt or missing MANIFEST rebuilds the index by scanning
+ * the blob files.  Every event is counted and, when a registry is
+ * attached, metered as `vm.persist.*`.
+ *
+ * Thread-safety: none by design, exactly like CodeCache -- the service
+ * touches the store only from its sequential phases, which is also what
+ * keeps warm-started reports byte-identical at any shard/thread count.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "veal/vm/persist/blob.h"
+
+namespace veal {
+namespace metrics {
+class Registry;
+}  // namespace metrics
+}  // namespace veal
+
+namespace veal::persist {
+
+/** Store sizing knobs (mirrors the veal-serve CLI). */
+struct StoreOptions {
+    /** Maximum resident entries; the probation tail evicts beyond it. */
+    int max_entries = 4096;
+
+    /**
+     * Protected-segment share of max_entries, in percent.  The rest is
+     * probation (scan-resistance: new keys must prove reuse to enter
+     * the protected segment).
+     */
+    int protected_percent = 50;
+};
+
+/** Event counters (all deterministic for a fixed request sequence). */
+struct StoreStats {
+    std::int64_t saves = 0;
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t evictions = 0;
+    std::int64_t invalidations = 0;
+    std::int64_t corrupt = 0;       ///< Blob checksum/decode failures.
+    std::int64_t version_skew = 0;  ///< Blobs from another format version.
+    std::int64_t manifest_rebuilds = 0;
+    std::int64_t size = 0;
+};
+
+/** The persistent, shareable code cache; see file comment. */
+class PersistentStore {
+  public:
+    /**
+     * Open (creating @p directory if needed) and index the store.  A
+     * valid MANIFEST restores the exact recency order of the previous
+     * run; otherwise the index rebuilds by scanning blob files in
+     * sorted-name order (deterministic).  When @p registry is non-null,
+     * every event also bumps a "vm.persist.*" counter.
+     */
+    PersistentStore(std::string directory, StoreOptions options,
+                    metrics::Registry* registry = nullptr);
+
+    /** Writes the MANIFEST (same as flush()). */
+    ~PersistentStore();
+
+    PersistentStore(const PersistentStore&) = delete;
+    PersistentStore& operator=(const PersistentStore&) = delete;
+
+    /**
+     * Load @p key: reads + validates its blob.  A hit promotes the
+     * entry toward the protected segment.  A corrupt/skewed blob is
+     * quarantined and reported as a miss (the caller re-translates and
+     * the next save replaces it).
+     */
+    std::optional<PersistedImage> load(const std::string& key);
+
+    /** True without touching recency, statistics, or the file. */
+    bool contains(const std::string& key) const;
+
+    /**
+     * Persist @p image (write-temp-then-rename, so a crash mid-save
+     * never leaves a half blob under the live name).  Re-saving a key
+     * replaces its blob in place.  May evict (deleting the victim's
+     * blob file).
+     */
+    void save(const PersistedImage& image);
+
+    /**
+     * Drop @p key and delete its blob -- the on-disk half of the
+     * checksum-invalidation path; true when it was resident.  Not an
+     * eviction (counted separately, like CodeCache::erase()).
+     */
+    bool invalidate(const std::string& key);
+
+    /** Write the MANIFEST (recency order survives the next open). */
+    void flush();
+
+    StoreStats stats() const;
+
+    /** Add counters as "<prefix>.saves" etc. into @p registry. */
+    void recordInto(metrics::Registry& registry,
+                    const std::string& prefix) const;
+
+    std::int64_t
+    size() const
+    {
+        return static_cast<std::int64_t>(index_.size());
+    }
+
+    const std::string&
+    directory() const
+    {
+        return directory_;
+    }
+
+    /** Blob path for @p key (tests corrupt bytes through this). */
+    std::string blobPath(const std::string& key) const;
+
+  private:
+    /** Segment ids double as list indices. */
+    enum Segment : int { kProbation = 0, kProtected = 1 };
+
+    /** One flat-array slot; free slots chain through `next`. */
+    struct Slot {
+        std::string key;
+        std::string file;        ///< Blob file name (directory-relative).
+        std::int64_t epoch = 0;  ///< Stamp of the last touch.
+        int segment = kProbation;
+        int prev = -1;
+        int next = -1;
+        bool live = false;
+    };
+
+    /** Doubly-linked list head/tail over slot indices. */
+    struct List {
+        int head = -1;
+        int tail = -1;
+        int count = 0;
+    };
+
+    int allocSlot();
+    void freeSlot(int slot);
+    void pushFront(List& list, int slot);
+    void unlink(List& list, int slot);
+    void touch(int slot);
+    void evictOne();
+    void removeEntry(int slot, bool count_as_eviction);
+    void quarantineFile(const std::string& file);
+    void openIndex();
+    bool loadManifest();
+    void scanRebuild();
+    void insertIndexed(const std::string& key, const std::string& file,
+                       std::int64_t epoch, int segment);
+    void count(const char* name, std::int64_t delta = 1);
+
+    std::string directory_;
+    StoreOptions options_;
+    metrics::Registry* registry_ = nullptr;
+
+    std::vector<Slot> slots_;
+    int free_head_ = -1;
+    List lists_[2];  ///< Probation, protected.
+    std::unordered_map<std::string, int> index_;  ///< key -> slot.
+    std::int64_t epoch_ = 0;
+
+    StoreStats stats_;
+};
+
+}  // namespace veal::persist
+
+#endif  // VEAL_VM_PERSIST_STORE_H_

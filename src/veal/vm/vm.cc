@@ -29,6 +29,8 @@ struct PiecePlan {
     std::int64_t cpu_cycles_per_invocation = 0;
     std::int64_t la_first_invocation = 0;  ///< Cache-miss invocation cost.
     std::int64_t la_warm_invocation = 0;   ///< Cache-hit invocation cost.
+    TlbCharge tlb_first;  ///< TLB share of la_first_invocation.
+    TlbCharge tlb_warm;   ///< TLB share of la_warm_invocation.
 };
 
 /** Rejects the degradation ladder can recover from; anything else (bad
@@ -137,6 +139,26 @@ VirtualMachine::run(const Application& app,
         const auto charges = simulator.acceleratorCostBatch(la_, la_requests);
         for (std::size_t i = 0; i < la_fills.size(); ++i)
             *la_fills[i] = charges[i].total();
+        // TLB surcharge (opt-in): page-walk stalls ride on the
+        // invocation prices, so laWins() and the cache fixed point
+        // below see TLB pressure exactly like any other cycle.
+        if (options_.tlb.enabled) {
+            for (auto& plan : plans) {
+                const std::int64_t iterations = plan.site->iterations;
+                for (auto& piece : plan.pieces) {
+                    if (!piece.translation.ok)
+                        continue;
+                    piece.tlb_first = streamTlbCharge(
+                        piece.translation.analysis, options_.tlb,
+                        iterations, /*first_invocation=*/true);
+                    piece.tlb_warm = streamTlbCharge(
+                        piece.translation.analysis, options_.tlb,
+                        iterations, /*first_invocation=*/false);
+                    piece.la_first_invocation += piece.tlb_first.cycles;
+                    piece.la_warm_invocation += piece.tlb_warm.cycles;
+                }
+            }
+        }
         for (auto& plan : plans) {
             if (plan.site->fissioned.empty()) {
                 plan.baseline_cpu_cycles_per_invocation =
@@ -310,6 +332,17 @@ VirtualMachine::run(const Application& app,
                     registry->observe("vm.ii", tr.schedule.ii);
                     registry->trace(trace_scope, "path", "la",
                                     tr.schedule.ii);
+                    if (options_.tlb.enabled) {
+                        registry->add("vm.tlb.pages",
+                                      misses * piece.tlb_first.pages +
+                                          hits * piece.tlb_warm.pages);
+                        registry->add("vm.tlb.walks",
+                                      misses * piece.tlb_first.walks +
+                                          hits * piece.tlb_warm.walks);
+                        registry->add("vm.tlb.cycles",
+                                      misses * piece.tlb_first.cycles +
+                                          hits * piece.tlb_warm.cycles);
+                    }
                 }
             } else {
                 site_result.actual_cycles +=
@@ -622,7 +655,11 @@ VirtualMachine::run(const Application& app, metrics::Registry* registry,
                 cache.insert(piece.key, &evicted);
                 if (!evicted.empty())
                     resident.erase(evicted);
-                resident.emplace(
+                // insert_or_assign, not emplace: if the key were somehow
+                // still resident (cache/payload desync), the freshly
+                // encoded image must win -- emplace would silently keep
+                // the stale one and the checksum guard would misfire.
+                resident.insert_or_assign(
                     piece.key, ResidentImage{std::move(image), expected});
                 ++piece.la_dispatches;
             }

@@ -17,6 +17,7 @@
 
 #include "veal/arch/cpu_config.h"
 #include "veal/arch/la_config.h"
+#include "veal/sim/tlb_model.h"
 #include "veal/vm/application.h"
 #include "veal/vm/code_cache.h"
 #include "veal/vm/translator.h"
@@ -45,6 +46,15 @@ struct VmOptions {
      * fixed cycle count (the x-axis of Figure 6).
      */
     double penalty_override = -1.0;
+
+    /**
+     * Stream-TLB cost model (sim/tlb_model.h).  Off by default; when
+     * enabled, page-walk stalls ride on the LA invocation prices, so
+     * the LA-vs-CPU path choice and the code-cache fixed point see TLB
+     * pressure exactly like any other cycle (the Figure-6 TLB
+     * sensitivity axis).
+     */
+    TlbConfig tlb = TlbConfig::off();
 };
 
 /** Outcome for one loop site. */

@@ -25,6 +25,28 @@ WarmTier::publish(const std::string& key, TranslationResult translation,
         ++republishes_;
 }
 
+void
+WarmTier::publishSummary(const std::string& key,
+                         persist::TranslationSummary summary,
+                         std::optional<ControlImage> image,
+                         std::int64_t epoch, std::int64_t sequence)
+{
+    auto entry = std::make_shared<Entry>();
+    entry->summary = std::move(summary);
+    entry->image = std::move(image);
+    if (entry->image.has_value())
+        entry->expected_checksum = entry->image->checksum();
+    entry->epoch = epoch;
+    entry->sequence = sequence;
+
+    const auto [it, inserted] =
+        entries_.insert_or_assign(key, std::move(entry));
+    (void)it;
+    ++publishes_;
+    if (!inserted)
+        ++republishes_;
+}
+
 WarmTier::EntryRef
 WarmTier::find(const std::string& key) const
 {

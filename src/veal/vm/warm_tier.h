@@ -34,6 +34,7 @@
 #include <unordered_map>
 
 #include "veal/vm/control_image.h"
+#include "veal/vm/persist/blob.h"
 #include "veal/vm/translator.h"
 
 namespace veal {
@@ -41,10 +42,41 @@ namespace veal {
 /** Shared second-level translation cache; see file comment. */
 class WarmTier {
   public:
-    /** One published translation outcome. */
+    /**
+     * One published translation outcome.  Two flavors share the slot:
+     * in-process entries carry the full TranslationResult; entries
+     * rehydrated from the persistent store carry only the compact
+     * summary (summaryBacked() == true) -- pricing through
+     * persist::summaryLoopCost() is bit-identical, so serves cannot
+     * tell the difference.
+     */
     struct Entry {
-        /** Full result; `translation.ok == false` is a negative entry. */
+        /** Full result; `translation.ok == false` is a negative entry.
+            Untrustworthy when `summary` is set (default-constructed). */
         TranslationResult translation;
+
+        /** Set for store-rehydrated entries; the pricing authority. */
+        std::optional<persist::TranslationSummary> summary;
+
+        bool
+        summaryBacked() const
+        {
+            return summary.has_value();
+        }
+
+        /** The serving verdict, whichever flavor backs the entry. */
+        bool
+        ok() const
+        {
+            return summary.has_value() ? summary->ok : translation.ok;
+        }
+
+        TranslationReject
+        reject() const
+        {
+            return summary.has_value() ? summary->reject
+                                       : translation.reject;
+        }
 
         /** Encoded image (successful entries only).  The fault layer
             flips bits here in place; `translation` stays pristine. */
@@ -79,6 +111,17 @@ class WarmTier {
     void publish(const std::string& key, TranslationResult translation,
                  std::optional<ControlImage> image, std::int64_t epoch,
                  std::int64_t sequence);
+
+    /**
+     * Publish a store-rehydrated entry: the compact @p summary plus the
+     * validated @p image (successful entries only).  Serves and the
+     * fault layer's corruption probes treat it exactly like a full
+     * entry; only pricing reads the summary.
+     */
+    void publishSummary(const std::string& key,
+                        persist::TranslationSummary summary,
+                        std::optional<ControlImage> image,
+                        std::int64_t epoch, std::int64_t sequence);
 
     /** Entry for @p key, or null.  Never mutates (parallel-phase safe). */
     EntryRef find(const std::string& key) const;

@@ -91,6 +91,40 @@ TEST(CorpusFormat, RoundTripsACase)
     EXPECT_EQ(printLoop(std::get<Loop>(plain)), printLoop(repro.loop));
 }
 
+TEST(CorpusFormat, SeedDirectivesCoverTheFull64BitRange)
+{
+    // Regression for the 19-digit parser cap: UINT64_MAX is 20 digits
+    // and used to be truncated mid-token, so a shrinker-emitted case
+    // with a large seed replayed a *different* case.
+    CorpusCase repro = sampleCase();
+    repro.seed = 18446744073709551615ull;
+    repro.fault_plan_seed = 18446744073709551615ull;
+    const std::string text = formatCorpusCase(repro);
+
+    const CorpusParseResult parsed = parseCorpusCase(text);
+    ASSERT_TRUE(std::holds_alternative<CorpusCase>(parsed))
+        << std::get<std::string>(parsed);
+    const CorpusCase& back = std::get<CorpusCase>(parsed);
+    EXPECT_EQ(back.seed, 18446744073709551615ull);
+    ASSERT_TRUE(back.fault_plan_seed.has_value());
+    EXPECT_EQ(*back.fault_plan_seed, 18446744073709551615ull);
+}
+
+TEST(CorpusFormat, SeedDirectivesRejectOverflowInsteadOfWrapping)
+{
+    const std::string loop = printLoop(sampleCase().loop);
+    for (const char* directive : {"seed", "fault-seed"}) {
+        const std::string over = "#! " + std::string(directive) +
+                                 " 18446744073709551616\n" + loop;
+        const CorpusParseResult parsed = parseCorpusCase(over);
+        ASSERT_TRUE(std::holds_alternative<std::string>(parsed))
+            << directive << " must overflow, not wrap";
+        EXPECT_NE(std::get<std::string>(parsed).find(directive),
+                  std::string::npos)
+            << std::get<std::string>(parsed);
+    }
+}
+
 TEST(CorpusFormat, ReportsBrokenFilesAsErrors)
 {
     const CorpusParseResult no_loop = parseCorpusCase("#! seed 4\n");

@@ -1,0 +1,334 @@
+#include "veal/vm/persist/store.h"
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "veal/support/metrics/metrics.h"
+
+namespace veal::persist {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** A fresh scratch directory per test, removed on teardown. */
+class PersistStoreTest : public ::testing::Test {
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = fs::temp_directory_path() /
+               ("veal-store-test-" +
+                std::string(::testing::UnitTest::GetInstance()
+                                ->current_test_info()
+                                ->name()));
+        fs::remove_all(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        fs::remove_all(dir_);
+    }
+
+    std::string
+    dir() const
+    {
+        return dir_.string();
+    }
+
+    fs::path dir_;
+};
+
+PersistedImage
+makeImage(const std::string& key, std::uint32_t payload = 7)
+{
+    PersistedImage image;
+    image.key = key;
+    image.summary.ok = true;
+    image.summary.ii = 2;
+    image.summary.stage_count = 1;
+    image.summary.length = 2;
+    image.summary.fu_units = 3;
+    image.image_words = {payload, payload + 1, payload + 2};
+    return image;
+}
+
+TEST_F(PersistStoreTest, SaveThenLoadRoundTripsThroughTheFilesystem)
+{
+    {
+        PersistentStore store(dir(), StoreOptions{});
+        store.save(makeImage("alpha", 11));
+        EXPECT_TRUE(store.contains("alpha"));
+        EXPECT_EQ(store.size(), 1);
+        EXPECT_TRUE(fs::exists(store.blobPath("alpha")));
+    }
+    // A brand-new store object (fresh process equivalent) sees the entry.
+    PersistentStore store(dir(), StoreOptions{});
+    EXPECT_TRUE(store.contains("alpha"));
+    const auto loaded = store.load("alpha");
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->key, "alpha");
+    EXPECT_EQ(loaded->image_words,
+              (std::vector<std::uint32_t>{11, 12, 13}));
+    EXPECT_EQ(store.stats().hits, 1);
+}
+
+TEST_F(PersistStoreTest, LoadOfAbsentKeyIsACountedMiss)
+{
+    PersistentStore store(dir(), StoreOptions{});
+    EXPECT_FALSE(store.load("nope").has_value());
+    EXPECT_EQ(store.stats().misses, 1);
+    EXPECT_FALSE(store.contains("nope"));
+}
+
+TEST_F(PersistStoreTest, ResaveReplacesTheBlobInPlace)
+{
+    PersistentStore store(dir(), StoreOptions{});
+    store.save(makeImage("k", 1));
+    store.save(makeImage("k", 99));
+    EXPECT_EQ(store.size(), 1);
+    const auto loaded = store.load("k");
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->image_words[0], 99u);
+}
+
+TEST_F(PersistStoreTest, EvictionTakesTheProbationTailAndDeletesTheBlob)
+{
+    StoreOptions options;
+    options.max_entries = 3;
+    PersistentStore store(dir(), options);
+    store.save(makeImage("a"));
+    store.save(makeImage("b"));
+    store.save(makeImage("c"));
+    // Promote "a" out of probation; the probation order is now b, c.
+    EXPECT_TRUE(store.load("a").has_value());
+    const std::string victim_blob = store.blobPath("b");
+    ASSERT_TRUE(fs::exists(victim_blob));
+
+    store.save(makeImage("d"));  // Over capacity: evicts "b".
+    EXPECT_EQ(store.size(), 3);
+    EXPECT_TRUE(store.contains("a"));
+    EXPECT_FALSE(store.contains("b"));
+    EXPECT_TRUE(store.contains("c"));
+    EXPECT_TRUE(store.contains("d"));
+    EXPECT_EQ(store.stats().evictions, 1);
+    EXPECT_FALSE(fs::exists(victim_blob))
+        << "evicted entry left its blob behind";
+}
+
+TEST_F(PersistStoreTest, EvictedEntryCannotResurrectAfterReopen)
+{
+    // The third-owner eviction contract: the blob file dies with the
+    // index entry, so a restart cannot serve what the store dropped.
+    StoreOptions options;
+    options.max_entries = 2;
+    {
+        PersistentStore store(dir(), options);
+        store.save(makeImage("old"));
+        store.save(makeImage("mid"));
+        store.save(makeImage("new"));  // Evicts "old".
+        store.flush();
+    }
+    PersistentStore store(dir(), options);
+    EXPECT_FALSE(store.contains("old"));
+    EXPECT_FALSE(store.load("old").has_value());
+    EXPECT_TRUE(store.contains("mid"));
+    EXPECT_TRUE(store.contains("new"));
+}
+
+TEST_F(PersistStoreTest, ManifestPreservesRecencyAcrossReopen)
+{
+    StoreOptions options;
+    options.max_entries = 3;
+    {
+        PersistentStore store(dir(), options);
+        store.save(makeImage("x"));
+        store.save(makeImage("y"));
+        store.save(makeImage("z"));
+        // Touch "x": protected segment, most recent overall.
+        EXPECT_TRUE(store.load("x").has_value());
+    }  // Destructor flushes the MANIFEST.
+    PersistentStore store(dir(), options);
+    // With recency restored, the next eviction must pick "y" (probation
+    // tail), not "x" -- a scan-rebuilt index could not know that.
+    store.save(makeImage("w"));
+    EXPECT_TRUE(store.contains("x"));
+    EXPECT_FALSE(store.contains("y"));
+    EXPECT_TRUE(store.contains("z"));
+    EXPECT_TRUE(store.contains("w"));
+}
+
+TEST_F(PersistStoreTest, MissingManifestTriggersScanRebuild)
+{
+    {
+        PersistentStore store(dir(), StoreOptions{});
+        store.save(makeImage("a", 5));
+        store.save(makeImage("b", 6));
+        store.flush();
+    }
+    fs::remove(fs::path(dir()) / "MANIFEST");
+
+    metrics::Registry registry;
+    PersistentStore store(dir(), StoreOptions{}, &registry);
+    EXPECT_EQ(store.size(), 2);
+    EXPECT_EQ(store.stats().manifest_rebuilds, 1);
+    EXPECT_EQ(registry.counter("vm.persist.manifest_rebuilds"), 1);
+    EXPECT_EQ(store.load("a")->image_words[0], 5u);
+    EXPECT_EQ(store.load("b")->image_words[0], 6u);
+}
+
+TEST_F(PersistStoreTest, CorruptBlobIsQuarantinedAndReportedAsAMiss)
+{
+    {
+        PersistentStore store(dir(), StoreOptions{});
+        store.save(makeImage("good"));
+        store.save(makeImage("bad"));
+        store.flush();
+    }
+    const std::string bad_path = [&] {
+        PersistentStore store(dir(), StoreOptions{});
+        return store.blobPath("bad");
+    }();
+    {
+        std::fstream file(bad_path, std::ios::in | std::ios::out |
+                                        std::ios::binary);
+        file.seekp(24);
+        file.put('\x7f');
+    }
+
+    metrics::Registry registry;
+    PersistentStore store(dir(), StoreOptions{}, &registry);
+    EXPECT_FALSE(store.load("bad").has_value())
+        << "corrupt blob must degrade to a miss";
+    EXPECT_EQ(store.stats().corrupt, 1);
+    EXPECT_EQ(store.stats().misses, 1);
+    EXPECT_EQ(registry.counter("vm.persist.corrupt"), 1);
+    EXPECT_FALSE(store.contains("bad"));
+    EXPECT_FALSE(fs::exists(bad_path)) << "corrupt blob left in place";
+    EXPECT_TRUE(fs::exists(bad_path + ".quarantined"))
+        << "corrupt blob must be preserved for post-mortem";
+    // The good entry is untouched.
+    EXPECT_TRUE(store.load("good").has_value());
+}
+
+TEST_F(PersistStoreTest, QuarantinedFilesAreIgnoredByScanRebuild)
+{
+    {
+        PersistentStore store(dir(), StoreOptions{});
+        store.save(makeImage("bad"));
+        store.flush();
+    }
+    const std::string bad_path = [&] {
+        PersistentStore store(dir(), StoreOptions{});
+        return store.blobPath("bad");
+    }();
+    {
+        std::fstream file(bad_path, std::ios::in | std::ios::out |
+                                        std::ios::binary);
+        file.seekp(20);
+        file.put('\x7f');
+    }
+    fs::remove(fs::path(dir()) / "MANIFEST");
+
+    // Scan-rebuild decodes every blob: the corrupt one is quarantined
+    // during the scan, and a *second* open does not trip over the
+    // .quarantined file.
+    {
+        PersistentStore store(dir(), StoreOptions{});
+        EXPECT_EQ(store.size(), 0);
+        EXPECT_EQ(store.stats().corrupt, 1);
+    }
+    PersistentStore store(dir(), StoreOptions{});
+    EXPECT_EQ(store.size(), 0);
+    EXPECT_EQ(store.stats().corrupt, 0);
+}
+
+TEST_F(PersistStoreTest, InvalidateDeletesTheBlobAndIsNotAnEviction)
+{
+    PersistentStore store(dir(), StoreOptions{});
+    store.save(makeImage("k"));
+    const std::string path = store.blobPath("k");
+    ASSERT_TRUE(fs::exists(path));
+
+    EXPECT_TRUE(store.invalidate("k"));
+    EXPECT_FALSE(store.invalidate("k")) << "second invalidate is a no-op";
+    EXPECT_FALSE(store.contains("k"));
+    EXPECT_FALSE(fs::exists(path));
+    EXPECT_EQ(store.stats().invalidations, 1);
+    EXPECT_EQ(store.stats().evictions, 0)
+        << "invalidation must not masquerade as capacity pressure";
+}
+
+TEST_F(PersistStoreTest, StatsAndRegistryAgree)
+{
+    metrics::Registry registry;
+    PersistentStore store(dir(), StoreOptions{}, &registry);
+    store.save(makeImage("a"));
+    store.load("a");
+    store.load("missing");
+    store.invalidate("a");
+
+    const StoreStats stats = store.stats();
+    EXPECT_EQ(stats.saves, 1);
+    EXPECT_EQ(stats.hits, 1);
+    EXPECT_EQ(stats.misses, 1);
+    EXPECT_EQ(stats.invalidations, 1);
+    EXPECT_EQ(stats.size, 0);
+    EXPECT_EQ(registry.counter("vm.persist.saves"), 1);
+    EXPECT_EQ(registry.counter("vm.persist.hits"), 1);
+    EXPECT_EQ(registry.counter("vm.persist.misses"), 1);
+    EXPECT_EQ(registry.counter("vm.persist.invalidations"), 1);
+
+    metrics::Registry snapshot;
+    store.recordInto(snapshot, "store");
+    EXPECT_EQ(snapshot.counter("store.saves"), 1);
+    EXPECT_EQ(snapshot.counter("store.hits"), 1);
+}
+
+TEST_F(PersistStoreTest, KeysWithHostileCharactersGetDistinctFiles)
+{
+    PersistentStore store(dir(), StoreOptions{});
+    const std::vector<std::string> keys = {
+        "plain", "with/slash", "with\\backslash", "with space",
+        "with:colon", "../escape", "..", "with\nnewline"};
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        store.save(makeImage(keys[i], static_cast<std::uint32_t>(i)));
+    EXPECT_EQ(store.size(), static_cast<std::int64_t>(keys.size()));
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        const auto loaded = store.load(keys[i]);
+        ASSERT_TRUE(loaded.has_value()) << keys[i];
+        EXPECT_EQ(loaded->key, keys[i]);
+        EXPECT_EQ(loaded->image_words[0], static_cast<std::uint32_t>(i));
+        // Every blob must live inside the store directory.
+        const fs::path blob(store.blobPath(keys[i]));
+        EXPECT_EQ(blob.parent_path(), fs::path(dir())) << keys[i];
+    }
+}
+
+TEST_F(PersistStoreTest, ManyEntriesSurviveReopenInBulk)
+{
+    StoreOptions options;
+    options.max_entries = 512;
+    {
+        PersistentStore store(dir(), options);
+        for (int i = 0; i < 256; ++i)
+            store.save(makeImage("bulk-" + std::to_string(i),
+                                 static_cast<std::uint32_t>(i)));
+        store.flush();
+    }
+    PersistentStore store(dir(), options);
+    EXPECT_EQ(store.size(), 256);
+    for (int i = 0; i < 256; i += 17) {
+        const auto loaded = store.load("bulk-" + std::to_string(i));
+        ASSERT_TRUE(loaded.has_value()) << i;
+        EXPECT_EQ(loaded->image_words[0], static_cast<std::uint32_t>(i));
+    }
+}
+
+}  // namespace
+}  // namespace veal::persist

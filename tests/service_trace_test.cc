@@ -113,6 +113,53 @@ TEST(ServiceTrace, ParserRejectsMalformedInputWithLineNumbers)
     EXPECT_EQ(errorOf(parsed).rfind("line 4:", 0), 0u) << errorOf(parsed);
 }
 
+TEST(ServiceTrace, SeedsCoverTheFull64BitRange)
+{
+    // Regression for the 19-digit parser cap: UINT64_MAX is 20 digits.
+    const auto parsed = parseTrace(
+        "veal-trace-v1\n"
+        "submit tenant=0 seed=18446744073709551615\n");
+    ASSERT_TRUE(std::holds_alternative<ServiceTrace>(parsed))
+        << errorOf(parsed);
+    EXPECT_EQ(std::get<ServiceTrace>(parsed).ticks[0][0].loop_seed,
+              18446744073709551615ull);
+
+    // One past UINT64_MAX must overflow, not wrap to 0.
+    const auto over = parseTrace(
+        "veal-trace-v1\n"
+        "submit tenant=0 seed=18446744073709551616\n");
+    ASSERT_TRUE(std::holds_alternative<std::string>(over));
+    EXPECT_NE(errorOf(over).find("bad seed"), std::string::npos)
+        << errorOf(over);
+}
+
+TEST(ServiceTrace, GeneratorDrawsSeedsAboveTheOld48BitMaskAndRoundTrips)
+{
+    // The generator used to mask pool seeds to 48 bits (hiding the
+    // parser cap); with the mask lifted, full-width seeds must survive
+    // the format/parse round trip byte-exactly.
+    TraceGenOptions options;
+    options.seed = 7;
+    options.requests = 64;
+    options.loop_pool = 32;
+    const ServiceTrace trace = generateTrace(options);
+
+    bool above_mask = false;
+    for (const auto& tick : trace.ticks) {
+        for (const auto& request : tick) {
+            if (request.loop_seed > 0xffffffffffffull)
+                above_mask = true;
+        }
+    }
+    EXPECT_TRUE(above_mask) << "pool draws are full 64-bit values";
+
+    const std::string text = formatTrace(trace);
+    const auto parsed = parseTrace(text);
+    ASSERT_TRUE(std::holds_alternative<ServiceTrace>(parsed))
+        << errorOf(parsed);
+    EXPECT_EQ(formatTrace(std::get<ServiceTrace>(parsed)), text);
+}
+
 TEST(ServiceTrace, TraceLoopsAreDeterministicAndKeyedBySeedAndMode)
 {
     EXPECT_EQ(printLoop(makeTraceLoop(5)), printLoop(makeTraceLoop(5)));

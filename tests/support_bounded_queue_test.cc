@@ -70,6 +70,65 @@ TEST(BoundedQueue, BlockingPopWakesOnPush)
     EXPECT_EQ(*got, 42);
 }
 
+TEST(BoundedQueue, PushBlockedAtCapacityWakesAndFailsOnClose)
+{
+    // A producer parked in push() on a full queue must not deadlock
+    // when the queue closes under it: it wakes and reports failure.
+    BoundedQueue<int> queue(1);
+    ASSERT_TRUE(queue.tryPush(1));
+
+    std::atomic<bool> started{false};
+    bool pushed = true;
+    std::thread producer([&] {
+        started = true;
+        pushed = queue.push(2);  // Blocks: queue is at capacity.
+    });
+    while (!started)
+        std::this_thread::yield();
+    queue.close();
+    producer.join();
+
+    EXPECT_FALSE(pushed) << "push across close() must fail, not enqueue";
+    // The item that was resident before the close still drains.
+    EXPECT_EQ(*queue.tryPop(), 1);
+    EXPECT_FALSE(queue.tryPop().has_value());
+}
+
+TEST(BoundedQueue, TryPopDrainsAClosedNonEmptyQueue)
+{
+    BoundedQueue<int> queue(4);
+    ASSERT_TRUE(queue.tryPush(1));
+    ASSERT_TRUE(queue.tryPush(2));
+    ASSERT_TRUE(queue.tryPush(3));
+    queue.close();
+
+    // tryPop mirrors pop's drain-then-stop semantics without blocking.
+    EXPECT_EQ(*queue.tryPop(), 1);
+    EXPECT_EQ(*queue.tryPop(), 2);
+    EXPECT_EQ(*queue.tryPop(), 3);
+    EXPECT_FALSE(queue.tryPop().has_value());
+    EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(BoundedQueue, FifoOrderSurvivesShutdownMidStream)
+{
+    // Interleave pushes with a close(): everything accepted before the
+    // close drains in exactly the order it was accepted.
+    BoundedQueue<int> queue(8);
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(queue.tryPush(i));
+    queue.close();
+    EXPECT_FALSE(queue.tryPush(99));
+
+    for (int i = 0; i < 5; ++i) {
+        // Alternate the two pop surfaces; both must respect FIFO.
+        const auto item = (i % 2 == 0) ? queue.tryPop() : queue.pop();
+        ASSERT_TRUE(item.has_value());
+        EXPECT_EQ(*item, i);
+    }
+    EXPECT_FALSE(queue.pop().has_value());
+}
+
 TEST(BoundedQueue, ConcurrentProducersAndConsumersLoseNothing)
 {
     constexpr int kProducers = 4;

@@ -1,0 +1,79 @@
+#include "veal/support/parse.h"
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace veal {
+namespace {
+
+TEST(ParseU64Strict, ParsesOrdinaryValues)
+{
+    EXPECT_EQ(parseU64Strict("0"), 0ull);
+    EXPECT_EQ(parseU64Strict("1"), 1ull);
+    EXPECT_EQ(parseU64Strict("42"), 42ull);
+    EXPECT_EQ(parseU64Strict("123456789"), 123456789ull);
+}
+
+TEST(ParseU64Strict, AcceptsLeadingZeros)
+{
+    EXPECT_EQ(parseU64Strict("007"), 7ull);
+    EXPECT_EQ(parseU64Strict("000"), 0ull);
+    // 20 digits of padding around a small value is still in range.
+    EXPECT_EQ(parseU64Strict("00000000000000000042"), 42ull);
+}
+
+TEST(ParseU64Strict, TwentyDigitValuesInRangeParse)
+{
+    // The regression this helper exists for: both of these are valid
+    // uint64 values with 20 digits, and the old length-capped parsers
+    // rejected them.
+    EXPECT_EQ(parseU64Strict("10000000000000000000"),
+              10000000000000000000ull);
+    EXPECT_EQ(parseU64Strict("18446744073709551615"),
+              18446744073709551615ull);  // UINT64_MAX.
+}
+
+TEST(ParseU64Strict, OverflowIsExactNotSaturated)
+{
+    // UINT64_MAX + 1 and friends: one past the boundary must fail, not
+    // wrap or saturate.
+    EXPECT_FALSE(parseU64Strict("18446744073709551616").has_value());
+    EXPECT_FALSE(parseU64Strict("18446744073709551620").has_value());
+    EXPECT_FALSE(parseU64Strict("99999999999999999999").has_value());
+    EXPECT_FALSE(parseU64Strict("184467440737095516150").has_value());
+}
+
+TEST(ParseU64Strict, RejectsNonDigitTokens)
+{
+    EXPECT_FALSE(parseU64Strict("").has_value());
+    EXPECT_FALSE(parseU64Strict("-1").has_value());
+    EXPECT_FALSE(parseU64Strict("+1").has_value());
+    EXPECT_FALSE(parseU64Strict(" 1").has_value());
+    EXPECT_FALSE(parseU64Strict("1 ").has_value());
+    EXPECT_FALSE(parseU64Strict("0x10").has_value());
+    EXPECT_FALSE(parseU64Strict("12e3").has_value());
+    EXPECT_FALSE(parseU64Strict("12.3").has_value());
+    EXPECT_FALSE(parseU64Strict("1_000").has_value());
+}
+
+TEST(ParseU64Strict, EveryPowerOfTenBoundaryRoundTrips)
+{
+    // Walk the full digit-length range; string round-trip at each
+    // boundary proves no length-based cap survives anywhere.
+    std::uint64_t value = 1;
+    for (int digits = 1; digits <= 20; ++digits) {
+        const std::string token = std::to_string(value);
+        ASSERT_EQ(static_cast<int>(token.size()), digits);
+        EXPECT_EQ(parseU64Strict(token), value) << token;
+        if (digits < 20) {
+            const std::uint64_t next = value * 10;
+            EXPECT_EQ(parseU64Strict(std::to_string(next - 1)), next - 1);
+            value = next;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace veal

@@ -181,6 +181,63 @@ TEST(CodeCacheTest, ClearResetsEvictions)
     EXPECT_EQ(cache.stats().size, 0);
 }
 
+TEST(CodeCacheTest, EvictedKeyReportsTheLruVictim)
+{
+    CodeCache cache(2);
+    std::string evicted;
+    EXPECT_EQ(cache.insert("a", &evicted), CodeCache::InsertOutcome::kInserted);
+    EXPECT_TRUE(evicted.empty());
+    cache.insert("b", &evicted);
+    EXPECT_TRUE(evicted.empty()) << "spare capacity never evicts";
+    cache.insert("c", &evicted);
+    EXPECT_EQ(evicted, "a");
+    EXPECT_FALSE(cache.lookup("a"));
+}
+
+TEST(CodeCacheTest, EvictedKeyBufferIsClearedOnEveryNonEvictingPath)
+{
+    // The contract the service and the hardened VM rely on: callers
+    // reuse one buffer across inserts, so a non-evicting insert MUST
+    // clear it -- a stale victim from a previous call would make the
+    // owner delete a live payload (and, via the persistent store, a
+    // live blob another run could have warm-started from).
+    CodeCache cache(2);
+    std::string evicted;
+    cache.insert("a", &evicted);
+    cache.insert("b", &evicted);
+    cache.insert("c", &evicted);  // Evicts "a".
+    ASSERT_EQ(evicted, "a");
+
+    // Refresh of a resident key: never evicts, must clear the buffer.
+    cache.insert("b", &evicted);
+    EXPECT_TRUE(evicted.empty())
+        << "stale victim survived a refreshing insert";
+
+    // Erase-then-insert with spare capacity: same requirement.
+    cache.insert("c", &evicted);  // Refresh, clears again.
+    cache.erase("b");
+    evicted = "poison";
+    cache.insert("d", &evicted);  // Fills the erased slot: no eviction.
+    EXPECT_TRUE(evicted.empty())
+        << "stale victim survived a spare-capacity insert";
+}
+
+TEST(CodeCacheTest, EraseIsNotAnEvictionAndNeverTouchesTheBuffer)
+{
+    CodeCache cache(2);
+    std::string evicted;
+    cache.insert("a", &evicted);
+    cache.insert("b", &evicted);
+    EXPECT_TRUE(cache.erase("a"));
+    EXPECT_FALSE(cache.erase("zzz"));
+    EXPECT_EQ(cache.evictions(), 0)
+        << "invalidation must not count as capacity pressure";
+    // The slot freed by erase absorbs the next insert evictionlessly.
+    cache.insert("c", &evicted);
+    EXPECT_TRUE(evicted.empty());
+    EXPECT_EQ(cache.evictions(), 0);
+}
+
 TEST(CodeCacheDeathTest, ZeroCapacityPanics)
 {
     EXPECT_DEATH(CodeCache cache(0), "");

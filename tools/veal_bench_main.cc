@@ -16,6 +16,7 @@
 
 #include <cstdio>
 
+#include "bench/persist.h"
 #include "bench/simulation.h"
 #include "bench/throughput.h"
 
@@ -47,6 +48,30 @@ runSimulationMode(const veal::bench::ThroughputOptions& options)
     return 0;
 }
 
+int
+runPersistMode(const veal::bench::ThroughputOptions& options)
+{
+    const auto report = veal::bench::runPersistBench(options);
+
+    std::printf("veal-bench: persist, %d requests, %lld keys saved cold, "
+                "%lld requests served from the store warm\n",
+                report.requests,
+                static_cast<long long>(report.cold_persisted),
+                static_cast<long long>(report.warm_persisted));
+    std::printf("veal-bench: translation cycles cold=%lld warm=%lld "
+                "(ratio %lldx), warm digest %s\n",
+                static_cast<long long>(report.cold_translation_cycles),
+                static_cast<long long>(report.warm_translation_cycles),
+                static_cast<long long>(report.translation_cycle_ratio),
+                report.warm_report_digest.c_str());
+
+    std::fprintf(stderr,
+                 "veal-bench: cold p50 %.2f ms, warm p50 %.2f ms "
+                 "(%d runs)\n",
+                 report.cold_p50_ms, report.warm_p50_ms, report.runs);
+    return 0;
+}
+
 }  // namespace
 
 int
@@ -56,6 +81,8 @@ main(int argc, char** argv)
     const auto options = bench::parseThroughputCli(argc, argv);
     if (options.mode == "simulation")
         return runSimulationMode(options);
+    if (options.mode == "persist")
+        return runPersistMode(options);
     const auto report = bench::runTranslationThroughput(options);
 
     std::printf("veal-bench: %s suite, %lld pieces/run, %lld translated "

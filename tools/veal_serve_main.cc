@@ -53,6 +53,16 @@ usage()
         "  --quota N       per-tenant in-flight quota per tick (default 8)\n"
         "  --queue-depth N bounded request queue depth (default 64)\n"
         "  --cache-entries N  per-shard code-cache capacity (default 16)\n"
+        "persistence:\n"
+        "  --cache-dir DIR    persistent cross-run code cache; a rerun\n"
+        "                     with the same DIR warm-starts from it\n"
+        "  --cache-capacity N store entry bound, SLRU-evicted (default\n"
+        "                     4096)\n"
+        "TLB cost model (off unless --tlb* given):\n"
+        "  --tlb              enable at the default design point\n"
+        "  --tlb-entries N    stream-TLB capacity in pages (default 32)\n"
+        "  --tlb-walk N       cycles per page walk (default 30)\n"
+        "  --tlb-page N       page size in bytes (default 4096)\n"
         "faults:\n"
         "  --fault-seed S  arm a per-request FaultPlan stream\n"
         "output:\n"
@@ -110,6 +120,25 @@ main(int argc, char** argv)
                 cli::parseCount(kTool, arg, value(), usage);
         } else if (arg == "--fault-seed") {
             options.fault_seed = cli::parseU64(kTool, arg, value(), usage);
+        } else if (arg == "--cache-dir") {
+            options.cache_dir = value();
+        } else if (arg == "--cache-capacity") {
+            options.store.max_entries =
+                cli::parseCount(kTool, arg, value(), usage);
+        } else if (arg == "--tlb") {
+            options.tlb.enabled = true;
+        } else if (arg == "--tlb-entries") {
+            options.tlb.enabled = true;
+            options.tlb.entries =
+                cli::parseCount(kTool, arg, value(), usage);
+        } else if (arg == "--tlb-walk") {
+            options.tlb.enabled = true;
+            options.tlb.walk_cycles =
+                cli::parseCount(kTool, arg, value(), usage);
+        } else if (arg == "--tlb-page") {
+            options.tlb.enabled = true;
+            options.tlb.page_bytes =
+                cli::parseCount(kTool, arg, value(), usage);
         } else if (arg == "--metrics-json") {
             metrics_json = value();
         } else if (arg == "--help" || arg == "-h") {
@@ -125,6 +154,14 @@ main(int argc, char** argv)
         cli::usageError(kTool,
                         "--shards, --batch, --queue-depth, and "
                         "--cache-entries must be positive",
+                        usage);
+    }
+    if (options.store.max_entries < 1 || options.tlb.entries < 0 ||
+        options.tlb.page_bytes < 1 || options.tlb.walk_cycles < 0) {
+        cli::usageError(kTool,
+                        "--cache-capacity and --tlb-page must be "
+                        "positive; --tlb-entries and --tlb-walk "
+                        "non-negative",
                         usage);
     }
     if (!trace_file.empty() && !gen_trace_file.empty()) {
@@ -171,6 +208,10 @@ main(int argc, char** argv)
         service.run(trace);
     }
     std::cout << service.report().render();
+
+    // Flush the MANIFEST before the metrics snapshot so the store's
+    // recency order is durable the moment the run reports success.
+    service.flushPersistentStore();
 
     // Shard-local cache hit rates are physical diagnostics: they depend
     // on --shards by nature, so they go to stderr, never the report.
