@@ -13,6 +13,7 @@
 #include "veal/service/trace.h"
 #include "veal/support/assert.h"
 #include "veal/support/logging.h"
+#include "veal/vm/persist/store.h"
 
 namespace veal::bench {
 
@@ -34,6 +35,12 @@ struct Shape {
 };
 constexpr Shape kMatrix[] = {
     {1, 1, 1}, {2, 1, 16}, {4, 3, 5}, {8, 4, 64}};
+
+/** Lifecycle churn: every key re-saved this many extra generations. */
+constexpr int kChurnRounds = 3;
+
+/** Small segments for the churn pass so compaction has real work. */
+constexpr std::int64_t kChurnSegmentBytes = 4096;
 
 std::uint64_t
 fnv1a(const std::string& text)
@@ -110,7 +117,7 @@ PersistReport::toJson() const
 {
     std::ostringstream os;
     os << "{\n";
-    os << "  \"schema\": \"veal-persist-bench-v1\",\n";
+    os << "  \"schema\": \"veal-persist-bench-v2\",\n";
     os << "  \"commit\": \"" << commit << "\",\n";
     os << "  \"runs\": " << runs << ",\n";
     os << "  \"requests\": " << requests << ",\n";
@@ -126,8 +133,16 @@ PersistReport::toJson() const
     os << "  \"warm_persisted\": " << warm_persisted << ",\n";
     os << "  \"cold_report_digest\": \"" << cold_report_digest << "\",\n";
     os << "  \"warm_report_digest\": \"" << warm_report_digest << "\",\n";
+    os << "  \"recovered_entries\": " << recovered_entries << ",\n";
+    os << "  \"churn_rounds\": " << churn_rounds << ",\n";
+    os << "  \"churn_log_bytes\": " << churn_log_bytes << ",\n";
+    os << "  \"compacted_log_bytes\": " << compacted_log_bytes << ",\n";
+    os << "  \"compaction_reclaimed_bytes\": "
+       << compaction_reclaimed_bytes << ",\n";
+    os << "  \"compactions\": " << compactions << ",\n";
     os << "  \"wall_ms\": {\"cold_p50\": " << formatDouble(cold_p50_ms)
-       << ", \"warm_p50\": " << formatDouble(warm_p50_ms) << "}\n";
+       << ", \"warm_p50\": " << formatDouble(warm_p50_ms)
+       << ", \"recover_p50\": " << formatDouble(recover_p50_ms) << "}\n";
     os << "}\n";
     return os.str();
 }
@@ -218,6 +233,66 @@ runPersistBench(const ThroughputOptions& options)
                     " batch=", shape.batch, ")");
     }
 
+    // Phase 4a: recovery.  Time a bare store open over the populated
+    // directory -- this is the warm-restart tax before the first
+    // request can be served.
+    std::int64_t recovered = 0;
+    for (int run = 0; run < options.runs; ++run) {
+        using Clock = std::chrono::steady_clock;
+        const auto start = Clock::now();
+        persist::PersistentStore store(cache_dir.string(),
+                                       persist::StoreOptions{});
+        const double ms = std::chrono::duration<double, std::milli>(
+                              Clock::now() - start)
+                              .count();
+        report.recover_wall_ms.push_back(ms);
+        if (run == 0) {
+            recovered = store.size();
+        } else {
+            VEAL_ASSERT(store.size() == recovered,
+                        "recovery drifted across reopens");
+        }
+    }
+
+    // Phase 4b: churn + compaction.  Re-save every live key for a few
+    // generations over small segments (each re-save strands the prior
+    // record as garbage).  At 100% the store auto-compacts only fully-
+    // garbage segments, so the log tracks the live set through the
+    // churn; compactNow() then drains the mixed stragglers.  The byte
+    // counts are pure functions of the trace, so they are modeled.
+    std::int64_t churn_log_bytes = 0;
+    std::int64_t compacted_log_bytes = 0;
+    std::int64_t reclaimed_bytes = 0;
+    std::int64_t compactions = 0;
+    {
+        persist::StoreOptions store_options;
+        store_options.segment_bytes = kChurnSegmentBytes;
+        store_options.compact_garbage_percent = 100;
+        persist::PersistentStore store(cache_dir.string(), store_options);
+        for (int round = 0; round < kChurnRounds; ++round) {
+            for (const std::string& key : store.keys()) {
+                const auto image = store.load(key);
+                VEAL_ASSERT(image.has_value(),
+                            "a recovered key failed to load during churn");
+                VEAL_ASSERT(store.save(*image),
+                            "a churn re-save was not acked");
+            }
+        }
+        churn_log_bytes = store.stats().log_bytes;
+        while (store.compactNow()) {
+        }
+        const persist::StoreStats stats = store.stats();
+        compacted_log_bytes = stats.log_bytes;
+        reclaimed_bytes = stats.reclaimed_bytes;
+        compactions = stats.compactions;
+        VEAL_ASSERT(reclaimed_bytes > 0,
+                    "compaction reclaimed nothing from a churned log");
+        VEAL_ASSERT(compacted_log_bytes <= churn_log_bytes,
+                    "the compacted log grew");
+        VEAL_ASSERT(store.size() == recovered,
+                    "churn + compaction changed the live set");
+    }
+
     fs::remove_all(cache_dir, ec);
 
     // The warm-start contract: the store serves every translated key,
@@ -236,8 +311,15 @@ runPersistBench(const ThroughputOptions& options)
     report.warm_persisted = warm.persisted;
     report.cold_report_digest = hex(fnv1a(cold_render));
     report.warm_report_digest = hex(fnv1a(warm_render));
+    report.recovered_entries = recovered;
+    report.churn_rounds = kChurnRounds;
+    report.churn_log_bytes = churn_log_bytes;
+    report.compacted_log_bytes = compacted_log_bytes;
+    report.compaction_reclaimed_bytes = reclaimed_bytes;
+    report.compactions = compactions;
     report.cold_p50_ms = p50(report.cold_wall_ms);
     report.warm_p50_ms = p50(report.warm_wall_ms);
+    report.recover_p50_ms = p50(report.recover_wall_ms);
 
     if (!options.json_path.empty()) {
         std::ofstream out(options.json_path);

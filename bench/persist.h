@@ -13,14 +13,18 @@
  *   2. *warm* -- a fresh TranslationService process-equivalent over the
  *      populated store, --runs timed passes, and
  *   3. a warm *matrix* pass across several --shards/--threads/--batch
- *      shapes.
+ *      shapes, and
+ *   4. a log-structured *lifecycle* pass: timed recovery opens over the
+ *      populated directory, then a churn-and-compact study (every key
+ *      re-saved for several generations, then compacted to a fixpoint)
+ *      whose byte counts are modeled.
  *
  * The contracts this bench pins, asserted in-process every run:
  * every warm report renders byte-identical to every other warm report
  * (including the whole matrix), warm translation cycles are *zero*
  * (every key is served from the store), and the cold/warm
  * translation-cycle ratio clears the committed floor.  The JSON
- * (BENCH_persist.json, schema veal-persist-bench-v1) pins the warm-start
+ * (BENCH_persist.json, schema veal-persist-bench-v2) pins the warm-start
  * win in the repo: CI fails if the committed modeled fields drift or
  * the ratio falls below the floor.
  *
@@ -56,13 +60,24 @@ struct PersistReport {
     std::string cold_report_digest;   ///< FNV over the cold render.
     std::string warm_report_digest;   ///< FNV over the (shared) warm render.
 
+    // --- Lifecycle study (modeled: byte counts from the segment log).
+    std::int64_t recovered_entries = 0;  ///< Entries a recovery open sees.
+    std::int64_t churn_rounds = 0;       ///< Re-save generations applied.
+    /** Log size after churn (fully-garbage segments auto-compacted). */
+    std::int64_t churn_log_bytes = 0;
+    std::int64_t compacted_log_bytes = 0;  ///< Log size at compaction fixpoint.
+    std::int64_t compaction_reclaimed_bytes = 0;  ///< Garbage deleted.
+    std::int64_t compactions = 0;        ///< Segment compactions performed.
+
     // --- Wall clock (stderr/JSON only; never deterministic).
     std::vector<double> cold_wall_ms;
     std::vector<double> warm_wall_ms;
+    std::vector<double> recover_wall_ms;
     double cold_p50_ms = 0.0;
     double warm_p50_ms = 0.0;
+    double recover_p50_ms = 0.0;
 
-    /** The veal-persist-bench-v1 JSON rendering of this report. */
+    /** The veal-persist-bench-v2 JSON rendering of this report. */
     std::string toJson() const;
 };
 

@@ -31,7 +31,7 @@ printUsage(std::FILE* out, const char* argv0)
         "                       batched-simulation engine bench, schema\n"
         "                       veal-sim-bench-v1), or persist (the\n"
         "                       cold-vs-warm-start study, schema\n"
-        "                       veal-persist-bench-v1)\n"
+        "                       veal-persist-bench-v2)\n"
         "  --batch N            lanes per batch-engine call in --mode\n"
         "                       simulation (default 64; never affects\n"
         "                       modeled output)\n"

@@ -1,0 +1,564 @@
+#include "veal/fault/persist_campaign.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+
+#include "veal/service/service.h"
+#include "veal/service/trace.h"
+#include "veal/support/metrics/metrics.h"
+#include "veal/support/thread_pool.h"
+#include "veal/vm/persist/store.h"
+
+namespace veal {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using fault::FaultyVfs;
+using fault::FaultyVfsOptions;
+using fault::VfsFaultMode;
+
+// --- Shared plumbing ------------------------------------------------
+
+std::vector<VfsFaultMode>
+allModes()
+{
+    return {VfsFaultMode::kCrash, VfsFaultMode::kShortWrite,
+            VfsFaultMode::kBitFlip, VfsFaultMode::kEnospc};
+}
+
+/**
+ * Store sizing shared by every phase: tiny segments so even the small
+ * campaign workloads rotate, seal, and compact -- the crash points
+ * must cover the compactor, not just the append path.
+ */
+persist::StoreOptions
+campaignStoreOptions(std::shared_ptr<persist::Vfs> vfs)
+{
+    persist::StoreOptions store;
+    store.max_entries = 256;
+    store.segment_bytes = 1024;
+    store.compact_garbage_percent = 40;
+    store.vfs = std::move(vfs);
+    return store;
+}
+
+// --- The service workload -------------------------------------------
+
+ServiceTrace
+campaignTrace(const PersistCampaignOptions& options)
+{
+    TraceGenOptions gen;
+    gen.seed = options.seed;
+    gen.tenants = std::max(1, options.tenants);
+    gen.requests = std::max(1, options.requests);
+    gen.loop_pool = std::max(1, options.loop_pool);
+    gen.tick_size = std::max(1, options.tick_size);
+    gen.iterations = options.iterations;
+    return generateTrace(gen);
+}
+
+ServiceOptions
+campaignServiceOptions(const std::string& dir,
+                       std::shared_ptr<persist::Vfs> vfs)
+{
+    ServiceOptions options;
+    options.shards = 1;
+    options.threads = 1;  // The campaign parallelizes across points.
+    options.batch = 8;
+    options.queue_depth = 64;
+    options.tenant_quota = 64;
+    options.cache_dir = dir;
+    options.store = campaignStoreOptions(std::move(vfs));
+    return options;
+}
+
+struct ServiceRunResult {
+    std::string report;
+    std::int64_t acked_saves = 0;
+    bool degraded = false;
+};
+
+ServiceRunResult
+runServiceOnce(const PersistCampaignOptions& options,
+               const std::string& dir,
+               std::shared_ptr<persist::Vfs> vfs)
+{
+    const ServiceTrace trace = campaignTrace(options);
+    TranslationService service(campaignServiceOptions(dir, vfs));
+    ServiceRunResult result;
+    result.report = service.run(trace).render();
+    const auto* store = service.persistentStore();
+    result.acked_saves = store->stats().saves;
+    result.degraded = store->readOnly();
+    return result;
+}
+
+// --- The churn workload ---------------------------------------------
+
+/** One scripted store-level operation. */
+struct ChurnOp {
+    enum class Kind : int {
+        kSave = 0,
+        kInvalidate,
+        kLoad,
+        kFlush,
+        kCompact,
+    };
+    Kind kind = Kind::kSave;
+    int key = 0;
+    std::uint32_t salt = 0;
+};
+
+persist::PersistedImage
+churnImage(int key, std::uint32_t salt)
+{
+    persist::PersistedImage image;
+    std::ostringstream os;
+    os << "churn-key-" << key;
+    image.key = os.str();
+    image.summary.ok = true;
+    image.summary.ii = 1 + static_cast<std::int32_t>(salt % 3);
+    image.summary.stage_count = 1;
+    image.summary.length = 2;
+    image.summary.fu_units = 2;
+    image.summary.load_strides = {4};
+    // Enough words that a handful of saves overflows a 1 KiB segment.
+    image.image_words.assign(24, 0);
+    for (std::uint32_t i = 0; i < 24; ++i)
+        image.image_words[i] =
+            0x10000u + static_cast<std::uint32_t>(key) * 97u + salt + i;
+    return image;
+}
+
+/**
+ * The scripted op sequence: saves, reuse, re-saves (garbage), explicit
+ * invalidations, compaction, and flushes, exercising every record type
+ * the manifest log has.  Pure function of nothing -- the interesting
+ * axis is where the crash lands, not script randomness.
+ */
+std::vector<ChurnOp>
+churnScript()
+{
+    using Kind = ChurnOp::Kind;
+    std::vector<ChurnOp> ops;
+    for (int k = 0; k < 10; ++k)
+        ops.push_back({Kind::kSave, k, 0});
+    for (int k = 0; k < 10; k += 2)
+        ops.push_back({Kind::kLoad, k, 0});
+    for (int k = 0; k < 10; k += 2)
+        ops.push_back({Kind::kSave, k, 1});  // Re-save: old is garbage.
+    ops.push_back({Kind::kInvalidate, 1, 0});
+    ops.push_back({Kind::kInvalidate, 3, 0});
+    ops.push_back({Kind::kCompact, 0, 0});
+    for (int k = 10; k < 14; ++k)
+        ops.push_back({Kind::kSave, k, 0});
+    ops.push_back({Kind::kFlush, 0, 0});
+    for (int k = 0; k < 6; ++k)
+        ops.push_back({Kind::kSave, k, 2});
+    ops.push_back({Kind::kInvalidate, 5, 0});
+    ops.push_back({Kind::kCompact, 0, 0});
+    for (int k = 14; k < 18; ++k)
+        ops.push_back({Kind::kSave, k, 0});
+    return ops;
+}
+
+/** What the harness knows the disk must hold after a crash. */
+struct ChurnModel {
+    /** key -> last *acked* encoded blob. */
+    std::map<std::string, std::vector<std::uint8_t>> acked;
+
+    /** key -> every encoding ever acked (the bit-flip tolerance set). */
+    std::map<std::string, std::vector<std::vector<std::uint8_t>>> history;
+
+    bool degraded = false;
+};
+
+/**
+ * Run the script over @p vfs.  Ops simply stop acking once the store
+ * degrades -- exactly like the service, nothing throws.
+ */
+ChurnModel
+runChurn(const std::string& dir, std::shared_ptr<persist::Vfs> vfs)
+{
+    ChurnModel model;
+    persist::PersistentStore store(dir, campaignStoreOptions(vfs));
+    for (const ChurnOp& op : churnScript()) {
+        switch (op.kind) {
+            case ChurnOp::Kind::kSave: {
+                const auto image = churnImage(op.key, op.salt);
+                if (store.save(image)) {
+                    auto blob = persist::encodeBlob(image);
+                    model.history[image.key].push_back(blob);
+                    model.acked[image.key] = std::move(blob);
+                }
+                break;
+            }
+            case ChurnOp::Kind::kInvalidate: {
+                const auto image = churnImage(op.key, 0);
+                // invalidate() returning true only means "was
+                // resident".  The removal is acked only if the commit
+                // append landed -- and a failed append always degrades
+                // the store, so still-writable-after is the ack.
+                const bool removed = store.invalidate(image.key);
+                if (removed && !store.readOnly())
+                    model.acked.erase(image.key);
+                break;
+            }
+            case ChurnOp::Kind::kLoad:
+                store.load(churnImage(op.key, 0).key);
+                break;
+            case ChurnOp::Kind::kFlush:
+                store.flush();
+                break;
+            case ChurnOp::Kind::kCompact:
+                store.compactNow();
+                break;
+        }
+    }
+    model.degraded = store.readOnly();
+    return model;
+}
+
+// --- Point verification ---------------------------------------------
+
+struct PointResult {
+    bool ok = true;
+    bool degraded = false;
+    std::string detail;
+};
+
+void
+fail(PointResult& result, const std::string& detail)
+{
+    if (result.ok) {
+        result.ok = false;
+        result.detail = detail;
+    }
+}
+
+PointResult
+runServicePoint(const PersistCampaignOptions& options,
+                const std::string& dir, VfsFaultMode mode,
+                std::int64_t trigger, const std::string& baseline)
+{
+    PointResult result;
+
+    // Faulted cold run: must complete (degrade, never crash).
+    {
+        FaultyVfsOptions fault;
+        fault.mode = mode;
+        fault.trigger_op = trigger;
+        fault.seed = options.seed;
+        const auto faulty = std::make_shared<FaultyVfs>(
+            persist::realVfs(), fault);
+        const ServiceRunResult run = runServiceOnce(options, dir, faulty);
+        result.degraded = run.degraded;
+    }
+
+    // Clean reopen: recovery must succeed with zero corruption (a pure
+    // crash/failed-write never flips committed bytes; bit flips are
+    // the deliberate exception and surface as counted corruption).
+    {
+        persist::PersistentStore store(
+            dir, campaignStoreOptions(persist::realVfs()));
+        if (mode != VfsFaultMode::kBitFlip &&
+            store.stats().corrupt + store.stats().version_skew > 0) {
+            std::ostringstream os;
+            os << "reopen after " << toString(mode) << "@" << trigger
+               << " counted " << store.stats().corrupt
+               << " corrupt records";
+            fail(result, os.str());
+        }
+        // Every surviving key must serve cleanly -- except after a bit
+        // flip, where the right outcome for a poisoned record is a
+        // *counted* drop (the caller re-translates), never a crash.
+        std::int64_t failed_loads = 0;
+        for (const std::string& key : store.keys()) {
+            if (!store.load(key).has_value())
+                ++failed_loads;
+        }
+        if (mode == VfsFaultMode::kBitFlip) {
+            if (failed_loads > store.stats().corrupt +
+                                   store.stats().version_skew)
+                fail(result, "bit-flip load misses exceed counted "
+                             "corruption");
+        } else if (failed_loads > 0) {
+            fail(result, "recovered key failed to load");
+        }
+    }
+
+    // Warm repair run, then the acid test: a second warm run renders
+    // the uncrashed baseline byte-for-byte.
+    runServiceOnce(options, dir, persist::realVfs());
+    const ServiceRunResult verify =
+        runServiceOnce(options, dir, persist::realVfs());
+    if (verify.report != baseline)
+        fail(result, "post-repair warm report diverged from baseline");
+    return result;
+}
+
+PointResult
+runChurnPoint(const PersistCampaignOptions& options,
+              const std::string& dir, VfsFaultMode mode,
+              std::int64_t trigger)
+{
+    PointResult result;
+
+    FaultyVfsOptions fault;
+    fault.mode = mode;
+    fault.trigger_op = trigger;
+    fault.seed = options.seed;
+    const auto faulty =
+        std::make_shared<FaultyVfs>(persist::realVfs(), fault);
+    const ChurnModel model = runChurn(dir, faulty);
+    result.degraded = model.degraded;
+
+    persist::PersistentStore store(
+        dir, campaignStoreOptions(persist::realVfs()));
+
+    if (mode == VfsFaultMode::kBitFlip) {
+        // Silent corruption: the store may serve an *older acked*
+        // value (a flipped manifest tail) or drop the record as
+        // corrupt -- but must never serve bytes that were never acked.
+        for (const std::string& key : store.keys()) {
+            const auto loaded = store.load(key);
+            if (!loaded.has_value())
+                continue;  // Dropped as corrupt: counted, legitimate.
+            const auto served = persist::encodeBlob(*loaded);
+            const auto it = model.history.find(key);
+            const bool known =
+                it != model.history.end() &&
+                std::find(it->second.begin(), it->second.end(),
+                          served) != it->second.end();
+            if (!known) {
+                fail(result, "bit-flip served never-acked bytes: " + key);
+                break;
+            }
+        }
+        return result;
+    }
+
+    // Crash / short-write / ENOSPC: recovery must be *exact*.  Every
+    // acked save is present with its last acked bytes; everything
+    // unacked is cleanly absent.
+    const std::vector<std::string> recovered = store.keys();
+    for (const auto& [key, blob] : model.acked) {
+        if (!store.contains(key)) {
+            fail(result, "acked key lost: " + key);
+            break;
+        }
+        const auto loaded = store.load(key);
+        if (!loaded.has_value()) {
+            fail(result, "acked key failed to load: " + key);
+            break;
+        }
+        if (persist::encodeBlob(*loaded) != blob) {
+            fail(result, "acked key served stale/wrong bytes: " + key);
+            break;
+        }
+    }
+    for (const std::string& key : recovered) {
+        if (model.acked.count(key) == 0) {
+            fail(result, "unacked key resurrected: " + key);
+            break;
+        }
+    }
+    if (store.stats().corrupt + store.stats().version_skew > 0)
+        fail(result, "recovery counted corruption after a pure crash");
+
+    // The recovered store must be fully writable again (the failure
+    // was the fake process's, not the directory's).
+    if (!store.save(churnImage(99, 7)))
+        fail(result, "recovered store refused a save");
+    return result;
+}
+
+// --- Multi-process degradation --------------------------------------
+
+std::pair<bool, std::string>
+runMultiprocessCheck(const std::string& dir)
+{
+    using persist::PersistentStore;
+    const auto vfs = persist::realVfs();
+
+    auto writer = std::make_unique<PersistentStore>(
+        dir, campaignStoreOptions(vfs));
+    for (int k = 0; k < 3; ++k)
+        if (!writer->save(churnImage(k, 0)))
+            return {false, "writer save failed"};
+    writer->flush();
+
+    {
+        PersistentStore reader(dir, campaignStoreOptions(vfs));
+        if (!reader.readOnly())
+            return {false, "second store on a locked dir was writable"};
+        if (reader.stats().readonly != 1)
+            return {false, "read-only degradation not counted"};
+        if (reader.size() != 3)
+            return {false, "read-only tier missed persisted entries"};
+        if (!reader.load(churnImage(1, 0).key).has_value())
+            return {false, "read-only tier failed to serve a hit"};
+        if (reader.save(churnImage(9, 0)))
+            return {false, "read-only tier acked a save"};
+        if (reader.stats().readonly_skips < 1)
+            return {false, "skipped persist not counted"};
+    }
+
+    // The writer must be untouched by the reader's visit...
+    if (writer->size() != 3 || writer->readOnly())
+        return {false, "reader disturbed the writer"};
+    if (!writer->save(churnImage(3, 0)))
+        return {false, "writer lost writability"};
+
+    // ...and closing the writer releases the directory.
+    const std::int64_t final_size = writer->size();
+    writer.reset();
+    PersistentStore reopened(dir, campaignStoreOptions(vfs));
+    if (reopened.readOnly())
+        return {false, "lock not released on close"};
+    if (reopened.size() != final_size)
+        return {false, "state lost across writer handoff"};
+    return {true, "ok"};
+}
+
+// --- Enumeration ----------------------------------------------------
+
+struct Point {
+    std::string workload;
+    VfsFaultMode mode = VfsFaultMode::kCrash;
+    std::int64_t trigger = 0;
+};
+
+}  // namespace
+
+std::string
+PersistCampaignSummary::render() const
+{
+    std::ostringstream os;
+    os << "veal-persist-campaign seed=" << seed << "\n";
+    os << "service mutation-ops " << service_mutation_ops << "\n";
+    os << "churn mutation-ops " << churn_mutation_ops << "\n";
+    os << "points " << points << "\n";
+    for (const auto& [mode, count] : points_by_mode)
+        os << "mode " << mode << " " << count << "\n";
+    os << "degraded-runs " << degraded_runs << "\n";
+    os << "multiprocess " << (multiprocess_ok ? "ok" : "FAIL") << " "
+       << multiprocess_detail << "\n";
+    os << "violations " << violations.size() << "\n";
+    for (const auto& violation : violations) {
+        os << "  " << violation.workload << " "
+           << toString(violation.mode) << "@" << violation.trigger_op
+           << ": " << violation.detail << "\n";
+    }
+    os << "VERDICT: " << (clean() ? "CLEAN" : "VIOLATIONS") << "\n";
+    return os.str();
+}
+
+PersistCampaignSummary
+runPersistCampaign(const PersistCampaignOptions& options,
+                   metrics::Registry* registry)
+{
+    PersistCampaignSummary summary;
+    summary.seed = options.seed;
+
+    fs::path scratch = options.scratch_dir.empty()
+                           ? fs::temp_directory_path() /
+                                 ("veal-persist-campaign-" +
+                                  std::to_string(options.seed))
+                           : fs::path(options.scratch_dir);
+    std::error_code ec;
+    fs::remove_all(scratch, ec);
+    fs::create_directories(scratch, ec);
+
+    // Counting passes: learn each workload's crash-point space, and
+    // capture the uncrashed warm baseline the service points compare
+    // against.
+    std::string baseline;
+    {
+        const auto counter = std::make_shared<FaultyVfs>(
+            persist::realVfs(), FaultyVfsOptions{});
+        const std::string dir = (scratch / "service-baseline").string();
+        runServiceOnce(options, dir, counter);
+        summary.service_mutation_ops = counter->mutationOps();
+        baseline = runServiceOnce(options, dir, persist::realVfs()).report;
+    }
+    {
+        const auto counter = std::make_shared<FaultyVfs>(
+            persist::realVfs(), FaultyVfsOptions{});
+        const std::string dir = (scratch / "churn-baseline").string();
+        runChurn(dir, counter);
+        summary.churn_mutation_ops = counter->mutationOps();
+    }
+
+    const std::vector<VfsFaultMode> modes =
+        options.modes.empty() ? allModes() : options.modes;
+    std::vector<Point> points;
+    for (const VfsFaultMode mode : modes) {
+        for (std::int64_t n = 0; n < summary.service_mutation_ops; ++n)
+            points.push_back({"service", mode, n});
+        for (std::int64_t n = 0; n < summary.churn_mutation_ops; ++n)
+            points.push_back({"churn", mode, n});
+    }
+
+    ThreadPool pool(std::max(1, options.threads));
+    const std::vector<PointResult> results = parallelMap(
+        pool, points, [&](const Point& point, int index) {
+            std::ostringstream os;
+            os << "p" << index;
+            const std::string dir = (scratch / os.str()).string();
+            if (point.workload == "service")
+                return runServicePoint(options, dir, point.mode,
+                                       point.trigger, baseline);
+            return runChurnPoint(options, dir, point.mode,
+                                 point.trigger);
+        });
+
+    // Point-ordered reduction: counters and violations are identical
+    // for any thread count.
+    summary.points = static_cast<std::int64_t>(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point& point = points[i];
+        const PointResult& result = results[i];
+        ++summary.points_by_mode[toString(point.mode)];
+        if (result.degraded)
+            ++summary.degraded_runs;
+        if (!result.ok) {
+            PersistCrashPoint violation;
+            violation.workload = point.workload;
+            violation.mode = point.mode;
+            violation.trigger_op = point.trigger;
+            violation.ok = false;
+            violation.detail = result.detail;
+            summary.violations.push_back(std::move(violation));
+        }
+    }
+
+    const auto multiprocess =
+        runMultiprocessCheck((scratch / "multiprocess").string());
+    summary.multiprocess_ok = multiprocess.first;
+    summary.multiprocess_detail = multiprocess.second;
+
+    if (registry != nullptr) {
+        registry->add("persist_campaign.points", summary.points);
+        registry->add("persist_campaign.violations",
+                      static_cast<std::int64_t>(
+                          summary.violations.size()));
+        registry->add("persist_campaign.degraded_runs",
+                      summary.degraded_runs);
+        registry->add("persist_campaign.multiprocess_ok",
+                      summary.multiprocess_ok ? 1 : 0);
+        for (const auto& violation : summary.violations)
+            registry->trace("persist_campaign",
+                            violation.workload + "/" +
+                                toString(violation.mode),
+                            violation.detail, violation.trigger_op);
+    }
+
+    fs::remove_all(scratch, ec);
+    return summary;
+}
+
+}  // namespace veal

@@ -1,0 +1,127 @@
+#ifndef VEAL_FAULT_PERSIST_CAMPAIGN_H_
+#define VEAL_FAULT_PERSIST_CAMPAIGN_H_
+
+/**
+ * @file
+ * The every-crash-point persistence campaign behind
+ * `veal-faultsim --mode persist`.
+ *
+ * The campaign proves the store's recovery contract *exhaustively* for
+ * a workload: first a counting pass runs the workload over a
+ * pass-through FaultyVfs to learn its mutation-op count M, then the
+ * workload replays once per (fault mode, trigger op) pair for every
+ * trigger in [0, M).  Two workloads run:
+ *
+ *  - service: a deterministic veal-serve trace runs cold over the
+ *    faulted store; after the fault, a clean reopen must succeed with
+ *    zero corruption, a warm repair run must complete, and a second
+ *    warm run must render a report byte-identical to the uncrashed
+ *    warm baseline -- crash anywhere plus one repair pass equals
+ *    never-crashed.
+ *  - churn: a scripted store-level op sequence (saves, re-saves,
+ *    invalidates, loads, compaction, flushes) tracked against a model
+ *    of *acked* operations.  After a crash the reopened store must
+ *    hold exactly the acked state: every acked save present with the
+ *    last acked bytes, every unacked op cleanly absent.  (Bit flips
+ *    are silent, so their check is weaker: served bytes must match
+ *    *some* acked value -- never garbage -- and a repair pass must
+ *    converge.)
+ *
+ * A final phase checks multi-process degradation: a second store on a
+ * locked directory must open read-only, serve hits, skip persists, and
+ * hand the directory back intact.
+ *
+ * Determinism contract (same as the fault campaign): every point is a
+ * pure function of (seed, mode, trigger), results reduce in point
+ * order, and render() is byte-identical for any --threads.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "veal/fault/faulty_vfs.h"
+
+namespace veal {
+
+namespace metrics {
+class Registry;
+}  // namespace metrics
+
+/** Campaign parameters (mirrors the veal-faultsim CLI). */
+struct PersistCampaignOptions {
+    std::uint64_t seed = 1;
+    int threads = 1;
+
+    /** Service-workload trace shape (small: every point replays it). */
+    int requests = 48;
+    int tenants = 3;
+    int loop_pool = 6;
+    int tick_size = 12;
+    std::int64_t iterations = 12;
+
+    /**
+     * Scratch root for the per-point store directories; empty uses
+     * <system temp>/veal-persist-campaign-<seed>.  Wiped at start.
+     */
+    std::string scratch_dir;
+
+    /** Fault modes to enumerate; empty = all four. */
+    std::vector<fault::VfsFaultMode> modes;
+};
+
+/** One (workload, mode, trigger) crash point's verdict. */
+struct PersistCrashPoint {
+    std::string workload;  ///< "service" or "churn".
+    fault::VfsFaultMode mode = fault::VfsFaultMode::kCrash;
+    std::int64_t trigger_op = 0;
+    bool ok = true;
+    std::string detail;  ///< First violated invariant, when !ok.
+};
+
+/** Aggregated campaign results. */
+struct PersistCampaignSummary {
+    std::uint64_t seed = 0;
+
+    /** Mutation-op counts of the fault-free workloads. */
+    std::int64_t service_mutation_ops = 0;
+    std::int64_t churn_mutation_ops = 0;
+
+    std::int64_t points = 0;
+
+    /** Points per mode name (deterministic order). */
+    std::map<std::string, std::int64_t> points_by_mode;
+
+    /** Faulted runs that degraded to the read-only tier. */
+    std::int64_t degraded_runs = 0;
+
+    bool multiprocess_ok = false;
+    std::string multiprocess_detail;
+
+    /** Failing points, in enumeration order. */
+    std::vector<PersistCrashPoint> violations;
+
+    bool
+    clean() const
+    {
+        return violations.empty() && multiprocess_ok;
+    }
+
+    /** Deterministic text report (identical for any thread count). */
+    std::string render() const;
+};
+
+/**
+ * Run the campaign.  Creates its own pool of @p options.threads
+ * workers; every point gets a private store directory under the
+ * scratch root.  When @p registry is non-null the campaign reports
+ * "persist_campaign.*" counters during the point-ordered reduction.
+ */
+PersistCampaignSummary runPersistCampaign(
+    const PersistCampaignOptions& options,
+    metrics::Registry* registry = nullptr);
+
+}  // namespace veal
+
+#endif  // VEAL_FAULT_PERSIST_CAMPAIGN_H_

@@ -920,6 +920,13 @@ TranslationService::run(const ServiceTrace& trace)
     // pools, so most requests reuse an already-built loop.
     std::map<std::uint64_t, Loop> loops;
     for (const auto& tick : trace.ticks) {
+        // Cooperative stop: checked only at tick boundaries, so a
+        // stopped run still ends on a fully-accounted tick.
+        if (options_.stop != nullptr &&
+            options_.stop->load(std::memory_order_relaxed)) {
+            shutdown();
+            return report_;
+        }
         for (const auto& trace_request : tick) {
             auto it = loops.find(trace_request.loop_seed);
             if (it == loops.end()) {
@@ -946,6 +953,32 @@ TranslationService::flushPersistentStore()
 {
     if (persistent_ != nullptr)
         persistent_->flush();
+}
+
+void
+TranslationService::beginShutdown()
+{
+    if (shutting_down_)
+        return;
+    shutting_down_ = true;
+    // A closed queue makes every later submit() report kQueueFull --
+    // the normal backpressure path, so callers need no new handling --
+    // while already-admitted work stays poppable by the drain.
+    queue_.close();
+    if (registry_ != nullptr)
+        registry_->add("service.shutdowns");
+}
+
+void
+TranslationService::shutdown()
+{
+    beginShutdown();
+    // Drain whatever was admitted (or merely logged as rejected) since
+    // the last tick so no submission goes unaccounted...
+    if (!tick_log_.empty())
+        drainTick();
+    // ...and leave the store directory ready for the next process.
+    flushPersistentStore();
 }
 
 CodeCache::Stats

@@ -30,6 +30,7 @@
  * semantically invisible.
  */
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -121,6 +122,14 @@ struct ServiceOptions {
      * are metered as vm.tlb.*.
      */
     TlbConfig tlb = TlbConfig::off();
+
+    /**
+     * Cooperative stop flag (veal-serve's signal handler sets it).
+     * run() checks it between ticks: when it flips, the service stops
+     * submitting, drains what is already admitted, flushes the
+     * persistent store, and returns early.  Null means never stop.
+     */
+    const std::atomic<bool>* stop = nullptr;
 };
 
 /** Why a submission was (or was not) admitted. */
@@ -303,8 +312,32 @@ class TranslationService {
      */
     void drainTick();
 
-    /** Replay @p trace (submit each tick, drain it) and return report(). */
+    /**
+     * Replay @p trace (submit each tick, drain it) and return report().
+     * When options().stop flips mid-replay the remaining ticks are
+     * dropped and shutdown() runs instead -- the report then covers a
+     * clean prefix of the trace (every admitted request fully drained,
+     * store flushed), never a half-accounted tick.
+     */
     const ServiceReport& run(const ServiceTrace& trace);
+
+    /**
+     * Stop admitting: closes the bounded queue, so every later
+     * submit() reports kQueueFull while already-admitted work stays
+     * drainable.  Idempotent.
+     */
+    void beginShutdown();
+
+    /**
+     * Graceful shutdown: beginShutdown(), drain the in-flight tick
+     * (full accounting, persists included), then flush the store's
+     * manifest snapshot.  Idempotent; the service stays readable
+     * (report(), stores) afterwards.
+     */
+    void shutdown();
+
+    /** True once beginShutdown()/shutdown() ran (or the stop flag hit). */
+    bool shuttingDown() const { return shutting_down_; }
 
     const ServiceReport& report() const { return report_; }
 
@@ -369,6 +402,8 @@ class TranslationService {
     std::set<std::pair<int, std::string>> quarantined_;
 
     std::unique_ptr<ThreadPool> pool_;  ///< Lazy; threads > 1 only.
+
+    bool shutting_down_ = false;
 
     ServiceReport report_;
     std::vector<RequestOutcome> last_tick_outcomes_;

@@ -92,13 +92,22 @@ struct PersistedImage {
     std::vector<std::uint32_t> image_words;
 };
 
-/** Why a blob failed to decode (never a crash). */
+/** Why a blob failed to decode or read (never a crash). */
 enum class BlobError : int {
     kTruncated = 0,  ///< Ran out of bytes mid-field.
     kBadMagic,       ///< Not a blob at all.
     kVersionSkew,    ///< Future (or retired) format version.
     kChecksum,       ///< Payload bytes corrupt.
     kMalformed,      ///< Checksummed OK but fields are inconsistent.
+
+    /**
+     * The bytes could not be *read* (failed read, short write, ENOSPC,
+     * vanished file) -- an I/O failure, not corruption.  The store
+     * counts these as `vm.persist.io_error` and keeps the entry (the
+     * next read may succeed), unlike the corruption errors above which
+     * drop it.
+     */
+    kIoError,
 };
 
 /** Error name, e.g. "version-skew". */

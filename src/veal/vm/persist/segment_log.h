@@ -1,0 +1,171 @@
+#ifndef VEAL_VM_PERSIST_SEGMENT_LOG_H_
+#define VEAL_VM_PERSIST_SEGMENT_LOG_H_
+
+/**
+ * @file
+ * Packed append-only segment files holding the store's blob payloads.
+ *
+ * Blobs (persist/blob.h) are appended to `seg-<n>.vlog` files as
+ * length-prefixed records:
+ *
+ *   [u32 magic "VLR1"][u32 payload_len][u64 fnv1a(payload)][payload]
+ *
+ * all little-endian.  The active segment seals at segment_bytes and a
+ * new one opens; only the highest-numbered segment ever grows, which is
+ * the invariant recovery leans on: a crash can tear at most the tail of
+ * one file, and the length prefix makes the torn tail detectable (a
+ * record whose header or payload runs past EOF) and truncatable.
+ *
+ * The log tracks per-segment total vs. live bytes; a record becomes
+ * garbage when its key is re-saved, evicted, invalidated, or moved by
+ * compaction.  The store's compactor asks for the sealed segment with
+ * the worst garbage ratio, rewrites its live records into the active
+ * segment, and deletes the file.
+ *
+ * Failure policy matches the Vfs contract: any mutation returning
+ * false is reported to the caller (who degrades to read-only); this
+ * class never throws and never crashes on malformed bytes.
+ */
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "veal/vm/persist/vfs.h"
+
+namespace veal::persist {
+
+/** Segment record header size (magic + length + checksum). */
+constexpr std::int64_t kSegmentRecordHeader = 16;
+
+/** Record magic "VLR1", little-endian. */
+constexpr std::uint32_t kSegmentRecordMagic = 0x31524c56u;
+
+/** Where one record's payload lives. */
+struct RecordRef {
+    std::int64_t segment = 0;
+    std::int64_t offset = 0;  ///< Of the record header in the file.
+    std::int64_t length = 0;  ///< Payload bytes (header excluded).
+};
+
+/** Why a record read failed (the store maps these to counters). */
+enum class RecordError : int {
+    kIo = 0,   ///< Short read / unreadable file: transient, keep entry.
+    kCorrupt,  ///< Bad magic/length/checksum: drop the entry.
+};
+
+/** One record recovered by a full-segment scan. */
+struct ScannedRecord {
+    std::int64_t offset = 0;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Result of scanning one segment file. */
+struct SegmentScan {
+    std::vector<ScannedRecord> records;
+
+    /** End of the last whole record (EOF when the tail is clean). */
+    std::int64_t valid_bytes = 0;
+
+    /** True when trailing bytes past valid_bytes must be truncated. */
+    bool torn_tail = false;
+
+    /** Mid-file records whose checksum failed (skipped, not torn). */
+    std::int64_t corrupt_records = 0;
+};
+
+/** Per-segment occupancy (drives the compaction policy). */
+struct SegmentInfo {
+    std::int64_t bytes = 0;       ///< File size (headers + payloads).
+    std::int64_t live_bytes = 0;  ///< Bytes still referenced.
+    std::int64_t live_records = 0;
+};
+
+/** The append/rotate/scan half of the store; see file doc. */
+class SegmentLog {
+  public:
+    SegmentLog(std::string directory, std::shared_ptr<Vfs> vfs,
+               std::int64_t segment_bytes);
+
+    /** `seg-<n>.vlog` under the store directory. */
+    std::string segmentPath(std::int64_t segment) const;
+
+    /** Parse `seg-<n>.vlog` names; nullopt for anything else. */
+    static std::optional<std::int64_t> parseSegmentName(
+        const std::string& name);
+
+    /**
+     * Adopt an on-disk segment discovered during recovery: seeds its
+     * occupancy (live bytes accrue via addLiveRef) and keeps the
+     * active-segment id past it.
+     */
+    void adoptSegment(std::int64_t segment, std::int64_t bytes);
+
+    /** Recovery found a live record; account it. */
+    void addLiveRef(const RecordRef& ref);
+
+    /**
+     * Append one record (rotating first when the active segment is
+     * full); nullopt on I/O failure -- the caller goes read-only.  On
+     * success the new record is live.
+     */
+    std::optional<RecordRef> append(
+        const std::vector<std::uint8_t>& payload);
+
+    /**
+     * Read + verify the record at @p ref.  The error distinguishes
+     * transient I/O trouble from corrupt bytes (different counters and
+     * different entry fates in the store).
+     */
+    std::variant<std::vector<std::uint8_t>, RecordError> read(
+        const RecordRef& ref);
+
+    /** The record at @p ref became garbage. */
+    void markDead(const RecordRef& ref);
+
+    /** Forget @p segment entirely (after its file is removed). */
+    void dropSegment(std::int64_t segment);
+
+    /**
+     * Sealed segment with the highest garbage fraction at or above
+     * @p min_garbage_percent (ties break toward the oldest), or
+     * nullopt.  The active segment never compacts -- it is still
+     * growing.
+     */
+    std::optional<std::int64_t> compactionCandidate(
+        int min_garbage_percent) const;
+
+    /** Parse every record of @p path (recovery + tests). */
+    SegmentScan scanFile(const std::string& path);
+
+    std::int64_t activeSegment() const { return active_; }
+    const std::map<std::int64_t, SegmentInfo>& segments() const
+    {
+        return segments_;
+    }
+
+    /** Sum of live payload+header bytes across segments. */
+    std::int64_t liveBytes() const;
+
+    /** Sum of segment file bytes. */
+    std::int64_t totalBytes() const;
+
+  private:
+    std::string directory_;
+    std::shared_ptr<Vfs> vfs_;
+    std::int64_t segment_bytes_;
+
+    std::map<std::int64_t, SegmentInfo> segments_;
+    std::int64_t active_ = 0;
+};
+
+/** Frame @p payload as one segment record (header + payload). */
+std::vector<std::uint8_t> encodeSegmentRecord(
+    const std::vector<std::uint8_t>& payload);
+
+}  // namespace veal::persist
+
+#endif  // VEAL_VM_PERSIST_SEGMENT_LOG_H_

@@ -2,12 +2,9 @@
 
 #include <algorithm>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
 
 #include "veal/support/assert.h"
 #include "veal/support/metrics/metrics.h"
-#include "veal/support/parse.h"
 
 namespace veal::persist {
 
@@ -15,76 +12,17 @@ namespace fs = std::filesystem;
 
 namespace {
 
-constexpr const char* kManifestName = "MANIFEST";
-constexpr const char* kManifestHeader = "veal-persist-v1";
-constexpr const char* kBlobSuffix = ".vpb";
-
-constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
-constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
-
-std::uint64_t
-fnv1a(const std::string& text)
-{
-    std::uint64_t digest = kFnvOffset;
-    for (const char c : text) {
-        digest ^= static_cast<std::uint8_t>(c);
-        digest *= kFnvPrime;
-    }
-    return digest;
-}
-
-/**
- * Blob file name for @p key: the sanitized key (readable in `ls`) plus
- * an FNV-64 tag so two keys that sanitize identically still get
- * distinct files.  The embedded key inside the blob is the authority;
- * a tag collision (~2^-64) decodes as a key mismatch and quarantines.
- */
-std::string
-blobFileName(const std::string& key)
-{
-    std::string name;
-    name.reserve(key.size() + 24);
-    for (const char c : key) {
-        const bool safe = (c >= 'a' && c <= 'z') ||
-                          (c >= 'A' && c <= 'Z') ||
-                          (c >= '0' && c <= '9') || c == '-' || c == '.';
-        name.push_back(safe ? c : '_');
-    }
-    std::ostringstream os;
-    os << name << '-' << std::hex << fnv1a(key) << kBlobSuffix;
-    return os.str();
-}
-
-std::optional<std::vector<std::uint8_t>>
-readFileBytes(const fs::path& path)
-{
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        return std::nullopt;
-    std::vector<std::uint8_t> bytes(
-        (std::istreambuf_iterator<char>(in)),
-        std::istreambuf_iterator<char>());
-    if (in.bad())
-        return std::nullopt;
-    return bytes;
-}
+constexpr const char* kLockName = "LOCK";
+constexpr const char* kLegacyManifestName = "MANIFEST";
+constexpr const char* kLegacyBlobSuffix = ".vpb";
+constexpr const char* kTmpSuffix = ".tmp";
 
 bool
-writeFileAtomic(const fs::path& path, const void* data, std::size_t size)
+hasSuffix(const std::string& name, const char* suffix)
 {
-    const fs::path temp = path.string() + ".tmp";
-    {
-        std::ofstream out(temp, std::ios::binary | std::ios::trunc);
-        if (!out)
-            return false;
-        out.write(static_cast<const char*>(data),
-                  static_cast<std::streamsize>(size));
-        if (!out.good())
-            return false;
-    }
-    std::error_code ec;
-    fs::rename(temp, path, ec);
-    return !ec;
+    const std::size_t n = std::char_traits<char>::length(suffix);
+    return name.size() > n &&
+           name.compare(name.size() - n, n, suffix) == 0;
 }
 
 }  // namespace
@@ -94,14 +32,30 @@ PersistentStore::PersistentStore(std::string directory,
                                  metrics::Registry* registry)
     : directory_(std::move(directory)),
       options_(options),
-      registry_(registry)
+      registry_(registry),
+      vfs_(options.vfs != nullptr ? options.vfs : realVfs()),
+      segments_(directory_, vfs_, options.segment_bytes),
+      manifest_(directory_, vfs_)
 {
     VEAL_ASSERT(options_.max_entries >= 1,
                 "persistent store needs at least one entry");
     options_.protected_percent =
         std::clamp(options_.protected_percent, 0, 100);
-    std::error_code ec;
-    fs::create_directories(directory_, ec);
+    options_.compact_garbage_percent =
+        std::clamp(options_.compact_garbage_percent, 1, 100);
+    if (!vfs_->createDirectories(directory_)) {
+        countIoError();
+        enterReadOnly();
+    } else {
+        lock_ = vfs_->tryLockExclusive(
+            (fs::path(directory_) / kLockName).string());
+        if (lock_ == nullptr) {
+            // Another store (process or instance) owns the directory:
+            // serve what is there, write nothing -- the read-only
+            // cache tier.
+            enterReadOnly();
+        }
+    }
     openIndex();
 }
 
@@ -113,8 +67,25 @@ PersistentStore::~PersistentStore()
 void
 PersistentStore::count(const char* name, std::int64_t delta)
 {
-    if (registry_ != nullptr)
+    if (registry_ != nullptr && delta != 0)
         registry_->add(std::string("vm.persist.") + name, delta);
+}
+
+void
+PersistentStore::countIoError()
+{
+    ++stats_.io_errors;
+    count("io_error");
+}
+
+void
+PersistentStore::enterReadOnly()
+{
+    if (read_only_)
+        return;
+    read_only_ = true;
+    stats_.readonly = 1;
+    count("readonly");
 }
 
 int
@@ -176,12 +147,14 @@ PersistentStore::touch(int slot)
     Slot& s = slots_[static_cast<std::size_t>(slot)];
     s.epoch = ++epoch_;
     // A touched entry moves to the protected front; probation is only
-    // for keys that have not proven reuse yet.
+    // for keys that have not proven reuse yet.  Recency moves are
+    // in-memory only -- the manifest log records the epoch at save
+    // time and flush() snapshots the final order, so hits stay reads.
     unlink(lists_[s.segment], slot);
     s.segment = kProtected;
     pushFront(lists_[kProtected], slot);
     // Keep the protected segment within its share by demoting its tail
-    // back to probation (not evicting -- it keeps its blob).
+    // back to probation (not evicting -- it keeps its record).
     const int protected_cap = std::max(
         0, options_.max_entries * options_.protected_percent / 100);
     while (lists_[kProtected].count > protected_cap) {
@@ -193,15 +166,49 @@ PersistentStore::touch(int slot)
 }
 
 void
-PersistentStore::removeEntry(int slot, bool count_as_eviction)
+PersistentStore::insertIndexed(const std::string& key,
+                               const RecordRef& ref, std::int64_t epoch,
+                               int segment)
+{
+    const int slot = allocSlot();
+    Slot& s = slots_[static_cast<std::size_t>(slot)];
+    s.key = key;
+    s.ref = ref;
+    s.epoch = epoch;
+    s.segment = segment;
+    s.live = true;
+    pushFront(lists_[segment], slot);
+    index_[key] = slot;
+}
+
+void
+PersistentStore::dropEntry(int slot)
 {
     Slot& s = slots_[static_cast<std::size_t>(slot)];
-    VEAL_ASSERT(s.live, "removing a dead store slot");
-    std::error_code ec;
-    fs::remove(fs::path(directory_) / s.file, ec);
+    VEAL_ASSERT(s.live, "dropping a dead store slot");
+    segments_.markDead(s.ref);
     index_.erase(s.key);
     unlink(lists_[s.segment], slot);
     freeSlot(slot);
+}
+
+void
+PersistentStore::removeEntry(int slot, bool count_as_eviction)
+{
+    const std::string key = slots_[static_cast<std::size_t>(slot)].key;
+    // Commit the removal so a restart cannot resurrect the entry; a
+    // failed append degrades to read-only but the in-memory removal
+    // still happens (this instance stops serving the entry either way).
+    if (!read_only_) {
+        const bool ok = count_as_eviction
+                            ? manifest_.appendEvict(key)
+                            : manifest_.appendInvalidate(key);
+        if (!ok) {
+            countIoError();
+            enterReadOnly();
+        }
+    }
+    dropEntry(slot);
     if (count_as_eviction) {
         ++stats_.evictions;
         count("evictions");
@@ -220,156 +227,325 @@ PersistentStore::evictOne()
     removeEntry(victim, /*count_as_eviction=*/true);
 }
 
-void
-PersistentStore::quarantineFile(const std::string& file)
-{
-    // Keep the bytes for post-mortem but move them out of the namespace
-    // the scanner and loader trust.
-    std::error_code ec;
-    const fs::path path = fs::path(directory_) / file;
-    fs::rename(path, path.string() + ".quarantined", ec);
-    if (ec)
-        fs::remove(path, ec);
-}
-
-void
-PersistentStore::insertIndexed(const std::string& key,
-                               const std::string& file,
-                               std::int64_t epoch, int segment)
-{
-    const int slot = allocSlot();
-    Slot& s = slots_[static_cast<std::size_t>(slot)];
-    s.key = key;
-    s.file = file;
-    s.epoch = epoch;
-    s.segment = segment;
-    s.live = true;
-    pushFront(lists_[segment], slot);
-    index_[key] = slot;
-}
+// --- Recovery -------------------------------------------------------
 
 void
 PersistentStore::openIndex()
 {
-    if (!loadManifest())
-        scanRebuild();
+    const std::vector<std::string> names = vfs_->listDir(directory_);
+    if (!read_only_)
+        sweepTmpFiles(names);
+
+    // High-water per segment: the end of the last *committed* record.
+    // Collected from every manifest add (superseded ones too -- their
+    // bytes were committed even if later garbage) or from a scan, then
+    // used to truncate uncommitted tail bytes.
+    std::unordered_map<std::int64_t, std::int64_t> high_water;
+    bool needs_rewrite = false;
+
+    const ManifestReplay replay = manifest_.replay();
+    bool replayed = false;
+    if (replay.header_ok) {
+        for (const auto& record : replay.records) {
+            if (record.kind != ManifestRecord::Kind::kAdd)
+                continue;
+            auto& hw = high_water[record.ref.segment];
+            hw = std::max(hw, record.ref.offset + kSegmentRecordHeader +
+                                  record.ref.length);
+        }
+        replayed = replayManifest(replay);
+        if (replay.torn_tail) {
+            ++stats_.tail_truncations;
+            count("tail_truncations");
+            if (!read_only_ && !manifest_.truncateTo(replay.valid_bytes))
+                countIoError();
+        }
+        if (replay.corrupt_lines > 0) {
+            stats_.corrupt += replay.corrupt_lines;
+            count("corrupt", replay.corrupt_lines);
+            needs_rewrite = true;
+        }
+    } else if (replay.present) {
+        // Exists but is not our format (or the header itself tore):
+        // set it aside for post-mortem and fall back to the scan.
+        if (!read_only_ &&
+            !vfs_->renameFile(manifest_.path(),
+                              manifest_.path() + ".corrupt"))
+            countIoError();
+    }
+
+    if (!replayed) {
+        scanRebuild(names);
+        // The scan trusts whole records wherever they sit, so the
+        // high-water of each segment is everything the scan accepted
+        // (recomputed inside scanRebuild via the per-file valid_bytes
+        // it stashed in scan_high_water_).
+        high_water = std::move(scan_high_water_);
+        needs_rewrite = true;
+    }
+
+    reconcileSegments(names, high_water);
+
+    // Seed segment occupancy from the entries that survived.
+    for (const Slot& s : slots_) {
+        if (s.live)
+            segments_.addLiveRef(s.ref);
+    }
+
+    if (!read_only_) {
+        migrateLegacy(names);
+        if (std::find(names.begin(), names.end(), kLegacyManifestName) !=
+                names.end() &&
+            !vfs_->removeFile(
+                (fs::path(directory_) / kLegacyManifestName).string()))
+            countIoError();
+    }
+
     // A shrunk --cache-capacity evicts the excess immediately, so the
     // on-disk footprint always respects the configured bound.
     while (static_cast<int>(index_.size()) > options_.max_entries)
         evictOne();
+
+    if (needs_rewrite && !read_only_)
+        rewriteManifest();
     stats_.size = size();
 }
 
-bool
-PersistentStore::loadManifest()
+void
+PersistentStore::sweepTmpFiles(const std::vector<std::string>& names)
 {
-    const fs::path path = fs::path(directory_) / kManifestName;
-    std::ifstream in(path);
-    if (!in)
-        return false;
-
-    struct ManifestEntry {
-        std::string key;
-        std::string file;
-        std::int64_t epoch = 0;
-        int segment = kProbation;
-    };
-    std::vector<ManifestEntry> entries;
-    std::string line;
-    if (!std::getline(in, line) || line != kManifestHeader)
-        return false;
-    std::int64_t stored_epoch = 0;
-    bool saw_epoch = false;
-    while (std::getline(in, line)) {
-        if (line.empty())
+    for (const std::string& name : names) {
+        if (!hasSuffix(name, kTmpSuffix))
             continue;
-        std::istringstream tokens(line);
-        std::string word;
-        tokens >> word;
-        if (word == "epoch") {
-            std::string value;
-            tokens >> value;
-            const auto parsed = parseU64Strict(value);
-            if (!parsed.has_value())
-                return false;
-            stored_epoch = static_cast<std::int64_t>(*parsed);
-            saw_epoch = true;
-        } else if (word == "entry") {
-            ManifestEntry entry;
-            std::string segment_text;
-            std::string epoch_text;
-            tokens >> segment_text >> epoch_text >> entry.file;
-            const auto epoch = parseU64Strict(epoch_text);
-            if ((segment_text != "probation" &&
-                 segment_text != "protected") ||
-                !epoch.has_value() || entry.file.empty())
-                return false;
-            entry.segment =
-                segment_text == "protected" ? kProtected : kProbation;
-            entry.epoch = static_cast<std::int64_t>(*epoch);
-            std::getline(tokens, entry.key);
-            if (!entry.key.empty() && entry.key.front() == ' ')
-                entry.key.erase(0, 1);
-            if (entry.key.empty())
-                return false;
-            entries.push_back(std::move(entry));
+        if (vfs_->removeFile((fs::path(directory_) / name).string())) {
+            ++stats_.tmp_swept;
+            count("tmp_swept");
         } else {
-            return false;
+            countIoError();
         }
     }
-    if (!saw_epoch)
-        return false;
+}
+
+bool
+PersistentStore::replayManifest(const ManifestReplay& replay)
+{
+    // Last writer wins; evict/invalidate drop the key.  First-seen
+    // order is kept so the epoch sort below has a deterministic tie
+    // order.
+    struct Final {
+        std::string key;
+        RecordRef ref;
+        std::int64_t epoch = 0;
+        int lru_segment = kProbation;
+        bool live = false;
+    };
+    std::vector<Final> finals;
+    std::unordered_map<std::string, std::size_t> by_key;
+    for (const auto& record : replay.records) {
+        const auto it = by_key.find(record.key);
+        if (record.kind == ManifestRecord::Kind::kAdd) {
+            Final entry;
+            entry.key = record.key;
+            entry.ref = record.ref;
+            entry.epoch = record.epoch;
+            entry.lru_segment = record.lru_segment == 1 ? kProtected
+                                                        : kProbation;
+            entry.live = true;
+            if (it == by_key.end()) {
+                by_key.emplace(record.key, finals.size());
+                finals.push_back(std::move(entry));
+            } else {
+                finals[it->second] = std::move(entry);
+            }
+        } else if (it != by_key.end()) {
+            finals[it->second].live = false;
+        }
+    }
 
     // Oldest-first insertion rebuilds the exact recency order (each
     // insert lands at its segment's front).
-    std::stable_sort(entries.begin(), entries.end(),
-                     [](const ManifestEntry& a, const ManifestEntry& b) {
-                         return a.epoch < b.epoch;
-                     });
-    std::error_code ec;
-    for (const auto& entry : entries) {
-        if (index_.count(entry.key) != 0)
-            return false;  // Duplicate key: the manifest is not sane.
-        if (!fs::exists(fs::path(directory_) / entry.file, ec))
-            continue;  // Blob vanished; drop the entry, keep the rest.
-        insertIndexed(entry.key, entry.file, entry.epoch, entry.segment);
-        epoch_ = std::max(epoch_, entry.epoch);
+    std::vector<const Final*> alive;
+    for (const Final& entry : finals) {
+        if (entry.live)
+            alive.push_back(&entry);
     }
-    epoch_ = std::max(epoch_, stored_epoch);
+    std::stable_sort(alive.begin(), alive.end(),
+                     [](const Final* a, const Final* b) {
+                         return a->epoch < b->epoch;
+                     });
+    for (const Final* entry : alive) {
+        insertIndexed(entry->key, entry->ref, entry->epoch,
+                      entry->lru_segment);
+        epoch_ = std::max(epoch_, entry->epoch);
+    }
     return true;
 }
 
 void
-PersistentStore::scanRebuild()
+PersistentStore::scanRebuild(const std::vector<std::string>& names)
 {
-    // No (or untrustworthy) manifest: re-derive the index from the blob
-    // files themselves, in sorted-name order so the rebuilt recency
-    // order is deterministic.  Every blob re-validates on the way in;
-    // bad ones are quarantined right here.
-    for (auto& list : lists_)
-        list = List{};
-    slots_.clear();
-    free_head_ = -1;
-    index_.clear();
-
-    std::vector<std::string> files;
-    std::error_code ec;
-    for (const auto& entry : fs::directory_iterator(directory_, ec)) {
-        const std::string name = entry.path().filename().string();
-        if (name.size() > 4 &&
-            name.compare(name.size() - 4, 4, kBlobSuffix) == 0)
-            files.push_back(name);
+    // No (or untrustworthy) manifest log: re-derive the index from the
+    // segment records themselves, oldest segment first so a later
+    // record for the same key wins -- the same last-writer-wins rule
+    // as the replay.  Every payload re-validates on the way in.
+    std::vector<std::int64_t> segs;
+    for (const std::string& name : names) {
+        if (const auto seg = SegmentLog::parseSegmentName(name))
+            segs.push_back(*seg);
     }
-    std::sort(files.begin(), files.end());
+    std::sort(segs.begin(), segs.end());
+    if (segs.empty())
+        return;
 
-    bool found_any = false;
-    for (const std::string& file : files) {
-        found_any = true;
-        const auto bytes = readFileBytes(fs::path(directory_) / file);
+    for (const std::int64_t seg : segs) {
+        const SegmentScan scan =
+            segments_.scanFile(segments_.segmentPath(seg));
+        scan_high_water_[seg] = scan.valid_bytes;
+        if (scan.corrupt_records > 0) {
+            stats_.corrupt += scan.corrupt_records;
+            count("corrupt", scan.corrupt_records);
+        }
+        for (const ScannedRecord& record : scan.records) {
+            auto decoded =
+                decodeBlob(record.payload.data(), record.payload.size());
+            if (const auto* error = std::get_if<BlobError>(&decoded)) {
+                if (*error == BlobError::kVersionSkew) {
+                    ++stats_.version_skew;
+                    count("version_skew");
+                } else {
+                    ++stats_.corrupt;
+                    count("corrupt");
+                }
+                continue;
+            }
+            const auto& image = std::get<PersistedImage>(decoded);
+            RecordRef ref;
+            ref.segment = seg;
+            ref.offset = record.offset;
+            ref.length = static_cast<std::int64_t>(record.payload.size());
+            const auto it = index_.find(image.key);
+            if (it != index_.end()) {
+                // Later record supersedes: retarget in place.
+                slots_[static_cast<std::size_t>(it->second)].ref = ref;
+            } else {
+                insertIndexed(image.key, ref, ++epoch_, kProbation);
+            }
+        }
+    }
+    ++stats_.manifest_rebuilds;
+    count("manifest_rebuilds");
+}
+
+void
+PersistentStore::reconcileSegments(
+    const std::vector<std::string>& names,
+    const std::unordered_map<std::int64_t, std::int64_t>& high_water)
+{
+    // Which segments actually exist, and how big they really are.
+    std::unordered_map<std::int64_t, std::int64_t> on_disk;
+    for (const std::string& name : names) {
+        const auto seg = SegmentLog::parseSegmentName(name);
+        if (!seg.has_value())
+            continue;
+        const auto size =
+            vfs_->fileSize(segments_.segmentPath(*seg));
+        on_disk[*seg] = size.value_or(0);
+    }
+
+    // Uncommitted tail bytes (a record whose manifest commit never
+    // landed, or a torn final append) get truncated so the file ends
+    // at its last committed record.
+    for (auto& [seg, size] : on_disk) {
+        std::int64_t hw = 0;
+        if (const auto it = high_water.find(seg); it != high_water.end())
+            hw = it->second;
+        if (size > hw) {
+            if (!read_only_) {
+                if (vfs_->truncateFile(segments_.segmentPath(seg), hw)) {
+                    ++stats_.tail_truncations;
+                    count("tail_truncations");
+                    stats_.orphans_dropped += size - hw;
+                    count("orphans_dropped", size - hw);
+                    size = hw;
+                } else {
+                    countIoError();
+                }
+            } else {
+                // A reader must not mutate; refs never point past the
+                // high-water anyway, so just account the bounded size.
+                size = hw;
+            }
+        }
+    }
+
+    // Entries whose bytes the segments can no longer back (externally
+    // truncated or deleted files) are lost: drop them so loads miss
+    // cleanly instead of flailing on reads.
+    std::vector<int> doomed;
+    for (int slot = 0; slot < static_cast<int>(slots_.size()); ++slot) {
+        const Slot& s = slots_[static_cast<std::size_t>(slot)];
+        if (!s.live)
+            continue;
+        const auto it = on_disk.find(s.ref.segment);
+        const std::int64_t end =
+            s.ref.offset + kSegmentRecordHeader + s.ref.length;
+        if (it == on_disk.end() || it->second < end)
+            doomed.push_back(slot);
+    }
+    for (const int slot : doomed) {
+        // Not dropEntry(): occupancy is not seeded yet during open.
+        Slot& s = slots_[static_cast<std::size_t>(slot)];
+        index_.erase(s.key);
+        unlink(lists_[s.segment], slot);
+        freeSlot(slot);
+        ++stats_.lost_records;
+        count("lost_records");
+    }
+
+    // Referenced segments join the log's accounting; unreferenced
+    // sealed segments (fully compacted, or orphaned by a crash between
+    // compaction's copy and delete) are removed.  The highest id stays
+    // as the active segment even when empty of live records, so new
+    // appends never reuse an id.
+    std::unordered_map<std::int64_t, bool> referenced;
+    for (const Slot& s : slots_) {
+        if (s.live)
+            referenced[s.ref.segment] = true;
+    }
+    std::int64_t max_seg = -1;
+    for (const auto& [seg, size] : on_disk)
+        max_seg = std::max(max_seg, seg);
+    for (const auto& [seg, size] : on_disk) {
+        if (referenced.count(seg) != 0 || seg == max_seg) {
+            segments_.adoptSegment(seg, size);
+        } else if (!read_only_) {
+            if (!vfs_->removeFile(segments_.segmentPath(seg)))
+                countIoError();
+        }
+    }
+}
+
+void
+PersistentStore::migrateLegacy(const std::vector<std::string>& names)
+{
+    // One-way migration from the PR-8 file-per-entry layout: each
+    // *.vpb blob is appended to the segment log and committed, then
+    // its file removed.  Sorted-name order keeps it deterministic;
+    // interrupted migrations re-run idempotently on the next open
+    // (already-indexed keys just lose their leftover file).
+    std::vector<std::string> blobs;
+    for (const std::string& name : names) {
+        if (hasSuffix(name, kLegacyBlobSuffix))
+            blobs.push_back(name);
+    }
+    std::sort(blobs.begin(), blobs.end());
+    for (const std::string& name : blobs) {
+        if (read_only_)
+            return;  // Degraded mid-migration; the rest waits.
+        const std::string path = (fs::path(directory_) / name).string();
+        const auto bytes = vfs_->readFile(path);
         if (!bytes.has_value()) {
-            quarantineFile(file);
-            ++stats_.corrupt;
-            count("corrupt");
+            countIoError();
             continue;
         }
         auto decoded = decodeBlob(bytes->data(), bytes->size());
@@ -381,23 +557,37 @@ PersistentStore::scanRebuild()
                 ++stats_.corrupt;
                 count("corrupt");
             }
-            quarantineFile(file);
+            // Same quarantine rule as PR 8: keep the bytes for
+            // post-mortem, out of the namespace the scanner trusts.
+            if (!vfs_->renameFile(path, path + ".quarantined"))
+                countIoError();
             continue;
         }
         const auto& image = std::get<PersistedImage>(decoded);
-        if (index_.count(image.key) != 0) {
-            quarantineFile(file);  // Duplicate key: keep the first.
-            ++stats_.corrupt;
-            count("corrupt");
-            continue;
+        if (index_.count(image.key) == 0) {
+            const auto ref = segments_.append(*bytes);
+            if (!ref.has_value()) {
+                countIoError();
+                enterReadOnly();
+                return;
+            }
+            const std::int64_t epoch = ++epoch_;
+            if (!manifest_.appendAdd(image.key, *ref, epoch,
+                                     kProbation)) {
+                countIoError();
+                enterReadOnly();
+                return;
+            }
+            insertIndexed(image.key, *ref, epoch, kProbation);
+            ++stats_.migrated;
+            count("migrated");
         }
-        insertIndexed(image.key, file, ++epoch_, kProbation);
-    }
-    if (found_any) {
-        ++stats_.manifest_rebuilds;
-        count("manifest_rebuilds");
+        if (!vfs_->removeFile(path))
+            countIoError();
     }
 }
+
+// --- Serving --------------------------------------------------------
 
 std::optional<PersistedImage>
 PersistentStore::load(const std::string& key)
@@ -409,36 +599,45 @@ PersistentStore::load(const std::string& key)
         return std::nullopt;
     }
     const int slot = it->second;
-    const std::string file = slots_[static_cast<std::size_t>(slot)].file;
-    const auto bytes = readFileBytes(fs::path(directory_) / file);
-    auto fail = [&](const char* counter, std::int64_t* stat) {
-        // Degrade, never crash: quarantine the bytes, drop the index
-        // entry (not an eviction -- the payload is untrustworthy, the
-        // same distinction CodeCache::erase() draws), report a miss so
-        // the caller re-translates.
-        quarantineFile(file);
-        index_.erase(key);
-        unlink(lists_[slots_[static_cast<std::size_t>(slot)].segment],
-               slot);
-        freeSlot(slot);
-        ++*stat;
-        count(counter);
+
+    auto miss = [&]() {
         ++stats_.misses;
         count("misses");
-        stats_.size = size();
         return std::optional<PersistedImage>();
     };
-    if (!bytes.has_value())
-        return fail("corrupt", &stats_.corrupt);
-    auto decoded = decodeBlob(bytes->data(), bytes->size());
+    auto drop_corrupt = [&](const char* counter, std::int64_t* stat) {
+        // Degrade, never crash: commit the removal (a restart must not
+        // resurrect the bytes), drop the entry, report a miss so the
+        // caller re-translates.  The garbage bytes stay in the segment
+        // for post-mortem until compaction reclaims them.
+        removeEntry(slot, /*count_as_eviction=*/false);
+        ++*stat;
+        count(counter);
+        stats_.size = size();
+        return miss();
+    };
+
+    auto result =
+        segments_.read(slots_[static_cast<std::size_t>(slot)].ref);
+    if (const auto* error = std::get_if<RecordError>(&result)) {
+        if (*error == RecordError::kIo) {
+            // Transient I/O trouble is not corruption: keep the entry
+            // (a later load may succeed), count it apart.
+            countIoError();
+            return miss();
+        }
+        return drop_corrupt("corrupt", &stats_.corrupt);
+    }
+    const auto& payload = std::get<std::vector<std::uint8_t>>(result);
+    auto decoded = decodeBlob(payload.data(), payload.size());
     if (const auto* error = std::get_if<BlobError>(&decoded)) {
         if (*error == BlobError::kVersionSkew)
-            return fail("version_skew", &stats_.version_skew);
-        return fail("corrupt", &stats_.corrupt);
+            return drop_corrupt("version_skew", &stats_.version_skew);
+        return drop_corrupt("corrupt", &stats_.corrupt);
     }
     auto image = std::move(std::get<PersistedImage>(decoded));
     if (image.key != key)
-        return fail("corrupt", &stats_.corrupt);  // Filename collision.
+        return drop_corrupt("corrupt", &stats_.corrupt);
     touch(slot);
     ++stats_.hits;
     count("hits");
@@ -451,26 +650,64 @@ PersistentStore::contains(const std::string& key) const
     return index_.count(key) != 0;
 }
 
-void
+bool
 PersistentStore::save(const PersistedImage& image)
 {
-    const std::string file = blobFileName(image.key);
-    const auto blob = encodeBlob(image);
-    if (!writeFileAtomic(fs::path(directory_) / file, blob.data(),
-                         blob.size()))
-        return;  // Disk trouble: stay a volatile cache, don't crash.
-
-    const auto it = index_.find(image.key);
-    if (it != index_.end()) {
-        touch(it->second);
-    } else {
-        if (static_cast<int>(index_.size()) >= options_.max_entries)
+    if (read_only_) {
+        // The read-only tier serves hits and skips persists -- the
+        // caller keeps its translation, nothing is lost but reuse.
+        ++stats_.readonly_skips;
+        count("readonly_skips");
+        return false;
+    }
+    auto it = index_.find(image.key);
+    if (it == index_.end()) {
+        while (static_cast<int>(index_.size()) >= options_.max_entries)
             evictOne();
-        insertIndexed(image.key, file, ++epoch_, kProbation);
+        if (read_only_)
+            return false;  // The eviction commit failed.
+        it = index_.end();  // Iterators may have been invalidated.
+    }
+
+    const auto blob = encodeBlob(image);
+    const auto ref = segments_.append(blob);
+    if (!ref.has_value()) {
+        countIoError();
+        enterReadOnly();
+        return false;
+    }
+
+    // The manifest append is the commit point: only after it lands is
+    // the save acked.  A crash in between leaves an orphan record that
+    // recovery truncates -- the acked state is exactly preserved.
+    it = index_.find(image.key);
+    if (it != index_.end()) {
+        Slot& s = slots_[static_cast<std::size_t>(it->second)];
+        const RecordRef old = s.ref;
+        s.ref = *ref;
+        touch(it->second);
+        if (!manifest_.appendAdd(image.key, *ref, s.epoch,
+                                 s.segment == kProtected ? 1 : 0)) {
+            countIoError();
+            enterReadOnly();
+            return false;
+        }
+        segments_.markDead(old);
+    } else {
+        const std::int64_t epoch = ++epoch_;
+        if (!manifest_.appendAdd(image.key, *ref, epoch, kProbation)) {
+            countIoError();
+            enterReadOnly();
+            return false;
+        }
+        insertIndexed(image.key, *ref, epoch, kProbation);
     }
     ++stats_.saves;
     count("saves");
     stats_.size = size();
+    compactIfNeeded();
+    maybeRewriteManifest();
+    return true;
 }
 
 bool
@@ -479,41 +716,189 @@ PersistentStore::invalidate(const std::string& key)
     const auto it = index_.find(key);
     if (it == index_.end())
         return false;
-    removeEntry(it->second, /*count_as_eviction=*/false);
+    if (read_only_) {
+        // No disk write allowed; drop from this instance's view so the
+        // caller's re-translation is served fresh.
+        ++stats_.readonly_skips;
+        count("readonly_skips");
+        dropEntry(it->second);
+    } else {
+        removeEntry(it->second, /*count_as_eviction=*/false);
+    }
     ++stats_.invalidations;
     count("invalidations");
     stats_.size = size();
     return true;
 }
 
+// --- Log upkeep -----------------------------------------------------
+
 void
-PersistentStore::flush()
+PersistentStore::compactIfNeeded()
 {
-    std::ostringstream os;
-    os << kManifestHeader << "\n";
-    os << "epoch " << epoch_ << "\n";
-    // Tail-to-head (oldest first) per segment; load re-sorts by epoch
-    // stamp anyway, so the order here is cosmetic but deterministic.
+    const auto victim =
+        segments_.compactionCandidate(options_.compact_garbage_percent);
+    if (victim.has_value())
+        compactSegment(*victim);
+}
+
+bool
+PersistentStore::compactNow()
+{
+    if (read_only_)
+        return false;
+    const auto victim = segments_.compactionCandidate(1);
+    if (!victim.has_value())
+        return false;
+    return compactSegment(*victim);
+}
+
+bool
+PersistentStore::compactSegment(std::int64_t victim)
+{
+    if (read_only_)
+        return false;
+    const auto info_it = segments_.segments().find(victim);
+    if (info_it == segments_.segments().end())
+        return false;
+    const std::int64_t garbage =
+        info_it->second.bytes - info_it->second.live_bytes;
+
+    // Live records of the victim, in file order (deterministic).
+    std::vector<int> movers;
+    for (int slot = 0; slot < static_cast<int>(slots_.size()); ++slot) {
+        const Slot& s = slots_[static_cast<std::size_t>(slot)];
+        if (s.live && s.ref.segment == victim)
+            movers.push_back(slot);
+    }
+    std::sort(movers.begin(), movers.end(), [this](int a, int b) {
+        return slots_[static_cast<std::size_t>(a)].ref.offset <
+               slots_[static_cast<std::size_t>(b)].ref.offset;
+    });
+
+    for (const int slot : movers) {
+        Slot& s = slots_[static_cast<std::size_t>(slot)];
+        auto result = segments_.read(s.ref);
+        if (const auto* error = std::get_if<RecordError>(&result)) {
+            if (*error == RecordError::kIo) {
+                countIoError();
+                enterReadOnly();
+                return false;  // Half-compacted is still consistent:
+                               // every ref points at a valid copy.
+            }
+            // Corrupt live record: it was going to fail its next load
+            // anyway; commit the removal now instead of copying rot.
+            removeEntry(slot, /*count_as_eviction=*/false);
+            ++stats_.corrupt;
+            count("corrupt");
+            stats_.size = size();
+            if (read_only_)
+                return false;
+            continue;
+        }
+        const auto& payload = std::get<std::vector<std::uint8_t>>(result);
+        const auto moved = segments_.append(payload);
+        if (!moved.has_value()) {
+            countIoError();
+            enterReadOnly();
+            return false;
+        }
+        if (!manifest_.appendAdd(s.key, *moved, s.epoch,
+                                 s.segment == kProtected ? 1 : 0)) {
+            countIoError();
+            enterReadOnly();
+            return false;
+        }
+        const RecordRef old = s.ref;
+        s.ref = *moved;
+        segments_.markDead(old);
+    }
+
+    // Every live record moved; the file is garbage.  A crash before
+    // this delete leaves an unreferenced segment that the next open
+    // removes.
+    if (!vfs_->removeFile(segments_.segmentPath(victim))) {
+        countIoError();
+        enterReadOnly();
+        return false;
+    }
+    segments_.dropSegment(victim);
+    ++stats_.compactions;
+    count("compactions");
+    stats_.reclaimed_bytes += garbage;
+    count("reclaimed_bytes", garbage);
+    maybeRewriteManifest();
+    return true;
+}
+
+std::vector<ManifestRecord>
+PersistentStore::snapshotRecords() const
+{
+    // Tail-to-head (oldest first) per LRU segment; replay re-sorts by
+    // epoch stamp anyway, so the order is cosmetic but deterministic.
+    std::vector<ManifestRecord> records;
+    records.reserve(index_.size());
     for (const int segment : {kProbation, kProtected}) {
         for (int slot = lists_[segment].tail; slot >= 0;
              slot = slots_[static_cast<std::size_t>(slot)].prev) {
             const Slot& s = slots_[static_cast<std::size_t>(slot)];
-            os << "entry "
-               << (segment == kProtected ? "protected" : "probation")
-               << " " << s.epoch << " " << s.file << " " << s.key
-               << "\n";
+            ManifestRecord record;
+            record.kind = ManifestRecord::Kind::kAdd;
+            record.key = s.key;
+            record.ref = s.ref;
+            record.epoch = s.epoch;
+            record.lru_segment = segment == kProtected ? 1 : 0;
+            records.push_back(std::move(record));
         }
     }
-    const std::string text = os.str();
-    writeFileAtomic(fs::path(directory_) / kManifestName, text.data(),
-                    text.size());
+    return records;
 }
+
+bool
+PersistentStore::rewriteManifest()
+{
+    if (read_only_)
+        return false;
+    if (!manifest_.rewrite(snapshotRecords())) {
+        countIoError();
+        enterReadOnly();
+        return false;
+    }
+    ++stats_.manifest_rewrites;
+    count("manifest_rewrites");
+    return true;
+}
+
+void
+PersistentStore::maybeRewriteManifest()
+{
+    if (read_only_)
+        return;
+    const std::int64_t threshold = std::max<std::int64_t>(
+        256, 4 * static_cast<std::int64_t>(index_.size()));
+    if (manifest_.appendsSinceRewrite() > threshold)
+        rewriteManifest();
+}
+
+void
+PersistentStore::flush()
+{
+    if (read_only_)
+        return;
+    rewriteManifest();
+}
+
+// --- Introspection --------------------------------------------------
 
 StoreStats
 PersistentStore::stats() const
 {
     StoreStats stats = stats_;
     stats.size = size();
+    stats.segments =
+        static_cast<std::int64_t>(segments_.segments().size());
+    stats.live_bytes = segments_.liveBytes();
+    stats.log_bytes = segments_.totalBytes();
     return stats;
 }
 
@@ -521,21 +906,55 @@ void
 PersistentStore::recordInto(metrics::Registry& registry,
                             const std::string& prefix) const
 {
-    registry.add(prefix + ".saves", stats_.saves);
-    registry.add(prefix + ".hits", stats_.hits);
-    registry.add(prefix + ".misses", stats_.misses);
-    registry.add(prefix + ".evictions", stats_.evictions);
-    registry.add(prefix + ".invalidations", stats_.invalidations);
-    registry.add(prefix + ".corrupt", stats_.corrupt);
-    registry.add(prefix + ".version_skew", stats_.version_skew);
-    registry.add(prefix + ".manifest_rebuilds", stats_.manifest_rebuilds);
-    registry.add(prefix + ".resident", size());
+    const StoreStats stats = this->stats();
+    registry.add(prefix + ".saves", stats.saves);
+    registry.add(prefix + ".hits", stats.hits);
+    registry.add(prefix + ".misses", stats.misses);
+    registry.add(prefix + ".evictions", stats.evictions);
+    registry.add(prefix + ".invalidations", stats.invalidations);
+    registry.add(prefix + ".corrupt", stats.corrupt);
+    registry.add(prefix + ".version_skew", stats.version_skew);
+    registry.add(prefix + ".manifest_rebuilds", stats.manifest_rebuilds);
+    registry.add(prefix + ".io_error", stats.io_errors);
+    registry.add(prefix + ".readonly", stats.readonly);
+    registry.add(prefix + ".readonly_skips", stats.readonly_skips);
+    registry.add(prefix + ".tmp_swept", stats.tmp_swept);
+    registry.add(prefix + ".tail_truncations", stats.tail_truncations);
+    registry.add(prefix + ".orphans_dropped", stats.orphans_dropped);
+    registry.add(prefix + ".lost_records", stats.lost_records);
+    registry.add(prefix + ".migrated", stats.migrated);
+    registry.add(prefix + ".compactions", stats.compactions);
+    registry.add(prefix + ".reclaimed_bytes", stats.reclaimed_bytes);
+    registry.add(prefix + ".manifest_rewrites", stats.manifest_rewrites);
+    registry.add(prefix + ".resident", stats.size);
+    registry.add(prefix + ".segments", stats.segments);
+    registry.add(prefix + ".live_bytes", stats.live_bytes);
+    registry.add(prefix + ".log_bytes", stats.log_bytes);
 }
 
-std::string
-PersistentStore::blobPath(const std::string& key) const
+std::vector<std::string>
+PersistentStore::keys() const
 {
-    return (fs::path(directory_) / blobFileName(key)).string();
+    std::vector<std::string> keys;
+    keys.reserve(index_.size());
+    for (const auto& [key, slot] : index_)
+        keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+std::optional<RecordLocation>
+PersistentStore::recordLocation(const std::string& key) const
+{
+    const auto it = index_.find(key);
+    if (it == index_.end())
+        return std::nullopt;
+    const Slot& s = slots_[static_cast<std::size_t>(it->second)];
+    RecordLocation location;
+    location.path = segments_.segmentPath(s.ref.segment);
+    location.offset = s.ref.offset + kSegmentRecordHeader;
+    location.length = s.ref.length;
+    return location;
 }
 
 }  // namespace veal::persist

@@ -3,32 +3,43 @@
 
 /**
  * @file
- * The file-backed persistent code cache behind the warm tier.
+ * The log-structured persistent code cache behind the warm tier.
  *
- * One directory holds one blob file per persisted translation (see
- * persist/blob.h) plus a MANIFEST recording the recency order, so a
- * `veal-serve --cache-dir` run warm-starts from what previous runs
- * translated.  Ownership discipline: the store is the *third* owner of
- * a translation (after a shard's CodeCache and the WarmTier), and the
- * eviction contract extends to disk -- evicting or invalidating an
- * entry deletes its blob file, so a later run can never resurrect an
- * image the service dropped.
+ * One directory holds packed segment files (persist/segment_log.h)
+ * whose records are PR-8 checksummed blobs, an append-only commit log
+ * (persist/manifest_log.h), and a LOCK file.  A save is: append the
+ * blob to the active segment, then append an `add` record to the
+ * manifest log -- the manifest append is the commit point, so a crash
+ * anywhere leaves either both (durable) or a manifest-less orphan in
+ * the segment (truncated on the next open).  Recovery is a replay:
+ * apply manifest records to the last valid line, truncate torn tails
+ * (manifest and segment), drop refs the segment bytes can no longer
+ * back, and fall back to scanning the segment files themselves when
+ * the manifest is gone -- the PR-8 scan-rebuild, now over records
+ * instead of files.  Recovery is total by construction: every acked
+ * save is present, every unacked one is cleanly absent, and a warm
+ * veal-serve run over a recovered store renders byte-identical reports
+ * (the `veal-faultsim --mode persist` campaign enumerates every crash
+ * point and asserts exactly this).
  *
- * Eviction is an epoch-stamped segmented LRU (probation + protected)
- * over a flat slot array with intrusive prev/next links -- the same
- * flat-array discipline as PR 5's MRT rebuild, so every steady-state
- * operation (hit, save, evict) is O(1) no matter how many entries the
- * store holds.  First sight of a key lands in probation; a hit promotes
- * it to the protected segment (demoting the protected tail back to
- * probation when over its share), so one cold scan cannot flush the
- * hot set.  Eviction takes the probation tail first.
+ * Re-saving, evicting, invalidating, or compacting a key turns its old
+ * record into garbage; a compactor rewrites live records out of the
+ * most-garbage sealed segment and deletes the file.  Eviction policy
+ * is unchanged from PR 8: an epoch-stamped segmented LRU (probation +
+ * protected) over a flat slot array, O(1) per operation.
  *
- * Degradation contract (PR 4 lineage): nothing here crashes the
- * service.  A corrupt or version-skewed blob is quarantined on disk
- * (renamed *.quarantined, dropped from the index) and the load reports
- * a miss; a corrupt or missing MANIFEST rebuilds the index by scanning
- * the blob files.  Every event is counted and, when a registry is
- * attached, metered as `vm.persist.*`.
+ * Multi-process safety: opening takes a non-blocking flock on
+ * `<dir>/LOCK`.  Losing the race -- or any I/O failure later -- drops
+ * the store to a *read-only tier* (PR-4 degradation-ladder lineage):
+ * loads keep serving, saves/invalidates are skipped and counted
+ * (`vm.persist.readonly`, `vm.persist.io_error`), nothing ever
+ * crashes, and a read-only open performs no disk mutation at all (no
+ * truncation, no sweep, no eviction deletes).
+ *
+ * A store written by the PR-8 file-per-entry layout (one `*.vpb` per
+ * key plus a rewritten MANIFEST) migrates one-way on the first
+ * writable open: each blob is appended to the segment log, committed
+ * to the manifest log, and its file removed.
  *
  * Thread-safety: none by design, exactly like CodeCache -- the service
  * touches the store only from its sequential phases, which is also what
@@ -36,12 +47,16 @@
  */
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "veal/vm/persist/blob.h"
+#include "veal/vm/persist/manifest_log.h"
+#include "veal/vm/persist/segment_log.h"
+#include "veal/vm/persist/vfs.h"
 
 namespace veal {
 namespace metrics {
@@ -62,68 +77,110 @@ struct StoreOptions {
      * the protected segment).
      */
     int protected_percent = 50;
+
+    /** Segment file size that seals the active segment. */
+    std::int64_t segment_bytes = 256 * 1024;
+
+    /** Sealed-segment garbage percent that triggers compaction. */
+    int compact_garbage_percent = 50;
+
+    /** Filesystem seam; null means the real filesystem. */
+    std::shared_ptr<Vfs> vfs;
 };
 
 /** Event counters (all deterministic for a fixed request sequence). */
 struct StoreStats {
-    std::int64_t saves = 0;
+    std::int64_t saves = 0;  ///< Acked (committed to the manifest log).
     std::int64_t hits = 0;
     std::int64_t misses = 0;
     std::int64_t evictions = 0;
     std::int64_t invalidations = 0;
     std::int64_t corrupt = 0;       ///< Blob checksum/decode failures.
     std::int64_t version_skew = 0;  ///< Blobs from another format version.
-    std::int64_t manifest_rebuilds = 0;
+    std::int64_t manifest_rebuilds = 0;  ///< Scan-rebuild fallbacks.
+
+    // --- The I/O-failure taxonomy (distinct from corruption).
+    std::int64_t io_errors = 0;      ///< Failed writes/renames/reads.
+    std::int64_t readonly = 0;       ///< 1 once degraded to read-only.
+    std::int64_t readonly_skips = 0; ///< Saves/invalidates skipped.
+
+    // --- Recovery accounting.
+    std::int64_t tmp_swept = 0;         ///< Stale *.tmp files deleted.
+    std::int64_t tail_truncations = 0;  ///< Torn manifest/segment tails.
+    std::int64_t orphans_dropped = 0;   ///< Unacked segment bytes cut.
+    std::int64_t lost_records = 0;      ///< Refs the bytes can't back.
+    std::int64_t migrated = 0;          ///< Legacy *.vpb blobs absorbed.
+
+    // --- Log upkeep.
+    std::int64_t compactions = 0;
+    std::int64_t reclaimed_bytes = 0;   ///< Garbage deleted by compaction.
+    std::int64_t manifest_rewrites = 0;
+
     std::int64_t size = 0;
+    std::int64_t segments = 0;    ///< Segment files resident.
+    std::int64_t live_bytes = 0;  ///< Referenced record bytes.
+    std::int64_t log_bytes = 0;   ///< Total segment file bytes.
+};
+
+/** Where one key's payload currently lives (tests corrupt bytes here). */
+struct RecordLocation {
+    std::string path;          ///< Segment file.
+    std::int64_t offset = 0;   ///< Of the *payload* (header skipped).
+    std::int64_t length = 0;   ///< Payload bytes.
 };
 
 /** The persistent, shareable code cache; see file comment. */
 class PersistentStore {
   public:
     /**
-     * Open (creating @p directory if needed) and index the store.  A
-     * valid MANIFEST restores the exact recency order of the previous
-     * run; otherwise the index rebuilds by scanning blob files in
-     * sorted-name order (deterministic).  When @p registry is non-null,
-     * every event also bumps a "vm.persist.*" counter.
+     * Open (creating @p directory if needed), lock, recover, and index
+     * the store.  Losing the flock opens read-only.  When @p registry
+     * is non-null, every event also bumps a "vm.persist.*" counter.
      */
     PersistentStore(std::string directory, StoreOptions options,
                     metrics::Registry* registry = nullptr);
 
-    /** Writes the MANIFEST (same as flush()). */
+    /** Flushes a manifest snapshot (same as flush()). */
     ~PersistentStore();
 
     PersistentStore(const PersistentStore&) = delete;
     PersistentStore& operator=(const PersistentStore&) = delete;
 
     /**
-     * Load @p key: reads + validates its blob.  A hit promotes the
-     * entry toward the protected segment.  A corrupt/skewed blob is
-     * quarantined and reported as a miss (the caller re-translates and
-     * the next save replaces it).
+     * Load @p key: reads + validates its record.  A hit promotes the
+     * entry toward the protected segment.  Corrupt bytes drop the
+     * entry and report a miss (the caller re-translates); a transient
+     * I/O failure keeps the entry and reports a miss (io_errors, not
+     * corrupt).
      */
     std::optional<PersistedImage> load(const std::string& key);
 
-    /** True without touching recency, statistics, or the file. */
+    /** True without touching recency, statistics, or the files. */
     bool contains(const std::string& key) const;
 
     /**
-     * Persist @p image (write-temp-then-rename, so a crash mid-save
-     * never leaves a half blob under the live name).  Re-saving a key
-     * replaces its blob in place.  May evict (deleting the victim's
-     * blob file).
+     * Persist @p image: segment append, then manifest commit.  True
+     * when acked (both appends landed); false when skipped (read-only
+     * tier) or failed (degrades to read-only).  May evict and may
+     * trigger compaction.
      */
-    void save(const PersistedImage& image);
+    bool save(const PersistedImage& image);
 
     /**
-     * Drop @p key and delete its blob -- the on-disk half of the
+     * Drop @p key and commit the removal -- the on-disk half of the
      * checksum-invalidation path; true when it was resident.  Not an
      * eviction (counted separately, like CodeCache::erase()).
      */
     bool invalidate(const std::string& key);
 
-    /** Write the MANIFEST (recency order survives the next open). */
+    /** Rewrite the manifest log as a snapshot (bounds replay time). */
     void flush();
+
+    /**
+     * Compact the worst sealed segment now regardless of threshold;
+     * true when a segment was rewritten (tests and benches).
+     */
+    bool compactNow();
 
     StoreStats stats() const;
 
@@ -143,17 +200,24 @@ class PersistentStore {
         return directory_;
     }
 
-    /** Blob path for @p key (tests corrupt bytes through this). */
-    std::string blobPath(const std::string& key) const;
+    /** True once degraded (lock lost at open, or I/O failure later). */
+    bool readOnly() const { return read_only_; }
+
+    /** Resident keys in sorted order (tests and the crash campaign). */
+    std::vector<std::string> keys() const;
+
+    /** Current payload location of @p key, or nullopt. */
+    std::optional<RecordLocation> recordLocation(
+        const std::string& key) const;
 
   private:
-    /** Segment ids double as list indices. */
+    /** LRU segment ids double as list indices. */
     enum Segment : int { kProbation = 0, kProtected = 1 };
 
     /** One flat-array slot; free slots chain through `next`. */
     struct Slot {
         std::string key;
-        std::string file;        ///< Blob file name (directory-relative).
+        RecordRef ref;           ///< Where the payload lives.
         std::int64_t epoch = 0;  ///< Stamp of the last touch.
         int segment = kProbation;
         int prev = -1;
@@ -174,24 +238,47 @@ class PersistentStore {
     void unlink(List& list, int slot);
     void touch(int slot);
     void evictOne();
+    void dropEntry(int slot);
     void removeEntry(int slot, bool count_as_eviction);
-    void quarantineFile(const std::string& file);
-    void openIndex();
-    bool loadManifest();
-    void scanRebuild();
-    void insertIndexed(const std::string& key, const std::string& file,
+    void insertIndexed(const std::string& key, const RecordRef& ref,
                        std::int64_t epoch, int segment);
     void count(const char* name, std::int64_t delta = 1);
+    void countIoError();
+    void enterReadOnly();
+
+    void openIndex();
+    void sweepTmpFiles(const std::vector<std::string>& names);
+    bool replayManifest(const ManifestReplay& replay);
+    void scanRebuild(const std::vector<std::string>& names);
+    void migrateLegacy(const std::vector<std::string>& names);
+    void reconcileSegments(
+        const std::vector<std::string>& names,
+        const std::unordered_map<std::int64_t, std::int64_t>&
+            high_water);
+    void compactIfNeeded();
+    bool compactSegment(std::int64_t victim);
+    void maybeRewriteManifest();
+    bool rewriteManifest();
+    std::vector<ManifestRecord> snapshotRecords() const;
 
     std::string directory_;
     StoreOptions options_;
     metrics::Registry* registry_ = nullptr;
+
+    std::shared_ptr<Vfs> vfs_;
+    std::unique_ptr<VfsLock> lock_;
+    SegmentLog segments_;
+    ManifestLog manifest_;
+    bool read_only_ = false;
 
     std::vector<Slot> slots_;
     int free_head_ = -1;
     List lists_[2];  ///< Probation, protected.
     std::unordered_map<std::string, int> index_;  ///< key -> slot.
     std::int64_t epoch_ = 0;
+
+    /** Per-segment valid-prefix ends stashed by scanRebuild(). */
+    std::unordered_map<std::int64_t, std::int64_t> scan_high_water_;
 
     StoreStats stats_;
 };

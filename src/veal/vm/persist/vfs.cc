@@ -1,0 +1,211 @@
+#include "veal/vm/persist/vfs.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+
+namespace veal::persist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/**
+ * Write all of @p size bytes through @p fd (write() may be short on
+ * signals or pipes even for regular files, so loop).
+ */
+bool
+writeAll(int fd, const std::uint8_t* data, std::size_t size)
+{
+    std::size_t done = 0;
+    while (done < size) {
+        const ssize_t n = ::write(fd, data + done, size - done);
+        if (n < 0)
+            return false;
+        done += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+writeWholeFile(const std::string& path,
+               const std::vector<std::uint8_t>& bytes, int flags)
+{
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0)
+        return false;
+    const bool ok = writeAll(fd, bytes.data(), bytes.size());
+    return (::close(fd) == 0) && ok;
+}
+
+class RealVfsLock : public VfsLock {
+  public:
+    explicit RealVfsLock(int fd) : fd_(fd) {}
+    ~RealVfsLock() override
+    {
+        // Closing the descriptor releases the flock.
+        ::close(fd_);
+    }
+    RealVfsLock(const RealVfsLock&) = delete;
+    RealVfsLock& operator=(const RealVfsLock&) = delete;
+
+  private:
+    int fd_;
+};
+
+}  // namespace
+
+std::optional<std::vector<std::uint8_t>>
+RealVfs::readFile(const std::string& path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return std::nullopt;
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t chunk[1 << 16];
+    for (;;) {
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n < 0) {
+            ::close(fd);
+            return std::nullopt;
+        }
+        if (n == 0)
+            break;
+        bytes.insert(bytes.end(), chunk, chunk + n);
+    }
+    ::close(fd);
+    return bytes;
+}
+
+std::optional<std::vector<std::uint8_t>>
+RealVfs::readRange(const std::string& path, std::int64_t offset,
+                   std::int64_t size)
+{
+    if (offset < 0 || size < 0)
+        return std::nullopt;
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return std::nullopt;
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+    std::size_t done = 0;
+    while (done < bytes.size()) {
+        const ssize_t n = ::pread(
+            fd, bytes.data() + done, bytes.size() - done,
+            static_cast<off_t>(offset) + static_cast<off_t>(done));
+        if (n <= 0) {
+            ::close(fd);
+            return std::nullopt;  // Error or short read: torn record.
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+    return bytes;
+}
+
+bool
+RealVfs::exists(const std::string& path)
+{
+    std::error_code ec;
+    return fs::exists(path, ec);
+}
+
+std::optional<std::int64_t>
+RealVfs::fileSize(const std::string& path)
+{
+    std::error_code ec;
+    const auto size = fs::file_size(path, ec);
+    if (ec)
+        return std::nullopt;
+    return static_cast<std::int64_t>(size);
+}
+
+std::vector<std::string>
+RealVfs::listDir(const std::string& dir)
+{
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+        if (entry.is_regular_file(ec))
+            names.push_back(entry.path().filename().string());
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+bool
+RealVfs::append(const std::string& path,
+                const std::vector<std::uint8_t>& bytes)
+{
+    return writeWholeFile(path, bytes, O_WRONLY | O_CREAT | O_APPEND);
+}
+
+bool
+RealVfs::writeFile(const std::string& path,
+                   const std::vector<std::uint8_t>& bytes)
+{
+    return writeWholeFile(path, bytes, O_WRONLY | O_CREAT | O_TRUNC);
+}
+
+bool
+RealVfs::renameFile(const std::string& from, const std::string& to)
+{
+    return ::rename(from.c_str(), to.c_str()) == 0;
+}
+
+bool
+RealVfs::removeFile(const std::string& path)
+{
+    return ::unlink(path.c_str()) == 0;
+}
+
+bool
+RealVfs::truncateFile(const std::string& path, std::int64_t size)
+{
+    return ::truncate(path.c_str(), static_cast<off_t>(size)) == 0;
+}
+
+bool
+RealVfs::syncFile(const std::string& path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return false;
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+}
+
+bool
+RealVfs::createDirectories(const std::string& dir)
+{
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    return !ec;
+}
+
+std::unique_ptr<VfsLock>
+RealVfs::tryLockExclusive(const std::string& path)
+{
+    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd < 0)
+        return nullptr;
+    if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+        ::close(fd);
+        return nullptr;
+    }
+    return std::make_unique<RealVfsLock>(fd);
+}
+
+std::shared_ptr<Vfs>
+realVfs()
+{
+    static const std::shared_ptr<Vfs> instance =
+        std::make_shared<RealVfs>();
+    return instance;
+}
+
+}  // namespace veal::persist

@@ -1,0 +1,138 @@
+#ifndef VEAL_VM_PERSIST_VFS_H_
+#define VEAL_VM_PERSIST_VFS_H_
+
+/**
+ * @file
+ * The filesystem seam under the persistent store.
+ *
+ * Every byte the store reads or writes goes through a Vfs, for two
+ * reasons.  First, crash testing: the fault layer's FaultyVfs wraps a
+ * real Vfs and kills the "process" at the Nth mutating operation
+ * (partial final write, then every later call fails), which is how the
+ * `veal-faultsim --mode persist` campaign enumerates every crash point
+ * of a workload without actually forking and killing processes.
+ * Second, the degradation ladder: the store treats any mutation
+ * returning false as "the disk is gone" and drops to the read-only
+ * tier instead of crashing, so the failure policy lives in one place.
+ *
+ * The crash model is process death (kill -9), not power loss: a write()
+ * that returned is assumed durable, so syncFile() is a scheduling hint
+ * rather than a correctness requirement.  Mutations are the crash
+ * points; reads never mutate and only fail once the fake process is
+ * dead.
+ *
+ * tryLockExclusive() is the multi-process safety hook: RealVfs takes a
+ * non-blocking flock(LOCK_EX) on the given lock file.  flock locks
+ * belong to the open file description, so two stores in one process
+ * conflict exactly like two processes do -- which is what lets the
+ * two-instances-one-dir tests run in-process.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace veal::persist {
+
+/** Held advisory lock; releases on destruction. */
+class VfsLock {
+  public:
+    virtual ~VfsLock() = default;
+};
+
+/** Filesystem operations the store is written against; see file doc. */
+class Vfs {
+  public:
+    virtual ~Vfs() = default;
+
+    // --- Reads (never mutate; fail only when the fake process died).
+
+    /** Whole file, or nullopt when unreadable. */
+    virtual std::optional<std::vector<std::uint8_t>> readFile(
+        const std::string& path) = 0;
+
+    /**
+     * Exactly @p size bytes at @p offset, or nullopt (short reads are
+     * nullopt too -- the caller treats them as torn records).
+     */
+    virtual std::optional<std::vector<std::uint8_t>> readRange(
+        const std::string& path, std::int64_t offset,
+        std::int64_t size) = 0;
+
+    virtual bool exists(const std::string& path) = 0;
+
+    /** File size in bytes, or nullopt. */
+    virtual std::optional<std::int64_t> fileSize(
+        const std::string& path) = 0;
+
+    /** Plain file names in @p dir, sorted (deterministic). */
+    virtual std::vector<std::string> listDir(const std::string& dir) = 0;
+
+    // --- Mutations (the crash points; false == disk failure).
+
+    /** Append @p bytes to @p path, creating it if needed. */
+    virtual bool append(const std::string& path,
+                        const std::vector<std::uint8_t>& bytes) = 0;
+
+    /** Replace @p path with @p bytes (truncating write, not atomic). */
+    virtual bool writeFile(const std::string& path,
+                           const std::vector<std::uint8_t>& bytes) = 0;
+
+    virtual bool renameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+    virtual bool removeFile(const std::string& path) = 0;
+
+    virtual bool truncateFile(const std::string& path,
+                              std::int64_t size) = 0;
+
+    /** Durability hint (see the crash model in the file doc). */
+    virtual bool syncFile(const std::string& path) = 0;
+
+    virtual bool createDirectories(const std::string& dir) = 0;
+
+    // --- Locking (not a crash point: acquisition happens before any
+    // mutation and failure already has a policy -- read-only mode).
+
+    /**
+     * Non-blocking exclusive advisory lock on @p path (created if
+     * missing); null when another holder (process *or* in-process
+     * store) has it.
+     */
+    virtual std::unique_ptr<VfsLock> tryLockExclusive(
+        const std::string& path) = 0;
+};
+
+/** The POSIX filesystem. */
+class RealVfs : public Vfs {
+  public:
+    std::optional<std::vector<std::uint8_t>> readFile(
+        const std::string& path) override;
+    std::optional<std::vector<std::uint8_t>> readRange(
+        const std::string& path, std::int64_t offset,
+        std::int64_t size) override;
+    bool exists(const std::string& path) override;
+    std::optional<std::int64_t> fileSize(const std::string& path) override;
+    std::vector<std::string> listDir(const std::string& dir) override;
+    bool append(const std::string& path,
+                const std::vector<std::uint8_t>& bytes) override;
+    bool writeFile(const std::string& path,
+                   const std::vector<std::uint8_t>& bytes) override;
+    bool renameFile(const std::string& from,
+                    const std::string& to) override;
+    bool removeFile(const std::string& path) override;
+    bool truncateFile(const std::string& path, std::int64_t size) override;
+    bool syncFile(const std::string& path) override;
+    bool createDirectories(const std::string& dir) override;
+    std::unique_ptr<VfsLock> tryLockExclusive(
+        const std::string& path) override;
+};
+
+/** Process-wide shared RealVfs (the default when StoreOptions::vfs is null). */
+std::shared_ptr<Vfs> realVfs();
+
+}  // namespace veal::persist
+
+#endif  // VEAL_VM_PERSIST_VFS_H_

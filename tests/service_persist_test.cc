@@ -3,8 +3,9 @@
  * `cache_dir` run populates the on-disk store, a fresh service over the
  * same directory warm-starts with zero translation cycles, warm reports
  * are byte-identical across restarts and the whole shards/threads/batch
- * matrix, corruption degrades through the quarantine ladder (deleting
- * the blob so nothing resurrects), and eviction extends to disk.
+ * matrix, corruption degrades through the quarantine ladder (committing
+ * the drop so nothing resurrects), eviction extends to disk, and a
+ * second service on a locked directory serves from a read-only tier.
  */
 
 #include <filesystem>
@@ -101,15 +102,13 @@ TEST_F(ServicePersistTest, ColdRunPopulatesTheStore)
     EXPECT_EQ(cold.report.persisted, 0)
         << "nothing can be served from an empty store";
     EXPECT_GT(cold.report.translation_cycles, 0);
-    // Every translated key left a blob and the MANIFEST is durable.
-    EXPECT_TRUE(fs::exists(fs::path(cacheDir()) / "MANIFEST"));
-    int blobs = 0;
-    for (const auto& entry : fs::directory_iterator(cacheDir())) {
-        if (entry.path().extension() == ".vpb")
-            ++blobs;
-    }
+    // The run left a durable log-structured store behind: a manifest
+    // log plus at least one segment file.
+    EXPECT_TRUE(fs::exists(fs::path(cacheDir()) / "MANIFEST.log"));
+    EXPECT_TRUE(fs::exists(fs::path(cacheDir()) / "seg-0.vlog"));
     // One save per fresh job: coalesced twins ride their provider.
-    EXPECT_EQ(blobs, cold.report.cold);
+    persist::PersistentStore store(cacheDir(), persist::StoreOptions{});
+    EXPECT_EQ(store.size(), cold.report.cold);
 }
 
 TEST_F(ServicePersistTest, WarmStartIsTranslationFreeAndStable)
@@ -178,23 +177,22 @@ TEST_F(ServicePersistTest, CorruptBlobDegradesAndNeverResurrects)
     const ServiceTrace trace = makeTrace();
     runService(trace, makeOptions(cacheDir()));
 
-    // Corrupt one blob on disk (a real bit flip, not an injected probe).
-    std::string victim;
-    for (const auto& entry : fs::directory_iterator(cacheDir())) {
-        if (entry.path().extension() == ".vpb") {
-            victim = entry.path().string();
-            break;
-        }
-    }
-    ASSERT_FALSE(victim.empty());
+    // Corrupt one record's payload in its segment file (a real bit
+    // flip, not an injected probe).
     {
-        std::fstream file(victim, std::ios::in | std::ios::out |
-                                      std::ios::binary);
-        file.seekp(18);
+        persist::PersistentStore store(cacheDir(),
+                                       persist::StoreOptions{});
+        const auto keys = store.keys();
+        ASSERT_FALSE(keys.empty());
+        const auto location = store.recordLocation(keys.front());
+        ASSERT_TRUE(location.has_value());
+        std::fstream file(location->path, std::ios::in | std::ios::out |
+                                              std::ios::binary);
+        const std::int64_t at = location->offset + 18;
+        file.seekg(at);
         char byte = 0;
-        file.seekg(18);
         file.get(byte);
-        file.seekp(18);
+        file.seekp(at);
         file.put(static_cast<char>(byte ^ 0x20));
     }
 
@@ -203,16 +201,6 @@ TEST_F(ServicePersistTest, CorruptBlobDegradesAndNeverResurrects)
     EXPECT_GT(repaired.report.translation_cycles, 0);
     EXPECT_GT(repaired.report.persisted, 0);
     EXPECT_GT(repaired.report.cold + repaired.report.coalesced, 0);
-    // The store quarantined the bad blob and the re-translation
-    // re-saved it, so the *next* run is fully warm again.
-    bool quarantined = false;
-    for (const auto& entry : fs::directory_iterator(cacheDir())) {
-        if (entry.path().string().find(".quarantined") !=
-            std::string::npos) {
-            quarantined = true;
-        }
-    }
-    EXPECT_TRUE(quarantined);
 
     const RunResult warm = runService(trace, makeOptions(cacheDir()));
     EXPECT_EQ(warm.report.translation_cycles, 0)
@@ -260,13 +248,12 @@ TEST_F(ServicePersistTest, StoreCapacityEvictionNeverResurrects)
         runService(traceOfSeeds({1, 2, 3, 4, 5, 6, 7, 8}), tiny);
     ASSERT_EQ(cold.report.cold, 8);
 
-    // Only 4 blobs may remain; the rest were evicted *with* their files.
-    int blobs = 0;
-    for (const auto& entry : fs::directory_iterator(cacheDir())) {
-        if (entry.path().extension() == ".vpb")
-            ++blobs;
+    // Only 4 entries may remain; the evictions were committed to the
+    // manifest log, so a reopen agrees.
+    {
+        persist::PersistentStore store(cacheDir(), tiny.store);
+        EXPECT_EQ(store.size(), 4);
     }
-    EXPECT_EQ(blobs, 4);
 
     // Replay most-recent-first: the four survivors serve from disk,
     // the four evicted keys re-translate (an evicted entry never
@@ -293,6 +280,53 @@ TEST_F(ServicePersistTest, PersistenceOffLeavesReportsUntouched)
     const RunResult plain = runService(trace, options);
     EXPECT_EQ(plain.report.persisted, 0);
     EXPECT_FALSE(fs::exists(dir_));
+}
+
+TEST_F(ServicePersistTest, SecondServiceOnTheSameDirServesReadOnly)
+{
+    // Two veal-serve processes pointed at one --cache-dir: the first
+    // owns the flock; the second degrades to a read-only cache tier --
+    // it still *serves* persisted images, just never writes.
+    const ServiceTrace trace = makeTrace();
+    runService(trace, makeOptions(cacheDir()));  // Populate.
+
+    metrics::Registry writer_registry;
+    TranslationService writer(makeOptions(cacheDir()),
+                              &writer_registry);
+    ASSERT_NE(writer.persistentStore(), nullptr);
+    ASSERT_FALSE(writer.persistentStore()->readOnly());
+
+    metrics::Registry reader_registry;
+    TranslationService reader(makeOptions(cacheDir()),
+                              &reader_registry);
+    ASSERT_NE(reader.persistentStore(), nullptr);
+    EXPECT_TRUE(reader.persistentStore()->readOnly());
+    EXPECT_EQ(reader_registry.counter("vm.persist.readonly"), 1);
+
+    // The read-only tier still warm-starts the reader.
+    reader.run(trace);
+    EXPECT_EQ(reader.report().translation_cycles, 0)
+        << "read-only tier must still serve persisted images";
+    EXPECT_GT(reader.report().persisted, 0);
+
+    // The writer is undisturbed: same directory, still writable, and a
+    // run through it produces the canonical warm report.
+    writer.run(trace);
+    EXPECT_FALSE(writer.persistentStore()->readOnly());
+    EXPECT_EQ(writer.report().translation_cycles, 0);
+    EXPECT_EQ(writer.report().render(), reader.report().render())
+        << "a read-only warm run must not diverge from the writer's";
+
+    // A reader that translates *new* keys skips (and counts) every
+    // persist instead of erroring.
+    metrics::Registry fresh_registry;
+    TranslationService fresh_reader(makeOptions(cacheDir()),
+                                    &fresh_registry);
+    ASSERT_TRUE(fresh_reader.persistentStore()->readOnly());
+    fresh_reader.run(makeTrace(31));  // Unseen seed: cold translations.
+    EXPECT_GT(fresh_reader.report().cold, 0);
+    EXPECT_GT(fresh_registry.counter("vm.persist.readonly_skips"), 0)
+        << "skipped persists must be counted, not silent";
 }
 
 TEST_F(ServicePersistTest, TlbChargesAreOffByDefaultAndMeteredWhenOn)

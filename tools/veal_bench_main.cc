@@ -65,10 +65,21 @@ runPersistMode(const veal::bench::ThroughputOptions& options)
                 static_cast<long long>(report.translation_cycle_ratio),
                 report.warm_report_digest.c_str());
 
+    std::printf("veal-bench: lifecycle, %lld entries recovered, churn x%lld "
+                "left the log at %lld bytes, %lld compactions reclaimed "
+                "%lld bytes (%lld left)\n",
+                static_cast<long long>(report.recovered_entries),
+                static_cast<long long>(report.churn_rounds),
+                static_cast<long long>(report.churn_log_bytes),
+                static_cast<long long>(report.compactions),
+                static_cast<long long>(report.compaction_reclaimed_bytes),
+                static_cast<long long>(report.compacted_log_bytes));
+
     std::fprintf(stderr,
-                 "veal-bench: cold p50 %.2f ms, warm p50 %.2f ms "
-                 "(%d runs)\n",
-                 report.cold_p50_ms, report.warm_p50_ms, report.runs);
+                 "veal-bench: cold p50 %.2f ms, warm p50 %.2f ms, "
+                 "recovery p50 %.2f ms (%d runs)\n",
+                 report.cold_p50_ms, report.warm_p50_ms,
+                 report.recover_p50_ms, report.runs);
     return 0;
 }
 

@@ -20,6 +20,7 @@
 
 #include "bench/cli.h"
 #include "veal/fault/campaign.h"
+#include "veal/fault/persist_campaign.h"
 #include "veal/support/metrics/metrics.h"
 #include "veal/workloads/suite.h"
 
@@ -34,6 +35,7 @@ usage()
 {
     std::cerr <<
         "usage: veal-faultsim [options]\n"
+        "  --mode vm|persist    campaign to run (default vm)\n"
         "  --plans N            fault plans to sample (default 200)\n"
         "  --threads N          worker threads (default 1)\n"
         "  --batch N            plans per batch-engine block (default "
@@ -51,8 +53,36 @@ usage()
         "                       campaign (byte-identical for any "
         "--threads)\n"
         "  --describe N         print plan N of this seed and exit\n"
-        "  --list-apps          print the benchmark names and exit\n";
+        "  --list-apps          print the benchmark names and exit\n"
+        "persist mode only:\n"
+        "  --requests N         service-trace requests per point "
+        "(default 48)\n"
+        "  --vfs-mode M         fault mode to enumerate: crash, "
+        "short-write,\n"
+        "                       bit-flip, enospc (repeatable; default "
+        "all)\n"
+        "  --scratch-dir DIR    per-point store scratch root (default: "
+        "a\n"
+        "                       seed-named dir under the system temp; "
+        "wiped)\n";
     return 2;
+}
+
+/** Parse a --vfs-mode name or exit with usage. */
+veal::fault::VfsFaultMode
+parseVfsMode(const std::string& text)
+{
+    using veal::fault::VfsFaultMode;
+    if (text == "crash")
+        return VfsFaultMode::kCrash;
+    if (text == "short-write")
+        return VfsFaultMode::kShortWrite;
+    if (text == "bit-flip")
+        return VfsFaultMode::kBitFlip;
+    if (text == "enospc")
+        return VfsFaultMode::kEnospc;
+    cli::usageError(kTool, "unknown --vfs-mode '" + text + "'", usage);
+    return VfsFaultMode::kCrash;  // Unreachable.
 }
 
 /** Shared strict parsing (bench/cli.h) with this tool's usage text. */
@@ -74,6 +104,8 @@ int
 main(int argc, char** argv)
 {
     veal::FaultCampaignOptions options;
+    veal::PersistCampaignOptions persist_options;
+    std::string mode = "vm";
     std::string metrics_json;
 
     const auto next_value = [&](int& i) -> const char* {
@@ -82,7 +114,20 @@ main(int argc, char** argv)
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--plans") {
+        if (arg == "--mode") {
+            mode = next_value(i);
+            if (mode != "vm" && mode != "persist")
+                cli::usageError(kTool, "--mode must be vm or persist",
+                                usage);
+        } else if (arg == "--requests") {
+            persist_options.requests =
+                parseInt("--requests", next_value(i));
+        } else if (arg == "--vfs-mode") {
+            persist_options.modes.push_back(
+                parseVfsMode(next_value(i)));
+        } else if (arg == "--scratch-dir") {
+            persist_options.scratch_dir = next_value(i);
+        } else if (arg == "--plans") {
             options.plans = parseInt("--plans", next_value(i));
         } else if (arg == "--threads") {
             options.threads = parseInt("--threads", next_value(i));
@@ -130,19 +175,33 @@ main(int argc, char** argv)
     }
 
     veal::metrics::Registry registry;
-    veal::FaultCampaignSummary summary;
+    bool clean = false;
+    std::string report;
     {
         // Wall time goes to stderr only; the report stays clock-free.
         const veal::metrics::ScopedWallTimer timer(
             "veal-faultsim campaign");
-        summary = veal::runFaultCampaign(options, &registry);
+        if (mode == "persist") {
+            persist_options.seed = options.seed;
+            persist_options.threads = options.threads;
+            persist_options.iterations = options.iterations;
+            const veal::PersistCampaignSummary summary =
+                veal::runPersistCampaign(persist_options, &registry);
+            clean = summary.clean();
+            report = summary.render();
+        } else {
+            const veal::FaultCampaignSummary summary =
+                veal::runFaultCampaign(options, &registry);
+            clean = summary.clean();
+            report = summary.render();
+        }
     }
-    std::cout << summary.render();
+    std::cout << report;
     if (!metrics_json.empty() &&
         !veal::metrics::writeSnapshot(registry, metrics_json)) {
         std::cerr << "veal-faultsim: cannot write " << metrics_json
                   << "\n";
         return 2;
     }
-    return summary.clean() ? 0 : 1;
+    return clean ? 0 : 1;
 }

@@ -8,10 +8,16 @@
  * for any --shards/--threads/--batch value; wall-clock goes to stderr
  * only.
  *
+ * SIGINT/SIGTERM request a graceful shutdown: the service finishes the
+ * tick in flight, flushes the persistent store's manifest, and still
+ * prints the report and metrics snapshot for the completed prefix.
+ *
  * Exit status: 0 on a completed run, 1 on a failed run (unreadable or
  * malformed trace, unwritable snapshot), 2 on bad usage.
  */
 
+#include <atomic>
+#include <csignal>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -29,6 +35,25 @@ namespace {
 namespace cli = veal::bench::cli;
 
 constexpr const char* kTool = "veal-serve";
+
+/** Flipped by the signal handler; polled by run() at tick boundaries. */
+std::atomic<bool> g_stop{false};
+
+extern "C" void
+handleStopSignal(int)
+{
+    // Async-signal-safe: one relaxed store, nothing else.  Everything
+    // interesting (queue close, drain, flush) happens on the driver
+    // thread at the next tick boundary.
+    g_stop.store(true, std::memory_order_relaxed);
+}
+
+void
+installStopHandlers()
+{
+    std::signal(SIGINT, handleStopSignal);
+    std::signal(SIGTERM, handleStopSignal);
+}
 
 int
 usage()
@@ -200,12 +225,20 @@ main(int argc, char** argv)
         return 0;
     }
 
+    options.stop = &g_stop;
+    installStopHandlers();
+
     veal::metrics::Registry registry;
     veal::TranslationService service(options, &registry);
     {
         // Wall time goes to stderr only; the report stays clock-free.
         const veal::metrics::ScopedWallTimer timer("veal-serve run");
         service.run(trace);
+    }
+    if (service.shuttingDown()) {
+        std::cerr << kTool << ": stop signal received; drained the "
+                     "in-flight tick, flushed the store, reporting the "
+                     "completed prefix\n";
     }
     std::cout << service.report().render();
 
