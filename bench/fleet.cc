@@ -1,0 +1,276 @@
+#include "bench/fleet.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "veal/arch/cpu_config.h"
+#include "veal/explore/sweep.h"
+#include "veal/fleet/fleet.h"
+#include "veal/support/assert.h"
+#include "veal/workloads/suite.h"
+
+namespace veal::bench {
+
+namespace {
+
+/** Scoring mode: the service default, and what the paper evaluates. */
+constexpr TranslationMode kMode = TranslationMode::kFullyDynamic;
+
+/** One priced unit: a transformed loop piece with its profile weight. */
+struct Piece {
+    const Loop* loop = nullptr;
+    std::int64_t invocations = 1;
+    std::int64_t iterations = 100;
+    std::size_t benchmark = 0;
+};
+
+/** Every transformed-binary loop piece of the suite, in suite order
+    (fissioned pieces expand in sequence -- the LA runs them back to
+    back, so each is priced and steered independently). */
+std::vector<Piece>
+gatherPieces(const std::vector<Benchmark>& suite)
+{
+    std::vector<Piece> pieces;
+    for (std::size_t b = 0; b < suite.size(); ++b) {
+        for (const LoopSite& site : suite[b].transformed.sites) {
+            if (site.fissioned.empty()) {
+                pieces.push_back(
+                    {&site.loop, site.invocations, site.iterations, b});
+            } else {
+                for (const Loop& piece : site.fissioned) {
+                    pieces.push_back(
+                        {&piece, site.invocations, site.iterations, b});
+                }
+            }
+        }
+    }
+    return pieces;
+}
+
+std::string
+formatDouble(double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.3f", value);
+    return buffer;
+}
+
+double
+p50(std::vector<double> samples)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    return samples[(samples.size() - 1) / 2];
+}
+
+}  // namespace
+
+std::string
+FleetBenchReport::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"schema\": \"veal-fleet-bench-v1\",\n";
+    os << "  \"commit\": \"" << commit << "\",\n";
+    os << "  \"fleet\": \"" << fleet << "\",\n";
+    os << "  \"runs\": " << runs << ",\n";
+    os << "  \"pieces\": " << pieces << ",\n";
+    os << "  \"scored_cells\": " << scored_cells << ",\n";
+    os << "  \"cpu_steady_cycles\": " << cpu_steady_cycles << ",\n";
+    os << "  \"baseline_steady_cycles\": " << baseline_steady_cycles
+       << ",\n";
+    os << "  \"fleet_steady_cycles\": " << fleet_steady_cycles << ",\n";
+    os << "  \"cpu_win_pieces\": " << cpu_win_pieces << ",\n";
+    os << "  \"speedup_milli\": " << speedup_milli << ",\n";
+    os << "  \"backends\": [\n";
+    for (std::size_t i = 0; i < backends.size(); ++i) {
+        const auto& backend = backends[i];
+        os << "    {\"name\": \"" << backend.name
+           << "\", \"placed_pieces\": " << backend.placed_pieces
+           << ", \"placed_invocations\": " << backend.placed_invocations
+           << ", \"steady_cycles\": " << backend.steady_cycles << "}"
+           << (i + 1 < backends.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+    os << "  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < benchmarks.size(); ++i) {
+        const auto& bench = benchmarks[i];
+        os << "    {\"name\": \"" << bench.name
+           << "\", \"baseline_cycles\": " << bench.baseline_cycles
+           << ", \"fleet_cycles\": " << bench.fleet_cycles
+           << ", \"speedup_milli\": " << bench.speedup_milli << "}"
+           << (i + 1 < benchmarks.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+    os << "  \"wall_ms\": {\"p50\": " << formatDouble(p50_wall_ms)
+       << "}\n";
+    os << "}\n";
+    return os.str();
+}
+
+FleetBenchReport
+runFleetBench(const ThroughputOptions& options)
+{
+    using Clock = std::chrono::steady_clock;
+
+    FleetBenchReport report;
+    report.commit = options.commit;
+    report.runs = options.runs;
+    report.fleet = "standard";
+
+    const fleet::FleetConfig config = fleet::FleetConfig::standard();
+    std::vector<LaConfig> backends;
+    backends.reserve(config.backends.size());
+    for (const auto& backend : config.backends)
+        backends.push_back(backend.la);
+    const CpuConfig cpu;
+    const TlbConfig tlb;  // Disabled: pure design-point comparison.
+
+    // The suite as the service sees it: one set of binaries, fissioned
+    // by the static toolchain for the baseline design point.  Fleet
+    // members must win on the *same* pieces, never on friendlier ones.
+    explore::SweepRunner runner(mediaFpSuite(), options.threads);
+    report.threads = runner.threads();
+    const std::vector<Piece> pieces = gatherPieces(runner.suite());
+    report.pieces = static_cast<std::int64_t>(pieces.size());
+    report.scored_cells =
+        report.pieces * static_cast<std::int64_t>(backends.size());
+
+    // Scoring grid, grouped by per-site iteration count (a score is
+    // priced at the site's real trip count).  Repeated --runs times for
+    // the wall-clock sample; every pass must agree bit for bit.
+    std::vector<std::vector<explore::LoopScore>> scores(pieces.size());
+    for (int run = 0; run < std::max(1, options.runs); ++run) {
+        std::vector<std::vector<explore::LoopScore>> pass(pieces.size());
+        const auto start = Clock::now();
+        std::map<std::int64_t, std::vector<std::size_t>> by_iterations;
+        for (std::size_t i = 0; i < pieces.size(); ++i)
+            by_iterations[pieces[i].iterations].push_back(i);
+        for (const auto& [iterations, members] : by_iterations) {
+            std::vector<Loop> loops;
+            loops.reserve(members.size());
+            for (const std::size_t i : members)
+                loops.push_back(*pieces[i].loop);
+            const auto grid =
+                runner.scoreLoops(loops, backends, kMode, iterations, tlb);
+            for (std::size_t k = 0; k < members.size(); ++k)
+                pass[members[k]] = grid[k];
+        }
+        const double ms = std::chrono::duration<double, std::milli>(
+                              Clock::now() - start)
+                              .count();
+        report.wall_ms.push_back(ms);
+        std::fprintf(stderr,
+                     "veal-bench: fleet scoring pass %d/%d %.2f ms "
+                     "(%lld cells, %d threads)\n",
+                     run + 1, std::max(1, options.runs), ms,
+                     static_cast<long long>(report.scored_cells),
+                     report.threads);
+        if (run == 0) {
+            scores = std::move(pass);
+        } else {
+            for (std::size_t i = 0; i < pieces.size(); ++i) {
+                for (std::size_t j = 0; j < backends.size(); ++j) {
+                    VEAL_ASSERT(
+                        pass[i][j].warm_cycles == scores[i][j].warm_cycles &&
+                            pass[i][j].ok == scores[i][j].ok,
+                        "fleet scores drifted across bench passes");
+                }
+            }
+        }
+    }
+    report.p50_wall_ms = p50(report.wall_ms);
+
+    // Steer every piece through the real FleetSteerer (unlimited
+    // capacity: the study compares design points, not admission).
+    fleet::FleetSteerer steerer(config);
+    report.backends.resize(backends.size());
+    for (std::size_t j = 0; j < backends.size(); ++j)
+        report.backends[j].name = backends[j].name;
+    report.benchmarks.resize(runner.suite().size());
+    for (std::size_t b = 0; b < runner.suite().size(); ++b)
+        report.benchmarks[b].name = runner.suite()[b].name;
+
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+        const Piece& piece = pieces[i];
+        const std::int64_t weight = piece.invocations;
+        const std::int64_t cpu_piece =
+            weight * explore::scoreCpuCycles(*piece.loop, cpu,
+                                             piece.iterations);
+        report.cpu_steady_cycles += cpu_piece;
+
+        // Baseline: the single proposed design point (fleet index 0).
+        const explore::LoopScore& base = scores[i][0];
+        const std::int64_t baseline_piece =
+            base.ok ? std::min(cpu_piece, weight * base.warm_cycles)
+                    : cpu_piece;
+        report.baseline_steady_cycles += baseline_piece;
+        report.benchmarks[piece.benchmark].baseline_cycles +=
+            baseline_piece;
+
+        // Fleet: steer, then serve from the placed backend (CPU when
+        // the backend still loses at this piece's trip count).
+        persist::FleetScoreSet set;
+        set.scoring_iterations = piece.iterations;
+        set.cpu_cycles = cpu_piece / std::max<std::int64_t>(1, weight);
+        set.backends.reserve(backends.size());
+        for (const auto& cell : scores[i]) {
+            persist::FleetBackendScore score;
+            score.ok = cell.ok;
+            score.reject = cell.reject;
+            score.ii = cell.ii;
+            score.stage_count = cell.stage_count;
+            score.first_cycles = cell.first_cycles;
+            score.warm_cycles = cell.warm_cycles;
+            set.backends.push_back(score);
+        }
+        const fleet::Placement placement =
+            steerer.place("piece-" + std::to_string(i), set);
+
+        std::int64_t fleet_piece = cpu_piece;
+        if (placement.backend >= 0 && !placement.unscored) {
+            const auto b = static_cast<std::size_t>(placement.backend);
+            const std::int64_t la_piece =
+                weight * scores[i][b].warm_cycles;
+            ++report.backends[b].placed_pieces;
+            report.backends[b].placed_invocations += weight;
+            if (la_piece < cpu_piece) {
+                fleet_piece = la_piece;
+                report.backends[b].steady_cycles += la_piece;
+            } else {
+                ++report.cpu_win_pieces;
+            }
+        } else {
+            ++report.cpu_win_pieces;
+        }
+        report.fleet_steady_cycles += fleet_piece;
+        report.benchmarks[piece.benchmark].fleet_cycles += fleet_piece;
+    }
+
+    VEAL_ASSERT(report.fleet_steady_cycles > 0);
+    report.speedup_milli =
+        report.baseline_steady_cycles * 1000 / report.fleet_steady_cycles;
+    for (auto& bench : report.benchmarks) {
+        bench.speedup_milli =
+            bench.fleet_cycles > 0
+                ? bench.baseline_cycles * 1000 / bench.fleet_cycles
+                : 1000;
+    }
+
+    if (!options.json_path.empty()) {
+        std::ofstream out(options.json_path);
+        VEAL_ASSERT(static_cast<bool>(out), "cannot write ",
+                    options.json_path);
+        out << report.toJson();
+    }
+    return report;
+}
+
+}  // namespace veal::bench

@@ -1,0 +1,91 @@
+#ifndef VEAL_BENCH_FLEET_H_
+#define VEAL_BENCH_FLEET_H_
+
+/**
+ * @file
+ * Fleet-vs-single-design-point study (veal-bench --mode fleet).
+ *
+ * Prices every transformed loop piece of the evaluation suite against
+ * every backend of the standard heterogeneous fleet (baseline + the
+ * four presets, see veal/fleet/fleet.h) through the SweepRunner
+ * (loop x backend) scoring grid, steers each piece with the real
+ * FleetSteerer, and compares two steady-state whole-suite totals:
+ *
+ *   baseline -- every piece served by the paper's single proposed
+ *               design point (CPU when the LA loses or rejects), and
+ *   fleet    -- every piece served by its steered backend (same CPU
+ *               escape hatch).
+ *
+ * Totals are invocation-weighted warm (steady-state) cycles, entirely
+ * modeled, so they are byte-stable across machines and --threads; the
+ * committed BENCH_fleet.json (schema veal-fleet-bench-v1) pins the
+ * fleet-level win and CI fails if the modeled fields drift or the
+ * speedup falls below the 1.1x floor.  Wall-clock per scoring pass
+ * goes to stderr and the JSON only.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/throughput.h"
+
+namespace veal::bench {
+
+/** One fleet backend's share of the steered suite. */
+struct FleetBenchBackend {
+    std::string name;
+    std::int64_t placed_pieces = 0;       ///< Pieces steered here.
+    std::int64_t placed_invocations = 0;  ///< Their profile weight.
+    /** Weighted warm cycles this backend serves (CPU-win pieces
+        excluded: those cycles live in the CPU total). */
+    std::int64_t steady_cycles = 0;
+};
+
+/** One benchmark's baseline-vs-fleet comparison. */
+struct FleetBenchBenchmark {
+    std::string name;
+    std::int64_t baseline_cycles = 0;
+    std::int64_t fleet_cycles = 0;
+    std::int64_t speedup_milli = 0;  ///< baseline * 1000 / fleet.
+};
+
+/** Everything one --mode fleet invocation measured. */
+struct FleetBenchReport {
+    std::string commit;
+    std::string fleet;  ///< Fleet spec evaluated ("standard").
+    int runs = 0;
+    int threads = 0;
+
+    // --- Modeled fields: byte-identical across machines and shapes.
+    std::int64_t pieces = 0;        ///< Loop pieces priced.
+    std::int64_t scored_cells = 0;  ///< pieces x backends evaluations.
+    std::int64_t cpu_steady_cycles = 0;       ///< All-CPU strawman.
+    std::int64_t baseline_steady_cycles = 0;  ///< Single design point.
+    std::int64_t fleet_steady_cycles = 0;     ///< Steered fleet.
+    std::int64_t cpu_win_pieces = 0;  ///< Pieces the CPU serves anyway.
+    /** baseline_steady_cycles * 1000 / fleet_steady_cycles: the
+        fleet-level speedup, gated at >= 1100 in CI. */
+    std::int64_t speedup_milli = 0;
+    std::vector<FleetBenchBackend> backends;
+    std::vector<FleetBenchBenchmark> benchmarks;
+
+    // --- Wall clock (stderr/JSON only; never deterministic).
+    std::vector<double> wall_ms;
+    double p50_wall_ms = 0.0;
+
+    /** The veal-fleet-bench-v1 JSON rendering of this report. */
+    std::string toJson() const;
+};
+
+/**
+ * Run the study: --runs timed scoring passes over the media/FP suite
+ * (each pass must produce identical modeled totals -- asserted), steer
+ * once, and compare.  Honours options.runs, options.threads,
+ * options.commit, and options.json_path (fatal on I/O error).
+ */
+FleetBenchReport runFleetBench(const ThroughputOptions& options);
+
+}  // namespace veal::bench
+
+#endif  // VEAL_BENCH_FLEET_H_

@@ -29,9 +29,11 @@ printUsage(std::FILE* out, const char* argv0)
         "       [--metrics-json FILE] [--commit SHA]\n"
         "  --mode NAME          translation (default), simulation (the\n"
         "                       batched-simulation engine bench, schema\n"
-        "                       veal-sim-bench-v1), or persist (the\n"
+        "                       veal-sim-bench-v1), persist (the\n"
         "                       cold-vs-warm-start study, schema\n"
-        "                       veal-persist-bench-v2)\n"
+        "                       veal-persist-bench-v2), or fleet (the\n"
+        "                       fleet-vs-single-design-point study,\n"
+        "                       schema veal-fleet-bench-v1)\n"
         "  --batch N            lanes per batch-engine call in --mode\n"
         "                       simulation (default 64; never affects\n"
         "                       modeled output)\n"
@@ -136,10 +138,11 @@ parseThroughputCli(int argc, char** argv)
             options.mode = argv[++i];
             if (options.mode != "translation" &&
                 options.mode != "simulation" &&
-                options.mode != "persist") {
+                options.mode != "persist" &&
+                options.mode != "fleet") {
                 usageError(argv[0],
-                           "--mode wants translation, simulation, or "
-                           "persist, "
+                           "--mode wants translation, simulation, "
+                           "persist, or fleet, "
                            "got '" +
                                options.mode + "'");
             }

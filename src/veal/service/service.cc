@@ -127,6 +127,15 @@ ServiceReport::render() const
     os << "tlb: pages=" << tlb_pages << " walks=" << tlb_walks
        << " cycles=" << tlb_cycles << "\n";
     os << "quarantined-pairs=" << quarantined_pairs << "\n";
+    // Fleet lines only in fleet mode: a fleetless report stays
+    // byte-identical to the pre-fleet service.
+    if (fleet_enabled) {
+        os << "fleet: backends=" << fleet_backends << " spills="
+           << fleet_spills << " cpu-fallback=" << fleet_cpu_fallbacks
+           << " scores-computed=" << fleet_scores_computed
+           << " scores-persisted=" << fleet_scores_persisted << "\n";
+        renderCountMap(os, "fleet-placed", fleet_placed);
+    }
     renderCountMap(os, "fault-fired", fault_fired);
     renderCountMap(os, "fault-probes", fault_probes);
     os << std::left << std::setw(8) << "tenant" << std::right
@@ -172,6 +181,22 @@ TranslationService::TranslationService(ServiceOptions options,
             std::max(1, options_.shard_cache_entries)));
         shard_sims_.push_back(std::make_unique<BatchSimulator>());
     }
+    if (options_.fleet.has_value() && options_.fleet->enabled()) {
+        scorer_.emplace(*options_.fleet, options_.cpu, options_.tlb,
+                        options_.fleet_scoring_iterations);
+        steerer_.emplace(*options_.fleet);
+        report_.fleet_enabled = true;
+        report_.fleet_backends = options_.fleet->size();
+    }
+}
+
+const LaConfig&
+TranslationService::laFor(int backend) const
+{
+    if (backend < 0 || !fleetEnabled())
+        return options_.la;
+    VEAL_ASSERT(backend < options_.fleet->size());
+    return options_.fleet->backends[static_cast<std::size_t>(backend)].la;
 }
 
 AdmissionOutcome
@@ -228,6 +253,9 @@ TranslationService::drainTick()
         TranslationMode mode = TranslationMode::kFullyDynamic;
         std::int64_t iterations = 12;
         std::optional<FaultInjector> injector;
+        /** Design point to translate/price against (fleet steering). */
+        const LaConfig* la = nullptr;
+        int backend = -1;  ///< Fleet backend index (-1: single design).
         // Parallel-phase products.
         LadderOutcome ladder;
         std::optional<ControlImage> image;
@@ -242,6 +270,12 @@ TranslationService::drainTick()
         /** Persisted serve: the store-loaded blob (shared per tick). */
         std::shared_ptr<const persist::PersistedImage> persisted;
         std::optional<FaultInjector> injector;  ///< Warm-verify probes.
+        // Fleet steering (all no-ops when --fleet is off).
+        int backend = -1;        ///< Serving backend (-1: baseline/CPU).
+        bool placed_now = false; ///< Placement minted by this request.
+        int spill_rank = 0;      ///< Candidate rank the placement took.
+        enum class ScoreSource { kNone, kComputed, kWarm, kPersisted };
+        ScoreSource score_source = ScoreSource::kNone;
     };
     std::vector<PlanInfo> plans(admitted.size());
     std::vector<Job> jobs;
@@ -259,6 +293,13 @@ TranslationService::drainTick()
             plan.cache = CacheOutcome::kQuarantined;
             continue;
         }
+
+        // Fleet steering: a key's placement is sticky for the whole
+        // run -- minted on first cold scoring (or rehydrated from a
+        // persisted blob) and consulted by every later serve.
+        std::optional<fleet::Placement> placement;
+        if (fleetEnabled())
+            placement = steerer_->lookup(request.key);
 
         bool translate_needed = false;
         if (auto entry = warm_.serve(request.key)) {
@@ -281,6 +322,7 @@ TranslationService::drainTick()
             if (!corrupted) {
                 plan.cache = CacheOutcome::kWarm;
                 plan.warm_entry = std::move(entry);
+                plan.backend = plan.warm_entry->backend;
                 continue;
             }
             // Checksum mismatch: drop the entry everywhere -- warm
@@ -329,6 +371,36 @@ TranslationService::drainTick()
                                tick_persisted[request.key] = blob;
                            }
                        }
+                       // Fleet gate: a blob is only fleet-servable
+                       // when it carries scores minted under this
+                       // exact fleet AND its translation targets the
+                       // backend the steerer picks.  Anything else is
+                       // a miss; the cold retranslation overwrites the
+                       // blob with freshly-scored v2 contents.
+                       if (blob != nullptr && fleetEnabled()) {
+                           const auto& s = blob->summary;
+                           const bool usable =
+                               s.fleet.has_value() &&
+                               s.fleet->signature ==
+                                   scorer_->signature();
+                           if (usable && !placement.has_value()) {
+                               auto scores = std::make_shared<
+                                   const persist::FleetScoreSet>(
+                                   *s.fleet);
+                               warm_.publishScores(request.key, scores);
+                               placement = steerer_->place(request.key,
+                                                           *scores);
+                               plan.placed_now = true;
+                               plan.spill_rank = placement->spill_rank;
+                               plan.score_source =
+                                   PlanInfo::ScoreSource::kPersisted;
+                           }
+                           if (!usable ||
+                               placement->backend < 0 ||
+                               placement->backend != s.fleet_backend) {
+                               blob = nullptr;
+                           }
+                       }
                        return blob;
                    }()) {
             // Persisted serve: same verify-before-trust discipline as a
@@ -354,6 +426,8 @@ TranslationService::drainTick()
             if (!corrupted) {
                 plan.cache = CacheOutcome::kPersisted;
                 plan.persisted = std::move(loaded);
+                if (fleetEnabled())
+                    plan.backend = plan.persisted->summary.fleet_backend;
                 continue;
             }
             // Corrupted persisted image: delete the blob (degrade to a
@@ -379,6 +453,8 @@ TranslationService::drainTick()
                    provider != tick_provider.end()) {
             plan.cache = CacheOutcome::kCoalesced;
             plan.provider_job = provider->second;
+            plan.backend =
+                jobs[static_cast<std::size_t>(provider->second)].backend;
             continue;
         } else {
             plan.cache = CacheOutcome::kCold;
@@ -391,12 +467,42 @@ TranslationService::drainTick()
         }
 
         VEAL_ASSERT(translate_needed);
+        if (fleetEnabled()) {
+            // Score-and-place before committing to a translation job.
+            // Scores are a pure function of (loop, mode, fleet) at the
+            // canonical scoring iteration count, so they are cached in
+            // the warm tier's side table and survive invalidations.
+            if (!placement.has_value()) {
+                WarmTier::ScoreRef scores = warm_.findScores(request.key);
+                if (scores == nullptr) {
+                    scores =
+                        std::make_shared<const persist::FleetScoreSet>(
+                            scorer_->score(request.loop, request.mode));
+                    warm_.publishScores(request.key, scores);
+                    plan.score_source = PlanInfo::ScoreSource::kComputed;
+                } else {
+                    plan.score_source = PlanInfo::ScoreSource::kWarm;
+                }
+                placement = steerer_->place(request.key, *scores);
+                plan.placed_now = true;
+                plan.spill_rank = placement->spill_rank;
+            }
+            plan.backend = placement->backend;
+            if (plan.backend < 0) {
+                // Every viable backend is saturated: steer this key to
+                // the CPU without burning a translation job.  The
+                // reduction accounts it as a fleet CPU fallback.
+                continue;
+            }
+        }
         Job job;
         job.admitted_index = i;
         job.loop = &request.loop;
         job.key = request.key;
         job.mode = request.mode;
         job.iterations = request.iterations;
+        job.la = &laFor(plan.backend);
+        job.backend = plan.backend;
         job.injector = std::move(plan.injector);
         plan.injector.reset();
         plan.job = static_cast<int>(jobs.size());
@@ -431,11 +537,11 @@ TranslationService::drainTick()
             const StaticAnnotations* annotations_ptr = nullptr;
             if (job.mode == TranslationMode::kHybridStaticCcaPriority) {
                 annotations =
-                    precompileAnnotations(*job.loop, options_.la);
+                    precompileAnnotations(*job.loop, *job.la);
                 annotations_ptr = &annotations;
             }
             job.ladder = climbTranslationLadder(
-                *job.loop, options_.la, job.mode, annotations_ptr,
+                *job.loop, *job.la, job.mode, annotations_ptr,
                 job.injector.has_value() ? &*job.injector : nullptr);
             if (job.ladder.translation.ok) {
                 job.image = ControlImage::encode(*job.loop,
@@ -445,38 +551,46 @@ TranslationService::drainTick()
         }
 
         // (b) Price this shard's fresh translations (first + warm
-        // invocation lanes), in --batch blocks.
-        std::vector<std::size_t> ok_jobs;
+        // invocation lanes), in --batch blocks, grouped per backend
+        // design point (a batch prices against one LaConfig).  The
+        // batch engine's grouping invariance makes both the backend
+        // grouping and the block split semantically invisible; without
+        // a fleet there is a single group and the blocks are exactly
+        // the pre-fleet ones.
+        std::map<int, std::vector<std::size_t>> ok_by_backend;
         for (std::size_t j = static_cast<std::size_t>(shard);
              j < jobs.size(); j += static_cast<std::size_t>(shards)) {
             if (jobs[j].ladder.translation.ok)
-                ok_jobs.push_back(j);
+                ok_by_backend[jobs[j].backend].push_back(j);
         }
-        for (std::size_t begin = 0; begin < ok_jobs.size();
-             begin += batch) {
-            const std::size_t end =
-                std::min(begin + batch, ok_jobs.size());
-            std::vector<LaCostRequest> lanes;
-            lanes.reserve((end - begin) * 2);
-            for (std::size_t k = begin; k < end; ++k) {
-                const auto& tr = jobs[ok_jobs[k]].ladder.translation;
-                VEAL_ASSERT(tr.graph.has_value());
-                LaCostRequest lane;
-                lane.schedule = &tr.schedule;
-                lane.graph = &*tr.graph;
-                lane.analysis = &tr.analysis;
-                lane.registers = &tr.registers;
-                lane.iterations = jobs[ok_jobs[k]].iterations;
-                lane.first_invocation = true;
-                lanes.push_back(lane);
-                lane.first_invocation = false;
-                lanes.push_back(lane);
-            }
-            const auto costs =
-                sim.acceleratorCostBatch(options_.la, lanes);
-            for (std::size_t k = begin; k < end; ++k) {
-                jobs[ok_jobs[k]].la_first = costs[(k - begin) * 2];
-                jobs[ok_jobs[k]].la_warm = costs[(k - begin) * 2 + 1];
+        for (const auto& [backend, ok_jobs] : ok_by_backend) {
+            const LaConfig& la = laFor(backend);
+            for (std::size_t begin = 0; begin < ok_jobs.size();
+                 begin += batch) {
+                const std::size_t end =
+                    std::min(begin + batch, ok_jobs.size());
+                std::vector<LaCostRequest> lanes;
+                lanes.reserve((end - begin) * 2);
+                for (std::size_t k = begin; k < end; ++k) {
+                    const auto& tr = jobs[ok_jobs[k]].ladder.translation;
+                    VEAL_ASSERT(tr.graph.has_value());
+                    LaCostRequest lane;
+                    lane.schedule = &tr.schedule;
+                    lane.graph = &*tr.graph;
+                    lane.analysis = &tr.analysis;
+                    lane.registers = &tr.registers;
+                    lane.iterations = jobs[ok_jobs[k]].iterations;
+                    lane.first_invocation = true;
+                    lanes.push_back(lane);
+                    lane.first_invocation = false;
+                    lanes.push_back(lane);
+                }
+                const auto costs = sim.acceleratorCostBatch(la, lanes);
+                for (std::size_t k = begin; k < end; ++k) {
+                    jobs[ok_jobs[k]].la_first = costs[(k - begin) * 2];
+                    jobs[ok_jobs[k]].la_warm =
+                        costs[(k - begin) * 2 + 1];
+                }
             }
         }
 
@@ -525,7 +639,10 @@ TranslationService::drainTick()
         std::size_t admitted_index = 0;
         const TranslationResult* translation = nullptr;
     };
-    std::vector<DeferredLane> deferred;
+    // Grouped per backend (one pricing LaConfig per batch); backend -1
+    // is the single-design-point group, so a fleetless run prices in
+    // exactly the pre-fleet blocks.
+    std::map<int, std::vector<DeferredLane>> deferred;
     std::vector<std::int64_t> warm_price(admitted.size(), 0);
     for (std::size_t i = 0; i < admitted.size(); ++i) {
         const PlanInfo& plan = plans[i];
@@ -548,38 +665,42 @@ TranslationService::drainTick()
                 tr = &provider.ladder.translation;
         }
         if (tr != nullptr) {
-            deferred.push_back({i, tr});
+            deferred[plan.backend].push_back({i, tr});
         } else if (summary != nullptr) {
             warm_price[i] =
                 persist::summaryLoopCost(
-                    *summary, options_.la,
+                    *summary, laFor(plan.backend),
                     admitted[i].request.iterations,
                     /*first_invocation=*/false)
                     .total();
         }
     }
-    for (std::size_t begin = 0; begin < deferred.size(); begin += batch) {
-        const std::size_t end = std::min(begin + batch, deferred.size());
-        std::vector<LaCostRequest> lanes;
-        lanes.reserve(end - begin);
-        for (std::size_t k = begin; k < end; ++k) {
-            const auto& tr = *deferred[k].translation;
-            VEAL_ASSERT(tr.graph.has_value());
-            LaCostRequest lane;
-            lane.schedule = &tr.schedule;
-            lane.graph = &*tr.graph;
-            lane.analysis = &tr.analysis;
-            lane.registers = &tr.registers;
-            lane.iterations =
-                admitted[deferred[k].admitted_index].request.iterations;
-            lane.first_invocation = false;
-            lanes.push_back(lane);
+    for (const auto& [backend, group] : deferred) {
+        const LaConfig& la = laFor(backend);
+        for (std::size_t begin = 0; begin < group.size();
+             begin += batch) {
+            const std::size_t end = std::min(begin + batch, group.size());
+            std::vector<LaCostRequest> lanes;
+            lanes.reserve(end - begin);
+            for (std::size_t k = begin; k < end; ++k) {
+                const auto& tr = *group[k].translation;
+                VEAL_ASSERT(tr.graph.has_value());
+                LaCostRequest lane;
+                lane.schedule = &tr.schedule;
+                lane.graph = &*tr.graph;
+                lane.analysis = &tr.analysis;
+                lane.registers = &tr.registers;
+                lane.iterations =
+                    admitted[group[k].admitted_index].request.iterations;
+                lane.first_invocation = false;
+                lanes.push_back(lane);
+            }
+            const auto costs =
+                reduction_sim_.acceleratorCostBatch(la, lanes);
+            for (std::size_t k = begin; k < end; ++k)
+                warm_price[group[k].admitted_index] =
+                    costs[k - begin].total();
         }
-        const auto costs =
-            reduction_sim_.acceleratorCostBatch(options_.la, lanes);
-        for (std::size_t k = begin; k < end; ++k)
-            warm_price[deferred[k].admitted_index] =
-                costs[k - begin].total();
     }
 
     // ---- Phase 3b: index-ordered reduction over the full submission
@@ -675,6 +796,39 @@ TranslationService::drainTick()
                            toString(plan.cache));
         }
 
+        out.backend = plan.backend;
+        // Quarantined requests never reach the steerer; everything
+        // else in fleet mode either landed on a backend or fell back.
+        if (fleetEnabled() &&
+            plan.cache != CacheOutcome::kQuarantined) {
+            if (out.backend >= 0) {
+                const std::string& la_name = laFor(out.backend).name;
+                ++report_.fleet_placed[la_name];
+                if (registry_ != nullptr)
+                    registry_->add("fleet.placed." + la_name);
+            } else {
+                ++report_.fleet_cpu_fallbacks;
+                if (registry_ != nullptr)
+                    registry_->add("fleet.cpu_fallback");
+            }
+            if (plan.placed_now && plan.spill_rank > 0) {
+                ++report_.fleet_spills;
+                if (registry_ != nullptr)
+                    registry_->add("fleet.spills");
+            }
+            if (plan.score_source ==
+                PlanInfo::ScoreSource::kComputed) {
+                ++report_.fleet_scores_computed;
+                if (registry_ != nullptr)
+                    registry_->add("fleet.scores.computed");
+            } else if (plan.score_source ==
+                       PlanInfo::ScoreSource::kPersisted) {
+                ++report_.fleet_scores_persisted;
+                if (registry_ != nullptr)
+                    registry_->add("fleet.scores.persisted");
+            }
+        }
+
         out.cpu_cycles = cpu_cycles[i];
         report_.cpu_cycles += out.cpu_cycles;
 
@@ -718,12 +872,21 @@ TranslationService::drainTick()
                 persist::PersistedImage record;
                 record.key = job.key;
                 record.summary = persist::summarize(job.ladder.translation);
+                if (fleetEnabled()) {
+                    // v2 blob: carry the chosen backend and the full
+                    // score set so the next run rehydrates placements
+                    // without re-scoring.
+                    record.summary.fleet_backend = job.backend;
+                    if (const auto scores = warm_.findScores(job.key))
+                        record.summary.fleet = *scores;
+                }
                 if (job.image.has_value())
                     record.image_words = job.image->words();
                 persistent_->save(record);
             }
             warm_.publish(job.key, job.ladder.translation,
-                          std::move(job.image), epoch, log.sequence);
+                          std::move(job.image), epoch, log.sequence,
+                          job.backend);
         } else if (plan.cache == CacheOutcome::kWarm) {
             if (plan.warm_entry->summaryBacked())
                 summary = &*plan.warm_entry->summary;
@@ -740,7 +903,7 @@ TranslationService::drainTick()
                         plan.persisted->image_words);
                 }
                 warm_.publishSummary(log.key, *summary, std::move(image),
-                                     epoch, log.sequence);
+                                     epoch, log.sequence, plan.backend);
             }
         } else if (plan.cache == CacheOutcome::kCoalesced) {
             const auto& provider =

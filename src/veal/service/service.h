@@ -43,6 +43,7 @@
 #include "veal/arch/cpu_config.h"
 #include "veal/arch/la_config.h"
 #include "veal/fault/fault_injector.h"
+#include "veal/fleet/fleet.h"
 #include "veal/ir/loop.h"
 #include "veal/service/trace.h"
 #include "veal/sim/batch.h"
@@ -86,8 +87,26 @@ struct ServiceOptions {
     /** Checksum strikes before a (tenant, key) is quarantined. */
     int quarantine_strikes = 2;
 
-    /** Target accelerator. */
+    /** Target accelerator (single-design-point mode). */
     LaConfig la = LaConfig::proposed();
+
+    /**
+     * Heterogeneous LA fleet (DESIGN.md §17).  When set and non-empty,
+     * the planning phase scores every first-sight key against all
+     * backends (scores cached in the warm tier, persisted in v2
+     * blobs), the FleetSteerer places it under per-backend capacity,
+     * and translation + pricing run against the *chosen* backend's
+     * LaConfig instead of `la`.  Unset (or empty) is literally today's
+     * single-design-point service.
+     */
+    std::optional<fleet::FleetConfig> fleet;
+
+    /**
+     * Canonical iteration count backend scores are computed at.  Keys
+     * are scored once (a key's per-request iteration counts vary, its
+     * placement must not), so scores use this fixed count.
+     */
+    std::int64_t fleet_scoring_iterations = 12;
 
     /** Baseline CPU for pricing the non-accelerated path. */
     CpuConfig cpu = CpuConfig::arm11();
@@ -208,6 +227,14 @@ struct RequestOutcome {
 
     /** True when the steady-state LA path beats the CPU baseline. */
     bool la_wins = false;
+
+    /**
+     * Fleet backend this request ran on (-1: single-design-point mode,
+     * quarantined, or steered to the CPU-fallback rung).  NOT folded
+     * into the tenant digest, so a one-backend fleet's digests are
+     * bit-identical to the fleetless service.
+     */
+    int backend = -1;
 };
 
 /** Per-tenant accumulated results. */
@@ -271,6 +298,20 @@ struct ServiceReport {
     /** Fault taxonomy summed over every request's injector. */
     std::map<std::string, std::int64_t> fault_fired;
     std::map<std::string, std::int64_t> fault_probes;
+
+    // Fleet steering (all zero / empty when fleet mode is off, and the
+    // fleet render lines are omitted entirely -- a fleetless report is
+    // byte-identical to the pre-fleet service).
+    bool fleet_enabled = false;
+    std::int64_t fleet_backends = 0;
+
+    /** Requests served per backend name (traffic-weighted histogram). */
+    std::map<std::string, std::int64_t> fleet_placed;
+
+    std::int64_t fleet_spills = 0;         ///< Placements past rank 0.
+    std::int64_t fleet_cpu_fallbacks = 0;  ///< Requests on the CPU rung.
+    std::int64_t fleet_scores_computed = 0;   ///< Fresh scoring passes.
+    std::int64_t fleet_scores_persisted = 0;  ///< Rehydrated from blobs.
 
     std::map<int, TenantReport> tenants;
 
@@ -396,6 +437,15 @@ class TranslationService {
     std::vector<std::unique_ptr<CodeCache>> shard_caches_;
     std::vector<std::unique_ptr<BatchSimulator>> shard_sims_;
     BatchSimulator reduction_sim_;
+
+    /** Fleet mode (engaged when options_.fleet is set and non-empty). */
+    bool fleetEnabled() const { return scorer_.has_value(); }
+
+    /** The pricing config of @p backend (-1: the single design point). */
+    const LaConfig& laFor(int backend) const;
+
+    std::optional<fleet::BackendScorer> scorer_;
+    std::optional<fleet::FleetSteerer> steerer_;
 
     /** Strikes per (tenant, key); quarantine at options_.quarantine_strikes. */
     std::map<std::pair<int, std::string>, int> strikes_;

@@ -241,10 +241,33 @@ encodeBlob(const PersistedImage& image)
     for (const std::uint32_t word : image.image_words)
         appendU32(payload, word);
 
+    // Fleet section (version 2 only): appended after the v1 payload so
+    // every v1 field keeps its offset.  Blobs without fleet scores stay
+    // version 1 and byte-identical to the PR-8 encoder.
+    if (s.fleet.has_value()) {
+        const FleetScoreSet& fleet = *s.fleet;
+        appendU32(payload, static_cast<std::uint32_t>(s.fleet_backend));
+        appendU64(payload, fleet.signature);
+        appendI64(payload, fleet.scoring_iterations);
+        appendI64(payload, fleet.cpu_cycles);
+        appendU32(payload,
+                  static_cast<std::uint32_t>(fleet.backends.size()));
+        for (const FleetBackendScore& score : fleet.backends) {
+            appendU32(payload, score.ok ? 1u : 0u);
+            appendU32(payload, static_cast<std::uint32_t>(score.reject));
+            appendU32(payload, static_cast<std::uint32_t>(score.ii));
+            appendU32(payload,
+                      static_cast<std::uint32_t>(score.stage_count));
+            appendI64(payload, score.first_cycles);
+            appendI64(payload, score.warm_cycles);
+        }
+    }
+
     std::vector<std::uint8_t> blob;
     blob.reserve(payload.size() + 16);
     appendU32(blob, kBlobMagic);
-    appendU32(blob, kBlobVersion);
+    appendU32(blob,
+              s.fleet.has_value() ? kBlobVersionFleet : kBlobVersion);
     appendU64(blob, fnv1a(payload.data(), payload.size()));
     blob.insert(blob.end(), payload.begin(), payload.end());
     return blob;
@@ -258,7 +281,8 @@ decodeBlob(const std::uint8_t* data, std::size_t size)
     Reader header(data, 16);
     if (header.u32() != kBlobMagic)
         return BlobError::kBadMagic;
-    if (header.u32() != kBlobVersion)
+    const std::uint32_t version = header.u32();
+    if (version != kBlobVersion && version != kBlobVersionFleet)
         return BlobError::kVersionSkew;
     const std::uint64_t expected = header.u64();
     const std::uint8_t* payload = data + 16;
@@ -302,6 +326,47 @@ decodeBlob(const std::uint8_t* data, std::size_t size)
     image.image_words.reserve(num_words);
     for (std::uint32_t i = 0; i < num_words; ++i)
         image.image_words.push_back(in.u32());
+    if (!in.ok())
+        return BlobError::kTruncated;
+    if (version == kBlobVersionFleet) {
+        s.fleet_backend = static_cast<std::int32_t>(in.u32());
+        FleetScoreSet fleet;
+        fleet.signature = in.u64();
+        fleet.scoring_iterations = in.i64();
+        fleet.cpu_cycles = in.i64();
+        const std::uint32_t num_backends = in.u32();
+        if (!in.ok() ||
+            static_cast<std::size_t>(num_backends) * 32 > in.remaining())
+            return BlobError::kTruncated;
+        fleet.backends.reserve(num_backends);
+        for (std::uint32_t i = 0; i < num_backends; ++i) {
+            FleetBackendScore score;
+            const std::uint32_t score_ok = in.u32();
+            const auto score_reject = static_cast<std::int32_t>(in.u32());
+            score.ii = static_cast<std::int32_t>(in.u32());
+            score.stage_count = static_cast<std::int32_t>(in.u32());
+            score.first_cycles = in.i64();
+            score.warm_cycles = in.i64();
+            if (!in.ok())
+                return BlobError::kTruncated;
+            if (score_ok > 1 || !validReject(score_reject))
+                return BlobError::kMalformed;
+            score.ok = score_ok == 1;
+            score.reject = static_cast<TranslationReject>(score_reject);
+            if (score.ok && (score.ii < 1 || score.stage_count < 1 ||
+                             score.first_cycles < 0 ||
+                             score.warm_cycles < 0))
+                return BlobError::kMalformed;
+            fleet.backends.push_back(score);
+        }
+        if (fleet.scoring_iterations < 1 || fleet.cpu_cycles < 0)
+            return BlobError::kMalformed;
+        if (s.fleet_backend < -1 ||
+            s.fleet_backend >=
+                static_cast<std::int32_t>(fleet.backends.size()))
+            return BlobError::kMalformed;
+        s.fleet = std::move(fleet);
+    }
     if (!in.ok())
         return BlobError::kTruncated;
     if (in.remaining() != 0)

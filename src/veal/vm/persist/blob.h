@@ -28,6 +28,7 @@
  */
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <variant>
 #include <vector>
@@ -38,9 +39,45 @@
 
 namespace veal::persist {
 
-/** Blob format magic ("VPB1" little-endian) and current version. */
+/**
+ * Blob format magic ("VPB1" little-endian) and versions.  Version 1 is
+ * the PR-8 layout; version 2 appends an optional fleet-score section
+ * (see FleetScoreSet).  Blobs without fleet scores still encode as
+ * version 1, byte-identical to PR-8 output, so single-design-point
+ * stores and their pinned benchmarks never change.
+ */
 constexpr std::uint32_t kBlobMagic = 0x31425056u;
 constexpr std::uint32_t kBlobVersion = 1;
+constexpr std::uint32_t kBlobVersionFleet = 2;
+
+/**
+ * One backend's price for a loop, as computed by the fleet scorer.
+ * Cycle fields are the full modeled invocation totals (TLB-inclusive
+ * when the service runs with --tlb) at the canonical scoring iteration
+ * count, so rehydrated placements reproduce live scoring bit-exactly.
+ */
+struct FleetBackendScore {
+    bool ok = false;
+    TranslationReject reject = TranslationReject::kNone;
+    std::int32_t ii = 0;
+    std::int32_t stage_count = 0;
+    std::int64_t first_cycles = 0;  ///< First invocation, setup included.
+    std::int64_t warm_cycles = 0;   ///< Steady-state re-invocation.
+};
+
+/**
+ * The fleet scorer's verdict for one key: one FleetBackendScore per
+ * backend, index-aligned with the FleetConfig that produced them.  The
+ * signature is an FNV fold of every backend's knobs; a blob whose
+ * signature doesn't match the running fleet is treated as unscored
+ * (the fleet changed shape, so the prices are stale).
+ */
+struct FleetScoreSet {
+    std::uint64_t signature = 0;
+    std::int64_t scoring_iterations = 0;
+    std::int64_t cpu_cycles = 0;  ///< Scalar-CPU price at the same count.
+    std::vector<FleetBackendScore> backends;
+};
 
 /**
  * The scalars the analytic invocation-cost model reads, lifted out of a
@@ -68,6 +105,15 @@ struct TranslationSummary {
      */
     std::vector<std::int64_t> load_strides;
     std::vector<std::int64_t> store_strides;
+
+    /**
+     * Fleet extension (blob version 2): which backend the steerer chose
+     * for this key (-1 = CPU fallback / none), and the per-backend score
+     * set so a warm restart rehydrates placements without re-scoring.
+     * Absent on single-design-point blobs, which stay version 1.
+     */
+    std::int32_t fleet_backend = -1;
+    std::optional<FleetScoreSet> fleet;
 };
 
 /** Lift the cost-model scalars out of @p translation. */

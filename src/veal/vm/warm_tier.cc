@@ -7,7 +7,7 @@ namespace veal {
 void
 WarmTier::publish(const std::string& key, TranslationResult translation,
                   std::optional<ControlImage> image, std::int64_t epoch,
-                  std::int64_t sequence)
+                  std::int64_t sequence, int backend)
 {
     auto entry = std::make_shared<Entry>();
     entry->translation = std::move(translation);
@@ -16,6 +16,7 @@ WarmTier::publish(const std::string& key, TranslationResult translation,
         entry->expected_checksum = entry->image->checksum();
     entry->epoch = epoch;
     entry->sequence = sequence;
+    entry->backend = backend;
 
     const auto [it, inserted] =
         entries_.insert_or_assign(key, std::move(entry));
@@ -29,7 +30,8 @@ void
 WarmTier::publishSummary(const std::string& key,
                          persist::TranslationSummary summary,
                          std::optional<ControlImage> image,
-                         std::int64_t epoch, std::int64_t sequence)
+                         std::int64_t epoch, std::int64_t sequence,
+                         int backend)
 {
     auto entry = std::make_shared<Entry>();
     entry->summary = std::move(summary);
@@ -38,6 +40,7 @@ WarmTier::publishSummary(const std::string& key,
         entry->expected_checksum = entry->image->checksum();
     entry->epoch = epoch;
     entry->sequence = sequence;
+    entry->backend = backend;
 
     const auto [it, inserted] =
         entries_.insert_or_assign(key, std::move(entry));
@@ -78,6 +81,19 @@ WarmTier::invalidate(const std::string& key)
         return false;
     ++invalidations_;
     return true;
+}
+
+void
+WarmTier::publishScores(const std::string& key, ScoreRef scores)
+{
+    scores_.insert_or_assign(key, std::move(scores));
+}
+
+WarmTier::ScoreRef
+WarmTier::findScores(const std::string& key) const
+{
+    const auto it = scores_.find(key);
+    return it == scores_.end() ? nullptr : it->second;
 }
 
 WarmTier::Stats

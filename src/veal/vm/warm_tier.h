@@ -90,6 +90,14 @@ class WarmTier {
 
         /** Sequence number of the publishing request (audit trail). */
         std::int64_t sequence = 0;
+
+        /**
+         * Fleet backend index this entry was translated for, or -1 in
+         * single-design-point mode.  A warm serve is only valid when
+         * the steerer's placement matches: an entry translated for
+         * backend 2 cannot price an invocation on backend 0.
+         */
+        int backend = -1;
     };
 
     using EntryRef = std::shared_ptr<const Entry>;
@@ -110,7 +118,7 @@ class WarmTier {
      */
     void publish(const std::string& key, TranslationResult translation,
                  std::optional<ControlImage> image, std::int64_t epoch,
-                 std::int64_t sequence);
+                 std::int64_t sequence, int backend = -1);
 
     /**
      * Publish a store-rehydrated entry: the compact @p summary plus the
@@ -121,7 +129,8 @@ class WarmTier {
     void publishSummary(const std::string& key,
                         persist::TranslationSummary summary,
                         std::optional<ControlImage> image,
-                        std::int64_t epoch, std::int64_t sequence);
+                        std::int64_t epoch, std::int64_t sequence,
+                        int backend = -1);
 
     /** Entry for @p key, or null.  Never mutates (parallel-phase safe). */
     EntryRef find(const std::string& key) const;
@@ -151,8 +160,24 @@ class WarmTier {
         return static_cast<std::int64_t>(entries_.size());
     }
 
+    using ScoreRef = std::shared_ptr<const persist::FleetScoreSet>;
+
+    /**
+     * Fleet-score side table (DESIGN.md §17): scoring a key against
+     * every backend is the expensive part of steering, so the verdict
+     * is cached here beside the translations.  Scores are pure derived
+     * data (loop shape x fleet signature), so invalidate() -- which
+     * exists for image corruption -- leaves them resident.  Same write
+     * discipline as entries: sequential phases only.
+     */
+    void publishScores(const std::string& key, ScoreRef scores);
+
+    /** Cached score set for @p key, or null.  Parallel-phase safe. */
+    ScoreRef findScores(const std::string& key) const;
+
   private:
     std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
+    std::unordered_map<std::string, ScoreRef> scores_;
     std::int64_t publishes_ = 0;
     std::int64_t republishes_ = 0;
     std::int64_t serves_ = 0;

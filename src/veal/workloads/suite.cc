@@ -17,8 +17,9 @@ namespace {
 /** Builder state for one benchmark's pair of applications. */
 class BenchmarkBuilder {
   public:
-    BenchmarkBuilder(std::string name, bool media_or_fp,
-                     CategoryFractions fractions)
+    BenchmarkBuilder(LaConfig fission_target, std::string name,
+                     bool media_or_fp, CategoryFractions fractions)
+        : fission_target_(std::move(fission_target))
     {
         benchmark_.name = std::move(name);
         benchmark_.media_or_fp = media_or_fp;
@@ -30,8 +31,11 @@ class BenchmarkBuilder {
     /**
      * Add a loop site.  @p transformed is the statically optimised body;
      * @p untransformed the plain one (often the same).  Transformed loops
-     * that exceed the proposed LA's stream budget are fissioned here --
-     * this *is* the static compiler's fission pass.
+     * that exceed the fission target's stream budget are fissioned here
+     * -- this *is* the static compiler's fission pass, and the target is
+     * the LA the static compiler was told about (a builder parameter,
+     * NOT a global: a fleet scores the same loop against several shapes,
+     * so two builds with different targets must not share state).
      */
     void
     addSite(Loop transformed, Loop untransformed, std::int64_t invocations,
@@ -41,7 +45,7 @@ class BenchmarkBuilder {
                    .fissioned = {},
                    .invocations = invocations,
                    .iterations = iterations};
-        const LaConfig target = LaConfig::proposed();
+        const LaConfig& target = fission_target_;
         FissionBudget budget;
         budget.max_load_streams = target.num_load_streams;
         budget.max_store_streams = target.num_store_streams;
@@ -151,13 +155,14 @@ class BenchmarkBuilder {
     }
 
   private:
+    LaConfig fission_target_;
     Benchmark benchmark_;
 };
 
 Benchmark
-makeRawcaudio()
+makeRawcaudio(const LaConfig& fission_target)
 {
-    BenchmarkBuilder b("rawcaudio", true, {0.97, 0.0, 0.0, 0.03});
+    BenchmarkBuilder b(fission_target, "rawcaudio", true, {0.97, 0.0, 0.0, 0.03});
     // One critical loop: the paper notes its translation cost amortises
     // completely.
     b.addInlinedSite(makeAdpcmStepLoop("adpcm_code", true), 600, 1024);
@@ -165,17 +170,17 @@ makeRawcaudio()
 }
 
 Benchmark
-makeRawdaudio()
+makeRawdaudio(const LaConfig& fission_target)
 {
-    BenchmarkBuilder b("rawdaudio", true, {0.96, 0.0, 0.0, 0.04});
+    BenchmarkBuilder b(fission_target, "rawdaudio", true, {0.96, 0.0, 0.0, 0.04});
     b.addInlinedSite(makeAdpcmStepLoop("adpcm_decode", true), 600, 1024);
     return b.calibrate();
 }
 
 Benchmark
-makeG721Enc()
+makeG721Enc(const LaConfig& fission_target)
 {
-    BenchmarkBuilder b("g721enc", true, {0.82, 0.03, 0.05, 0.10});
+    BenchmarkBuilder b(fission_target, "g721enc", true, {0.82, 0.03, 0.05, 0.10});
     b.addInlinedSite(makeG721PredictorLoop("predictor_update", true), 60,
                      512);
     b.addInlinedSite(makeQuantLoop("quan", true), 60, 256);
@@ -185,9 +190,9 @@ makeG721Enc()
 }
 
 Benchmark
-makeG721Dec()
+makeG721Dec(const LaConfig& fission_target)
 {
-    BenchmarkBuilder b("g721dec", true, {0.80, 0.04, 0.05, 0.11});
+    BenchmarkBuilder b(fission_target, "g721dec", true, {0.80, 0.04, 0.05, 0.11});
     b.addInlinedSite(makeG721PredictorLoop("predictor_update_d", true), 60,
                      512);
     b.addSameSite(makeCopyScaleLoop("reconstruct"), 40, 1024);
@@ -197,9 +202,9 @@ makeG721Dec()
 }
 
 Benchmark
-makeEpic()
+makeEpic(const LaConfig& fission_target)
 {
-    BenchmarkBuilder b("epic", true, {0.90, 0.02, 0.0, 0.08});
+    BenchmarkBuilder b(fission_target, "epic", true, {0.90, 0.02, 0.0, 0.08});
     b.addInlinedSite(makeWaveletLiftLoop("build_pyramid_h", true), 70,
                      1024);
     b.addInlinedSite(makeWaveletLiftLoop("build_pyramid_v", true), 70,
@@ -210,9 +215,9 @@ makeEpic()
 }
 
 Benchmark
-makeUnepic()
+makeUnepic(const LaConfig& fission_target)
 {
-    BenchmarkBuilder b("unepic", true, {0.86, 0.04, 0.0, 0.10});
+    BenchmarkBuilder b(fission_target, "unepic", true, {0.86, 0.04, 0.0, 0.10});
     b.addInlinedSite(makeWaveletLiftLoop("collapse_pyramid", true), 80,
                      1024);
     b.addSameSite(makeCopyScaleLoop("unquantize"), 35, 2048);
@@ -221,9 +226,9 @@ makeUnepic()
 }
 
 Benchmark
-makeCjpeg()
+makeCjpeg(const LaConfig& fission_target)
 {
-    BenchmarkBuilder b("cjpeg", true, {0.72, 0.06, 0.05, 0.17});
+    BenchmarkBuilder b(fission_target, "cjpeg", true, {0.72, 0.06, 0.05, 0.17});
     // The transformed binary uses the tuned (unroll=1) DCT; the plain
     // binary's over-unrolled variant exceeds the LA's store streams.
     b.addSite(makeDct8Loop("fdct_row", 1), makeDct8Loop("fdct_row", 2),
@@ -236,9 +241,9 @@ makeCjpeg()
 }
 
 Benchmark
-makeDjpeg()
+makeDjpeg(const LaConfig& fission_target)
 {
-    BenchmarkBuilder b("djpeg", true, {0.75, 0.05, 0.04, 0.16});
+    BenchmarkBuilder b(fission_target, "djpeg", true, {0.75, 0.05, 0.04, 0.16});
     b.addSite(makeDct8Loop("idct_row", 1), makeDct8Loop("idct_row", 2),
               60, 256);
     b.addInlinedSite(makeSadLoop("range_limit", true), 50, 256);
@@ -249,9 +254,9 @@ makeDjpeg()
 }
 
 Benchmark
-makeMpeg2Dec()
+makeMpeg2Dec(const LaConfig& fission_target)
 {
-    BenchmarkBuilder b("mpeg2dec", true, {0.80, 0.05, 0.03, 0.12});
+    BenchmarkBuilder b(fission_target, "mpeg2dec", true, {0.80, 0.05, 0.03, 0.12});
     // Several large distinct loops: per-loop translation cost is paid for
     // each, and their runtimes are short enough that a fully dynamic
     // translator forfeits most of the benefit (paper: 2.1 -> 1.15).
@@ -270,9 +275,9 @@ makeMpeg2Dec()
 }
 
 Benchmark
-makeMpeg2Enc()
+makeMpeg2Enc(const LaConfig& fission_target)
 {
-    BenchmarkBuilder b("mpeg2enc", true, {0.83, 0.05, 0.02, 0.10});
+    BenchmarkBuilder b(fission_target, "mpeg2enc", true, {0.83, 0.05, 0.02, 0.10});
     b.addInlinedSite(makeSadLoop("dist1_00", true), 120, 256);
     b.addInlinedSite(makeSadLoop("dist1_11", true), 90, 256);
     b.addSite(makeDct8Loop("fdct_enc", 1), makeDct8Loop("fdct_enc", 2),
@@ -284,9 +289,9 @@ makeMpeg2Enc()
 }
 
 Benchmark
-makePegwitEnc()
+makePegwitEnc(const LaConfig& fission_target)
 {
-    BenchmarkBuilder b("pegwitenc", true, {0.70, 0.05, 0.05, 0.20});
+    BenchmarkBuilder b(fission_target, "pegwitenc", true, {0.70, 0.05, 0.05, 0.20});
     // Long mixing recurrences: many ordering/criticality steps, so the
     // swing priority phase explodes; runtimes are modest, so the fully
     // dynamic translator loses the whole benefit (paper Figure 10).
@@ -299,9 +304,9 @@ makePegwitEnc()
 }
 
 Benchmark
-makePegwitDec()
+makePegwitDec(const LaConfig& fission_target)
 {
-    BenchmarkBuilder b("pegwitdec", true, {0.68, 0.06, 0.05, 0.21});
+    BenchmarkBuilder b(fission_target, "pegwitdec", true, {0.68, 0.06, 0.05, 0.21});
     b.addInlinedSite(makeShaMixLoop("sha_transform_d", 2, true), 22, 512);
     b.addSameSite(makeViterbiAcsLoop("gf_mult_d"), 26, 256);
     b.addSameSite(makeSearchWhileLoop("unsquash_parse"), 30, 256);
@@ -310,9 +315,9 @@ makePegwitDec()
 }
 
 Benchmark
-makeSwim()
+makeSwim(const LaConfig& fission_target)
 {
-    BenchmarkBuilder b("171.swim", true, {0.95, 0.0, 0.01, 0.04});
+    BenchmarkBuilder b(fission_target, "171.swim", true, {0.95, 0.0, 0.01, 0.04});
     b.addSite(makeStencil5Loop("calc1"),
               makeStencilNLoop("calc1_unrolled", 20), 260, 1024);
     b.addSite(makeStencil5Loop("calc2"),
@@ -323,9 +328,9 @@ makeSwim()
 }
 
 Benchmark
-makeMgrid()
+makeMgrid(const LaConfig& fission_target)
 {
-    BenchmarkBuilder b("172.mgrid", true, {0.93, 0.0, 0.02, 0.05});
+    BenchmarkBuilder b(fission_target, "172.mgrid", true, {0.93, 0.0, 0.02, 0.05});
     // Very large stencils: > 16 load streams, so the static compiler must
     // fission them (addSite does), and their size makes the swing priority
     // extremely expensive -- fully dynamic translation forfeits the gain.
@@ -337,9 +342,9 @@ makeMgrid()
 }
 
 Benchmark
-makeMesa()
+makeMesa(const LaConfig& fission_target)
 {
-    BenchmarkBuilder b("177.mesa", true, {0.62, 0.08, 0.08, 0.22});
+    BenchmarkBuilder b(fission_target, "177.mesa", true, {0.62, 0.08, 0.08, 0.22});
     b.addSameSite(makeMatVecLoop("transform_points3", 3, 3), 80, 1024);
     b.addSameSite(makeCopyScaleLoop("gl_write_span"), 40, 2048);
     b.addSameSite(makeSearchWhileLoop("clip_polygon"), 60, 256);
@@ -348,9 +353,9 @@ makeMesa()
 }
 
 Benchmark
-makeAlvinn()
+makeAlvinn(const LaConfig& fission_target)
 {
-    BenchmarkBuilder b("052.alvinn", true, {0.94, 0.0, 0.02, 0.04});
+    BenchmarkBuilder b(fission_target, "052.alvinn", true, {0.94, 0.0, 0.02, 0.04});
     b.addSameSite(makeDotProductLoop("input_hidden"), 350, 4096);
     b.addSameSite(makeDotProductLoop("hidden_output"), 280, 4096);
     b.addSameSite(makeMathCallLoop("sigmoid_aux"), 10, 128);
@@ -359,9 +364,10 @@ makeAlvinn()
 
 /** A control-heavy integer benchmark (right of Figure 2). */
 Benchmark
-makeIntegerBenchmark(const std::string& name, CategoryFractions fractions)
+makeIntegerBenchmark(const LaConfig& fission_target,
+                     const std::string& name, CategoryFractions fractions)
 {
-    BenchmarkBuilder b(name, false, fractions);
+    BenchmarkBuilder b(fission_target, name, false, fractions);
     b.addSameSite(makeCopyScaleLoop(name + "_memops"), 40, 512);
     b.addSameSite(makeSearchWhileLoop(name + "_scan"), 120, 256);
     b.addSameSite(makeMathCallLoop(name + "_lib"), 60, 128);
@@ -373,42 +379,54 @@ makeIntegerBenchmark(const std::string& name, CategoryFractions fractions)
 std::vector<Benchmark>
 mediaFpSuite()
 {
+    return mediaFpSuite(LaConfig::proposed());
+}
+
+std::vector<Benchmark>
+mediaFpSuite(const LaConfig& fission_target)
+{
     std::vector<Benchmark> suite;
-    suite.push_back(makeRawcaudio());
-    suite.push_back(makeRawdaudio());
-    suite.push_back(makeG721Enc());
-    suite.push_back(makeG721Dec());
-    suite.push_back(makeEpic());
-    suite.push_back(makeUnepic());
-    suite.push_back(makeCjpeg());
-    suite.push_back(makeDjpeg());
-    suite.push_back(makeMpeg2Dec());
-    suite.push_back(makeMpeg2Enc());
-    suite.push_back(makePegwitEnc());
-    suite.push_back(makePegwitDec());
-    suite.push_back(makeSwim());
-    suite.push_back(makeMgrid());
-    suite.push_back(makeMesa());
-    suite.push_back(makeAlvinn());
+    suite.push_back(makeRawcaudio(fission_target));
+    suite.push_back(makeRawdaudio(fission_target));
+    suite.push_back(makeG721Enc(fission_target));
+    suite.push_back(makeG721Dec(fission_target));
+    suite.push_back(makeEpic(fission_target));
+    suite.push_back(makeUnepic(fission_target));
+    suite.push_back(makeCjpeg(fission_target));
+    suite.push_back(makeDjpeg(fission_target));
+    suite.push_back(makeMpeg2Dec(fission_target));
+    suite.push_back(makeMpeg2Enc(fission_target));
+    suite.push_back(makePegwitEnc(fission_target));
+    suite.push_back(makePegwitDec(fission_target));
+    suite.push_back(makeSwim(fission_target));
+    suite.push_back(makeMgrid(fission_target));
+    suite.push_back(makeMesa(fission_target));
+    suite.push_back(makeAlvinn(fission_target));
     return suite;
 }
 
 std::vector<Benchmark>
 integerSuite()
 {
+    return integerSuite(LaConfig::proposed());
+}
+
+std::vector<Benchmark>
+integerSuite(const LaConfig& fission_target)
+{
     std::vector<Benchmark> suite;
-    suite.push_back(
-        makeIntegerBenchmark("099.go", {0.05, 0.22, 0.08, 0.65}));
-    suite.push_back(
-        makeIntegerBenchmark("126.gcc", {0.04, 0.18, 0.16, 0.62}));
-    suite.push_back(
-        makeIntegerBenchmark("130.li", {0.03, 0.24, 0.21, 0.52}));
-    suite.push_back(
-        makeIntegerBenchmark("134.perl", {0.05, 0.20, 0.18, 0.57}));
-    suite.push_back(
-        makeIntegerBenchmark("147.vortex", {0.06, 0.15, 0.19, 0.60}));
-    suite.push_back(
-        makeIntegerBenchmark("129.compress", {0.12, 0.42, 0.04, 0.42}));
+    suite.push_back(makeIntegerBenchmark(fission_target, "099.go",
+                                         {0.05, 0.22, 0.08, 0.65}));
+    suite.push_back(makeIntegerBenchmark(fission_target, "126.gcc",
+                                         {0.04, 0.18, 0.16, 0.62}));
+    suite.push_back(makeIntegerBenchmark(fission_target, "130.li",
+                                         {0.03, 0.24, 0.21, 0.52}));
+    suite.push_back(makeIntegerBenchmark(fission_target, "134.perl",
+                                         {0.05, 0.20, 0.18, 0.57}));
+    suite.push_back(makeIntegerBenchmark(fission_target, "147.vortex",
+                                         {0.06, 0.15, 0.19, 0.60}));
+    suite.push_back(makeIntegerBenchmark(fission_target, "129.compress",
+                                         {0.12, 0.42, 0.04, 0.42}));
     return suite;
 }
 

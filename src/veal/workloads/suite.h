@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "veal/arch/la_config.h"
 #include "veal/vm/application.h"
 
 namespace veal {
@@ -38,15 +39,28 @@ struct Benchmark {
 
 /**
  * The media/floating-point evaluation suite (left of Figure 2): the
- * benchmarks every experiment in §3 and §4 runs over.
+ * benchmarks every experiment in §3 and §4 runs over.  The no-argument
+ * form targets the paper's proposed design point.
  */
 std::vector<Benchmark> mediaFpSuite();
+
+/**
+ * As mediaFpSuite(), with the static compiler's loop-fission pass
+ * targeted at @p fission_target instead of the paper's single design
+ * point -- what a fleet member's toolchain would have produced.  Pure
+ * function of its argument: suites built for different targets share no
+ * state (regression-pinned in fleet_steering_test).
+ */
+std::vector<Benchmark> mediaFpSuite(const LaConfig& fission_target);
 
 /**
  * The integer/control-heavy group (right of Figure 2): only used to show
  * where loop accelerators do *not* help.
  */
 std::vector<Benchmark> integerSuite();
+
+/** As integerSuite(), fissioned for @p fission_target. */
+std::vector<Benchmark> integerSuite(const LaConfig& fission_target);
 
 /** Look up one benchmark from mediaFpSuite() by name (fatal if absent). */
 Benchmark findBenchmark(const std::string& name);

@@ -170,10 +170,20 @@ TEST(PersistBlob, ErrorTaxonomyIsPrecise)
     // so operators can tell "old binary" from "corrupt disk".
     {
         std::vector<std::uint8_t> future = bytes;
-        future[4] = static_cast<std::uint8_t>(kBlobVersion + 1);
+        future[4] = static_cast<std::uint8_t>(kBlobVersionFleet + 1);
         const auto decoded = decodeBlob(future.data(), future.size());
         ASSERT_TRUE(std::holds_alternative<BlobError>(decoded));
         EXPECT_EQ(std::get<BlobError>(decoded), BlobError::kVersionSkew);
+    }
+
+    // A v1 payload relabeled with the fleet version is missing its
+    // fleet section: truncation, not skew (v2 is a known version).
+    {
+        std::vector<std::uint8_t> relabeled = bytes;
+        relabeled[4] = static_cast<std::uint8_t>(kBlobVersionFleet);
+        const auto decoded = decodeBlob(relabeled.data(), relabeled.size());
+        ASSERT_TRUE(std::holds_alternative<BlobError>(decoded));
+        EXPECT_EQ(std::get<BlobError>(decoded), BlobError::kTruncated);
     }
 
     // Payload flip: checksum.

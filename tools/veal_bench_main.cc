@@ -16,6 +16,7 @@
 
 #include <cstdio>
 
+#include "bench/fleet.h"
 #include "bench/persist.h"
 #include "bench/simulation.h"
 #include "bench/throughput.h"
@@ -83,6 +84,40 @@ runPersistMode(const veal::bench::ThroughputOptions& options)
     return 0;
 }
 
+int
+runFleetMode(const veal::bench::ThroughputOptions& options)
+{
+    const auto report = veal::bench::runFleetBench(options);
+
+    std::printf("veal-bench: fleet '%s', %lld pieces, %lld scored "
+                "cells, %lld cpu-win pieces\n",
+                report.fleet.c_str(),
+                static_cast<long long>(report.pieces),
+                static_cast<long long>(report.scored_cells),
+                static_cast<long long>(report.cpu_win_pieces));
+    std::printf("veal-bench: steady cycles cpu=%lld baseline=%lld "
+                "fleet=%lld, fleet speedup %lld.%03lldx vs the single "
+                "design point\n",
+                static_cast<long long>(report.cpu_steady_cycles),
+                static_cast<long long>(report.baseline_steady_cycles),
+                static_cast<long long>(report.fleet_steady_cycles),
+                static_cast<long long>(report.speedup_milli / 1000),
+                static_cast<long long>(report.speedup_milli % 1000));
+    for (const auto& backend : report.backends) {
+        std::printf("veal-bench: backend %-12s placed %lld pieces "
+                    "(%lld invocations, %lld steady cycles)\n",
+                    backend.name.c_str(),
+                    static_cast<long long>(backend.placed_pieces),
+                    static_cast<long long>(backend.placed_invocations),
+                    static_cast<long long>(backend.steady_cycles));
+    }
+
+    std::fprintf(stderr, "veal-bench: fleet scoring p50 %.2f ms "
+                         "(%d runs, %d threads)\n",
+                 report.p50_wall_ms, report.runs, report.threads);
+    return 0;
+}
+
 }  // namespace
 
 int
@@ -94,6 +129,8 @@ main(int argc, char** argv)
         return runSimulationMode(options);
     if (options.mode == "persist")
         return runPersistMode(options);
+    if (options.mode == "fleet")
+        return runFleetMode(options);
     const auto report = bench::runTranslationThroughput(options);
 
     std::printf("veal-bench: %s suite, %lld pieces/run, %lld translated "

@@ -83,6 +83,13 @@ usage()
         "                     with the same DIR warm-starts from it\n"
         "  --cache-capacity N store entry bound, SLRU-evicted (default\n"
         "                     4096)\n"
+        "fleet steering (single design point unless --fleet given):\n"
+        "  --fleet SPEC       heterogeneous backend fleet: 'standard'\n"
+        "                     (baseline + 4 presets), 'baseline', or a\n"
+        "                     comma list of baseline,cca-heavy,fp-heavy,\n"
+        "                     stream-heavy,tiny-ii\n"
+        "  --fleet-capacity N per-backend resident-key capacity\n"
+        "                     (default 0 = unlimited)\n"
         "TLB cost model (off unless --tlb* given):\n"
         "  --tlb              enable at the default design point\n"
         "  --tlb-entries N    stream-TLB capacity in pages (default 32)\n"
@@ -106,6 +113,8 @@ main(int argc, char** argv)
     veal::TraceGenOptions gen;
     veal::ServiceOptions options;
     options.shards = 2;
+    std::string fleet_spec;
+    int fleet_capacity = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -150,6 +159,10 @@ main(int argc, char** argv)
         } else if (arg == "--cache-capacity") {
             options.store.max_entries =
                 cli::parseCount(kTool, arg, value(), usage);
+        } else if (arg == "--fleet") {
+            fleet_spec = value();
+        } else if (arg == "--fleet-capacity") {
+            fleet_capacity = cli::parseCount(kTool, arg, value(), usage);
         } else if (arg == "--tlb") {
             options.tlb.enabled = true;
         } else if (arg == "--tlb-entries") {
@@ -192,6 +205,16 @@ main(int argc, char** argv)
     if (!trace_file.empty() && !gen_trace_file.empty()) {
         cli::usageError(kTool, "--trace and --gen-trace are exclusive",
                         usage);
+    }
+    if (!fleet_spec.empty()) {
+        auto fleet = veal::fleet::FleetConfig::parse(fleet_spec,
+                                                     fleet_capacity);
+        if (!fleet.has_value()) {
+            cli::usageError(kTool,
+                            "--fleet: unknown spec '" + fleet_spec + "'",
+                            usage);
+        }
+        options.fleet = std::move(fleet);
     }
 
     veal::ServiceTrace trace;
